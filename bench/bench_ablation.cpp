@@ -1,0 +1,157 @@
+//===- bench_ablation.cpp - Checker design-choice ablations (B5) ----------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Quantifies the design decisions DESIGN.md calls out:
+//
+//  * the held-key set is a per-point map — cost scales with the number
+//    of *simultaneously live* keys (sweep below), which the paper keeps
+//    small by design ("the global state ... intentionally kept simple
+//    to enable an efficient decision procedure", §2.1);
+//  * guard checks run at every access — guard-density sweep;
+//  * join canonicalization runs per branch — switch-arm sweep;
+//  * names are checked per call — call-density sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Checker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace vault;
+
+namespace {
+
+const char *Prelude = R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+)";
+
+/// K regions live at the same time, then all deleted.
+void BM_LiveKeysSweep(benchmark::State &State) {
+  const unsigned K = static_cast<unsigned>(State.range(0));
+  std::ostringstream OS;
+  OS << Prelude << "void f() {\n";
+  for (unsigned I = 0; I != K; ++I)
+    OS << "  tracked(K" << I << ") region r" << I << " = Region.create();\n";
+  // Touch each region between allocations so every statement is
+  // checked against the full held set.
+  for (unsigned I = 0; I != K; ++I)
+    OS << "  K" << I << ":point p" << I << " = new(r" << I
+       << ") point {x=" << I << ";};\n";
+  for (unsigned I = 0; I != K; ++I)
+    OS << "  p" << I << ".x++;\n";
+  for (unsigned I = 0; I != K; ++I)
+    OS << "  Region.delete(r" << I << ");\n";
+  OS << "}\n";
+  std::string Src = OS.str();
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("ablate.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+  State.counters["live_keys"] = K;
+  State.SetItemsProcessed(State.iterations() * K * 4);
+}
+BENCHMARK(BM_LiveKeysSweep)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// N guarded accesses against one held key.
+void BM_GuardDensitySweep(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  std::ostringstream OS;
+  OS << Prelude << "void f() {\n"
+     << "  tracked(R) region r = Region.create();\n"
+     << "  R:point p = new(r) point {x=0;};\n";
+  for (unsigned I = 0; I != N; ++I)
+    OS << "  p.x = p.x + " << I << ";\n";
+  OS << "  Region.delete(r);\n}\n";
+  std::string Src = OS.str();
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("ablate.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+  State.counters["accesses"] = N;
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_GuardDensitySweep)->Arg(8)->Arg(64)->Arg(512);
+
+/// A switch with N arms, each restoring the same keyed variant: joins
+/// scale with arm count.
+void BM_SwitchArmSweep(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  std::ostringstream OS;
+  OS << Prelude << "variant choice [ ";
+  for (unsigned I = 0; I != N; ++I)
+    OS << (I ? " | " : "") << "'C" << I;
+  OS << " ];\n";
+  OS << "void f(choice c) {\n"
+     << "  tracked(R) region r = Region.create();\n"
+     << "  switch (c) {\n";
+  for (unsigned I = 0; I != N; ++I)
+    OS << "    case 'C" << I << ":\n      Region.delete(r);\n";
+  OS << "  }\n}\n";
+  std::string Src = OS.str();
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("ablate.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+  State.counters["arms"] = N;
+}
+BENCHMARK(BM_SwitchArmSweep)->Arg(2)->Arg(8)->Arg(32);
+
+/// N calls instantiating a polymorphic signature (unification cost).
+void BM_CallDensitySweep(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  std::ostringstream OS;
+  OS << Prelude
+     << "void touch(tracked(K) region r) [K] { }\n"
+     << "void f() {\n"
+     << "  tracked(R) region r = Region.create();\n";
+  for (unsigned I = 0; I != N; ++I)
+    OS << "  touch(r);\n";
+  OS << "  Region.delete(r);\n}\n";
+  std::string Src = OS.str();
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("ablate.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+  State.counters["calls"] = N;
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_CallDensitySweep)->Arg(8)->Arg(64)->Arg(512);
+
+/// Tracing ablation: the cost of recording the held-key set per
+/// statement (the --trace-keys tooling mode) vs plain checking.
+void BM_TracingOverhead(benchmark::State &State) {
+  std::ostringstream OS;
+  OS << Prelude << "void f() {\n"
+     << "  tracked(R) region r = Region.create();\n"
+     << "  R:point p = new(r) point {x=0;};\n";
+  for (unsigned I = 0; I != 128; ++I)
+    OS << "  p.x = p.x + 1;\n";
+  OS << "  Region.delete(r);\n}\n";
+  std::string Src = OS.str();
+  const bool Tracing = State.range(0) != 0;
+  for (auto _ : State) {
+    VaultCompiler C;
+    if (Tracing)
+      C.enableKeyTrace();
+    C.addSource("ablate.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+    benchmark::DoNotOptimize(C.keyTrace().size());
+  }
+  State.counters["tracing"] = Tracing;
+}
+BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1);
+
+} // namespace

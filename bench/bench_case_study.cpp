@@ -1,0 +1,139 @@
+//===- bench_case_study.cpp - The paper's evaluation tables (E9, E11) -----===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Prints the reproduction of the paper's evaluation:
+//
+//   Table A (E9)  — the §4 case-study line counts: Vault driver source
+//                   vs erased C, per-module breakdown, checker timing.
+//                   Paper's datum: C 4900 lines -> Vault 5200 lines.
+//   Table B (E1-E8) — verdicts for every reproduced figure/section.
+//   Table C (E11) — seeded-defect detection: static checker vs one
+//                   dynamic test run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+#include "lower/CEmitter.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace vault;
+
+namespace {
+
+void hr() {
+  std::printf("%.*s\n", 96,
+              "------------------------------------------------------------"
+              "------------------------------------");
+}
+
+void tableA() {
+  std::printf("\nTable A (E9): the section-4 case study\n");
+  hr();
+  auto Start = std::chrono::steady_clock::now();
+  auto C = corpus::check("driver/floppy");
+  double CheckMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  std::string Src = corpus::load("driver/floppy");
+  size_t VaultLines = CEmitter::countCodeLines(Src);
+  CEmitter E(*C);
+  std::string CSrc = E.emitProgram();
+  size_t CLines = CEmitter::countCodeLines(CSrc);
+
+  std::printf("%-46s %s\n", "driver type-checks:",
+              C->diags().hasErrors() ? "NO" : "yes (0 protocol errors)");
+  std::printf("%-46s %u\n", "functions verified:",
+              C->stats().FunctionsChecked);
+  std::printf("%-46s %zu\n", "Vault source lines (floppy.vlt + kernel iface):",
+              VaultLines);
+  std::printf("%-46s %zu\n", "emitted C lines (keys/guards erased):", CLines);
+  std::printf("%-46s %.2f   (paper: 5200/4900 = 1.06)\n",
+              "Vault/C ratio:",
+              static_cast<double>(VaultLines) / static_cast<double>(CLines));
+  std::printf("%-46s %.1f ms\n", "end-to-end check time:", CheckMs);
+  std::printf("%-46s %zu\n", "keys tracked while checking:",
+              C->types().keys().size());
+}
+
+void tableB() {
+  std::printf("\nTable B (E1-E8): paper figures, expected vs observed\n");
+  hr();
+  std::printf("%-42s %-10s %-10s %-6s %s\n", "program", "expected",
+              "observed", "match", "paper artifact");
+  hr();
+  unsigned Matches = 0, Total = 0;
+  for (const auto &P : corpus::index()) {
+    if (P.Name.rfind("defects/", 0) == 0)
+      continue; // Table C.
+    auto C = corpus::check(P.Name);
+    bool Rejected = C->diags().hasErrors();
+    bool Match = Rejected != P.ExpectAccept;
+    if (Match)
+      for (DiagId Id : P.MustReport)
+        if (!C->diags().has(Id))
+          Match = false;
+    ++Total;
+    Matches += Match;
+    std::printf("%-42s %-10s %-10s %-6s %s\n", P.Name.c_str(),
+                P.ExpectAccept ? "accept" : "reject",
+                Rejected ? "reject" : "accept", Match ? "yes" : "NO",
+                P.PaperRef.c_str());
+  }
+  hr();
+  std::printf("verdict agreement with the paper: %u / %u\n", Matches, Total);
+}
+
+void tableC() {
+  std::printf("\nTable C (E11): seeded defects — static checking vs one "
+              "dynamic test run\n");
+  hr();
+  std::printf("%-42s %-10s %-12s %s\n", "defect program", "static",
+              "dynamic run", "defect class");
+  hr();
+  unsigned Defects = 0, Static = 0, Dynamic = 0;
+  for (const auto &P : corpus::index()) {
+    if (P.Name.rfind("defects/", 0) != 0 || P.ExpectAccept)
+      continue;
+    ++Defects;
+    auto C = corpus::check(P.Name);
+    bool Caught = C->diags().hasErrors();
+    Static += Caught;
+    std::string Dyn = "n/a";
+    if (P.Runnable) {
+      interp::Interp I(*C);
+      I.run("main");
+      unsigned V = I.totalViolations() +
+                   static_cast<unsigned>(I.regions().leakedRegions().size()) +
+                   static_cast<unsigned>(I.sockets().leakedSockets().size()) +
+                   static_cast<unsigned>(I.gdi().leakedDcs().size());
+      Dyn = V > 0 ? "CAUGHT" : "missed";
+      Dynamic += V > 0;
+    }
+    std::printf("%-42s %-10s %-12s %s\n", P.Name.c_str(),
+                Caught ? "CAUGHT" : "missed", Dyn.c_str(),
+                P.PaperRef.c_str());
+  }
+  hr();
+  std::printf("defects: %u   caught statically: %u (%.0f%%)   caught by one "
+              "test run: %u (%.0f%%)\n",
+              Defects, Static, 100.0 * Static / Defects, Dynamic,
+              100.0 * Dynamic / Defects);
+  std::printf("\nShape vs paper: Vault's exhaustive analysis catches every "
+              "protocol defect at compile\ntime; dynamic testing misses "
+              "cold-path bugs and silent leaks (paper sections 1, 4).\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Vault case-study reproduction — DeLine & Fähndrich, "
+              "PLDI 2001\n");
+  tableA();
+  tableB();
+  tableC();
+  return 0;
+}

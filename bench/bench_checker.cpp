@@ -1,0 +1,130 @@
+//===- bench_checker.cpp - Checker throughput (B1) ------------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Measures end-to-end front-end throughput (parse + elaborate + flow
+// check) against synthetically generated programs of increasing size,
+// plus the real corpus. Reports lines/second. The paper reports no
+// checker-performance numbers; this quantifies that the approach is
+// interactive-speed, which §5 implies by positioning Vault as a
+// compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "lower/CEmitter.h"
+#include "sema/Checker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace vault;
+
+namespace {
+
+/// Generates a well-typed program with \p NumFuncs functions, each
+/// creating, using, and deleting regions with branches and a loop.
+std::string synthesizeProgram(unsigned NumFuncs) {
+  std::ostringstream OS;
+  OS << R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+)";
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    OS << "void work" << F << "(int n, bool b) {\n"
+       << "  tracked(R) region rgn = Region.create();\n"
+       << "  R:point p = new(rgn) point {x=n; y=0;};\n"
+       << "  int i = 0;\n"
+       << "  while (i < n) {\n"
+       << "    if (b) {\n"
+       << "      p.x = p.x + i;\n"
+       << "    } else {\n"
+       << "      p.y = p.y + i;\n"
+       << "    }\n"
+       << "    i++;\n"
+       << "  }\n"
+       << "  tracked(S) region scratch = Region.create();\n"
+       << "  S:point q = new(scratch) point {x=p.x; y=p.y;};\n"
+       << "  q.x++;\n"
+       << "  Region.delete(scratch);\n"
+       << "  Region.delete(rgn);\n"
+       << "}\n";
+  }
+  return OS.str();
+}
+
+void BM_CheckSynthetic(benchmark::State &State) {
+  const unsigned NumFuncs = static_cast<unsigned>(State.range(0));
+  std::string Src = synthesizeProgram(NumFuncs);
+  size_t Lines = CEmitter::countCodeLines(Src);
+  bool Ok = true;
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("synth.vlt", Src);
+    Ok = C.check() && Ok;
+    benchmark::DoNotOptimize(C.diags().errorCount());
+  }
+  if (!Ok)
+    State.SkipWithError("synthetic program failed to check");
+  State.SetItemsProcessed(State.iterations() * Lines);
+  State.counters["lines"] = static_cast<double>(Lines);
+  State.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(State.iterations() * Lines),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckSynthetic)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ParseOnlySynthetic(benchmark::State &State) {
+  std::string Src = synthesizeProgram(static_cast<unsigned>(State.range(0)));
+  size_t Lines = CEmitter::countCodeLines(Src);
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("synth.vlt", Src);
+    benchmark::DoNotOptimize(&C.ast());
+  }
+  State.SetItemsProcessed(State.iterations() * Lines);
+}
+BENCHMARK(BM_ParseOnlySynthetic)->Arg(32)->Arg(512);
+
+void BM_CheckFloppyDriver(benchmark::State &State) {
+  std::string Src = corpus::load("driver/floppy");
+  if (Src.empty()) {
+    State.SkipWithError("corpus not found");
+    return;
+  }
+  size_t Lines = CEmitter::countCodeLines(Src);
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("floppy.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+  State.SetItemsProcessed(State.iterations() * Lines);
+  State.counters["lines"] = static_cast<double>(Lines);
+}
+BENCHMARK(BM_CheckFloppyDriver);
+
+void BM_CheckWholeCorpus(benchmark::State &State) {
+  size_t Lines = 0;
+  for (auto _ : State) {
+    Lines = 0;
+    for (const auto &P : corpus::index()) {
+      std::string Src = corpus::load(P.Name);
+      Lines += CEmitter::countCodeLines(Src);
+      VaultCompiler C;
+      C.addSource(P.Name, Src);
+      benchmark::DoNotOptimize(C.check());
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Lines);
+  State.counters["programs"] =
+      static_cast<double>(corpus::index().size());
+}
+BENCHMARK(BM_CheckWholeCorpus);
+
+} // namespace

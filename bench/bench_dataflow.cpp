@@ -1,0 +1,128 @@
+//===- bench_dataflow.cpp - CFG construction and joins (B2) ---------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Costs of the flow machinery over program structure: CFG
+// construction, flow-state joins with key canonicalization, and loop
+// fixpoint inference as the loop body grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Cfg.h"
+#include "sema/Checker.h"
+#include "sema/FlowState.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace vault;
+
+namespace {
+
+std::string branchyFunction(unsigned Branches) {
+  std::ostringstream OS;
+  OS << "void f(bool b, int n) {\n  int acc = 0;\n";
+  for (unsigned I = 0; I != Branches; ++I)
+    OS << "  if (b) { acc = acc + " << I << "; } else { acc = acc - " << I
+       << "; }\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+const FuncDecl *firstFunc(VaultCompiler &C) {
+  for (const Decl *D : C.ast().program().Decls)
+    if (const auto *F = dyn_cast<FuncDecl>(D); F && F->body())
+      return F;
+  return nullptr;
+}
+
+void BM_CfgBuild(benchmark::State &State) {
+  VaultCompiler C;
+  C.addSource("b.vlt", branchyFunction(static_cast<unsigned>(State.range(0))));
+  const FuncDecl *F = firstFunc(C);
+  size_t Nodes = 0;
+  for (auto _ : State) {
+    Cfg G = Cfg::build(F);
+    Nodes = G.numNodes();
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.counters["nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_CfgBuild)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_JoinStates(benchmark::State &State) {
+  TypeContext TC;
+  const size_t N = static_cast<size_t>(State.range(0));
+  FlowState A, B;
+  // N variables, each bound to a *different* fresh key on each side:
+  // the join must canonicalize all of them.
+  std::vector<const Type *> TypesA, TypesB;
+  for (size_t I = 0; I != N; ++I) {
+    KeySym Ka = TC.keys().create("a", KeyTable::Origin::Local, SourceLoc{});
+    KeySym Kb = TC.keys().create("b", KeyTable::Origin::Local, SourceLoc{});
+    const Type *Ta = TC.make<TrackedType>(TC.intType(), Ka);
+    const Type *Tb = TC.make<TrackedType>(TC.intType(), Kb);
+    A.Vars[reinterpret_cast<const void *>(I + 1)] = Ta;
+    B.Vars[reinterpret_cast<const void *>(I + 1)] = Tb;
+    A.Held.add(Ka, StateRef::top());
+    B.Held.add(Kb, StateRef::top());
+  }
+  for (auto _ : State) {
+    JoinResult R = joinStates(TC, A, B);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_JoinStates)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_CheckDeepBranches(benchmark::State &State) {
+  std::string Src = branchyFunction(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("b.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+}
+BENCHMARK(BM_CheckDeepBranches)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_LoopFixpoint(benchmark::State &State) {
+  // A loop whose body re-binds a tracked variable: the invariant needs
+  // canonicalization to converge.
+  std::ostringstream OS;
+  OS << R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+void f(int n) {
+  tracked region r = Region.create();
+  int i = 0;
+  while (i < n) {
+)";
+  for (int I = 0; I != State.range(0); ++I)
+    OS << "    i = i + 1;\n";
+  OS << R"(
+    Region.delete(r);
+    r = Region.create();
+    i++;
+  }
+  Region.delete(r);
+}
+)";
+  std::string Src = OS.str();
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("loop.vlt", Src);
+    bool Ok = C.check();
+    if (!Ok) {
+      State.SkipWithError("loop program failed to check");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_LoopFixpoint)->Arg(1)->Arg(16)->Arg(64);
+
+} // namespace

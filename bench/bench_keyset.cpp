@@ -1,0 +1,124 @@
+//===- bench_keyset.cpp - Held-key-set micro costs (B2) -------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Micro-costs of the checker's core data structure: add/remove/query/
+// transition/rename on held-key sets of various sizes. These bound the
+// per-program-point cost of the flow analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/KeySet.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vault;
+
+namespace {
+
+std::vector<KeySym> makeKeys(KeyTable &T, size_t N) {
+  std::vector<KeySym> Keys;
+  Keys.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Keys.push_back(T.create("k", KeyTable::Origin::Local, SourceLoc{}));
+  return Keys;
+}
+
+void BM_AddRemove(benchmark::State &State) {
+  KeyTable T;
+  auto Keys = makeKeys(T, static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    HeldKeySet S;
+    for (KeySym K : Keys)
+      S.add(K, StateRef::top());
+    for (KeySym K : Keys)
+      S.remove(K);
+    benchmark::DoNotOptimize(S.size());
+  }
+  State.SetItemsProcessed(State.iterations() * Keys.size() * 2);
+}
+BENCHMARK(BM_AddRemove)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Contains(benchmark::State &State) {
+  KeyTable T;
+  auto Keys = makeKeys(T, static_cast<size_t>(State.range(0)));
+  HeldKeySet S;
+  for (KeySym K : Keys)
+    S.add(K, StateRef::top());
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.contains(Keys[I++ % Keys.size()]));
+  }
+}
+BENCHMARK(BM_Contains)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_Transition(benchmark::State &State) {
+  KeyTable T;
+  auto Keys = makeKeys(T, 64);
+  HeldKeySet S;
+  for (KeySym K : Keys)
+    S.add(K, StateRef::name("raw"));
+  size_t I = 0;
+  StateRef Named = StateRef::name("named");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.transition(Keys[I++ % Keys.size()], Named));
+}
+BENCHMARK(BM_Transition);
+
+void BM_CopyForBranch(benchmark::State &State) {
+  // Each if/switch branch copies the flow state; this is the dominant
+  // join-point cost.
+  KeyTable T;
+  auto Keys = makeKeys(T, static_cast<size_t>(State.range(0)));
+  HeldKeySet S;
+  for (KeySym K : Keys)
+    S.add(K, StateRef::name("s"));
+  for (auto _ : State) {
+    HeldKeySet Copy = S;
+    benchmark::DoNotOptimize(Copy.size());
+  }
+}
+BENCHMARK(BM_CopyForBranch)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RenameKeys(benchmark::State &State) {
+  // Join-point canonicalization renames local keys.
+  KeyTable T;
+  auto Keys = makeKeys(T, static_cast<size_t>(State.range(0)));
+  auto Fresh = makeKeys(T, Keys.size());
+  std::map<KeySym, KeySym> Rename;
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Rename[Keys[I]] = Fresh[I];
+  HeldKeySet S;
+  for (KeySym K : Keys)
+    S.add(K, StateRef::top());
+  for (auto _ : State) {
+    HeldKeySet Copy = S;
+    Copy.renameKeys(Rename);
+    benchmark::DoNotOptimize(Copy.size());
+  }
+}
+BENCHMARK(BM_RenameKeys)->Arg(4)->Arg(64);
+
+void BM_Equality(benchmark::State &State) {
+  KeyTable T;
+  auto Keys = makeKeys(T, static_cast<size_t>(State.range(0)));
+  HeldKeySet A, B;
+  for (KeySym K : Keys) {
+    A.add(K, StateRef::name("s"));
+    B.add(K, StateRef::name("s"));
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A == B);
+}
+BENCHMARK(BM_Equality)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_StateSatisfiesLattice(benchmark::State &State) {
+  Stateset L("IRQ", {{"PASSIVE"}, {"APC"}, {"DISPATCH"}, {"DIRQL"}});
+  StateRef Held = StateRef::name("APC");
+  StateRef Bound = StateRef::var(0, "DISPATCH");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(stateSatisfies(Held, Bound, &L));
+}
+BENCHMARK(BM_StateSatisfiesLattice);
+
+} // namespace

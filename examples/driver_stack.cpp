@@ -1,0 +1,117 @@
+//===- driver_stack.cpp - The §4 case study end to end --------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// 1. Type-checks the Vault floppy driver (corpus/driver/floppy.vlt)
+//    against the Vault kernel interface — the paper's case study.
+// 2. Runs its executable twin on the kernel simulator: starts the
+//    device via PnP (the Figure 7 regain-ownership idiom), performs
+//    I/O through a four-driver stack, queries geometry, and removes
+//    the device — with the ownership oracle verifying every protocol.
+// 3. Shows what happens when a buggy filter driver (which Vault would
+//    reject) is inserted instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/FloppyDriver.h"
+#include "driver/PassThroughDriver.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace vault;
+using namespace vault::kern;
+using namespace vault::drv;
+
+static NtStatus sendPnp(Kernel &K, DeviceObject *Top, PnpMinor Minor) {
+  Irp *I = K.allocateIrp(IrpMajor::Pnp, Top);
+  I->currentLocation(nullptr).Minor = Minor;
+  return K.sendRequest(Top, I);
+}
+
+int main() {
+  // ---- 1. Verify the driver source. -------------------------------------
+  std::printf("==== checking corpus/driver/floppy.vlt ====\n");
+  auto C = corpus::check("driver/floppy");
+  std::printf("static verdict: %s (%u error(s), %u function(s) checked)\n",
+              C->diags().hasErrors() ? "rejected" : "protocol-safe",
+              C->diags().errorCount(), C->stats().FunctionsChecked);
+  if (C->diags().hasErrors())
+    std::fputs(C->diags().render().c_str(), stdout);
+
+  // ---- 2. Run the compiled twin under the kernel simulator. --------------
+  std::printf("\n==== running the driver on the kernel simulator ====\n");
+  Kernel K;
+  DeviceObject *Floppy = nullptr;
+  DeviceObject *Top = buildFloppyStack(K, &Floppy);
+  std::printf("driver stack:");
+  for (DeviceObject *D = Top; D; D = D->lower())
+    std::printf(" %s%s", D->name().c_str(), D->lower() ? " ->" : "");
+  std::printf("\n");
+
+  NtStatus St = sendPnp(K, Top, PnpMinor::StartDevice);
+  std::printf("PnP StartDevice: %s\n", ntStatusName(St));
+
+  // Write a block, read it back.
+  const char Msg[] = "Vault was here";
+  Irp *W = K.allocateIrp(IrpMajor::Write, Top, 512);
+  std::memcpy(W->buffer(nullptr).data(), Msg, sizeof(Msg));
+  W->currentLocation(nullptr).Offset = 512 * 33;
+  W->currentLocation(nullptr).Length = 512;
+  std::printf("Write sector 33: %s\n", ntStatusName(K.sendRequest(Top, W)));
+
+  Irp *R = K.allocateIrp(IrpMajor::Read, Top, 512);
+  R->currentLocation(nullptr).Offset = 512 * 33;
+  R->currentLocation(nullptr).Length = 512;
+  St = K.sendRequest(Top, R);
+  std::printf("Read  sector 33: %s, payload '%s'\n", ntStatusName(St),
+              reinterpret_cast<const char *>(R->buffer(nullptr).data()));
+
+  Irp *G = K.allocateIrp(IrpMajor::DeviceControl, Top,
+                         sizeof(FloppyGeometry));
+  G->currentLocation(nullptr).ControlCode =
+      static_cast<uint32_t>(FloppyIoctl::GetGeometry);
+  St = K.sendRequest(Top, G);
+  FloppyGeometry Geo{};
+  std::memcpy(&Geo, G->buffer(nullptr).data(), sizeof(Geo));
+  std::printf("GetGeometry: %s (%u cyl x %u heads x %u spt x %u B)\n",
+              ntStatusName(St), Geo.Cylinders, Geo.Heads, Geo.SectorsPerTrack,
+              Geo.SectorSize);
+
+  St = sendPnp(K, Top, PnpMinor::RemoveDevice);
+  std::printf("PnP RemoveDevice: %s\n", ntStatusName(St));
+
+  K.reportIrpLeaks();
+  std::printf("kernel stats: %llu dispatches, %llu completions, "
+              "%llu completion routines, %llu work items\n",
+              static_cast<unsigned long long>(K.stats().Dispatches),
+              static_cast<unsigned long long>(K.stats().IrpsCompleted),
+              static_cast<unsigned long long>(K.stats().CompletionRoutinesRun),
+              static_cast<unsigned long long>(K.stats().WorkItemsRun));
+  std::printf("ownership oracle: %u violation(s)\n%s", K.oracle().total(),
+              K.oracle().report().c_str());
+
+  // ---- 3. A buggy driver (statically rejectable) misbehaves at run time. --
+  std::printf("\n==== inserting a buggy filter (forgets IRPs) ====\n");
+  Kernel K2;
+  DeviceObject *Floppy2 = nullptr;
+  DeviceObject *Top2 = buildFloppyStack(K2, &Floppy2);
+  DeviceObject *Bug = K2.createDevice("buggy-filter");
+  makeBuggyDriver(K2, Bug, DriverBug::ForgetIrp, /*TriggerEvery=*/2);
+  K2.attach(Bug, Top2);
+  sendPnp(K2, Bug, PnpMinor::StartDevice);
+  for (int N = 0; N != 4; ++N) {
+    Irp *I = K2.allocateIrp(IrpMajor::Read, Bug, 512);
+    I->currentLocation(nullptr).Offset = 512 * N;
+    I->currentLocation(nullptr).Length = 512;
+    std::printf("read %d: %s\n", N, ntStatusName(K2.sendRequest(Bug, I)));
+  }
+  K2.reportIrpLeaks();
+  std::printf("oracle after buggy runs: %u violation(s), including %u "
+              "forgotten IRP(s)\n",
+              K2.oracle().total(), K2.oracle().count(Violation::IrpLeak));
+  std::printf("Vault rejects this bug at compile time (see "
+              "corpus/figures/irp_service_leak.vlt).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- gdi_paint.cpp - The §6 graphics domain end to end ------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// The paper's conclusion names "graphic interfaces" as the next domain
+// to validate Vault on. This example does exactly that: it checks
+// GDI-style paint-session programs against the Vault interface in
+// corpus/include/gdi.vlt, runs them on the graphics substrate, and
+// shows the display list the verified program produced — and the
+// violations the buggy ones would have caused in production.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+
+#include <cstdio>
+
+using namespace vault;
+
+static void runOne(const char *Name) {
+  std::printf("\n==== %s ====\n", Name);
+  auto C = corpus::check(Name);
+  bool Ok = !C->diags().hasErrors();
+  std::printf("static verdict: %s (%u error(s))\n",
+              Ok ? "protocol-safe" : "rejected", C->diags().errorCount());
+  if (!Ok)
+    std::fputs(C->diags().render().c_str(), stdout);
+
+  interp::Interp I(*C);
+  I.run("main");
+  std::printf("display list: %zu draw command(s)\n",
+              I.gdi().displayList().size());
+  for (const auto &Cmd : I.gdi().displayList())
+    std::printf("  line (%d,%d)-(%d,%d) pen#%llu\n", Cmd.X0, Cmd.Y0, Cmd.X1,
+                Cmd.Y1, static_cast<unsigned long long>(Cmd.Pen));
+  std::printf("dynamic oracle: %u violation(s), %zu leaked DC(s), %zu live "
+              "pen(s)\n",
+              I.gdi().violationCount(), I.gdi().leakedDcs().size(),
+              I.gdi().livePenCount());
+  for (const std::string &V : I.gdi().violationLog())
+    std::printf("  substrate: %s\n", V.c_str());
+}
+
+int main() {
+  runOne("gdi/paint_ok");
+  runOne("gdi/unrestored_pen");
+  runOne("gdi/conditional_restore");
+  runOne("gdi/conditional_restore_fixed");
+  std::printf("\nThe select/restore bracket and the paint session are "
+              "protocols like any other:\nkeys make them compile-time "
+              "obligations (paper §6).\n");
+  return 0;
+}

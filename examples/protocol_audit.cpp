@@ -1,0 +1,69 @@
+//===- protocol_audit.cpp - Static vs dynamic detection over the corpus ---===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Audits the whole program corpus: checks every program statically,
+// runs every runnable one under the interpreter's dynamic oracle, and
+// prints the comparison table that backs the paper's motivation —
+// exhaustive static checking catches every seeded protocol defect,
+// while a test run only catches the ones its inputs happen to trigger.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+
+#include <cstdio>
+
+using namespace vault;
+
+int main() {
+  std::printf("%-42s %-10s %-9s %-9s %s\n", "program", "expected", "static",
+              "dynamic", "paper");
+  std::printf("%.*s\n", 100,
+              "--------------------------------------------------------------"
+              "--------------------------------------");
+
+  unsigned Defects = 0, StaticCaught = 0, DynCaught = 0;
+  for (const auto &P : corpus::index()) {
+    auto C = corpus::check(P.Name);
+    bool Rejected = C->diags().hasErrors();
+
+    std::string Dyn = "n/a";
+    bool DynHit = false;
+    if (P.Runnable) {
+      interp::Interp I(*C);
+      I.run("main");
+      unsigned V = I.totalViolations() +
+                   static_cast<unsigned>(I.regions().leakedRegions().size()) +
+                   static_cast<unsigned>(I.sockets().leakedSockets().size()) +
+                   static_cast<unsigned>(I.gdi().leakedDcs().size());
+      DynHit = V > 0;
+      Dyn = DynHit ? "CAUGHT" : "missed";
+    }
+    if (!P.ExpectAccept) {
+      ++Defects;
+      if (Rejected)
+        ++StaticCaught;
+      if (P.Runnable && DynHit)
+        ++DynCaught;
+    }
+    std::printf("%-42s %-10s %-9s %-9s %s\n", P.Name.c_str(),
+                P.ExpectAccept ? "accept" : "reject",
+                Rejected ? "REJECTED" : "ok",
+                P.ExpectAccept ? (P.Runnable ? (DynHit ? "DIRTY" : "clean")
+                                             : "n/a")
+                               : Dyn.c_str(),
+                P.PaperRef.c_str());
+  }
+
+  std::printf("\nseeded defects: %u\n", Defects);
+  std::printf("caught by Vault's static checker: %u (%.0f%%)\n", StaticCaught,
+              100.0 * StaticCaught / Defects);
+  std::printf("caught by one dynamic test run:   %u (%.0f%%)\n", DynCaught,
+              100.0 * DynCaught / Defects);
+  std::printf("\nThe gap is the paper's thesis: protocol bugs hide on cold "
+              "paths and in\nunobservable leaks, where \"testing has not "
+              "proven to be a good way to\nachieve high reliability\" (§1).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- quickstart.cpp - Five-minute tour of the Vault library -------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Demonstrates the core API:
+//   1. check a Vault program (the paper's Figure 2 region examples),
+//   2. read the protocol diagnostics,
+//   3. run an accepted program under the interpreter,
+//   4. lower it to C with every key and guard erased.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lower/CEmitter.h"
+#include "sema/Checker.h"
+
+#include <cstdio>
+
+using namespace vault;
+
+static const char *Prelude = R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+void print_int(int n);
+)";
+
+static void banner(const char *Title) {
+  std::printf("\n==== %s ====\n", Title);
+}
+
+int main() {
+  // ---- 1. A correct program is accepted. -------------------------------
+  banner("okay: correct region usage (accepted)");
+  {
+    VaultCompiler C;
+    C.addSource("okay.vlt", std::string(Prelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  print_int(pt.x);
+  Region.delete(rgn);
+}
+)");
+    bool Ok = C.check();
+    std::printf("verdict: %s\n", Ok ? "protocol-safe" : "rejected");
+
+    // Run it: the dynamic oracle stays clean.
+    interp::Interp I(C);
+    I.run("main");
+    for (const std::string &L : I.output())
+      std::printf("output: %s\n", L.c_str());
+    std::printf("dynamic violations: %u\n", I.totalViolations());
+
+    // Lower to C: keys and guards leave no trace.
+    CEmitter E(C);
+    std::string CSrc = E.emitProgram();
+    std::printf("emitted %zu lines of C (no run-time key artifacts)\n",
+                CEmitter::countCodeLines(CSrc));
+  }
+
+  // ---- 2. A dangling access is rejected at compile time. ----------------
+  banner("dangling: access after delete (rejected)");
+  {
+    VaultCompiler C;
+    C.addSource("dangling.vlt", std::string(Prelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  Region.delete(rgn);
+  pt.x++; // error: key R no longer held
+}
+)");
+    bool Ok = C.check();
+    std::printf("verdict: %s\n", Ok ? "protocol-safe" : "rejected");
+    std::fputs(C.diags().render().c_str(), stdout);
+  }
+
+  // ---- 3. A leak is rejected at compile time. ---------------------------
+  banner("leaky: region never deleted (rejected)");
+  {
+    VaultCompiler C;
+    C.addSource("leaky.vlt", std::string(Prelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+}
+)");
+    bool Ok = C.check();
+    std::printf("verdict: %s\n", Ok ? "protocol-safe" : "rejected");
+    std::fputs(C.diags().render().c_str(), stdout);
+  }
+  return 0;
+}

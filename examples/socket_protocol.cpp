@@ -1,0 +1,51 @@
+//===- socket_protocol.cpp - The §2.3 socket protocol end to end ----------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Checks the paper's socket programs (Figure 3) and runs them against
+// the in-memory socket substrate, contrasting:
+//   * the correct server (accepted, runs clean),
+//   * a server that skips bind (rejected; dynamically violates),
+//   * the unchecked fallible bind (rejected before it can misbehave).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+
+#include <cstdio>
+
+using namespace vault;
+
+static void runOne(const char *Name) {
+  std::printf("\n==== %s ====\n", Name);
+  auto C = corpus::check(Name);
+  bool Ok = !C->diags().hasErrors();
+  std::printf("static verdict: %s (%u error(s))\n",
+              Ok ? "protocol-safe" : "rejected", C->diags().errorCount());
+  if (!Ok)
+    std::fputs(C->diags().render().c_str(), stdout);
+
+  interp::Interp I(*C);
+  I.run("main");
+  for (const std::string &L : I.output())
+    std::printf("output: %s\n", L.c_str());
+  unsigned Dyn = I.totalViolations() +
+                 static_cast<unsigned>(I.sockets().leakedSockets().size());
+  std::printf("dynamic oracle: %u violation(s), %zu leaked socket(s)\n",
+              I.totalViolations(), I.sockets().leakedSockets().size());
+  for (const std::string &V : I.sockets().violationLog())
+    std::printf("  substrate: %s\n", V.c_str());
+  (void)Dyn;
+}
+
+int main() {
+  runOne("figures/fig3_server_ok");
+  runOne("figures/fig3_missing_bind");
+  runOne("figures/fig3_unchecked_bind");
+  runOne("figures/fig3_checked_bind");
+  std::printf("\nThe protocol automaton raw->named->listening->ready is "
+              "enforced at compile time;\nthe substrate's run-time checks "
+              "never fire for accepted programs.\n");
+  return 0;
+}

@@ -1,0 +1,901 @@
+//===- Ast.h - Vault abstract syntax ----------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for Vault's surface language: C-like declarations,
+/// statements and expressions extended with the paper's constructs —
+/// tracked types, guarded types (`K@s : T`), effect clauses, statesets,
+/// keyed variants with tick constructors, and `new(region)` allocation.
+///
+/// Nodes are arena-owned by an AstContext and use LLVM-style kind tags
+/// with `classof` for dyn_cast-style dispatch (no RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_AST_AST_H
+#define VAULT_AST_AST_H
+
+#include "support/SourceManager.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vault {
+
+class AstContext;
+class Decl;
+class Stmt;
+class Expr;
+class TypeExprAst;
+class FuncDecl;
+
+//===----------------------------------------------------------------------===//
+// Casting utilities (LLVM-style isa/cast/dyn_cast over kind tags).
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *Node) {
+  assert(Node && "isa<> on null node");
+  return To::classof(Node);
+}
+
+template <typename To, typename From> To *cast(From *Node) {
+  assert(isa<To>(Node) && "cast<> to incompatible kind");
+  return static_cast<To *>(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast<> to incompatible kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Node) {
+  return Node && To::classof(Node) ? static_cast<To *>(Node) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return Node && To::classof(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Auxiliary syntax shared by several node categories.
+//===----------------------------------------------------------------------===//
+
+/// A state expression in guard/effect position: either a plain name
+/// (concrete state or state variable) or a bounded variable
+/// `(var <= Bound)` / `(var < Bound)` as used for IRQL polymorphism.
+struct StateExprAst {
+  enum class Kind { Name, BoundedVar };
+  Kind K = Kind::Name;
+  std::string Name;       ///< State name, or variable name for BoundedVar.
+  std::string Bound;      ///< Upper bound state for BoundedVar.
+  bool Strict = false;    ///< True for `<`, false for `<=`.
+  SourceLoc Loc;
+};
+
+/// A key with an optional state annotation: `K`, `K@open`,
+/// `IRQL@(level <= DISPATCH_LEVEL)`.
+struct KeyStateRef {
+  std::string KeyName;
+  std::optional<StateExprAst> State;
+  SourceLoc Loc;
+};
+
+/// One conjunct of an effect clause.
+///
+///   [K]            Keep, no states        (held before and after)
+///   [K@a]          Keep, pre=a            (shorthand for a->a)
+///   [K@a->b]       Keep, pre=a, post=b
+///   [-K@a]         Consume, pre=a
+///   [+K@b]         Produce, post=b
+///   [new K@b]      Fresh, post=b          (fresh key returned to caller)
+struct EffectItemAst {
+  enum class Mode { Keep, Consume, Produce, Fresh };
+  Mode M = Mode::Keep;
+  std::string KeyName;
+  std::optional<StateExprAst> Pre;
+  std::optional<std::string> Post;
+  SourceLoc Loc;
+};
+
+/// A function's effect clause: the bracketed list after the parameter
+/// list. Absent clause means "no keys added, no keys removed".
+struct EffectClauseAst {
+  std::vector<EffectItemAst> Items;
+  SourceLoc Loc;
+  bool Present = false;
+};
+
+/// A formal type-level parameter: `type T`, `key K`, or `state S`.
+struct TypeParamAst {
+  enum class Kind { Type, Key, State };
+  Kind K = Kind::Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Type expressions.
+//===----------------------------------------------------------------------===//
+
+enum class TypeExprKind : uint8_t {
+  Prim,
+  Named,
+  Tracked,
+  Guarded,
+  Tuple,
+  Array,
+  Func,
+};
+
+class TypeExprAst {
+public:
+  TypeExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  TypeExprAst(TypeExprKind K, SourceLoc L) : Kind(K), Loc(L) {}
+
+private:
+  TypeExprKind Kind;
+  SourceLoc Loc;
+};
+
+enum class PrimKind : uint8_t { Int, Bool, Byte, Void, String };
+
+class PrimTypeExpr : public TypeExprAst {
+public:
+  PrimTypeExpr(PrimKind P, SourceLoc L) : TypeExprAst(TypeExprKind::Prim, L), Prim(P) {}
+  PrimKind prim() const { return Prim; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Prim;
+  }
+
+private:
+  PrimKind Prim;
+};
+
+/// `NAME` or `NAME<arg, ...>`. Each argument is parsed as a type
+/// expression; whether it denotes a type, key, or state is resolved
+/// against the referenced declaration's parameter kinds during sema.
+class NamedTypeExpr : public TypeExprAst {
+public:
+  NamedTypeExpr(std::string Name, std::vector<TypeExprAst *> Args, SourceLoc L)
+      : TypeExprAst(TypeExprKind::Named, L), Name(std::move(Name)),
+        Args(std::move(Args)) {}
+  const std::string &name() const { return Name; }
+  const std::vector<TypeExprAst *> &args() const { return Args; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Named;
+  }
+
+private:
+  std::string Name;
+  std::vector<TypeExprAst *> Args;
+};
+
+/// `tracked(K) T` (named key) or `tracked T` (anonymous). Also used
+/// for key allocation annotations like `tracked(@raw) sock` in which
+/// only the initial state is given: there KeyName is empty and
+/// InitialState is set.
+class TrackedTypeExpr : public TypeExprAst {
+public:
+  TrackedTypeExpr(std::optional<std::string> KeyName,
+                  std::optional<StateExprAst> InitialState, TypeExprAst *Inner,
+                  SourceLoc L)
+      : TypeExprAst(TypeExprKind::Tracked, L), KeyName(std::move(KeyName)),
+        InitialState(std::move(InitialState)), Inner(Inner) {}
+  const std::optional<std::string> &keyName() const { return KeyName; }
+  const std::optional<StateExprAst> &initialState() const {
+    return InitialState;
+  }
+  TypeExprAst *inner() const { return Inner; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Tracked;
+  }
+
+private:
+  std::optional<std::string> KeyName;
+  std::optional<StateExprAst> InitialState;
+  TypeExprAst *Inner;
+};
+
+/// `K:T`, `K@s:T` — the guarded types of the paper (§2.1).
+class GuardedTypeExpr : public TypeExprAst {
+public:
+  GuardedTypeExpr(std::vector<KeyStateRef> Guards, TypeExprAst *Inner,
+                  SourceLoc L)
+      : TypeExprAst(TypeExprKind::Guarded, L), Guards(std::move(Guards)),
+        Inner(Inner) {}
+  const std::vector<KeyStateRef> &guards() const { return Guards; }
+  TypeExprAst *inner() const { return Inner; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Guarded;
+  }
+
+private:
+  std::vector<KeyStateRef> Guards;
+  TypeExprAst *Inner;
+};
+
+class TupleTypeExpr : public TypeExprAst {
+public:
+  TupleTypeExpr(std::vector<TypeExprAst *> Elems, SourceLoc L)
+      : TypeExprAst(TypeExprKind::Tuple, L), Elems(std::move(Elems)) {}
+  const std::vector<TypeExprAst *> &elems() const { return Elems; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Tuple;
+  }
+
+private:
+  std::vector<TypeExprAst *> Elems;
+};
+
+class ArrayTypeExpr : public TypeExprAst {
+public:
+  ArrayTypeExpr(TypeExprAst *Elem, SourceLoc L)
+      : TypeExprAst(TypeExprKind::Array, L), Elem(Elem) {}
+  TypeExprAst *elem() const { return Elem; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Array;
+  }
+
+private:
+  TypeExprAst *Elem;
+};
+
+/// A function type written in a type alias, e.g. the paper's
+/// COMPLETION_ROUTINE: `tracked R Routine(DEVICE_OBJECT, tracked(K) IRP)
+/// [-K]`. The routine name is documentation only.
+class FuncTypeExpr : public TypeExprAst {
+public:
+  struct Param {
+    TypeExprAst *Type;
+    std::string Name; ///< May be empty.
+  };
+  FuncTypeExpr(TypeExprAst *Ret, std::vector<Param> Params,
+               EffectClauseAst Effect, SourceLoc L)
+      : TypeExprAst(TypeExprKind::Func, L), Ret(Ret), Params(std::move(Params)),
+        Effect(std::move(Effect)) {}
+  TypeExprAst *ret() const { return Ret; }
+  const std::vector<Param> &params() const { return Params; }
+  const EffectClauseAst &effect() const { return Effect; }
+  static bool classof(const TypeExprAst *T) {
+    return T->kind() == TypeExprKind::Func;
+  }
+
+private:
+  TypeExprAst *Ret;
+  std::vector<Param> Params;
+  EffectClauseAst Effect;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLiteral,
+  BoolLiteral,
+  StringLiteral,
+  Name,
+  Call,
+  Ctor,
+  New,
+  Field,
+  Index,
+  Unary,
+  Binary,
+  Assign,
+  IncDec,
+  Tuple,
+};
+
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Expr(ExprKind K, SourceLoc L) : Kind(K), Loc(L) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t V, SourceLoc L) : Expr(ExprKind::IntLiteral, L), V(V) {}
+  int64_t value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLiteral; }
+
+private:
+  int64_t V;
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  BoolLiteralExpr(bool V, SourceLoc L) : Expr(ExprKind::BoolLiteral, L), V(V) {}
+  bool value() const { return V; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::BoolLiteral;
+  }
+
+private:
+  bool V;
+};
+
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(std::string V, SourceLoc L)
+      : Expr(ExprKind::StringLiteral, L), V(std::move(V)) {}
+  const std::string &value() const { return V; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::StringLiteral;
+  }
+
+private:
+  std::string V;
+};
+
+/// A possibly module-qualified name: `pt` or `Region.create`.
+class NameExpr : public Expr {
+public:
+  NameExpr(std::string Qualifier, std::string Name, SourceLoc L)
+      : Expr(ExprKind::Name, L), Qualifier(std::move(Qualifier)),
+        Name(std::move(Name)) {}
+  const std::string &qualifier() const { return Qualifier; } ///< "" if none.
+  const std::string &name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Name; }
+
+private:
+  std::string Qualifier;
+  std::string Name;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(Expr *Callee, std::vector<Expr *> Args, SourceLoc L)
+      : Expr(ExprKind::Call, L), Callee(Callee), Args(std::move(Args)) {}
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+/// Variant construction: `'NoKey`, `'SomeKey{F}`, `'Error(code)`,
+/// `'Cons(rgn, 'Nil)`.
+class CtorExpr : public Expr {
+public:
+  CtorExpr(std::string Name, std::vector<KeyStateRef> KeyArgs,
+           std::vector<Expr *> Args, SourceLoc L)
+      : Expr(ExprKind::Ctor, L), Name(std::move(Name)),
+        KeyArgs(std::move(KeyArgs)), Args(std::move(Args)) {}
+  const std::string &name() const { return Name; }
+  const std::vector<KeyStateRef> &keyArgs() const { return KeyArgs; }
+  const std::vector<Expr *> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Ctor; }
+
+private:
+  std::string Name;
+  std::vector<KeyStateRef> KeyArgs;
+  std::vector<Expr *> Args;
+};
+
+/// `new tracked T {f=e; ...}` (tracked heap allocation, grants a fresh
+/// key) or `new(rgn) T {f=e; ...}` (region allocation, result guarded
+/// by the region's key — paper §2.2).
+class NewExpr : public Expr {
+public:
+  struct FieldInit {
+    std::string Field;
+    Expr *Init;
+    SourceLoc Loc;
+  };
+  NewExpr(bool Tracked, Expr *Region, TypeExprAst *Type,
+          std::vector<FieldInit> Inits, SourceLoc L)
+      : Expr(ExprKind::New, L), Tracked(Tracked), Region(Region), Type(Type),
+        Inits(std::move(Inits)) {}
+  bool isTracked() const { return Tracked; }
+  Expr *region() const { return Region; } ///< Null unless `new(rgn)`.
+  TypeExprAst *typeExpr() const { return Type; }
+  const std::vector<FieldInit> &inits() const { return Inits; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::New; }
+
+private:
+  bool Tracked;
+  Expr *Region;
+  TypeExprAst *Type;
+  std::vector<FieldInit> Inits;
+};
+
+class FieldExpr : public Expr {
+public:
+  FieldExpr(Expr *Base, std::string Field, SourceLoc L)
+      : Expr(ExprKind::Field, L), Base(Base), Field(std::move(Field)) {}
+  Expr *base() const { return Base; }
+  const std::string &field() const { return Field; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Field; }
+
+private:
+  Expr *Base;
+  std::string Field;
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(Expr *Base, Expr *Index, SourceLoc L)
+      : Expr(ExprKind::Index, L), Base(Base), Index(Index) {}
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Index; }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+enum class UnaryOp : uint8_t { Not, Neg };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, Expr *Operand, SourceLoc L)
+      : Expr(ExprKind::Unary, L), Op(Op), Operand(Operand) {}
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, Expr *Lhs, Expr *Rhs, SourceLoc L)
+      : Expr(ExprKind::Binary, L), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+class AssignExpr : public Expr {
+public:
+  AssignExpr(Expr *Lhs, Expr *Rhs, SourceLoc L)
+      : Expr(ExprKind::Assign, L), Lhs(Lhs), Rhs(Rhs) {}
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Assign; }
+
+private:
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+/// Postfix `++` / `--` on an lvalue (e.g. `pt.x++`).
+class IncDecExpr : public Expr {
+public:
+  IncDecExpr(Expr *Base, bool Inc, SourceLoc L)
+      : Expr(ExprKind::IncDec, L), Base(Base), Inc(Inc) {}
+  Expr *base() const { return Base; }
+  bool isIncrement() const { return Inc; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IncDec; }
+
+private:
+  Expr *Base;
+  bool Inc;
+};
+
+class TupleExpr : public Expr {
+public:
+  TupleExpr(std::vector<Expr *> Elems, SourceLoc L)
+      : Expr(ExprKind::Tuple, L), Elems(std::move(Elems)) {}
+  const std::vector<Expr *> &elems() const { return Elems; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Tuple; }
+
+private:
+  std::vector<Expr *> Elems;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements.
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,
+  Expr,
+  If,
+  While,
+  Return,
+  Switch,
+  Free,
+};
+
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind K, SourceLoc L) : Kind(K), Loc(L) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<Stmt *> Stmts, SourceLoc L)
+      : Stmt(StmtKind::Block, L), Stmts(std::move(Stmts)) {}
+  const std::vector<Stmt *> &stmts() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+
+private:
+  std::vector<Stmt *> Stmts;
+};
+
+/// A local declaration: variable or nested function.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(Decl *D, SourceLoc L) : Stmt(StmtKind::Decl, L), D(D) {}
+  Decl *decl() const { return D; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+
+private:
+  Decl *D;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, SourceLoc L) : Stmt(StmtKind::Expr, L), E(E) {}
+  Expr *expr() const { return E; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Expr; }
+
+private:
+  Expr *E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLoc L)
+      : Stmt(StmtKind::If, L), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; } ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLoc L)
+      : Stmt(StmtKind::While, L), Cond(Cond), Body(Body) {}
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Expr *Value, SourceLoc L) : Stmt(StmtKind::Return, L), Value(Value) {}
+  Expr *value() const { return Value; } ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  Expr *Value;
+};
+
+/// A pattern in a switch case: `'Name`, `'Name(x, _, y)`, or default.
+struct PatternAst {
+  bool IsDefault = false;
+  std::string CtorName;
+  /// Binder names; empty string means wildcard `_`.
+  std::vector<std::string> Binders;
+  bool HasParens = false;
+  SourceLoc Loc;
+};
+
+class SwitchStmt : public Stmt {
+public:
+  struct Case {
+    PatternAst Pattern;
+    std::vector<Stmt *> Body;
+    SourceLoc Loc;
+  };
+  SwitchStmt(Expr *Subject, std::vector<Case> Cases, SourceLoc L)
+      : Stmt(StmtKind::Switch, L), Subject(Subject), Cases(std::move(Cases)) {}
+  Expr *subject() const { return Subject; }
+  const std::vector<Case> &cases() const { return Cases; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Switch; }
+
+private:
+  Expr *Subject;
+  std::vector<Case> Cases;
+};
+
+/// `free(e);` — the primitive key-revoking operation (§2.1).
+class FreeStmt : public Stmt {
+public:
+  FreeStmt(Expr *Operand, SourceLoc L) : Stmt(StmtKind::Free, L), Operand(Operand) {}
+  Expr *operand() const { return Operand; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Free; }
+
+private:
+  Expr *Operand;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations.
+//===----------------------------------------------------------------------===//
+
+enum class DeclKind : uint8_t {
+  Stateset,
+  Key,
+  TypeAlias,
+  Struct,
+  Variant,
+  Func,
+  Var,
+  Interface,
+  Module,
+};
+
+class Decl {
+public:
+  DeclKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+
+protected:
+  Decl(DeclKind K, std::string Name, SourceLoc L)
+      : Kind(K), Loc(L), Name(std::move(Name)) {}
+
+private:
+  DeclKind Kind;
+  SourceLoc Loc;
+  std::string Name;
+};
+
+/// `stateset IRQ_LEVEL = [ PASSIVE < APC < DISPATCH < DIRQL ];`
+///
+/// States separated by `<` form an ascending chain; states separated by
+/// `,` within the same bracket position share a rank (incomparable).
+class StatesetDecl : public Decl {
+public:
+  /// States grouped by rank, ascending.
+  using RankGroup = std::vector<std::string>;
+  StatesetDecl(std::string Name, std::vector<RankGroup> Ranks, SourceLoc L)
+      : Decl(DeclKind::Stateset, std::move(Name), L), Ranks(std::move(Ranks)) {}
+  const std::vector<RankGroup> &ranks() const { return Ranks; }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Stateset; }
+
+private:
+  std::vector<RankGroup> Ranks;
+};
+
+/// `key IRQL @ IRQ_LEVEL;` — a statically declared global key (§4.4).
+class KeyDecl : public Decl {
+public:
+  KeyDecl(std::string Name, std::string StatesetName, SourceLoc L)
+      : Decl(DeclKind::Key, std::move(Name), L),
+        StatesetName(std::move(StatesetName)) {}
+  const std::string &statesetName() const { return StatesetName; } ///< "" if none.
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Key; }
+
+private:
+  std::string StatesetName;
+};
+
+/// `type name<params> = T;` or the abstract `type name;` / `type
+/// name<params>;` forms used in interfaces.
+class TypeAliasDecl : public Decl {
+public:
+  TypeAliasDecl(std::string Name, std::vector<TypeParamAst> Params,
+                TypeExprAst *Underlying, SourceLoc L)
+      : Decl(DeclKind::TypeAlias, std::move(Name), L), Params(std::move(Params)),
+        Underlying(Underlying) {}
+  const std::vector<TypeParamAst> &params() const { return Params; }
+  TypeExprAst *underlying() const { return Underlying; } ///< Null if abstract.
+  bool isAbstract() const { return Underlying == nullptr; }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::TypeAlias; }
+
+private:
+  std::vector<TypeParamAst> Params;
+  TypeExprAst *Underlying;
+};
+
+/// `struct point { int x; int y; }`
+class StructDecl : public Decl {
+public:
+  struct Field {
+    TypeExprAst *Type;
+    std::string Name;
+    SourceLoc Loc;
+  };
+  StructDecl(std::string Name, std::vector<TypeParamAst> Params,
+             std::vector<Field> Fields, SourceLoc L)
+      : Decl(DeclKind::Struct, std::move(Name), L), Params(std::move(Params)),
+        Fields(std::move(Fields)) {}
+  const std::vector<TypeParamAst> &params() const { return Params; }
+  const std::vector<Field> &fields() const { return Fields; }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Struct; }
+
+private:
+  std::vector<TypeParamAst> Params;
+  std::vector<Field> Fields;
+};
+
+/// `variant opt_key<key K> [ 'NoKey | 'SomeKey{K} ];`
+class VariantDecl : public Decl {
+public:
+  struct Ctor {
+    std::string Name;
+    std::vector<TypeExprAst *> Payload;
+    /// Keys attached to this constructor, with the state they carry
+    /// (paper §2.3: `'Ok{K@named} | 'Error(error_code){K@raw}`).
+    std::vector<KeyStateRef> KeyAttachments;
+    SourceLoc Loc;
+  };
+  VariantDecl(std::string Name, std::vector<TypeParamAst> Params,
+              std::vector<Ctor> Ctors, SourceLoc L)
+      : Decl(DeclKind::Variant, std::move(Name), L), Params(std::move(Params)),
+        Ctors(std::move(Ctors)) {}
+  const std::vector<TypeParamAst> &params() const { return Params; }
+  const std::vector<Ctor> &ctors() const { return Ctors; }
+  const Ctor *findCtor(const std::string &Name) const {
+    for (const Ctor &C : Ctors)
+      if (C.Name == Name)
+        return &C;
+    return nullptr;
+  }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Variant; }
+
+private:
+  std::vector<TypeParamAst> Params;
+  std::vector<Ctor> Ctors;
+};
+
+class FuncDecl : public Decl {
+public:
+  struct Param {
+    TypeExprAst *Type;
+    std::string Name; ///< May be empty in prototypes.
+    SourceLoc Loc;
+  };
+  FuncDecl(TypeExprAst *RetType, std::string Name, std::vector<Param> Params,
+           EffectClauseAst Effect, BlockStmt *Body, SourceLoc L)
+      : Decl(DeclKind::Func, std::move(Name), L), RetType(RetType),
+        Params(std::move(Params)), Effect(std::move(Effect)), Body(Body) {}
+  TypeExprAst *retType() const { return RetType; }
+  const std::vector<Param> &params() const { return Params; }
+  const EffectClauseAst &effect() const { return Effect; }
+  BlockStmt *body() const { return Body; } ///< Null for prototypes.
+  bool isPrototype() const { return Body == nullptr; }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Func; }
+
+private:
+  TypeExprAst *RetType;
+  std::vector<Param> Params;
+  EffectClauseAst Effect;
+  BlockStmt *Body;
+};
+
+/// A local variable declaration (appears inside DeclStmt).
+class VarDecl : public Decl {
+public:
+  VarDecl(TypeExprAst *Type, std::string Name, Expr *Init, SourceLoc L)
+      : Decl(DeclKind::Var, std::move(Name), L), Type(Type), Init(Init) {}
+  TypeExprAst *typeExpr() const { return Type; }
+  Expr *init() const { return Init; } ///< May be null.
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Var; }
+
+private:
+  TypeExprAst *Type;
+  Expr *Init;
+};
+
+/// `interface REGION { ... }` — a named group of declarations
+/// (abstract types and function prototypes).
+class InterfaceDecl : public Decl {
+public:
+  InterfaceDecl(std::string Name, std::vector<Decl *> Members, SourceLoc L)
+      : Decl(DeclKind::Interface, std::move(Name), L), Members(std::move(Members)) {}
+  const std::vector<Decl *> &members() const { return Members; }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Interface; }
+
+private:
+  std::vector<Decl *> Members;
+};
+
+/// `extern module Region : REGION;` — binds a module name to an
+/// interface so that `Region.create(...)` resolves to the interface's
+/// `create` prototype.
+class ModuleDecl : public Decl {
+public:
+  ModuleDecl(std::string Name, std::string InterfaceName, SourceLoc L)
+      : Decl(DeclKind::Module, std::move(Name), L),
+        InterfaceName(std::move(InterfaceName)) {}
+  const std::string &interfaceName() const { return InterfaceName; }
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Module; }
+
+private:
+  std::string InterfaceName;
+};
+
+//===----------------------------------------------------------------------===//
+// Program root and node arena.
+//===----------------------------------------------------------------------===//
+
+struct Program {
+  std::vector<Decl *> Decls;
+};
+
+/// Owns every AST node of a compilation.
+class AstContext {
+public:
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(NodePtr(Owned.release(), &AstContext::destroy<T>));
+    return Raw;
+  }
+
+  Program &program() { return Prog; }
+  const Program &program() const { return Prog; }
+
+private:
+  template <typename T> static void destroy(void *P) {
+    delete static_cast<T *>(P);
+  }
+  using NodePtr = std::unique_ptr<void, void (*)(void *)>;
+  std::vector<NodePtr> Nodes;
+  Program Prog;
+};
+
+} // namespace vault
+
+#endif // VAULT_AST_AST_H

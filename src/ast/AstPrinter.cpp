@@ -1,0 +1,668 @@
+//===- AstPrinter.cpp -----------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+
+using namespace vault;
+
+void AstPrinter::indent(std::string &Out, unsigned Indent) {
+  Out.append(Indent * 2, ' ');
+}
+
+std::string AstPrinter::print(const Program &P) {
+  std::string Out;
+  for (const Decl *D : P.Decls) {
+    printDecl(Out, D, 0);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string AstPrinter::print(const Decl *D) {
+  std::string Out;
+  printDecl(Out, D, 0);
+  return Out;
+}
+
+std::string AstPrinter::print(const Stmt *S) {
+  std::string Out;
+  printStmt(Out, S, 0);
+  return Out;
+}
+
+std::string AstPrinter::print(const Expr *E) {
+  std::string Out;
+  printExpr(Out, E);
+  return Out;
+}
+
+std::string AstPrinter::print(const TypeExprAst *T) {
+  std::string Out;
+  printType(Out, T);
+  return Out;
+}
+
+std::string AstPrinter::print(const EffectClauseAst &E) {
+  std::string Out;
+  printEffect(Out, E);
+  return Out;
+}
+
+void AstPrinter::printStateExpr(std::string &Out, const StateExprAst &S) {
+  if (S.K == StateExprAst::Kind::Name) {
+    Out += S.Name;
+    return;
+  }
+  Out += '(';
+  Out += S.Name;
+  Out += S.Strict ? " < " : " <= ";
+  Out += S.Bound;
+  Out += ')';
+}
+
+void AstPrinter::printKeyStateRef(std::string &Out, const KeyStateRef &K) {
+  Out += K.KeyName;
+  if (K.State) {
+    Out += '@';
+    printStateExpr(Out, *K.State);
+  }
+}
+
+void AstPrinter::printTypeParams(std::string &Out,
+                                 const std::vector<TypeParamAst> &Ps) {
+  if (Ps.empty())
+    return;
+  Out += '<';
+  bool First = true;
+  for (const TypeParamAst &P : Ps) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    switch (P.K) {
+    case TypeParamAst::Kind::Type:
+      Out += "type ";
+      break;
+    case TypeParamAst::Kind::Key:
+      Out += "key ";
+      break;
+    case TypeParamAst::Kind::State:
+      Out += "state ";
+      break;
+    }
+    Out += P.Name;
+  }
+  Out += '>';
+}
+
+void AstPrinter::printEffect(std::string &Out, const EffectClauseAst &E) {
+  if (!E.Present)
+    return;
+  Out += " [";
+  bool First = true;
+  for (const EffectItemAst &I : E.Items) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    switch (I.M) {
+    case EffectItemAst::Mode::Keep:
+      break;
+    case EffectItemAst::Mode::Consume:
+      Out += '-';
+      break;
+    case EffectItemAst::Mode::Produce:
+      Out += '+';
+      break;
+    case EffectItemAst::Mode::Fresh:
+      Out += "new ";
+      break;
+    }
+    Out += I.KeyName;
+    if (I.M == EffectItemAst::Mode::Produce ||
+        I.M == EffectItemAst::Mode::Fresh) {
+      // Produced keys carry only a post state: `+K@b` / `new K@b`.
+      if (I.Post) {
+        Out += '@';
+        Out += *I.Post;
+      }
+    } else {
+      if (I.Pre) {
+        Out += '@';
+        printStateExpr(Out, *I.Pre);
+      }
+      if (I.Post && (!I.Pre || I.Pre->K != StateExprAst::Kind::Name ||
+                     I.Pre->Name != *I.Post)) {
+        if (!I.Pre)
+          Out += '@';
+        Out += "->";
+        Out += *I.Post;
+      }
+    }
+  }
+  Out += ']';
+}
+
+void AstPrinter::printType(std::string &Out, const TypeExprAst *T) {
+  switch (T->kind()) {
+  case TypeExprKind::Prim: {
+    switch (cast<PrimTypeExpr>(T)->prim()) {
+    case PrimKind::Int:
+      Out += "int";
+      break;
+    case PrimKind::Bool:
+      Out += "bool";
+      break;
+    case PrimKind::Byte:
+      Out += "byte";
+      break;
+    case PrimKind::Void:
+      Out += "void";
+      break;
+    case PrimKind::String:
+      Out += "string";
+      break;
+    }
+    return;
+  }
+  case TypeExprKind::Named: {
+    const auto *N = cast<NamedTypeExpr>(T);
+    Out += N->name();
+    if (!N->args().empty()) {
+      Out += '<';
+      bool First = true;
+      for (const TypeExprAst *A : N->args()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        printType(Out, A);
+      }
+      Out += '>';
+    }
+    return;
+  }
+  case TypeExprKind::Tracked: {
+    const auto *Tr = cast<TrackedTypeExpr>(T);
+    Out += "tracked";
+    if (Tr->keyName()) {
+      Out += '(';
+      Out += *Tr->keyName();
+      Out += ')';
+    } else if (Tr->initialState()) {
+      Out += "(@";
+      printStateExpr(Out, *Tr->initialState());
+      Out += ')';
+    }
+    Out += ' ';
+    printType(Out, Tr->inner());
+    return;
+  }
+  case TypeExprKind::Guarded: {
+    const auto *G = cast<GuardedTypeExpr>(T);
+    bool First = true;
+    for (const KeyStateRef &K : G->guards()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printKeyStateRef(Out, K);
+    }
+    Out += ':';
+    printType(Out, G->inner());
+    return;
+  }
+  case TypeExprKind::Tuple: {
+    const auto *Tu = cast<TupleTypeExpr>(T);
+    Out += '(';
+    bool First = true;
+    for (const TypeExprAst *E : Tu->elems()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printType(Out, E);
+    }
+    Out += ')';
+    return;
+  }
+  case TypeExprKind::Array: {
+    printType(Out, cast<ArrayTypeExpr>(T)->elem());
+    Out += "[]";
+    return;
+  }
+  case TypeExprKind::Func: {
+    // Printed in the parseable alias-body form with a dummy routine
+    // name (the name is documentation only).
+    const auto *F = cast<FuncTypeExpr>(T);
+    printType(Out, F->ret());
+    Out += " Routine(";
+    bool First = true;
+    for (const auto &P : F->params()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printType(Out, P.Type);
+      if (!P.Name.empty()) {
+        Out += ' ';
+        Out += P.Name;
+      }
+    }
+    Out += ')';
+    printEffect(Out, F->effect());
+    return;
+  }
+  }
+}
+
+void AstPrinter::printExpr(std::string &Out, const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    Out += std::to_string(cast<IntLiteralExpr>(E)->value());
+    return;
+  case ExprKind::BoolLiteral:
+    Out += cast<BoolLiteralExpr>(E)->value() ? "true" : "false";
+    return;
+  case ExprKind::StringLiteral:
+    Out += '"';
+    Out += cast<StringLiteralExpr>(E)->value();
+    Out += '"';
+    return;
+  case ExprKind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (!N->qualifier().empty()) {
+      Out += N->qualifier();
+      Out += '.';
+    }
+    Out += N->name();
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    printExpr(Out, C->callee());
+    Out += '(';
+    bool First = true;
+    for (const Expr *A : C->args()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printExpr(Out, A);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::Ctor: {
+    const auto *C = cast<CtorExpr>(E);
+    Out += '\'';
+    Out += C->name();
+    if (!C->keyArgs().empty()) {
+      Out += '{';
+      bool First = true;
+      for (const KeyStateRef &K : C->keyArgs()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        printKeyStateRef(Out, K);
+      }
+      Out += '}';
+    }
+    if (!C->args().empty()) {
+      Out += '(';
+      bool First = true;
+      for (const Expr *A : C->args()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        printExpr(Out, A);
+      }
+      Out += ')';
+    }
+    return;
+  }
+  case ExprKind::New: {
+    const auto *N = cast<NewExpr>(E);
+    Out += "new";
+    if (N->isTracked())
+      Out += " tracked";
+    if (N->region()) {
+      Out += '(';
+      printExpr(Out, N->region());
+      Out += ')';
+    }
+    Out += ' ';
+    printType(Out, N->typeExpr());
+    Out += " {";
+    for (const auto &I : N->inits()) {
+      Out += I.Field;
+      Out += '=';
+      printExpr(Out, I.Init);
+      Out += "; ";
+    }
+    Out += '}';
+    return;
+  }
+  case ExprKind::Field: {
+    const auto *F = cast<FieldExpr>(E);
+    printExpr(Out, F->base());
+    Out += '.';
+    Out += F->field();
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    printExpr(Out, I->base());
+    Out += '[';
+    printExpr(Out, I->index());
+    Out += ']';
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Out += U->op() == UnaryOp::Not ? '!' : '-';
+    printExpr(Out, U->operand());
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Out += '(';
+    printExpr(Out, B->lhs());
+    Out += ' ';
+    Out += binaryOpSpelling(B->op());
+    Out += ' ';
+    printExpr(Out, B->rhs());
+    Out += ')';
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    printExpr(Out, A->lhs());
+    Out += " = ";
+    printExpr(Out, A->rhs());
+    return;
+  }
+  case ExprKind::IncDec: {
+    const auto *I = cast<IncDecExpr>(E);
+    printExpr(Out, I->base());
+    Out += I->isIncrement() ? "++" : "--";
+    return;
+  }
+  case ExprKind::Tuple: {
+    const auto *T = cast<TupleExpr>(E);
+    Out += '(';
+    bool First = true;
+    for (const Expr *El : T->elems()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printExpr(Out, El);
+    }
+    Out += ')';
+    return;
+  }
+  }
+}
+
+void AstPrinter::printStmt(std::string &Out, const Stmt *S, unsigned Indent) {
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    indent(Out, Indent);
+    Out += "{\n";
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      printStmt(Out, Sub, Indent + 1);
+    indent(Out, Indent);
+    Out += "}\n";
+    return;
+  }
+  case StmtKind::Decl: {
+    printDecl(Out, cast<DeclStmt>(S)->decl(), Indent);
+    return;
+  }
+  case StmtKind::Expr: {
+    indent(Out, Indent);
+    printExpr(Out, cast<ExprStmt>(S)->expr());
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    indent(Out, Indent);
+    Out += "if (";
+    printExpr(Out, I->cond());
+    Out += ")\n";
+    printStmt(Out, I->thenStmt(), Indent + 1);
+    if (I->elseStmt()) {
+      indent(Out, Indent);
+      Out += "else\n";
+      printStmt(Out, I->elseStmt(), Indent + 1);
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    indent(Out, Indent);
+    Out += "while (";
+    printExpr(Out, W->cond());
+    Out += ")\n";
+    printStmt(Out, W->body(), Indent + 1);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    indent(Out, Indent);
+    Out += "return";
+    if (R->value()) {
+      Out += ' ';
+      printExpr(Out, R->value());
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Switch: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    indent(Out, Indent);
+    Out += "switch (";
+    printExpr(Out, Sw->subject());
+    Out += ") {\n";
+    for (const SwitchStmt::Case &C : Sw->cases()) {
+      indent(Out, Indent);
+      if (C.Pattern.IsDefault) {
+        Out += "default:\n";
+      } else {
+        Out += "case '";
+        Out += C.Pattern.CtorName;
+        if (C.Pattern.HasParens) {
+          Out += '(';
+          bool First = true;
+          for (const std::string &B : C.Pattern.Binders) {
+            if (!First)
+              Out += ", ";
+            First = false;
+            Out += B.empty() ? "_" : B;
+          }
+          Out += ')';
+        }
+        Out += ":\n";
+      }
+      for (const Stmt *Sub : C.Body)
+        printStmt(Out, Sub, Indent + 1);
+    }
+    indent(Out, Indent);
+    Out += "}\n";
+    return;
+  }
+  case StmtKind::Free: {
+    indent(Out, Indent);
+    Out += "free(";
+    printExpr(Out, cast<FreeStmt>(S)->operand());
+    Out += ");\n";
+    return;
+  }
+  }
+}
+
+void AstPrinter::printDecl(std::string &Out, const Decl *D, unsigned Indent) {
+  switch (D->kind()) {
+  case DeclKind::Stateset: {
+    const auto *S = cast<StatesetDecl>(D);
+    indent(Out, Indent);
+    Out += "stateset ";
+    Out += S->name();
+    Out += " = [ ";
+    bool FirstRank = true;
+    for (const auto &Rank : S->ranks()) {
+      if (!FirstRank)
+        Out += " < ";
+      FirstRank = false;
+      bool First = true;
+      for (const std::string &St : Rank) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += St;
+      }
+    }
+    Out += " ];\n";
+    return;
+  }
+  case DeclKind::Key: {
+    const auto *K = cast<KeyDecl>(D);
+    indent(Out, Indent);
+    Out += "key ";
+    Out += K->name();
+    if (!K->statesetName().empty()) {
+      Out += " @ ";
+      Out += K->statesetName();
+    }
+    Out += ";\n";
+    return;
+  }
+  case DeclKind::TypeAlias: {
+    const auto *A = cast<TypeAliasDecl>(D);
+    indent(Out, Indent);
+    Out += "type ";
+    Out += A->name();
+    printTypeParams(Out, A->params());
+    if (A->underlying()) {
+      Out += " = ";
+      printType(Out, A->underlying());
+    }
+    Out += ";\n";
+    return;
+  }
+  case DeclKind::Struct: {
+    const auto *St = cast<StructDecl>(D);
+    indent(Out, Indent);
+    Out += "struct ";
+    Out += St->name();
+    printTypeParams(Out, St->params());
+    Out += " {\n";
+    for (const StructDecl::Field &F : St->fields()) {
+      indent(Out, Indent + 1);
+      printType(Out, F.Type);
+      Out += ' ';
+      Out += F.Name;
+      Out += ";\n";
+    }
+    indent(Out, Indent);
+    Out += "}\n";
+    return;
+  }
+  case DeclKind::Variant: {
+    const auto *V = cast<VariantDecl>(D);
+    indent(Out, Indent);
+    Out += "variant ";
+    Out += V->name();
+    printTypeParams(Out, V->params());
+    Out += " [ ";
+    bool FirstCtor = true;
+    for (const VariantDecl::Ctor &C : V->ctors()) {
+      if (!FirstCtor)
+        Out += " | ";
+      FirstCtor = false;
+      Out += '\'';
+      Out += C.Name;
+      if (!C.Payload.empty()) {
+        Out += '(';
+        bool First = true;
+        for (const TypeExprAst *T : C.Payload) {
+          if (!First)
+            Out += ", ";
+          First = false;
+          printType(Out, T);
+        }
+        Out += ')';
+      }
+      if (!C.KeyAttachments.empty()) {
+        Out += '{';
+        bool First = true;
+        for (const KeyStateRef &K : C.KeyAttachments) {
+          if (!First)
+            Out += ", ";
+          First = false;
+          printKeyStateRef(Out, K);
+        }
+        Out += '}';
+      }
+    }
+    Out += " ];\n";
+    return;
+  }
+  case DeclKind::Func: {
+    const auto *F = cast<FuncDecl>(D);
+    indent(Out, Indent);
+    printType(Out, F->retType());
+    Out += ' ';
+    Out += F->name();
+    Out += '(';
+    bool First = true;
+    for (const FuncDecl::Param &P : F->params()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printType(Out, P.Type);
+      if (!P.Name.empty()) {
+        Out += ' ';
+        Out += P.Name;
+      }
+    }
+    Out += ')';
+    printEffect(Out, F->effect());
+    if (F->isPrototype()) {
+      Out += ";\n";
+    } else {
+      Out += '\n';
+      printStmt(Out, F->body(), Indent);
+    }
+    return;
+  }
+  case DeclKind::Var: {
+    const auto *V = cast<VarDecl>(D);
+    indent(Out, Indent);
+    printType(Out, V->typeExpr());
+    Out += ' ';
+    Out += V->name();
+    if (V->init()) {
+      Out += " = ";
+      printExpr(Out, V->init());
+    }
+    Out += ";\n";
+    return;
+  }
+  case DeclKind::Interface: {
+    const auto *I = cast<InterfaceDecl>(D);
+    indent(Out, Indent);
+    Out += "interface ";
+    Out += I->name();
+    Out += " {\n";
+    for (const Decl *M : I->members())
+      printDecl(Out, M, Indent + 1);
+    indent(Out, Indent);
+    Out += "}\n";
+    return;
+  }
+  case DeclKind::Module: {
+    const auto *M = cast<ModuleDecl>(D);
+    indent(Out, Indent);
+    Out += "extern module ";
+    Out += M->name();
+    Out += " : ";
+    Out += M->interfaceName();
+    Out += ";\n";
+    return;
+  }
+  }
+}

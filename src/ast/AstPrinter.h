@@ -1,0 +1,46 @@
+//===- AstPrinter.h - AST dumping -------------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the AST back into Vault-like surface syntax. Used by parser
+/// tests (round-trip / golden checks) and the `vaultc --dump-ast` mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_AST_ASTPRINTER_H
+#define VAULT_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace vault {
+
+/// Pretty-prints AST nodes in (approximately) Vault surface syntax.
+class AstPrinter {
+public:
+  std::string print(const Program &P);
+  std::string print(const Decl *D);
+  std::string print(const Stmt *S);
+  std::string print(const Expr *E);
+  std::string print(const TypeExprAst *T);
+  std::string print(const EffectClauseAst &E);
+
+private:
+  void printDecl(std::string &Out, const Decl *D, unsigned Indent);
+  void printStmt(std::string &Out, const Stmt *S, unsigned Indent);
+  void printExpr(std::string &Out, const Expr *E);
+  void printType(std::string &Out, const TypeExprAst *T);
+  void printEffect(std::string &Out, const EffectClauseAst &E);
+  void printStateExpr(std::string &Out, const StateExprAst &S);
+  void printKeyStateRef(std::string &Out, const KeyStateRef &K);
+  void printTypeParams(std::string &Out, const std::vector<TypeParamAst> &Ps);
+  void indent(std::string &Out, unsigned Indent);
+};
+
+} // namespace vault
+
+#endif // VAULT_AST_ASTPRINTER_H

@@ -1,0 +1,324 @@
+//===- Corpus.cpp ---------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace vault;
+using namespace vault::corpus;
+
+std::string vault::corpus::corpusDir() {
+#ifdef VAULT_CORPUS_DIR
+  return VAULT_CORPUS_DIR;
+#else
+  return "corpus";
+#endif
+}
+
+static std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return {};
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string vault::corpus::loadInclude(const std::string &Name) {
+  return readFile(corpusDir() + "/include/" + Name);
+}
+
+std::string vault::corpus::load(const std::string &Name) {
+  std::string Path = corpusDir() + "/" + Name;
+  if (Path.size() < 4 || Path.substr(Path.size() - 4) != ".vlt")
+    Path += ".vlt";
+  std::string Text = readFile(Path);
+  if (Text.empty())
+    return Text;
+
+  // Resolve leading //!include directives.
+  std::string Out;
+  std::istringstream Lines(Text);
+  std::string Line;
+  bool InHeader = true;
+  while (std::getline(Lines, Line)) {
+    if (InHeader && Line.rfind("//!include ", 0) == 0) {
+      std::string Inc = Line.substr(11);
+      while (!Inc.empty() && (Inc.back() == '\r' || Inc.back() == ' '))
+        Inc.pop_back();
+      Out += loadInclude(Inc);
+      Out += '\n';
+      continue;
+    }
+    if (!Line.empty() && Line.rfind("//", 0) != 0)
+      InHeader = false;
+    Out += Line;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::unique_ptr<VaultCompiler> vault::corpus::check(const std::string &Name) {
+  auto C = std::make_unique<VaultCompiler>();
+  std::string Text = load(Name);
+  if (Text.empty()) {
+    C->diags().report(DiagId::RunError, SourceLoc{},
+                      "cannot load corpus program '" + Name + "'");
+    return C;
+  }
+  C->addSource(Name + ".vlt", Text);
+  C->check();
+  return C;
+}
+
+const std::vector<ProgramInfo> &vault::corpus::index() {
+  static const std::vector<ProgramInfo> Index = {
+      // --- Figure 2: regions (§2.2) ---
+      {"figures/fig2_okay", true, {}, true, false, "Fig. 2 okay"},
+      {"figures/fig2_dangling",
+       false,
+       {DiagId::FlowGuardNotHeld},
+       true,
+       true,
+       "Fig. 2 dangling"},
+      {"figures/fig2_leaky",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       true,
+       "Fig. 2 leaky"},
+      // --- §2.1: keyed variants ---
+      {"figures/sec21_flag", true, {}, true, false, "§2.1 flag"},
+      {"figures/sec21_flag_untested",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       false, // The leaked handle is dynamically unobservable.
+       "§2.1 flag (untested)"},
+      // --- Figure 3: sockets (§2.3) ---
+      {"figures/fig3_server_ok", true, {}, true, false, "Fig. 3 server"},
+      {"figures/fig3_missing_bind",
+       false,
+       {DiagId::FlowKeyWrongState},
+       true,
+       true,
+       "§2.3 missing bind"},
+      {"figures/fig3_missing_listen",
+       false,
+       {DiagId::FlowKeyWrongState},
+       true,
+       true,
+       "§2.3 missing listen"},
+      {"figures/fig3_socket_leak",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       true,
+       "§2.3 socket leak"},
+      {"figures/fig3_unchecked_bind",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       false,
+       "§2.3 unchecked bind"},
+      {"figures/fig3_checked_bind", true, {}, true, false,
+       "§2.3 checked bind"},
+      // --- Figure 4 / §2.4: anonymization ---
+      {"figures/fig4_anonymous",
+       false,
+       {DiagId::FlowGuardNotHeld},
+       true,
+       false, // Dynamically safe: the region is still live. The
+              // rejection shows the anonymization abstraction (§2.4).
+       "Fig. 4"},
+      {"figures/fig4_fixed_pairs", true, {}, true, false, "§2.4 pairs fix"},
+      // --- Figure 5 / §2.4: join points ---
+      {"figures/fig5_join",
+       false,
+       {DiagId::FlowJoinMismatch},
+       true,
+       false,
+       "Fig. 5"},
+      {"figures/fig5_fixed", true, {}, true, false, "§2.4 variant fix"},
+      // --- Figure 7 / §4.3: completion routines ---
+      {"figures/fig7_completion", true, {}, false, false, "Fig. 7"},
+      {"figures/fig7_finished_bug",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       false,
+       false,
+       "§4.3 footnote 10"},
+      // --- §4.1: IRP discipline ---
+      {"figures/irp_service_ok", true, {}, false, false, "§4.1"},
+      {"figures/irp_service_leak",
+       false,
+       {DiagId::FlowKeyLeaked},
+       false,
+       false,
+       "§4.1 forgotten IRP"},
+      {"figures/irp_pend_queue_ok", true, {}, false, false, "§4.1 pending"},
+      // --- §4.2: locks and events ---
+      {"figures/locks_ok", true, {}, false, false, "§4.2"},
+      {"figures/locks_missing_release",
+       false,
+       {DiagId::FlowKeyLeaked},
+       false,
+       false,
+       "§4.2 missing release"},
+      {"figures/locks_double_acquire",
+       false,
+       {DiagId::FlowKeyAlreadyHeld},
+       false,
+       false,
+       "§4.2 double acquire"},
+      {"figures/locks_unguarded_access",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       false,
+       false,
+       "§4.2 unguarded access"},
+      // --- §4.4: IRQL and paged memory ---
+      {"figures/irql_paged_ok", true, {}, false, false, "§4.4"},
+      {"figures/irql_paged_bad",
+       false,
+       {DiagId::FlowKeyWrongState},
+       false,
+       false,
+       "§4.4 paged at DISPATCH"},
+      {"figures/irql_direct_access_bad",
+       false,
+       {DiagId::FlowGuardWrongState},
+       false,
+       false,
+       "§4.4 guarded paged data"},
+      {"figures/irql_priority_bad",
+       false,
+       {DiagId::FlowKeyWrongState},
+       false,
+       false,
+       "§4.4 KeSetPriorityThread"},
+      {"figures/irql_semaphore_ok", true, {}, false, false,
+       "§4.4 bounded polymorphism"},
+      // --- §6: the pipeline-in-regions validation ---
+      {"figures/sec6_pipeline", true, {}, true, false, "§6 pipeline"},
+      {"figures/sec6_pipeline_bug",
+       false,
+       {DiagId::FlowGuardNotHeld},
+       true,
+       true,
+       "§6 pipeline stage bug"},
+      // --- The case-study driver (§4) ---
+      {"driver/floppy", true, {}, false, false, "§4 floppy driver"},
+      // --- Seeded-defect suite (detection-rate experiment, E11) ---
+      {"defects/region_ok_workload", true, {}, true, false, "control"},
+      {"defects/region_double_delete",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "double delete"},
+      {"defects/region_use_after_delete_cold",
+       false,
+       {DiagId::FlowGuardNotHeld},
+       true,
+       false,
+       "dangling on cold path"},
+      {"defects/region_leak_cold",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       false,
+       "leak on cold path"},
+      {"defects/region_leak_hot",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       true,
+       "unconditional leak"},
+      {"defects/heap_use_after_free",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "use after free"},
+      {"defects/heap_double_free",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "double free"},
+      {"defects/socket_receive_raw",
+       false,
+       {DiagId::FlowKeyWrongState},
+       true,
+       true,
+       "receive on raw socket"},
+      {"defects/socket_double_close_cold",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       false,
+       "double close on cold path"},
+      {"defects/socket_loop_leak",
+       false,
+       {},
+       true,
+       true,
+       "leaking accept loop"},
+      {"defects/file_leak",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       false,
+       "unobservable handle leak"},
+      {"defects/file_double_close",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "file double close"},
+      // --- Graphics device contexts (§6's "graphic interfaces") ---
+      {"gdi/paint_ok", true, {}, true, false, "§6 GDI paint"},
+      {"gdi/missing_endpaint",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       true,
+       "§6 GDI DC leak"},
+      {"gdi/unrestored_pen",
+       false,
+       {DiagId::FlowKeyWrongState},
+       true,
+       true,
+       "§6 GDI unrestored pen"},
+      {"gdi/draw_after_endpaint",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "§6 GDI draw after end"},
+      {"gdi/delete_selected_pen",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "§6 GDI delete selected pen"},
+      {"gdi/pen_leak_cold",
+       false,
+       {DiagId::FlowKeyLeaked},
+       true,
+       false,
+       "§6 GDI pen leak, cold path"},
+      {"gdi/conditional_restore",
+       false,
+       {DiagId::FlowJoinMismatch},
+       true,
+       false, // The default input takes the restoring branch: another
+              // cold-path bug a single test run misses.
+       "§6 GDI Fig.5-style join"},
+      {"gdi/conditional_restore_fixed", true, {}, true, false,
+       "§6 GDI join fixed"},
+  };
+  return Index;
+}

@@ -1,0 +1,63 @@
+//===- Corpus.h - The evaluation program corpus -----------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Index over the Vault program corpus in <repo>/corpus: every figure
+/// of the paper as a checkable program with its expected verdict, the
+/// full floppy driver, and a seeded-defect suite for the
+/// detection-rate experiment. Programs may reference shared preludes
+/// via a first-lines `//!include name.vlt` directive, resolved against
+/// corpus/include.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_CORPUS_CORPUS_H
+#define VAULT_CORPUS_CORPUS_H
+
+#include "sema/Checker.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vault::corpus {
+
+struct ProgramInfo {
+  /// Relative path without extension, e.g. "figures/fig2_okay".
+  std::string Name;
+  /// Expected static verdict.
+  bool ExpectAccept = true;
+  /// Diagnostics that must appear when rejected (subset check).
+  std::vector<DiagId> MustReport;
+  /// Has a main() executable under the interpreter.
+  bool Runnable = false;
+  /// When run, the dynamic oracle is expected to record violations
+  /// (true only for runnable, statically-rejected programs whose bug
+  /// actually triggers on the default input).
+  bool ExpectDynViolations = false;
+  /// Paper artifact this reproduces, for reports ("Fig. 2", "§4.1").
+  std::string PaperRef;
+};
+
+/// The corpus root (set at build time from the repository).
+std::string corpusDir();
+
+/// Every indexed program.
+const std::vector<ProgramInfo> &index();
+
+/// Loads a program (by index name or path), resolving includes.
+/// Returns an empty string if the file cannot be read.
+std::string load(const std::string &Name);
+
+/// Loads, parses, and checks a corpus program.
+std::unique_ptr<VaultCompiler> check(const std::string &Name);
+
+/// The raw text of the include prelude \p Name (e.g. "kernel.vlt").
+std::string loadInclude(const std::string &Name);
+
+} // namespace vault::corpus
+
+#endif // VAULT_CORPUS_CORPUS_H

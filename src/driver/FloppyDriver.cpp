@@ -1,0 +1,261 @@
+//===- FloppyDriver.cpp ---------------------------------------------------===//
+
+#include "driver/FloppyDriver.h"
+
+#include "driver/PassThroughDriver.h"
+
+#include <cstring>
+
+using namespace vault::drv;
+using namespace vault::kern;
+
+namespace {
+
+/// Schedules the queue-processing work item if one is not in flight.
+void scheduleWorker(Kernel &K, DeviceObject &D);
+
+/// Transfers one queued IRP against the hardware. Runs at passive
+/// level in a work item (the stand-in for the driver's worker thread).
+void processOneRequest(Kernel &K, DeviceObject &D, Irp *I) {
+  auto *Ext = D.extension<FloppyExtension>();
+  IoStackLocation &Loc = I->currentLocation(&D);
+  const uint64_t Offset = Loc.Offset;
+  const uint32_t Length = Loc.Length;
+
+  if (!Ext->Hw.mediaPresent()) {
+    K.completeRequest(I, NtStatus::DeviceNotReady);
+    return;
+  }
+  if (Offset % FloppyHardware::SectorSize != 0 ||
+      Length % FloppyHardware::SectorSize != 0) {
+    K.completeRequest(I, NtStatus::InvalidParameter);
+    return;
+  }
+  if (Offset >= FloppyHardware::DiskSize) {
+    K.completeRequest(I, NtStatus::EndOfFile);
+    return;
+  }
+
+  Ext->Hw.motorOn();
+  uint32_t FirstLba = static_cast<uint32_t>(Offset / FloppyHardware::SectorSize);
+  uint32_t Sectors = Length / FloppyHardware::SectorSize;
+  uint64_t Done = 0;
+  std::vector<uint8_t> &Buf = I->buffer(&D);
+  bool Ok = true;
+  for (uint32_t Si = 0; Si != Sectors; ++Si) {
+    uint32_t Lba = FirstLba + Si;
+    if (Lba >= FloppyHardware::TotalSectors)
+      break; // Partial transfer at end of media.
+    uint8_t *Sector = Buf.data() + static_cast<size_t>(Si) *
+                                       FloppyHardware::SectorSize;
+    if (I->major() == IrpMajor::Read)
+      Ok = Ext->Hw.readSector(Lba, Sector);
+    else
+      Ok = Ext->Hw.writeSector(Lba, Sector);
+    if (!Ok)
+      break;
+    Done += FloppyHardware::SectorSize;
+  }
+  I->Information = Done;
+  if (I->major() == IrpMajor::Read)
+    ++Ext->ReadsServed;
+  else
+    ++Ext->WritesServed;
+  K.completeRequest(I, Ok || Done > 0 ? NtStatus::Success
+                                      : NtStatus::Unsuccessful);
+}
+
+void scheduleWorker(Kernel &K, DeviceObject &D) {
+  auto *Ext = D.extension<FloppyExtension>();
+  if (Ext->WorkerScheduled)
+    return;
+  Ext->WorkerScheduled = true;
+  DeviceObject *Dev = &D;
+  K.queueWorkItem([Dev](Kernel &Kn) {
+    auto *E = Dev->extension<FloppyExtension>();
+    E->WorkerScheduled = false;
+    // Drain the queue, taking the lock only around queue manipulation
+    // (transfers run at PASSIVE_LEVEL so the pager can run).
+    for (;;) {
+      Irql Old = Kn.acquireSpinLock(E->QueueLock);
+      Irp *I = nullptr;
+      if (!E->Queue.empty()) {
+        I = E->Queue.front();
+        E->Queue.pop_front();
+      }
+      Kn.releaseSpinLock(E->QueueLock, Old);
+      if (!I)
+        return;
+      processOneRequest(Kn, *Dev, I);
+    }
+  });
+}
+
+DriverStatus floppyCreateClose(Kernel &K, DeviceObject &D, Irp &I) {
+  auto *Ext = D.extension<FloppyExtension>();
+  if (I.major() == IrpMajor::Create)
+    ++Ext->OpenCount;
+  else if (Ext->OpenCount > 0)
+    --Ext->OpenCount;
+  return K.completeRequest(&I, NtStatus::Success);
+}
+
+DriverStatus floppyReadWrite(Kernel &K, DeviceObject &D, Irp &I) {
+  auto *Ext = D.extension<FloppyExtension>();
+  if (!Ext->Started || Ext->Removed)
+    return K.completeRequest(&I, NtStatus::DeviceNotReady);
+  IoStackLocation &Loc = I.currentLocation(&D);
+  if (Loc.Length == 0)
+    return K.completeRequest(&I, NtStatus::Success);
+  if (Loc.Length > I.bufferSize())
+    return K.completeRequest(&I, NtStatus::InvalidParameter);
+  // Queue the request and return pending: the asynchronous interface
+  // of §4 — "a driver's service function is expected to return
+  // quickly, regardless of whether the driver has completed the
+  // request".
+  DriverStatus DS = K.markIrpPending(&I);
+  Irql Old = K.acquireSpinLock(Ext->QueueLock);
+  Ext->Queue.push_back(&I);
+  K.releaseSpinLock(Ext->QueueLock, Old);
+  scheduleWorker(K, D);
+  return DS;
+}
+
+DriverStatus floppyDeviceControl(Kernel &K, DeviceObject &D, Irp &I) {
+  auto *Ext = D.extension<FloppyExtension>();
+  IoStackLocation &Loc = I.currentLocation(&D);
+  switch (static_cast<FloppyIoctl>(Loc.ControlCode)) {
+  case FloppyIoctl::GetGeometry: {
+    if (I.bufferSize() < sizeof(FloppyGeometry))
+      return K.completeRequest(&I, NtStatus::InvalidParameter);
+    FloppyGeometry G{FloppyHardware::Cylinders, FloppyHardware::Heads,
+                     FloppyHardware::SectorsPerTrack,
+                     FloppyHardware::SectorSize};
+    std::memcpy(I.buffer(&D).data(), &G, sizeof(G));
+    I.Information = sizeof(G);
+    return K.completeRequest(&I, NtStatus::Success);
+  }
+  case FloppyIoctl::FormatMedia:
+    if (!Ext->Hw.mediaPresent())
+      return K.completeRequest(&I, NtStatus::DeviceNotReady);
+    if (Ext->Hw.isWriteProtected())
+      return K.completeRequest(&I, NtStatus::Unsuccessful);
+    Ext->Hw.motorOn();
+    Ext->Hw.format();
+    return K.completeRequest(&I, NtStatus::Success);
+  case FloppyIoctl::CheckVerify:
+    return K.completeRequest(&I, Ext->Hw.mediaPresent()
+                                     ? NtStatus::Success
+                                     : NtStatus::DeviceNotReady);
+  case FloppyIoctl::EjectMedia:
+    Ext->Hw.ejectMedia();
+    Ext->Hw.motorOff();
+    return K.completeRequest(&I, NtStatus::Success);
+  }
+  return K.completeRequest(&I, NtStatus::InvalidDeviceRequest);
+}
+
+/// PnP handler using the paper's Fig. 7 idiom: pass the IRP to the
+/// next lower driver, regain ownership via a completion routine and an
+/// event, act, then complete.
+DriverStatus floppyPnp(Kernel &K, DeviceObject &D, Irp &I) {
+  auto *Ext = D.extension<FloppyExtension>();
+  PnpMinor Minor = I.currentLocation(&D).Minor;
+
+  KEvent IrpIsBack("floppy-pnp-regain");
+  K.initializeEvent(IrpIsBack);
+  // RegainIrp: signals the event and keeps the IRP
+  // ('MoreProcessingRequired) — footnote 10 of the paper explains why
+  // a routine that signals *must* return this disposition.
+  K.setCompletionRoutine(&I, &D,
+                         [&IrpIsBack](Kernel &Kn, DeviceObject &,
+                                      Irp &) -> CompletionDisposition {
+                           Kn.setEvent(IrpIsBack);
+                           return CompletionDisposition::MoreProcessingRequired;
+                         });
+  K.callDriver(D.lower(), &I);
+  // Ownership is with the lower stack now; wait for it to come back.
+  K.waitForEvent(IrpIsBack);
+
+  NtStatus LowerStatus = I.Status;
+  switch (Minor) {
+  case PnpMinor::StartDevice:
+    if (LowerStatus == NtStatus::Success) {
+      Ext->Started = true;
+      Ext->Hw.motorOn();
+    }
+    return K.completeRequest(&I, LowerStatus);
+  case PnpMinor::QueryRemove:
+    // Refuse removal while handles are open.
+    return K.completeRequest(&I, Ext->OpenCount == 0
+                                     ? NtStatus::Success
+                                     : NtStatus::Unsuccessful);
+  case PnpMinor::RemoveDevice: {
+    Ext->Removed = true;
+    Ext->Started = false;
+    // Fail everything still queued.
+    for (;;) {
+      Irql Old = K.acquireSpinLock(Ext->QueueLock);
+      Irp *Q = nullptr;
+      if (!Ext->Queue.empty()) {
+        Q = Ext->Queue.front();
+        Ext->Queue.pop_front();
+      }
+      K.releaseSpinLock(Ext->QueueLock, Old);
+      if (!Q)
+        break;
+      K.completeRequest(Q, NtStatus::NoSuchDevice);
+    }
+    Ext->Hw.motorOff();
+    return K.completeRequest(&I, NtStatus::Success);
+  }
+  case PnpMinor::None:
+    return K.completeRequest(&I, LowerStatus);
+  }
+  return K.completeRequest(&I, NtStatus::InvalidDeviceRequest);
+}
+
+DriverStatus floppyPower(Kernel &K, DeviceObject &D, Irp &I) {
+  auto *Ext = D.extension<FloppyExtension>();
+  Ext->Hw.motorOff(); // Powering down spins the motor down.
+  return K.callDriver(D.lower(), &I);
+}
+
+DriverStatus floppyCleanup(Kernel &K, DeviceObject &D, Irp &I) {
+  (void)D;
+  return K.completeRequest(&I, NtStatus::Success);
+}
+
+} // namespace
+
+FloppyExtension *vault::drv::makeFloppyDriver(Kernel &K, DeviceObject *Dev) {
+  (void)K;
+  auto *Ext = Dev->createExtension<FloppyExtension>();
+  Dev->setDispatch(IrpMajor::Create, floppyCreateClose);
+  Dev->setDispatch(IrpMajor::Close, floppyCreateClose);
+  Dev->setDispatch(IrpMajor::Read, floppyReadWrite);
+  Dev->setDispatch(IrpMajor::Write, floppyReadWrite);
+  Dev->setDispatch(IrpMajor::DeviceControl, floppyDeviceControl);
+  Dev->setDispatch(IrpMajor::Pnp, floppyPnp);
+  Dev->setDispatch(IrpMajor::Power, floppyPower);
+  Dev->setDispatch(IrpMajor::Cleanup, floppyCleanup);
+  return Ext;
+}
+
+DeviceObject *vault::drv::buildFloppyStack(Kernel &K,
+                                           DeviceObject **OutFloppy) {
+  DeviceObject *Bus = K.createDevice("bus");
+  makeBusDriver(K, Bus);
+  DeviceObject *Floppy = K.createDevice("floppy");
+  makeFloppyDriver(K, Floppy);
+  K.attach(Floppy, Bus);
+  DeviceObject *Storage = K.createDevice("storage-class");
+  makePassThroughDriver(K, Storage);
+  K.attach(Storage, Floppy);
+  DeviceObject *Fs = K.createDevice("filesystem");
+  makePassThroughDriver(K, Fs);
+  K.attach(Fs, Storage);
+  if (OutFloppy)
+    *OutFloppy = Floppy;
+  return Fs;
+}

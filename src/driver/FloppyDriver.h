@@ -1,0 +1,70 @@
+//===- FloppyDriver.h - The case-study floppy driver ------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ twin of the paper's case-study floppy driver (§4): the
+/// Vault source lives in corpus/floppy.vlt and is type-checked by the
+/// Vault checker; this implementation — a faithful hand-translation,
+/// playing the role of the compiled driver — runs against the kernel
+/// simulator. It exercises every protocol of §4: IRP ownership with
+/// completion on all paths, pending-queue processing from work items,
+/// the Fig. 7 regain-ownership idiom for PnP requests, spin-lock
+/// protected queues, and IRQL-correct paged-memory use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_DRIVER_FLOPPYDRIVER_H
+#define VAULT_DRIVER_FLOPPYDRIVER_H
+
+#include "driver/FloppyHardware.h"
+#include "kernel/DriverStack.h"
+
+#include <deque>
+
+namespace vault::drv {
+
+/// IOCTL codes understood by the floppy driver.
+enum class FloppyIoctl : uint32_t {
+  GetGeometry = 0x70000,
+  FormatMedia = 0x70001,
+  CheckVerify = 0x70002,
+  EjectMedia = 0x70003,
+};
+
+/// Geometry blob returned by GetGeometry (written into the IRP buffer).
+struct FloppyGeometry {
+  uint32_t Cylinders;
+  uint32_t Heads;
+  uint32_t SectorsPerTrack;
+  uint32_t SectorSize;
+};
+
+/// Per-device state of the floppy driver.
+struct FloppyExtension {
+  FloppyHardware Hw;
+  kern::SpinLock QueueLock{"floppy-queue"};
+  std::deque<kern::Irp *> Queue;
+  bool Started = false;
+  bool Removed = false;
+  bool WorkerScheduled = false;
+  unsigned OpenCount = 0;
+  uint64_t ReadsServed = 0;
+  uint64_t WritesServed = 0;
+};
+
+/// Installs the floppy driver's dispatch table on \p Dev and returns
+/// its extension.
+FloppyExtension *makeFloppyDriver(kern::Kernel &K, kern::DeviceObject *Dev);
+
+/// Builds the canonical 4-deep stack of the paper —
+/// filesystem -> storage class -> floppy -> bus — returning the top
+/// device. \p OutFloppy receives the floppy device.
+kern::DeviceObject *buildFloppyStack(kern::Kernel &K,
+                                     kern::DeviceObject **OutFloppy = nullptr);
+
+} // namespace vault::drv
+
+#endif // VAULT_DRIVER_FLOPPYDRIVER_H

@@ -1,0 +1,45 @@
+//===- FloppyHardware.cpp -------------------------------------------------===//
+
+#include "driver/FloppyHardware.h"
+
+#include <cstring>
+
+using namespace vault::drv;
+
+void FloppyHardware::motorOn() {
+  if (!MotorOn) {
+    MotorOn = true;
+    ElapsedUs += MotorSpinUpUs;
+  }
+}
+
+void FloppyHardware::seekTo(uint32_t Lba) {
+  uint32_t Cyl = Lba / (Heads * SectorsPerTrack);
+  uint32_t Delta = Cyl > Cylinder ? Cyl - Cylinder : Cylinder - Cyl;
+  ElapsedUs += static_cast<uint64_t>(Delta) * SeekPerCylinderUs;
+  Cylinder = Cyl;
+}
+
+bool FloppyHardware::readSector(uint32_t Lba, uint8_t *Out) {
+  if (!MotorOn || !HasMedia || Lba >= TotalSectors)
+    return false;
+  seekTo(Lba);
+  ElapsedUs += SectorTransferUs;
+  std::memcpy(Out, Data.data() + static_cast<uint64_t>(Lba) * SectorSize,
+              SectorSize);
+  return true;
+}
+
+bool FloppyHardware::writeSector(uint32_t Lba, const uint8_t *In) {
+  if (!MotorOn || !HasMedia || WriteProtected || Lba >= TotalSectors)
+    return false;
+  seekTo(Lba);
+  ElapsedUs += SectorTransferUs;
+  std::memcpy(Data.data() + static_cast<uint64_t>(Lba) * SectorSize, In,
+              SectorSize);
+  return true;
+}
+
+void FloppyHardware::format() {
+  std::memset(Data.data(), 0, Data.size());
+}

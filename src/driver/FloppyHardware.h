@@ -1,0 +1,77 @@
+//===- FloppyHardware.h - Fake floppy device model --------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of a 3.5" 1.44MB floppy drive: 80 cylinders x 2 heads x 18
+/// sectors x 512 bytes, with motor spin-up, head seek and per-sector
+/// transfer costs accounted in simulated microseconds. Substitutes for
+/// the physical hardware of the paper's case-study driver (§4); the
+/// driver/hardware interface is, per the paper, "not often the source
+/// of errors", so a functional model suffices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_DRIVER_FLOPPYHARDWARE_H
+#define VAULT_DRIVER_FLOPPYHARDWARE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vault::drv {
+
+class FloppyHardware {
+public:
+  static constexpr unsigned Cylinders = 80;
+  static constexpr unsigned Heads = 2;
+  static constexpr unsigned SectorsPerTrack = 18;
+  static constexpr unsigned SectorSize = 512;
+  static constexpr unsigned TotalSectors =
+      Cylinders * Heads * SectorsPerTrack;
+  static constexpr uint64_t DiskSize =
+      static_cast<uint64_t>(TotalSectors) * SectorSize;
+
+  // Simulated costs in microseconds.
+  static constexpr uint64_t MotorSpinUpUs = 300000;
+  static constexpr uint64_t SeekPerCylinderUs = 3000;
+  static constexpr uint64_t SectorTransferUs = 180;
+
+  FloppyHardware() : Data(DiskSize, 0) {}
+
+  bool isMotorOn() const { return MotorOn; }
+  void motorOn();
+  void motorOff() { MotorOn = false; }
+
+  bool mediaPresent() const { return HasMedia; }
+  void insertMedia() { HasMedia = true; }
+  void ejectMedia() { HasMedia = false; }
+  bool isWriteProtected() const { return WriteProtected; }
+  void setWriteProtected(bool P) { WriteProtected = P; }
+
+  /// Reads one sector into \p Out (must hold SectorSize bytes).
+  /// Returns false if the motor is off, no media, or LBA out of range.
+  bool readSector(uint32_t Lba, uint8_t *Out);
+  bool writeSector(uint32_t Lba, const uint8_t *In);
+
+  /// Formats (zeroes) the media.
+  void format();
+
+  uint64_t elapsedUs() const { return ElapsedUs; }
+  uint32_t currentCylinder() const { return Cylinder; }
+
+private:
+  void seekTo(uint32_t Lba);
+
+  std::vector<uint8_t> Data;
+  bool MotorOn = false;
+  bool HasMedia = true;
+  bool WriteProtected = false;
+  uint32_t Cylinder = 0;
+  uint64_t ElapsedUs = 0;
+};
+
+} // namespace vault::drv
+
+#endif // VAULT_DRIVER_FLOPPYHARDWARE_H

@@ -1,0 +1,104 @@
+//===- PassThroughDriver.cpp ----------------------------------------------===//
+
+#include "driver/PassThroughDriver.h"
+
+using namespace vault::drv;
+using namespace vault::kern;
+
+void vault::drv::makePassThroughDriver(Kernel &K, DeviceObject *Dev) {
+  (void)K;
+  for (unsigned M = 0; M != static_cast<unsigned>(IrpMajor::NumMajors); ++M) {
+    Dev->setDispatch(static_cast<IrpMajor>(M),
+                     [](Kernel &Kn, DeviceObject &D, Irp &I) {
+                       return Kn.callDriver(D.lower(), &I);
+                     });
+  }
+}
+
+void vault::drv::makeBusDriver(Kernel &K, DeviceObject *Dev) {
+  (void)K;
+  for (unsigned M = 0; M != static_cast<unsigned>(IrpMajor::NumMajors); ++M) {
+    Dev->setDispatch(static_cast<IrpMajor>(M),
+                     [](Kernel &Kn, DeviceObject &, Irp &I) {
+                       return Kn.completeRequest(
+                           &I, NtStatus::InvalidDeviceRequest);
+                     });
+  }
+  auto CompleteOk = [](Kernel &Kn, DeviceObject &, Irp &I) {
+    return Kn.completeRequest(&I, NtStatus::Success);
+  };
+  Dev->setDispatch(IrpMajor::Pnp, CompleteOk);
+  Dev->setDispatch(IrpMajor::Power, CompleteOk);
+  Dev->setDispatch(IrpMajor::Create, CompleteOk);
+  Dev->setDispatch(IrpMajor::Close, CompleteOk);
+}
+
+namespace {
+struct BuggyExtension {
+  DriverBug Bug = DriverBug::None;
+  unsigned TriggerEvery = 0;
+  unsigned Counter = 0;
+  SpinLock Lock{"buggy-lock"};
+  PagedPool::Handle PagedBlock = 0;
+
+  bool shouldTrigger() {
+    ++Counter;
+    return TriggerEvery == 0 || Counter % TriggerEvery == 0;
+  }
+};
+} // namespace
+
+void vault::drv::makeBuggyDriver(Kernel &K, DeviceObject *Dev, DriverBug Bug,
+                                 unsigned TriggerEvery) {
+  makePassThroughDriver(K, Dev);
+  auto *Ext = Dev->createExtension<BuggyExtension>();
+  Ext->Bug = Bug;
+  Ext->TriggerEvery = TriggerEvery;
+  Ext->PagedBlock = K.pool().allocate(4096, PoolType::Paged);
+
+  Dev->setDispatch(IrpMajor::Read, [](Kernel &Kn, DeviceObject &D, Irp &I) {
+    auto *E = D.extension<BuggyExtension>();
+    if (!E->shouldTrigger())
+      return Kn.callDriver(D.lower(), &I);
+
+    switch (E->Bug) {
+    case DriverBug::None:
+      return Kn.callDriver(D.lower(), &I);
+    case DriverBug::ForgetIrp:
+      // The classic §4.1 error: a code path that neither completes,
+      // passes on, nor pends the IRP.
+      return DriverStatus::Pending; // Lies: never called IoMarkIrpPending.
+    case DriverBug::DoubleComplete: {
+      Kn.completeRequest(&I, NtStatus::Success);
+      return Kn.completeRequest(&I, NtStatus::Success);
+    }
+    case DriverBug::CompleteAndForward: {
+      Kn.completeRequest(&I, NtStatus::Success);
+      return Kn.callDriver(D.lower(), &I); // Uses the IRP after completion.
+    }
+    case DriverBug::HoldLock: {
+      Kn.acquireSpinLock(E->Lock); // Never released.
+      return Kn.callDriver(D.lower(), &I);
+    }
+    case DriverBug::DoubleAcquire: {
+      Irql Old = Kn.acquireSpinLock(E->Lock);
+      Kn.acquireSpinLock(E->Lock); // Deadlock on a real machine.
+      Kn.releaseSpinLock(E->Lock, Old);
+      return Kn.callDriver(D.lower(), &I);
+    }
+    case DriverBug::TouchPagedAtDpc: {
+      Irql Old = Kn.acquireSpinLock(E->Lock); // Now at DISPATCH_LEVEL.
+      Kn.pool().read(E->PagedBlock, 0);       // Bugcheck if paged out.
+      Kn.releaseSpinLock(E->Lock, Old);
+      return Kn.callDriver(D.lower(), &I);
+    }
+    case DriverBug::UseIrpAfterComplete: {
+      DriverStatus DS = Kn.completeRequest(&I, NtStatus::Success);
+      if (!I.buffer(&D).empty()) // Access without ownership.
+        I.buffer(&D)[0] = 0xFF;
+      return DS;
+    }
+    }
+    return Kn.callDriver(D.lower(), &I);
+  });
+}

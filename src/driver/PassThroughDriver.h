@@ -1,0 +1,59 @@
+//===- PassThroughDriver.h - Filter and bus drivers -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic drivers used to assemble realistic stacks around the
+/// floppy driver (paper §4: "in between the kernel and a floppy disk
+/// drive would typically sit... a file system driver; a driver for a
+/// generic storage device; a floppy disk driver; and a bus driver"):
+///
+///  * PassThroughDriver — a filter that forwards every IRP down;
+///  * BusDriver — the bottom of the stack, completing PnP/Power and
+///    failing anything that reaches it unexpectedly;
+///  * BuggyDriver — a configurable misbehaving driver used by tests
+///    and the detection-rate experiment (forgets IRPs, completes
+///    twice, holds locks, touches paged memory at DISPATCH_LEVEL).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_DRIVER_PASSTHROUGHDRIVER_H
+#define VAULT_DRIVER_PASSTHROUGHDRIVER_H
+
+#include "kernel/DriverStack.h"
+
+namespace vault::drv {
+
+/// Installs pass-through dispatch routines for every major function on
+/// \p Dev: each IRP is forwarded to the lower device.
+void makePassThroughDriver(kern::Kernel &K, kern::DeviceObject *Dev);
+
+/// Installs a bus (bottom-of-stack) driver: PnP and Power requests
+/// complete successfully, everything else completes with
+/// STATUS_INVALID_DEVICE_REQUEST.
+void makeBusDriver(kern::Kernel &K, kern::DeviceObject *Dev);
+
+/// Deliberate misbehaviors for the detection-rate experiment (the
+/// kinds of driver bugs the paper's introduction motivates).
+enum class DriverBug : uint8_t {
+  None,
+  ForgetIrp,          ///< Returns without resolving the IRP (leak).
+  DoubleComplete,     ///< Completes the same IRP twice.
+  CompleteAndForward, ///< Completes, then passes the completed IRP down.
+  HoldLock,           ///< Acquires its spin lock and never releases.
+  DoubleAcquire,      ///< Acquires its spin lock twice.
+  TouchPagedAtDpc,    ///< Reads paged memory while at DISPATCH_LEVEL.
+  UseIrpAfterComplete ///< Writes the IRP buffer after completion.
+};
+
+/// Installs a filter driver that misbehaves per \p Bug on Read IRPs
+/// whose offset is a multiple of \p TriggerEvery sectors (0 = always),
+/// and forwards everything else.
+void makeBuggyDriver(kern::Kernel &K, kern::DeviceObject *Dev, DriverBug Bug,
+                     unsigned TriggerEvery = 0);
+
+} // namespace vault::drv
+
+#endif // VAULT_DRIVER_PASSTHROUGHDRIVER_H

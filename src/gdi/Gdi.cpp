@@ -1,0 +1,174 @@
+//===- Gdi.cpp ------------------------------------------------------------===//
+
+#include "gdi/Gdi.h"
+
+using namespace vault::gdi;
+
+const char *vault::gdi::gdiErrorName(GdiError E) {
+  switch (E) {
+  case GdiError::Ok:
+    return "ok";
+  case GdiError::BadHandle:
+    return "bad-handle";
+  case GdiError::WrongState:
+    return "wrong-state";
+  case GdiError::PenStillCustom:
+    return "pen-still-custom";
+  case GdiError::NotSelected:
+    return "not-selected";
+  }
+  return "?";
+}
+
+void GdiWorld::violation(GdiError E, const std::string &What) {
+  ++Violations;
+  Log.push_back(std::string(gdiErrorName(E)) + ": " + What);
+}
+
+GdiWorld::Dc *GdiWorld::dc(Handle H) {
+  if (H < 1 || H > Dcs.size() || !Dcs[H - 1].Live)
+    return nullptr;
+  return &Dcs[H - 1];
+}
+
+GdiWorld::Handle GdiWorld::createWindow(std::string Title) {
+  Windows.push_back(Window{std::move(Title), 0});
+  return Windows.size();
+}
+
+GdiError GdiWorld::beginPaint(Handle WindowH, Handle &OutDc) {
+  if (WindowH < 1 || WindowH > Windows.size()) {
+    violation(GdiError::BadHandle, "BeginPaint on unknown window");
+    return GdiError::BadHandle;
+  }
+  Dc D;
+  D.Window = WindowH;
+  D.Live = true;
+  Dcs.push_back(D);
+  OutDc = Dcs.size();
+  Windows[WindowH - 1].ActiveDc = OutDc;
+  return GdiError::Ok;
+}
+
+GdiError GdiWorld::endPaint(Handle WindowH, Handle DcH) {
+  Dc *D = dc(DcH);
+  if (!D) {
+    violation(GdiError::WrongState, "EndPaint on dead DC (double end?)");
+    return GdiError::WrongState;
+  }
+  if (D->Window != WindowH) {
+    violation(GdiError::BadHandle, "EndPaint with mismatched window");
+    return GdiError::BadHandle;
+  }
+  if (D->SelectedPen != 0) {
+    // The DC dies with a custom object selected: that object can never
+    // be safely deleted — a GDI leak.
+    violation(GdiError::PenStillCustom,
+              "EndPaint while a custom pen is selected");
+    D->Live = false;
+    return GdiError::PenStillCustom;
+  }
+  D->Live = false;
+  Windows[WindowH - 1].ActiveDc = 0;
+  return GdiError::Ok;
+}
+
+GdiWorld::Handle GdiWorld::createPen(int Width, uint32_t Color) {
+  Pens.push_back(Pen{Width, Color, true});
+  return Pens.size();
+}
+
+GdiError GdiWorld::deletePen(Handle PenH) {
+  if (PenH < 1 || PenH > Pens.size() || !Pens[PenH - 1].Live) {
+    violation(GdiError::BadHandle, "DeletePen on dead pen");
+    return GdiError::BadHandle;
+  }
+  // Deleting a pen still selected into a live DC is a classic GDI bug.
+  for (const Dc &D : Dcs)
+    if (D.Live && D.SelectedPen == PenH) {
+      violation(GdiError::WrongState, "DeletePen while selected into a DC");
+      return GdiError::WrongState;
+    }
+  Pens[PenH - 1].Live = false;
+  return GdiError::Ok;
+}
+
+GdiError GdiWorld::selectPen(Handle DcH, Handle PenH, Handle &OutOld) {
+  Dc *D = dc(DcH);
+  if (!D) {
+    violation(GdiError::BadHandle, "SelectPen on dead DC");
+    return GdiError::BadHandle;
+  }
+  if (PenH < 1 || PenH > Pens.size() || !Pens[PenH - 1].Live) {
+    violation(GdiError::BadHandle, "SelectPen with dead pen");
+    return GdiError::BadHandle;
+  }
+  OutOld = D->SelectedPen;
+  D->SelectedPen = PenH;
+  return GdiError::Ok;
+}
+
+GdiError GdiWorld::restorePen(Handle DcH, Handle Old) {
+  Dc *D = dc(DcH);
+  if (!D) {
+    violation(GdiError::BadHandle, "RestorePen on dead DC");
+    return GdiError::BadHandle;
+  }
+  if (D->SelectedPen == 0) {
+    violation(GdiError::NotSelected, "RestorePen with no custom pen");
+    return GdiError::NotSelected;
+  }
+  D->SelectedPen = Old;
+  return GdiError::Ok;
+}
+
+GdiError GdiWorld::moveTo(Handle DcH, int X, int Y) {
+  Dc *D = dc(DcH);
+  if (!D) {
+    violation(GdiError::BadHandle, "MoveTo on dead DC");
+    return GdiError::BadHandle;
+  }
+  D->CurX = X;
+  D->CurY = Y;
+  return GdiError::Ok;
+}
+
+GdiError GdiWorld::lineTo(Handle DcH, int X, int Y) {
+  Dc *D = dc(DcH);
+  if (!D) {
+    violation(GdiError::BadHandle, "LineTo on dead DC");
+    return GdiError::BadHandle;
+  }
+  Drawn.push_back(DrawCommand{DcH, D->SelectedPen, D->CurX, D->CurY, X, Y});
+  D->CurX = X;
+  D->CurY = Y;
+  return GdiError::Ok;
+}
+
+bool GdiWorld::isDcLive(Handle DcH) const {
+  return DcH >= 1 && DcH <= Dcs.size() && Dcs[DcH - 1].Live;
+}
+
+size_t GdiWorld::liveDcCount() const {
+  size_t N = 0;
+  for (const Dc &D : Dcs)
+    if (D.Live)
+      ++N;
+  return N;
+}
+
+std::vector<GdiWorld::Handle> GdiWorld::leakedDcs() const {
+  std::vector<Handle> Out;
+  for (size_t I = 0; I != Dcs.size(); ++I)
+    if (Dcs[I].Live)
+      Out.push_back(I + 1);
+  return Out;
+}
+
+size_t GdiWorld::livePenCount() const {
+  size_t N = 0;
+  for (const Pen &P : Pens)
+    if (P.Live)
+      ++N;
+  return N;
+}

@@ -1,0 +1,119 @@
+//===- Gdi.h - Graphics device-context substrate ----------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §6 names "graphic interfaces" as the next domain to
+/// validate Vault's resource features on. This substrate implements a
+/// Windows-GDI-style paint protocol:
+///
+///   BeginPaint -> (SelectPen -> draw* -> RestorePen)* -> EndPaint
+///
+/// with the classic GDI rules the Vault interface (corpus/include/
+/// gdi.vlt) enforces statically: a device context must be released by
+/// EndPaint exactly once, drawing requires a live DC, the original pen
+/// must be restored before release (otherwise the selected object
+/// leaks), and created pens must be deleted. As with the other
+/// substrates, every rule is also checked dynamically so the oracle
+/// can play the "testing" baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_GDI_GDI_H
+#define VAULT_GDI_GDI_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vault::gdi {
+
+enum class GdiError : uint8_t {
+  Ok,
+  BadHandle,      ///< Unknown or released handle.
+  WrongState,     ///< Operation in the wrong protocol state.
+  PenStillCustom, ///< EndPaint while a custom pen is selected.
+  NotSelected,    ///< Restore with no custom pen selected.
+};
+
+const char *gdiErrorName(GdiError E);
+
+/// The simulated graphics world: windows, device contexts, pens, and
+/// a recorded display list (so tests can assert on what was drawn).
+class GdiWorld {
+public:
+  using Handle = uint64_t;
+
+  struct DrawCommand {
+    Handle Dc;
+    Handle Pen; ///< 0 = stock pen.
+    int X0, Y0, X1, Y1;
+  };
+
+  Handle createWindow(std::string Title);
+
+  /// Opens a paint session on a window, returning a fresh DC with the
+  /// stock pen selected.
+  GdiError beginPaint(Handle Window, Handle &OutDc);
+
+  /// Closes a paint session. PenStillCustom if a custom pen is still
+  /// selected (the GDI object would leak); WrongState on double end.
+  GdiError endPaint(Handle Window, Handle Dc);
+
+  Handle createPen(int Width, uint32_t Color);
+  GdiError deletePen(Handle Pen);
+
+  /// Selects \p Pen into \p Dc, returning the previously selected pen
+  /// through \p OutOld. The DC moves to the "custom" state.
+  GdiError selectPen(Handle Dc, Handle Pen, Handle &OutOld);
+
+  /// Restores \p Old (as returned by selectPen); DC back to "plain".
+  GdiError restorePen(Handle Dc, Handle Old);
+
+  GdiError moveTo(Handle Dc, int X, int Y);
+  GdiError lineTo(Handle Dc, int X, int Y);
+
+  const std::vector<DrawCommand> &displayList() const { return Drawn; }
+
+  bool isDcLive(Handle Dc) const;
+  size_t liveDcCount() const;
+  std::vector<Handle> leakedDcs() const;
+  size_t livePenCount() const;
+
+  unsigned violationCount() const { return Violations; }
+  const std::vector<std::string> &violationLog() const { return Log; }
+
+private:
+  struct Window {
+    std::string Title;
+    Handle ActiveDc = 0;
+  };
+  struct Dc {
+    Handle Window = 0;
+    bool Live = false;
+    Handle SelectedPen = 0; ///< 0 = stock pen ("plain" state).
+    int CurX = 0, CurY = 0;
+  };
+  struct Pen {
+    int Width = 1;
+    uint32_t Color = 0;
+    bool Live = false;
+  };
+
+  Dc *dc(Handle H);
+  void violation(GdiError E, const std::string &What);
+
+  std::vector<Window> Windows;
+  std::vector<Dc> Dcs;
+  std::vector<Pen> Pens;
+  std::vector<DrawCommand> Drawn;
+  unsigned Violations = 0;
+  std::vector<std::string> Log;
+};
+
+} // namespace vault::gdi
+
+#endif // VAULT_GDI_GDI_H

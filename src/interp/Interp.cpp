@@ -1,0 +1,494 @@
+//===- Interp.cpp ---------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+using namespace vault;
+using namespace vault::interp;
+
+Interp::Interp(VaultCompiler &C) : Compiler(C) {
+  registerDefaultBuiltins(*this);
+}
+
+const FuncDecl *Interp::findFunction(const std::string &Name) const {
+  FuncSig *Sig = Compiler.globals().findFunction(Name);
+  return Sig ? Sig->Decl : nullptr;
+}
+
+unsigned Interp::totalViolations() const {
+  unsigned N = static_cast<unsigned>(Violations.size());
+  N += Regions.violationCount();
+  N += Sockets.violationCount();
+  N += Gdi.violationCount();
+  return N;
+}
+
+bool Interp::run(const std::string &Name, std::vector<Value> Args) {
+  const FuncDecl *F = findFunction(Name);
+  if (!F || !F->body()) {
+    trap("no function '" + Name + "' with a body");
+    return false;
+  }
+  Result = callFunction(F, std::move(Args), nullptr);
+  return !Trapped;
+}
+
+Value Interp::callFunction(const FuncDecl *F, std::vector<Value> Args,
+                           std::shared_ptr<Env> Captured) {
+  auto E = std::make_shared<Env>();
+  E->Parent = std::move(Captured);
+  for (size_t I = 0; I != F->params().size() && I < Args.size(); ++I) {
+    const std::string &N = F->params()[I].Name;
+    if (!N.empty())
+      E->Vars[N] = std::move(Args[I]);
+  }
+  ReturnSlot = Value::unit();
+  execBlock(F->body(), E);
+  return ReturnSlot;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Interp::Flow Interp::execBlock(const BlockStmt *B, std::shared_ptr<Env> &E) {
+  auto Inner = std::make_shared<Env>();
+  Inner->Parent = E;
+  for (const Stmt *S : B->stmts()) {
+    if (!step())
+      return Flow::Return;
+    if (execStmt(S, Inner) == Flow::Return)
+      return Flow::Return;
+  }
+  return Flow::Normal;
+}
+
+Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
+  if (!step())
+    return Flow::Return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    return execBlock(cast<BlockStmt>(S), E);
+  case StmtKind::Decl: {
+    const Decl *D = cast<DeclStmt>(S)->decl();
+    if (const auto *V = dyn_cast<VarDecl>(D)) {
+      E->Vars[V->name()] =
+          V->init() ? evalExpr(V->init(), E) : Value::unit();
+      return Flow::Normal;
+    }
+    if (const auto *F = dyn_cast<FuncDecl>(D)) {
+      auto FD = std::make_shared<FuncData>();
+      FD->Decl = F;
+      FD->Captured = E;
+      E->Vars[F->name()] = Value::funcV(std::move(FD));
+      return Flow::Normal;
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::Expr:
+    evalExpr(cast<ExprStmt>(S)->expr(), E);
+    return Flow::Normal;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Value C = evalExpr(I->cond(), E);
+    if (C.asBool())
+      return execStmt(I->thenStmt(), E);
+    if (I->elseStmt())
+      return execStmt(I->elseStmt(), E);
+    return Flow::Normal;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    while (!Trapped && evalExpr(W->cond(), E).asBool()) {
+      if (!step())
+        return Flow::Return;
+      if (execStmt(W->body(), E) == Flow::Return)
+        return Flow::Return;
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    ReturnSlot = R->value() ? evalExpr(R->value(), E) : Value::unit();
+    return Flow::Return;
+  }
+  case StmtKind::Switch: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    Value Subj = evalExpr(Sw->subject(), E);
+    // A tracked variant is tested through its cell.
+    if (Subj.kind() == Value::Kind::Tracked)
+      Subj = derefForAccess(Subj, Sw->loc(), "switch subject");
+    if (Subj.kind() != Value::Kind::Variant) {
+      trap("switch on a non-variant value");
+      return Flow::Normal;
+    }
+    const SwitchStmt::Case *Default = nullptr;
+    for (const SwitchStmt::Case &C : Sw->cases()) {
+      if (C.Pattern.IsDefault) {
+        Default = &C;
+        continue;
+      }
+      if (C.Pattern.CtorName != Subj.variantData()->Tag)
+        continue;
+      auto Inner = std::make_shared<Env>();
+      Inner->Parent = E;
+      for (size_t I = 0; I < C.Pattern.Binders.size() &&
+                         I < Subj.variantData()->Payload.size();
+           ++I)
+        if (!C.Pattern.Binders[I].empty())
+          Inner->Vars[C.Pattern.Binders[I]] =
+              Subj.variantData()->Payload[I];
+      for (const Stmt *Sub : C.Body)
+        if (execStmt(Sub, Inner) == Flow::Return)
+          return Flow::Return;
+      return Flow::Normal;
+    }
+    if (Default) {
+      auto Inner = std::make_shared<Env>();
+      Inner->Parent = E;
+      for (const Stmt *Sub : Default->Body)
+        if (execStmt(Sub, Inner) == Flow::Return)
+          return Flow::Return;
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::Free: {
+    Value V = evalExpr(cast<FreeStmt>(S)->operand(), E);
+    if (V.kind() == Value::Kind::Tracked && V.cell()) {
+      if (!V.cell()->Alive)
+        violation("double free of tracked object");
+      V.cell()->Alive = false;
+      return Flow::Normal;
+    }
+    if (V.kind() == Value::Kind::Region) {
+      if (!Regions.destroy(V.handle()))
+        violation("free of dead region");
+      return Flow::Normal;
+    }
+    if (V.kind() == Value::Kind::Tuple || V.kind() == Value::Kind::Variant)
+      return Flow::Normal; // Freeing an unpacked box: no-op.
+    violation("free of a non-tracked value");
+    return Flow::Normal;
+  }
+  }
+  return Flow::Normal;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Value Interp::derefForAccess(const Value &V, SourceLoc Loc, const char *What) {
+  (void)Loc;
+  if (V.kind() != Value::Kind::Tracked || !V.cell())
+    return V;
+  const auto &C = V.cell();
+  if (!C->Alive) {
+    violation(std::string("use after free: ") + What);
+    return Value::unit();
+  }
+  if (C->Region != 0 && !Regions.isLive(C->Region)) {
+    violation(std::string("dangling region access: ") + What);
+    return Value::unit();
+  }
+  return C->Inner ? *C->Inner : Value::unit();
+}
+
+Value *Interp::evalLValue(const Expr *E, std::shared_ptr<Env> &Ev) {
+  if (const auto *N = dyn_cast<NameExpr>(E))
+    return Ev->lookup(N->name());
+  if (const auto *F = dyn_cast<FieldExpr>(E)) {
+    Value *Base = evalLValue(F->base(), Ev);
+    Value Tmp;
+    Value *Target = Base;
+    if (!Base) {
+      // Base may be an rvalue (e.g. a call); evaluate it.
+      Tmp = evalExpr(F->base(), Ev);
+      Target = &Tmp;
+    }
+    Value Record = *Target;
+    if (Record.kind() == Value::Kind::Tracked) {
+      if (!Record.cell()->Alive ||
+          (Record.cell()->Region && !Regions.isLive(Record.cell()->Region))) {
+        violation("field access through dead tracked object");
+        return nullptr;
+      }
+      Record = Record.cell()->Inner ? *Record.cell()->Inner : Value::unit();
+      if (Record.kind() == Value::Kind::Struct) {
+        auto It = Record.structData()->Fields.find(F->field());
+        if (It != Record.structData()->Fields.end())
+          return &It->second;
+      }
+      return nullptr;
+    }
+    if (Record.kind() == Value::Kind::Struct) {
+      auto It = Record.structData()->Fields.find(F->field());
+      if (It != Record.structData()->Fields.end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+  if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+    Value *Base = evalLValue(Ix->base(), Ev);
+    if (!Base)
+      return nullptr;
+    Value Idx = evalExpr(Ix->index(), Ev);
+    Value Arr = derefForAccess(*Base, E->loc(), "index");
+    if (Arr.kind() == Value::Kind::Array && Arr.array()) {
+      auto &Elems = Arr.array()->Elems;
+      if (Idx.asInt() >= 0 &&
+          static_cast<size_t>(Idx.asInt()) < Elems.size())
+        return &Elems[Idx.asInt()];
+      trap("array index out of bounds");
+    }
+    if (Base->kind() == Value::Kind::Tuple) {
+      auto &Elems = Base->tupleElems();
+      if (Idx.asInt() >= 0 &&
+          static_cast<size_t>(Idx.asInt()) < Elems.size())
+        return &Elems[Idx.asInt()];
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+Value Interp::evalCall(const CallExpr *E, std::shared_ptr<Env> &Ev) {
+  std::string Name;
+  std::string Qualified;
+  if (const auto *N = dyn_cast<NameExpr>(E->callee())) {
+    Name = N->name();
+    // A local function value shadows globals.
+    if (Value *V = Ev->lookup(Name); V && V->kind() == Value::Kind::Func) {
+      std::vector<Value> Args;
+      for (const Expr *A : E->args())
+        Args.push_back(evalExpr(A, Ev));
+      return callFunction(V->func()->Decl, std::move(Args),
+                          V->func()->Captured);
+    }
+  } else if (const auto *F = dyn_cast<FieldExpr>(E->callee())) {
+    if (const auto *Base = dyn_cast<NameExpr>(F->base())) {
+      Name = F->field();
+      Qualified = Base->name() + "." + F->field();
+    }
+  }
+  if (Name.empty()) {
+    trap("unsupported call target");
+    return Value::unit();
+  }
+
+  std::vector<Value> Args;
+  for (const Expr *A : E->args())
+    Args.push_back(evalExpr(A, Ev));
+
+  // User-defined function with a body?
+  if (const FuncDecl *F = findFunction(Name); F && F->body())
+    return callFunction(F, std::move(Args), nullptr);
+
+  // Builtin (qualified name first).
+  if (!Qualified.empty())
+    if (auto It = Builtins.find(Qualified); It != Builtins.end())
+      return It->second(*this, Args);
+  if (auto It = Builtins.find(Name); It != Builtins.end())
+    return It->second(*this, Args);
+
+  trap("call to undefined function '" + (Qualified.empty() ? Name : Qualified) +
+       "' (no body, no builtin)");
+  return Value::unit();
+}
+
+Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
+  if (!step())
+    return Value::unit();
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    return Value::intV(cast<IntLiteralExpr>(E)->value());
+  case ExprKind::BoolLiteral:
+    return Value::boolV(cast<BoolLiteralExpr>(E)->value());
+  case ExprKind::StringLiteral:
+    return Value::strV(cast<StringLiteralExpr>(E)->value());
+  case ExprKind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (Value *V = Ev->lookup(N->name()))
+      return *V;
+    // A top-level function used as a value.
+    if (const FuncDecl *F = findFunction(N->name())) {
+      auto FD = std::make_shared<FuncData>();
+      FD->Decl = F;
+      return Value::funcV(std::move(FD));
+    }
+    trap("unknown name '" + N->name() + "'");
+    return Value::unit();
+  }
+  case ExprKind::Call:
+    return evalCall(cast<CallExpr>(E), Ev);
+  case ExprKind::Ctor: {
+    const auto *C = cast<CtorExpr>(E);
+    auto D = std::make_shared<VariantData>();
+    D->Tag = C->name();
+    for (const Expr *A : C->args())
+      D->Payload.push_back(evalExpr(A, Ev));
+    return Value::variantV(std::move(D));
+  }
+  case ExprKind::New: {
+    const auto *N = cast<NewExpr>(E);
+    auto SD = std::make_shared<StructData>();
+    // Zero-fill declared fields, then apply initializers.
+    if (const auto *Named = dyn_cast<NamedTypeExpr>(N->typeExpr()))
+      if (const auto *StD = dyn_cast<StructDecl>(
+              Compiler.globals().findType(Named->name())
+                  ? Compiler.globals().findType(Named->name())
+                  : nullptr))
+        for (const StructDecl::Field &F : StD->fields())
+          SD->Fields[F.Name] = Value::intV(0);
+    for (const NewExpr::FieldInit &FI : N->inits())
+      SD->Fields[FI.Field] = evalExpr(FI.Init, Ev);
+    Value Inner = Value::structV(std::move(SD));
+
+    auto Cell = std::make_shared<CellData>();
+    Cell->Inner = std::make_shared<Value>(std::move(Inner));
+    Cell->Alive = true;
+    if (N->region()) {
+      Value R = evalExpr(N->region(), Ev);
+      if (R.kind() != Value::Kind::Region) {
+        trap("new(rgn) with a non-region value");
+        return Value::unit();
+      }
+      if (!Regions.isLive(R.handle()))
+        violation("allocation from deleted region");
+      else
+        Regions.allocate(R.handle(), 64); // Account the allocation.
+      Cell->Region = R.handle();
+      return Value::trackedV(std::move(Cell));
+    }
+    if (N->isTracked())
+      return Value::trackedV(std::move(Cell));
+    return *Cell->Inner; // Plain record value.
+  }
+  case ExprKind::Field: {
+    const auto *F = cast<FieldExpr>(E);
+    Value Base = evalExpr(F->base(), Ev);
+    Value Record = derefForAccess(Base, E->loc(), "field access");
+    if (Record.kind() == Value::Kind::Struct) {
+      auto It = Record.structData()->Fields.find(F->field());
+      if (It != Record.structData()->Fields.end())
+        return It->second;
+    }
+    return Value::unit();
+  }
+  case ExprKind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    Value Base = evalExpr(Ix->base(), Ev);
+    Value Idx = evalExpr(Ix->index(), Ev);
+    Value Arr = derefForAccess(Base, E->loc(), "index");
+    if (Arr.kind() == Value::Kind::Array && Arr.array()) {
+      auto &Elems = Arr.array()->Elems;
+      if (Idx.asInt() >= 0 &&
+          static_cast<size_t>(Idx.asInt()) < Elems.size())
+        return Elems[Idx.asInt()];
+      trap("array index out of bounds");
+      return Value::unit();
+    }
+    if (Base.kind() == Value::Kind::Tuple) {
+      auto &Elems = Base.tupleElems();
+      if (Idx.asInt() >= 0 &&
+          static_cast<size_t>(Idx.asInt()) < Elems.size())
+        return Elems[Idx.asInt()];
+    }
+    return Value::unit();
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Value V = derefForAccess(evalExpr(U->operand(), Ev), E->loc(), "operand");
+    if (U->op() == UnaryOp::Not)
+      return Value::boolV(!V.asBool());
+    return Value::intV(-V.asInt());
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    // Short-circuit logicals.
+    if (B->op() == BinaryOp::And) {
+      Value L = evalExpr(B->lhs(), Ev);
+      if (!L.asBool())
+        return Value::boolV(false);
+      return Value::boolV(evalExpr(B->rhs(), Ev).asBool());
+    }
+    if (B->op() == BinaryOp::Or) {
+      Value L = evalExpr(B->lhs(), Ev);
+      if (L.asBool())
+        return Value::boolV(true);
+      return Value::boolV(evalExpr(B->rhs(), Ev).asBool());
+    }
+    Value L = derefForAccess(evalExpr(B->lhs(), Ev), E->loc(), "operand");
+    Value R = derefForAccess(evalExpr(B->rhs(), Ev), E->loc(), "operand");
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return Value::intV(L.asInt() + R.asInt());
+    case BinaryOp::Sub:
+      return Value::intV(L.asInt() - R.asInt());
+    case BinaryOp::Mul:
+      return Value::intV(L.asInt() * R.asInt());
+    case BinaryOp::Div:
+      if (R.asInt() == 0) {
+        trap("division by zero");
+        return Value::intV(0);
+      }
+      return Value::intV(L.asInt() / R.asInt());
+    case BinaryOp::Rem:
+      if (R.asInt() == 0) {
+        trap("remainder by zero");
+        return Value::intV(0);
+      }
+      return Value::intV(L.asInt() % R.asInt());
+    case BinaryOp::Eq:
+      return Value::boolV(L.equals(R));
+    case BinaryOp::Ne:
+      return Value::boolV(!L.equals(R));
+    case BinaryOp::Lt:
+      return Value::boolV(L.asInt() < R.asInt());
+    case BinaryOp::Le:
+      return Value::boolV(L.asInt() <= R.asInt());
+    case BinaryOp::Gt:
+      return Value::boolV(L.asInt() > R.asInt());
+    case BinaryOp::Ge:
+      return Value::boolV(L.asInt() >= R.asInt());
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break;
+    }
+    return Value::unit();
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    Value RHS = evalExpr(A->rhs(), Ev);
+    if (Value *Slot = evalLValue(A->lhs(), Ev)) {
+      *Slot = RHS;
+      return Value::unit();
+    }
+    // Implicit declaration? No — uninitialized vars exist in Env as
+    // Unit; unknown names are an error.
+    if (const auto *N = dyn_cast<NameExpr>(A->lhs())) {
+      trap("assignment to unknown variable '" + N->name() + "'");
+      return Value::unit();
+    }
+    violation("assignment through dead object");
+    return Value::unit();
+  }
+  case ExprKind::IncDec: {
+    const auto *I = cast<IncDecExpr>(E);
+    if (Value *Slot = evalLValue(I->base(), Ev)) {
+      int64_t Old = Slot->asInt();
+      *Slot = Value::intV(I->isIncrement() ? Old + 1 : Old - 1);
+      return Value::intV(Old);
+    }
+    violation("increment through dead object");
+    return Value::unit();
+  }
+  case ExprKind::Tuple: {
+    const auto *T = cast<TupleExpr>(E);
+    std::vector<Value> Elems;
+    for (const Expr *El : T->elems())
+      Elems.push_back(evalExpr(El, Ev));
+    return Value::tupleV(std::move(Elems));
+  }
+  }
+  return Value::unit();
+}

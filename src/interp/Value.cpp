@@ -1,0 +1,200 @@
+//===- Value.cpp ----------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+using namespace vault::interp;
+
+Value Value::intV(int64_t I) {
+  Value V;
+  V.K = Kind::Int;
+  V.I = I;
+  return V;
+}
+
+Value Value::boolV(bool B) {
+  Value V;
+  V.K = Kind::Bool;
+  V.I = B ? 1 : 0;
+  return V;
+}
+
+Value Value::byteV(uint8_t B) {
+  Value V;
+  V.K = Kind::Byte;
+  V.I = B;
+  return V;
+}
+
+Value Value::strV(std::string S) {
+  Value V;
+  V.K = Kind::Str;
+  V.S = std::move(S);
+  return V;
+}
+
+Value Value::structV(std::shared_ptr<StructData> D) {
+  Value V;
+  V.K = Kind::Struct;
+  V.Struct = std::move(D);
+  return V;
+}
+
+Value Value::variantV(std::shared_ptr<VariantData> D) {
+  Value V;
+  V.K = Kind::Variant;
+  V.Var = std::move(D);
+  return V;
+}
+
+Value Value::trackedV(std::shared_ptr<CellData> C) {
+  Value V;
+  V.K = Kind::Tracked;
+  V.Cell = std::move(C);
+  return V;
+}
+
+Value Value::regionV(uint64_t Handle) {
+  Value V;
+  V.K = Kind::Region;
+  V.I = static_cast<int64_t>(Handle);
+  return V;
+}
+
+Value Value::handleV(std::string Tag, uint64_t Handle) {
+  Value V;
+  V.K = Kind::Handle;
+  V.S = std::move(Tag);
+  V.I = static_cast<int64_t>(Handle);
+  return V;
+}
+
+Value Value::arrayV(std::shared_ptr<ArrayData> A) {
+  Value V;
+  V.K = Kind::Array;
+  V.Arr = std::move(A);
+  return V;
+}
+
+Value Value::tupleV(std::vector<Value> Elems) {
+  Value V;
+  V.K = Kind::Tuple;
+  V.Tup = std::move(Elems);
+  return V;
+}
+
+Value Value::funcV(std::shared_ptr<FuncData> F) {
+  Value V;
+  V.K = Kind::Func;
+  V.Fn = std::move(F);
+  return V;
+}
+
+bool Value::equals(const Value &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Unit:
+    return true;
+  case Kind::Int:
+  case Kind::Bool:
+  case Kind::Byte:
+    return I == O.I;
+  case Kind::Str:
+    return S == O.S;
+  case Kind::Region:
+  case Kind::Handle:
+    return I == O.I && S == O.S;
+  case Kind::Variant: {
+    if (Var->Tag != O.Var->Tag ||
+        Var->Payload.size() != O.Var->Payload.size())
+      return false;
+    for (size_t Idx = 0; Idx != Var->Payload.size(); ++Idx)
+      if (!Var->Payload[Idx].equals(O.Var->Payload[Idx]))
+        return false;
+    return true;
+  }
+  case Kind::Tracked:
+    return Cell == O.Cell;
+  case Kind::Struct:
+    return Struct == O.Struct;
+  case Kind::Array:
+    return Arr == O.Arr;
+  case Kind::Func:
+    return Fn == O.Fn;
+  case Kind::Tuple: {
+    if (Tup.size() != O.Tup.size())
+      return false;
+    for (size_t Idx = 0; Idx != Tup.size(); ++Idx)
+      if (!Tup[Idx].equals(O.Tup[Idx]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case Kind::Unit:
+    return "()";
+  case Kind::Int:
+    return std::to_string(I);
+  case Kind::Bool:
+    return I ? "true" : "false";
+  case Kind::Byte:
+    return std::to_string(I) + "b";
+  case Kind::Str:
+    return "\"" + S + "\"";
+  case Kind::Struct: {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &[Name, V] : Struct->Fields) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Name + "=" + V.str();
+    }
+    return Out + "}";
+  }
+  case Kind::Variant: {
+    std::string Out = "'" + Var->Tag;
+    if (!Var->Payload.empty()) {
+      Out += "(";
+      bool First = true;
+      for (const Value &V : Var->Payload) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += V.str();
+      }
+      Out += ")";
+    }
+    return Out;
+  }
+  case Kind::Tracked:
+    return Cell ? (Cell->Alive ? "tracked " +
+                                     (Cell->Inner ? Cell->Inner->str() : "?")
+                               : "<dead>")
+                : "<null>";
+  case Kind::Region:
+    return "region#" + std::to_string(I);
+  case Kind::Handle:
+    return S + "#" + std::to_string(I);
+  case Kind::Array:
+    return "[" + std::to_string(Arr ? Arr->Elems.size() : 0) + " elems]";
+  case Kind::Tuple: {
+    std::string Out = "(";
+    bool First = true;
+    for (const Value &V : Tup) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += V.str();
+    }
+    return Out + ")";
+  }
+  case Kind::Func:
+    return "<fn " + (Fn && Fn->Decl ? Fn->Decl->name() : "?") + ">";
+  }
+  return "?";
+}

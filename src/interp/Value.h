@@ -1,0 +1,145 @@
+//===- Value.h - Interpreter values -----------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-time values of the Vault interpreter. Keys and guards have no
+/// run-time representation (the paper's erasure property) — but
+/// tracked heap cells and region-allocated records carry *liveness*
+/// bits so the interpreter can serve as the dynamic oracle: a program
+/// that the checker accepts must never trip one of these bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_INTERP_VALUE_H
+#define VAULT_INTERP_VALUE_H
+
+#include "ast/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vault::interp {
+
+class Value;
+struct Env;
+
+struct StructData {
+  std::map<std::string, Value> Fields;
+};
+
+struct VariantData {
+  std::string Tag;
+  std::vector<Value> Payload;
+};
+
+/// A tracked heap cell (or region-allocated record when Region != 0).
+struct CellData {
+  std::shared_ptr<Value> Inner;
+  bool Alive = true;
+  uint64_t Region = 0; ///< Owning region handle, 0 for `new tracked`.
+};
+
+struct ArrayData {
+  std::vector<Value> Elems;
+};
+
+/// A function value: a top-level or nested function plus its captured
+/// environment.
+struct FuncData {
+  const FuncDecl *Decl = nullptr;
+  std::shared_ptr<Env> Captured;
+};
+
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Unit,
+    Int,
+    Bool,
+    Byte,
+    Str,
+    Struct,
+    Variant,
+    Tracked,
+    Region, ///< Opaque region handle.
+    Handle, ///< Other opaque handle (socket, file, ...), tagged.
+    Array,
+    Tuple,
+    Func,
+  };
+
+  Value() = default;
+
+  static Value unit() { return Value(); }
+  static Value intV(int64_t I);
+  static Value boolV(bool B);
+  static Value byteV(uint8_t B);
+  static Value strV(std::string S);
+  static Value structV(std::shared_ptr<StructData> D);
+  static Value variantV(std::shared_ptr<VariantData> D);
+  static Value trackedV(std::shared_ptr<CellData> C);
+  static Value regionV(uint64_t Handle);
+  static Value handleV(std::string Tag, uint64_t Handle);
+  static Value arrayV(std::shared_ptr<ArrayData> A);
+  static Value tupleV(std::vector<Value> Elems);
+  static Value funcV(std::shared_ptr<FuncData> F);
+
+  Kind kind() const { return K; }
+  bool isUnit() const { return K == Kind::Unit; }
+
+  int64_t asInt() const { return I; }
+  bool asBool() const { return I != 0; }
+  const std::string &asStr() const { return S; }
+  uint64_t handle() const { return static_cast<uint64_t>(I); }
+  const std::string &handleTag() const { return S; }
+
+  const std::shared_ptr<StructData> &structData() const { return Struct; }
+  const std::shared_ptr<VariantData> &variantData() const { return Var; }
+  const std::shared_ptr<CellData> &cell() const { return Cell; }
+  const std::shared_ptr<ArrayData> &array() const { return Arr; }
+  const std::shared_ptr<FuncData> &func() const { return Fn; }
+  std::vector<Value> &tupleElems() { return Tup; }
+  const std::vector<Value> &tupleElems() const { return Tup; }
+
+  /// Structural equality on scalars and variants (tags); reference
+  /// equality on cells.
+  bool equals(const Value &O) const;
+
+  /// Debug / print rendering.
+  std::string str() const;
+
+private:
+  Kind K = Kind::Unit;
+  int64_t I = 0;
+  std::string S;
+  std::shared_ptr<StructData> Struct;
+  std::shared_ptr<VariantData> Var;
+  std::shared_ptr<CellData> Cell;
+  std::shared_ptr<ArrayData> Arr;
+  std::shared_ptr<FuncData> Fn;
+  std::vector<Value> Tup;
+};
+
+/// A lexical environment frame; frames are shared so closures can
+/// capture them.
+struct Env {
+  std::shared_ptr<Env> Parent;
+  std::map<std::string, Value> Vars;
+
+  Value *lookup(const std::string &Name) {
+    auto It = Vars.find(Name);
+    if (It != Vars.end())
+      return &It->second;
+    return Parent ? Parent->lookup(Name) : nullptr;
+  }
+};
+
+} // namespace vault::interp
+
+#endif // VAULT_INTERP_VALUE_H

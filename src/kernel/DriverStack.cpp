@@ -1,0 +1,190 @@
+//===- DriverStack.cpp ----------------------------------------------------===//
+
+#include "kernel/DriverStack.h"
+
+using namespace vault::kern;
+
+DeviceObject *Kernel::createDevice(std::string Name) {
+  Devices.push_back(std::make_unique<DeviceObject>(std::move(Name), 0));
+  return Devices.back().get();
+}
+
+void Kernel::attach(DeviceObject *Upper, DeviceObject *LowerDev) {
+  Upper->Lower = LowerDev;
+  Upper->StackLevel = LowerDev->StackLevel + 1;
+}
+
+size_t Kernel::stackDepth(const DeviceObject *Top) const {
+  size_t N = 0;
+  for (const DeviceObject *D = Top; D; D = D->lower())
+    ++N;
+  return N;
+}
+
+Irp *Kernel::allocateIrp(IrpMajor Major, const DeviceObject *Top,
+                         size_t BufferSize) {
+  ++S.IrpsAllocated;
+  Irps.push_back(std::make_unique<Irp>(NextIrpId++, Major,
+                                       stackDepth(Top), BufferSize, O));
+  return Irps.back().get();
+}
+
+DriverStatus Kernel::dispatchTo(DeviceObject *Dev, Irp *I) {
+  ++S.Dispatches;
+  I->Owner = Irp::OwnerKind::DriverOwned;
+  I->OwnerTag = Dev;
+  I->Resolved = Irp::Resolution::None;
+
+  const DispatchFn &Fn = Dev->dispatch(I->major());
+  DriverStatus DS;
+  if (!Fn) {
+    // No handler: a well-behaved driver completes with
+    // STATUS_INVALID_DEVICE_REQUEST.
+    DS = completeRequest(I, NtStatus::InvalidDeviceRequest);
+  } else {
+    DS = Fn(*this, *Dev, *I);
+  }
+
+  // §4.1: every path must complete, pass down, or pend the IRP. The
+  // oracle detects the executed path's failure to do so.
+  if (I->Resolved == Irp::Resolution::None)
+    O.record(Violation::IrpLeak,
+             "dispatch of " + std::string(irpMajorName(I->major())) +
+                 " IRP #" + std::to_string(I->id()) + " by '" + Dev->name() +
+                 "' neither completed, passed down, nor pended it");
+  return DS;
+}
+
+NtStatus Kernel::sendRequest(DeviceObject *Top, Irp *I) {
+  dispatchTo(Top, I);
+  while (!I->isCompleted() && runOneWorkItem())
+    ;
+  if (!I->isCompleted())
+    return NtStatus::Pending;
+  return I->Status;
+}
+
+DriverStatus Kernel::callDriver(DeviceObject *Below, Irp *I) {
+  if (!Below) {
+    O.record(Violation::UseAfterFree,
+             "IoCallDriver with no lower device for IRP #" +
+                 std::to_string(I->id()));
+    return completeRequest(I, NtStatus::NoSuchDevice);
+  }
+  // The caller relinquishes ownership.
+  Irp::Resolution &R = I->Resolved;
+  R = Irp::Resolution::PassedDown;
+  // Copy the relevant parameters into the next stack slot
+  // (IoCopyCurrentIrpStackLocationToNext) and advance.
+  size_t Slot = I->CurrentSlot;
+  if (Slot + 1 < I->Stack.size()) {
+    IoStackLocation Saved = I->Stack[Slot + 1];
+    I->Stack[Slot + 1] = I->Stack[Slot];
+    // Preserve a completion routine the *caller* installed for the
+    // next level.
+    I->Stack[Slot + 1].Completion = Saved.Completion;
+    I->Stack[Slot + 1].CompletionDevice = Saved.CompletionDevice;
+    ++I->CurrentSlot;
+  }
+  DriverStatus DS = dispatchTo(Below, I);
+  // After the call, the upper driver no longer owns the IRP; record
+  // its own resolution as PassedDown regardless of what the lower
+  // driver did.
+  I->Resolved = Irp::Resolution::PassedDown;
+  return DS;
+}
+
+DriverStatus Kernel::completeRequest(Irp *I, NtStatus Status) {
+  if (I->Owner == Irp::OwnerKind::Completed || I->Finalized) {
+    O.record(Violation::IrpDoubleComplete,
+             "IRP #" + std::to_string(I->id()) + " completed twice");
+    return DriverStatus::Complete;
+  }
+  I->Status = Status;
+  I->Resolved = Irp::Resolution::Completed;
+
+  // Run completion routines from the current slot upwards.
+  while (true) {
+    IoStackLocation &Loc = I->Stack[I->CurrentSlot];
+    CompletionRoutine R = std::move(Loc.Completion);
+    DeviceObject *Dev = Loc.CompletionDevice;
+    Loc.Completion = nullptr;
+    Loc.CompletionDevice = nullptr;
+    if (R && Dev) {
+      ++S.CompletionRoutinesRun;
+      // The kernel owns the IRP while the routine runs; the routine's
+      // driver may reclaim it.
+      I->Owner = Irp::OwnerKind::DriverOwned;
+      I->OwnerTag = Dev;
+      CompletionDisposition D = R(*this, *Dev, *I);
+      if (D == CompletionDisposition::MoreProcessingRequired) {
+        // Ownership reclaimed by Dev (paper Fig. 7); completion stops.
+        I->Resolved = Irp::Resolution::Pended;
+        return DriverStatus::Complete;
+      }
+    }
+    if (I->CurrentSlot == 0)
+      break;
+    --I->CurrentSlot;
+  }
+  I->Owner = Irp::OwnerKind::Completed;
+  I->OwnerTag = nullptr;
+  I->Finalized = true;
+  ++S.IrpsCompleted;
+  return DriverStatus::Complete;
+}
+
+DriverStatus Kernel::markIrpPending(Irp *I) {
+  I->PendingReturned = true;
+  I->Resolved = Irp::Resolution::Pended;
+  return DriverStatus::Pending;
+}
+
+void Kernel::setCompletionRoutine(Irp *I, DeviceObject *Dev,
+                                  CompletionRoutine R) {
+  I->checkAccess(Dev, "completion routine");
+  IoStackLocation &Loc = I->Stack[I->CurrentSlot];
+  Loc.Completion = std::move(R);
+  Loc.CompletionDevice = Dev;
+}
+
+bool Kernel::waitForEvent(KEvent &E) {
+  while (!E.Signaled) {
+    if (!runOneWorkItem()) {
+      O.record(Violation::EventDeadlock,
+               "wait on event '" + E.name() +
+                   "' with no runnable work to signal it");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Kernel::runOneWorkItem() {
+  if (WorkQueue.empty())
+    return false;
+  auto Fn = std::move(WorkQueue.front());
+  WorkQueue.pop_front();
+  ++S.WorkItemsRun;
+  Fn(*this);
+  return true;
+}
+
+size_t Kernel::runAllWork() {
+  size_t N = 0;
+  while (runOneWorkItem())
+    ++N;
+  return N;
+}
+
+unsigned Kernel::reportIrpLeaks() {
+  unsigned N = 0;
+  for (const auto &I : Irps) {
+    if (I->isCompleted() || I->Owner == Irp::OwnerKind::Freed)
+      continue;
+    ++N;
+    O.record(Violation::IrpLeak, "IRP #" + std::to_string(I->id()) +
+                                     " still outstanding at teardown");
+  }
+  return N;
+}

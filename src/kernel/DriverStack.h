@@ -1,0 +1,192 @@
+//===- DriverStack.h - The simulated kernel and driver stacks ---*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central simulated Windows-2000-style kernel (paper §4): device
+/// objects stacked into driver stacks, IRP dispatch with
+/// IoCallDriver / IoCompleteRequest / IoMarkIrpPending, completion
+/// routines that can reclaim ownership, kernel events, spin locks, the
+/// IRQL controller and the paged pool — all deterministic and
+/// single-threaded, with a deferred-work queue standing in for DPCs
+/// and worker threads.
+///
+/// Every protocol rule the Vault checker enforces statically is also
+/// checked dynamically here through the Oracle, so experiments can
+/// compare compile-time and run-time detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_DRIVERSTACK_H
+#define VAULT_KERNEL_DRIVERSTACK_H
+
+#include "kernel/Event.h"
+#include "kernel/Irp.h"
+#include "kernel/Irql.h"
+#include "kernel/PagedMemory.h"
+#include "kernel/SpinLock.h"
+
+#include <array>
+#include <deque>
+#include <memory>
+
+namespace vault::kern {
+
+/// What a dispatch routine reports back — the run-time analogue of the
+/// paper's abstract DSTATUS<I>: the routine *must* have completed,
+/// passed down, or pended the IRP to produce one.
+enum class DriverStatus : uint8_t {
+  Complete,   ///< IoCompleteRequest was called.
+  PassedDown, ///< IoCallDriver was called.
+  Pending,    ///< IoMarkIrpPending was called.
+};
+
+class DeviceObject;
+using DispatchFn =
+    std::function<DriverStatus(Kernel &, DeviceObject &, Irp &)>;
+
+class DeviceObject {
+public:
+  DeviceObject(std::string Name, unsigned StackLevel)
+      : Name(std::move(Name)), StackLevel(StackLevel) {}
+
+  const std::string &name() const { return Name; }
+  DeviceObject *lower() const { return Lower; }
+  unsigned stackLevel() const { return StackLevel; }
+
+  void setDispatch(IrpMajor M, DispatchFn F) {
+    Dispatch[static_cast<size_t>(M)] = std::move(F);
+  }
+  const DispatchFn &dispatch(IrpMajor M) const {
+    return Dispatch[static_cast<size_t>(M)];
+  }
+
+  /// Per-driver device extension.
+  template <typename T, typename... Args> T *createExtension(Args &&...As) {
+    auto P = std::make_shared<T>(std::forward<Args>(As)...);
+    T *Raw = P.get();
+    Extension = std::move(P);
+    return Raw;
+  }
+  template <typename T> T *extension() const {
+    return static_cast<T *>(Extension.get());
+  }
+
+private:
+  friend class Kernel;
+  std::string Name;
+  unsigned StackLevel;
+  DeviceObject *Lower = nullptr;
+  std::array<DispatchFn, static_cast<size_t>(IrpMajor::NumMajors)> Dispatch;
+  std::shared_ptr<void> Extension;
+};
+
+class Kernel {
+public:
+  Kernel() : Irqls(O), Pool(Irqls, O) {}
+
+  Oracle &oracle() { return O; }
+  IrqlController &irql() { return Irqls; }
+  PagedPool &pool() { return Pool; }
+
+  //===--------------------------------------------------------------------===//
+  // Device and stack management.
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a standalone device object.
+  DeviceObject *createDevice(std::string Name);
+
+  /// Attaches \p Upper on top of \p LowerDev (IoAttachDeviceToDeviceStack).
+  void attach(DeviceObject *Upper, DeviceObject *LowerDev);
+
+  /// Number of devices below \p Top, plus one (IRP stack size needed).
+  size_t stackDepth(const DeviceObject *Top) const;
+
+  //===--------------------------------------------------------------------===//
+  // IRP lifecycle.
+  //===--------------------------------------------------------------------===//
+
+  Irp *allocateIrp(IrpMajor Major, const DeviceObject *Top,
+                   size_t BufferSize = 0);
+
+  /// Sends \p I to the top of the stack and runs deferred work until
+  /// the IRP completes or the machine is idle. Returns the final
+  /// status (Pending if the IRP is still outstanding).
+  NtStatus sendRequest(DeviceObject *Top, Irp *I);
+
+  /// IoCallDriver: transfers ownership of \p I to \p Below and invokes
+  /// its dispatch routine.
+  DriverStatus callDriver(DeviceObject *Below, Irp *I);
+
+  /// IoCompleteRequest: completes \p I with \p Status, running the
+  /// attached completion routines bottom-up; a routine returning
+  /// MoreProcessingRequired reclaims ownership for its driver.
+  DriverStatus completeRequest(Irp *I, NtStatus Status);
+
+  /// IoMarkIrpPending: the driver keeps ownership and will complete
+  /// the IRP later from a work item.
+  DriverStatus markIrpPending(Irp *I);
+
+  /// IoSetCompletionRoutine on the *current* driver's behalf.
+  void setCompletionRoutine(Irp *I, DeviceObject *Dev, CompletionRoutine R);
+
+  //===--------------------------------------------------------------------===//
+  // Events and deferred work (DPC / worker-thread stand-in).
+  //===--------------------------------------------------------------------===//
+
+  void initializeEvent(KEvent &E) { E.Signaled = false; }
+  void setEvent(KEvent &E) { E.Signaled = true; }
+  /// Drains work until \p E is signaled; records EventDeadlock and
+  /// returns false if the queue runs dry first.
+  bool waitForEvent(KEvent &E);
+
+  void queueWorkItem(std::function<void(Kernel &)> Fn) {
+    WorkQueue.push_back(std::move(Fn));
+  }
+  bool runOneWorkItem();
+  size_t runAllWork();
+  size_t pendingWork() const { return WorkQueue.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Spin locks (forwarders that keep call sites uniform).
+  //===--------------------------------------------------------------------===//
+
+  Irql acquireSpinLock(SpinLock &L) { return L.acquire(Irqls, O); }
+  void releaseSpinLock(SpinLock &L, Irql Old) { L.release(Irqls, O, Old); }
+
+  //===--------------------------------------------------------------------===//
+  // Statistics and teardown.
+  //===--------------------------------------------------------------------===//
+
+  struct Stats {
+    uint64_t IrpsAllocated = 0;
+    uint64_t IrpsCompleted = 0;
+    uint64_t Dispatches = 0;
+    uint64_t CompletionRoutinesRun = 0;
+    uint64_t WorkItemsRun = 0;
+  };
+  const Stats &stats() const { return S; }
+
+  /// Records an IrpLeak violation for every live, un-completed IRP.
+  unsigned reportIrpLeaks();
+
+private:
+  /// Invokes a device's dispatch routine with ownership transfer and
+  /// resolution checking.
+  DriverStatus dispatchTo(DeviceObject *Dev, Irp *I);
+
+  Oracle O;
+  IrqlController Irqls;
+  PagedPool Pool;
+  std::vector<std::unique_ptr<DeviceObject>> Devices;
+  std::vector<std::unique_ptr<Irp>> Irps;
+  std::deque<std::function<void(Kernel &)>> WorkQueue;
+  Stats S;
+  uint64_t NextIrpId = 1;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_DRIVERSTACK_H

@@ -1,0 +1,5 @@
+//===- Event.cpp ----------------------------------------------------------===//
+
+#include "kernel/Event.h"
+
+// KEvent is header-only; this TU anchors the object file.

@@ -1,0 +1,40 @@
+//===- Event.h - Kernel events ----------------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KEVENT (paper §4.2): "an event allows one thread to block until
+/// another thread takes some action". In the deterministic
+/// single-threaded simulation, waiting drains the kernel's work queue
+/// until the event is signaled; an empty queue with the event still
+/// unsignaled is the dynamic analogue of a deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_EVENT_H
+#define VAULT_KERNEL_EVENT_H
+
+#include <string>
+
+namespace vault::kern {
+
+class Kernel;
+
+class KEvent {
+public:
+  explicit KEvent(std::string Name = "event") : Name(std::move(Name)) {}
+
+  bool isSignaled() const { return Signaled; }
+  const std::string &name() const { return Name; }
+
+private:
+  friend class Kernel;
+  std::string Name;
+  bool Signaled = false;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_EVENT_H

@@ -1,0 +1,51 @@
+//===- Irp.cpp ------------------------------------------------------------===//
+
+#include "kernel/Irp.h"
+
+using namespace vault::kern;
+
+const char *vault::kern::irpMajorName(IrpMajor M) {
+  switch (M) {
+  case IrpMajor::Create:
+    return "IRP_MJ_CREATE";
+  case IrpMajor::Close:
+    return "IRP_MJ_CLOSE";
+  case IrpMajor::Read:
+    return "IRP_MJ_READ";
+  case IrpMajor::Write:
+    return "IRP_MJ_WRITE";
+  case IrpMajor::DeviceControl:
+    return "IRP_MJ_DEVICE_CONTROL";
+  case IrpMajor::Pnp:
+    return "IRP_MJ_PNP";
+  case IrpMajor::Power:
+    return "IRP_MJ_POWER";
+  case IrpMajor::Cleanup:
+    return "IRP_MJ_CLEANUP";
+  case IrpMajor::NumMajors:
+    break;
+  }
+  return "?";
+}
+
+const char *vault::kern::ntStatusName(NtStatus S) {
+  switch (S) {
+  case NtStatus::Success:
+    return "STATUS_SUCCESS";
+  case NtStatus::Pending:
+    return "STATUS_PENDING";
+  case NtStatus::EndOfFile:
+    return "STATUS_END_OF_FILE";
+  case NtStatus::InvalidParameter:
+    return "STATUS_INVALID_PARAMETER";
+  case NtStatus::DeviceNotReady:
+    return "STATUS_DEVICE_NOT_READY";
+  case NtStatus::InvalidDeviceRequest:
+    return "STATUS_INVALID_DEVICE_REQUEST";
+  case NtStatus::Unsuccessful:
+    return "STATUS_UNSUCCESSFUL";
+  case NtStatus::NoSuchDevice:
+    return "STATUS_NO_SUCH_DEVICE";
+  }
+  return "?";
+}

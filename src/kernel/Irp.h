@@ -1,0 +1,172 @@
+//===- Irp.h - I/O request packets ------------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// I/O Request Packets (paper §4.1): the asynchronous unit of work
+/// between the simulated kernel and its drivers. The Windows 2000
+/// documentation describes an *ownership* model — an IRP belongs to
+/// the kernel until a service routine is invoked; the driver must then
+/// complete it, pass it down the stack, or mark it pending. This class
+/// tracks that ownership dynamically so the oracle can flag accesses
+/// without ownership, double completion, and IRPs that leak.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_IRP_H
+#define VAULT_KERNEL_IRP_H
+
+#include "kernel/Oracle.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vault::kern {
+
+class Kernel;
+class DeviceObject;
+class Irp;
+
+enum class IrpMajor : uint8_t {
+  Create,
+  Close,
+  Read,
+  Write,
+  DeviceControl,
+  Pnp,
+  Power,
+  Cleanup,
+  NumMajors
+};
+
+const char *irpMajorName(IrpMajor M);
+
+enum class PnpMinor : uint8_t {
+  None,
+  StartDevice,
+  QueryRemove,
+  RemoveDevice,
+};
+
+enum class NtStatus : int32_t {
+  Success = 0,
+  Pending = 0x103,
+  EndOfFile = -1,
+  InvalidParameter = -2,
+  DeviceNotReady = -3,
+  InvalidDeviceRequest = -4,
+  Unsuccessful = -5,
+  NoSuchDevice = -6,
+};
+
+const char *ntStatusName(NtStatus S);
+
+/// What a completion routine tells the kernel (paper §4.3's
+/// COMPLETION_RESULT): continue completing up the stack, or stop —
+/// the driver has reclaimed ownership.
+enum class CompletionDisposition : uint8_t {
+  Continue,
+  MoreProcessingRequired,
+};
+
+using CompletionRoutine =
+    std::function<CompletionDisposition(Kernel &, DeviceObject &, Irp &)>;
+
+/// Per-driver parameter area of an IRP (one slot per stack level).
+struct IoStackLocation {
+  IrpMajor Major = IrpMajor::Read;
+  PnpMinor Minor = PnpMinor::None;
+  uint64_t Offset = 0;
+  uint32_t Length = 0;
+  uint32_t ControlCode = 0;
+  DeviceObject *CompletionDevice = nullptr;
+  CompletionRoutine Completion;
+};
+
+class Irp {
+public:
+  enum class OwnerKind : uint8_t { KernelOwned, DriverOwned, Completed, Freed };
+  /// How the current dispatch resolved the IRP (§4.1: completed,
+  /// passed on, or pended — anything else is a leak).
+  enum class Resolution : uint8_t { None, Completed, PassedDown, Pended };
+
+  Irp(uint64_t Id, IrpMajor Major, size_t StackSlots, size_t BufferSize,
+      Oracle &O)
+      : Id(Id), Major(Major), O(O) {
+    Stack.resize(StackSlots ? StackSlots : 1);
+    for (IoStackLocation &L : Stack)
+      L.Major = Major;
+    Buffer.assign(BufferSize, 0);
+  }
+
+  uint64_t id() const { return Id; }
+  IrpMajor major() const { return Major; }
+
+  NtStatus Status = NtStatus::Success;
+  uint64_t Information = 0;
+  bool PendingReturned = false;
+
+  /// The system buffer, accessed only with ownership.
+  std::vector<uint8_t> &buffer(const void *Owner) {
+    checkAccess(Owner, "buffer");
+    return Buffer;
+  }
+  size_t bufferSize() const { return Buffer.size(); }
+
+  IoStackLocation &currentLocation(const void *Owner) {
+    checkAccess(Owner, "stack location");
+    return Stack[CurrentSlot];
+  }
+  /// The next-lower driver's stack location (IoGetNextIrpStackLocation).
+  IoStackLocation &nextLocation(const void *Owner) {
+    checkAccess(Owner, "next stack location");
+    size_t Next = CurrentSlot + 1 < Stack.size() ? CurrentSlot + 1
+                                                 : Stack.size() - 1;
+    return Stack[Next];
+  }
+  size_t stackDepth() const { return Stack.size(); }
+  size_t currentSlot() const { return CurrentSlot; }
+
+  OwnerKind owner() const { return Owner; }
+  const void *ownerTag() const { return OwnerTag; }
+  Resolution resolution() const { return Resolved; }
+  bool isCompleted() const { return Owner == OwnerKind::Completed; }
+
+  /// Records an oracle violation if \p Accessor does not own the IRP.
+  void checkAccess(const void *Accessor, const char *What) {
+    if (Owner == OwnerKind::DriverOwned && OwnerTag == Accessor)
+      return;
+    // The kernel (accessor == nullptr) owns fresh and completed IRPs.
+    if ((Owner == OwnerKind::KernelOwned || Owner == OwnerKind::Completed) &&
+        Accessor == nullptr)
+      return;
+    O.record(Violation::IrpAccessWithoutOwnership,
+             std::string("access to ") + What + " of IRP #" +
+                 std::to_string(Id) + " without ownership");
+  }
+
+private:
+  friend class Kernel;
+
+  uint64_t Id;
+  IrpMajor Major;
+  Oracle &O;
+  std::vector<IoStackLocation> Stack;
+  size_t CurrentSlot = 0;
+  std::vector<uint8_t> Buffer;
+  OwnerKind Owner = OwnerKind::KernelOwned;
+  const void *OwnerTag = nullptr;
+  Resolution Resolved = Resolution::None;
+  /// True once a completion walk reached the top of the stack (not
+  /// reset by later dispatches — used to detect double completion
+  /// even when a buggy driver forwards a completed IRP).
+  bool Finalized = false;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_IRP_H

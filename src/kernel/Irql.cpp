@@ -1,0 +1,19 @@
+//===- Irql.cpp -----------------------------------------------------------===//
+
+#include "kernel/Irql.h"
+
+using namespace vault::kern;
+
+const char *vault::kern::irqlName(Irql L) {
+  switch (L) {
+  case Irql::Passive:
+    return "PASSIVE_LEVEL";
+  case Irql::Apc:
+    return "APC_LEVEL";
+  case Irql::Dispatch:
+    return "DISPATCH_LEVEL";
+  case Irql::Dirql:
+    return "DIRQL";
+  }
+  return "?";
+}

@@ -1,0 +1,84 @@
+//===- Irql.h - Interrupt request levels ------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated processor interrupt request level (paper §4.4):
+///
+///   stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL
+///                          < DISPATCH_LEVEL < DIRQL ];
+///
+/// Raising/lowering follows the Windows rules; the oracle records
+/// invalid transitions and calls made above a function's maximum
+/// level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_IRQL_H
+#define VAULT_KERNEL_IRQL_H
+
+#include "kernel/Oracle.h"
+
+namespace vault::kern {
+
+enum class Irql : uint8_t {
+  Passive = 0,
+  Apc = 1,
+  Dispatch = 2,
+  Dirql = 3,
+};
+
+const char *irqlName(Irql L);
+
+/// The (single simulated CPU's) current interrupt level.
+class IrqlController {
+public:
+  explicit IrqlController(Oracle &O) : O(O) {}
+
+  Irql current() const { return Current; }
+
+  /// KeRaiseIrql: must not lower. Returns the previous level.
+  Irql raise(Irql To) {
+    Irql Old = Current;
+    if (To < Current)
+      O.record(Violation::IrqlInvalidTransition,
+               std::string("KeRaiseIrql from ") + irqlName(Current) + " to " +
+                   irqlName(To));
+    else
+      Current = To;
+    return Old;
+  }
+
+  /// KeLowerIrql: must not raise.
+  void lower(Irql To) {
+    if (To > Current) {
+      O.record(Violation::IrqlInvalidTransition,
+               std::string("KeLowerIrql from ") + irqlName(Current) + " to " +
+                   irqlName(To));
+      return;
+    }
+    Current = To;
+  }
+
+  /// Records a violation if the current level exceeds \p Max (the
+  /// dynamic analogue of the paper's `[IRQL @ (level <= Max)]`
+  /// precondition).
+  bool require(Irql Max, const char *Caller) {
+    if (Current <= Max)
+      return true;
+    O.record(Violation::IrqlTooHigh,
+             std::string(Caller) + " called at " + irqlName(Current) +
+                 " (max " + irqlName(Max) + ")");
+    return false;
+  }
+
+private:
+  Oracle &O;
+  Irql Current = Irql::Passive;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_IRQL_H

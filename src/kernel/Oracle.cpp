@@ -1,0 +1,45 @@
+//===- Oracle.cpp ---------------------------------------------------------===//
+
+#include "kernel/Oracle.h"
+
+#include <sstream>
+
+using namespace vault::kern;
+
+const char *vault::kern::violationName(Violation V) {
+  switch (V) {
+  case Violation::IrpAccessWithoutOwnership:
+    return "irp-access-without-ownership";
+  case Violation::IrpDoubleComplete:
+    return "irp-double-complete";
+  case Violation::IrpLeak:
+    return "irp-leak";
+  case Violation::LockDoubleAcquire:
+    return "lock-double-acquire";
+  case Violation::LockReleaseNotHeld:
+    return "lock-release-not-held";
+  case Violation::LockLeak:
+    return "lock-leak";
+  case Violation::IrqlTooHigh:
+    return "irql-too-high";
+  case Violation::IrqlInvalidTransition:
+    return "irql-invalid-transition";
+  case Violation::PagedAccessAtDispatch:
+    return "paged-access-at-dispatch";
+  case Violation::EventDeadlock:
+    return "event-deadlock";
+  case Violation::UseAfterFree:
+    return "use-after-free";
+  case Violation::NumViolations:
+    break;
+  }
+  return "unknown";
+}
+
+std::string Oracle::report() const {
+  std::ostringstream OS;
+  OS << "protocol violations: " << total() << "\n";
+  for (const Entry &E : Entries)
+    OS << "  [" << violationName(E.V) << "] " << E.Detail << "\n";
+  return OS.str();
+}

@@ -1,0 +1,84 @@
+//===- Oracle.h - Dynamic protocol-violation oracle -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records run-time violations of the kernel/driver protocols that the
+/// Vault checker enforces statically (§4). This is the stand-in for
+/// the paper's "testing" baseline: every rule the type system proves
+/// is also checked dynamically here, so experiments can compare what
+/// static checking catches at compile time against what a test
+/// workload happens to trigger at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_ORACLE_H
+#define VAULT_KERNEL_ORACLE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vault::kern {
+
+enum class Violation : uint8_t {
+  IrpAccessWithoutOwnership, ///< Driver touched an IRP it does not own.
+  IrpDoubleComplete,         ///< IoCompleteRequest on a completed IRP.
+  IrpLeak,                   ///< IRP neither completed, passed, nor pended.
+  LockDoubleAcquire,         ///< Spin lock acquired while held (deadlock).
+  LockReleaseNotHeld,        ///< Spin lock released while not held.
+  LockLeak,                  ///< Spin lock still held at teardown.
+  IrqlTooHigh,               ///< Call at an IRQL above its maximum.
+  IrqlInvalidTransition,     ///< Lowering above current level, etc.
+  PagedAccessAtDispatch,     ///< Page fault at >= DISPATCH_LEVEL: bugcheck.
+  EventDeadlock,             ///< Wait with no runnable work to signal it.
+  UseAfterFree,              ///< Access to a freed kernel object.
+  NumViolations
+};
+
+const char *violationName(Violation V);
+
+/// Collects violations; cleared per experiment run.
+class Oracle {
+public:
+  void record(Violation V, std::string Detail) {
+    ++Counts[static_cast<size_t>(V)];
+    Entries.push_back({V, std::move(Detail)});
+  }
+
+  unsigned count(Violation V) const {
+    return Counts[static_cast<size_t>(V)];
+  }
+  unsigned total() const {
+    unsigned N = 0;
+    for (unsigned C : Counts)
+      N += C;
+    return N;
+  }
+  bool clean() const { return total() == 0; }
+
+  struct Entry {
+    Violation V;
+    std::string Detail;
+  };
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  void clear() {
+    Counts.fill(0);
+    Entries.clear();
+  }
+
+  /// Human-readable report.
+  std::string report() const;
+
+private:
+  std::array<unsigned, static_cast<size_t>(Violation::NumViolations)> Counts{};
+  std::vector<Entry> Entries;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_ORACLE_H

@@ -1,0 +1,87 @@
+//===- PagedMemory.cpp ----------------------------------------------------===//
+
+#include "kernel/PagedMemory.h"
+
+using namespace vault::kern;
+
+PagedPool::Handle PagedPool::allocate(size_t Size, PoolType Pool) {
+  Block B;
+  B.Data.assign(Size, 0);
+  B.Pool = Pool;
+  B.Resident = true;
+  B.Live = true;
+  Blocks.push_back(std::move(B));
+  return Blocks.size();
+}
+
+PagedPool::Block *PagedPool::access(Handle H, const char *What) {
+  if (H < 1 || H > Blocks.size() || !Blocks[H - 1].Live) {
+    O.record(Violation::UseAfterFree,
+             std::string(What) + " of dead pool block #" + std::to_string(H));
+    return nullptr;
+  }
+  Block &B = Blocks[H - 1];
+  if (!B.Resident) {
+    // Page fault. Above APC_LEVEL the VM system cannot run: bugcheck
+    // IRQL_NOT_LESS_OR_EQUAL.
+    if (Irqls.current() > Irql::Apc) {
+      O.record(Violation::PagedAccessAtDispatch,
+               std::string(What) + " of non-resident paged block #" +
+                   std::to_string(H) + " at " + irqlName(Irqls.current()));
+      Bugchecked = true;
+      return nullptr;
+    }
+    B.Resident = true; // Fault serviced.
+  }
+  return &B;
+}
+
+void PagedPool::free(Handle H) {
+  if (H < 1 || H > Blocks.size() || !Blocks[H - 1].Live) {
+    O.record(Violation::UseAfterFree,
+             "free of dead pool block #" + std::to_string(H));
+    return;
+  }
+  Blocks[H - 1].Live = false;
+  Blocks[H - 1].Data.clear();
+}
+
+uint8_t PagedPool::read(Handle H, size_t Offset) {
+  Block *B = access(H, "read");
+  if (!B || Offset >= B->Data.size())
+    return 0;
+  return B->Data[Offset];
+}
+
+void PagedPool::write(Handle H, size_t Offset, uint8_t Value) {
+  Block *B = access(H, "write");
+  if (!B || Offset >= B->Data.size())
+    return;
+  B->Data[Offset] = Value;
+}
+
+void PagedPool::evictAll() {
+  for (Block &B : Blocks)
+    if (B.Live && B.Pool == PoolType::Paged)
+      B.Resident = false;
+}
+
+void PagedPool::evict(Handle H) {
+  if (H >= 1 && H <= Blocks.size() && Blocks[H - 1].Live &&
+      Blocks[H - 1].Pool == PoolType::Paged)
+    Blocks[H - 1].Resident = false;
+}
+
+void PagedPool::pageIn(Handle H) {
+  if (H >= 1 && H <= Blocks.size() && Blocks[H - 1].Live)
+    Blocks[H - 1].Resident = true;
+}
+
+bool PagedPool::isResident(Handle H) const {
+  return H >= 1 && H <= Blocks.size() && Blocks[H - 1].Live &&
+         Blocks[H - 1].Resident;
+}
+
+bool PagedPool::isLive(Handle H) const {
+  return H >= 1 && H <= Blocks.size() && Blocks[H - 1].Live;
+}

@@ -1,0 +1,79 @@
+//===- PagedMemory.h - Paged vs non-paged kernel pool -----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §4.4 paged-memory hazard: "a pointer to a block of
+/// paged memory can only be accessed if the particular page is known
+/// to be resident or if the current interrupt level is such that the
+/// virtual memory system can handle a page fault... otherwise the
+/// entire operating system deadlocks". This pool simulates exactly
+/// that: accesses to non-resident paged allocations at IRQL above
+/// APC_LEVEL are recorded as bugchecks; at or below APC_LEVEL the
+/// fault is serviced by paging the block back in. Memory pressure
+/// (evictAll) makes the bug timing-dependent, reproducing why such
+/// errors are "very difficult to reproduce and correct" by testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_PAGEDMEMORY_H
+#define VAULT_KERNEL_PAGEDMEMORY_H
+
+#include "kernel/Irql.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vault::kern {
+
+enum class PoolType : uint8_t { Paged, NonPaged };
+
+class PagedPool {
+public:
+  using Handle = uint64_t;
+
+  PagedPool(IrqlController &Irqls, Oracle &O) : Irqls(Irqls), O(O) {}
+
+  /// Allocates \p Size bytes from the given pool.
+  Handle allocate(size_t Size, PoolType Pool);
+
+  void free(Handle H);
+
+  /// Reads a byte; services or reports the page fault as appropriate.
+  /// Returns 0 after a bugcheck.
+  uint8_t read(Handle H, size_t Offset);
+  void write(Handle H, size_t Offset, uint8_t Value);
+
+  /// Simulated memory pressure: pages out every paged allocation.
+  void evictAll();
+  /// Pages a block out (no-op for non-paged blocks).
+  void evict(Handle H);
+  /// Explicitly pages a block in (MmLockPagableDataSection analogue).
+  void pageIn(Handle H);
+
+  bool isResident(Handle H) const;
+  bool isLive(Handle H) const;
+  /// True once any access has bugchecked the simulated machine.
+  bool bugchecked() const { return Bugchecked; }
+
+private:
+  struct Block {
+    std::vector<uint8_t> Data;
+    PoolType Pool = PoolType::NonPaged;
+    bool Resident = true;
+    bool Live = false;
+  };
+  Block *access(Handle H, const char *What);
+
+  IrqlController &Irqls;
+  Oracle &O;
+  std::vector<Block> Blocks;
+  bool Bugchecked = false;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_PAGEDMEMORY_H

@@ -1,0 +1,5 @@
+//===- SpinLock.cpp -------------------------------------------------------===//
+
+#include "kernel/SpinLock.h"
+
+// SpinLock is header-only; this TU anchors the object file.

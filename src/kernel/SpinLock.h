@@ -1,0 +1,70 @@
+//===- SpinLock.h - Kernel spin locks ---------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KSPIN_LOCK (paper §4.2): acquiring raises IRQL to DISPATCH_LEVEL
+/// and returns the previous level; releasing restores it. On the
+/// single simulated CPU, acquiring a lock that is already held is an
+/// immediate deadlock — exactly the error class Vault rules out
+/// because "a key cannot appear in the held-key set multiple times".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_KERNEL_SPINLOCK_H
+#define VAULT_KERNEL_SPINLOCK_H
+
+#include "kernel/Irql.h"
+
+#include <string>
+
+namespace vault::kern {
+
+class SpinLock {
+public:
+  explicit SpinLock(std::string Name = "lock") : Name(std::move(Name)) {}
+
+  /// KeAcquireSpinLock: raises IRQL to DISPATCH_LEVEL, returns the old
+  /// level. Records a deadlock if the lock is already held.
+  Irql acquire(IrqlController &Irqls, Oracle &O) {
+    if (Held) {
+      O.record(Violation::LockDoubleAcquire,
+               "spin lock '" + Name + "' acquired while already held");
+      return Irqls.current();
+    }
+    Irql Old = Irqls.raise(Irql::Dispatch);
+    Held = true;
+    Saved = Old;
+    return Old;
+  }
+
+  /// KeReleaseSpinLock: restores the IRQL captured at acquire.
+  void release(IrqlController &Irqls, Oracle &O, Irql OldLevel) {
+    if (!Held) {
+      O.record(Violation::LockReleaseNotHeld,
+               "spin lock '" + Name + "' released while not held");
+      return;
+    }
+    Held = false;
+    Irqls.lower(OldLevel);
+  }
+
+  /// Convenience overload restoring the level saved at acquire.
+  void release(IrqlController &Irqls, Oracle &O) {
+    release(Irqls, O, Saved);
+  }
+
+  bool isHeld() const { return Held; }
+  const std::string &name() const { return Name; }
+
+private:
+  std::string Name;
+  bool Held = false;
+  Irql Saved = Irql::Passive;
+};
+
+} // namespace vault::kern
+
+#endif // VAULT_KERNEL_SPINLOCK_H

@@ -1,0 +1,269 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace vault;
+
+Lexer::Lexer(const SourceManager &SM, uint32_t BufferId,
+             DiagnosticEngine &Diags)
+    : Text(SM.bufferText(BufferId)), BufferId(BufferId), Diags(Diags) {}
+
+static const std::unordered_map<std::string_view, TokKind> &keywordMap() {
+  static const std::unordered_map<std::string_view, TokKind> Map = {
+      {"interface", TokKind::KwInterface},
+      {"module", TokKind::KwModule},
+      {"extern", TokKind::KwExtern},
+      {"type", TokKind::KwType},
+      {"variant", TokKind::KwVariant},
+      {"stateset", TokKind::KwStateset},
+      {"key", TokKind::KwKey},
+      {"state", TokKind::KwState},
+      {"tracked", TokKind::KwTracked},
+      {"new", TokKind::KwNew},
+      {"free", TokKind::KwFree},
+      {"switch", TokKind::KwSwitch},
+      {"case", TokKind::KwCase},
+      {"default", TokKind::KwDefault},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},
+      {"return", TokKind::KwReturn},
+      {"struct", TokKind::KwStruct},
+      {"int", TokKind::KwInt},
+      {"bool", TokKind::KwBool},
+      {"byte", TokKind::KwByte},
+      {"void", TokKind::KwVoid},
+      {"string", TokKind::KwString},
+      {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},
+  };
+  return Map;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      size_t Start = Pos;
+      Pos += 2;
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.report(DiagId::LexUnterminatedComment, loc(Start),
+                       "unterminated block comment");
+          return;
+        }
+        ++Pos;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, size_t Start) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = loc(Start);
+  T.Text = std::string(Text.substr(Start, Pos - Start));
+  return T;
+}
+
+Token Lexer::lexIdentifier(size_t Start, bool Tick) {
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    ++Pos;
+  Token T;
+  T.Loc = loc(Start);
+  size_t NameStart = Tick ? Start + 1 : Start;
+  T.Text = std::string(Text.substr(NameStart, Pos - NameStart));
+  if (Tick) {
+    T.Kind = TokKind::TickIdentifier;
+    return T;
+  }
+  if (T.Text == "_") {
+    T.Kind = TokKind::Underscore;
+    return T;
+  }
+  auto It = keywordMap().find(T.Text);
+  T.Kind = It != keywordMap().end() ? It->second : TokKind::Identifier;
+  return T;
+}
+
+Token Lexer::lexNumber(size_t Start) {
+  int64_t Value = 0;
+  bool Bad = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    if (!std::isxdigit(static_cast<unsigned char>(peek())))
+      Bad = true;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      int Digit = C <= '9' ? C - '0' : (std::tolower(C) - 'a' + 10);
+      Value = Value * 16 + Digit;
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+    if (std::isalpha(static_cast<unsigned char>(peek())))
+      Bad = true;
+  }
+  Token T = makeToken(TokKind::IntLiteral, Start);
+  T.IntValue = Value;
+  if (Bad)
+    Diags.report(DiagId::LexBadNumber, T.Loc,
+                 "malformed numeric literal '" + T.Text + "'");
+  return T;
+}
+
+Token Lexer::lexString(size_t Start) {
+  std::string Decoded;
+  for (;;) {
+    char C = peek();
+    if (C == '\0' || C == '\n') {
+      Diags.report(DiagId::LexUnterminatedString, loc(Start),
+                   "unterminated string literal");
+      break;
+    }
+    ++Pos;
+    if (C == '"')
+      break;
+    if (C == '\\') {
+      char E = peek();
+      ++Pos;
+      switch (E) {
+      case 'n':
+        Decoded += '\n';
+        break;
+      case 't':
+        Decoded += '\t';
+        break;
+      case '\\':
+        Decoded += '\\';
+        break;
+      case '"':
+        Decoded += '"';
+        break;
+      case '0':
+        Decoded += '\0';
+        break;
+      default:
+        Decoded += E;
+        break;
+      }
+      continue;
+    }
+    Decoded += C;
+  }
+  Token T;
+  T.Kind = TokKind::StringLiteral;
+  T.Loc = loc(Start);
+  T.Text = std::move(Decoded);
+  return T;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  size_t Start = Pos;
+  char C = peek();
+  if (C == '\0') {
+    Token T;
+    T.Kind = TokKind::Eof;
+    T.Loc = loc(Start);
+    return T;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    ++Pos;
+    return lexIdentifier(Start, /*Tick=*/false);
+  }
+  if (C == '\'' && (std::isalpha(static_cast<unsigned char>(peek(1))) ||
+                    peek(1) == '_')) {
+    Pos += 2;
+    return lexIdentifier(Start, /*Tick=*/true);
+  }
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Start);
+  if (C == '"') {
+    ++Pos;
+    return lexString(Start);
+  }
+
+  ++Pos;
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen, Start);
+  case ')':
+    return makeToken(TokKind::RParen, Start);
+  case '{':
+    return makeToken(TokKind::LBrace, Start);
+  case '}':
+    return makeToken(TokKind::RBrace, Start);
+  case '[':
+    return makeToken(TokKind::LBracket, Start);
+  case ']':
+    return makeToken(TokKind::RBracket, Start);
+  case '<':
+    return makeToken(match('=') ? TokKind::LessEqual : TokKind::Less, Start);
+  case '>':
+    return makeToken(match('=') ? TokKind::GreaterEqual : TokKind::Greater,
+                     Start);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqualEqual : TokKind::Equal, Start);
+  case '!':
+    return makeToken(match('=') ? TokKind::ExclaimEqual : TokKind::Exclaim,
+                     Start);
+  case '+':
+    return makeToken(match('+') ? TokKind::PlusPlus : TokKind::Plus, Start);
+  case '-':
+    if (match('>'))
+      return makeToken(TokKind::Arrow, Start);
+    return makeToken(match('-') ? TokKind::MinusMinus : TokKind::Minus, Start);
+  case '*':
+    return makeToken(TokKind::Star, Start);
+  case '/':
+    return makeToken(TokKind::Slash, Start);
+  case '%':
+    return makeToken(TokKind::Percent, Start);
+  case '&':
+    if (match('&'))
+      return makeToken(TokKind::AmpAmp, Start);
+    break;
+  case '|':
+    return makeToken(match('|') ? TokKind::PipePipe : TokKind::Pipe, Start);
+  case ';':
+    return makeToken(TokKind::Semi, Start);
+  case ',':
+    return makeToken(TokKind::Comma, Start);
+  case '.':
+    return makeToken(TokKind::Dot, Start);
+  case ':':
+    return makeToken(TokKind::Colon, Start);
+  case '@':
+    return makeToken(TokKind::At, Start);
+  default:
+    break;
+  }
+  Diags.report(DiagId::LexUnknownChar, loc(Start),
+               std::string("unknown character '") + C + "'");
+  return lex();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(lex());
+    if (Tokens.back().is(TokKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,67 @@
+//===- Lexer.h - Vault lexer ------------------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for Vault's surface syntax. Supports C-style
+/// `//` and `/* */` comments, decimal and hex integer literals, string
+/// literals with escapes, and tick-prefixed constructor names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_LEXER_LEXER_H
+#define VAULT_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+namespace vault {
+
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, uint32_t BufferId, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token lex();
+
+  /// Lexes the whole buffer; the returned vector ends with an Eof token.
+  std::vector<Token> lexAll();
+
+  /// Byte position, for the parser's tentative-parse save/restore.
+  size_t position() const { return Pos; }
+  void setPosition(size_t P) { Pos = P; }
+
+private:
+  SourceLoc loc(size_t Offset) const {
+    return SourceLoc{BufferId, static_cast<uint32_t>(Offset)};
+  }
+
+  char peek(size_t Ahead = 0) const {
+    size_t P = Pos + Ahead;
+    return P < Text.size() ? Text[P] : '\0';
+  }
+  char advance() { return Text[Pos++]; }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  void skipTrivia();
+  Token makeToken(TokKind Kind, size_t Start);
+  Token lexIdentifier(size_t Start, bool Tick);
+  Token lexNumber(size_t Start);
+  Token lexString(size_t Start);
+
+  std::string_view Text;
+  uint32_t BufferId;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace vault
+
+#endif // VAULT_LEXER_LEXER_H

@@ -1,0 +1,137 @@
+//===- Token.cpp ----------------------------------------------------------===//
+
+#include "lexer/Token.h"
+
+using namespace vault;
+
+const char *vault::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::TickIdentifier:
+    return "constructor name";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::StringLiteral:
+    return "string literal";
+  case TokKind::KwInterface:
+    return "'interface'";
+  case TokKind::KwModule:
+    return "'module'";
+  case TokKind::KwExtern:
+    return "'extern'";
+  case TokKind::KwType:
+    return "'type'";
+  case TokKind::KwVariant:
+    return "'variant'";
+  case TokKind::KwStateset:
+    return "'stateset'";
+  case TokKind::KwKey:
+    return "'key'";
+  case TokKind::KwState:
+    return "'state'";
+  case TokKind::KwTracked:
+    return "'tracked'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwFree:
+    return "'free'";
+  case TokKind::KwSwitch:
+    return "'switch'";
+  case TokKind::KwCase:
+    return "'case'";
+  case TokKind::KwDefault:
+    return "'default'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwByte:
+    return "'byte'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwString:
+    return "'string'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::LessEqual:
+    return "'<='";
+  case TokKind::GreaterEqual:
+    return "'>='";
+  case TokKind::EqualEqual:
+    return "'=='";
+  case TokKind::ExclaimEqual:
+    return "'!='";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Exclaim:
+    return "'!'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::At:
+    return "'@'";
+  case TokKind::Underscore:
+    return "'_'";
+  case TokKind::NumTokens:
+    break;
+  }
+  return "unknown token";
+}

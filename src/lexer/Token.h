@@ -1,0 +1,121 @@
+//===- Token.h - Vault surface tokens ---------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for Vault's C-based surface syntax, extended with the
+/// paper's protocol constructs: `tracked`, effect clauses in brackets,
+/// key-state annotations with `@`, variant constructors written with a
+/// leading tick (`'SomeKey`), and `stateset` partial orders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_LEXER_TOKEN_H
+#define VAULT_LEXER_TOKEN_H
+
+#include "support/SourceManager.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vault {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  TickIdentifier, ///< 'SomeKey — a variant constructor name.
+  IntLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInterface,
+  KwModule,
+  KwExtern,
+  KwType,
+  KwVariant,
+  KwStateset,
+  KwKey,
+  KwState,
+  KwTracked,
+  KwNew,
+  KwFree,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwStruct,
+  KwInt,
+  KwBool,
+  KwByte,
+  KwVoid,
+  KwString,
+  KwTrue,
+  KwFalse,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  ExclaimEqual,
+  Equal,
+  Plus,
+  PlusPlus,
+  Minus,
+  MinusMinus,
+  Arrow, ///< -> (state transition in effects, not member access)
+  Star,
+  Slash,
+  Percent,
+  Exclaim,
+  AmpAmp,
+  PipePipe,
+  Pipe,
+  Semi,
+  Comma,
+  Dot,
+  Colon,
+  At,
+  Underscore,
+
+  NumTokens
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  /// The raw spelling; for TickIdentifier this excludes the tick, for
+  /// StringLiteral this is the decoded contents.
+  std::string Text;
+  /// Value for IntLiteral tokens.
+  int64_t IntValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isNot(TokKind K) const { return Kind != K; }
+  bool isOneOf(std::initializer_list<TokKind> Ks) const {
+    for (TokKind K : Ks)
+      if (Kind == K)
+        return true;
+    return false;
+  }
+};
+
+} // namespace vault
+
+#endif // VAULT_LEXER_TOKEN_H

@@ -1,0 +1,934 @@
+//===- CEmitter.cpp -------------------------------------------------------===//
+
+#include "lower/CEmitter.h"
+
+#include <cctype>
+
+using namespace vault;
+
+//===----------------------------------------------------------------------===//
+// Output helpers
+//===----------------------------------------------------------------------===//
+
+void CEmitter::line(const std::string &S) {
+  for (unsigned I = 0; I != Indent; ++I)
+    *Out << "  ";
+  *Out << S << '\n';
+}
+
+std::string CEmitter::fresh(const std::string &Hint) {
+  return "__" + Hint + std::to_string(TempCounter++);
+}
+
+size_t CEmitter::countCodeLines(const std::string &Text) {
+  size_t N = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string_view Line(Text.data() + Pos, Eol - Pos);
+    Pos = Eol + 1;
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string_view::npos)
+      continue;
+    if (Line.substr(First, 2) == "//")
+      continue;
+    ++N;
+  }
+  return N;
+}
+
+std::string CEmitter::pointee(const std::string &Ty) {
+  std::string P = Ty;
+  while (!P.empty() && (P.back() == '*' || P.back() == ' '))
+    P.pop_back();
+  return P;
+}
+
+static bool isPtrType(const std::string &Ty) {
+  return !Ty.empty() && Ty.back() == '*';
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool CEmitter::variantNeedsPointer(const VariantDecl *V) const {
+  (void)V;
+  return true;
+}
+
+std::string CEmitter::cNamedType(const NamedTypeExpr *N) {
+  // A type parameter bound by an enclosing alias expansion.
+  if (auto It = TypeParamBindings.find(N->name());
+      It != TypeParamBindings.end() && N->args().empty())
+    return cType(It->second);
+  const Decl *D = Globals.findType(N->name());
+  if (!D)
+    return "int32_t /* unknown " + N->name() + " */";
+  if (const auto *S = dyn_cast<StructDecl>(D))
+    return "struct " + S->name();
+  if (const auto *V = dyn_cast<VariantDecl>(D)) {
+    // Enum-like variants (no payload anywhere) lower to a plain enum.
+    bool AnyPayload = false;
+    for (const VariantDecl::Ctor &C : V->ctors())
+      if (!C.Payload.empty())
+        AnyPayload = true;
+    return AnyPayload ? "struct " + V->name() : "enum " + V->name();
+  }
+  if (const auto *A = dyn_cast<TypeAliasDecl>(D)) {
+    if (A->isAbstract())
+      return A->name(); // Opaque handle typedef.
+    if (isa<FuncTypeExpr>(A->underlying()))
+      return "@fnptr:" + A->name(); // Expanded by the parameter printer.
+    if (isa<TupleTypeExpr>(A->underlying()))
+      return "struct " + A->name(); // Tuple aliases get a struct.
+    // Expand the alias body with its type parameters bound to the
+    // argument type expressions.
+    auto Saved = TypeParamBindings;
+    for (size_t I = 0; I < A->params().size() && I < N->args().size(); ++I)
+      if (A->params()[I].K == TypeParamAst::Kind::Type)
+        TypeParamBindings[A->params()[I].Name] = N->args()[I];
+    std::string Result = cType(A->underlying());
+    TypeParamBindings = std::move(Saved);
+    return Result;
+  }
+  return "int32_t";
+}
+
+std::string CEmitter::cType(const TypeExprAst *T) {
+  switch (T->kind()) {
+  case TypeExprKind::Prim:
+    switch (cast<PrimTypeExpr>(T)->prim()) {
+    case PrimKind::Int:
+      return "int32_t";
+    case PrimKind::Bool:
+      return "bool";
+    case PrimKind::Byte:
+      return "uint8_t";
+    case PrimKind::Void:
+      return "void";
+    case PrimKind::String:
+      return "const char *";
+    }
+    return "int32_t";
+  case TypeExprKind::Named:
+    return cNamedType(cast<NamedTypeExpr>(T));
+  case TypeExprKind::Tracked: {
+    // Key erased; tracked records become pointers, handles and enums
+    // stay by value.
+    std::string Inner = cType(cast<TrackedTypeExpr>(T)->inner());
+    if (Inner.rfind("struct ", 0) == 0)
+      return Inner + " *";
+    return Inner;
+  }
+  case TypeExprKind::Guarded: {
+    // Guard erased; region-allocated records are pointers.
+    std::string Inner = cType(cast<GuardedTypeExpr>(T)->inner());
+    if (Inner.rfind("struct ", 0) == 0)
+      return Inner + " *";
+    return Inner;
+  }
+  case TypeExprKind::Tuple:
+    // Anonymous tuples only occur behind tuple-type aliases in
+    // practice; a bare one is unsupported.
+    return "struct vault_tuple /* unsupported anonymous tuple */";
+  case TypeExprKind::Array:
+    return cType(cast<ArrayTypeExpr>(T)->elem()) + " *";
+  case TypeExprKind::Func:
+    return "void *";
+  }
+  return "int32_t";
+}
+
+std::string CEmitter::fieldCType(const std::string &StructTy,
+                                 const std::string &Field) {
+  std::string Name = pointee(StructTy);
+  if (Name.rfind("struct ", 0) == 0)
+    Name = Name.substr(7);
+  const Decl *D = Globals.findType(Name);
+  if (!D)
+    return "";
+  if (const auto *S = dyn_cast<StructDecl>(D))
+    for (const StructDecl::Field &F : S->fields())
+      if (F.Name == Field)
+        return cType(F.Type);
+  return "";
+}
+
+std::string CEmitter::tupleFieldCType(const std::string &StructTy,
+                                      size_t Idx) {
+  std::string Name = pointee(StructTy);
+  if (Name.rfind("struct ", 0) == 0)
+    Name = Name.substr(7);
+  const Decl *D = Globals.findType(Name);
+  const auto *A = dyn_cast<TypeAliasDecl>(D);
+  if (!A || A->isAbstract())
+    return "";
+  const auto *Tu = dyn_cast<TupleTypeExpr>(A->underlying());
+  if (!Tu || Idx >= Tu->elems().size())
+    return "";
+  return cType(Tu->elems()[Idx]);
+}
+
+std::string CEmitter::boxInto(const std::string &PtrTy,
+                              const std::string &Value) {
+  std::string Tmp = fresh("box");
+  stmt(PtrTy + " " + Tmp + " = malloc(sizeof(" + pointee(PtrTy) + "))");
+  stmt("*" + Tmp + " = " + Value);
+  return Tmp;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+CEmitter::CExpr CEmitter::emitCtor(const CtorExpr *E) {
+  const VariantDecl *V = variantOfCtor(E->name());
+  if (!V)
+    return {"0 /* unknown ctor */", ""};
+  bool AnyPayload = false;
+  for (const VariantDecl::Ctor &C : V->ctors())
+    if (!C.Payload.empty())
+      AnyPayload = true;
+  if (!AnyPayload)
+    return {V->name() + "_" + E->name(), "enum " + V->name()};
+
+  const VariantDecl::Ctor *C = V->findCtor(E->name());
+  std::string Lit =
+      "(struct " + V->name() + "){ .tag = " + V->name() + "_" + E->name();
+  if (C && !E->args().empty()) {
+    Lit += ", .u." + E->name() + " = { ";
+    for (size_t I = 0; I != E->args().size(); ++I) {
+      if (I)
+        Lit += ", ";
+      std::string Slot =
+          I < C->Payload.size() ? cType(C->Payload[I]) : std::string();
+
+      // A tuple literal headed for a tuple-alias slot becomes a
+      // compound literal of the alias struct.
+      if (const auto *TupArg = dyn_cast<TupleExpr>(E->args()[I])) {
+        std::string StructName = pointee(Slot);
+        std::string Compound = "(" + StructName + "){ ";
+        for (size_t J = 0; J != TupArg->elems().size(); ++J) {
+          if (J)
+            Compound += ", ";
+          Compound += ".f" + std::to_string(J) + " = " +
+                      emitExpr(TupArg->elems()[J]);
+        }
+        Compound += " }";
+        Lit += isPtrType(Slot) ? boxInto(Slot, Compound) : Compound;
+        continue;
+      }
+
+      CExpr Arg = emitExprT(E->args()[I]);
+      // Box by-value arguments headed for pointer-lowered slots.
+      if (isPtrType(Slot) && !isPtrType(Arg.Ty) &&
+          Arg.Ty.rfind("struct ", 0) == 0)
+        Arg.Text = boxInto(Slot, Arg.Text);
+      Lit += Arg.Text;
+    }
+    Lit += " }";
+  }
+  Lit += " }";
+  return {Lit, "struct " + V->name()};
+}
+
+CEmitter::CExpr CEmitter::emitNew(const NewExpr *E) {
+  std::string Ty = cType(E->typeExpr());
+  std::string Tmp = fresh("new");
+  if (E->region()) {
+    std::string Rgn = emitExpr(E->region());
+    stmt(Ty + " *" + Tmp + " = vault_region_alloc(" + Rgn + ", sizeof(" + Ty +
+         "))");
+    for (const NewExpr::FieldInit &FI : E->inits())
+      stmt(Tmp + "->" + FI.Field + " = " + emitExpr(FI.Init));
+    return {Tmp, Ty + " *"};
+  }
+  if (E->isTracked()) {
+    stmt(Ty + " *" + Tmp + " = malloc(sizeof(" + Ty + "))");
+    stmt("memset(" + Tmp + ", 0, sizeof(" + Ty + "))");
+    for (const NewExpr::FieldInit &FI : E->inits())
+      stmt(Tmp + "->" + FI.Field + " = " + emitExpr(FI.Init));
+    return {Tmp, Ty + " *"};
+  }
+  // Plain record construction: a by-value temporary.
+  stmt(Ty + " " + Tmp + " = {0}");
+  for (const NewExpr::FieldInit &FI : E->inits())
+    stmt(Tmp + "." + FI.Field + " = " + emitExpr(FI.Init));
+  return {Tmp, Ty};
+}
+
+CEmitter::CExpr CEmitter::emitCall(const CallExpr *E) {
+  std::string Callee;
+  std::string Name;
+  if (const auto *N = dyn_cast<NameExpr>(E->callee())) {
+    Callee = Name = N->name();
+  } else if (const auto *F = dyn_cast<FieldExpr>(E->callee())) {
+    // Module-qualified call lowers to Module_function.
+    if (const auto *Base = dyn_cast<NameExpr>(F->base())) {
+      Callee = Base->name() + "_" + F->field();
+      Name = F->field();
+    } else {
+      Callee = emitExpr(E->callee());
+    }
+  } else {
+    Callee = emitExpr(E->callee());
+  }
+
+  std::string Call = Callee + "(";
+  bool First = true;
+  for (const Expr *A : E->args()) {
+    if (!First)
+      Call += ", ";
+    First = false;
+    // A nested function passed as a value becomes (fn, &env).
+    if (const auto *N = dyn_cast<NameExpr>(A);
+        N && NestedFnNames.count(N->name())) {
+      Call += "(vault_fnptr)" + N->name() + "_lifted, &" + N->name() + "_env";
+      continue;
+    }
+    Call += emitExpr(A);
+  }
+  Call += ")";
+
+  std::string RetTy;
+  if (!Name.empty())
+    if (FuncSig *Sig = Globals.findFunction(Name); Sig && Sig->Decl)
+      RetTy = cType(Sig->Decl->retType());
+  return {Call, RetTy};
+}
+
+CEmitter::CExpr CEmitter::emitExprT(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    return {std::to_string(cast<IntLiteralExpr>(E)->value()), "int32_t"};
+  case ExprKind::BoolLiteral:
+    return {cast<BoolLiteralExpr>(E)->value() ? "true" : "false", "bool"};
+  case ExprKind::StringLiteral: {
+    std::string Out = "\"";
+    for (char C : cast<StringLiteralExpr>(E)->value()) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (C == '\n') {
+        Out += "\\n";
+        continue;
+      }
+      Out += C;
+    }
+    return {Out + "\"", "const char *"};
+  }
+  case ExprKind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    auto It = LocalCTypes.find(N->name());
+    std::string Ty = It != LocalCTypes.end() ? It->second : std::string();
+    if (InNestedFn && CurrentCaptures.count(N->name()))
+      return {"(*__env->" + N->name() + ")", Ty};
+    return {N->name(), Ty};
+  }
+  case ExprKind::Call:
+    return emitCall(cast<CallExpr>(E));
+  case ExprKind::Ctor:
+    return emitCtor(cast<CtorExpr>(E));
+  case ExprKind::New:
+    return emitNew(cast<NewExpr>(E));
+  case ExprKind::Field: {
+    const auto *F = cast<FieldExpr>(E);
+    CExpr Base = emitExprT(F->base());
+    const char *Sep = isPtrType(Base.Ty) ? "->" : ".";
+    return {Base.Text + Sep + F->field(), fieldCType(Base.Ty, F->field())};
+  }
+  case ExprKind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    CExpr Base = emitExprT(Ix->base());
+    // Constant index into a tuple-alias struct -> member access.
+    if (const auto *Lit = dyn_cast<IntLiteralExpr>(Ix->index())) {
+      std::string ElemTy =
+          tupleFieldCType(Base.Ty, static_cast<size_t>(Lit->value()));
+      if (!ElemTy.empty()) {
+        const char *Sep = isPtrType(Base.Ty) ? "->" : ".";
+        return {Base.Text + Sep + "f" + std::to_string(Lit->value()), ElemTy};
+      }
+    }
+    std::string ElemTy;
+    if (isPtrType(Base.Ty))
+      ElemTy = pointee(Base.Ty);
+    return {Base.Text + "[" + emitExpr(Ix->index()) + "]", ElemTy};
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    bool Not = U->op() == UnaryOp::Not;
+    return {std::string(Not ? "!" : "-") + "(" + emitExpr(U->operand()) + ")",
+            Not ? "bool" : "int32_t"};
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::string Text = "(" + emitExpr(B->lhs()) + " " +
+                       binaryOpSpelling(B->op()) + " " + emitExpr(B->rhs()) +
+                       ")";
+    switch (B->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Rem:
+      return {Text, "int32_t"};
+    default:
+      return {Text, "bool"};
+    }
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    CExpr L = emitExprT(A->lhs());
+    CExpr R = emitExprT(A->rhs());
+    if (isPtrType(L.Ty) && !isPtrType(R.Ty) && R.Ty.rfind("struct ", 0) == 0)
+      R.Text = boxInto(L.Ty, R.Text);
+    return {L.Text + " = " + R.Text, L.Ty};
+  }
+  case ExprKind::IncDec: {
+    const auto *I = cast<IncDecExpr>(E);
+    return {emitExpr(I->base()) + (I->isIncrement() ? "++" : "--"),
+            "int32_t"};
+  }
+  case ExprKind::Tuple:
+    // Bare tuples only appear as constructor payloads (handled in
+    // emitCtor); anywhere else is unsupported.
+    return {"0 /* bare tuple unsupported */", ""};
+  }
+  return {"0", ""};
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void CEmitter::emitStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    line("{");
+    ++Indent;
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      emitStmt(Sub);
+    --Indent;
+    line("}");
+    return;
+  }
+  case StmtKind::Decl: {
+    const Decl *D = cast<DeclStmt>(S)->decl();
+    if (const auto *V = dyn_cast<VarDecl>(D)) {
+      std::string Ty = cType(V->typeExpr());
+      LocalCTypes[V->name()] = Ty;
+      if (!V->init()) {
+        if (isPtrType(Ty))
+          stmt(Ty + " " + V->name() + " = NULL");
+        else if (Ty.rfind("struct ", 0) == 0)
+          stmt(Ty + " " + V->name() + " = {0}");
+        else
+          stmt(Ty + " " + V->name() + " = 0");
+        return;
+      }
+      CExpr Init = emitExprT(V->init());
+      if (isPtrType(Ty) && !isPtrType(Init.Ty) &&
+          Init.Ty.rfind("struct ", 0) == 0)
+        Init.Text = boxInto(Ty, Init.Text);
+      stmt(Ty + " " + V->name() + " = " + Init.Text);
+      return;
+    }
+    if (const auto *F = dyn_cast<FuncDecl>(D)) {
+      liftNestedFunction(F);
+      return;
+    }
+    return;
+  }
+  case StmtKind::Expr:
+    stmt(emitExpr(cast<ExprStmt>(S)->expr()));
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    line("if (" + emitExpr(I->cond()) + ")");
+    if (!isa<BlockStmt>(I->thenStmt())) {
+      ++Indent;
+      emitStmt(I->thenStmt());
+      --Indent;
+    } else {
+      emitStmt(I->thenStmt());
+    }
+    if (I->elseStmt()) {
+      line("else");
+      if (!isa<BlockStmt>(I->elseStmt())) {
+        ++Indent;
+        emitStmt(I->elseStmt());
+        --Indent;
+      } else {
+        emitStmt(I->elseStmt());
+      }
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    line("while (" + emitExpr(W->cond()) + ")");
+    emitStmt(W->body());
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (!R->value()) {
+      stmt("return");
+      return;
+    }
+    CExpr V = emitExprT(R->value());
+    if (isPtrType(CurrentRetCType) && !isPtrType(V.Ty) &&
+        V.Ty.rfind("struct ", 0) == 0)
+      V.Text = boxInto(CurrentRetCType, V.Text);
+    stmt("return " + V.Text);
+    return;
+  }
+  case StmtKind::Switch: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    CExpr Subj = emitExprT(Sw->subject());
+    const VariantDecl *V = nullptr;
+    for (const SwitchStmt::Case &C : Sw->cases())
+      if (!C.Pattern.IsDefault && !V)
+        V = variantOfCtor(C.Pattern.CtorName);
+    bool Enumish = true;
+    if (V)
+      for (const VariantDecl::Ctor &C : V->ctors())
+        if (!C.Payload.empty())
+          Enumish = false;
+
+    // Stabilize non-trivial subjects in a temporary.
+    std::string Tmp = Subj.Text;
+    if (!isa<NameExpr>(Sw->subject())) {
+      Tmp = fresh("subj");
+      std::string Ty = !Subj.Ty.empty()
+                           ? Subj.Ty
+                           : (V ? (Enumish ? "enum " : "struct ") + V->name()
+                                : std::string("int32_t"));
+      stmt(Ty + " " + Tmp + " = " + Subj.Text);
+    }
+    std::string Access = isPtrType(Subj.Ty) ? "->" : ".";
+    line("switch (" + Tmp + (Enumish ? "" : Access + "tag") + ") {");
+    for (const SwitchStmt::Case &C : Sw->cases()) {
+      if (C.Pattern.IsDefault) {
+        line("default: {");
+      } else {
+        const VariantDecl *CV = variantOfCtor(C.Pattern.CtorName);
+        line("case " + (CV ? CV->name() : std::string("?")) + "_" +
+             C.Pattern.CtorName + ": {");
+      }
+      ++Indent;
+      if (!C.Pattern.IsDefault && V && !Enumish) {
+        const VariantDecl::Ctor *Ct = V->findCtor(C.Pattern.CtorName);
+        for (size_t I = 0;
+             Ct && I < C.Pattern.Binders.size() && I < Ct->Payload.size();
+             ++I) {
+          if (C.Pattern.Binders[I].empty())
+            continue;
+          std::string BTy = cType(Ct->Payload[I]);
+          LocalCTypes[C.Pattern.Binders[I]] = BTy;
+          stmt(BTy + " " + C.Pattern.Binders[I] + " = " + Tmp + Access +
+               "u." + C.Pattern.CtorName + ".f" + std::to_string(I));
+        }
+      }
+      for (const Stmt *Sub : C.Body)
+        emitStmt(Sub);
+      stmt("break");
+      --Indent;
+      line("}");
+    }
+    line("}");
+    return;
+  }
+  case StmtKind::Free:
+    stmt("free((void *)(uintptr_t)" + emitExpr(cast<FreeStmt>(S)->operand()) +
+         ")");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void CEmitter::emitStructDecl(const StructDecl *S) {
+  line("struct " + S->name() + " {");
+  ++Indent;
+  for (const StructDecl::Field &F : S->fields())
+    stmt(cType(F.Type) + " " + F.Name);
+  --Indent;
+  line("};");
+}
+
+void CEmitter::emitVariantDecl(const VariantDecl *V) {
+  bool AnyPayload = false;
+  for (const VariantDecl::Ctor &C : V->ctors())
+    if (!C.Payload.empty())
+      AnyPayload = true;
+
+  std::string EnumName = AnyPayload ? V->name() + "_tag" : V->name();
+  std::string Tags = "enum " + EnumName + " { ";
+  bool First = true;
+  for (const VariantDecl::Ctor &C : V->ctors()) {
+    if (!First)
+      Tags += ", ";
+    First = false;
+    Tags += V->name() + "_" + C.Name;
+  }
+  Tags += " };";
+  line(Tags);
+  if (!AnyPayload)
+    return;
+
+  line("struct " + V->name() + " {");
+  ++Indent;
+  stmt("enum " + EnumName + " tag");
+  line("union {");
+  ++Indent;
+  for (const VariantDecl::Ctor &C : V->ctors()) {
+    if (C.Payload.empty())
+      continue;
+    line("struct {");
+    ++Indent;
+    for (size_t I = 0; I != C.Payload.size(); ++I)
+      stmt(cType(C.Payload[I]) + " f" + std::to_string(I));
+    --Indent;
+    line("} " + C.Name + ";");
+  }
+  --Indent;
+  line("} u;");
+  --Indent;
+  line("};");
+}
+
+void CEmitter::emitAbstractType(const TypeAliasDecl *A) {
+  // Abstract resources lower to opaque 64-bit handles, matching the
+  // runtime libraries.
+  line("typedef uint64_t " + A->name() + ";");
+}
+
+/// Emits one parameter, expanding function-typed parameters into a
+/// pointer + context pair.
+static std::string cParam(const std::string &Ty, const std::string &Name) {
+  if (Ty.rfind("@fnptr:", 0) == 0) {
+    std::string N = Name.empty() ? "fn" : Name;
+    return "vault_fnptr " + N + ", void *" + N + "_ctx";
+  }
+  return Ty + (Name.empty() ? "" : " " + Name);
+}
+
+void CEmitter::emitFunc(const FuncDecl *F, const std::string &NameOverride,
+                        const std::vector<std::string> &ExtraParams) {
+  std::string Name = NameOverride.empty() ? F->name() : NameOverride;
+  CurrentRetCType = cType(F->retType());
+  // A Vault `void main()` becomes a well-formed C `int main(void)`.
+  bool IsCMain = Name == "main" && CurrentRetCType == "void" &&
+                 F->params().empty() && !F->isPrototype();
+  if (IsCMain)
+    CurrentRetCType = "int";
+  std::string Sig = CurrentRetCType + " " + Name + "(";
+  bool First = true;
+  for (const FuncDecl::Param &P : F->params()) {
+    if (!First)
+      Sig += ", ";
+    First = false;
+    Sig += cParam(cType(P.Type), P.Name);
+    if (!P.Name.empty())
+      LocalCTypes[P.Name] = cType(P.Type);
+  }
+  for (const std::string &E : ExtraParams) {
+    if (!First)
+      Sig += ", ";
+    First = false;
+    Sig += E;
+  }
+  if (First)
+    Sig += "void";
+  Sig += ")";
+  if (F->isPrototype()) {
+    line("extern " + Sig + ";");
+    return;
+  }
+  line(Sig);
+  if (IsCMain) {
+    line("{");
+    ++Indent;
+    for (const Stmt *Sub : F->body()->stmts())
+      emitStmt(Sub);
+    stmt("return 0");
+    --Indent;
+    line("}");
+  } else {
+    emitStmt(F->body());
+  }
+  line("");
+}
+
+void CEmitter::liftNestedFunction(const FuncDecl *F) {
+  // Find captured names: free names of the body that are locals of the
+  // enclosing function.
+  std::set<std::string> Bound;
+  for (const FuncDecl::Param &P : F->params())
+    Bound.insert(P.Name);
+  std::set<std::string> Captured;
+  collectCaptures(F->body(), Bound, Captured);
+
+  // Environment struct + instance in the enclosing body.
+  std::string EnvStruct = "struct " + F->name() + "_envt";
+  std::string Decl = EnvStruct + " { ";
+  std::string Init = EnvStruct + " " + F->name() + "_env = { ";
+  bool First = true;
+  for (const std::string &C : Captured) {
+    auto It = LocalCTypes.find(C);
+    std::string Ty = It != LocalCTypes.end() ? It->second : "int32_t";
+    if (!First) {
+      Decl += " ";
+      Init += ", ";
+    }
+    First = false;
+    Decl += Ty + " *" + C + ";";
+    Init += "&" + C;
+  }
+  Decl += " };";
+  Init += " };";
+
+  // Emit the lifted function into the side buffer.
+  std::ostringstream Lifted;
+  std::ostringstream *SavedOut = Out;
+  Out = &Lifted;
+  unsigned SavedIndent = Indent;
+  Indent = 0;
+  bool SavedNested = InNestedFn;
+  std::set<std::string> SavedCaptures = CurrentCaptures;
+  std::string SavedRet = CurrentRetCType;
+  InNestedFn = true;
+  CurrentCaptures = Captured;
+  CurrentRetCType = cType(F->retType());
+
+  line(Decl);
+  std::string Sig = CurrentRetCType + " " + F->name() + "_lifted(";
+  bool FirstP = true;
+  for (const FuncDecl::Param &P : F->params()) {
+    if (!FirstP)
+      Sig += ", ";
+    FirstP = false;
+    Sig += cParam(cType(P.Type), P.Name);
+    if (!P.Name.empty())
+      LocalCTypes[P.Name] = cType(P.Type);
+  }
+  Sig += std::string(FirstP ? "" : ", ") + "void *__env_raw)";
+  line("static " + Sig + " {");
+  ++Indent;
+  stmt(EnvStruct + " *__env = (" + EnvStruct + " *)__env_raw");
+  for (const Stmt *Sub : F->body()->stmts())
+    emitStmt(Sub);
+  --Indent;
+  line("}");
+
+  Out = SavedOut;
+  Indent = SavedIndent;
+  InNestedFn = SavedNested;
+  CurrentCaptures = SavedCaptures;
+  CurrentRetCType = SavedRet;
+  LiftedFunctions.push_back(Lifted.str());
+
+  NestedFnNames.insert(F->name());
+  stmt(Init);
+}
+
+void CEmitter::collectCaptures(const Stmt *S, std::set<std::string> &Bound,
+                               std::set<std::string> &Out) const {
+  struct Walker {
+    const CEmitter &E;
+    std::set<std::string> &Bound;
+    std::set<std::string> &Out;
+
+    void expr(const Expr *Ex) {
+      if (!Ex)
+        return;
+      switch (Ex->kind()) {
+      case ExprKind::Name: {
+        const std::string &N = cast<NameExpr>(Ex)->name();
+        if (!Bound.count(N) && E.LocalCTypes.count(N))
+          Out.insert(N);
+        return;
+      }
+      case ExprKind::Call: {
+        const auto *C = cast<CallExpr>(Ex);
+        expr(C->callee());
+        for (const Expr *A : C->args())
+          expr(A);
+        return;
+      }
+      case ExprKind::Ctor:
+        for (const Expr *A : cast<CtorExpr>(Ex)->args())
+          expr(A);
+        return;
+      case ExprKind::New: {
+        const auto *N = cast<NewExpr>(Ex);
+        expr(N->region());
+        for (const auto &I : N->inits())
+          expr(I.Init);
+        return;
+      }
+      case ExprKind::Field:
+        expr(cast<FieldExpr>(Ex)->base());
+        return;
+      case ExprKind::Index:
+        expr(cast<IndexExpr>(Ex)->base());
+        expr(cast<IndexExpr>(Ex)->index());
+        return;
+      case ExprKind::Unary:
+        expr(cast<UnaryExpr>(Ex)->operand());
+        return;
+      case ExprKind::Binary:
+        expr(cast<BinaryExpr>(Ex)->lhs());
+        expr(cast<BinaryExpr>(Ex)->rhs());
+        return;
+      case ExprKind::Assign:
+        expr(cast<AssignExpr>(Ex)->lhs());
+        expr(cast<AssignExpr>(Ex)->rhs());
+        return;
+      case ExprKind::IncDec:
+        expr(cast<IncDecExpr>(Ex)->base());
+        return;
+      case ExprKind::Tuple:
+        for (const Expr *El : cast<TupleExpr>(Ex)->elems())
+          expr(El);
+        return;
+      default:
+        return;
+      }
+    }
+
+    void stmt(const Stmt *St) {
+      if (!St)
+        return;
+      switch (St->kind()) {
+      case StmtKind::Block:
+        for (const Stmt *Sub : cast<BlockStmt>(St)->stmts())
+          stmt(Sub);
+        return;
+      case StmtKind::Decl: {
+        const Decl *D = cast<DeclStmt>(St)->decl();
+        if (const auto *V = dyn_cast<VarDecl>(D)) {
+          expr(V->init());
+          Bound.insert(V->name());
+        }
+        return;
+      }
+      case StmtKind::Expr:
+        expr(cast<ExprStmt>(St)->expr());
+        return;
+      case StmtKind::If:
+        expr(cast<IfStmt>(St)->cond());
+        stmt(cast<IfStmt>(St)->thenStmt());
+        stmt(cast<IfStmt>(St)->elseStmt());
+        return;
+      case StmtKind::While:
+        expr(cast<WhileStmt>(St)->cond());
+        stmt(cast<WhileStmt>(St)->body());
+        return;
+      case StmtKind::Return:
+        expr(cast<ReturnStmt>(St)->value());
+        return;
+      case StmtKind::Switch: {
+        const auto *Sw = cast<SwitchStmt>(St);
+        expr(Sw->subject());
+        for (const SwitchStmt::Case &C : Sw->cases()) {
+          for (const std::string &B : C.Pattern.Binders)
+            if (!B.empty())
+              Bound.insert(B);
+          for (const Stmt *Sub : C.Body)
+            stmt(Sub);
+        }
+        return;
+      }
+      case StmtKind::Free:
+        expr(cast<FreeStmt>(St)->operand());
+        return;
+      }
+    }
+  };
+  Walker W{*this, Bound, Out};
+  W.stmt(S);
+}
+
+void CEmitter::emitDecl(const Decl *D) {
+  switch (D->kind()) {
+  case DeclKind::Stateset:
+  case DeclKind::Key:
+  case DeclKind::Module:
+    // Purely compile-time artifacts: erased.
+    line("/* " + D->name() + ": compile-time only, erased */");
+    return;
+  case DeclKind::TypeAlias: {
+    const auto *A = cast<TypeAliasDecl>(D);
+    if (A->isAbstract()) {
+      emitAbstractType(A);
+      return;
+    }
+    // Tuple aliases become structs with f0..fN members.
+    if (const auto *Tu = dyn_cast<TupleTypeExpr>(A->underlying())) {
+      line("struct " + A->name() + " {");
+      ++Indent;
+      for (size_t I = 0; I != Tu->elems().size(); ++I)
+        stmt(cType(Tu->elems()[I]) + " f" + std::to_string(I));
+      --Indent;
+      line("};");
+      return;
+    }
+    // Other aliases are expanded at use sites.
+    return;
+  }
+  case DeclKind::Struct:
+    emitStructDecl(cast<StructDecl>(D));
+    return;
+  case DeclKind::Variant:
+    emitVariantDecl(cast<VariantDecl>(D));
+    return;
+  case DeclKind::Func:
+    LocalCTypes.clear();
+    NestedFnNames.clear();
+    LiftedFunctions.clear();
+    {
+      std::ostringstream FnBody;
+      std::ostringstream *Saved = Out;
+      Out = &FnBody;
+      emitFunc(cast<FuncDecl>(D));
+      Out = Saved;
+      for (const std::string &L : LiftedFunctions)
+        *Out << L;
+      *Out << FnBody.str();
+    }
+    return;
+  case DeclKind::Interface:
+    for (const Decl *M : cast<InterfaceDecl>(D)->members())
+      emitDecl(M);
+    return;
+  case DeclKind::Var:
+    return;
+  }
+}
+
+std::string CEmitter::emitProgram() {
+  Header.str("");
+  Body.str("");
+  Out = &Header;
+  line("/* Generated by vaultc: keys, guards and effects erased. */");
+  line("#include <stdbool.h>");
+  line("#include <stdint.h>");
+  line("#include <stdlib.h>");
+  line("#include <string.h>");
+  line("");
+  line("typedef void (*vault_fnptr)(void);");
+  line("typedef uint64_t vault_region_handle;");
+  line("extern void *vault_region_alloc(uint64_t region, size_t size);");
+  line("");
+
+  Out = &Body;
+  for (const Decl *D : Compiler.ast().program().Decls)
+    emitDecl(D);
+  return Header.str() + Body.str();
+}

@@ -1,0 +1,1239 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+using namespace vault;
+
+Parser::Parser(AstContext &Ctx, const SourceManager &SM, uint32_t BufferId,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags) {
+  Lexer Lex(SM, BufferId, Diags);
+  Tokens = Lex.lexAll();
+}
+
+bool Parser::parseString(AstContext &Ctx, SourceManager &SM,
+                         DiagnosticEngine &Diags, const std::string &Name,
+                         const std::string &Text) {
+  uint32_t Id = SM.addBuffer(Name, Text);
+  Parser P(Ctx, SM, Id, Diags);
+  return P.parseProgram();
+}
+
+void Parser::error(DiagId Id, const std::string &Msg) {
+  if (Quiet > 0)
+    return;
+  SawError = true;
+  Diags.report(Id, tok().Loc, Msg);
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(DiagId::ParseExpected, std::string("expected ") + tokKindName(K) +
+                                   " " + Context + ", found " +
+                                   tokKindName(tok().Kind));
+  return false;
+}
+
+void Parser::skipTo(std::initializer_list<TokKind> Sync) {
+  unsigned Depth = 0;
+  while (!at(TokKind::Eof)) {
+    if (Depth == 0)
+      for (TokKind K : Sync)
+        if (at(K))
+          return;
+    if (atOneOf({TokKind::LBrace, TokKind::LParen, TokKind::LBracket}))
+      ++Depth;
+    else if (atOneOf({TokKind::RBrace, TokKind::RParen, TokKind::RBracket})) {
+      if (Depth == 0)
+        return;
+      --Depth;
+    }
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseStateExpr(StateExprAst &Out) {
+  Out.Loc = tok().Loc;
+  if (accept(TokKind::LParen)) {
+    // Bounded state variable: (level <= DISPATCH_LEVEL).
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseBadType, "expected state variable name");
+      return false;
+    }
+    Out.K = StateExprAst::Kind::BoundedVar;
+    Out.Name = consume().Text;
+    if (accept(TokKind::LessEqual))
+      Out.Strict = false;
+    else if (accept(TokKind::Less))
+      Out.Strict = true;
+    else {
+      error(DiagId::ParseBadType, "expected '<=' or '<' in state bound");
+      return false;
+    }
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseBadType, "expected state name as bound");
+      return false;
+    }
+    Out.Bound = consume().Text;
+    return expect(TokKind::RParen, "after state bound");
+  }
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseBadType, "expected state name");
+    return false;
+  }
+  Out.K = StateExprAst::Kind::Name;
+  Out.Name = consume().Text;
+  return true;
+}
+
+bool Parser::parseKeyStateRef(KeyStateRef &Out) {
+  Out.Loc = tok().Loc;
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseBadType, "expected key name");
+    return false;
+  }
+  Out.KeyName = consume().Text;
+  if (accept(TokKind::At)) {
+    StateExprAst S;
+    if (!parseStateExpr(S))
+      return false;
+    Out.State = std::move(S);
+  }
+  return true;
+}
+
+/// Attempts `guard (',' guard)* ':'` where a guard is `K`, `K@st`, or
+/// `(K @ st)`. Returns the guarded type on success, nullptr (with the
+/// token position restored) otherwise.
+TypeExprAst *Parser::tryParseGuardedType() {
+  Snapshot Snap = save();
+  ++Quiet;
+  std::vector<KeyStateRef> Guards;
+  bool Ok = true;
+  do {
+    KeyStateRef Ref;
+    if (accept(TokKind::LParen)) {
+      if (!parseKeyStateRef(Ref) || !accept(TokKind::RParen)) {
+        Ok = false;
+        break;
+      }
+    } else if (!parseKeyStateRef(Ref)) {
+      Ok = false;
+      break;
+    }
+    Guards.push_back(std::move(Ref));
+  } while (accept(TokKind::Comma));
+  if (!Ok || !accept(TokKind::Colon)) {
+    --Quiet;
+    restore(Snap);
+    return nullptr;
+  }
+  --Quiet;
+  TypeExprAst *Inner = parseTypeNoGuard();
+  if (!Inner) {
+    restore(Snap);
+    return nullptr;
+  }
+  SourceLoc L = Guards.front().Loc;
+  return Ctx.create<GuardedTypeExpr>(std::move(Guards), Inner, L);
+}
+
+bool Parser::parseTypeArgs(std::vector<TypeExprAst *> &Out) {
+  // Caller has already consumed '<'.
+  do {
+    TypeExprAst *Arg = parseType();
+    if (!Arg)
+      return false;
+    Out.push_back(Arg);
+  } while (accept(TokKind::Comma));
+  return accept(TokKind::Greater);
+}
+
+TypeExprAst *Parser::parseTypeNoGuard() {
+  SourceLoc L = tok().Loc;
+  TypeExprAst *Base = nullptr;
+  switch (tok().Kind) {
+  case TokKind::KwInt:
+    consume();
+    Base = Ctx.create<PrimTypeExpr>(PrimKind::Int, L);
+    break;
+  case TokKind::KwBool:
+    consume();
+    Base = Ctx.create<PrimTypeExpr>(PrimKind::Bool, L);
+    break;
+  case TokKind::KwByte:
+    consume();
+    Base = Ctx.create<PrimTypeExpr>(PrimKind::Byte, L);
+    break;
+  case TokKind::KwVoid:
+    consume();
+    Base = Ctx.create<PrimTypeExpr>(PrimKind::Void, L);
+    break;
+  case TokKind::KwString:
+    consume();
+    Base = Ctx.create<PrimTypeExpr>(PrimKind::String, L);
+    break;
+  case TokKind::KwTracked: {
+    consume();
+    std::optional<std::string> KeyName;
+    std::optional<StateExprAst> InitState;
+    if (accept(TokKind::LParen)) {
+      if (accept(TokKind::At)) {
+        StateExprAst S;
+        if (!parseStateExpr(S))
+          return nullptr;
+        InitState = std::move(S);
+      } else if (at(TokKind::Identifier)) {
+        KeyName = consume().Text;
+      } else {
+        error(DiagId::ParseBadType, "expected key name or '@state'");
+        return nullptr;
+      }
+      if (!expect(TokKind::RParen, "after tracked key"))
+        return nullptr;
+    }
+    TypeExprAst *Inner = parseTypeNoGuard();
+    if (!Inner)
+      return nullptr;
+    Base = Ctx.create<TrackedTypeExpr>(std::move(KeyName), std::move(InitState),
+                                       Inner, L);
+    break;
+  }
+  case TokKind::LParen: {
+    consume();
+    std::vector<TypeExprAst *> Elems;
+    do {
+      TypeExprAst *E = parseType();
+      if (!E)
+        return nullptr;
+      Elems.push_back(E);
+    } while (accept(TokKind::Comma));
+    if (!expect(TokKind::RParen, "after tuple type"))
+      return nullptr;
+    Base = Elems.size() == 1 ? Elems.front()
+                             : Ctx.create<TupleTypeExpr>(std::move(Elems), L);
+    break;
+  }
+  case TokKind::Identifier: {
+    std::string Name = consume().Text;
+    std::vector<TypeExprAst *> Args;
+    if (at(TokKind::Less)) {
+      // Tentatively parse type arguments; `a < b` never appears in a
+      // committed type position, but be safe for tentative contexts.
+      Snapshot Snap = save();
+      consume();
+      ++Quiet;
+      std::vector<TypeExprAst *> Tentative;
+      bool Ok = parseTypeArgs(Tentative);
+      --Quiet;
+      if (Ok)
+        Args = std::move(Tentative);
+      else
+        restore(Snap);
+    }
+    Base = Ctx.create<NamedTypeExpr>(std::move(Name), std::move(Args), L);
+    break;
+  }
+  default:
+    error(DiagId::ParseBadType,
+          std::string("expected a type, found ") + tokKindName(tok().Kind));
+    return nullptr;
+  }
+
+  // Postfix array suffixes: T[], T[][].
+  while (at(TokKind::LBracket) && tok(1).is(TokKind::RBracket)) {
+    consume();
+    consume();
+    Base = Ctx.create<ArrayTypeExpr>(Base, L);
+  }
+  return Base;
+}
+
+TypeExprAst *Parser::parseType() {
+  if (atOneOf({TokKind::Identifier, TokKind::LParen}))
+    if (TypeExprAst *G = tryParseGuardedType())
+      return G;
+  return parseTypeNoGuard();
+}
+
+//===----------------------------------------------------------------------===//
+// Effects
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseEffectClause(EffectClauseAst &Out) {
+  Out.Loc = tok().Loc;
+  if (!accept(TokKind::LBracket))
+    return true; // Absent clause.
+  Out.Present = true;
+  if (accept(TokKind::RBracket))
+    return true; // Explicit empty effect `[]`.
+  do {
+    EffectItemAst Item;
+    Item.Loc = tok().Loc;
+    if (accept(TokKind::Minus))
+      Item.M = EffectItemAst::Mode::Consume;
+    else if (accept(TokKind::Plus))
+      Item.M = EffectItemAst::Mode::Produce;
+    else if (at(TokKind::KwNew)) {
+      consume();
+      Item.M = EffectItemAst::Mode::Fresh;
+    } else
+      Item.M = EffectItemAst::Mode::Keep;
+
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseBadEffect, "expected key name in effect clause");
+      return false;
+    }
+    Item.KeyName = consume().Text;
+
+    if (accept(TokKind::At)) {
+      StateExprAst Pre;
+      if (!parseStateExpr(Pre))
+        return false;
+      if (accept(TokKind::Arrow)) {
+        if (!at(TokKind::Identifier)) {
+          error(DiagId::ParseBadEffect, "expected post state after '->'");
+          return false;
+        }
+        Item.Post = consume().Text;
+        Item.Pre = std::move(Pre);
+      } else {
+        switch (Item.M) {
+        case EffectItemAst::Mode::Keep:
+          // [K@a] is shorthand for [K@a->a].
+          if (Pre.K == StateExprAst::Kind::Name)
+            Item.Post = Pre.Name;
+          Item.Pre = std::move(Pre);
+          break;
+        case EffectItemAst::Mode::Consume:
+          Item.Pre = std::move(Pre);
+          break;
+        case EffectItemAst::Mode::Produce:
+        case EffectItemAst::Mode::Fresh:
+          if (Pre.K != StateExprAst::Kind::Name) {
+            error(DiagId::ParseBadEffect,
+                  "produced keys need a concrete post state");
+            return false;
+          }
+          Item.Post = Pre.Name;
+          break;
+        }
+      }
+    }
+    Out.Items.push_back(std::move(Item));
+  } while (accept(TokKind::Comma));
+  return expect(TokKind::RBracket, "to close effect clause");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseAssign(); }
+
+Expr *Parser::parseAssign() {
+  Expr *Lhs = parseOr();
+  if (!Lhs)
+    return nullptr;
+  if (at(TokKind::Equal)) {
+    SourceLoc L = tok().Loc;
+    consume();
+    Expr *Rhs = parseAssign();
+    if (!Rhs)
+      return nullptr;
+    return Ctx.create<AssignExpr>(Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseOr() {
+  Expr *Lhs = parseAnd();
+  if (!Lhs)
+    return nullptr;
+  while (at(TokKind::PipePipe)) {
+    SourceLoc L = consume().Loc;
+    Expr *Rhs = parseAnd();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.create<BinaryExpr>(BinaryOp::Or, Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseAnd() {
+  Expr *Lhs = parseEquality();
+  if (!Lhs)
+    return nullptr;
+  while (at(TokKind::AmpAmp)) {
+    SourceLoc L = consume().Loc;
+    Expr *Rhs = parseEquality();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.create<BinaryExpr>(BinaryOp::And, Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseEquality() {
+  Expr *Lhs = parseRelational();
+  if (!Lhs)
+    return nullptr;
+  while (atOneOf({TokKind::EqualEqual, TokKind::ExclaimEqual})) {
+    BinaryOp Op = at(TokKind::EqualEqual) ? BinaryOp::Eq : BinaryOp::Ne;
+    SourceLoc L = consume().Loc;
+    Expr *Rhs = parseRelational();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.create<BinaryExpr>(Op, Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseRelational() {
+  Expr *Lhs = parseAdditive();
+  if (!Lhs)
+    return nullptr;
+  while (atOneOf({TokKind::Less, TokKind::LessEqual, TokKind::Greater,
+                  TokKind::GreaterEqual})) {
+    BinaryOp Op;
+    switch (tok().Kind) {
+    case TokKind::Less:
+      Op = BinaryOp::Lt;
+      break;
+    case TokKind::LessEqual:
+      Op = BinaryOp::Le;
+      break;
+    case TokKind::Greater:
+      Op = BinaryOp::Gt;
+      break;
+    default:
+      Op = BinaryOp::Ge;
+      break;
+    }
+    SourceLoc L = consume().Loc;
+    Expr *Rhs = parseAdditive();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.create<BinaryExpr>(Op, Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseAdditive() {
+  Expr *Lhs = parseMultiplicative();
+  if (!Lhs)
+    return nullptr;
+  while (atOneOf({TokKind::Plus, TokKind::Minus})) {
+    BinaryOp Op = at(TokKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc L = consume().Loc;
+    Expr *Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.create<BinaryExpr>(Op, Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseMultiplicative() {
+  Expr *Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (atOneOf({TokKind::Star, TokKind::Slash, TokKind::Percent})) {
+    BinaryOp Op = at(TokKind::Star)    ? BinaryOp::Mul
+                  : at(TokKind::Slash) ? BinaryOp::Div
+                                       : BinaryOp::Rem;
+    SourceLoc L = consume().Loc;
+    Expr *Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.create<BinaryExpr>(Op, Lhs, Rhs, L);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseUnary() {
+  if (at(TokKind::Exclaim)) {
+    SourceLoc L = consume().Loc;
+    Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOp::Not, Operand, L);
+  }
+  if (at(TokKind::Minus)) {
+    SourceLoc L = consume().Loc;
+    Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOp::Neg, Operand, L);
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *Base = parsePrimary();
+  if (!Base)
+    return nullptr;
+  for (;;) {
+    SourceLoc L = tok().Loc;
+    if (accept(TokKind::LParen)) {
+      std::vector<Expr *> Args;
+      if (!at(TokKind::RParen)) {
+        do {
+          Expr *A = parseExpr();
+          if (!A)
+            return nullptr;
+          Args.push_back(A);
+        } while (accept(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen, "to close call"))
+        return nullptr;
+      Base = Ctx.create<CallExpr>(Base, std::move(Args), L);
+      continue;
+    }
+    if (accept(TokKind::Dot)) {
+      if (!at(TokKind::Identifier)) {
+        error(DiagId::ParseUnexpectedToken, "expected field name after '.'");
+        return nullptr;
+      }
+      std::string Field = consume().Text;
+      Base = Ctx.create<FieldExpr>(Base, std::move(Field), L);
+      continue;
+    }
+    if (accept(TokKind::LBracket)) {
+      Expr *Index = parseExpr();
+      if (!Index)
+        return nullptr;
+      if (!expect(TokKind::RBracket, "to close index"))
+        return nullptr;
+      Base = Ctx.create<IndexExpr>(Base, Index, L);
+      continue;
+    }
+    if (at(TokKind::PlusPlus) || at(TokKind::MinusMinus)) {
+      bool Inc = at(TokKind::PlusPlus);
+      consume();
+      Base = Ctx.create<IncDecExpr>(Base, Inc, L);
+      continue;
+    }
+    return Base;
+  }
+}
+
+Expr *Parser::parseCtor() {
+  SourceLoc L = tok().Loc;
+  std::string Name = consume().Text; // TickIdentifier.
+  std::vector<KeyStateRef> KeyArgs;
+  if (accept(TokKind::LBrace)) {
+    do {
+      KeyStateRef Ref;
+      if (!parseKeyStateRef(Ref))
+        return nullptr;
+      KeyArgs.push_back(std::move(Ref));
+    } while (accept(TokKind::Comma));
+    if (!expect(TokKind::RBrace, "to close constructor key arguments"))
+      return nullptr;
+  }
+  std::vector<Expr *> Args;
+  if (accept(TokKind::LParen)) {
+    if (!at(TokKind::RParen)) {
+      do {
+        Expr *A = parseExpr();
+        if (!A)
+          return nullptr;
+        Args.push_back(A);
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "to close constructor arguments"))
+      return nullptr;
+  }
+  return Ctx.create<CtorExpr>(std::move(Name), std::move(KeyArgs),
+                              std::move(Args), L);
+}
+
+Expr *Parser::parseNew() {
+  SourceLoc L = consume().Loc; // 'new'
+  bool Tracked = false;
+  Expr *Region = nullptr;
+  if (at(TokKind::KwTracked)) {
+    consume();
+    Tracked = true;
+  } else if (accept(TokKind::LParen)) {
+    Region = parseExpr();
+    if (!Region)
+      return nullptr;
+    if (!expect(TokKind::RParen, "after region argument"))
+      return nullptr;
+  }
+  TypeExprAst *Type = parseTypeNoGuard();
+  if (!Type)
+    return nullptr;
+  std::vector<NewExpr::FieldInit> Inits;
+  if (accept(TokKind::LBrace)) {
+    while (!at(TokKind::RBrace)) {
+      NewExpr::FieldInit Init;
+      Init.Loc = tok().Loc;
+      if (!at(TokKind::Identifier)) {
+        error(DiagId::ParseUnexpectedToken, "expected field initializer");
+        return nullptr;
+      }
+      Init.Field = consume().Text;
+      if (!expect(TokKind::Equal, "in field initializer"))
+        return nullptr;
+      Init.Init = parseExpr();
+      if (!Init.Init)
+        return nullptr;
+      Inits.push_back(Init);
+      // The paper separates field initializers with ';'; accept ',' too.
+      if (!accept(TokKind::Semi))
+        accept(TokKind::Comma);
+    }
+    consume(); // '}'
+  }
+  return Ctx.create<NewExpr>(Tracked, Region, Type, std::move(Inits), L);
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc L = tok().Loc;
+  switch (tok().Kind) {
+  case TokKind::IntLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(T.IntValue, L);
+  }
+  case TokKind::KwTrue:
+    consume();
+    return Ctx.create<BoolLiteralExpr>(true, L);
+  case TokKind::KwFalse:
+    consume();
+    return Ctx.create<BoolLiteralExpr>(false, L);
+  case TokKind::StringLiteral: {
+    Token T = consume();
+    return Ctx.create<StringLiteralExpr>(T.Text, L);
+  }
+  case TokKind::Identifier: {
+    Token T = consume();
+    return Ctx.create<NameExpr>("", T.Text, L);
+  }
+  case TokKind::TickIdentifier:
+    return parseCtor();
+  case TokKind::KwNew:
+    return parseNew();
+  case TokKind::LParen: {
+    consume();
+    std::vector<Expr *> Elems;
+    do {
+      Expr *E = parseExpr();
+      if (!E)
+        return nullptr;
+      Elems.push_back(E);
+    } while (accept(TokKind::Comma));
+    if (!expect(TokKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    if (Elems.size() == 1)
+      return Elems.front();
+    return Ctx.create<TupleExpr>(std::move(Elems), L);
+  }
+  default:
+    error(DiagId::ParseUnexpectedToken,
+          std::string("expected an expression, found ") +
+              tokKindName(tok().Kind));
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc L = tok().Loc;
+  if (!expect(TokKind::LBrace, "to open block"))
+    return nullptr;
+  std::vector<Stmt *> Stmts;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    size_t Before = Idx;
+    Stmt *S = parseStmt();
+    if (!S) {
+      skipTo({TokKind::Semi, TokKind::RBrace});
+      accept(TokKind::Semi);
+      if (Idx == Before)
+        consume();
+      continue;
+    }
+    Stmts.push_back(S);
+  }
+  expect(TokKind::RBrace, "to close block");
+  return Ctx.create<BlockStmt>(std::move(Stmts), L);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc L = consume().Loc; // 'if'
+  if (!expect(TokKind::LParen, "after 'if'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokKind::RParen, "after if condition"))
+    return nullptr;
+  Stmt *Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (accept(TokKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.create<IfStmt>(Cond, Then, Else, L);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc L = consume().Loc; // 'while'
+  if (!expect(TokKind::LParen, "after 'while'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokKind::RParen, "after while condition"))
+    return nullptr;
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<WhileStmt>(Cond, Body, L);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc L = consume().Loc; // 'return'
+  Expr *Value = nullptr;
+  if (!at(TokKind::Semi)) {
+    Value = parseExpr();
+    if (!Value)
+      return nullptr;
+  }
+  if (!expect(TokKind::Semi, "after return"))
+    return nullptr;
+  return Ctx.create<ReturnStmt>(Value, L);
+}
+
+Stmt *Parser::parseFree() {
+  SourceLoc L = consume().Loc; // 'free'
+  if (!expect(TokKind::LParen, "after 'free'"))
+    return nullptr;
+  Expr *Operand = parseExpr();
+  if (!Operand)
+    return nullptr;
+  if (!expect(TokKind::RParen, "after free operand"))
+    return nullptr;
+  if (!expect(TokKind::Semi, "after free statement"))
+    return nullptr;
+  return Ctx.create<FreeStmt>(Operand, L);
+}
+
+Stmt *Parser::parseSwitch() {
+  SourceLoc L = consume().Loc; // 'switch'
+  if (!expect(TokKind::LParen, "after 'switch'"))
+    return nullptr;
+  Expr *Subject = parseExpr();
+  if (!Subject)
+    return nullptr;
+  if (!expect(TokKind::RParen, "after switch subject"))
+    return nullptr;
+  if (!expect(TokKind::LBrace, "to open switch body"))
+    return nullptr;
+
+  std::vector<SwitchStmt::Case> Cases;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    SwitchStmt::Case C;
+    C.Loc = tok().Loc;
+    C.Pattern.Loc = tok().Loc;
+    if (accept(TokKind::KwDefault)) {
+      C.Pattern.IsDefault = true;
+      if (!expect(TokKind::Colon, "after 'default'"))
+        return nullptr;
+    } else {
+      if (!expect(TokKind::KwCase, "in switch body"))
+        return nullptr;
+      if (!at(TokKind::TickIdentifier)) {
+        error(DiagId::ParseBadPattern, "expected constructor pattern");
+        return nullptr;
+      }
+      C.Pattern.CtorName = consume().Text;
+      if (accept(TokKind::LParen)) {
+        C.Pattern.HasParens = true;
+        do {
+          if (accept(TokKind::Underscore)) {
+            C.Pattern.Binders.push_back("");
+          } else if (at(TokKind::Identifier)) {
+            C.Pattern.Binders.push_back(consume().Text);
+          } else {
+            error(DiagId::ParseBadPattern, "expected binder or '_'");
+            return nullptr;
+          }
+        } while (accept(TokKind::Comma));
+        if (!expect(TokKind::RParen, "to close pattern"))
+          return nullptr;
+      }
+      if (!expect(TokKind::Colon, "after case pattern"))
+        return nullptr;
+    }
+    while (!atOneOf({TokKind::KwCase, TokKind::KwDefault, TokKind::RBrace,
+                     TokKind::Eof})) {
+      size_t Before = Idx;
+      Stmt *S = parseStmt();
+      if (!S) {
+        skipTo({TokKind::Semi, TokKind::KwCase, TokKind::KwDefault,
+                TokKind::RBrace});
+        accept(TokKind::Semi);
+        if (Idx == Before)
+          consume();
+        continue;
+      }
+      C.Body.push_back(S);
+    }
+    Cases.push_back(std::move(C));
+  }
+  expect(TokKind::RBrace, "to close switch");
+  return Ctx.create<SwitchStmt>(Subject, std::move(Cases), L);
+}
+
+Stmt *Parser::tryParseLocalDecl() {
+  // Fast negative checks: a declaration must start with a type.
+  if (!atOneOf({TokKind::KwInt, TokKind::KwBool, TokKind::KwByte,
+                TokKind::KwVoid, TokKind::KwString, TokKind::KwTracked,
+                TokKind::Identifier, TokKind::LParen}))
+    return nullptr;
+
+  Snapshot Snap = save();
+  ++Quiet;
+  TypeExprAst *Type = parseType();
+  if (!Type || !at(TokKind::Identifier)) {
+    --Quiet;
+    restore(Snap);
+    return nullptr;
+  }
+  Token NameTok = consume();
+  SourceLoc L = NameTok.Loc;
+
+  if (at(TokKind::LParen)) {
+    // Nested function declaration (paper Fig. 7's RegainIrp).
+    --Quiet;
+    FuncDecl *F = parseFuncRest(Type, NameTok);
+    if (!F) {
+      restore(Snap);
+      return nullptr;
+    }
+    return Ctx.create<DeclStmt>(F, L);
+  }
+
+  if (at(TokKind::Equal)) {
+    --Quiet;
+    consume();
+    Expr *Init = parseExpr();
+    if (!Init) {
+      restore(Snap);
+      return nullptr;
+    }
+    if (!expect(TokKind::Semi, "after variable declaration")) {
+      restore(Snap);
+      return nullptr;
+    }
+    auto *V = Ctx.create<VarDecl>(Type, NameTok.Text, Init, L);
+    return Ctx.create<DeclStmt>(V, L);
+  }
+
+  if (at(TokKind::Semi)) {
+    --Quiet;
+    consume();
+    auto *V = Ctx.create<VarDecl>(Type, NameTok.Text, nullptr, L);
+    return Ctx.create<DeclStmt>(V, L);
+  }
+
+  --Quiet;
+  restore(Snap);
+  return nullptr;
+}
+
+Stmt *Parser::parseStmt() {
+  switch (tok().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwReturn:
+    return parseReturn();
+  case TokKind::KwSwitch:
+    return parseSwitch();
+  case TokKind::KwFree:
+    return parseFree();
+  case TokKind::Semi:
+    consume();
+    return Ctx.create<BlockStmt>(std::vector<Stmt *>{}, tok().Loc);
+  default:
+    break;
+  }
+  if (Stmt *S = tryParseLocalDecl())
+    return S;
+  SourceLoc L = tok().Loc;
+  Expr *E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (!expect(TokKind::Semi, "after expression statement"))
+    return nullptr;
+  return Ctx.create<ExprStmt>(E, L);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTypeParams(std::vector<TypeParamAst> &Out) {
+  if (!accept(TokKind::Less))
+    return true;
+  do {
+    TypeParamAst P;
+    P.Loc = tok().Loc;
+    if (accept(TokKind::KwType))
+      P.K = TypeParamAst::Kind::Type;
+    else if (accept(TokKind::KwKey))
+      P.K = TypeParamAst::Kind::Key;
+    else if (accept(TokKind::KwState))
+      P.K = TypeParamAst::Kind::State;
+    else {
+      error(DiagId::ParseExpected, "expected 'type', 'key', or 'state'");
+      return false;
+    }
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseExpected, "expected parameter name");
+      return false;
+    }
+    P.Name = consume().Text;
+    Out.push_back(std::move(P));
+  } while (accept(TokKind::Comma));
+  return expect(TokKind::Greater, "to close type parameters");
+}
+
+bool Parser::parseParamList(std::vector<FuncDecl::Param> &Out) {
+  if (!expect(TokKind::LParen, "to open parameter list"))
+    return false;
+  if (accept(TokKind::RParen))
+    return true;
+  do {
+    FuncDecl::Param P;
+    P.Loc = tok().Loc;
+    P.Type = parseType();
+    if (!P.Type)
+      return false;
+    if (at(TokKind::Identifier))
+      P.Name = consume().Text;
+    Out.push_back(P);
+  } while (accept(TokKind::Comma));
+  return expect(TokKind::RParen, "to close parameter list");
+}
+
+FuncDecl *Parser::parseFuncRest(TypeExprAst *RetType, const Token &NameTok) {
+  std::vector<FuncDecl::Param> Params;
+  if (!parseParamList(Params))
+    return nullptr;
+  EffectClauseAst Effect;
+  if (!parseEffectClause(Effect))
+    return nullptr;
+  BlockStmt *Body = nullptr;
+  if (at(TokKind::LBrace)) {
+    Body = parseBlock();
+    if (!Body)
+      return nullptr;
+  } else if (!expect(TokKind::Semi, "after function prototype")) {
+    return nullptr;
+  }
+  return Ctx.create<FuncDecl>(RetType, NameTok.Text, std::move(Params),
+                              std::move(Effect), Body, NameTok.Loc);
+}
+
+Decl *Parser::parseStatesetDecl() {
+  SourceLoc L = consume().Loc; // 'stateset'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected stateset name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  if (!expect(TokKind::Equal, "in stateset declaration"))
+    return nullptr;
+  if (!expect(TokKind::LBracket, "to open stateset"))
+    return nullptr;
+  std::vector<StatesetDecl::RankGroup> Ranks;
+  StatesetDecl::RankGroup Current;
+  for (;;) {
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseExpected, "expected state name");
+      return nullptr;
+    }
+    Current.push_back(consume().Text);
+    if (accept(TokKind::Comma))
+      continue;
+    if (accept(TokKind::Less)) {
+      Ranks.push_back(std::move(Current));
+      Current.clear();
+      continue;
+    }
+    break;
+  }
+  Ranks.push_back(std::move(Current));
+  if (!expect(TokKind::RBracket, "to close stateset"))
+    return nullptr;
+  if (!expect(TokKind::Semi, "after stateset declaration"))
+    return nullptr;
+  return Ctx.create<StatesetDecl>(std::move(Name), std::move(Ranks), L);
+}
+
+Decl *Parser::parseKeyDecl() {
+  SourceLoc L = consume().Loc; // 'key'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected key name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  std::string Stateset;
+  if (accept(TokKind::At)) {
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseExpected, "expected stateset name after '@'");
+      return nullptr;
+    }
+    Stateset = consume().Text;
+  }
+  if (!expect(TokKind::Semi, "after key declaration"))
+    return nullptr;
+  return Ctx.create<KeyDecl>(std::move(Name), std::move(Stateset), L);
+}
+
+Decl *Parser::parseTypeDecl() {
+  SourceLoc L = consume().Loc; // 'type'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected type name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  std::vector<TypeParamAst> Params;
+  if (!parseTypeParams(Params))
+    return nullptr;
+  TypeExprAst *Underlying = nullptr;
+  if (accept(TokKind::Equal)) {
+    // The alias body may be a function type: `T name(params) [eff]`.
+    Snapshot Snap = save();
+    ++Quiet;
+    TypeExprAst *Ret = parseType();
+    if (Ret && at(TokKind::Identifier) && tok(1).is(TokKind::LParen)) {
+      consume(); // routine name, documentation only.
+      --Quiet;
+      std::vector<FuncDecl::Param> Params2;
+      if (!parseParamList(Params2))
+        return nullptr;
+      EffectClauseAst Effect;
+      if (!parseEffectClause(Effect))
+        return nullptr;
+      std::vector<FuncTypeExpr::Param> FParams;
+      for (const auto &P : Params2)
+        FParams.push_back({P.Type, P.Name});
+      Underlying =
+          Ctx.create<FuncTypeExpr>(Ret, std::move(FParams), std::move(Effect), L);
+    } else {
+      --Quiet;
+      restore(Snap);
+      Underlying = parseType();
+      if (!Underlying)
+        return nullptr;
+    }
+  }
+  if (!expect(TokKind::Semi, "after type declaration"))
+    return nullptr;
+  return Ctx.create<TypeAliasDecl>(std::move(Name), std::move(Params),
+                                   Underlying, L);
+}
+
+Decl *Parser::parseStructDecl() {
+  SourceLoc L = consume().Loc; // 'struct'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected struct name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  std::vector<TypeParamAst> Params;
+  if (!parseTypeParams(Params))
+    return nullptr;
+  if (!expect(TokKind::LBrace, "to open struct body"))
+    return nullptr;
+  std::vector<StructDecl::Field> Fields;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    StructDecl::Field F;
+    F.Loc = tok().Loc;
+    F.Type = parseType();
+    if (!F.Type)
+      return nullptr;
+    if (!at(TokKind::Identifier)) {
+      error(DiagId::ParseExpected, "expected field name");
+      return nullptr;
+    }
+    F.Name = consume().Text;
+    if (!expect(TokKind::Semi, "after struct field"))
+      return nullptr;
+    Fields.push_back(F);
+  }
+  expect(TokKind::RBrace, "to close struct body");
+  accept(TokKind::Semi);
+  return Ctx.create<StructDecl>(std::move(Name), std::move(Params),
+                                std::move(Fields), L);
+}
+
+Decl *Parser::parseVariantDecl() {
+  SourceLoc L = consume().Loc; // 'variant'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected variant name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  std::vector<TypeParamAst> Params;
+  if (!parseTypeParams(Params))
+    return nullptr;
+  if (!expect(TokKind::LBracket, "to open variant constructors"))
+    return nullptr;
+  std::vector<VariantDecl::Ctor> Ctors;
+  do {
+    VariantDecl::Ctor C;
+    C.Loc = tok().Loc;
+    if (!at(TokKind::TickIdentifier)) {
+      error(DiagId::ParseExpected, "expected constructor name");
+      return nullptr;
+    }
+    C.Name = consume().Text;
+    if (accept(TokKind::LParen)) {
+      do {
+        TypeExprAst *T = parseType();
+        if (!T)
+          return nullptr;
+        C.Payload.push_back(T);
+      } while (accept(TokKind::Comma));
+      if (!expect(TokKind::RParen, "to close constructor payload"))
+        return nullptr;
+    }
+    if (accept(TokKind::LBrace)) {
+      do {
+        KeyStateRef Ref;
+        if (!parseKeyStateRef(Ref))
+          return nullptr;
+        C.KeyAttachments.push_back(std::move(Ref));
+      } while (accept(TokKind::Comma));
+      if (!expect(TokKind::RBrace, "to close key attachments"))
+        return nullptr;
+    }
+    Ctors.push_back(std::move(C));
+  } while (accept(TokKind::Pipe));
+  if (!expect(TokKind::RBracket, "to close variant declaration"))
+    return nullptr;
+  if (!expect(TokKind::Semi, "after variant declaration"))
+    return nullptr;
+  return Ctx.create<VariantDecl>(std::move(Name), std::move(Params),
+                                 std::move(Ctors), L);
+}
+
+Decl *Parser::parseInterfaceDecl() {
+  SourceLoc L = consume().Loc; // 'interface'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected interface name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  if (!expect(TokKind::LBrace, "to open interface body"))
+    return nullptr;
+  std::vector<Decl *> Members;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    size_t Before = Idx;
+    Decl *D = parseTopLevelDecl();
+    if (!D) {
+      skipTo({TokKind::Semi, TokKind::RBrace});
+      accept(TokKind::Semi);
+      if (Idx == Before)
+        consume();
+      continue;
+    }
+    Members.push_back(D);
+  }
+  expect(TokKind::RBrace, "to close interface body");
+  accept(TokKind::Semi);
+  return Ctx.create<InterfaceDecl>(std::move(Name), std::move(Members), L);
+}
+
+Decl *Parser::parseExternModuleDecl() {
+  SourceLoc L = consume().Loc; // 'extern'
+  if (!expect(TokKind::KwModule, "after 'extern'"))
+    return nullptr;
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected module name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  if (!expect(TokKind::Colon, "in module declaration"))
+    return nullptr;
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected interface name");
+    return nullptr;
+  }
+  std::string Iface = consume().Text;
+  if (!expect(TokKind::Semi, "after module declaration"))
+    return nullptr;
+  return Ctx.create<ModuleDecl>(std::move(Name), std::move(Iface), L);
+}
+
+Decl *Parser::parseTopLevelDecl() {
+  switch (tok().Kind) {
+  case TokKind::KwStateset:
+    return parseStatesetDecl();
+  case TokKind::KwKey:
+    return parseKeyDecl();
+  case TokKind::KwType:
+    return parseTypeDecl();
+  case TokKind::KwStruct:
+    return parseStructDecl();
+  case TokKind::KwVariant:
+    return parseVariantDecl();
+  case TokKind::KwInterface:
+    return parseInterfaceDecl();
+  case TokKind::KwExtern:
+    return parseExternModuleDecl();
+  default:
+    break;
+  }
+  // A function: RetType Name ( ...
+  TypeExprAst *Ret = parseType();
+  if (!Ret)
+    return nullptr;
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected function name");
+    return nullptr;
+  }
+  Token NameTok = consume();
+  return parseFuncRest(Ret, NameTok);
+}
+
+bool Parser::parseProgram() {
+  while (!at(TokKind::Eof)) {
+    size_t Before = Idx;
+    Decl *D = parseTopLevelDecl();
+    if (!D) {
+      skipTo({TokKind::Semi, TokKind::KwInterface, TokKind::KwType,
+              TokKind::KwVariant, TokKind::KwStateset, TokKind::KwKey,
+              TokKind::KwStruct, TokKind::KwExtern});
+      accept(TokKind::Semi);
+      // Guarantee progress: a failed parse that consumed nothing and
+      // stopped on a sync token would otherwise loop forever.
+      if (Idx == Before)
+        consume();
+      continue;
+    }
+    Ctx.program().Decls.push_back(D);
+  }
+  return !SawError;
+}

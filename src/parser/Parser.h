@@ -1,0 +1,136 @@
+//===- Parser.h - Vault parser ----------------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for Vault. Two ambiguities inherent in the
+/// C-based surface syntax are resolved by tentative parsing with
+/// backtracking:
+///
+///  * statement-level "declaration vs expression" (`K:FILE f;` vs
+///    `a < b;`), and
+///  * guard prefixes in types (`K@open : FILE` vs a named type).
+///
+/// During a tentative parse diagnostics are suppressed; they are only
+/// emitted on the committed path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_PARSER_PARSER_H
+#define VAULT_PARSER_PARSER_H
+
+#include "ast/Ast.h"
+#include "lexer/Lexer.h"
+#include "support/Diagnostics.h"
+
+namespace vault {
+
+class Parser {
+public:
+  Parser(AstContext &Ctx, const SourceManager &SM, uint32_t BufferId,
+         DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer into Ctx's program. Returns false if any
+  /// syntax error was reported.
+  bool parseProgram();
+
+  /// Convenience: lex + parse a named source text into \p Ctx.
+  /// Registers the buffer with \p SM.
+  static bool parseString(AstContext &Ctx, SourceManager &SM,
+                          DiagnosticEngine &Diags, const std::string &Name,
+                          const std::string &Text);
+
+private:
+  // Token stream access.
+  const Token &tok(size_t Ahead = 0) const {
+    size_t I = Idx + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokKind K) const { return tok().is(K); }
+  bool atOneOf(std::initializer_list<TokKind> Ks) const {
+    return tok().isOneOf(Ks);
+  }
+  Token consume() { return Tokens[Idx < Tokens.size() - 1 ? Idx++ : Idx]; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    consume();
+    return true;
+  }
+  bool expect(TokKind K, const char *Context);
+  void error(DiagId Id, const std::string &Msg);
+  void skipTo(std::initializer_list<TokKind> Sync);
+
+  // Tentative parsing.
+  struct Snapshot {
+    size_t Idx;
+  };
+  Snapshot save() const { return Snapshot{Idx}; }
+  void restore(Snapshot S) { Idx = S.Idx; }
+
+  // Declarations.
+  Decl *parseTopLevelDecl();
+  Decl *parseStatesetDecl();
+  Decl *parseKeyDecl();
+  Decl *parseTypeDecl();
+  Decl *parseStructDecl();
+  Decl *parseVariantDecl();
+  Decl *parseInterfaceDecl();
+  Decl *parseExternModuleDecl();
+  /// Parses `RetType name(params) [effect] (body|;)` given the already
+  /// parsed return type.
+  FuncDecl *parseFuncRest(TypeExprAst *RetType, const Token &NameTok);
+  bool parseTypeParams(std::vector<TypeParamAst> &Out);
+  bool parseParamList(std::vector<FuncDecl::Param> &Out);
+  bool parseEffectClause(EffectClauseAst &Out);
+
+  // Types.
+  TypeExprAst *parseType();
+  TypeExprAst *parseTypeNoGuard();
+  TypeExprAst *tryParseGuardedType();
+  bool parseStateExpr(StateExprAst &Out);
+  bool parseKeyStateRef(KeyStateRef &Out);
+  bool parseTypeArgs(std::vector<TypeExprAst *> &Out);
+
+  // Statements.
+  Stmt *parseStmt();
+  BlockStmt *parseBlock();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseReturn();
+  Stmt *parseSwitch();
+  Stmt *parseFree();
+  /// Tries to parse a local declaration (variable or nested function);
+  /// returns nullptr without diagnostics if the lookahead is not a
+  /// declaration.
+  Stmt *tryParseLocalDecl();
+
+  // Expressions (precedence climbing).
+  Expr *parseExpr();
+  Expr *parseAssign();
+  Expr *parseOr();
+  Expr *parseAnd();
+  Expr *parseEquality();
+  Expr *parseRelational();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  Expr *parseNew();
+  Expr *parseCtor();
+
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Idx = 0;
+  /// >0 while inside a tentative parse: suppress diagnostics.
+  int Quiet = 0;
+  bool SawError = false;
+};
+
+} // namespace vault
+
+#endif // VAULT_PARSER_PARSER_H

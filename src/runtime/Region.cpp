@@ -1,0 +1,94 @@
+//===- Region.cpp ---------------------------------------------------------===//
+
+#include "runtime/Region.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace vault::rt;
+
+Region::Region(size_t ChunkSize) : ChunkSize(ChunkSize) {
+  assert(ChunkSize >= 256 && "chunk size too small");
+}
+
+Region::~Region() = default;
+
+void Region::addChunk(size_t MinSize) {
+  size_t Size = std::max(ChunkSize, MinSize);
+  Chunk C;
+  C.Memory = std::make_unique<char[]>(Size);
+  C.Size = Size;
+  Cursor = C.Memory.get();
+  End = Cursor + Size;
+  Chunks.push_back(std::move(C));
+}
+
+void *Region::allocate(size_t Size, size_t Align) {
+  if (Size == 0)
+    Size = 1;
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cursor);
+  uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+  if (Cursor == nullptr ||
+      Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+    addChunk(Size + Align);
+    P = reinterpret_cast<uintptr_t>(Cursor);
+    Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+  }
+  Cursor = reinterpret_cast<char *>(Aligned + Size);
+  Allocated += Size;
+  ++NumAllocs;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void Region::reset() {
+  Chunks.clear();
+  Cursor = End = nullptr;
+  Allocated = 0;
+  NumAllocs = 0;
+}
+
+RegionManager::Handle RegionManager::create() {
+  Entry E;
+  E.R = std::make_unique<Region>();
+  E.Live = true;
+  Entries.push_back(std::move(E));
+  return Entries.size(); // 1-based; 0 is never a valid handle.
+}
+
+bool RegionManager::isLive(Handle H) const {
+  return H >= 1 && H <= Entries.size() && Entries[H - 1].Live;
+}
+
+bool RegionManager::destroy(Handle H) {
+  if (!isLive(H)) {
+    ++Violations;
+    return false;
+  }
+  Entries[H - 1].Live = false;
+  Entries[H - 1].R.reset();
+  return true;
+}
+
+void *RegionManager::allocate(Handle H, size_t Size) {
+  if (!isLive(H)) {
+    ++Violations;
+    return nullptr;
+  }
+  return Entries[H - 1].R->allocate(Size);
+}
+
+size_t RegionManager::liveCount() const {
+  size_t N = 0;
+  for (const Entry &E : Entries)
+    if (E.Live)
+      ++N;
+  return N;
+}
+
+std::vector<RegionManager::Handle> RegionManager::leakedRegions() const {
+  std::vector<Handle> Out;
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (Entries[I].Live)
+      Out.push_back(I + 1);
+  return Out;
+}

@@ -1,0 +1,164 @@
+//===- Cfg.cpp ------------------------------------------------------------===//
+
+#include "sema/Cfg.h"
+
+#include <deque>
+#include <sstream>
+
+using namespace vault;
+
+unsigned Cfg::newNode() {
+  CfgNode N;
+  N.Id = static_cast<unsigned>(Nodes.size());
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+void Cfg::addEdge(unsigned From, unsigned To) {
+  if (From == None || To == None)
+    return;
+  Nodes[From].Succs.push_back(To);
+}
+
+unsigned Cfg::lowerStmt(const Stmt *S, unsigned Cur) {
+  if (Cur == None)
+    return None; // Unreachable code is not lowered.
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    unsigned B = Cur;
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts()) {
+      B = lowerStmt(Sub, B);
+      if (B == None)
+        break;
+    }
+    return B;
+  }
+  case StmtKind::Decl:
+  case StmtKind::Expr:
+  case StmtKind::Free:
+    Nodes[Cur].Stmts.push_back(S);
+    return Cur;
+  case StmtKind::Return:
+    Nodes[Cur].Stmts.push_back(S);
+    addEdge(Cur, Exit);
+    return None;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Nodes[Cur].Terminator = I->cond();
+    unsigned ThenB = newNode();
+    addEdge(Cur, ThenB);
+    unsigned ThenOut = lowerStmt(I->thenStmt(), ThenB);
+    unsigned ElseOut;
+    if (I->elseStmt()) {
+      unsigned ElseB = newNode();
+      addEdge(Cur, ElseB);
+      ElseOut = lowerStmt(I->elseStmt(), ElseB);
+    } else {
+      ElseOut = Cur; // Fall-through edge from the condition.
+    }
+    if (ThenOut == None && ElseOut == None)
+      return None;
+    unsigned Join = newNode();
+    if (ThenOut != None)
+      addEdge(ThenOut, Join);
+    if (ElseOut != None)
+      addEdge(ElseOut, Join);
+    return Join;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    unsigned Head = newNode();
+    addEdge(Cur, Head);
+    Nodes[Head].Terminator = W->cond();
+    unsigned BodyB = newNode();
+    addEdge(Head, BodyB);
+    unsigned BodyOut = lowerStmt(W->body(), BodyB);
+    if (BodyOut != None)
+      addEdge(BodyOut, Head); // Back edge.
+    unsigned After = newNode();
+    addEdge(Head, After);
+    return After;
+  }
+  case StmtKind::Switch: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    Nodes[Cur].Terminator = Sw->subject();
+    unsigned Join = newNode();
+    bool AnyFallthrough = false;
+    for (const SwitchStmt::Case &C : Sw->cases()) {
+      unsigned ArmB = newNode();
+      addEdge(Cur, ArmB);
+      unsigned ArmOut = ArmB;
+      for (const Stmt *Sub : C.Body) {
+        ArmOut = lowerStmt(Sub, ArmOut);
+        if (ArmOut == None)
+          break;
+      }
+      if (ArmOut != None) {
+        addEdge(ArmOut, Join);
+        AnyFallthrough = true;
+      }
+    }
+    if (Sw->cases().empty()) {
+      addEdge(Cur, Join);
+      AnyFallthrough = true;
+    }
+    return AnyFallthrough ? Join : None;
+  }
+  }
+  return Cur;
+}
+
+Cfg Cfg::build(const FuncDecl *F) {
+  assert(F->body() && "CFG of a prototype");
+  Cfg G;
+  G.Entry = G.newNode();
+  G.Exit = G.newNode();
+  unsigned Out = G.lowerStmt(F->body(), G.Entry);
+  if (Out != None)
+    G.addEdge(Out, G.Exit);
+  return G;
+}
+
+size_t Cfg::numEdges() const {
+  size_t N = 0;
+  for (const CfgNode &Node : Nodes)
+    N += Node.Succs.size();
+  return N;
+}
+
+std::vector<unsigned> Cfg::unreachableNodes() const {
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::deque<unsigned> Work{Entry};
+  Seen[Entry] = true;
+  while (!Work.empty()) {
+    unsigned N = Work.front();
+    Work.pop_front();
+    for (unsigned S : Nodes[N].Succs)
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  }
+  std::vector<unsigned> Result;
+  for (unsigned I = 0; I != Nodes.size(); ++I)
+    if (!Seen[I])
+      Result.push_back(I);
+  return Result;
+}
+
+std::string Cfg::dot() const {
+  std::ostringstream OS;
+  OS << "digraph cfg {\n";
+  for (const CfgNode &N : Nodes) {
+    OS << "  n" << N.Id << " [label=\"B" << N.Id;
+    if (N.Id == Entry)
+      OS << " (entry)";
+    if (N.Id == Exit)
+      OS << " (exit)";
+    OS << "\\n" << N.Stmts.size() << " stmt(s)\"];\n";
+    for (unsigned S : N.Succs)
+      OS << "  n" << N.Id << " -> n" << S << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,68 @@
+//===- Cfg.h - Control-flow graphs ------------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs over function bodies. The paper's checker
+/// "forms a control flow graph for each function and computes the
+/// held-key set before and after each node"; our flow checker walks
+/// the structured AST directly (equivalent for Vault's goto-free
+/// statement language), and this module provides the explicit graph
+/// for analyses, statistics and the dataflow benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_CFG_H
+#define VAULT_SEMA_CFG_H
+
+#include "ast/Ast.h"
+
+#include <vector>
+
+namespace vault {
+
+struct CfgNode {
+  unsigned Id = 0;
+  /// Straight-line statements and the controlling expressions.
+  std::vector<const Stmt *> Stmts;
+  const Expr *Terminator = nullptr; ///< Branch condition, if any.
+  std::vector<unsigned> Succs;
+};
+
+/// A per-function control-flow graph with unique entry and exit nodes.
+class Cfg {
+public:
+  /// Builds the CFG of \p F's body. \p F must have a body.
+  static Cfg build(const FuncDecl *F);
+
+  const std::vector<CfgNode> &nodes() const { return Nodes; }
+  unsigned entry() const { return Entry; }
+  unsigned exit() const { return Exit; }
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const;
+
+  /// Node ids unreachable from the entry (dead code).
+  std::vector<unsigned> unreachableNodes() const;
+
+  /// Renders a Graphviz dot description (block ids and edge structure).
+  std::string dot() const;
+
+private:
+  unsigned newNode();
+  void addEdge(unsigned From, unsigned To);
+  /// Lowers \p S appending to block \p Cur; returns the block open
+  /// after S (or ~0u if control never falls through).
+  unsigned lowerStmt(const Stmt *S, unsigned Cur);
+
+  static constexpr unsigned None = ~0u;
+  std::vector<CfgNode> Nodes;
+  unsigned Entry = 0;
+  unsigned Exit = 0;
+};
+
+} // namespace vault
+
+#endif // VAULT_SEMA_CFG_H

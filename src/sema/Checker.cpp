@@ -1,0 +1,185 @@
+//===- Checker.cpp --------------------------------------------------------===//
+
+#include "sema/Checker.h"
+
+#include "parser/Parser.h"
+
+using namespace vault;
+
+VaultCompiler::VaultCompiler() {
+  Diags = std::make_unique<DiagnosticEngine>(SM);
+  Elab = std::make_unique<Elaborator>(TC, Globals, *Diags);
+}
+
+bool VaultCompiler::addSource(const std::string &Name,
+                              const std::string &Text) {
+  if (!Parser::parseString(Ast, SM, *Diags, Name, Text)) {
+    ParseFailed = true;
+    return false;
+  }
+  return true;
+}
+
+bool VaultCompiler::addFile(const std::string &Path) {
+  std::optional<uint32_t> Id = SM.addFile(Path);
+  if (!Id) {
+    Diags->report(DiagId::RunError, SourceLoc{},
+                  "cannot read file '" + Path + "'");
+    ParseFailed = true;
+    return false;
+  }
+  Parser P(Ast, SM, *Id, *Diags);
+  if (!P.parseProgram()) {
+    ParseFailed = true;
+    return false;
+  }
+  return true;
+}
+
+void VaultCompiler::registerDecl(const Decl *D) {
+  ++LastStats.DeclsRegistered;
+  switch (D->kind()) {
+  case DeclKind::Stateset: {
+    const auto *S = cast<StatesetDecl>(D);
+    std::vector<std::vector<std::string>> Ranks(S->ranks().begin(),
+                                                S->ranks().end());
+    if (!TC.addStateset(S->name(), std::move(Ranks)))
+      Diags->report(DiagId::SemaRedefinition, D->loc(),
+                    "redefinition of stateset '" + S->name() + "'");
+    return;
+  }
+  case DeclKind::Key: {
+    const auto *K = cast<KeyDecl>(D);
+    if (Globals.GlobalKeys.count(K->name())) {
+      Diags->report(DiagId::SemaRedefinition, D->loc(),
+                    "redefinition of key '" + K->name() + "'");
+      return;
+    }
+    const Stateset *Order = nullptr;
+    if (!K->statesetName().empty()) {
+      Order = TC.findStateset(K->statesetName());
+      if (!Order)
+        Diags->report(DiagId::SemaUnknownState, D->loc(),
+                      "unknown stateset '" + K->statesetName() + "'");
+    }
+    KeySym Sym =
+        TC.keys().create(K->name(), KeyTable::Origin::Global, D->loc(), Order);
+    Globals.GlobalKeys.emplace(K->name(), Sym);
+    return;
+  }
+  case DeclKind::TypeAlias:
+  case DeclKind::Struct: {
+    if (!Globals.TypeNames.emplace(D->name(), D).second)
+      Diags->report(DiagId::SemaRedefinition, D->loc(),
+                    "redefinition of type '" + D->name() + "'");
+    return;
+  }
+  case DeclKind::Variant: {
+    const auto *V = cast<VariantDecl>(D);
+    if (!Globals.TypeNames.emplace(V->name(), V).second)
+      Diags->report(DiagId::SemaRedefinition, D->loc(),
+                    "redefinition of type '" + V->name() + "'");
+    for (const VariantDecl::Ctor &C : V->ctors())
+      if (!Globals.Ctors.emplace(C.Name, V).second)
+        Diags->report(DiagId::SemaRedefinition, C.Loc,
+                      "constructor '" + C.Name +
+                          "' is already defined by another variant");
+    return;
+  }
+  case DeclKind::Func: {
+    // Signatures are elaborated in a later pass, once all type names
+    // are known; here we only reserve the name.
+    const auto *F = cast<FuncDecl>(D);
+    auto It = FuncDeclByName.find(F->name());
+    if (It != FuncDeclByName.end()) {
+      // A definition may complete an earlier prototype, but two bodies
+      // (or two prototypes) collide.
+      if (It->second->body() && F->body()) {
+        Diags->report(DiagId::SemaRedefinition, D->loc(),
+                      "redefinition of function '" + F->name() + "'");
+        return;
+      }
+      if (!F->body())
+        return; // Keep the existing (defining or first) declaration.
+      // The new definition supersedes the prototype.
+      It->second = F;
+      for (const FuncDecl *&P : PendingFuncs)
+        if (P->name() == F->name())
+          P = F;
+      return;
+    }
+    FuncDeclByName[F->name()] = F;
+    Globals.Functions[F->name()] = nullptr;
+    PendingFuncs.push_back(F);
+    return;
+  }
+  case DeclKind::Interface: {
+    const auto *I = cast<InterfaceDecl>(D);
+    if (!Globals.Interfaces.emplace(I->name(), I).second)
+      Diags->report(DiagId::SemaRedefinition, D->loc(),
+                    "redefinition of interface '" + I->name() + "'");
+    for (const Decl *M : I->members())
+      registerDecl(M);
+    return;
+  }
+  case DeclKind::Module: {
+    const auto *M = cast<ModuleDecl>(D);
+    auto It = Globals.Interfaces.find(M->interfaceName());
+    if (It == Globals.Interfaces.end()) {
+      Diags->report(DiagId::SemaBadModule, D->loc(),
+                    "module '" + M->name() + "' implements unknown interface '" +
+                        M->interfaceName() + "'");
+      return;
+    }
+    if (!Globals.Modules.emplace(M->name(), It->second).second)
+      Diags->report(DiagId::SemaRedefinition, D->loc(),
+                    "redefinition of module '" + M->name() + "'");
+    return;
+  }
+  case DeclKind::Var:
+    Diags->report(DiagId::SemaRedefinition, D->loc(),
+                  "global variables are not supported");
+    return;
+  }
+}
+
+bool VaultCompiler::check() {
+  LastStats = Stats{};
+  KeyTrace.clear();
+  PendingFuncs.clear();
+  FuncDeclByName.clear();
+  SigOf.clear();
+
+  // Pass 1: register every top-level name.
+  for (const Decl *D : Ast.program().Decls)
+    registerDecl(D);
+
+  // Pass 2: elaborate all signatures (prototypes included).
+  for (const FuncDecl *F : PendingFuncs) {
+    FuncSig *Sig = Elab->elabSignature(F, nullptr, /*IsLocal=*/false);
+    Globals.Functions[F->name()] = Sig;
+    SigOf[F] = Sig;
+  }
+
+  // Pass 3: flow-check every body.
+  for (const FuncDecl *F : PendingFuncs) {
+    if (!F->body())
+      continue;
+    ++LastStats.FunctionsWithBodies;
+    FlowChecker FC(*Elab, *Diags);
+    if (TraceEnabled)
+      FC.setTraceSink(&KeyTrace);
+    FC.checkFunction(SigOf[F], nullptr);
+    ++LastStats.FunctionsChecked;
+  }
+
+  return !ParseFailed && !Diags->hasErrors();
+}
+
+std::unique_ptr<VaultCompiler> vault::checkVaultSource(const std::string &Name,
+                                                       const std::string &Text) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->addSource(Name, Text);
+  C->check();
+  return C;
+}

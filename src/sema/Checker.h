@@ -1,0 +1,103 @@
+//===- Checker.h - Whole-program driver -------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level Vault compiler front end: owns all per-compilation
+/// state (sources, AST, types, diagnostics, global symbols), parses
+/// Vault sources, registers declarations, elaborates signatures and
+/// flow-checks every function body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_CHECKER_H
+#define VAULT_SEMA_CHECKER_H
+
+#include "sema/Elaborator.h"
+#include "sema/FlowChecker.h"
+
+#include <memory>
+
+namespace vault {
+
+/// One Vault compilation: sources in, diagnostics out.
+///
+/// Typical use:
+/// \code
+///   VaultCompiler C;
+///   C.addSource("demo.vlt", Text);
+///   bool Ok = C.check();
+///   if (!Ok) puts(C.diags().render().c_str());
+/// \endcode
+class VaultCompiler {
+public:
+  VaultCompiler();
+
+  /// Parses \p Text as a Vault compilation unit named \p Name.
+  /// Returns false on syntax errors (which are also recorded in the
+  /// diagnostics).
+  bool addSource(const std::string &Name, const std::string &Text);
+
+  /// Reads and parses a file. Returns false if unreadable or invalid.
+  bool addFile(const std::string &Path);
+
+  /// Runs declaration collection, signature elaboration, and the flow
+  /// checker over every function with a body. Returns true iff no
+  /// errors were reported (including earlier parse errors).
+  bool check();
+
+  SourceManager &sources() { return SM; }
+  DiagnosticEngine &diags() { return *Diags; }
+  AstContext &ast() { return Ast; }
+  TypeContext &types() { return TC; }
+  GlobalSymbols &globals() { return Globals; }
+  Elaborator &elaborator() { return *Elab; }
+
+  /// Signature of a function checked in this compilation (null if
+  /// unknown).
+  const FuncSig *signatureOf(const std::string &Name) const {
+    return Globals.findFunction(Name);
+  }
+
+  /// Enables held-key-set tracing: check() fills keyTrace() with one
+  /// entry per checked statement.
+  void enableKeyTrace() { TraceEnabled = true; }
+  const std::vector<KeyTraceEntry> &keyTrace() const { return KeyTrace; }
+
+  /// Statistics of the last check() run.
+  struct Stats {
+    unsigned FunctionsChecked = 0;
+    unsigned FunctionsWithBodies = 0;
+    unsigned DeclsRegistered = 0;
+  };
+  const Stats &stats() const { return LastStats; }
+
+private:
+  void registerDecl(const Decl *D);
+
+  std::vector<const FuncDecl *> PendingFuncs;
+  std::map<const FuncDecl *, FuncSig *> SigOf;
+  std::map<std::string, const FuncDecl *> FuncDeclByName;
+
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  AstContext Ast;
+  TypeContext TC;
+  GlobalSymbols Globals;
+  std::unique_ptr<Elaborator> Elab;
+  Stats LastStats;
+  bool ParseFailed = false;
+  bool TraceEnabled = false;
+  std::vector<KeyTraceEntry> KeyTrace;
+};
+
+/// Convenience: parse + check one source string; returns the compiler
+/// for inspection.
+std::unique_ptr<VaultCompiler> checkVaultSource(const std::string &Name,
+                                                const std::string &Text);
+
+} // namespace vault
+
+#endif // VAULT_SEMA_CHECKER_H

@@ -1,0 +1,791 @@
+//===- Elaborator.cpp -----------------------------------------------------===//
+
+#include "sema/Elaborator.h"
+
+using namespace vault;
+
+//===----------------------------------------------------------------------===//
+// State expressions
+//===----------------------------------------------------------------------===//
+
+StateRef Elaborator::elabStateExpr(const StateExprAst &S, ElabScope &Scope,
+                                   TypeCtx Ctx, FuncSig *Sig,
+                                   const Stateset *Order) {
+  if (S.K == StateExprAst::Kind::Name) {
+    if (const StateRef *V = Scope.findStateVar(S.Name))
+      return *V;
+    if (const GenArg *A = Scope.findGenArg(S.Name); A && A->K == Kind::State)
+      return A->State;
+    if (Order && !Order->contains(S.Name)) {
+      Diags.report(DiagId::SemaUnknownState, S.Loc,
+                   "state '" + S.Name + "' is not a member of stateset '" +
+                       Order->name() + "'");
+      return StateRef::top();
+    }
+    return StateRef::name(S.Name);
+  }
+  // Bounded state variable `(var <= Bound)`.
+  if (const StateRef *V = Scope.findStateVar(S.Name))
+    return *V;
+  if (Order && !Order->contains(S.Bound))
+    Diags.report(DiagId::SemaUnknownState, S.Loc,
+                 "bound '" + S.Bound + "' is not a member of stateset '" +
+                     Order->name() + "'");
+  StateRef V = StateRef::var(nextStateVar(Sig), S.Bound, S.Strict);
+  Scope.bindStateVar(S.Name, V);
+  if (Sig)
+    Sig->StateVarNames.emplace_back(S.Name, V);
+  (void)Ctx;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+KeySym Elaborator::bindNewSigKey(const std::string &Name, ElabScope &Scope,
+                                 FuncSig *Sig, SourceLoc Loc, bool Fresh) {
+  assert(Sig && "signature keys need a signature");
+  KeySym K = TC.keys().create(Name, KeyTable::Origin::Signature, Loc);
+  Scope.bindKey(Name, K);
+  Sig->SigKeys.push_back(K);
+  if (Fresh)
+    Sig->FreshKeys.push_back(K);
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Elaborator::elabGenArgs(const NamedTypeExpr *N,
+                             const std::vector<TypeParamAst> &Params,
+                             ElabScope &Scope, TypeCtx Ctx, FuncSig *Sig,
+                             std::vector<GenArg> &Out) {
+  if (N->args().size() != Params.size()) {
+    Diags.report(DiagId::SemaArity, N->loc(),
+                 "'" + N->name() + "' expects " +
+                     std::to_string(Params.size()) + " argument(s), got " +
+                     std::to_string(N->args().size()));
+    return false;
+  }
+  for (size_t I = 0; I != Params.size(); ++I) {
+    const TypeExprAst *Arg = N->args()[I];
+    switch (Params[I].K) {
+    case TypeParamAst::Kind::Type:
+      Out.push_back(GenArg::type(elabType(Arg, Scope, Ctx, Sig)));
+      break;
+    case TypeParamAst::Kind::Key: {
+      const auto *Named = dyn_cast<NamedTypeExpr>(Arg);
+      if (!Named || !Named->args().empty()) {
+        Diags.report(DiagId::SemaKindMismatch, Arg->loc(),
+                     "expected a key name for parameter '" + Params[I].Name +
+                         "'");
+        return false;
+      }
+      KeySym K = resolveKey(Named->name(), Scope);
+      if (K == InvalidKey) {
+        if (Ctx == TypeCtx::Signature) {
+          K = bindNewSigKey(Named->name(), Scope, Sig, Arg->loc(),
+                            /*Fresh=*/false);
+        } else if (Ctx == TypeCtx::AliasBody) {
+          K = TC.keys().create(Named->name(), KeyTable::Origin::Existential,
+                               Arg->loc());
+          Scope.bindKey(Named->name(), K);
+        } else {
+          Diags.report(DiagId::SemaUnknownKey, Arg->loc(),
+                       "unknown key '" + Named->name() + "'");
+          return false;
+        }
+      }
+      Out.push_back(GenArg::key(K));
+      break;
+    }
+    case TypeParamAst::Kind::State: {
+      const auto *Named = dyn_cast<NamedTypeExpr>(Arg);
+      if (!Named || !Named->args().empty()) {
+        Diags.report(DiagId::SemaKindMismatch, Arg->loc(),
+                     "expected a state name for parameter '" + Params[I].Name +
+                         "'");
+        return false;
+      }
+      const std::string &Name = Named->name();
+      if (const StateRef *V = Scope.findStateVar(Name)) {
+        Out.push_back(GenArg::state(*V));
+      } else if (const GenArg *A = Scope.findGenArg(Name);
+                 A && A->K == Kind::State) {
+        Out.push_back(*A);
+      } else if (TC.isKnownStateName(Name)) {
+        Out.push_back(GenArg::state(StateRef::name(Name)));
+      } else if (Ctx == TypeCtx::Signature) {
+        // Introduce a state variable (e.g. `KIRQL<level>` where `level`
+        // is first mentioned in the type).
+        StateRef V = StateRef::var(nextStateVar(Sig));
+        Scope.bindStateVar(Name, V);
+        Sig->StateVarNames.emplace_back(Name, V);
+        Out.push_back(GenArg::state(V));
+      } else if (Ctx == TypeCtx::Local) {
+        // A local declaration like `KIRQL<old> saved = ...`: `old`
+        // becomes a local state variable bound by the initializer.
+        StateRef V = StateRef::var(nextStateVar(nullptr));
+        Scope.bindStateVar(Name, V);
+        Out.push_back(GenArg::state(V));
+      } else {
+        Out.push_back(GenArg::state(StateRef::name(Name)));
+      }
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+const Type *Elaborator::expandAlias(const TypeAliasDecl *A,
+                                    std::vector<GenArg> Args, SourceLoc Loc) {
+  static thread_local unsigned Depth = 0;
+  if (Depth > 64)
+    return error(DiagId::SemaUnknownType, Loc,
+                 "type alias expansion too deep (cyclic alias '" + A->name() +
+                     "'?)");
+  ++Depth;
+  ElabScope AliasScope(nullptr);
+  for (size_t I = 0; I != A->params().size(); ++I)
+    AliasScope.bindGenArg(A->params()[I].Name, Args[I]);
+  const Type *Result;
+  if (const auto *F = dyn_cast<FuncTypeExpr>(A->underlying()))
+    Result = TC.make<FuncType>(elabFuncTypeExpr(F, AliasScope));
+  else
+    Result = elabType(A->underlying(), AliasScope, TypeCtx::AliasBody, nullptr);
+  --Depth;
+  return Result;
+}
+
+const Type *Elaborator::elabNamedType(const NamedTypeExpr *N, ElabScope &Scope,
+                                      TypeCtx Ctx, FuncSig *Sig) {
+  if (const GenArg *A = Scope.findGenArg(N->name())) {
+    if (A->K == Kind::Type) {
+      if (!N->args().empty())
+        return error(DiagId::SemaArity, N->loc(),
+                     "type parameter '" + N->name() + "' takes no arguments");
+      return A->T;
+    }
+    return error(DiagId::SemaKindMismatch, N->loc(),
+                 "'" + N->name() + "' is a " +
+                     (A->K == Kind::Key ? "key" : "state") +
+                     ", not a type");
+  }
+
+  const Decl *D = Globals.findType(N->name());
+  if (!D)
+    return error(DiagId::SemaUnknownType, N->loc(),
+                 "unknown type '" + N->name() + "'");
+
+  const std::vector<TypeParamAst> *Params = nullptr;
+  if (const auto *Alias = dyn_cast<TypeAliasDecl>(D))
+    Params = &Alias->params();
+  else if (const auto *St = dyn_cast<StructDecl>(D))
+    Params = &St->params();
+  else if (const auto *V = dyn_cast<VariantDecl>(D))
+    Params = &V->params();
+  else
+    return error(DiagId::SemaUnknownType, N->loc(),
+                 "'" + N->name() + "' does not name a type");
+
+  std::vector<GenArg> Args;
+  if (!elabGenArgs(N, *Params, Scope, Ctx, Sig, Args))
+    return TC.errorType();
+
+  if (const auto *Alias = dyn_cast<TypeAliasDecl>(D)) {
+    if (Alias->isAbstract())
+      return TC.make<AbstractType>(Alias, std::move(Args));
+    return expandAlias(Alias, std::move(Args), N->loc());
+  }
+  if (const auto *St = dyn_cast<StructDecl>(D))
+    return TC.make<StructType>(St, std::move(Args));
+  return TC.make<VariantType>(cast<VariantDecl>(D), std::move(Args));
+}
+
+const Type *Elaborator::elabTrackedType(const TrackedTypeExpr *T,
+                                        ElabScope &Scope, TypeCtx Ctx,
+                                        FuncSig *Sig) {
+  const Type *Inner = elabType(T->inner(), Scope, Ctx, Sig);
+  if (T->keyName()) {
+    KeySym K = resolveKey(*T->keyName(), Scope);
+    if (K != InvalidKey)
+      return TC.make<TrackedType>(Inner, K);
+    switch (Ctx) {
+    case TypeCtx::Signature:
+      K = bindNewSigKey(*T->keyName(), Scope, Sig, T->loc(), /*Fresh=*/false);
+      return TC.make<TrackedType>(Inner, K);
+    case TypeCtx::AliasBody:
+      K = TC.keys().create(*T->keyName(), KeyTable::Origin::Existential,
+                           T->loc());
+      Scope.bindKey(*T->keyName(), K);
+      return TC.make<TrackedType>(Inner, K);
+    case TypeCtx::Local:
+      // The declaration checker binds the name against the
+      // initializer's key.
+      if (!PendingBinder.empty()) {
+        Diags.report(DiagId::SemaUnknownKey, T->loc(),
+                     "only one tracked key binder per declaration");
+        return TC.errorType();
+      }
+      PendingBinder = *T->keyName();
+      return TC.make<AnonTrackedType>(Inner, StateRef::top());
+    }
+  }
+  StateRef State = StateRef::top();
+  if (T->initialState())
+    State = elabStateExpr(*T->initialState(), Scope, Ctx, Sig, nullptr);
+  return TC.make<AnonTrackedType>(Inner, State);
+}
+
+const Type *Elaborator::elabGuardedType(const GuardedTypeExpr *G,
+                                        ElabScope &Scope, TypeCtx Ctx,
+                                        FuncSig *Sig) {
+  std::vector<GuardedType::Guard> Guards;
+  for (const KeyStateRef &Ref : G->guards()) {
+    KeySym K = resolveKey(Ref.KeyName, Scope);
+    if (K == InvalidKey) {
+      if (Ctx == TypeCtx::Signature) {
+        K = bindNewSigKey(Ref.KeyName, Scope, Sig, Ref.Loc, /*Fresh=*/false);
+      } else {
+        return error(DiagId::SemaUnknownKey, Ref.Loc,
+                     "unknown guard key '" + Ref.KeyName + "'");
+      }
+    }
+    StateRef Required = StateRef::top();
+    if (Ref.State)
+      Required =
+          elabStateExpr(*Ref.State, Scope, Ctx, Sig, TC.keys().order(K));
+    Guards.push_back(GuardedType::Guard{K, std::move(Required)});
+  }
+  const Type *Inner = elabType(G->inner(), Scope, Ctx, Sig);
+  return TC.make<GuardedType>(std::move(Guards), Inner);
+}
+
+const Type *Elaborator::elabType(const TypeExprAst *T, ElabScope &Scope,
+                                 TypeCtx Ctx, FuncSig *Sig) {
+  switch (T->kind()) {
+  case TypeExprKind::Prim:
+    return TC.primType(cast<PrimTypeExpr>(T)->prim());
+  case TypeExprKind::Named:
+    return elabNamedType(cast<NamedTypeExpr>(T), Scope, Ctx, Sig);
+  case TypeExprKind::Tracked:
+    return elabTrackedType(cast<TrackedTypeExpr>(T), Scope, Ctx, Sig);
+  case TypeExprKind::Guarded:
+    return elabGuardedType(cast<GuardedTypeExpr>(T), Scope, Ctx, Sig);
+  case TypeExprKind::Tuple: {
+    std::vector<const Type *> Elems;
+    for (const TypeExprAst *E : cast<TupleTypeExpr>(T)->elems())
+      Elems.push_back(elabType(E, Scope, Ctx, Sig));
+    return TC.make<TupleType>(std::move(Elems));
+  }
+  case TypeExprKind::Array:
+    return TC.make<ArrayType>(
+        elabType(cast<ArrayTypeExpr>(T)->elem(), Scope, Ctx, Sig));
+  case TypeExprKind::Func:
+    return TC.make<FuncType>(
+        elabFuncTypeExpr(cast<FuncTypeExpr>(T), Scope));
+  }
+  return TC.errorType();
+}
+
+//===----------------------------------------------------------------------===//
+// Signatures
+//===----------------------------------------------------------------------===//
+
+void Elaborator::elabEffects(const EffectClauseAst &E, ElabScope &Scope,
+                             FuncSig *Sig) {
+  for (const EffectItemAst &Item : E.Items) {
+    EffectItem EI;
+    EI.Loc = Item.Loc;
+    switch (Item.M) {
+    case EffectItemAst::Mode::Keep:
+      EI.M = EffectItem::Mode::Keep;
+      break;
+    case EffectItemAst::Mode::Consume:
+      EI.M = EffectItem::Mode::Consume;
+      break;
+    case EffectItemAst::Mode::Produce:
+      EI.M = EffectItem::Mode::Produce;
+      break;
+    case EffectItemAst::Mode::Fresh:
+      EI.M = EffectItem::Mode::Fresh;
+      break;
+    }
+
+    KeySym K = resolveKey(Item.KeyName, Scope);
+    if (EI.M == EffectItem::Mode::Fresh) {
+      if (K != InvalidKey) {
+        Diags.report(DiagId::SemaRedefinition, Item.Loc,
+                     "fresh key '" + Item.KeyName + "' is already bound");
+      } else {
+        K = bindNewSigKey(Item.KeyName, Scope, Sig, Item.Loc, /*Fresh=*/true);
+      }
+    } else if (K == InvalidKey) {
+      K = bindNewSigKey(Item.KeyName, Scope, Sig, Item.Loc, /*Fresh=*/false);
+    }
+    EI.Key = K;
+    const Stateset *Order = K != InvalidKey ? TC.keys().order(K) : nullptr;
+
+    // Precondition state.
+    if (EI.M == EffectItem::Mode::Keep || EI.M == EffectItem::Mode::Consume) {
+      if (Item.Pre) {
+        EI.Pre = elabStateExpr(*Item.Pre, Scope, TypeCtx::Signature, Sig,
+                               Order);
+      } else {
+        // `[K]` / `[-K]`: polymorphic in the key's state.
+        EI.Pre = StateRef::var(nextStateVar(Sig));
+      }
+    } else {
+      EI.Pre = StateRef::top();
+    }
+
+    // Postcondition state.
+    if (EI.M == EffectItem::Mode::Consume) {
+      EI.Post = std::nullopt;
+    } else if (Item.Post) {
+      if (const StateRef *V = Scope.findStateVar(*Item.Post)) {
+        EI.Post = *V;
+      } else {
+        if (Order && !Order->contains(*Item.Post))
+          Diags.report(DiagId::SemaUnknownState, Item.Loc,
+                       "state '" + *Item.Post +
+                           "' is not a member of stateset '" + Order->name() +
+                           "'");
+        EI.Post = StateRef::name(*Item.Post);
+      }
+    } else if (EI.M == EffectItem::Mode::Keep) {
+      EI.Post = EI.Pre; // Unchanged.
+    } else {
+      EI.Post = StateRef::top();
+    }
+    Sig->Effects.push_back(std::move(EI));
+  }
+}
+
+const Type *Elaborator::elabReturnType(const TypeExprAst *T, ElabScope &Scope,
+                                       FuncSig *Sig) {
+  const auto *Tr = dyn_cast<TrackedTypeExpr>(T);
+  if (!Tr)
+    return elabType(T, Scope, TypeCtx::Signature, Sig);
+
+  const Type *Inner = elabType(Tr->inner(), Scope, TypeCtx::Signature, Sig);
+  if (Tr->keyName()) {
+    KeySym K = resolveKey(*Tr->keyName(), Scope);
+    if (K == InvalidKey) {
+      // `tracked(N) sock accept(...)` without a `new N` effect: the
+      // returned key is implicitly fresh.
+      K = bindNewSigKey(*Tr->keyName(), Scope, Sig, Tr->loc(), /*Fresh=*/true);
+      EffectItem EI;
+      EI.M = EffectItem::Mode::Fresh;
+      EI.Key = K;
+      EI.Pre = StateRef::top();
+      EI.Post = StateRef::top();
+      EI.Loc = Tr->loc();
+      Sig->Effects.push_back(EI);
+    }
+    return TC.make<TrackedType>(Inner, K);
+  }
+  if (Tr->initialState()) {
+    // `tracked(@raw) sock socket(...)`: fresh key in the given state.
+    StateRef State = elabStateExpr(*Tr->initialState(), Scope,
+                                   TypeCtx::Signature, Sig, nullptr);
+    KeySym K = bindNewSigKey("$" + Sig->Name + ".ret", Scope, Sig, Tr->loc(),
+                             /*Fresh=*/true);
+    EffectItem EI;
+    EI.M = EffectItem::Mode::Fresh;
+    EI.Key = K;
+    EI.Pre = StateRef::top();
+    EI.Post = State;
+    EI.Loc = Tr->loc();
+    Sig->Effects.push_back(EI);
+    return TC.make<TrackedType>(Inner, K);
+  }
+  // Bare `tracked T`: the caller receives a packed (anonymous) value.
+  return TC.make<AnonTrackedType>(Inner, StateRef::top());
+}
+
+FuncSig *Elaborator::elabSignature(const FuncDecl *F, ElabScope *Enclosing,
+                                   bool IsLocal) {
+  FuncSig *Sig = TC.makeSig();
+  Sig->Decl = F;
+  Sig->Name = F->name();
+  Sig->Loc = F->loc();
+  Sig->IsLocal = IsLocal;
+
+  ElabScope SigScope(Enclosing);
+  for (const FuncDecl::Param &P : F->params()) {
+    Sig->ParamTypes.push_back(
+        elabType(P.Type, SigScope, TypeCtx::Signature, Sig));
+    Sig->ParamNames.push_back(P.Name);
+  }
+  elabEffects(F->effect(), SigScope, Sig);
+  Sig->RetType = elabReturnType(F->retType(), SigScope, Sig);
+  addImplicitParamEffects(Sig);
+  return Sig;
+}
+
+/// True if key \p K occurs in tracked (singleton) position in \p T.
+static bool keyInTrackedPosition(const Type *T, KeySym K) {
+  if (!T)
+    return false;
+  switch (T->kind()) {
+  case TyKind::Tracked: {
+    const auto *Tr = cast<TrackedType>(T);
+    return Tr->key() == K || keyInTrackedPosition(Tr->inner(), K);
+  }
+  case TyKind::Guarded:
+    return keyInTrackedPosition(cast<GuardedType>(T)->inner(), K);
+  case TyKind::AnonTracked:
+    return keyInTrackedPosition(cast<AnonTrackedType>(T)->inner(), K);
+  case TyKind::Tuple:
+    for (const Type *E : cast<TupleType>(T)->elems())
+      if (keyInTrackedPosition(E, K))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+void Elaborator::addImplicitParamEffects(FuncSig *Sig) {
+  // A tracked parameter whose key is not mentioned in the effect
+  // clause is implicitly kept unchanged: "because this function has no
+  // explicit effect clause, it promises that the pre and post key set
+  // will be the same" (paper §2.2).
+  for (KeySym K : Sig->SigKeys) {
+    if (Sig->isFreshKey(K))
+      continue;
+    bool Mentioned = false;
+    for (const EffectItem &EI : Sig->Effects)
+      if (EI.Key == K)
+        Mentioned = true;
+    if (Mentioned)
+      continue;
+    bool Tracked = false;
+    for (const Type *PT : Sig->ParamTypes)
+      if (keyInTrackedPosition(PT, K))
+        Tracked = true;
+    if (!Tracked)
+      continue;
+    EffectItem EI;
+    EI.M = EffectItem::Mode::Keep;
+    EI.Key = K;
+    EI.Pre = StateRef::var(nextStateVar(Sig));
+    EI.Post = EI.Pre;
+    EI.Loc = Sig->Loc;
+    Sig->Effects.push_back(std::move(EI));
+  }
+}
+
+FuncSig *Elaborator::elabFuncTypeExpr(const FuncTypeExpr *F,
+                                      ElabScope &Scope) {
+  FuncSig *Sig = TC.makeSig();
+  Sig->Name = "<fn-type>";
+  Sig->Loc = F->loc();
+  ElabScope SigScope(&Scope);
+  for (const FuncTypeExpr::Param &P : F->params()) {
+    Sig->ParamTypes.push_back(
+        elabType(P.Type, SigScope, TypeCtx::Signature, Sig));
+    Sig->ParamNames.push_back(P.Name);
+  }
+  elabEffects(F->effect(), SigScope, Sig);
+  Sig->RetType = elabReturnType(F->ret(), SigScope, Sig);
+  addImplicitParamEffects(Sig);
+  return Sig;
+}
+
+//===----------------------------------------------------------------------===//
+// Variant constructor instantiation and struct fields
+//===----------------------------------------------------------------------===//
+
+bool Elaborator::instantiateCtor(const VariantType *VT,
+                                 const VariantDecl::Ctor &C, SourceLoc Loc,
+                                 Elaborator::CtorShape &Out) {
+  const VariantDecl *D = VT->decl();
+  if (D->params().size() != VT->args().size()) {
+    Diags.report(DiagId::SemaArity, Loc,
+                 "variant '" + D->name() + "' applied to wrong arity");
+    return false;
+  }
+  ElabScope Scope(nullptr);
+  for (size_t I = 0; I != D->params().size(); ++I)
+    Scope.bindGenArg(D->params()[I].Name, VT->args()[I]);
+
+  for (const TypeExprAst *P : C.Payload)
+    Out.Payload.push_back(elabType(P, Scope, TypeCtx::AliasBody, nullptr));
+
+  for (const KeyStateRef &Att : C.KeyAttachments) {
+    KeySym K = resolveKey(Att.KeyName, Scope);
+    if (K == InvalidKey) {
+      Diags.report(DiagId::SemaUnknownKey, Att.Loc,
+                   "unknown key '" + Att.KeyName +
+                       "' attached to constructor '" + C.Name + "'");
+      return false;
+    }
+    StateRef State = StateRef::top();
+    if (Att.State)
+      State = elabStateExpr(*Att.State, Scope, TypeCtx::AliasBody, nullptr,
+                            TC.keys().order(K));
+    Out.Attachments.push_back(GuardedType::Guard{K, std::move(State)});
+  }
+  return true;
+}
+
+const Type *Elaborator::fieldType(const StructType *ST,
+                                  const std::string &Name) {
+  const StructDecl *D = ST->decl();
+  for (const StructDecl::Field &F : D->fields()) {
+    if (F.Name != Name)
+      continue;
+    ElabScope Scope(nullptr);
+    for (size_t I = 0; I != D->params().size() && I < ST->args().size(); ++I)
+      Scope.bindGenArg(D->params()[I].Name, ST->args()[I]);
+    return elabType(F.Type, Scope, TypeCtx::AliasBody, nullptr);
+  }
+  return nullptr;
+}
+
+const Type *
+Elaborator::instantiateExistentials(const Type *T, SourceLoc Loc,
+                                    std::map<KeySym, KeySym> &FreshKeys) {
+  std::vector<KeySym> Mentioned;
+  collectKeys(T, Mentioned);
+  Subst S;
+  for (KeySym K : Mentioned) {
+    if (TC.keys().origin(K) != KeyTable::Origin::Existential)
+      continue;
+    auto It = FreshKeys.find(K);
+    if (It == FreshKeys.end()) {
+      KeySym Fresh = TC.keys().create(TC.keys().name(K),
+                                      KeyTable::Origin::Local, Loc,
+                                      TC.keys().order(K));
+      It = FreshKeys.emplace(K, Fresh).first;
+    }
+    S.Keys[K] = It->second;
+  }
+  return S.Keys.empty() ? T : substType(TC, T, S);
+}
+
+//===----------------------------------------------------------------------===//
+// Unification
+//===----------------------------------------------------------------------===//
+
+bool Elaborator::unifyKey(KeySym ParamKey, KeySym ArgKey, Subst &S,
+                          const FuncSig *Callee) {
+  KeySym Mapped = S.mapKey(ParamKey);
+  if (Mapped != ParamKey)
+    return Mapped == ArgKey;
+  if (ParamKey == ArgKey)
+    return true;
+  if (Callee && Callee->isSigKey(ParamKey)) {
+    S.Keys[ParamKey] = ArgKey;
+    return true;
+  }
+  // Existential placeholders (internal bindings of alias bodies, e.g.
+  // the correlated pair `(tracked(R) region, R:point)`) unify with any
+  // key; the binding records the correlation.
+  if (TC.keys().origin(ParamKey) == KeyTable::Origin::Existential) {
+    S.Keys[ParamKey] = ArgKey;
+    return true;
+  }
+  return false;
+}
+
+bool Elaborator::unifyState(const StateRef &Param, const StateRef &Arg,
+                            Subst &S, const FuncSig *Callee) {
+  StateRef P = substState(Param, S);
+  if (P == Arg)
+    return true;
+  if (P.isVar() && Callee) {
+    S.StateVars[P.varId()] = Arg;
+    return true;
+  }
+  return false;
+}
+
+bool Elaborator::unifyGenArgs(const std::vector<GenArg> &P,
+                              const std::vector<GenArg> &A, Subst &S,
+                              const FuncSig *Callee) {
+  if (P.size() != A.size())
+    return false;
+  for (size_t I = 0; I != P.size(); ++I) {
+    if (P[I].K != A[I].K)
+      return false;
+    switch (P[I].K) {
+    case Kind::Type:
+      if (!unify(P[I].T, A[I].T, S, Callee))
+        return false;
+      break;
+    case Kind::Key:
+      if (!unifyKey(P[I].Key, A[I].Key, S, Callee))
+        return false;
+      break;
+    case Kind::State:
+      if (!unifyState(P[I].State, A[I].State, S, Callee))
+        return false;
+      break;
+    case Kind::KeySet:
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Elaborator::unify(const Type *Param, const Type *Arg, Subst &S,
+                       const FuncSig *Callee) {
+  if (!Param || !Arg)
+    return false;
+  if (Param->kind() == TyKind::Error || Arg->kind() == TyKind::Error)
+    return true;
+
+  if (const auto *TV = dyn_cast<TypeVarType>(Param)) {
+    auto It = S.TypeVars.find(TV->param());
+    if (It != S.TypeVars.end())
+      return typeEquals(It->second, Arg);
+    S.TypeVars[TV->param()] = Arg;
+    return true;
+  }
+
+  // An anonymous-tracked parameter accepts a named tracked argument
+  // (the call packs the key; consumption is handled by the caller's
+  // flow checker).
+  if (const auto *AT = dyn_cast<AnonTrackedType>(Param)) {
+    if (const auto *ArgT = dyn_cast<TrackedType>(Arg))
+      return unify(AT->inner(), ArgT->inner(), S, Callee);
+    if (const auto *ArgA = dyn_cast<AnonTrackedType>(Arg))
+      return unify(AT->inner(), ArgA->inner(), S, Callee);
+    // A compound rvalue (e.g. a tuple with tracked elements) packed
+    // into an anonymous slot: unify against the inner shape.
+    return unify(AT->inner(), Arg, S, Callee);
+  }
+
+  if (Param->kind() != Arg->kind())
+    return false;
+
+  switch (Param->kind()) {
+  case TyKind::Prim:
+    return cast<PrimType>(Param)->prim() == cast<PrimType>(Arg)->prim();
+  case TyKind::Struct: {
+    const auto *P = cast<StructType>(Param), *A = cast<StructType>(Arg);
+    return P->decl() == A->decl() && unifyGenArgs(P->args(), A->args(), S,
+                                                  Callee);
+  }
+  case TyKind::Abstract: {
+    const auto *P = cast<AbstractType>(Param), *A = cast<AbstractType>(Arg);
+    return P->decl() == A->decl() && unifyGenArgs(P->args(), A->args(), S,
+                                                  Callee);
+  }
+  case TyKind::Variant: {
+    const auto *P = cast<VariantType>(Param), *A = cast<VariantType>(Arg);
+    return P->decl() == A->decl() && unifyGenArgs(P->args(), A->args(), S,
+                                                  Callee);
+  }
+  case TyKind::Tracked: {
+    const auto *P = cast<TrackedType>(Param), *A = cast<TrackedType>(Arg);
+    return unifyKey(P->key(), A->key(), S, Callee) &&
+           unify(P->inner(), A->inner(), S, Callee);
+  }
+  case TyKind::Guarded: {
+    const auto *P = cast<GuardedType>(Param), *A = cast<GuardedType>(Arg);
+    if (P->guards().size() != A->guards().size())
+      return false;
+    for (size_t I = 0; I != P->guards().size(); ++I) {
+      if (!unifyKey(P->guards()[I].Key, A->guards()[I].Key, S, Callee))
+        return false;
+      if (!unifyState(P->guards()[I].Required, A->guards()[I].Required, S,
+                      Callee))
+        return false;
+    }
+    return unify(P->inner(), A->inner(), S, Callee);
+  }
+  case TyKind::Tuple: {
+    const auto *P = cast<TupleType>(Param), *A = cast<TupleType>(Arg);
+    if (P->elems().size() != A->elems().size())
+      return false;
+    for (size_t I = 0; I != P->elems().size(); ++I)
+      if (!unify(P->elems()[I], A->elems()[I], S, Callee))
+        return false;
+    return true;
+  }
+  case TyKind::Array:
+    return unify(cast<ArrayType>(Param)->elem(), cast<ArrayType>(Arg)->elem(),
+                 S, Callee);
+  case TyKind::Func:
+    return funcTypeMatch(cast<FuncType>(Param)->sig(),
+                         cast<FuncType>(Arg)->sig(), S, Callee);
+  case TyKind::AnonTracked:
+  case TyKind::TypeVar:
+  case TyKind::Error:
+    return true; // Handled above.
+  }
+  return false;
+}
+
+/// Structural equivalence of two states under \p S (applied to the
+/// first): same shape after mapping.
+static bool stateEquiv(const StateRef &A, const StateRef &B, const Subst &S) {
+  StateRef MA = substState(A, S);
+  if (MA.kind() != B.kind())
+    // A mapped variable may have become the other side's variable.
+    return MA == B;
+  switch (MA.kind()) {
+  case StateRef::Kind::Top:
+    return true;
+  case StateRef::Kind::Name:
+    return MA.nameOrBound() == B.nameOrBound();
+  case StateRef::Kind::Var:
+    // Two variables are equivalent if their bounds coincide.
+    return MA.nameOrBound() == B.nameOrBound() &&
+           MA.strictBound() == B.strictBound();
+  }
+  return false;
+}
+
+bool Elaborator::funcTypeMatch(const FuncSig *Expected, const FuncSig *Actual,
+                               Subst &S, const FuncSig *OuterCallee) {
+  if (Expected == Actual)
+    return true;
+  if (!Expected || !Actual)
+    return false;
+  if (Expected->ParamTypes.size() != Actual->ParamTypes.size())
+    return false;
+  if (Expected->Effects.size() != Actual->Effects.size())
+    return false;
+  // Keys bindable while matching: the enclosing call's signature keys
+  // plus the expected function type's own polymorphic keys.
+  FuncSig Combined;
+  if (OuterCallee)
+    Combined.SigKeys = OuterCallee->SigKeys;
+  Combined.SigKeys.insert(Combined.SigKeys.end(), Expected->SigKeys.begin(),
+                          Expected->SigKeys.end());
+  Combined.NumStateVars = 1; // Non-zero: state variables bindable.
+
+  for (size_t I = 0; I != Expected->ParamTypes.size(); ++I)
+    if (!unify(Expected->ParamTypes[I], Actual->ParamTypes[I], S, &Combined))
+      return false;
+  if (!unify(Expected->RetType, Actual->RetType, S, &Combined))
+    return false;
+  for (size_t I = 0; I != Expected->Effects.size(); ++I) {
+    const EffectItem &EA = Actual->Effects[I];
+    const EffectItem &EE = Expected->Effects[I];
+    if (EA.M != EE.M)
+      return false;
+    if (S.mapKey(EE.Key) != EA.Key)
+      return false;
+    if (!stateEquiv(EE.Pre, EA.Pre, S))
+      return false;
+    if (EA.Post.has_value() != EE.Post.has_value())
+      return false;
+    if (EE.Post && !stateEquiv(*EE.Post, *EA.Post, S))
+      return false;
+  }
+  return true;
+}
+
+bool Elaborator::sigCompatible(const FuncSig *Expected, const FuncSig *Actual) {
+  Subst S;
+  return funcTypeMatch(Expected, Actual, S, nullptr);
+}

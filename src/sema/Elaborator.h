@@ -1,0 +1,171 @@
+//===- Elaborator.h - Surface types to internal types -----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates surface type expressions, effect clauses and function
+/// declarations into the internal type language (paper §3): guarded
+/// types, singleton (tracked) types, existentials, and polymorphic
+/// signatures with pre/post key sets. Also provides the unifier used
+/// to instantiate signatures at call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_ELABORATOR_H
+#define VAULT_SEMA_ELABORATOR_H
+
+#include "sema/Symbols.h"
+#include "support/Diagnostics.h"
+
+namespace vault {
+
+class Elaborator {
+public:
+  /// Where a type expression appears; controls how unknown key names
+  /// are treated.
+  enum class TypeCtx {
+    Signature, ///< Unknown keys bind fresh signature keys.
+    Local,     ///< Unknown top-level tracked binder deferred to caller;
+               ///< other unknown keys are errors.
+    AliasBody, ///< Unknown tracked keys bind existential placeholders.
+  };
+
+  Elaborator(TypeContext &TC, GlobalSymbols &Globals, DiagnosticEngine &Diags)
+      : TC(TC), Globals(Globals), Diags(Diags) {}
+
+  /// Elaborates a type expression. \p Sig must be non-null in
+  /// Signature context. Never returns null (returns the error type on
+  /// failure, after reporting).
+  const Type *elabType(const TypeExprAst *T, ElabScope &Scope, TypeCtx Ctx,
+                       FuncSig *Sig);
+
+  /// In Local context, a top-level `tracked(K) T` with unbound K
+  /// produces AnonTracked and records K here for the declaration
+  /// checker to bind against the initializer's key.
+  std::string takePendingBinder() {
+    std::string S = std::move(PendingBinder);
+    PendingBinder.clear();
+    return S;
+  }
+
+  /// Elaborates a function declaration (top-level, interface member,
+  /// or nested) into a polymorphic signature. \p Enclosing is the
+  /// lexical scope the signature is elaborated in; for nested
+  /// functions, already-bound key names resolve monomorphically to the
+  /// enclosing keys.
+  FuncSig *elabSignature(const FuncDecl *F, ElabScope *Enclosing,
+                         bool IsLocal);
+
+  /// Elaborates a state expression; \p Order is the stateset the state
+  /// should belong to (may be null for free-form states).
+  StateRef elabStateExpr(const StateExprAst &S, ElabScope &Scope, TypeCtx Ctx,
+                         FuncSig *Sig, const Stateset *Order);
+
+  /// The instantiated shape of one variant constructor at a particular
+  /// variant type application.
+  struct CtorShape {
+    std::vector<const Type *> Payload;
+    /// Keys attached to the constructor with the states they carry.
+    std::vector<GuardedType::Guard> Attachments;
+  };
+
+  /// Instantiates constructor \p C of the applied variant \p VT.
+  /// Returns false (after reporting at \p Loc) on arity errors.
+  bool instantiateCtor(const VariantType *VT, const VariantDecl::Ctor &C,
+                       SourceLoc Loc, CtorShape &Out);
+
+  /// Type of field \p Name of \p ST, instantiated with ST's arguments;
+  /// null if no such field (caller reports).
+  const Type *fieldType(const StructType *ST, const std::string &Name);
+
+  //===--------------------------------------------------------------------===//
+  // Unification (call-site instantiation).
+  //===--------------------------------------------------------------------===//
+
+  /// Unifies parameter type \p Param against argument type \p Arg,
+  /// extending \p S. Keys in \p Callee->SigKeys, the callee's state
+  /// variables, and type variables are bindable; everything else must
+  /// match exactly. \p Callee may be null (nothing bindable).
+  bool unify(const Type *Param, const Type *Arg, Subst &S,
+             const FuncSig *Callee);
+
+  /// Structural compatibility of a function value's signature with an
+  /// expected signature (for passing functions as values, e.g.
+  /// completion routines).
+  bool sigCompatible(const FuncSig *Expected, const FuncSig *Actual);
+
+  /// Resolves a key name: scope bindings, then global keys.
+  KeySym resolveKey(const std::string &Name, ElabScope &Scope) const {
+    if (KeySym K = Scope.findKey(Name))
+      return K;
+    return Globals.findGlobalKey(Name);
+  }
+
+  /// Replaces every Existential placeholder key in \p T with a fresh
+  /// Local key, recording the mapping in \p FreshKeys (placeholder ->
+  /// fresh). Used when unpacking values whose types carry internal
+  /// existential bindings.
+  const Type *instantiateExistentials(const Type *T, SourceLoc Loc,
+                                      std::map<KeySym, KeySym> &FreshKeys);
+
+  TypeContext &typeContext() { return TC; }
+  GlobalSymbols &globals() { return Globals; }
+  DiagnosticEngine &diags() { return Diags; }
+
+private:
+  const Type *elabNamedType(const NamedTypeExpr *N, ElabScope &Scope,
+                            TypeCtx Ctx, FuncSig *Sig);
+  const Type *elabTrackedType(const TrackedTypeExpr *T, ElabScope &Scope,
+                              TypeCtx Ctx, FuncSig *Sig);
+  const Type *elabGuardedType(const GuardedTypeExpr *G, ElabScope &Scope,
+                              TypeCtx Ctx, FuncSig *Sig);
+  /// Elaborates a type alias application by expanding its body in a
+  /// scope that binds the alias parameters to \p Args.
+  const Type *expandAlias(const TypeAliasDecl *A, std::vector<GenArg> Args,
+                          SourceLoc Loc);
+  bool elabGenArgs(const NamedTypeExpr *N,
+                   const std::vector<TypeParamAst> &Params, ElabScope &Scope,
+                   TypeCtx Ctx, FuncSig *Sig, std::vector<GenArg> &Out);
+  /// Builds a FuncSig from a FuncTypeExpr in an alias body (completion
+  /// routine types).
+  FuncSig *elabFuncTypeExpr(const FuncTypeExpr *F, ElabScope &Scope);
+  void elabEffects(const EffectClauseAst &E, ElabScope &Scope, FuncSig *Sig);
+  void addImplicitParamEffects(FuncSig *Sig);
+  const Type *elabReturnType(const TypeExprAst *T, ElabScope &Scope,
+                             FuncSig *Sig);
+  /// State variable ids are globally unique: distinct signatures must
+  /// never share an id, or a caller's symbolic state would spuriously
+  /// satisfy a callee's bound via the same-variable rule.
+  StateVarId nextStateVar(FuncSig *Sig) {
+    if (Sig)
+      ++Sig->NumStateVars;
+    return ++FreeVarCounter;
+  }
+  KeySym bindNewSigKey(const std::string &Name, ElabScope &Scope, FuncSig *Sig,
+                       SourceLoc Loc, bool Fresh);
+  bool unifyKey(KeySym ParamKey, KeySym ArgKey, Subst &S,
+                const FuncSig *Callee);
+  bool unifyState(const StateRef &Param, const StateRef &Arg, Subst &S,
+                  const FuncSig *Callee);
+  bool unifyGenArgs(const std::vector<GenArg> &P, const std::vector<GenArg> &A,
+                    Subst &S, const FuncSig *Callee);
+  bool funcTypeMatch(const FuncSig *Expected, const FuncSig *Actual, Subst &S,
+                     const FuncSig *OuterCallee);
+
+  const Type *error(DiagId Id, SourceLoc Loc, const std::string &Msg) {
+    Diags.report(Id, Loc, Msg);
+    return TC.errorType();
+  }
+
+  TypeContext &TC;
+  GlobalSymbols &Globals;
+  DiagnosticEngine &Diags;
+  std::string PendingBinder;
+  uint32_t FreeVarCounter = 0;
+};
+
+} // namespace vault
+
+#endif // VAULT_SEMA_ELABORATOR_H

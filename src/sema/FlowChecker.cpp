@@ -1,0 +1,1393 @@
+//===- FlowChecker.cpp ----------------------------------------------------===//
+
+#include "sema/FlowChecker.h"
+
+using namespace vault;
+
+//===----------------------------------------------------------------------===//
+// Infrastructure
+//===----------------------------------------------------------------------===//
+
+void FlowChecker::report(DiagId Id, SourceLoc Loc, const std::string &Msg) {
+  Diags.report(Id, Loc, Msg);
+}
+
+void FlowChecker::note(SourceLoc Loc, const std::string &Msg) {
+  Diags.note(Loc, Msg);
+}
+
+void FlowChecker::pushScope() {
+  ElabScope *Parent = Scopes.empty() ? nullptr : Scopes.back().Scope.get();
+  ScopeFrame F;
+  F.Scope = std::make_unique<ElabScope>(Parent);
+  Scopes.push_back(std::move(F));
+}
+
+void FlowChecker::popScope(FlowState &St) {
+  assert(!Scopes.empty() && "scope underflow");
+  for (const void *Id : Scopes.back().DeclaredIds)
+    St.Vars.erase(Id);
+  Scopes.pop_back();
+}
+
+void FlowChecker::bindLocal(const std::string &Name,
+                            ElabScope::ValueInfo Info) {
+  scope().bindValue(Name, Info);
+  Scopes.back().DeclaredIds.push_back(Info.Id);
+  LocalIds.insert(Info.Id);
+}
+
+//===----------------------------------------------------------------------===//
+// Access checking (type guards)
+//===----------------------------------------------------------------------===//
+
+const Type *FlowChecker::requireAccess(const Type *T, SourceLoc Loc,
+                                       FlowState &St) {
+  for (;;) {
+    if (const auto *G = dyn_cast<GuardedType>(T)) {
+      for (const GuardedType::Guard &Gu : G->guards()) {
+        if (!St.Held.contains(Gu.Key)) {
+          report(DiagId::FlowGuardNotHeld, Loc,
+                 "cannot access data guarded by key " + keyDesc(Gu.Key) +
+                     ": the key is not in the held-key set");
+          continue;
+        }
+        const StateRef &Held = St.Held.stateOf(Gu.Key);
+        if (!stateSatisfies(Held, Gu.Required, TC.keys().order(Gu.Key)))
+          report(DiagId::FlowGuardWrongState, Loc,
+                 "key " + keyDesc(Gu.Key) + " is held in state '" +
+                     Held.str() + "' but the guard requires '" +
+                     Gu.Required.str() + "'");
+      }
+      T = G->inner();
+      continue;
+    }
+    if (const auto *Tr = dyn_cast<TrackedType>(T)) {
+      if (!St.Held.contains(Tr->key()))
+        report(DiagId::FlowKeyNotHeld, Loc,
+               "cannot access tracked object: its key " +
+                   keyDesc(Tr->key()) + " is not in the held-key set");
+      T = Tr->inner();
+      continue;
+    }
+    return T;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Packing and unpacking
+//===----------------------------------------------------------------------===//
+
+void FlowChecker::packValue(const Type *ParamT, const Type *ArgT,
+                            SourceLoc Loc, FlowState &St, const Subst &S) {
+  if (!ParamT || !ArgT)
+    return;
+  if (const auto *Anon = dyn_cast<AnonTrackedType>(ParamT)) {
+    if (const auto *ArgTr = dyn_cast<TrackedType>(ArgT)) {
+      KeySym K = ArgTr->key();
+      if (!St.Held.contains(K)) {
+        report(DiagId::FlowKeyNotHeld, Loc,
+               "cannot give up key " + keyDesc(K) +
+                   ": it is not in the held-key set");
+        return;
+      }
+      const StateRef Req = substState(Anon->state(), S);
+      if (!stateSatisfies(St.Held.stateOf(K), Req, TC.keys().order(K)))
+        report(DiagId::FlowKeyWrongState, Loc,
+               "key " + keyDesc(K) + " is in state '" +
+                   St.Held.stateOf(K).str() + "' but must be in '" +
+                   Req.str() + "' to be packed here");
+      St.Held.remove(K);
+      return;
+    }
+    if (isa<AnonTrackedType>(ArgT))
+      return; // Already packed.
+    // Packing a compound rvalue (e.g. a tuple with tracked elements):
+    // consume the keys bound into its existential positions.
+    packValue(Anon->inner(), ArgT, Loc, St, S);
+    return;
+  }
+  if (const auto *Tr = dyn_cast<TrackedType>(ParamT)) {
+    // A named tracked position whose key is an existential placeholder
+    // packs (consumes) the argument's key; a signature key borrows it.
+    if (TC.keys().origin(Tr->key()) == KeyTable::Origin::Existential) {
+      KeySym K = S.mapKey(Tr->key());
+      if (K != Tr->key()) {
+        if (!St.Held.contains(K))
+          report(DiagId::FlowKeyNotHeld, Loc,
+                 "cannot give up key " + keyDesc(K) +
+                     ": it is not in the held-key set");
+        else
+          St.Held.remove(K);
+      }
+    }
+    return;
+  }
+  if (const auto *Tu = dyn_cast<TupleType>(ParamT)) {
+    const auto *ArgTu = dyn_cast<TupleType>(ArgT);
+    if (!ArgTu || ArgTu->elems().size() != Tu->elems().size())
+      return;
+    for (size_t I = 0; I != Tu->elems().size(); ++I)
+      packValue(Tu->elems()[I], ArgTu->elems()[I], Loc, St, S);
+    return;
+  }
+  if (const auto *G = dyn_cast<GuardedType>(ParamT)) {
+    if (const auto *ArgG = dyn_cast<GuardedType>(ArgT))
+      packValue(G->inner(), ArgG->inner(), Loc, St, S);
+    return;
+  }
+}
+
+const Type *FlowChecker::unpackValue(const AnonTrackedType *Anon,
+                                     SourceLoc Loc, FlowState &St,
+                                     const std::string &KeyName,
+                                     std::map<KeySym, KeySym> *SharedFresh) {
+  std::map<KeySym, KeySym> LocalFresh;
+  std::map<KeySym, KeySym> &Fresh = SharedFresh ? *SharedFresh : LocalFresh;
+  const Type *Inner = Elab.instantiateExistentials(Anon->inner(), Loc, Fresh);
+  // Keys instantiated from internal existentials become held.
+  for (const auto &[Old, New] : Fresh) {
+    (void)Old;
+    if (!St.Held.contains(New))
+      St.Held.add(New, StateRef::top());
+  }
+  KeySym K = TC.keys().create(KeyName.empty() ? "unpacked" : KeyName,
+                              KeyTable::Origin::Local, Loc);
+  if (!St.Held.add(K, Anon->state().isVar() ? StateRef::top() : Anon->state()))
+    report(DiagId::FlowKeyAlreadyHeld, Loc, "internal: fresh key collision");
+  return TC.make<TrackedType>(Inner, K);
+}
+
+//===----------------------------------------------------------------------===//
+// Initialization / assignment coercion
+//===----------------------------------------------------------------------===//
+
+const Type *FlowChecker::coerceInit(const Type *DeclType, ExprResult From,
+                                    SourceLoc Loc, FlowState &St,
+                                    const std::string &BinderName) {
+  const Type *FromT = From.Ty;
+  if (!DeclType || !FromT)
+    return ErrTy();
+  if (DeclType->kind() == TyKind::Error || FromT->kind() == TyKind::Error)
+    return ErrTy();
+
+  if (const auto *Anon = dyn_cast<AnonTrackedType>(DeclType)) {
+    if (const auto *Tr = dyn_cast<TrackedType>(FromT)) {
+      // Named tracked value bound to a tracked variable: the variable
+      // shares the singleton type (alias of the same resource).
+      Subst S;
+      if (!Elab.unify(Anon->inner(), Tr->inner(), S, nullptr) &&
+          !typeEquals(Anon->inner(), Tr->inner())) {
+        report(DiagId::SemaTypeMismatch, Loc,
+               "cannot initialize variable of type '" +
+                   typeStr(DeclType, TC.keys()) + "' from '" +
+                   typeStr(FromT, TC.keys()) + "'");
+        return ErrTy();
+      }
+      if (!BinderName.empty())
+        scope().rebindKey(BinderName, Tr->key());
+      return FromT;
+    }
+    if (const auto *FA = dyn_cast<AnonTrackedType>(FromT)) {
+      Subst S;
+      if (!Elab.unify(Anon->inner(), FA->inner(), S, nullptr)) {
+        report(DiagId::SemaTypeMismatch, Loc,
+               "cannot initialize variable of type '" +
+                   typeStr(DeclType, TC.keys()) + "' from '" +
+                   typeStr(FromT, TC.keys()) + "'");
+        return ErrTy();
+      }
+      // Packed rvalue: unpack into the variable (fresh key).
+      const Type *T = unpackValue(FA, Loc, St, BinderName);
+      if (!BinderName.empty())
+        scope().rebindKey(BinderName, cast<TrackedType>(T)->key());
+      return T;
+    }
+    report(DiagId::SemaTypeMismatch, Loc,
+           "tracked variable requires a tracked initializer, got '" +
+               typeStr(FromT, TC.keys()) + "'");
+    return ErrTy();
+  }
+
+  if (typeEquals(DeclType, FromT))
+    return FromT;
+
+  // A declared type may contain local state variables bound by the
+  // initializer (`KIRQL<old> saved = KeAcquireSpinLock(lock);`).
+  {
+    FuncSig StateBindView;
+    StateBindView.NumStateVars = 1;
+    Subst S;
+    if (Elab.unify(DeclType, FromT, S, &StateBindView) &&
+        !S.StateVars.empty())
+      return substType(TC, DeclType, S);
+  }
+
+  // Reading a guarded value into an unguarded location is an access.
+  if (const auto *G = dyn_cast<GuardedType>(FromT)) {
+    if (typeEquals(DeclType, G->inner())) {
+      requireAccess(FromT, Loc, St);
+      return DeclType;
+    }
+  }
+  // Storing an unguarded value into a guarded location is fine — the
+  // guard describes when the location is accessible.
+  if (const auto *G = dyn_cast<GuardedType>(DeclType)) {
+    if (typeEquals(G->inner(), FromT))
+      return DeclType;
+  }
+
+  report(DiagId::SemaTypeMismatch, Loc,
+         "cannot initialize variable of type '" +
+             typeStr(DeclType, TC.keys()) + "' from '" +
+             typeStr(FromT, TC.keys()) + "'");
+  return ErrTy();
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+FlowChecker::ExprResult FlowChecker::checkName(const NameExpr *E,
+                                               FlowState &St) {
+  const ElabScope::ValueInfo *V = scope().findValue(E->name());
+  if (V) {
+    if (V->Func)
+      return ExprResult{TC.make<FuncType>(V->Func), false, V->Id};
+    auto It = St.Vars.find(V->Id);
+    if (It != St.Vars.end()) {
+      if (!It->second) {
+        report(DiagId::FlowUninitialized, E->loc(),
+               "variable '" + E->name() + "' may be used uninitialized");
+        return ExprResult{ErrTy(), true, V->Id};
+      }
+      return ExprResult{It->second, true, V->Id};
+    }
+    // Captured from an enclosing function.
+    if (!V->DeclaredType)
+      return ExprResult{ErrTy(), false, V->Id};
+    if (typeCarriesKeys(V->DeclaredType) ||
+        V->DeclaredType->kind() == TyKind::Guarded) {
+      report(DiagId::FlowCaptureTracked, E->loc(),
+             "nested function cannot capture '" + E->name() +
+                 "': its type carries keys");
+      return ExprResult{ErrTy(), false, V->Id};
+    }
+    return ExprResult{V->DeclaredType, false, V->Id};
+  }
+  if (FuncSig *F = Elab.globals().findFunction(E->name()))
+    return ExprResult{TC.make<FuncType>(F), false, nullptr};
+  report(DiagId::SemaUnknownName, E->loc(),
+         "unknown name '" + E->name() + "'");
+  return ExprResult{ErrTy(), false, nullptr};
+}
+
+FlowChecker::ExprResult
+FlowChecker::checkCall(const FuncSig *CalleeSig,
+                       const std::vector<Expr *> &Args, SourceLoc Loc,
+                       FlowState &St) {
+  if (!CalleeSig)
+    return ExprResult{ErrTy(), false, nullptr};
+  if (Args.size() != CalleeSig->ParamTypes.size()) {
+    report(DiagId::SemaArity, Loc,
+           "'" + CalleeSig->Name + "' expects " +
+               std::to_string(CalleeSig->ParamTypes.size()) +
+               " argument(s), got " + std::to_string(Args.size()));
+    return ExprResult{ErrTy(), false, nullptr};
+  }
+
+  Subst S;
+  std::vector<const Type *> ArgTypes(Args.size());
+  for (size_t I = 0; I != Args.size(); ++I) {
+    const Type *ParamT = CalleeSig->ParamTypes[I];
+    ExprResult R = checkExpr(Args[I], St, substType(TC, ParamT, S));
+    ArgTypes[I] = R.Ty;
+    if (!R.Ty)
+      continue;
+    if (Elab.unify(ParamT, R.Ty, S, CalleeSig)) {
+      packValue(substType(TC, ParamT, S), R.Ty, Args[I]->loc(), St, S);
+      continue;
+    }
+    // Reading a guarded argument into an unguarded parameter is an
+    // access.
+    if (const auto *G = dyn_cast<GuardedType>(R.Ty)) {
+      const Type *Peeled = requireAccess(R.Ty, Args[I]->loc(), St);
+      (void)G;
+      if (Elab.unify(ParamT, Peeled, S, CalleeSig))
+        continue;
+    }
+    report(DiagId::SemaTypeMismatch, Args[I]->loc(),
+           "argument " + std::to_string(I + 1) + " of '" + CalleeSig->Name +
+               "': cannot pass '" + typeStr(R.Ty, TC.keys()) +
+               "' where '" + typeStr(ParamT, TC.keys()) + "' is expected");
+  }
+
+  // Distinct signature keys denote distinct resources: the key
+  // instantiation must be injective.
+  {
+    std::map<KeySym, KeySym> Seen;
+    for (const auto &[SigKey, ActualKey] : S.Keys) {
+      auto [It, Inserted] = Seen.emplace(ActualKey, SigKey);
+      if (!Inserted)
+        report(DiagId::SemaTypeMismatch, Loc,
+               "call to '" + CalleeSig->Name +
+                   "' instantiates two distinct keys (" + keyDesc(SigKey) +
+                   ", " + keyDesc(It->second) + ") with the same resource");
+    }
+  }
+
+  // Apply the effect clause.
+  for (const EffectItem &EI : CalleeSig->Effects) {
+    switch (EI.M) {
+    case EffectItem::Mode::Keep:
+    case EffectItem::Mode::Consume: {
+      KeySym K = S.mapKey(EI.Key);
+      if (CalleeSig->isSigKey(K)) {
+        report(DiagId::FlowKeyNotHeld, Loc,
+               "cannot determine which key instantiates " + keyDesc(EI.Key) +
+                   " in the effect of '" + CalleeSig->Name + "'");
+        break;
+      }
+      if (!St.Held.contains(K)) {
+        report(DiagId::FlowKeyNotHeld, Loc,
+               "calling '" + CalleeSig->Name + "' requires key " +
+                   keyDesc(K) + ", which is not in the held-key set");
+        break;
+      }
+      const StateRef Held = St.Held.stateOf(K);
+      StateRef Req = substState(EI.Pre, S);
+      if (Req.isVar()) {
+        // Unbound callee state variable: bind it to the held state if
+        // the bound allows, else report.
+        if (!stateSatisfies(Held, Req, TC.keys().order(K))) {
+          report(DiagId::FlowKeyWrongState, Loc,
+                 "calling '" + CalleeSig->Name + "' requires key " +
+                     keyDesc(K) + " in a state satisfying '" + Req.str() +
+                     "', but it is held in state '" + Held.str() + "'");
+          break;
+        }
+        S.StateVars[Req.varId()] = Held;
+      } else if (!stateSatisfies(Held, Req, TC.keys().order(K))) {
+        report(DiagId::FlowKeyWrongState, Loc,
+               "calling '" + CalleeSig->Name + "' requires key " +
+                   keyDesc(K) + " in state '" + Req.str() +
+                   "', but it is held in state '" + Held.str() + "'");
+        break;
+      }
+      if (EI.M == EffectItem::Mode::Consume) {
+        St.Held.remove(K);
+      } else if (EI.Post) {
+        St.Held.transition(K, substState(*EI.Post, S));
+      }
+      break;
+    }
+    case EffectItem::Mode::Produce: {
+      KeySym K = S.mapKey(EI.Key);
+      if (CalleeSig->isSigKey(K)) {
+        report(DiagId::FlowKeyNotHeld, Loc,
+               "cannot determine which key instantiates " + keyDesc(EI.Key) +
+                   " in the effect of '" + CalleeSig->Name + "'");
+        break;
+      }
+      StateRef Post = EI.Post ? substState(*EI.Post, S) : StateRef::top();
+      if (!St.Held.add(K, Post))
+        report(DiagId::FlowKeyAlreadyHeld, Loc,
+               "calling '" + CalleeSig->Name + "' would acquire key " +
+                   keyDesc(K) + " which is already in the held-key set");
+      break;
+    }
+    case EffectItem::Mode::Fresh: {
+      KeySym Fresh = TC.keys().create(TC.keys().name(EI.Key),
+                                      KeyTable::Origin::Local, Loc);
+      S.Keys[EI.Key] = Fresh;
+      StateRef Post = EI.Post ? substState(*EI.Post, S) : StateRef::top();
+      St.Held.add(Fresh, Post);
+      break;
+    }
+    }
+  }
+
+  const Type *Ret = substType(TC, CalleeSig->RetType, S);
+  return ExprResult{Ret, false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkCallExpr(const CallExpr *E,
+                                                   FlowState &St) {
+  // Direct call through a plain name.
+  if (const auto *N = dyn_cast<NameExpr>(E->callee())) {
+    if (const ElabScope::ValueInfo *V = scope().findValue(N->name())) {
+      if (V->Func)
+        return checkCall(V->Func, E->args(), E->loc(), St);
+      // A variable of function type.
+      ExprResult R = checkName(N, St);
+      if (const auto *FT = dyn_cast<FuncType>(R.Ty ? R.Ty : ErrTy()))
+        return checkCall(FT->sig(), E->args(), E->loc(), St);
+      report(DiagId::SemaNotAFunction, E->loc(),
+             "'" + N->name() + "' is not a function");
+      return ExprResult{ErrTy(), false, nullptr};
+    }
+    if (FuncSig *F = Elab.globals().findFunction(N->name()))
+      return checkCall(F, E->args(), E->loc(), St);
+    report(DiagId::SemaUnknownName, E->loc(),
+           "unknown function '" + N->name() + "'");
+    return ExprResult{ErrTy(), false, nullptr};
+  }
+  // Module-qualified call: Region.create(...).
+  if (const auto *F = dyn_cast<FieldExpr>(E->callee())) {
+    if (const auto *Base = dyn_cast<NameExpr>(F->base())) {
+      auto ModIt = Elab.globals().Modules.find(Base->name());
+      if (ModIt != Elab.globals().Modules.end() &&
+          !scope().findValue(Base->name())) {
+        const InterfaceDecl *Iface = ModIt->second;
+        bool Member = false;
+        for (const Decl *M : Iface->members())
+          if (isa<FuncDecl>(M) && M->name() == F->field())
+            Member = true;
+        if (!Member) {
+          report(DiagId::SemaBadModule, E->loc(),
+                 "interface '" + Iface->name() + "' has no function '" +
+                     F->field() + "'");
+          return ExprResult{ErrTy(), false, nullptr};
+        }
+        if (FuncSig *Sig2 = Elab.globals().findFunction(F->field()))
+          return checkCall(Sig2, E->args(), E->loc(), St);
+        return ExprResult{ErrTy(), false, nullptr};
+      }
+    }
+  }
+  // Indirect call through an arbitrary expression of function type.
+  ExprResult Callee = checkExpr(E->callee(), St);
+  if (const auto *FT = dyn_cast<FuncType>(Callee.Ty ? Callee.Ty : ErrTy()))
+    return checkCall(FT->sig(), E->args(), E->loc(), St);
+  report(DiagId::SemaNotAFunction, E->loc(), "called value is not a function");
+  return ExprResult{ErrTy(), false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkCtor(const CtorExpr *E,
+                                               FlowState &St,
+                                               const Type *Expected) {
+  const VariantDecl *VD = Elab.globals().findCtor(E->name());
+  if (!VD) {
+    report(DiagId::SemaUnknownCtor, E->loc(),
+           "unknown constructor '" + E->name() + "'");
+    return ExprResult{ErrTy(), false, nullptr};
+  }
+  const VariantDecl::Ctor *C = VD->findCtor(E->name());
+  assert(C && "ctor registered but missing");
+
+  // Determine the variant's type arguments: from the expected type,
+  // then explicit key braces.
+  std::vector<GenArg> VArgs(VD->params().size());
+  std::vector<bool> Have(VD->params().size(), false);
+
+  if (Expected) {
+    const Type *Exp = Expected;
+    if (const auto *A = dyn_cast<AnonTrackedType>(Exp))
+      Exp = A->inner();
+    if (const auto *VT = dyn_cast<VariantType>(Exp);
+        VT && VT->decl() == VD && VT->args().size() == VArgs.size()) {
+      for (size_t I = 0; I != VArgs.size(); ++I) {
+        VArgs[I] = VT->args()[I];
+        Have[I] = true;
+      }
+    }
+  }
+  if (!E->keyArgs().empty()) {
+    // Explicit braces fill the *key* parameters positionally.
+    size_t KeyIdx = 0;
+    for (size_t I = 0; I != VD->params().size(); ++I) {
+      if (VD->params()[I].K != TypeParamAst::Kind::Key)
+        continue;
+      if (KeyIdx >= E->keyArgs().size())
+        break;
+      const KeyStateRef &Ref = E->keyArgs()[KeyIdx++];
+      KeySym K = Elab.resolveKey(Ref.KeyName, scope());
+      if (K == InvalidKey) {
+        report(DiagId::SemaUnknownKey, Ref.Loc,
+               "unknown key '" + Ref.KeyName + "'");
+        return ExprResult{ErrTy(), false, nullptr};
+      }
+      // Explicit braces override an expected instantiation that is
+      // still polymorphic (an uninstantiated signature key); a
+      // concrete expected key must agree.
+      if (Have[I] && VArgs[I].K == Kind::Key && VArgs[I].Key != K &&
+          TC.keys().origin(VArgs[I].Key) != KeyTable::Origin::Signature &&
+          TC.keys().origin(VArgs[I].Key) != KeyTable::Origin::Existential)
+        report(DiagId::SemaTypeMismatch, Ref.Loc,
+               "explicit key '" + Ref.KeyName +
+                   "' conflicts with the expected variant instantiation");
+      VArgs[I] = GenArg::key(K);
+      Have[I] = true;
+    }
+  }
+  for (size_t I = 0; I != VArgs.size(); ++I) {
+    if (!Have[I]) {
+      report(DiagId::SemaArity, E->loc(),
+             "cannot infer argument '" + VD->params()[I].Name +
+                 "' of variant '" + VD->name() +
+                 "'; annotate the constructor or the target");
+      return ExprResult{ErrTy(), false, nullptr};
+    }
+  }
+
+  const auto *VT = cast<VariantType>(TC.make<VariantType>(VD, VArgs));
+  Elaborator::CtorShape Shape;
+  if (!Elab.instantiateCtor(VT, *C, E->loc(), Shape))
+    return ExprResult{ErrTy(), false, nullptr};
+
+  // Payload arguments.
+  if (E->args().size() != Shape.Payload.size()) {
+    report(DiagId::SemaArity, E->loc(),
+           "constructor '" + E->name() + "' takes " +
+               std::to_string(Shape.Payload.size()) + " argument(s), got " +
+               std::to_string(E->args().size()));
+    return ExprResult{ErrTy(), false, nullptr};
+  }
+  for (size_t I = 0; I != E->args().size(); ++I) {
+    const Type *PayT = Shape.Payload[I];
+    ExprResult R = checkExpr(E->args()[I], St, PayT);
+    if (!R.Ty || R.Ty->kind() == TyKind::Error)
+      continue;
+    Subst S;
+    if (!Elab.unify(PayT, R.Ty, S, nullptr)) {
+      report(DiagId::SemaTypeMismatch, E->args()[I]->loc(),
+             "payload " + std::to_string(I + 1) + " of '" + E->name() +
+                 "': cannot pass '" + typeStr(R.Ty, TC.keys()) +
+                 "' where '" + typeStr(PayT, TC.keys()) + "' is expected");
+      continue;
+    }
+    packValue(PayT, R.Ty, E->args()[I]->loc(), St, S);
+  }
+
+  // Key attachments: constructing the value consumes the keys in the
+  // required states (paper §2.1: "creating the value 'SomeKey{F}
+  // removes key F from the held-key set").
+  for (const GuardedType::Guard &Att : Shape.Attachments) {
+    if (!St.Held.contains(Att.Key)) {
+      report(DiagId::FlowKeyNotHeld, E->loc(),
+             "constructing '" + E->name() + "' requires key " +
+                 keyDesc(Att.Key) + ", which is not in the held-key set");
+      continue;
+    }
+    const StateRef &Held = St.Held.stateOf(Att.Key);
+    if (!stateSatisfies(Held, Att.Required, TC.keys().order(Att.Key)))
+      report(DiagId::FlowKeyWrongState, E->loc(),
+             "constructing '" + E->name() + "' requires key " +
+                 keyDesc(Att.Key) + " in state '" + Att.Required.str() +
+                 "', but it is held in state '" + Held.str() + "'");
+    St.Held.remove(Att.Key);
+  }
+
+  const Type *Result =
+      typeCarriesKeys(VT)
+          ? static_cast<const Type *>(
+                TC.make<AnonTrackedType>(VT, StateRef::top()))
+          : static_cast<const Type *>(VT);
+  return ExprResult{Result, false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkNew(const NewExpr *E, FlowState &St) {
+  const Type *T = Elab.elabType(E->typeExpr(), scope(),
+                                Elaborator::TypeCtx::Local, nullptr);
+  // Field initializers.
+  if (const auto *ST = dyn_cast<StructType>(T)) {
+    for (const NewExpr::FieldInit &FI : E->inits()) {
+      const Type *FT = Elab.fieldType(ST, FI.Field);
+      if (!FT) {
+        report(DiagId::SemaUnknownField, FI.Loc,
+               "struct '" + ST->decl()->name() + "' has no field '" +
+                   FI.Field + "'");
+        continue;
+      }
+      ExprResult R = checkExpr(FI.Init, St, FT);
+      Subst S;
+      if (R.Ty && !Elab.unify(FT, R.Ty, S, nullptr))
+        report(DiagId::SemaTypeMismatch, FI.Loc,
+               "field '" + FI.Field + "' has type '" +
+                   typeStr(FT, TC.keys()) + "', initializer has type '" +
+                   typeStr(R.Ty, TC.keys()) + "'");
+    }
+  } else if (!E->inits().empty() && T->kind() != TyKind::Error) {
+    report(DiagId::SemaNotARecord, E->loc(),
+           "'" + typeStr(T, TC.keys()) + "' has no fields to initialize");
+  }
+
+  if (E->isTracked()) {
+    KeySym K = TC.keys().create("heap", KeyTable::Origin::Local, E->loc());
+    St.Held.add(K, StateRef::top());
+    return ExprResult{TC.make<TrackedType>(T, K), false, nullptr};
+  }
+  if (E->region()) {
+    ExprResult R = checkExpr(E->region(), St);
+    const auto *Tr = dyn_cast<TrackedType>(R.Ty ? R.Ty : ErrTy());
+    if (!Tr) {
+      if (R.Ty && R.Ty->kind() != TyKind::Error)
+        report(DiagId::SemaNotTracked, E->loc(),
+               "allocation region must be a tracked value");
+      return ExprResult{ErrTy(), false, nullptr};
+    }
+    KeySym RK = Tr->key();
+    if (!St.Held.contains(RK))
+      report(DiagId::FlowKeyNotHeld, E->loc(),
+             "cannot allocate from region: its key " + keyDesc(RK) +
+                 " is not in the held-key set");
+    std::vector<GuardedType::Guard> Guards{
+        GuardedType::Guard{RK, StateRef::top()}};
+    return ExprResult{TC.make<GuardedType>(std::move(Guards), T), false,
+                      nullptr};
+  }
+  // Plain record construction.
+  return ExprResult{T, false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkField(const FieldExpr *E,
+                                                FlowState &St) {
+  ExprResult Base = checkExpr(E->base(), St);
+  if (!Base.Ty || Base.Ty->kind() == TyKind::Error)
+    return ExprResult{ErrTy(), Base.IsLValue, nullptr};
+  const Type *T = requireAccess(Base.Ty, E->loc(), St);
+  if (const auto *ST = dyn_cast<StructType>(T)) {
+    const Type *FT = Elab.fieldType(ST, E->field());
+    if (!FT) {
+      report(DiagId::SemaUnknownField, E->loc(),
+             "struct '" + ST->decl()->name() + "' has no field '" +
+                 E->field() + "'");
+      return ExprResult{ErrTy(), Base.IsLValue, nullptr};
+    }
+    return ExprResult{FT, Base.IsLValue, nullptr};
+  }
+  report(DiagId::SemaNotARecord, E->loc(),
+         "'" + typeStr(T, TC.keys()) + "' has no field '" + E->field() + "'");
+  return ExprResult{ErrTy(), false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkIndex(const IndexExpr *E,
+                                                FlowState &St) {
+  ExprResult Base = checkExpr(E->base(), St);
+  ExprResult Idx = checkExpr(E->index(), St);
+  if (Idx.Ty && Idx.Ty->kind() == TyKind::Prim &&
+      cast<PrimType>(Idx.Ty)->prim() != PrimKind::Int)
+    report(DiagId::SemaTypeMismatch, E->index()->loc(),
+           "array index must be an int");
+  if (!Base.Ty || Base.Ty->kind() == TyKind::Error)
+    return ExprResult{ErrTy(), Base.IsLValue, nullptr};
+  const Type *T = requireAccess(Base.Ty, E->loc(), St);
+  if (const auto *A = dyn_cast<ArrayType>(T))
+    return ExprResult{A->elem(), Base.IsLValue, nullptr};
+  if (const auto *Tu = dyn_cast<TupleType>(T)) {
+    if (const auto *I = dyn_cast<IntLiteralExpr>(E->index());
+        I && I->value() >= 0 &&
+        static_cast<size_t>(I->value()) < Tu->elems().size())
+      return ExprResult{Tu->elems()[I->value()], Base.IsLValue, nullptr};
+    report(DiagId::SemaTypeMismatch, E->loc(),
+           "tuple index must be a constant within bounds");
+    return ExprResult{ErrTy(), false, nullptr};
+  }
+  report(DiagId::SemaTypeMismatch, E->loc(),
+         "'" + typeStr(T, TC.keys()) + "' cannot be indexed");
+  return ExprResult{ErrTy(), false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkAssign(const AssignExpr *E,
+                                                 FlowState &St) {
+  // Assignment to a simple variable rebinds its flow type.
+  if (const auto *N = dyn_cast<NameExpr>(E->lhs())) {
+    const ElabScope::ValueInfo *V = scope().findValue(N->name());
+    if (!V) {
+      report(DiagId::SemaUnknownName, E->loc(),
+             "unknown variable '" + N->name() + "'");
+      checkExpr(E->rhs(), St);
+      return ExprResult{ErrTy(), false, nullptr};
+    }
+    if (!St.Vars.count(V->Id)) {
+      report(DiagId::FlowCaptureTracked, E->loc(),
+             "cannot assign to captured variable '" + N->name() + "'");
+      checkExpr(E->rhs(), St);
+      return ExprResult{ErrTy(), false, nullptr};
+    }
+    ExprResult R = checkExpr(E->rhs(), St, V->DeclaredType);
+    std::string Binder;
+    if (auto It = PendingBinders.find(V->Id); It != PendingBinders.end())
+      Binder = It->second;
+    const Type *NewT =
+        coerceInit(V->DeclaredType ? V->DeclaredType : R.Ty, R, E->loc(), St,
+                   Binder);
+    St.Vars[V->Id] = NewT;
+    return ExprResult{TC.voidType(), false, nullptr};
+  }
+  // Assignment through a field/index lvalue.
+  ExprResult L = checkExpr(E->lhs(), St);
+  if (!L.IsLValue && L.Ty && L.Ty->kind() != TyKind::Error)
+    report(DiagId::SemaTypeMismatch, E->loc(),
+           "left-hand side of assignment is not assignable");
+  ExprResult R = checkExpr(E->rhs(), St, L.Ty);
+  if (L.Ty && R.Ty) {
+    Subst S;
+    const Type *Target = L.Ty;
+    if (const auto *G = dyn_cast<GuardedType>(Target)) {
+      requireAccess(Target, E->loc(), St);
+      Target = G->inner();
+      while (const auto *G2 = dyn_cast<GuardedType>(Target))
+        Target = G2->inner();
+    }
+    if (!Elab.unify(Target, R.Ty, S, nullptr)) {
+      // Guarded rvalue being read into the slot.
+      if (const auto *GR = dyn_cast<GuardedType>(R.Ty);
+          GR && Elab.unify(Target, GR->inner(), S, nullptr)) {
+        requireAccess(R.Ty, E->loc(), St);
+      } else {
+        report(DiagId::SemaTypeMismatch, E->loc(),
+               "cannot assign '" + typeStr(R.Ty, TC.keys()) + "' to '" +
+                   typeStr(L.Ty, TC.keys()) + "'");
+      }
+    } else {
+      packValue(Target, R.Ty, E->loc(), St, S);
+    }
+  }
+  return ExprResult{TC.voidType(), false, nullptr};
+}
+
+FlowChecker::ExprResult FlowChecker::checkExpr(const Expr *E, FlowState &St,
+                                               const Type *Expected) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    return ExprResult{TC.intType(), false, nullptr};
+  case ExprKind::BoolLiteral:
+    return ExprResult{TC.boolType(), false, nullptr};
+  case ExprKind::StringLiteral:
+    return ExprResult{TC.stringType(), false, nullptr};
+  case ExprKind::Name:
+    return checkName(cast<NameExpr>(E), St);
+  case ExprKind::Call:
+    return checkCallExpr(cast<CallExpr>(E), St);
+  case ExprKind::Ctor:
+    return checkCtor(cast<CtorExpr>(E), St, Expected);
+  case ExprKind::New:
+    return checkNew(cast<NewExpr>(E), St);
+  case ExprKind::Field:
+    return checkField(cast<FieldExpr>(E), St);
+  case ExprKind::Index:
+    return checkIndex(cast<IndexExpr>(E), St);
+  case ExprKind::Assign:
+    return checkAssign(cast<AssignExpr>(E), St);
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    ExprResult R = checkExpr(U->operand(), St);
+    const Type *T = R.Ty ? requireAccess(R.Ty, E->loc(), St) : ErrTy();
+    if (U->op() == UnaryOp::Not) {
+      if (T->kind() == TyKind::Prim &&
+          cast<PrimType>(T)->prim() != PrimKind::Bool)
+        report(DiagId::SemaTypeMismatch, E->loc(), "'!' requires a bool");
+      return ExprResult{TC.boolType(), false, nullptr};
+    }
+    if (T->kind() == TyKind::Prim &&
+        cast<PrimType>(T)->prim() != PrimKind::Int)
+      report(DiagId::SemaTypeMismatch, E->loc(), "unary '-' requires an int");
+    return ExprResult{TC.intType(), false, nullptr};
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    ExprResult LR = checkExpr(B->lhs(), St);
+    ExprResult RR = checkExpr(B->rhs(), St);
+    const Type *L = LR.Ty ? requireAccess(LR.Ty, B->lhs()->loc(), St) : ErrTy();
+    const Type *R = RR.Ty ? requireAccess(RR.Ty, B->rhs()->loc(), St) : ErrTy();
+    auto isPrim = [](const Type *T, PrimKind K) {
+      const auto *P = dyn_cast<PrimType>(T);
+      return P && P->prim() == K;
+    };
+    switch (B->op()) {
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if ((!isPrim(L, PrimKind::Bool) && L->kind() != TyKind::Error) ||
+          (!isPrim(R, PrimKind::Bool) && R->kind() != TyKind::Error))
+        report(DiagId::SemaTypeMismatch, E->loc(),
+               "logical operator requires bool operands");
+      return ExprResult{TC.boolType(), false, nullptr};
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (!typeEquals(L, R))
+        report(DiagId::SemaTypeMismatch, E->loc(),
+               "cannot compare '" + typeStr(L, TC.keys()) + "' with '" +
+                   typeStr(R, TC.keys()) + "'");
+      return ExprResult{TC.boolType(), false, nullptr};
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if ((!isPrim(L, PrimKind::Int) && !isPrim(L, PrimKind::Byte) &&
+           L->kind() != TyKind::Error) ||
+          (!isPrim(R, PrimKind::Int) && !isPrim(R, PrimKind::Byte) &&
+           R->kind() != TyKind::Error))
+        report(DiagId::SemaTypeMismatch, E->loc(),
+               "comparison requires numeric operands");
+      return ExprResult{TC.boolType(), false, nullptr};
+    default:
+      if ((!isPrim(L, PrimKind::Int) && !isPrim(L, PrimKind::Byte) &&
+           L->kind() != TyKind::Error) ||
+          (!isPrim(R, PrimKind::Int) && !isPrim(R, PrimKind::Byte) &&
+           R->kind() != TyKind::Error))
+        report(DiagId::SemaTypeMismatch, E->loc(),
+               "arithmetic requires numeric operands");
+      return ExprResult{TC.intType(), false, nullptr};
+    }
+  }
+  case ExprKind::IncDec: {
+    const auto *I = cast<IncDecExpr>(E);
+    ExprResult R = checkExpr(I->base(), St);
+    if (!R.IsLValue && R.Ty && R.Ty->kind() != TyKind::Error)
+      report(DiagId::SemaTypeMismatch, E->loc(),
+             "'++'/'--' requires an assignable location");
+    const Type *T = R.Ty ? requireAccess(R.Ty, E->loc(), St) : ErrTy();
+    if (T->kind() == TyKind::Prim &&
+        cast<PrimType>(T)->prim() != PrimKind::Int &&
+        cast<PrimType>(T)->prim() != PrimKind::Byte)
+      report(DiagId::SemaTypeMismatch, E->loc(),
+             "'++'/'--' requires a numeric location");
+    return ExprResult{TC.intType(), false, nullptr};
+  }
+  case ExprKind::Tuple: {
+    const auto *T = cast<TupleExpr>(E);
+    std::vector<const Type *> Elems;
+    const TupleType *ExpT = nullptr;
+    if (Expected) {
+      const Type *Exp = Expected;
+      while (const auto *A = dyn_cast<AnonTrackedType>(Exp))
+        Exp = A->inner();
+      ExpT = dyn_cast<TupleType>(Exp);
+    }
+    for (size_t I = 0; I != T->elems().size(); ++I) {
+      const Type *ElemExp =
+          ExpT && I < ExpT->elems().size() ? ExpT->elems()[I] : nullptr;
+      Elems.push_back(checkExpr(T->elems()[I], St, ElemExp).Ty);
+    }
+    return ExprResult{TC.make<TupleType>(std::move(Elems)), false, nullptr};
+  }
+  }
+  return ExprResult{ErrTy(), false, nullptr};
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FlowChecker::checkVarDecl(const VarDecl *D, FlowState &St) {
+  if (scope().definesValueLocally(D->name()))
+    report(DiagId::SemaRedefinition, D->loc(),
+           "redefinition of '" + D->name() + "'");
+
+  const Type *DeclType = Elab.elabType(D->typeExpr(), scope(),
+                                       Elaborator::TypeCtx::Local, nullptr);
+  std::string Binder = Elab.takePendingBinder();
+
+  ElabScope::ValueInfo Info;
+  Info.Id = D;
+  Info.D = D;
+  Info.DeclaredType = DeclType;
+  Info.Loc = D->loc();
+  bindLocal(D->name(), Info);
+  if (!Binder.empty()) {
+    PendingBinders[D] = Binder;
+    // Reserve the key name now so guards can refer to it after init.
+    scope().bindKey(Binder, InvalidKey);
+  }
+
+  if (D->init()) {
+    ExprResult R = checkExpr(D->init(), St, DeclType);
+    St.Vars[D] = coerceInit(DeclType, R, D->loc(), St, Binder);
+    return;
+  }
+  // Uninitialized: key-carrying variables must be assigned before use;
+  // plain values are usable immediately (C-style default init).
+  if (typeCarriesKeys(DeclType))
+    St.Vars[D] = nullptr;
+  else
+    St.Vars[D] = DeclType;
+}
+
+void FlowChecker::checkNestedFunc(const FuncDecl *F, FlowState &St,
+                                  SourceLoc Loc) {
+  FuncSig *NestedSig = Elab.elabSignature(F, &scope(), /*IsLocal=*/true);
+  ElabScope::ValueInfo Info;
+  Info.Id = F;
+  Info.D = F;
+  Info.Func = NestedSig;
+  Info.DeclaredType = TC.make<FuncType>(NestedSig);
+  Info.Loc = Loc;
+  bindLocal(F->name(), Info);
+  St.Vars[F] = Info.DeclaredType;
+
+  if (F->body()) {
+    FlowChecker Nested(Elab, Diags);
+    Nested.checkFunction(NestedSig, &scope());
+  }
+}
+
+void FlowChecker::checkBlock(const BlockStmt *B, FlowState &St) {
+  pushScope();
+  for (const Stmt *S : B->stmts()) {
+    if (!St.Reachable)
+      break;
+    checkStmt(S, St);
+  }
+  popScope(St);
+}
+
+void FlowChecker::joinInto(FlowState &Into, const FlowState &Other,
+                           SourceLoc Loc) {
+  JoinResult J = joinStates(TC, Into, Other);
+  if (!J.Ok)
+    report(DiagId::FlowJoinMismatch, Loc,
+           "held-key sets disagree at this join point: " + J.Mismatch);
+  Into = std::move(J.State);
+}
+
+void FlowChecker::checkCondition(const Expr *Cond, FlowState &St) {
+  ExprResult R = checkExpr(Cond, St);
+  if (!R.Ty)
+    return;
+  const Type *T = requireAccess(R.Ty, Cond->loc(), St);
+  if (T->kind() == TyKind::Error)
+    return;
+  const auto *P = dyn_cast<PrimType>(T);
+  if (!P || P->prim() != PrimKind::Bool)
+    report(DiagId::SemaTypeMismatch, Cond->loc(),
+           "condition must be a bool, got '" + typeStr(T, TC.keys()) + "'");
+}
+
+void FlowChecker::checkIf(const IfStmt *S, FlowState &St) {
+  checkCondition(S->cond(), St);
+  FlowState ThenSt = St;
+  checkStmt(S->thenStmt(), ThenSt);
+  FlowState ElseSt = St;
+  if (S->elseStmt())
+    checkStmt(S->elseStmt(), ElseSt);
+  joinInto(ThenSt, ElseSt, S->loc());
+  St = std::move(ThenSt);
+}
+
+void FlowChecker::checkWhile(const WhileStmt *S, FlowState &St) {
+  // Infer the loop invariant by bounded fixpoint iteration (paper §3:
+  // "imperative loops may require declared loop invariants, unless the
+  // invariant can be inferred in a fixed number of iterations").
+  FlowState Inv = St;
+  bool Converged = false;
+  {
+    DiagnosticEngine::SuppressionScope Quiet(Diags);
+    for (unsigned Iter = 0; Iter != MaxLoopIterations; ++Iter) {
+      FlowState CondSt = Inv;
+      checkCondition(S->cond(), CondSt);
+      FlowState BodySt = CondSt;
+      checkStmt(S->body(), BodySt);
+      JoinResult J = joinStates(TC, Inv, BodySt);
+      if (!J.Ok) {
+        // Will be reported by the loud pass below via the same join.
+        break;
+      }
+      if (J.State == Inv) {
+        Converged = true;
+        break;
+      }
+      Inv = std::move(J.State);
+    }
+  }
+  if (!Converged) {
+    // One more quiet probe to distinguish "join error" from "no
+    // fixpoint"; then report loudly.
+    FlowState CondSt = Inv;
+    {
+      DiagnosticEngine::SuppressionScope Quiet(Diags);
+      checkCondition(S->cond(), CondSt);
+      FlowState BodySt = CondSt;
+      checkStmt(S->body(), BodySt);
+      JoinResult J = joinStates(TC, Inv, BodySt);
+      if (!J.Ok) {
+        Diags.unsuppress();
+        report(DiagId::FlowJoinMismatch, S->loc(),
+               "loop body changes the held-key set: " + J.Mismatch);
+        Diags.suppress();
+      } else {
+        Diags.unsuppress();
+        report(DiagId::FlowLoopNoFixpoint, S->loc(),
+               "could not infer a loop invariant for the held-key set");
+        Diags.suppress();
+      }
+    }
+  }
+  // Final loud pass over the converged invariant.
+  FlowState CondSt = Inv;
+  checkCondition(S->cond(), CondSt);
+  FlowState BodySt = CondSt;
+  checkStmt(S->body(), BodySt);
+  // Loop exit: the condition was evaluated and found false.
+  St = std::move(CondSt);
+}
+
+void FlowChecker::checkFree(const FreeStmt *S, FlowState &St) {
+  ExprResult R = checkExpr(S->operand(), St);
+  if (!R.Ty || R.Ty->kind() == TyKind::Error)
+    return;
+  if (const auto *Tr = dyn_cast<TrackedType>(R.Ty)) {
+    if (!St.Held.remove(Tr->key()))
+      report(DiagId::FlowKeyNotHeld, S->loc(),
+             "cannot free: key " + keyDesc(Tr->key()) +
+                 " is not in the held-key set (double free?)");
+    return;
+  }
+  if (isa<AnonTrackedType>(R.Ty))
+    return; // A packed rvalue owns its key; freeing it is balanced.
+  report(DiagId::SemaNotTracked, S->loc(),
+         "free() requires a tracked value, got '" +
+             typeStr(R.Ty, TC.keys()) + "'");
+}
+
+void FlowChecker::checkSwitch(const SwitchStmt *S, FlowState &St) {
+  ExprResult Subj = checkExpr(S->subject(), St);
+  if (!Subj.Ty)
+    return;
+
+  const VariantType *VT = nullptr;
+  if (const auto *Tr = dyn_cast<TrackedType>(Subj.Ty)) {
+    // Switching on a tracked variant consumes the variant's own key
+    // (the paper's `flag` idiom, §2.1).
+    VT = dyn_cast<VariantType>(Tr->inner());
+    if (VT) {
+      if (!St.Held.remove(Tr->key()))
+        report(DiagId::FlowKeyNotHeld, S->loc(),
+               "cannot switch on tracked value: its key " +
+                   keyDesc(Tr->key()) +
+                   " is not in the held-key set (already tested?)");
+    }
+  } else if (const auto *Anon = dyn_cast<AnonTrackedType>(Subj.Ty)) {
+    // A packed rvalue: testing it immediately releases its contents.
+    VT = dyn_cast<VariantType>(Anon->inner());
+  } else {
+    const Type *T = requireAccess(Subj.Ty, S->loc(), St);
+    VT = dyn_cast<VariantType>(T);
+  }
+  if (!VT) {
+    if (Subj.Ty->kind() != TyKind::Error)
+      report(DiagId::SemaNotAVariant, S->loc(),
+             "switch subject must be a variant, got '" +
+                 typeStr(Subj.Ty, TC.keys()) + "'");
+    return;
+  }
+
+  FlowState Base = St;
+  FlowState Joined;
+  Joined.Reachable = false;
+  bool SawDefault = false;
+  std::set<std::string> Seen;
+
+  for (const SwitchStmt::Case &C : S->cases()) {
+    FlowState ArmSt = Base;
+    pushScope();
+    if (C.Pattern.IsDefault) {
+      SawDefault = true;
+    } else {
+      const VariantDecl::Ctor *Ctor = VT->decl()->findCtor(C.Pattern.CtorName);
+      if (!Ctor) {
+        report(DiagId::SemaUnknownCtor, C.Pattern.Loc,
+               "variant '" + VT->decl()->name() + "' has no constructor '" +
+                   C.Pattern.CtorName + "'");
+        popScope(ArmSt);
+        continue;
+      }
+      if (!Seen.insert(C.Pattern.CtorName).second)
+        report(DiagId::SemaDuplicateCase, C.Pattern.Loc,
+               "duplicate case '" + C.Pattern.CtorName + "'");
+
+      Elaborator::CtorShape Shape;
+      if (Elab.instantiateCtor(VT, *Ctor, C.Pattern.Loc, Shape)) {
+        // Pattern matching restores the constructor's attached keys
+        // (paper §2.1) ...
+        for (const GuardedType::Guard &Att : Shape.Attachments) {
+          if (!ArmSt.Held.add(Att.Key, Att.Required))
+            report(DiagId::FlowKeyAlreadyHeld, C.Pattern.Loc,
+                   "matching '" + C.Pattern.CtorName + "' would restore key " +
+                       keyDesc(Att.Key) + ", which is already held");
+        }
+        // ... and unpacks anonymous payloads under fresh keys (§2.4:
+        // the keys are "anonymous" — fresh, unrelated to the ones
+        // packed in).
+        if (C.Pattern.HasParens &&
+            C.Pattern.Binders.size() != Shape.Payload.size()) {
+          report(DiagId::ParseBadPattern, C.Pattern.Loc,
+                 "pattern for '" + C.Pattern.CtorName + "' binds " +
+                     std::to_string(C.Pattern.Binders.size()) +
+                     " value(s), constructor carries " +
+                     std::to_string(Shape.Payload.size()));
+        }
+        std::map<KeySym, KeySym> SharedFresh;
+        for (size_t I = 0;
+             I < C.Pattern.Binders.size() && I < Shape.Payload.size(); ++I) {
+          const std::string &Name = C.Pattern.Binders[I];
+          if (Name.empty())
+            continue; // Wildcard: value (and any packed keys) discarded.
+          const Type *PayT = Shape.Payload[I];
+          const Type *BindT;
+          if (const auto *Anon = dyn_cast<AnonTrackedType>(PayT))
+            BindT = unpackValue(Anon, C.Pattern.Loc, ArmSt, Name, &SharedFresh);
+          else
+            BindT = Elab.instantiateExistentials(PayT, C.Pattern.Loc,
+                                                 SharedFresh);
+          ElabScope::ValueInfo Info;
+          Info.Id = &C.Pattern.Binders[I];
+          Info.DeclaredType = BindT;
+          Info.Loc = C.Pattern.Loc;
+          bindLocal(Name, Info);
+          ArmSt.Vars[Info.Id] = BindT;
+        }
+        // Keys instantiated for non-anonymous existential payload
+        // positions become held too.
+        for (const auto &[Old, New] : SharedFresh) {
+          (void)Old;
+          if (!ArmSt.Held.contains(New))
+            ArmSt.Held.add(New, StateRef::top());
+        }
+      }
+    }
+    for (const Stmt *Sub : C.Body) {
+      if (!ArmSt.Reachable)
+        break;
+      checkStmt(Sub, ArmSt);
+    }
+    popScope(ArmSt);
+    if (!Joined.Reachable)
+      Joined = std::move(ArmSt);
+    else
+      joinInto(Joined, ArmSt, C.Loc);
+  }
+
+  if (!SawDefault && Seen.size() < VT->decl()->ctors().size())
+    Diags.report(DiagId::SemaNonExhaustiveSwitch, S->loc(),
+                 "switch does not cover every constructor of '" +
+                     VT->decl()->name() + "'; missing arms are assumed "
+                     "unreachable",
+                 DiagSeverity::Warning);
+
+  if (Joined.Reachable)
+    St = std::move(Joined);
+  else if (!S->cases().empty())
+    St.Reachable = false;
+}
+
+void FlowChecker::checkReturn(const ReturnStmt *S, FlowState &St) {
+  Subst RetS;
+  const Type *DeclRet = Sig->RetType;
+  bool IsVoid = DeclRet->kind() == TyKind::Prim &&
+                cast<PrimType>(DeclRet)->prim() == PrimKind::Void;
+  if (S->value()) {
+    if (IsVoid)
+      report(DiagId::FlowReturnValue, S->loc(),
+             "void function returns a value");
+    ExprResult R = checkExpr(S->value(), St, DeclRet);
+    if (!IsVoid && R.Ty && R.Ty->kind() != TyKind::Error) {
+      // Only the signature's *fresh* keys and state variables may bind
+      // to the returned value; everything else is rigid.
+      FuncSig FreshView;
+      FreshView.SigKeys = Sig->FreshKeys;
+      FreshView.NumStateVars = Sig->NumStateVars;
+      if (!Elab.unify(DeclRet, R.Ty, RetS, &FreshView)) {
+        // A guarded value may be read out for an unguarded return.
+        bool Coerced = false;
+        if (const auto *G = dyn_cast<GuardedType>(R.Ty)) {
+          const Type *Peeled = requireAccess(R.Ty, S->loc(), St);
+          (void)G;
+          Coerced = Elab.unify(DeclRet, Peeled, RetS, &FreshView);
+        }
+        if (!Coerced)
+          report(DiagId::FlowReturnValue, S->loc(),
+                 "cannot return '" + typeStr(R.Ty, TC.keys()) +
+                     "' from a function declared to return '" +
+                     typeStr(DeclRet, TC.keys()) + "'");
+      } else {
+        // Returning a packed value consumes the keys being packed.
+        packValue(substType(TC, DeclRet, RetS), R.Ty, S->loc(), St, RetS);
+      }
+    }
+  } else if (!IsVoid) {
+    report(DiagId::FlowReturnValue, S->loc(),
+           "non-void function returns without a value");
+  }
+  checkExit(St, RetS, S->loc());
+  St.Reachable = false;
+}
+
+void FlowChecker::checkStmt(const Stmt *S, FlowState &St) {
+  checkStmtInner(S, St);
+  if (Trace && !Diags.isSuppressed())
+    Trace->push_back(
+        KeyTraceEntry{Sig->Name, S->loc(), St.Held.str(TC.keys())});
+}
+
+void FlowChecker::checkStmtInner(const Stmt *S, FlowState &St) {
+  switch (S->kind()) {
+  case StmtKind::Block:
+    checkBlock(cast<BlockStmt>(S), St);
+    return;
+  case StmtKind::Decl: {
+    const Decl *D = cast<DeclStmt>(S)->decl();
+    if (const auto *V = dyn_cast<VarDecl>(D))
+      checkVarDecl(V, St);
+    else if (const auto *F = dyn_cast<FuncDecl>(D))
+      checkNestedFunc(F, St, S->loc());
+    return;
+  }
+  case StmtKind::Expr:
+    checkExpr(cast<ExprStmt>(S)->expr(), St);
+    return;
+  case StmtKind::If:
+    checkIf(cast<IfStmt>(S), St);
+    return;
+  case StmtKind::While:
+    checkWhile(cast<WhileStmt>(S), St);
+    return;
+  case StmtKind::Return:
+    checkReturn(cast<ReturnStmt>(S), St);
+    return;
+  case StmtKind::Switch:
+    checkSwitch(cast<SwitchStmt>(S), St);
+    return;
+  case StmtKind::Free:
+    checkFree(cast<FreeStmt>(S), St);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function entry / exit
+//===----------------------------------------------------------------------===//
+
+void FlowChecker::checkExit(FlowState &St, Subst &RetSubst, SourceLoc Loc) {
+  // Expected post key set.
+  std::map<KeySym, StateRef> Expected;
+  std::vector<const EffectItem *> UnboundFresh;
+  for (const EffectItem &EI : Sig->Effects) {
+    switch (EI.M) {
+    case EffectItem::Mode::Keep:
+    case EffectItem::Mode::Produce:
+      Expected[RetSubst.mapKey(EI.Key)] =
+          EI.Post ? substState(*EI.Post, RetSubst) : StateRef::top();
+      break;
+    case EffectItem::Mode::Consume:
+      break;
+    case EffectItem::Mode::Fresh: {
+      KeySym K = RetSubst.mapKey(EI.Key);
+      if (K == EI.Key)
+        UnboundFresh.push_back(&EI);
+      else
+        Expected[K] = EI.Post ? substState(*EI.Post, RetSubst)
+                              : StateRef::top();
+      break;
+    }
+    }
+  }
+  // A fresh key that the return value did not pin down: match it to
+  // the unique leftover local key if there is exactly one candidate.
+  for (const EffectItem *EI : UnboundFresh) {
+    std::vector<KeySym> Candidates;
+    for (const auto &[K, State] : St.Held) {
+      (void)State;
+      if (TC.keys().origin(K) == KeyTable::Origin::Local && !Expected.count(K))
+        Candidates.push_back(K);
+    }
+    if (Candidates.size() == 1) {
+      RetSubst.Keys[EI->Key] = Candidates.front();
+      Expected[Candidates.front()] =
+          EI->Post ? substState(*EI->Post, RetSubst) : StateRef::top();
+    } else {
+      report(DiagId::FlowMissingAtExit, Loc,
+             "function promises a fresh key " + keyDesc(EI->Key) +
+                 " but none can be identified at this exit");
+    }
+  }
+
+  for (const auto &[K, ExpState] : Expected) {
+    if (!St.Held.contains(K)) {
+      report(DiagId::FlowMissingAtExit, Loc,
+             "function exits without key " + keyDesc(K) +
+                 ", which its effect clause promises to hold");
+      continue;
+    }
+    const StateRef &Held = St.Held.stateOf(K);
+    if (!stateSatisfies(Held, ExpState, TC.keys().order(K)) &&
+        !(Held == ExpState))
+      report(DiagId::FlowMissingAtExit, Loc,
+             "function exits with key " + keyDesc(K) + " in state '" +
+                 Held.str() + "' but promises state '" + ExpState.str() +
+                 "'");
+  }
+  for (const auto &[K, State] : St.Held) {
+    (void)State;
+    if (Expected.count(K))
+      continue;
+    report(DiagId::FlowKeyLeaked, Loc,
+           "key " + keyDesc(K) +
+               " is still held at function exit but is not in the "
+               "declared post key set (resource leak)");
+    note(TC.keys().loc(K), "key " + keyDesc(K) + " originates here");
+  }
+}
+
+void FlowChecker::checkFunction(const FuncSig *FSig, ElabScope *Enclosing) {
+  Sig = FSig;
+  const FuncDecl *F = Sig->Decl;
+  assert(F && F->body() && "checkFunction requires a body");
+
+  Scopes.clear();
+  LocalIds.clear();
+  PendingBinders.clear();
+  {
+    ScopeFrame Root;
+    Root.Scope = std::make_unique<ElabScope>(Enclosing);
+    Scopes.push_back(std::move(Root));
+  }
+
+  // Signature keys and state variables are in scope throughout.
+  for (KeySym K : Sig->SigKeys)
+    scope().bindKey(TC.keys().name(K), K);
+  for (const auto &[Name, Var] : Sig->StateVarNames)
+    scope().bindStateVar(Name, Var);
+
+  // Entry state: the declared precondition key set.
+  FlowState St;
+  for (const EffectItem &EI : Sig->Effects) {
+    if (EI.M == EffectItem::Mode::Keep || EI.M == EffectItem::Mode::Consume) {
+      if (!St.Held.add(EI.Key, EI.Pre))
+        report(DiagId::FlowKeyAlreadyHeld, EI.Loc,
+               "key " + keyDesc(EI.Key) +
+                   " appears twice in the precondition");
+    }
+  }
+  // Parameters: bound, unpacked (paper §3.3: "function parameters are
+  // unpacked on entry").
+  for (size_t I = 0; I != Sig->ParamTypes.size(); ++I) {
+    const std::string &Name = Sig->ParamNames[I];
+    if (Name.empty())
+      continue;
+    const void *Id = &F->params()[I];
+    const Type *PT = Sig->ParamTypes[I];
+    if (const auto *Anon = dyn_cast<AnonTrackedType>(PT))
+      PT = unpackValue(Anon, F->params()[I].Loc, St, Name);
+    ElabScope::ValueInfo Info;
+    Info.Id = Id;
+    Info.DeclaredType = PT;
+    Info.Loc = F->params()[I].Loc;
+    bindLocal(Name, Info);
+    St.Vars[Id] = PT;
+  }
+
+  checkBlock(F->body(), St);
+
+  if (St.Reachable) {
+    bool IsVoid = Sig->RetType->kind() == TyKind::Prim &&
+                  cast<PrimType>(Sig->RetType)->prim() == PrimKind::Void;
+    if (!IsVoid && Sig->RetType->kind() != TyKind::Error) {
+      report(DiagId::FlowReturnValue, F->loc(),
+             "non-void function '" + Sig->Name +
+                 "' can fall off the end without returning");
+    }
+    Subst Empty;
+    checkExit(St, Empty, F->loc());
+  }
+}

@@ -1,0 +1,155 @@
+//===- FlowChecker.h - Held-key-set flow checking ---------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flow-sensitive protocol checker (paper §3): walks a function
+/// body tracking the held-key set, enforcing type guards at accesses,
+/// instantiating polymorphic signatures at call sites and applying
+/// their effects, packing/unpacking existentials at keyed-variant
+/// construction and pattern matching, canonicalizing local keys at
+/// join points, inferring loop invariants by bounded fixpoint
+/// iteration, and checking the declared effect clause at every exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_FLOWCHECKER_H
+#define VAULT_SEMA_FLOWCHECKER_H
+
+#include "sema/Elaborator.h"
+#include "sema/FlowState.h"
+
+#include <set>
+
+namespace vault {
+
+/// One observation of the held-key set at a program point, recorded
+/// when key tracing is enabled — the tooling view of the checker's
+/// reasoning ("which keys do I hold on this line?").
+struct KeyTraceEntry {
+  std::string Function;
+  SourceLoc Loc;
+  /// Rendered held-key set, e.g. "{R@T, S@named}".
+  std::string Held;
+};
+
+class FlowChecker {
+public:
+  /// Bounded loop-invariant inference: iterations before giving up.
+  static constexpr unsigned MaxLoopIterations = 16;
+
+  FlowChecker(Elaborator &Elab, DiagnosticEngine &Diags)
+      : Elab(Elab), TC(Elab.typeContext()), Diags(Diags) {}
+
+  /// Checks the body of \p Sig's function. \p Enclosing is the lexical
+  /// scope for nested functions (null for top-level ones).
+  void checkFunction(const FuncSig *Sig, ElabScope *Enclosing);
+
+  /// Records the held-key set after every statement into \p Sink.
+  void setTraceSink(std::vector<KeyTraceEntry> *Sink) { Trace = Sink; }
+
+private:
+  struct ExprResult {
+    const Type *Ty = nullptr;
+    bool IsLValue = false;
+    const void *VarId = nullptr; ///< Identity when the expr names a local.
+  };
+
+  // Statements.
+  void checkStmt(const Stmt *S, FlowState &St);
+  void checkStmtInner(const Stmt *S, FlowState &St);
+  void checkBlock(const BlockStmt *B, FlowState &St);
+  void checkVarDecl(const VarDecl *D, FlowState &St);
+  void checkNestedFunc(const FuncDecl *F, FlowState &St, SourceLoc Loc);
+  void checkCondition(const Expr *Cond, FlowState &St);
+  void checkIf(const IfStmt *S, FlowState &St);
+  void checkWhile(const WhileStmt *S, FlowState &St);
+  void checkReturn(const ReturnStmt *S, FlowState &St);
+  void checkSwitch(const SwitchStmt *S, FlowState &St);
+  void checkFree(const FreeStmt *S, FlowState &St);
+
+  // Expressions.
+  ExprResult checkExpr(const Expr *E, FlowState &St,
+                       const Type *Expected = nullptr);
+  ExprResult checkName(const NameExpr *E, FlowState &St);
+  ExprResult checkCallExpr(const CallExpr *E, FlowState &St);
+  ExprResult checkCall(const FuncSig *Sig, const std::vector<Expr *> &Args,
+                       SourceLoc Loc, FlowState &St);
+  ExprResult checkCtor(const CtorExpr *E, FlowState &St, const Type *Expected);
+  ExprResult checkNew(const NewExpr *E, FlowState &St);
+  ExprResult checkField(const FieldExpr *E, FlowState &St);
+  ExprResult checkIndex(const IndexExpr *E, FlowState &St);
+  ExprResult checkAssign(const AssignExpr *E, FlowState &St);
+
+  /// Peels guards (checking the guard keys) and tracked wrappers
+  /// (checking the key is held) to reach the accessible value type.
+  const Type *requireAccess(const Type *T, SourceLoc Loc, FlowState &St);
+
+  /// Checks that \p From can initialize / be assigned into a location
+  /// declared as \p DeclType; performs packing/unpacking. Returns the
+  /// flow type the location holds afterwards (null on error, after
+  /// reporting). \p BinderName non-empty binds the unpacked key name.
+  const Type *coerceInit(const Type *DeclType, ExprResult From, SourceLoc Loc,
+                         FlowState &St, const std::string &BinderName);
+
+  /// Packs argument \p Arg into existential position \p ParamT:
+  /// consumes keys of tracked arguments bound into anonymous/
+  /// existential slots. Recurses through tuples.
+  void packValue(const Type *ParamT, const Type *ArgT, SourceLoc Loc,
+                 FlowState &St, const Subst &S);
+
+  /// Unpacks a packed value of type \p Anon into a variable/binder:
+  /// generates the fresh key, instantiates internal existentials, adds
+  /// all of them to the held set, and returns the tracked type.
+  const Type *unpackValue(const AnonTrackedType *Anon, SourceLoc Loc,
+                          FlowState &St, const std::string &KeyName,
+                          std::map<KeySym, KeySym> *SharedFresh = nullptr);
+
+  /// Verifies the held-key set against the signature's declared post
+  /// key set at an exit point. \p RetSubst carries bindings of fresh
+  /// keys / state variables established by return-value unification.
+  void checkExit(FlowState &St, Subst &RetSubst, SourceLoc Loc);
+
+  void joinInto(FlowState &Into, const FlowState &Other, SourceLoc Loc);
+
+  // Scope management.
+  ElabScope &scope() { return *Scopes.back().Scope; }
+  void pushScope();
+  void popScope(FlowState &St);
+  void bindLocal(const std::string &Name, ElabScope::ValueInfo Info);
+
+  void report(DiagId Id, SourceLoc Loc, const std::string &Msg);
+  void note(SourceLoc Loc, const std::string &Msg);
+
+  std::string keyDesc(KeySym K) const {
+    return "'" + TC.keys().name(K) + "'";
+  }
+
+  Elaborator &Elab;
+  TypeContext &TC;
+  DiagnosticEngine &Diags;
+
+  const FuncSig *Sig = nullptr;
+  const Type *ErrTy() { return TC.errorType(); }
+
+  struct ScopeFrame {
+    std::unique_ptr<ElabScope> Scope;
+    std::vector<const void *> DeclaredIds;
+  };
+  std::vector<ScopeFrame> Scopes;
+  /// Identities bound by *this* function (as opposed to captured ones).
+  std::set<const void *> LocalIds;
+  /// Remembered `tracked(K)` binder names for variables declared
+  /// without an initializer.
+  std::map<const void *, std::string> PendingBinders;
+  /// >0 suppresses diagnostics (loop fixpoint iterations).
+  int Quiet = 0;
+  /// Optional key-trace sink (see setTraceSink).
+  std::vector<KeyTraceEntry> *Trace = nullptr;
+};
+
+} // namespace vault
+
+#endif // VAULT_SEMA_FLOWCHECKER_H

@@ -1,0 +1,149 @@
+//===- FlowState.cpp ------------------------------------------------------===//
+
+#include "sema/FlowState.h"
+
+using namespace vault;
+
+FlowState vault::renameState(TypeContext &TC, const FlowState &S,
+                             const std::map<KeySym, KeySym> &Rename) {
+  if (Rename.empty())
+    return S;
+  FlowState Out;
+  Out.Reachable = S.Reachable;
+  Out.Held = S.Held;
+  Out.Held.renameKeys(Rename);
+  Subst Sub;
+  Sub.Keys = Rename;
+  for (const auto &[D, T] : S.Vars)
+    Out.Vars.emplace(D, T ? substType(TC, T, Sub) : nullptr);
+  return Out;
+}
+
+JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
+                             const FlowState &B) {
+  JoinResult R;
+  // On mismatch we continue checking with the side holding more keys,
+  // which suppresses cascades of "key not held" follow-on errors.
+  auto pickRicher = [&]() -> const FlowState & {
+    return B.Held.size() > A.Held.size() ? B : A;
+  };
+  if (!A.Reachable) {
+    R.State = B;
+    return R;
+  }
+  if (!B.Reachable) {
+    R.State = A;
+    return R;
+  }
+
+  const KeyTable &Keys = TC.keys();
+
+  // Build the canonicalizing renaming of B's local keys onto A's,
+  // driven by the common variables' key bindings.
+  std::map<KeySym, KeySym> Rename;    // B key -> A key.
+  std::map<KeySym, KeySym> RenameInv; // A key -> B key (injectivity).
+  for (const auto &[D, TA] : A.Vars) {
+    auto It = B.Vars.find(D);
+    if (It == B.Vars.end())
+      continue;
+    const Type *TB = It->second;
+    if (!TA || !TB)
+      continue;
+    std::vector<KeySym> KA, KB;
+    collectKeys(TA, KA);
+    collectKeys(TB, KB);
+    if (KA.size() != KB.size())
+      continue; // Structural disagreement; resolved below.
+    for (size_t I = 0; I != KA.size(); ++I) {
+      KeySym Ka = KA[I], Kb = KB[I];
+      if (Ka == Kb)
+        continue;
+      if (Keys.origin(Ka) != KeyTable::Origin::Local ||
+          Keys.origin(Kb) != KeyTable::Origin::Local) {
+        R.Ok = false;
+        R.Mismatch = "a variable is bound to different non-local keys on "
+                     "the incoming paths";
+        R.State = pickRicher();
+        return R;
+      }
+      auto [ItF, InsF] = Rename.emplace(Kb, Ka);
+      if (!InsF && ItF->second != Ka) {
+        R.Ok = false;
+        R.Mismatch = "key '" + Keys.name(Kb) +
+                     "' would need to unify with two different keys at "
+                     "this join";
+        R.State = pickRicher();
+        return R;
+      }
+      auto [ItI, InsI] = RenameInv.emplace(Ka, Kb);
+      if (!InsI && ItI->second != Kb) {
+        R.Ok = false;
+        R.Mismatch = "two distinct keys alias the same variable at this "
+                     "join";
+        R.State = pickRicher();
+        return R;
+      }
+    }
+  }
+
+  // A rename target that is itself still live in B (and not renamed
+  // away) would silently merge two keys.
+  for (const auto &[Kb, Ka] : Rename) {
+    (void)Kb;
+    if (B.Held.contains(Ka) && !Rename.count(Ka)) {
+      R.Ok = false;
+      R.Mismatch = "renaming key '" + Keys.name(Ka) +
+                   "' would merge two live keys at this join";
+      R.State = pickRicher();
+      return R;
+    }
+  }
+
+  FlowState BR = renameState(TC, B, Rename);
+
+  // Held-key sets must agree exactly (same keys, same states). This is
+  // the check that rejects the paper's Fig. 5.
+  for (const auto &[K, SA] : A.Held) {
+    if (!BR.Held.contains(K)) {
+      R.Ok = false;
+      R.Mismatch = "key '" + Keys.name(K) +
+                   "' is held on one incoming path but not the other";
+      R.State = pickRicher();
+      return R;
+    }
+    if (!(BR.Held.stateOf(K) == SA)) {
+      R.Ok = false;
+      R.Mismatch = "key '" + Keys.name(K) + "' is held in state '" +
+                   SA.str() + "' on one path and '" +
+                   BR.Held.stateOf(K).str() + "' on the other";
+      R.State = pickRicher();
+      return R;
+    }
+  }
+  for (const auto &[K, SB] : BR.Held) {
+    (void)SB;
+    if (!A.Held.contains(K)) {
+      R.Ok = false;
+      R.Mismatch = "key '" + Keys.name(K) +
+                   "' is held on one incoming path but not the other";
+      R.State = pickRicher();
+      return R;
+    }
+  }
+
+  // Merge variable types; where they still disagree (e.g. a variable
+  // initialized on only one path), the variable becomes uninitialized.
+  R.State.Reachable = true;
+  R.State.Held = A.Held;
+  for (const auto &[D, TA] : A.Vars) {
+    auto It = BR.Vars.find(D);
+    if (It == BR.Vars.end())
+      continue; // Declared in one branch only: out of scope after.
+    const Type *TB = It->second;
+    if (TA && TB && typeEquals(TA, TB))
+      R.State.Vars.emplace(D, TA);
+    else
+      R.State.Vars.emplace(D, nullptr);
+  }
+  return R;
+}

@@ -1,0 +1,79 @@
+//===- FlowState.h - The checker's flow fact --------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flow-sensitive state the Vault checker computes at every
+/// program point: the held-key set plus the (key-referencing) types of
+/// the live local variables. Joins canonicalize function-local key
+/// names through the variable bindings, exactly as the paper describes
+/// (§3: "on control-flow join points, we abstract over the actual
+/// names of local keys in incoming key sets so as to analyze the
+/// remainder of the control-flow graph only for distinct alias
+/// relationships of local variables"). States that disagree at a join
+/// — e.g. the paper's Fig. 5 — are reported as errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_FLOWSTATE_H
+#define VAULT_SEMA_FLOWSTATE_H
+
+#include "types/Substitution.h"
+#include "types/TypeContext.h"
+
+#include <map>
+
+namespace vault {
+
+class FlowState {
+public:
+  HeldKeySet Held;
+  /// Flow-sensitive types of local variables and parameters; a null
+  /// type means "declared but not yet initialized". Keyed by the
+  /// binding's identity (VarDecl, FuncDecl::Param, or pattern binder
+  /// storage — see ElabScope::ValueInfo::Id).
+  std::map<const void *, const Type *> Vars;
+  bool Reachable = true;
+
+  bool operator==(const FlowState &O) const {
+    if (Reachable != O.Reachable)
+      return false;
+    if (!Reachable)
+      return true;
+    if (!(Held == O.Held))
+      return false;
+    if (Vars.size() != O.Vars.size())
+      return false;
+    auto It = O.Vars.begin();
+    for (const auto &[D, T] : Vars) {
+      if (It->first != D || !typeEquals(T, It->second))
+        return false;
+      ++It;
+    }
+    return true;
+  }
+};
+
+/// Outcome of joining two flow states.
+struct JoinResult {
+  FlowState State;
+  bool Ok = true;
+  /// Human-readable explanation when Ok is false (which key/variable
+  /// disagreed).
+  std::string Mismatch;
+};
+
+/// Joins the states flowing out of two branches. Local keys are
+/// renamed through the common variables' bindings; held-key sets must
+/// then agree exactly.
+JoinResult joinStates(TypeContext &TC, const FlowState &A, const FlowState &B);
+
+/// Applies a key renaming to every component of a state.
+FlowState renameState(TypeContext &TC, const FlowState &S,
+                      const std::map<KeySym, KeySym> &Rename);
+
+} // namespace vault
+
+#endif // VAULT_SEMA_FLOWSTATE_H

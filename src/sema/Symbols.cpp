@@ -1,0 +1,6 @@
+//===- Symbols.cpp --------------------------------------------------------===//
+
+#include "sema/Symbols.h"
+
+// Symbols.h is header-only today; this TU anchors the library and is
+// the natural home for future out-of-line definitions.

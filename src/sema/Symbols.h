@@ -1,0 +1,146 @@
+//===- Symbols.h - Global and lexical symbol tables -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution structures: the flat global namespace (types,
+/// variants, constructors, functions, interfaces, modules, statesets,
+/// global keys) and the lexical scopes used while elaborating types
+/// and checking function bodies (value names, key names, state
+/// variables, and type-level parameter bindings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_SYMBOLS_H
+#define VAULT_SEMA_SYMBOLS_H
+
+#include "ast/Ast.h"
+#include "types/Substitution.h"
+#include "types/Type.h"
+#include "types/TypeContext.h"
+
+#include <map>
+#include <string>
+
+namespace vault {
+
+/// The program-wide namespace. Interface members are registered flat
+/// (usable unqualified); `extern module M : I;` additionally lets
+/// `M.member` resolve to the same entities.
+struct GlobalSymbols {
+  /// Type names: TypeAliasDecl, StructDecl, or VariantDecl.
+  std::map<std::string, const Decl *> TypeNames;
+  /// Constructor name -> owning variant (constructors are global).
+  std::map<std::string, const VariantDecl *> Ctors;
+  /// Function name -> elaborated signature.
+  std::map<std::string, FuncSig *> Functions;
+  std::map<std::string, const InterfaceDecl *> Interfaces;
+  /// Module name -> interface it implements.
+  std::map<std::string, const InterfaceDecl *> Modules;
+  /// Statically declared keys (`key IRQL @ IRQ_LEVEL;`).
+  std::map<std::string, KeySym> GlobalKeys;
+
+  const Decl *findType(const std::string &Name) const {
+    auto It = TypeNames.find(Name);
+    return It != TypeNames.end() ? It->second : nullptr;
+  }
+  const VariantDecl *findCtor(const std::string &Name) const {
+    auto It = Ctors.find(Name);
+    return It != Ctors.end() ? It->second : nullptr;
+  }
+  FuncSig *findFunction(const std::string &Name) const {
+    auto It = Functions.find(Name);
+    return It != Functions.end() ? It->second : nullptr;
+  }
+  KeySym findGlobalKey(const std::string &Name) const {
+    auto It = GlobalKeys.find(Name);
+    return It != GlobalKeys.end() ? It->second : InvalidKey;
+  }
+};
+
+/// A lexical scope used during elaboration and flow checking. Chains
+/// to a parent; nested functions chain to their enclosing function's
+/// scope (the paper binds key names with "the same scope as a program
+/// variable bound at that point").
+class ElabScope {
+public:
+  explicit ElabScope(ElabScope *Parent = nullptr) : Parent(Parent) {}
+
+  // -- Type-level parameter bindings (`type T` / `key K` / `state S`
+  //    parameters of generic declarations, bound to concrete args). --
+  void bindGenArg(const std::string &Name, GenArg A) { GenArgs[Name] = A; }
+  const GenArg *findGenArg(const std::string &Name) const {
+    auto It = GenArgs.find(Name);
+    if (It != GenArgs.end())
+      return &It->second;
+    return Parent ? Parent->findGenArg(Name) : nullptr;
+  }
+
+  // -- Value-level key names (from `tracked(K)` binders). --
+  void bindKey(const std::string &Name, KeySym K) { Keys[Name] = K; }
+  KeySym findKey(const std::string &Name) const {
+    if (const GenArg *A = findGenArg(Name); A && A->K == Kind::Key)
+      return A->Key;
+    auto It = Keys.find(Name);
+    if (It != Keys.end())
+      return It->second;
+    return Parent ? Parent->findKey(Name) : InvalidKey;
+  }
+  /// Rebinds a key name in the innermost scope where it is bound, or
+  /// binds locally. Used when a tracked variable is re-declared.
+  void rebindKey(const std::string &Name, KeySym K) { Keys[Name] = K; }
+
+  // -- State variables of the signature being elaborated (stored as
+  //    the full Var StateRef, carrying the bound). --
+  void bindStateVar(const std::string &Name, StateRef Var) {
+    StateVars[Name] = std::move(Var);
+  }
+  const StateRef *findStateVar(const std::string &Name) const {
+    auto It = StateVars.find(Name);
+    if (It != StateVars.end())
+      return &It->second;
+    return Parent ? Parent->findStateVar(Name) : nullptr;
+  }
+
+  // -- Value names (variables, parameters, nested functions). --
+  struct ValueInfo {
+    /// Identity used as the key into FlowState::Vars: the VarDecl, the
+    /// FuncDecl::Param, or the pattern binder's storage.
+    const void *Id = nullptr;
+    /// Declaring node when one exists (VarDecl / FuncDecl).
+    const Decl *D = nullptr;
+    /// Non-null when the name denotes a function value.
+    const FuncSig *Func = nullptr;
+    /// The type as declared; the flow-sensitive current type lives in
+    /// FlowState::Vars.
+    const Type *DeclaredType = nullptr;
+    SourceLoc Loc;
+  };
+  void bindValue(const std::string &Name, ValueInfo V) { Values[Name] = V; }
+  const ValueInfo *findValue(const std::string &Name) const {
+    auto It = Values.find(Name);
+    if (It != Values.end())
+      return &It->second;
+    return Parent ? Parent->findValue(Name) : nullptr;
+  }
+  /// Lookup restricted to this scope (no parent chain); used to detect
+  /// redefinitions.
+  bool definesValueLocally(const std::string &Name) const {
+    return Values.count(Name) != 0;
+  }
+
+  ElabScope *parent() const { return Parent; }
+
+private:
+  ElabScope *Parent;
+  std::map<std::string, GenArg> GenArgs;
+  std::map<std::string, KeySym> Keys;
+  std::map<std::string, StateRef> StateVars;
+  std::map<std::string, ValueInfo> Values;
+};
+
+} // namespace vault
+
+#endif // VAULT_SEMA_SYMBOLS_H

@@ -1,0 +1,224 @@
+//===- Socket.cpp ---------------------------------------------------------===//
+
+#include "sockets/Socket.h"
+
+using namespace vault::net;
+
+const char *vault::net::sockStateName(SockState S) {
+  switch (S) {
+  case SockState::Raw:
+    return "raw";
+  case SockState::Named:
+    return "named";
+  case SockState::Listening:
+    return "listening";
+  case SockState::Ready:
+    return "ready";
+  case SockState::Closed:
+    return "closed";
+  }
+  return "?";
+}
+
+const char *vault::net::sockErrorName(SockError E) {
+  switch (E) {
+  case SockError::Ok:
+    return "ok";
+  case SockError::WrongState:
+    return "wrong-state";
+  case SockError::AddrInUse:
+    return "addr-in-use";
+  case SockError::WouldBlock:
+    return "would-block";
+  case SockError::NotConnected:
+    return "not-connected";
+  case SockError::BadHandle:
+    return "bad-handle";
+  }
+  return "?";
+}
+
+SocketWorld::Sock *SocketWorld::get(Handle H) {
+  if (H < 1 || H > Socks.size() || !Socks[H - 1])
+    return nullptr;
+  return &*Socks[H - 1];
+}
+
+const SocketWorld::Sock *SocketWorld::get(Handle H) const {
+  if (H < 1 || H > Socks.size() || !Socks[H - 1])
+    return nullptr;
+  return &*Socks[H - 1];
+}
+
+void SocketWorld::violation(const std::string &What, Handle H) {
+  ++Violations;
+  const Sock *S = get(H);
+  Log.push_back(What + " on socket #" + std::to_string(H) + " in state " +
+                (S ? sockStateName(S->State) : "<dead>"));
+}
+
+SocketWorld::Handle SocketWorld::socketCreate() {
+  Socks.emplace_back(Sock{});
+  return Socks.size();
+}
+
+SockError SocketWorld::bind(Handle H, uint16_t Port) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("bind", H);
+    return SockError::BadHandle;
+  }
+  if (S->State != SockState::Raw) {
+    violation("bind", H);
+    return SockError::WrongState;
+  }
+  if (Bound.count(Port))
+    return SockError::AddrInUse; // Environment failure, not a protocol bug.
+  Bound[Port] = H;
+  S->Port = Port;
+  S->State = SockState::Named;
+  return SockError::Ok;
+}
+
+SockError SocketWorld::listen(Handle H, unsigned Backlog) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("listen", H);
+    return SockError::BadHandle;
+  }
+  if (S->State != SockState::Named) {
+    violation("listen", H);
+    return SockError::WrongState;
+  }
+  S->Backlog = Backlog ? Backlog : 1;
+  S->State = SockState::Listening;
+  return SockError::Ok;
+}
+
+SockError SocketWorld::connect(Handle H, uint16_t Port) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("connect", H);
+    return SockError::BadHandle;
+  }
+  if (S->State != SockState::Raw) {
+    violation("connect", H);
+    return SockError::WrongState;
+  }
+  auto It = Bound.find(Port);
+  if (It == Bound.end())
+    return SockError::NotConnected;
+  Sock *L = get(It->second);
+  if (!L || L->State != SockState::Listening)
+    return SockError::NotConnected;
+  if (L->Pending.size() >= L->Backlog)
+    return SockError::WouldBlock;
+  // The server half of the connection is materialized at accept time;
+  // the client becomes Ready now, pointing at a pending slot.
+  L->Pending.push_back(H);
+  S->State = SockState::Ready;
+  S->Peer = 0; // Filled in by accept.
+  return SockError::Ok;
+}
+
+SockError SocketWorld::accept(Handle H, Handle &OutConn) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("accept", H);
+    return SockError::BadHandle;
+  }
+  if (S->State != SockState::Listening) {
+    violation("accept", H);
+    return SockError::WrongState;
+  }
+  if (S->Pending.empty())
+    return SockError::WouldBlock;
+  Handle Client = S->Pending.front();
+  S->Pending.pop_front();
+  Socks.emplace_back(Sock{});
+  OutConn = Socks.size();
+  Sock *Server = get(OutConn);
+  Server->State = SockState::Ready;
+  Server->Peer = Client;
+  if (Sock *C = get(Client))
+    C->Peer = OutConn;
+  return SockError::Ok;
+}
+
+SockError SocketWorld::send(Handle H, const std::vector<uint8_t> &Data) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("send", H);
+    return SockError::BadHandle;
+  }
+  if (S->State != SockState::Ready) {
+    violation("send", H);
+    return SockError::WrongState;
+  }
+  Sock *Peer = get(S->Peer);
+  if (!Peer || Peer->State != SockState::Ready)
+    return SockError::NotConnected;
+  Peer->Rx.push_back(Data);
+  return SockError::Ok;
+}
+
+SockError SocketWorld::receive(Handle H, std::vector<uint8_t> &Out) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("receive", H);
+    return SockError::BadHandle;
+  }
+  if (S->State != SockState::Ready) {
+    violation("receive", H);
+    return SockError::WrongState;
+  }
+  if (S->Rx.empty())
+    return SockError::WouldBlock;
+  Out = std::move(S->Rx.front());
+  S->Rx.pop_front();
+  return SockError::Ok;
+}
+
+SockError SocketWorld::close(Handle H) {
+  Sock *S = get(H);
+  if (!S) {
+    violation("close", H);
+    return SockError::BadHandle;
+  }
+  if (S->State == SockState::Closed) {
+    violation("close", H);
+    return SockError::WrongState;
+  }
+  if (S->Port && Bound.count(S->Port) && Bound[S->Port] == H)
+    Bound.erase(S->Port);
+  if (Sock *Peer = get(S->Peer); Peer && Peer->Peer == H)
+    Peer->Peer = 0;
+  S->State = SockState::Closed;
+  return SockError::Ok;
+}
+
+SockState SocketWorld::stateOf(Handle H) const {
+  const Sock *S = get(H);
+  return S ? S->State : SockState::Closed;
+}
+
+bool SocketWorld::isLive(Handle H) const {
+  const Sock *S = get(H);
+  return S && S->State != SockState::Closed;
+}
+
+size_t SocketWorld::liveCount() const {
+  size_t N = 0;
+  for (const auto &S : Socks)
+    if (S && S->State != SockState::Closed)
+      ++N;
+  return N;
+}
+
+std::vector<SocketWorld::Handle> SocketWorld::leakedSockets() const {
+  std::vector<Handle> Out;
+  for (size_t I = 0; I != Socks.size(); ++I)
+    if (Socks[I] && Socks[I]->State != SockState::Closed)
+      Out.push_back(I + 1);
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- Socket.h - In-memory loopback socket substrate -----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic in-memory substitute for the Unix sockets of the
+/// paper's §2.3. The object under study is the *protocol automaton*
+///
+///     raw --bind--> named --listen--> listening --accept--> (ready)
+///
+/// which this substrate implements faithfully: every operation checks
+/// the socket's dynamic state and records a protocol violation when
+/// misused, providing the run-time oracle that the static Vault
+/// checker is evaluated against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SOCKETS_SOCKET_H
+#define VAULT_SOCKETS_SOCKET_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vault::net {
+
+enum class SockState : uint8_t {
+  Raw,
+  Named,
+  Listening,
+  Ready,
+  Closed,
+};
+
+const char *sockStateName(SockState S);
+
+enum class SockError : uint8_t {
+  Ok,
+  WrongState,    ///< Operation applied in the wrong protocol state.
+  AddrInUse,     ///< bind() to a port that is already bound.
+  WouldBlock,    ///< accept()/receive() with nothing pending.
+  NotConnected,  ///< Peer closed.
+  BadHandle,     ///< Unknown or closed socket handle.
+};
+
+const char *sockErrorName(SockError E);
+
+/// An in-process network of loopback sockets. All operations are
+/// non-blocking and deterministic.
+class SocketWorld {
+public:
+  using Handle = uint64_t;
+
+  /// Creates a socket in the "raw" state.
+  Handle socketCreate();
+
+  /// raw -> named. Fails with AddrInUse if \p Port is taken.
+  SockError bind(Handle H, uint16_t Port);
+
+  /// named -> listening; \p Backlog bounds the pending-connection queue.
+  SockError listen(Handle H, unsigned Backlog);
+
+  /// Client side: creates a raw socket already connected to the
+  /// listening socket at \p Port (it becomes Ready on success).
+  SockError connect(Handle H, uint16_t Port);
+
+  /// listening: pops a pending connection, returning a fresh Ready
+  /// socket. WouldBlock if none is pending.
+  SockError accept(Handle H, Handle &OutConn);
+
+  /// ready: queues \p Data to the peer.
+  SockError send(Handle H, const std::vector<uint8_t> &Data);
+
+  /// ready: pops the next message. WouldBlock if none.
+  SockError receive(Handle H, std::vector<uint8_t> &Out);
+
+  /// Any state: closes the socket and disconnects the peer.
+  SockError close(Handle H);
+
+  SockState stateOf(Handle H) const;
+  bool isLive(Handle H) const;
+  size_t liveCount() const;
+
+  /// Sockets never closed (the dynamic analogue of a leaked key).
+  std::vector<Handle> leakedSockets() const;
+
+  /// Count of operations applied in a protocol-violating state.
+  unsigned violationCount() const { return Violations; }
+
+  /// Log of violations (operation name + state), for the test oracle.
+  const std::vector<std::string> &violationLog() const { return Log; }
+
+private:
+  struct Sock {
+    SockState State = SockState::Raw;
+    uint16_t Port = 0;
+    unsigned Backlog = 0;
+    Handle Peer = 0;
+    std::deque<Handle> Pending;          ///< For listening sockets.
+    std::deque<std::vector<uint8_t>> Rx; ///< Inbound messages.
+  };
+
+  Sock *get(Handle H);
+  const Sock *get(Handle H) const;
+  void violation(const std::string &What, Handle H);
+
+  std::vector<std::optional<Sock>> Socks;
+  std::map<uint16_t, Handle> Bound;
+  unsigned Violations = 0;
+  std::vector<std::string> Log;
+};
+
+} // namespace vault::net
+
+#endif // VAULT_SOCKETS_SOCKET_H

@@ -1,0 +1,180 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace vault;
+
+const char *vault::diagName(DiagId Id) {
+  switch (Id) {
+  case DiagId::LexUnknownChar:
+    return "lex-unknown-char";
+  case DiagId::LexUnterminatedString:
+    return "lex-unterminated-string";
+  case DiagId::LexUnterminatedComment:
+    return "lex-unterminated-comment";
+  case DiagId::LexBadNumber:
+    return "lex-bad-number";
+  case DiagId::ParseExpected:
+    return "parse-expected";
+  case DiagId::ParseUnexpectedToken:
+    return "parse-unexpected-token";
+  case DiagId::ParseBadEffect:
+    return "parse-bad-effect";
+  case DiagId::ParseBadType:
+    return "parse-bad-type";
+  case DiagId::ParseBadPattern:
+    return "parse-bad-pattern";
+  case DiagId::SemaUnknownName:
+    return "sema-unknown-name";
+  case DiagId::SemaRedefinition:
+    return "sema-redefinition";
+  case DiagId::SemaUnknownType:
+    return "sema-unknown-type";
+  case DiagId::SemaUnknownKey:
+    return "sema-unknown-key";
+  case DiagId::SemaUnknownState:
+    return "sema-unknown-state";
+  case DiagId::SemaUnknownCtor:
+    return "sema-unknown-ctor";
+  case DiagId::SemaArity:
+    return "sema-arity";
+  case DiagId::SemaKindMismatch:
+    return "sema-kind-mismatch";
+  case DiagId::SemaTypeMismatch:
+    return "sema-type-mismatch";
+  case DiagId::SemaNotAFunction:
+    return "sema-not-a-function";
+  case DiagId::SemaNotAVariant:
+    return "sema-not-a-variant";
+  case DiagId::SemaNotTracked:
+    return "sema-not-tracked";
+  case DiagId::SemaNotARecord:
+    return "sema-not-a-record";
+  case DiagId::SemaUnknownField:
+    return "sema-unknown-field";
+  case DiagId::SemaDuplicateCase:
+    return "sema-duplicate-case";
+  case DiagId::SemaNonExhaustiveSwitch:
+    return "sema-non-exhaustive-switch";
+  case DiagId::SemaBadModule:
+    return "sema-bad-module";
+  case DiagId::SemaAbstractType:
+    return "sema-abstract-type";
+  case DiagId::FlowGuardNotHeld:
+    return "flow-guard-not-held";
+  case DiagId::FlowGuardWrongState:
+    return "flow-guard-wrong-state";
+  case DiagId::FlowKeyNotHeld:
+    return "flow-key-not-held";
+  case DiagId::FlowKeyWrongState:
+    return "flow-key-wrong-state";
+  case DiagId::FlowKeyAlreadyHeld:
+    return "flow-key-already-held";
+  case DiagId::FlowKeyLeaked:
+    return "flow-key-leaked";
+  case DiagId::FlowMissingAtExit:
+    return "flow-missing-at-exit";
+  case DiagId::FlowJoinMismatch:
+    return "flow-join-mismatch";
+  case DiagId::FlowLoopNoFixpoint:
+    return "flow-loop-no-fixpoint";
+  case DiagId::FlowUseAfterConsume:
+    return "flow-use-after-consume";
+  case DiagId::FlowUninitialized:
+    return "flow-uninitialized";
+  case DiagId::FlowStateBound:
+    return "flow-state-bound";
+  case DiagId::FlowReturnValue:
+    return "flow-return-value";
+  case DiagId::FlowCaptureTracked:
+    return "flow-capture-tracked";
+  case DiagId::RunProtocolViolation:
+    return "run-protocol-violation";
+  case DiagId::RunError:
+    return "run-error";
+  case DiagId::NumDiags:
+    break;
+  }
+  return "unknown";
+}
+
+Diagnostic &DiagnosticEngine::report(DiagId Id, SourceLoc Loc,
+                                     std::string Message,
+                                     DiagSeverity Severity) {
+  if (isSuppressed()) {
+    Discard = Diagnostic{Id, Severity, Loc, std::move(Message), {}};
+    return Discard;
+  }
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Id, Severity, Loc, std::move(Message), {}});
+  return Diags.back();
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  if (isSuppressed()) {
+    Discard.Notes.emplace_back(Loc, std::move(Message));
+    return;
+  }
+  assert(!Diags.empty() && "note without a preceding diagnostic");
+  Diags.back().Notes.emplace_back(Loc, std::move(Message));
+}
+
+bool DiagnosticEngine::has(DiagId Id) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Id == Id)
+      return true;
+  return false;
+}
+
+unsigned DiagnosticEngine::count(DiagId Id) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Id == Id)
+      ++N;
+  return N;
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+static void renderOne(std::ostringstream &OS, const SourceManager &SM,
+                      SourceLoc Loc, DiagSeverity Sev, const std::string &Msg,
+                      const char *Tag) {
+  PresumedLoc P = SM.presumed(Loc);
+  if (P.isValid())
+    OS << P.BufferName << ':' << P.Line << ':' << P.Column << ": ";
+  OS << severityName(Sev) << ": " << Msg;
+  if (Tag)
+    OS << " [" << Tag << "]";
+  OS << '\n';
+  if (P.isValid()) {
+    std::string_view Line = SM.lineText(Loc);
+    OS << "  " << Line << '\n';
+    OS << "  ";
+    for (unsigned I = 1; I < P.Column; ++I)
+      OS << (I - 1 < Line.size() && Line[I - 1] == '\t' ? '\t' : ' ');
+    OS << "^\n";
+  }
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    renderOne(OS, SM, D.Loc, D.Severity, D.Message, diagName(D.Id));
+    for (const auto &[Loc, Msg] : D.Notes)
+      renderOne(OS, SM, Loc, DiagSeverity::Note, Msg, nullptr);
+  }
+  return OS.str();
+}

@@ -1,0 +1,162 @@
+//===- Diagnostics.h - Diagnostic engine ------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects and renders compiler diagnostics. Every protocol violation
+/// the Vault checker reports flows through this engine, tagged with a
+/// stable DiagId so tests can assert on the *kind* of error rather than
+/// on message text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_DIAGNOSTICS_H
+#define VAULT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+#include <vector>
+
+namespace vault {
+
+/// Stable identifiers for every diagnostic the toolchain can produce.
+///
+/// The sema ids mirror the error classes of the paper: guard violations
+/// (dangling accesses), leaks (extra keys at exit), missing keys at
+/// calls, duplicated keys (double acquire / double free), join-point
+/// disagreements, and effect-clause mismatches.
+enum class DiagId {
+  // Lexer.
+  LexUnknownChar,
+  LexUnterminatedString,
+  LexUnterminatedComment,
+  LexBadNumber,
+  // Parser.
+  ParseExpected,
+  ParseUnexpectedToken,
+  ParseBadEffect,
+  ParseBadType,
+  ParseBadPattern,
+  // Name resolution / elaboration.
+  SemaUnknownName,
+  SemaRedefinition,
+  SemaUnknownType,
+  SemaUnknownKey,
+  SemaUnknownState,
+  SemaUnknownCtor,
+  SemaArity,
+  SemaKindMismatch,
+  SemaTypeMismatch,
+  SemaNotAFunction,
+  SemaNotAVariant,
+  SemaNotTracked,
+  SemaNotARecord,
+  SemaUnknownField,
+  SemaDuplicateCase,
+  SemaNonExhaustiveSwitch,
+  SemaBadModule,
+  SemaAbstractType,
+  // Flow checking: the heart of Vault.
+  FlowGuardNotHeld,      ///< Accessing data whose guard key is not held.
+  FlowGuardWrongState,   ///< Guard key held in the wrong state.
+  FlowKeyNotHeld,        ///< Call/free requires a key that is not held.
+  FlowKeyWrongState,     ///< Key held, but state violates a precondition.
+  FlowKeyAlreadyHeld,    ///< +K / new K would duplicate a held key.
+  FlowKeyLeaked,         ///< Extra key held at function exit.
+  FlowMissingAtExit,     ///< Promised post-set key missing at exit.
+  FlowJoinMismatch,      ///< Held-key sets disagree at a join point.
+  FlowLoopNoFixpoint,    ///< Loop invariant inference did not converge.
+  FlowUseAfterConsume,   ///< Tracked value used after its key was consumed.
+  FlowUninitialized,     ///< Tracked variable used before assignment.
+  FlowStateBound,        ///< Bounded state variable constraint violated.
+  FlowReturnValue,       ///< Return type/effect mismatch.
+  FlowCaptureTracked,    ///< Nested function captures a key-carrying local.
+  // Interpreter / dynamic oracle.
+  RunProtocolViolation,
+  RunError,
+  NumDiags
+};
+
+/// Human-readable short name for a DiagId, e.g. "flow-key-leaked".
+const char *diagName(DiagId Id);
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One rendered diagnostic with optional attached notes.
+struct Diagnostic {
+  DiagId Id;
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+  /// Secondary locations ("key was consumed here", ...).
+  std::vector<std::pair<SourceLoc, std::string>> Notes;
+};
+
+/// Accumulates diagnostics for a compilation.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  Diagnostic &report(DiagId Id, SourceLoc Loc, std::string Message,
+                     DiagSeverity Severity = DiagSeverity::Error);
+
+  void note(SourceLoc Loc, std::string Message);
+
+  /// While suppressed (counter > 0), report() discards diagnostics.
+  /// Used by the flow checker's loop-invariant iteration so that only
+  /// the final, converged pass reports.
+  void suppress() { ++Suppressed; }
+  void unsuppress() {
+    assert(Suppressed > 0 && "unbalanced unsuppress");
+    --Suppressed;
+  }
+  bool isSuppressed() const { return Suppressed > 0; }
+
+  /// RAII helper for suppression.
+  class SuppressionScope {
+  public:
+    explicit SuppressionScope(DiagnosticEngine &D) : D(D) { D.suppress(); }
+    ~SuppressionScope() { D.unsuppress(); }
+    SuppressionScope(const SuppressionScope &) = delete;
+    SuppressionScope &operator=(const SuppressionScope &) = delete;
+
+  private:
+    DiagnosticEngine &D;
+  };
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const { return NumErrors != 0; }
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Returns true if any diagnostic with id \p Id was reported.
+  bool has(DiagId Id) const;
+
+  /// Number of diagnostics with id \p Id.
+  unsigned count(DiagId Id) const;
+
+  /// Renders all diagnostics in a clang-like "file:line:col: error: msg"
+  /// format with a source line and caret.
+  std::string render() const;
+
+  const SourceManager &sourceManager() const { return SM; }
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  int Suppressed = 0;
+  /// Sink for report() while suppressed: note() needs a current
+  /// diagnostic even when the diagnostic is being discarded.
+  Diagnostic Discard{};
+};
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_DIAGNOSTICS_H

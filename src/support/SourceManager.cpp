@@ -1,0 +1,71 @@
+//===- SourceManager.cpp --------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace vault;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Text = std::move(Text);
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(B.Text.size()); I != E; ++I)
+    if (B.Text[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  Buffers.push_back(std::move(B));
+  return static_cast<uint32_t>(Buffers.size());
+}
+
+std::optional<uint32_t> SourceManager::addFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return addBuffer(Path, SS.str());
+}
+
+std::string_view SourceManager::bufferText(uint32_t BufferId) const {
+  return buffer(BufferId).Text;
+}
+
+const std::string &SourceManager::bufferName(uint32_t BufferId) const {
+  return buffer(BufferId).Name;
+}
+
+PresumedLoc SourceManager::presumed(SourceLoc Loc) const {
+  PresumedLoc P;
+  if (!Loc.isValid())
+    return P;
+  const Buffer &B = buffer(Loc.BufferId);
+  // The first line whose start is > Offset; the line containing Offset
+  // is the one before it.
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(),
+                             Loc.Offset);
+  unsigned LineIdx = static_cast<unsigned>(It - B.LineStarts.begin()) - 1;
+  P.BufferName = B.Name;
+  P.Line = LineIdx + 1;
+  P.Column = Loc.Offset - B.LineStarts[LineIdx] + 1;
+  return P;
+}
+
+std::string_view SourceManager::lineText(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return {};
+  const Buffer &B = buffer(Loc.BufferId);
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(),
+                             Loc.Offset);
+  unsigned LineIdx = static_cast<unsigned>(It - B.LineStarts.begin()) - 1;
+  uint32_t Start = B.LineStarts[LineIdx];
+  uint32_t End = LineIdx + 1 < B.LineStarts.size()
+                     ? B.LineStarts[LineIdx + 1] - 1
+                     : static_cast<uint32_t>(B.Text.size());
+  // Strip a trailing carriage return for CRLF sources.
+  if (End > Start && B.Text[End - 1] == '\r')
+    --End;
+  return std::string_view(B.Text).substr(Start, End - Start);
+}

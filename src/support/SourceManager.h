@@ -1,0 +1,106 @@
+//===- SourceManager.h - Source buffers and locations ----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns source buffers and maps byte offsets to human-readable
+/// line/column positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_SOURCEMANAGER_H
+#define VAULT_SUPPORT_SOURCEMANAGER_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vault {
+
+/// A location inside some buffer registered with a SourceManager.
+///
+/// Encoded as (buffer id, byte offset). The invalid location is
+/// all-zeros; buffer ids are 1-based so that a default-constructed
+/// SourceLoc is distinguishable from "offset 0 of the first buffer".
+struct SourceLoc {
+  uint32_t BufferId = 0;
+  uint32_t Offset = 0;
+
+  bool isValid() const { return BufferId != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.BufferId == B.BufferId && A.Offset == B.Offset;
+  }
+};
+
+/// A half-open [Begin, End) range of source text within one buffer.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc B, SourceLoc E) : Begin(B), End(E) {}
+  explicit SourceRange(SourceLoc B) : Begin(B), End(B) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+/// Line/column form of a SourceLoc, 1-based, for rendering.
+struct PresumedLoc {
+  std::string BufferName;
+  unsigned Line = 0;
+  unsigned Column = 0;
+  bool isValid() const { return Line != 0; }
+};
+
+/// Owns the text of all source files in a compilation and resolves
+/// SourceLocs to line/column positions.
+class SourceManager {
+public:
+  /// Registers \p Text under \p Name; returns the buffer id.
+  uint32_t addBuffer(std::string Name, std::string Text);
+
+  /// Reads \p Path from disk and registers it. Returns std::nullopt if
+  /// the file cannot be read.
+  std::optional<uint32_t> addFile(const std::string &Path);
+
+  std::string_view bufferText(uint32_t BufferId) const;
+  const std::string &bufferName(uint32_t BufferId) const;
+  unsigned numBuffers() const { return static_cast<unsigned>(Buffers.size()); }
+
+  /// Decodes \p Loc into buffer name + 1-based line/column.
+  PresumedLoc presumed(SourceLoc Loc) const;
+
+  /// Returns the full text of the line containing \p Loc (without the
+  /// trailing newline), for use in caret diagnostics.
+  std::string_view lineText(SourceLoc Loc) const;
+
+  SourceLoc locInBuffer(uint32_t BufferId, uint32_t Offset) const {
+    assert(BufferId >= 1 && BufferId <= Buffers.size() && "bad buffer id");
+    return SourceLoc{BufferId, Offset};
+  }
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Text;
+    /// Byte offsets of the start of each line; LineStarts[0] == 0.
+    std::vector<uint32_t> LineStarts;
+  };
+
+  const Buffer &buffer(uint32_t BufferId) const {
+    assert(BufferId >= 1 && BufferId <= Buffers.size() && "bad buffer id");
+    return Buffers[BufferId - 1];
+  }
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,41 @@
+//===- KeySet.cpp ---------------------------------------------------------===//
+
+#include "types/KeySet.h"
+
+using namespace vault;
+
+KeySym KeyTable::create(std::string Name, Origin O, SourceLoc Loc,
+                        const Stateset *Order) {
+  Entries.push_back(Entry{std::move(Name), O, Loc, Order});
+  return static_cast<KeySym>(Entries.size());
+}
+
+void HeldKeySet::renameKeys(const std::map<KeySym, KeySym> &Map) {
+  if (Map.empty())
+    return;
+  std::map<KeySym, StateRef> Renamed;
+  for (auto &[K, S] : Entries) {
+    auto It = Map.find(K);
+    Renamed.emplace(It != Map.end() ? It->second : K, std::move(S));
+  }
+  Entries = std::move(Renamed);
+}
+
+std::string HeldKeySet::str(const KeyTable &Keys) const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[K, S] : Entries) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Keys.name(K);
+    Out += '#';
+    Out += std::to_string(K);
+    if (!S.isTop()) {
+      Out += '@';
+      Out += S.str();
+    }
+  }
+  Out += '}';
+  return Out;
+}

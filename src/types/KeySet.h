@@ -1,0 +1,128 @@
+//===- KeySet.h - Keys and held-key sets ------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Keys are compile-time tokens denoting run-time resources (§2.1).
+/// The KeyTable allocates them; the HeldKeySet is the checker's flow
+/// fact: the set of keys held at a program point, each in a local
+/// state. Keys can be neither duplicated nor lost — HeldKeySet's API
+/// enforces this by making add-of-held and remove-of-unheld explicit
+/// failures the checker turns into diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TYPES_KEYSET_H
+#define VAULT_TYPES_KEYSET_H
+
+#include "support/SourceManager.h"
+#include "types/StateSet.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vault {
+
+/// Dense id of a key. 0 is invalid.
+using KeySym = uint32_t;
+
+inline constexpr KeySym InvalidKey = 0;
+
+/// Origin and metadata of every key the checker ever creates.
+class KeyTable {
+public:
+  enum class Origin : uint8_t {
+    Global,      ///< `key IRQL @ ...;` — shared by all functions.
+    Signature,   ///< A key parameter of some function signature.
+    Local,       ///< Fresh key from tracked allocation / unpacking.
+    Existential, ///< Placeholder bound inside a type alias body;
+                 ///< instantiated to a fresh Local key on unpack.
+  };
+
+  /// Allocates a new key. \p Name is for diagnostics only and need not
+  /// be unique.
+  KeySym create(std::string Name, Origin O, SourceLoc Loc,
+                const Stateset *Order = nullptr);
+
+  const std::string &name(KeySym K) const { return entry(K).Name; }
+  Origin origin(KeySym K) const { return entry(K).O; }
+  SourceLoc loc(KeySym K) const { return entry(K).Loc; }
+  /// The stateset ordering this key's states live in, or null.
+  const Stateset *order(KeySym K) const { return entry(K).Order; }
+  bool isGlobal(KeySym K) const { return entry(K).O == Origin::Global; }
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    std::string Name;
+    Origin O;
+    SourceLoc Loc;
+    const Stateset *Order;
+  };
+  const Entry &entry(KeySym K) const {
+    assert(K != InvalidKey && K <= Entries.size() && "bad key");
+    return Entries[K - 1];
+  }
+  std::vector<Entry> Entries;
+};
+
+/// The held-key set: finite map from keys to their current local
+/// states. Deterministically ordered for stable diagnostics.
+class HeldKeySet {
+public:
+  bool contains(KeySym K) const { return Entries.count(K) != 0; }
+
+  /// State of a held key; asserts that the key is held.
+  const StateRef &stateOf(KeySym K) const {
+    auto It = Entries.find(K);
+    assert(It != Entries.end() && "key not held");
+    return It->second;
+  }
+
+  /// Adds a key. Returns false (and leaves the set unchanged) if the
+  /// key is already held — keys cannot be duplicated.
+  bool add(KeySym K, StateRef S) {
+    return Entries.emplace(K, std::move(S)).second;
+  }
+
+  /// Removes a key. Returns false if the key was not held.
+  bool remove(KeySym K) { return Entries.erase(K) != 0; }
+
+  /// Changes the state of a held key. Returns false if not held.
+  bool transition(KeySym K, StateRef S) {
+    auto It = Entries.find(K);
+    if (It == Entries.end())
+      return false;
+    It->second = std::move(S);
+    return true;
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  auto begin() const { return Entries.begin(); }
+  auto end() const { return Entries.end(); }
+
+  /// Renames keys according to \p Map (keys absent from the map keep
+  /// their names). Used by the join-point canonicalization.
+  void renameKeys(const std::map<KeySym, KeySym> &Map);
+
+  friend bool operator==(const HeldKeySet &A, const HeldKeySet &B) {
+    return A.Entries == B.Entries;
+  }
+
+  /// Renders e.g. "{R@T, S@raw}" for diagnostics; key names resolved
+  /// through \p Keys.
+  std::string str(const KeyTable &Keys) const;
+
+private:
+  std::map<KeySym, StateRef> Entries;
+};
+
+} // namespace vault
+
+#endif // VAULT_TYPES_KEYSET_H

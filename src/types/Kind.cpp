@@ -1,0 +1,19 @@
+//===- Kind.cpp -----------------------------------------------------------===//
+
+#include "types/Kind.h"
+
+using namespace vault;
+
+const char *vault::kindName(Kind K) {
+  switch (K) {
+  case Kind::Type:
+    return "type";
+  case Kind::Key:
+    return "key";
+  case Kind::KeySet:
+    return "key set";
+  case Kind::State:
+    return "state";
+  }
+  return "?";
+}

@@ -1,0 +1,31 @@
+//===- Kind.h - Kinds of the internal type language -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kind system of the paper's internal type language (Fig. 6):
+/// kinds ::= Type | Key | KeySet | State.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TYPES_KIND_H
+#define VAULT_TYPES_KIND_H
+
+#include <cstdint>
+
+namespace vault {
+
+enum class Kind : uint8_t {
+  Type,
+  Key,
+  KeySet,
+  State,
+};
+
+const char *kindName(Kind K);
+
+} // namespace vault
+
+#endif // VAULT_TYPES_KIND_H

@@ -1,0 +1,96 @@
+//===- StateSet.cpp -------------------------------------------------------===//
+
+#include "types/StateSet.h"
+
+#include <cassert>
+
+using namespace vault;
+
+Stateset::Stateset(std::string Name,
+                   std::vector<std::vector<std::string>> Ranks)
+    : Name(std::move(Name)) {
+  unsigned Rank = 0;
+  for (const auto &Group : Ranks) {
+    for (const std::string &S : Group) {
+      States.push_back(S);
+      RankOf.push_back(Rank);
+    }
+    ++Rank;
+  }
+}
+
+std::optional<unsigned> Stateset::indexOf(const std::string &State) const {
+  for (unsigned I = 0, E = static_cast<unsigned>(States.size()); I != E; ++I)
+    if (States[I] == State)
+      return I;
+  return std::nullopt;
+}
+
+bool Stateset::leq(const std::string &A, const std::string &B) const {
+  std::optional<unsigned> IA = indexOf(A), IB = indexOf(B);
+  assert(IA && IB && "states must belong to the stateset");
+  if (*IA == *IB)
+    return true;
+  // Same rank but different states: incomparable.
+  if (RankOf[*IA] == RankOf[*IB])
+    return false;
+  return RankOf[*IA] < RankOf[*IB];
+}
+
+std::string StateRef::str() const {
+  switch (K) {
+  case Kind::Top:
+    return "T";
+  case Kind::Name:
+    return StateName;
+  case Kind::Var: {
+    std::string S = "$" + std::to_string(VarId);
+    if (!StateName.empty())
+      S += (Strict ? "<" : "<=") + StateName;
+    return S;
+  }
+  }
+  return "?";
+}
+
+bool vault::stateSatisfies(const StateRef &Held, const StateRef &Required,
+                           const Stateset *Order) {
+  switch (Required.kind()) {
+  case StateRef::Kind::Top:
+    return true;
+  case StateRef::Kind::Name:
+    // A symbolic held state (checking a body polymorphic in the state)
+    // never satisfies a concrete requirement.
+    return Held.isName() && Held.nameOrBound() == Required.nameOrBound();
+  case StateRef::Kind::Var: {
+    if (Required.nameOrBound().empty())
+      return true; // Unbounded variable matches any state.
+    // Symbolic held state: satisfied iff its own bound implies the
+    // required bound (held <= boundH <= boundR).
+    if (Held.isVar()) {
+      if (Held.varId() == Required.varId())
+        return true;
+      const std::string &BH = Held.nameOrBound();
+      const std::string &BR = Required.nameOrBound();
+      if (BH.empty())
+        return false;
+      if (!Order)
+        return BH == BR;
+      if (!Order->contains(BH) || !Order->contains(BR))
+        return false;
+      return Required.strictBound() ? Order->lt(BH, BR) : Order->leq(BH, BR);
+    }
+    if (!Held.isName())
+      return false; // Top does not satisfy a bound.
+    if (!Order)
+      return Held.nameOrBound() == Required.nameOrBound();
+    if (!Order->contains(Held.nameOrBound()) ||
+        !Order->contains(Required.nameOrBound()))
+      return false;
+    return Required.strictBound()
+               ? Order->lt(Held.nameOrBound(), Required.nameOrBound())
+               : Order->leq(Held.nameOrBound(), Required.nameOrBound());
+  }
+  }
+  return false;
+}

@@ -1,0 +1,142 @@
+//===- StateSet.h - Key states and stateset partial orders ------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Key-local states (paper §2.1) and `stateset` declarations with a
+/// partial order (paper §4.4, used for the Windows IRQL levels):
+///
+///   stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL
+///                          < DISPATCH_LEVEL < DIRQL ];
+///
+/// A state in the checker is a StateRef: the default/top state (states
+/// omitted in the source), a concrete name, or a state *variable*
+/// (possibly bounded, for the paper's bounded state polymorphism à la
+/// `KeReleaseSemaphore [IRQL @ (level <= DISPATCH_LEVEL)]`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TYPES_STATESET_H
+#define VAULT_TYPES_STATESET_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vault {
+
+/// A declared, partially ordered set of state names. States separated
+/// by `<` in the source form ascending ranks; states listed with `,`
+/// share a rank and are incomparable.
+class Stateset {
+public:
+  Stateset(std::string Name, std::vector<std::vector<std::string>> Ranks);
+
+  const std::string &name() const { return Name; }
+
+  bool contains(const std::string &State) const {
+    return indexOf(State).has_value();
+  }
+
+  /// Partial order: returns true iff A <= B. States are comparable iff
+  /// equal or of different ranks.
+  bool leq(const std::string &A, const std::string &B) const;
+
+  /// Strict order A < B.
+  bool lt(const std::string &A, const std::string &B) const {
+    return A != B && leq(A, B);
+  }
+
+  const std::vector<std::string> &allStates() const { return States; }
+
+private:
+  std::optional<unsigned> indexOf(const std::string &State) const;
+
+  std::string Name;
+  std::vector<std::string> States;
+  std::vector<unsigned> RankOf; ///< Parallel to States.
+};
+
+/// Identifier of a state variable within one function signature.
+using StateVarId = uint32_t;
+
+/// A state expression as used in held-key sets, guards, and effects.
+class StateRef {
+public:
+  enum class Kind : uint8_t {
+    Top,  ///< The default state (state omitted in the source).
+    Name, ///< A concrete state name.
+    Var,  ///< A state variable, optionally upper-bounded.
+  };
+
+  StateRef() : K(Kind::Top) {}
+
+  static StateRef top() { return StateRef(); }
+  static StateRef name(std::string N) {
+    StateRef S;
+    S.K = Kind::Name;
+    S.StateName = std::move(N);
+    return S;
+  }
+  static StateRef var(StateVarId Id, std::string Bound = "",
+                      bool Strict = false) {
+    StateRef S;
+    S.K = Kind::Var;
+    S.VarId = Id;
+    S.StateName = std::move(Bound);
+    S.Strict = Strict;
+    return S;
+  }
+
+  Kind kind() const { return K; }
+  bool isTop() const { return K == Kind::Top; }
+  bool isName() const { return K == Kind::Name; }
+  bool isVar() const { return K == Kind::Var; }
+
+  /// Concrete state name (Name kind) or bound name (Var kind; "" if
+  /// unbounded).
+  const std::string &nameOrBound() const { return StateName; }
+  StateVarId varId() const { return VarId; }
+  bool strictBound() const { return Strict; }
+
+  std::string str() const;
+
+  friend bool operator==(const StateRef &A, const StateRef &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::Top:
+      return true;
+    case Kind::Name:
+      return A.StateName == B.StateName;
+    case Kind::Var:
+      return A.VarId == B.VarId;
+    }
+    return false;
+  }
+  friend bool operator!=(const StateRef &A, const StateRef &B) {
+    return !(A == B);
+  }
+
+private:
+  Kind K;
+  std::string StateName;
+  StateVarId VarId = 0;
+  bool Strict = false;
+};
+
+/// Checks a held state against a required state under an optional
+/// stateset order. \p Held must be concrete (Top or Name); \p Required
+/// may be Top (matches anything), a Name (must match exactly), or a
+/// bounded Var (held must satisfy the bound in \p Order).
+///
+/// \returns true if \p Held satisfies \p Required.
+bool stateSatisfies(const StateRef &Held, const StateRef &Required,
+                    const Stateset *Order);
+
+} // namespace vault
+
+#endif // VAULT_TYPES_STATESET_H

@@ -1,0 +1,96 @@
+//===- Substitution.cpp ---------------------------------------------------===//
+
+#include "types/Substitution.h"
+
+using namespace vault;
+
+StateRef vault::substState(const StateRef &State, const Subst &S) {
+  if (!State.isVar())
+    return State;
+  auto It = S.StateVars.find(State.varId());
+  return It != S.StateVars.end() ? It->second : State;
+}
+
+GenArg vault::substGenArg(TypeContext &Ctx, const GenArg &A, const Subst &S) {
+  switch (A.K) {
+  case Kind::Type:
+    return GenArg::type(substType(Ctx, A.T, S));
+  case Kind::Key:
+    return GenArg::key(S.mapKey(A.Key));
+  case Kind::State:
+    return GenArg::state(substState(A.State, S));
+  case Kind::KeySet:
+    return A;
+  }
+  return A;
+}
+
+const Type *vault::substType(TypeContext &Ctx, const Type *T, const Subst &S) {
+  if (!T || S.empty())
+    return T;
+  switch (T->kind()) {
+  case TyKind::Prim:
+  case TyKind::Func:
+  case TyKind::Error:
+    return T;
+  case TyKind::TypeVar: {
+    auto It = S.TypeVars.find(cast<TypeVarType>(T)->param());
+    return It != S.TypeVars.end() ? It->second : T;
+  }
+  case TyKind::Struct: {
+    const auto *St = cast<StructType>(T);
+    std::vector<GenArg> Args;
+    Args.reserve(St->args().size());
+    for (const GenArg &A : St->args())
+      Args.push_back(substGenArg(Ctx, A, S));
+    return Ctx.make<StructType>(St->decl(), std::move(Args));
+  }
+  case TyKind::Abstract: {
+    const auto *Ab = cast<AbstractType>(T);
+    std::vector<GenArg> Args;
+    Args.reserve(Ab->args().size());
+    for (const GenArg &A : Ab->args())
+      Args.push_back(substGenArg(Ctx, A, S));
+    return Ctx.make<AbstractType>(Ab->decl(), std::move(Args));
+  }
+  case TyKind::Variant: {
+    const auto *V = cast<VariantType>(T);
+    std::vector<GenArg> Args;
+    Args.reserve(V->args().size());
+    for (const GenArg &A : V->args())
+      Args.push_back(substGenArg(Ctx, A, S));
+    return Ctx.make<VariantType>(V->decl(), std::move(Args));
+  }
+  case TyKind::Tracked: {
+    const auto *Tr = cast<TrackedType>(T);
+    return Ctx.make<TrackedType>(substType(Ctx, Tr->inner(), S),
+                                 S.mapKey(Tr->key()));
+  }
+  case TyKind::AnonTracked: {
+    const auto *Tr = cast<AnonTrackedType>(T);
+    return Ctx.make<AnonTrackedType>(substType(Ctx, Tr->inner(), S),
+                                     substState(Tr->state(), S));
+  }
+  case TyKind::Guarded: {
+    const auto *G = cast<GuardedType>(T);
+    std::vector<GuardedType::Guard> Guards;
+    Guards.reserve(G->guards().size());
+    for (const GuardedType::Guard &Gu : G->guards())
+      Guards.push_back(
+          GuardedType::Guard{S.mapKey(Gu.Key), substState(Gu.Required, S)});
+    return Ctx.make<GuardedType>(std::move(Guards),
+                                 substType(Ctx, G->inner(), S));
+  }
+  case TyKind::Tuple: {
+    const auto *Tu = cast<TupleType>(T);
+    std::vector<const Type *> Elems;
+    Elems.reserve(Tu->elems().size());
+    for (const Type *E : Tu->elems())
+      Elems.push_back(substType(Ctx, E, S));
+    return Ctx.make<TupleType>(std::move(Elems));
+  }
+  case TyKind::Array:
+    return Ctx.make<ArrayType>(substType(Ctx, cast<ArrayType>(T)->elem(), S));
+  }
+  return T;
+}

@@ -1,0 +1,52 @@
+//===- Substitution.h - Key/type/state substitution -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Substitutions over the internal type language: maps signature keys
+/// to caller keys, type variables to types, and state variables to
+/// states. Used to instantiate polymorphic signatures at call sites
+/// and generic declarations at application sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TYPES_SUBSTITUTION_H
+#define VAULT_TYPES_SUBSTITUTION_H
+
+#include "types/Type.h"
+#include "types/TypeContext.h"
+
+#include <map>
+
+namespace vault {
+
+struct Subst {
+  std::map<KeySym, KeySym> Keys;
+  std::map<const TypeParamAst *, const Type *> TypeVars;
+  std::map<StateVarId, StateRef> StateVars;
+
+  bool empty() const {
+    return Keys.empty() && TypeVars.empty() && StateVars.empty();
+  }
+
+  KeySym mapKey(KeySym K) const {
+    auto It = Keys.find(K);
+    return It != Keys.end() ? It->second : K;
+  }
+};
+
+/// Applies \p S to a state (resolving state variables; a variable not
+/// in the map stays symbolic).
+StateRef substState(const StateRef &State, const Subst &S);
+
+/// Applies \p S to a type, allocating any rewritten nodes in \p Ctx.
+const Type *substType(TypeContext &Ctx, const Type *T, const Subst &S);
+
+/// Applies \p S to a generic argument.
+GenArg substGenArg(TypeContext &Ctx, const GenArg &A, const Subst &S);
+
+} // namespace vault
+
+#endif // VAULT_TYPES_SUBSTITUTION_H

@@ -1,0 +1,350 @@
+//===- Type.cpp -----------------------------------------------------------===//
+
+#include "types/Type.h"
+
+using namespace vault;
+
+bool vault::genArgEquals(const GenArg &A, const GenArg &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Kind::Type:
+    return typeEquals(A.T, B.T);
+  case Kind::Key:
+    return A.Key == B.Key;
+  case Kind::State:
+    return A.State == B.State;
+  case Kind::KeySet:
+    return false;
+  }
+  return false;
+}
+
+static bool genArgsEqual(const std::vector<GenArg> &A,
+                         const std::vector<GenArg> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!genArgEquals(A[I], B[I]))
+      return false;
+  return true;
+}
+
+bool vault::typeEquals(const Type *A, const Type *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  // Error types compare equal to anything to suppress error cascades.
+  if (A->kind() == TyKind::Error || B->kind() == TyKind::Error)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TyKind::Prim:
+    return cast<PrimType>(A)->prim() == cast<PrimType>(B)->prim();
+  case TyKind::Struct: {
+    const auto *SA = cast<StructType>(A), *SB = cast<StructType>(B);
+    return SA->decl() == SB->decl() && genArgsEqual(SA->args(), SB->args());
+  }
+  case TyKind::Abstract: {
+    const auto *AA = cast<AbstractType>(A), *AB = cast<AbstractType>(B);
+    return AA->decl() == AB->decl() && genArgsEqual(AA->args(), AB->args());
+  }
+  case TyKind::Variant: {
+    const auto *VA = cast<VariantType>(A), *VB = cast<VariantType>(B);
+    return VA->decl() == VB->decl() && genArgsEqual(VA->args(), VB->args());
+  }
+  case TyKind::Tracked: {
+    const auto *TA = cast<TrackedType>(A), *TB = cast<TrackedType>(B);
+    return TA->key() == TB->key() && typeEquals(TA->inner(), TB->inner());
+  }
+  case TyKind::AnonTracked: {
+    const auto *TA = cast<AnonTrackedType>(A), *TB = cast<AnonTrackedType>(B);
+    return TA->state() == TB->state() && typeEquals(TA->inner(), TB->inner());
+  }
+  case TyKind::Guarded: {
+    const auto *GA = cast<GuardedType>(A), *GB = cast<GuardedType>(B);
+    if (GA->guards().size() != GB->guards().size())
+      return false;
+    for (size_t I = 0; I != GA->guards().size(); ++I) {
+      if (GA->guards()[I].Key != GB->guards()[I].Key ||
+          !(GA->guards()[I].Required == GB->guards()[I].Required))
+        return false;
+    }
+    return typeEquals(GA->inner(), GB->inner());
+  }
+  case TyKind::Tuple: {
+    const auto *TA = cast<TupleType>(A), *TB = cast<TupleType>(B);
+    if (TA->elems().size() != TB->elems().size())
+      return false;
+    for (size_t I = 0; I != TA->elems().size(); ++I)
+      if (!typeEquals(TA->elems()[I], TB->elems()[I]))
+        return false;
+    return true;
+  }
+  case TyKind::Array:
+    return typeEquals(cast<ArrayType>(A)->elem(), cast<ArrayType>(B)->elem());
+  case TyKind::Func:
+    // Function values are compared by signature identity; structural
+    // matching of polymorphic signatures happens during unification.
+    return cast<FuncType>(A)->sig() == cast<FuncType>(B)->sig();
+  case TyKind::TypeVar:
+    return cast<TypeVarType>(A)->param() == cast<TypeVarType>(B)->param();
+  case TyKind::Error:
+    return true;
+  }
+  return false;
+}
+
+static void genArgStr(std::string &Out, const GenArg &A, const KeyTable &Keys) {
+  switch (A.K) {
+  case Kind::Type:
+    Out += typeStr(A.T, Keys);
+    return;
+  case Kind::Key:
+    Out += Keys.name(A.Key);
+    Out += '#';
+    Out += std::to_string(A.Key);
+    return;
+  case Kind::State:
+    Out += A.State.str();
+    return;
+  case Kind::KeySet:
+    Out += "<keyset>";
+    return;
+  }
+}
+
+static void appliedStr(std::string &Out, const std::string &Name,
+                       const std::vector<GenArg> &Args, const KeyTable &Keys) {
+  Out += Name;
+  if (Args.empty())
+    return;
+  Out += '<';
+  bool First = true;
+  for (const GenArg &A : Args) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    genArgStr(Out, A, Keys);
+  }
+  Out += '>';
+}
+
+std::string vault::typeStr(const Type *T, const KeyTable &Keys) {
+  if (!T)
+    return "<null>";
+  std::string Out;
+  switch (T->kind()) {
+  case TyKind::Prim:
+    switch (cast<PrimType>(T)->prim()) {
+    case PrimKind::Int:
+      return "int";
+    case PrimKind::Bool:
+      return "bool";
+    case PrimKind::Byte:
+      return "byte";
+    case PrimKind::Void:
+      return "void";
+    case PrimKind::String:
+      return "string";
+    }
+    return "?";
+  case TyKind::Error:
+    return "<error>";
+  case TyKind::Struct:
+    appliedStr(Out, cast<StructType>(T)->decl()->name(),
+               cast<StructType>(T)->args(), Keys);
+    return Out;
+  case TyKind::Abstract:
+    appliedStr(Out, cast<AbstractType>(T)->decl()->name(),
+               cast<AbstractType>(T)->args(), Keys);
+    return Out;
+  case TyKind::Variant:
+    appliedStr(Out, cast<VariantType>(T)->decl()->name(),
+               cast<VariantType>(T)->args(), Keys);
+    return Out;
+  case TyKind::Tracked: {
+    const auto *Tr = cast<TrackedType>(T);
+    Out = "tracked(" + Keys.name(Tr->key()) + "#" +
+          std::to_string(Tr->key()) + ") " + typeStr(Tr->inner(), Keys);
+    return Out;
+  }
+  case TyKind::AnonTracked: {
+    const auto *Tr = cast<AnonTrackedType>(T);
+    Out = "tracked";
+    if (!Tr->state().isTop())
+      Out += "(@" + Tr->state().str() + ")";
+    Out += ' ';
+    Out += typeStr(Tr->inner(), Keys);
+    return Out;
+  }
+  case TyKind::Guarded: {
+    const auto *G = cast<GuardedType>(T);
+    bool First = true;
+    for (const GuardedType::Guard &Gu : G->guards()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Keys.name(Gu.Key);
+      Out += '#';
+      Out += std::to_string(Gu.Key);
+      if (!Gu.Required.isTop()) {
+        Out += '@';
+        Out += Gu.Required.str();
+      }
+    }
+    Out += ':';
+    Out += typeStr(G->inner(), Keys);
+    return Out;
+  }
+  case TyKind::Tuple: {
+    Out = "(";
+    bool First = true;
+    for (const Type *E : cast<TupleType>(T)->elems()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += typeStr(E, Keys);
+    }
+    Out += ')';
+    return Out;
+  }
+  case TyKind::Array:
+    return typeStr(cast<ArrayType>(T)->elem(), Keys) + "[]";
+  case TyKind::Func:
+    return "fn " + cast<FuncType>(T)->sig()->Name;
+  case TyKind::TypeVar:
+    return cast<TypeVarType>(T)->param()->Name;
+  }
+  return "?";
+}
+
+void vault::collectKeys(const Type *T, std::vector<KeySym> &Out) {
+  if (!T)
+    return;
+  switch (T->kind()) {
+  case TyKind::Prim:
+  case TyKind::TypeVar:
+  case TyKind::Func:
+  case TyKind::Error:
+    return;
+  case TyKind::Struct:
+  case TyKind::Abstract:
+  case TyKind::Variant: {
+    const std::vector<GenArg> *Args;
+    if (const auto *S = dyn_cast<StructType>(T))
+      Args = &S->args();
+    else if (const auto *A = dyn_cast<AbstractType>(T))
+      Args = &A->args();
+    else
+      Args = &cast<VariantType>(T)->args();
+    for (const GenArg &A : *Args) {
+      if (A.K == Kind::Key && A.Key != InvalidKey)
+        Out.push_back(A.Key);
+      else if (A.K == Kind::Type)
+        collectKeys(A.T, Out);
+    }
+    return;
+  }
+  case TyKind::Tracked: {
+    const auto *Tr = cast<TrackedType>(T);
+    Out.push_back(Tr->key());
+    collectKeys(Tr->inner(), Out);
+    return;
+  }
+  case TyKind::AnonTracked:
+    collectKeys(cast<AnonTrackedType>(T)->inner(), Out);
+    return;
+  case TyKind::Guarded: {
+    const auto *G = cast<GuardedType>(T);
+    for (const GuardedType::Guard &Gu : G->guards())
+      Out.push_back(Gu.Key);
+    collectKeys(G->inner(), Out);
+    return;
+  }
+  case TyKind::Tuple:
+    for (const Type *E : cast<TupleType>(T)->elems())
+      collectKeys(E, Out);
+    return;
+  case TyKind::Array:
+    collectKeys(cast<ArrayType>(T)->elem(), Out);
+    return;
+  }
+}
+
+/// Syntactic scan used to decide whether a variant's payload can hold
+/// keys: any `tracked` or guard marker anywhere in the payload's
+/// surface type.
+static bool typeExprMentionsTracking(const TypeExprAst *T) {
+  if (!T)
+    return false;
+  switch (T->kind()) {
+  case TypeExprKind::Tracked:
+  case TypeExprKind::Guarded:
+    return true;
+  case TypeExprKind::Prim:
+    return false;
+  case TypeExprKind::Named:
+    for (const TypeExprAst *A : cast<NamedTypeExpr>(T)->args())
+      if (typeExprMentionsTracking(A))
+        return true;
+    return false;
+  case TypeExprKind::Tuple:
+    for (const TypeExprAst *E : cast<TupleTypeExpr>(T)->elems())
+      if (typeExprMentionsTracking(E))
+        return true;
+    return false;
+  case TypeExprKind::Array:
+    return typeExprMentionsTracking(cast<ArrayTypeExpr>(T)->elem());
+  case TypeExprKind::Func:
+    return false;
+  }
+  return false;
+}
+
+bool vault::typeCarriesKeys(const Type *T) {
+  if (!T)
+    return false;
+  switch (T->kind()) {
+  case TyKind::Prim:
+  case TyKind::TypeVar:
+  case TyKind::Func:
+  case TyKind::Abstract:
+  case TyKind::Error:
+    return false;
+  case TyKind::Tracked:
+  case TyKind::AnonTracked:
+    return true;
+  case TyKind::Guarded:
+    return typeCarriesKeys(cast<GuardedType>(T)->inner());
+  case TyKind::Tuple:
+    for (const Type *E : cast<TupleType>(T)->elems())
+      if (typeCarriesKeys(E))
+        return true;
+    return false;
+  case TyKind::Array:
+    return typeCarriesKeys(cast<ArrayType>(T)->elem());
+  case TyKind::Struct: {
+    // Struct fields are elaborated per instantiation; a syntactic scan
+    // of the declaration suffices here.
+    for (const StructDecl::Field &F : cast<StructType>(T)->decl()->fields())
+      if (typeExprMentionsTracking(F.Type))
+        return true;
+    return false;
+  }
+  case TyKind::Variant: {
+    const VariantDecl *D = cast<VariantType>(T)->decl();
+    for (const VariantDecl::Ctor &C : D->ctors()) {
+      if (!C.KeyAttachments.empty())
+        return true;
+      for (const TypeExprAst *P : C.Payload)
+        if (typeExprMentionsTracking(P))
+          return true;
+    }
+    return false;
+  }
+  }
+  return false;
+}

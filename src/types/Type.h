@@ -1,0 +1,329 @@
+//===- Type.h - Internal type language --------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The elaborated (internal) type language of the paper's Fig. 6:
+///
+///   * singleton types s(κ) — here TrackedType(inner, key): the type of
+///     all aliases of the unique resource named by `key`;
+///   * anonymous tracked types — AnonTrackedType, the existential
+///     ∃[p | {p@st ↦ τ}]. s(p) used for resources in collections;
+///   * guarded types C ▷ τ — GuardedType, access requires the guard
+///     keys in the required states;
+///   * applied named types (struct / abstract / variant) with
+///     type/key/state arguments;
+///   * function types carrying a polymorphic signature with explicit
+///     pre/post key sets (the effect clause).
+///
+/// Types are arena-owned by TypeContext and compared structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TYPES_TYPE_H
+#define VAULT_TYPES_TYPE_H
+
+#include "ast/Ast.h"
+#include "types/KeySet.h"
+#include "types/Kind.h"
+#include "types/StateSet.h"
+
+#include <optional>
+
+namespace vault {
+
+class Type;
+class TypeContext;
+struct FuncSig;
+
+/// An argument to an applied named type: a type, a key, or a state.
+struct GenArg {
+  Kind K = Kind::Type;
+  const Type *T = nullptr;
+  KeySym Key = InvalidKey;
+  StateRef State;
+
+  static GenArg type(const Type *Ty) {
+    GenArg A;
+    A.K = Kind::Type;
+    A.T = Ty;
+    return A;
+  }
+  static GenArg key(KeySym Sym) {
+    GenArg A;
+    A.K = Kind::Key;
+    A.Key = Sym;
+    return A;
+  }
+  static GenArg state(StateRef S) {
+    GenArg A;
+    A.K = Kind::State;
+    A.State = std::move(S);
+    return A;
+  }
+};
+
+bool genArgEquals(const GenArg &A, const GenArg &B);
+
+enum class TyKind : uint8_t {
+  Prim,
+  Struct,
+  Abstract,
+  Variant,
+  Tracked,
+  AnonTracked,
+  Guarded,
+  Tuple,
+  Array,
+  Func,
+  TypeVar,
+  Error, ///< Poison type produced after a reported sema error.
+};
+
+class Type {
+public:
+  TyKind kind() const { return K; }
+
+protected:
+  explicit Type(TyKind K) : K(K) {}
+
+private:
+  TyKind K;
+};
+
+class PrimType : public Type {
+public:
+  explicit PrimType(PrimKind P) : Type(TyKind::Prim), P(P) {}
+  PrimKind prim() const { return P; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Prim; }
+
+private:
+  PrimKind P;
+};
+
+class ErrorType : public Type {
+public:
+  ErrorType() : Type(TyKind::Error) {}
+  static bool classof(const Type *T) { return T->kind() == TyKind::Error; }
+};
+
+/// An applied struct type, e.g. `point` or `pair<int, F>`.
+class StructType : public Type {
+public:
+  StructType(const StructDecl *D, std::vector<GenArg> Args)
+      : Type(TyKind::Struct), D(D), Args(std::move(Args)) {}
+  const StructDecl *decl() const { return D; }
+  const std::vector<GenArg> &args() const { return Args; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Struct; }
+
+private:
+  const StructDecl *D;
+  std::vector<GenArg> Args;
+};
+
+/// An applied abstract type (a `type name;` declaration with no
+/// definition), e.g. `region`, `sock`, `IRP`, `KEVENT<I>`.
+class AbstractType : public Type {
+public:
+  AbstractType(const TypeAliasDecl *D, std::vector<GenArg> Args)
+      : Type(TyKind::Abstract), D(D), Args(std::move(Args)) {}
+  const TypeAliasDecl *decl() const { return D; }
+  const std::vector<GenArg> &args() const { return Args; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Abstract; }
+
+private:
+  const TypeAliasDecl *D;
+  std::vector<GenArg> Args;
+};
+
+/// An applied variant type, e.g. `opt_key<F>`, `status<S>`, `reglist`.
+class VariantType : public Type {
+public:
+  VariantType(const VariantDecl *D, std::vector<GenArg> Args)
+      : Type(TyKind::Variant), D(D), Args(std::move(Args)) {}
+  const VariantDecl *decl() const { return D; }
+  const std::vector<GenArg> &args() const { return Args; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Variant; }
+
+private:
+  const VariantDecl *D;
+  std::vector<GenArg> Args;
+};
+
+/// The singleton type s(κ): every program name of this type denotes
+/// the one run-time object whose key is \p Key (paper §3.1).
+class TrackedType : public Type {
+public:
+  TrackedType(const Type *Inner, KeySym Key)
+      : Type(TyKind::Tracked), Inner(Inner), Key(Key) {}
+  const Type *inner() const { return Inner; }
+  KeySym key() const { return Key; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Tracked; }
+
+private:
+  const Type *Inner;
+  KeySym Key;
+};
+
+/// The anonymous tracked type ∃[p | {p@State ↦ Inner}]. s(p): a value
+/// carrying its own key. Packing into this type consumes the key;
+/// unpacking (binding to a variable, pattern matching) produces a
+/// fresh key (paper §2.4, §3.3).
+class AnonTrackedType : public Type {
+public:
+  AnonTrackedType(const Type *Inner, StateRef State)
+      : Type(TyKind::AnonTracked), Inner(Inner), State(std::move(State)) {}
+  const Type *inner() const { return Inner; }
+  const StateRef &state() const { return State; }
+  static bool classof(const Type *T) {
+    return T->kind() == TyKind::AnonTracked;
+  }
+
+private:
+  const Type *Inner;
+  StateRef State;
+};
+
+/// A guarded type C ▷ τ: accessing a value requires every guard key to
+/// be held in a state satisfying the guard's state requirement.
+class GuardedType : public Type {
+public:
+  struct Guard {
+    KeySym Key;
+    StateRef Required;
+  };
+  GuardedType(std::vector<Guard> Guards, const Type *Inner)
+      : Type(TyKind::Guarded), Guards(std::move(Guards)), Inner(Inner) {}
+  const std::vector<Guard> &guards() const { return Guards; }
+  const Type *inner() const { return Inner; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Guarded; }
+
+private:
+  std::vector<Guard> Guards;
+  const Type *Inner;
+};
+
+class TupleType : public Type {
+public:
+  explicit TupleType(std::vector<const Type *> Elems)
+      : Type(TyKind::Tuple), Elems(std::move(Elems)) {}
+  const std::vector<const Type *> &elems() const { return Elems; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Tuple; }
+
+private:
+  std::vector<const Type *> Elems;
+};
+
+class ArrayType : public Type {
+public:
+  explicit ArrayType(const Type *Elem) : Type(TyKind::Array), Elem(Elem) {}
+  const Type *elem() const { return Elem; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Array; }
+
+private:
+  const Type *Elem;
+};
+
+/// A function value's type; the signature is owned by the TypeContext.
+class FuncType : public Type {
+public:
+  explicit FuncType(const FuncSig *Sig) : Type(TyKind::Func), Sig(Sig) {}
+  const FuncSig *sig() const { return Sig; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::Func; }
+
+private:
+  const FuncSig *Sig;
+};
+
+/// A type variable bound by a `type T` parameter. Identity is the
+/// declaring TypeParamAst.
+class TypeVarType : public Type {
+public:
+  explicit TypeVarType(const TypeParamAst *Param)
+      : Type(TyKind::TypeVar), Param(Param) {}
+  const TypeParamAst *param() const { return Param; }
+  static bool classof(const Type *T) { return T->kind() == TyKind::TypeVar; }
+
+private:
+  const TypeParamAst *Param;
+};
+
+//===----------------------------------------------------------------------===//
+// Elaborated function signatures (pre/post key sets).
+//===----------------------------------------------------------------------===//
+
+/// One elaborated conjunct of an effect clause.
+struct EffectItem {
+  enum class Mode : uint8_t { Keep, Consume, Produce, Fresh };
+  Mode M = Mode::Keep;
+  KeySym Key = InvalidKey; ///< Signature-local or global key.
+  /// Required held state before the call (Top = any; Name = exact;
+  /// bounded Var = bounded polymorphism). Meaningless for Produce/Fresh.
+  StateRef Pre;
+  /// State after the call. nullopt means "unchanged" (Keep only).
+  std::optional<StateRef> Post;
+  SourceLoc Loc;
+};
+
+/// An elaborated, polymorphic function signature: implicit universal
+/// quantification over its signature keys, state variables, and the
+/// untouched "rest" of the held-key set (paper §3.2).
+struct FuncSig {
+  const FuncDecl *Decl = nullptr;
+  std::string Name;
+  /// Keys bound by this signature (from tracked(K) params, guards, and
+  /// effect items); instantiated per call site.
+  std::vector<KeySym> SigKeys;
+  /// Subset of SigKeys created by the call (Fresh effects and tracked
+  /// return keys not bound by any parameter).
+  std::vector<KeySym> FreshKeys;
+  unsigned NumStateVars = 0;
+  /// Named state variables of this signature (e.g. `level` in
+  /// `[IRQL@(level <= DISPATCH_LEVEL)]`), for use in the body's scope.
+  std::vector<std::pair<std::string, StateRef>> StateVarNames;
+  std::vector<const Type *> ParamTypes;
+  std::vector<std::string> ParamNames;
+  const Type *RetType = nullptr;
+  std::vector<EffectItem> Effects;
+  SourceLoc Loc;
+  /// True for nested (local) functions; their non-fresh signature keys
+  /// may refer to enclosing keys monomorphically.
+  bool IsLocal = false;
+
+  bool isSigKey(KeySym K) const {
+    for (KeySym S : SigKeys)
+      if (S == K)
+        return true;
+    return false;
+  }
+  bool isFreshKey(KeySym K) const {
+    for (KeySym S : FreshKeys)
+      if (S == K)
+        return true;
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Structural operations.
+//===----------------------------------------------------------------------===//
+
+/// Structural type equality (key symbols compared exactly).
+bool typeEquals(const Type *A, const Type *B);
+
+/// Renders a type for diagnostics, resolving key names via \p Keys.
+std::string typeStr(const Type *T, const KeyTable &Keys);
+
+/// Collects every key symbol mentioned anywhere in \p T.
+void collectKeys(const Type *T, std::vector<KeySym> &Out);
+
+/// True if values of this type carry keys when packed: tracked or
+/// anonymous-tracked types, tuples/variants containing them, etc.
+/// Variants are resolved through \p Memo to handle recursion.
+bool typeCarriesKeys(const Type *T);
+
+} // namespace vault
+
+#endif // VAULT_TYPES_TYPE_H

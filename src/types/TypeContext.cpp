@@ -1,0 +1,53 @@
+//===- TypeContext.cpp ----------------------------------------------------===//
+
+#include "types/TypeContext.h"
+
+using namespace vault;
+
+TypeContext::TypeContext() {
+  IntTy = make<PrimType>(PrimKind::Int);
+  BoolTy = make<PrimType>(PrimKind::Bool);
+  ByteTy = make<PrimType>(PrimKind::Byte);
+  VoidTy = make<PrimType>(PrimKind::Void);
+  StringTy = make<PrimType>(PrimKind::String);
+  ErrTy = make<ErrorType>();
+}
+
+const PrimType *TypeContext::primType(PrimKind K) const {
+  switch (K) {
+  case PrimKind::Int:
+    return IntTy;
+  case PrimKind::Bool:
+    return BoolTy;
+  case PrimKind::Byte:
+    return ByteTy;
+  case PrimKind::Void:
+    return VoidTy;
+  case PrimKind::String:
+    return StringTy;
+  }
+  return IntTy;
+}
+
+const Stateset *
+TypeContext::addStateset(std::string Name,
+                         std::vector<std::vector<std::string>> Ranks) {
+  if (Statesets.count(Name))
+    return nullptr;
+  auto S = std::make_unique<Stateset>(Name, std::move(Ranks));
+  const Stateset *Raw = S.get();
+  Statesets.emplace(std::move(Name), std::move(S));
+  return Raw;
+}
+
+const Stateset *TypeContext::findStateset(const std::string &Name) const {
+  auto It = Statesets.find(Name);
+  return It != Statesets.end() ? It->second.get() : nullptr;
+}
+
+bool TypeContext::isKnownStateName(const std::string &State) const {
+  for (const auto &[Name, Set] : Statesets)
+    if (Set->contains(State))
+      return true;
+  return false;
+}

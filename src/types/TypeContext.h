@@ -1,0 +1,75 @@
+//===- TypeContext.h - Ownership of the type language -----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena for internal types, signatures, key table and statesets of a
+/// compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TYPES_TYPECONTEXT_H
+#define VAULT_TYPES_TYPECONTEXT_H
+
+#include "types/Type.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace vault {
+
+class TypeContext {
+public:
+  TypeContext();
+
+  template <typename T, typename... Args> const T *make(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    const T *Raw = Owned.get();
+    Types.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  // Shared primitive types.
+  const PrimType *intType() const { return IntTy; }
+  const PrimType *boolType() const { return BoolTy; }
+  const PrimType *byteType() const { return ByteTy; }
+  const PrimType *voidType() const { return VoidTy; }
+  const PrimType *stringType() const { return StringTy; }
+  const ErrorType *errorType() const { return ErrTy; }
+  const PrimType *primType(PrimKind K) const;
+
+  KeyTable &keys() { return Keys; }
+  const KeyTable &keys() const { return Keys; }
+
+  /// Registers a stateset; returns null and leaves the table unchanged
+  /// if the name is taken.
+  const Stateset *addStateset(std::string Name,
+                              std::vector<std::vector<std::string>> Ranks);
+  const Stateset *findStateset(const std::string &Name) const;
+
+  /// True if \p State is a member of any registered stateset.
+  bool isKnownStateName(const std::string &State) const;
+
+  FuncSig *makeSig() {
+    Sigs.push_back(std::make_unique<FuncSig>());
+    return Sigs.back().get();
+  }
+
+private:
+  std::vector<std::unique_ptr<Type>> Types;
+  std::vector<std::unique_ptr<FuncSig>> Sigs;
+  std::unordered_map<std::string, std::unique_ptr<Stateset>> Statesets;
+  KeyTable Keys;
+  const PrimType *IntTy;
+  const PrimType *BoolTy;
+  const PrimType *ByteTy;
+  const PrimType *VoidTy;
+  const PrimType *StringTy;
+  const ErrorType *ErrTy;
+};
+
+} // namespace vault
+
+#endif // VAULT_TYPES_TYPECONTEXT_H

@@ -1,0 +1,114 @@
+//===- TestUtil.h - Shared test helpers -------------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_TESTS_TESTUTIL_H
+#define VAULT_TESTS_TESTUTIL_H
+
+#include "sema/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace vault::test {
+
+/// Region + point prelude used throughout the sema tests (Fig. 1).
+inline const char *regionPrelude() {
+  return R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+void print(string s);
+void print_int(int n);
+void expect(bool b);
+)";
+}
+
+/// Socket prelude (Fig. 3 + the fallible bind of §2.3).
+inline const char *socketPrelude() {
+  return R"(
+type sock;
+variant domain [ 'UNIX | 'INET ];
+variant comm_style [ 'STREAM | 'DGRAM ];
+struct sockaddr { int port; }
+tracked(@raw) sock socket(domain, comm_style, int);
+void bind(tracked(S) sock, sockaddr) [S@raw->named];
+void listen(tracked(S) sock, int) [S@named->listening];
+tracked(N) sock accept(tracked(S) sock, sockaddr) [S@listening, new N@ready];
+void receive(tracked(S) sock, byte[]) [S@ready];
+void close(tracked(S) sock) [-S];
+variant status<key K> [ 'Ok {K@named} | 'Error(int) {K@raw} ];
+tracked status<S> bind2(tracked(S) sock, sockaddr) [-S@raw];
+)";
+}
+
+/// Kernel/driver prelude (§4): IRPs, events, completion routines,
+/// IRQL, spin locks, queues.
+inline const char *kernelPrelude() {
+  return R"(
+stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL < DISPATCH_LEVEL < DIRQL ];
+key IRQL @ IRQ_LEVEL;
+type NTSTATUS = int;
+type DEVICE_OBJECT;
+type KIRQL<state S>;
+type paged<type T> = (IRQL @ (level <= APC_LEVEL)):T;
+type IRP;
+type DSTATUS<key I>;
+DSTATUS<I> IoCompleteRequest(tracked(I) IRP, NTSTATUS) [-I];
+DSTATUS<I> IoCallDriver(DEVICE_OBJECT, tracked(I) IRP) [-I];
+DSTATUS<I> IoMarkIrpPending(tracked(I) IRP) [I];
+int IrpLength(tracked(I) IRP) [I];
+void IrpSetInformation(tracked(I) IRP, int) [I];
+type KEVENT<key K>;
+KEVENT<K> KeInitializeEvent(tracked(K) IRP) [K];
+void KeSignalEvent(KEVENT<K>) [-K];
+void KeWaitForEvent(KEVENT<K>) [+K];
+variant COMPLETION_RESULT<key I> [ 'MoreProcessingRequired | 'Finished(NTSTATUS) {I} ];
+type COMPLETION_ROUTINE<key K> =
+  tracked COMPLETION_RESULT<K> Routine(DEVICE_OBJECT, tracked(K) IRP) [-K];
+void IoSetCompletionRoutine(tracked(I) IRP, COMPLETION_ROUTINE<I>) [I];
+type LOCK<key K>;
+KIRQL<level> KeAcquireSpinLock(LOCK<Q>)
+  [+Q, IRQL @ (level <= DISPATCH_LEVEL) -> DISPATCH_LEVEL];
+void KeReleaseSpinLock(LOCK<Q>, KIRQL<level>)
+  [-Q, IRQL @ DISPATCH_LEVEL -> level];
+type QUEUE;
+void Enqueue(Q:QUEUE, tracked IRP) [Q];
+variant popt [ 'NoIrp | 'GotIrp(tracked IRP) ];
+tracked popt Dequeue(Q:QUEUE) [Q];
+int KeSetPriorityThread(int priority) [IRQL @ PASSIVE_LEVEL];
+int KeReleaseSemaphore(int count) [IRQL @ (level <= DISPATCH_LEVEL)];
+)";
+}
+
+/// Parses and checks \p Source (prefixed by \p Prelude).
+inline std::unique_ptr<VaultCompiler> check(const std::string &Source,
+                                            const std::string &Prelude = "") {
+  auto C = std::make_unique<VaultCompiler>();
+  C->addSource("test.vlt", Prelude + Source);
+  C->check();
+  return C;
+}
+
+#define EXPECT_ACCEPTED(C)                                                     \
+  EXPECT_FALSE((C)->diags().hasErrors()) << (C)->diags().render()
+
+#define EXPECT_REJECTED_WITH(C, Id)                                            \
+  do {                                                                         \
+    EXPECT_TRUE((C)->diags().hasErrors()) << "program unexpectedly accepted";  \
+    EXPECT_TRUE((C)->diags().has(Id))                                          \
+        << "missing diagnostic " << vault::diagName(Id) << "\n"                \
+        << (C)->diags().render();                                              \
+  } while (0)
+
+} // namespace vault::test
+
+#endif // VAULT_TESTS_TESTUTIL_H

@@ -1,0 +1,99 @@
+//===- CaseStudyTest.cpp - The §4 floppy-driver case study ----------------===//
+
+#include "corpus/Corpus.h"
+#include "lower/CEmitter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+using namespace vault;
+
+namespace {
+
+TEST(CaseStudy, DriverTypeChecks) {
+  auto C = corpus::check("driver/floppy");
+  EXPECT_FALSE(C->diags().hasErrors()) << C->diags().render();
+  // All the dispatch routines plus the helpers were verified.
+  EXPECT_GE(C->stats().FunctionsChecked, 10u);
+}
+
+TEST(CaseStudy, DriverUsesTheWholeFeatureSet) {
+  std::string Src = corpus::load("driver/floppy");
+  ASSERT_FALSE(Src.empty());
+  // Tracked IRPs with consume effects.
+  EXPECT_NE(Src.find("tracked(I) IRP"), std::string::npos);
+  EXPECT_NE(Src.find("[-I"), std::string::npos);
+  // The Fig. 7 idiom.
+  EXPECT_NE(Src.find("KeInitializeEvent"), std::string::npos);
+  EXPECT_NE(Src.find("'MoreProcessingRequired"), std::string::npos);
+  EXPECT_NE(Src.find("IoSetCompletionRoutine"), std::string::npos);
+  // Lock-guarded queueing and IRQL polymorphism.
+  EXPECT_NE(Src.find("KeAcquireSpinLock"), std::string::npos);
+  EXPECT_NE(Src.find("IRQL @ (level <= DISPATCH_LEVEL)"), std::string::npos);
+  // Paged configuration data.
+  EXPECT_NE(Src.find("paged<DISK_GEOMETRY>"), std::string::npos);
+}
+
+TEST(CaseStudy, SingleBrokenPathIsCaught) {
+  // Take the verified driver and break exactly one path (remove one
+  // IoCompleteRequest): the checker must localize the error.
+  std::string Src = corpus::load("driver/floppy");
+  std::string Needle = "    IoCompleteRequest(irp, -3);\n    return;";
+  auto Pos = Src.find(Needle);
+  ASSERT_NE(Pos, std::string::npos);
+  Src.replace(Pos, Needle.size(), "    return;");
+
+  VaultCompiler C;
+  C.addSource("broken_floppy.vlt", Src);
+  EXPECT_FALSE(C.check());
+  EXPECT_TRUE(C.diags().has(DiagId::FlowKeyLeaked)) << C.diags().render();
+}
+
+TEST(CaseStudy, ForgettingReleaseInDriverIsCaught) {
+  std::string Src = corpus::load("driver/floppy");
+  // Remove the queue-lock release in FloppyReadWrite.
+  std::string Needle = "  Enqueue(queue, irp);\n  KeReleaseSpinLock(qlock, saved);";
+  auto Pos = Src.find(Needle);
+  ASSERT_NE(Pos, std::string::npos);
+  Src.replace(Pos, Needle.size(), "  Enqueue(queue, irp);");
+
+  VaultCompiler C;
+  C.addSource("lockleak_floppy.vlt", Src);
+  EXPECT_FALSE(C.check());
+}
+
+TEST(CaseStudy, LineCountsHaveThePaperShape) {
+  // The paper: 4900 lines of C -> 5200 lines of Vault (~6% growth).
+  // Our scaled-down driver must show the same *shape*: the Vault
+  // source is within a modest factor of the erased C.
+  auto C = corpus::check("driver/floppy");
+  ASSERT_FALSE(C->diags().hasErrors());
+  std::string Src = corpus::load("driver/floppy");
+  size_t VaultLines = CEmitter::countCodeLines(Src);
+
+  CEmitter E(*C);
+  std::string CSrc = E.emitProgram();
+  size_t CLines = CEmitter::countCodeLines(CSrc);
+
+  EXPECT_GT(VaultLines, 150u) << "a substantive driver";
+  EXPECT_GT(CLines, 100u);
+  double Ratio = static_cast<double>(VaultLines) / static_cast<double>(CLines);
+  EXPECT_GT(Ratio, 0.5) << "Vault should not be wildly smaller";
+  EXPECT_LT(Ratio, 2.0) << "annotation overhead stays moderate "
+                        << "(paper: 5200/4900 = 1.06)";
+}
+
+TEST(CaseStudy, CheckerIsFastEnoughForInteractiveUse) {
+  // The driver must check in well under a second (engineering sanity,
+  // detailed measurements live in bench_checker).
+  auto Start = std::chrono::steady_clock::now();
+  auto C = corpus::check("driver/floppy");
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  EXPECT_FALSE(C->diags().hasErrors());
+  EXPECT_LT(Elapsed, 2000);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+//===- CorpusVerdictTest.cpp - Every paper figure, expected verdict -------===//
+
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+class CorpusVerdict : public ::testing::TestWithParam<corpus::ProgramInfo> {};
+
+TEST_P(CorpusVerdict, StaticVerdictMatchesPaper) {
+  const auto &P = GetParam();
+  auto C = corpus::check(P.Name);
+  if (P.ExpectAccept) {
+    EXPECT_FALSE(C->diags().hasErrors())
+        << P.PaperRef << " should be accepted:\n"
+        << C->diags().render();
+  } else {
+    EXPECT_TRUE(C->diags().hasErrors())
+        << P.PaperRef << " should be rejected";
+    for (DiagId Id : P.MustReport)
+      EXPECT_TRUE(C->diags().has(Id))
+          << P.PaperRef << " must report " << diagName(Id) << ":\n"
+          << C->diags().render();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, CorpusVerdict, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(Corpus, IndexCoversThePaper) {
+  // One entry per reproduced artifact class at minimum.
+  bool HasFig2 = false, HasFig3 = false, HasFig4 = false, HasFig5 = false,
+       HasFig7 = false, HasDriver = false, HasIrql = false;
+  for (const auto &P : corpus::index()) {
+    if (P.Name.find("fig2") != std::string::npos)
+      HasFig2 = true;
+    if (P.Name.find("fig3") != std::string::npos)
+      HasFig3 = true;
+    if (P.Name.find("fig4") != std::string::npos)
+      HasFig4 = true;
+    if (P.Name.find("fig5") != std::string::npos)
+      HasFig5 = true;
+    if (P.Name.find("fig7") != std::string::npos)
+      HasFig7 = true;
+    if (P.Name.find("floppy") != std::string::npos)
+      HasDriver = true;
+    if (P.Name.find("irql") != std::string::npos)
+      HasIrql = true;
+  }
+  EXPECT_TRUE(HasFig2 && HasFig3 && HasFig4 && HasFig5 && HasFig7 &&
+              HasDriver && HasIrql);
+  EXPECT_GE(corpus::index().size(), 40u);
+}
+
+TEST(Corpus, LoaderResolvesIncludes) {
+  std::string Text = corpus::load("figures/fig2_okay");
+  ASSERT_FALSE(Text.empty());
+  EXPECT_EQ(Text.find("//!include"), std::string::npos);
+  EXPECT_NE(Text.find("interface REGION"), std::string::npos);
+  EXPECT_NE(Text.find("void main()"), std::string::npos);
+}
+
+TEST(Corpus, MissingProgramReportsCleanly) {
+  auto C = corpus::check("no/such/program");
+  EXPECT_TRUE(C->diags().hasErrors());
+}
+
+} // namespace

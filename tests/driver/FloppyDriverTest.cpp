@@ -1,0 +1,214 @@
+//===- FloppyDriverTest.cpp - The case-study driver under the simulator ---===//
+
+#include "driver/FloppyDriver.h"
+#include "driver/PassThroughDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace vault::kern;
+using namespace vault::drv;
+
+namespace {
+
+class FloppyStack : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Top = buildFloppyStack(K, &Floppy);
+    Ext = Floppy->extension<FloppyExtension>();
+  }
+
+  NtStatus pnp(PnpMinor Minor) {
+    Irp *I = K.allocateIrp(IrpMajor::Pnp, Top);
+    I->currentLocation(nullptr).Minor = Minor;
+    return K.sendRequest(Top, I);
+  }
+
+  Irp *io(IrpMajor Major, uint64_t Offset, uint32_t Length) {
+    Irp *I = K.allocateIrp(Major, Top, Length);
+    I->currentLocation(nullptr).Offset = Offset;
+    I->currentLocation(nullptr).Length = Length;
+    return I;
+  }
+
+  Kernel K;
+  DeviceObject *Top = nullptr;
+  DeviceObject *Floppy = nullptr;
+  FloppyExtension *Ext = nullptr;
+};
+
+TEST_F(FloppyStack, StackShape) {
+  EXPECT_EQ(K.stackDepth(Top), 4u);
+  EXPECT_EQ(Top->name(), "filesystem");
+  EXPECT_EQ(Floppy->name(), "floppy");
+}
+
+TEST_F(FloppyStack, StartDeviceViaFig7Idiom) {
+  EXPECT_FALSE(Ext->Started);
+  EXPECT_EQ(pnp(PnpMinor::StartDevice), NtStatus::Success);
+  EXPECT_TRUE(Ext->Started);
+  EXPECT_TRUE(Ext->Hw.isMotorOn());
+  EXPECT_GE(K.stats().CompletionRoutinesRun, 1u)
+      << "the regain-ownership completion routine must have run";
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST_F(FloppyStack, ReadBeforeStartFails) {
+  Irp *I = io(IrpMajor::Read, 0, 512);
+  EXPECT_EQ(K.sendRequest(Top, I), NtStatus::DeviceNotReady);
+}
+
+TEST_F(FloppyStack, WriteThenReadRoundTrip) {
+  pnp(PnpMinor::StartDevice);
+  const char Msg[] = "hello, floppy";
+  Irp *W = io(IrpMajor::Write, 512 * 5, 512);
+  std::memcpy(W->buffer(nullptr).data(), Msg, sizeof(Msg));
+  EXPECT_EQ(K.sendRequest(Top, W), NtStatus::Success);
+  EXPECT_EQ(W->Information, 512u);
+  EXPECT_TRUE(W->PendingReturned) << "read/write are asynchronous";
+
+  Irp *R = io(IrpMajor::Read, 512 * 5, 512);
+  EXPECT_EQ(K.sendRequest(Top, R), NtStatus::Success);
+  EXPECT_EQ(std::memcmp(R->buffer(nullptr).data(), Msg, sizeof(Msg)), 0);
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST_F(FloppyStack, UnalignedTransferRejected) {
+  pnp(PnpMinor::StartDevice);
+  Irp *I = io(IrpMajor::Read, 100, 512);
+  EXPECT_EQ(K.sendRequest(Top, I), NtStatus::InvalidParameter);
+}
+
+TEST_F(FloppyStack, ReadPastEndOfMedia) {
+  pnp(PnpMinor::StartDevice);
+  Irp *I = io(IrpMajor::Read, FloppyHardware::DiskSize, 512);
+  EXPECT_EQ(K.sendRequest(Top, I), NtStatus::EndOfFile);
+}
+
+TEST_F(FloppyStack, ZeroLengthCompletesImmediately) {
+  pnp(PnpMinor::StartDevice);
+  Irp *I = io(IrpMajor::Read, 0, 0);
+  EXPECT_EQ(K.sendRequest(Top, I), NtStatus::Success);
+  EXPECT_EQ(I->Information, 0u);
+}
+
+TEST_F(FloppyStack, GetGeometryIoctl) {
+  pnp(PnpMinor::StartDevice);
+  Irp *I = K.allocateIrp(IrpMajor::DeviceControl, Top,
+                         sizeof(FloppyGeometry));
+  I->currentLocation(nullptr).ControlCode =
+      static_cast<uint32_t>(FloppyIoctl::GetGeometry);
+  EXPECT_EQ(K.sendRequest(Top, I), NtStatus::Success);
+  FloppyGeometry G{};
+  std::memcpy(&G, I->buffer(nullptr).data(), sizeof(G));
+  EXPECT_EQ(G.Cylinders, FloppyHardware::Cylinders);
+  EXPECT_EQ(G.Heads, FloppyHardware::Heads);
+  EXPECT_EQ(G.SectorsPerTrack, FloppyHardware::SectorsPerTrack);
+  EXPECT_EQ(G.SectorSize, FloppyHardware::SectorSize);
+}
+
+TEST_F(FloppyStack, FormatAndCheckVerify) {
+  pnp(PnpMinor::StartDevice);
+  Irp *W = io(IrpMajor::Write, 0, 512);
+  W->buffer(nullptr)[0] = 0xAA;
+  K.sendRequest(Top, W);
+
+  Irp *F = K.allocateIrp(IrpMajor::DeviceControl, Top);
+  F->currentLocation(nullptr).ControlCode =
+      static_cast<uint32_t>(FloppyIoctl::FormatMedia);
+  EXPECT_EQ(K.sendRequest(Top, F), NtStatus::Success);
+
+  Irp *R = io(IrpMajor::Read, 0, 512);
+  K.sendRequest(Top, R);
+  EXPECT_EQ(R->buffer(nullptr)[0], 0u) << "format zeroed the media";
+}
+
+TEST_F(FloppyStack, WriteProtectedMediaRejectsFormat) {
+  pnp(PnpMinor::StartDevice);
+  Ext->Hw.setWriteProtected(true);
+  Irp *F = K.allocateIrp(IrpMajor::DeviceControl, Top);
+  F->currentLocation(nullptr).ControlCode =
+      static_cast<uint32_t>(FloppyIoctl::FormatMedia);
+  EXPECT_EQ(K.sendRequest(Top, F), NtStatus::Unsuccessful);
+}
+
+TEST_F(FloppyStack, EjectedMediaFailsIo) {
+  pnp(PnpMinor::StartDevice);
+  Irp *E = K.allocateIrp(IrpMajor::DeviceControl, Top);
+  E->currentLocation(nullptr).ControlCode =
+      static_cast<uint32_t>(FloppyIoctl::EjectMedia);
+  EXPECT_EQ(K.sendRequest(Top, E), NtStatus::Success);
+  Irp *R = io(IrpMajor::Read, 0, 512);
+  EXPECT_EQ(K.sendRequest(Top, R), NtStatus::DeviceNotReady);
+}
+
+TEST_F(FloppyStack, CreateCloseTracksOpenCount) {
+  pnp(PnpMinor::StartDevice);
+  Irp *C1 = K.allocateIrp(IrpMajor::Create, Top);
+  K.sendRequest(Top, C1);
+  EXPECT_EQ(Ext->OpenCount, 1u);
+  // QueryRemove refused while open.
+  EXPECT_EQ(pnp(PnpMinor::QueryRemove), NtStatus::Unsuccessful);
+  Irp *C2 = K.allocateIrp(IrpMajor::Close, Top);
+  K.sendRequest(Top, C2);
+  EXPECT_EQ(Ext->OpenCount, 0u);
+  EXPECT_EQ(pnp(PnpMinor::QueryRemove), NtStatus::Success);
+}
+
+TEST_F(FloppyStack, RemoveDeviceDrainsAndStops) {
+  pnp(PnpMinor::StartDevice);
+  EXPECT_EQ(pnp(PnpMinor::RemoveDevice), NtStatus::Success);
+  EXPECT_TRUE(Ext->Removed);
+  EXPECT_FALSE(Ext->Hw.isMotorOn());
+  Irp *R = io(IrpMajor::Read, 0, 512);
+  EXPECT_EQ(K.sendRequest(Top, R), NtStatus::DeviceNotReady);
+  EXPECT_EQ(K.reportIrpLeaks(), 0u);
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST_F(FloppyStack, SustainedWorkloadStaysClean) {
+  pnp(PnpMinor::StartDevice);
+  for (unsigned S = 0; S != 64; ++S) {
+    Irp *W = io(IrpMajor::Write, 512ull * S, 512);
+    W->buffer(nullptr)[0] = static_cast<uint8_t>(S);
+    ASSERT_EQ(K.sendRequest(Top, W), NtStatus::Success);
+  }
+  for (unsigned S = 0; S != 64; ++S) {
+    Irp *R = io(IrpMajor::Read, 512ull * S, 512);
+    ASSERT_EQ(K.sendRequest(Top, R), NtStatus::Success);
+    ASSERT_EQ(R->buffer(nullptr)[0], static_cast<uint8_t>(S));
+  }
+  EXPECT_EQ(Ext->ReadsServed, 64u);
+  EXPECT_EQ(Ext->WritesServed, 64u);
+  EXPECT_EQ(K.reportIrpLeaks(), 0u);
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST(FloppyHardwareModel, GeometryMath) {
+  EXPECT_EQ(FloppyHardware::TotalSectors, 2880u);
+  EXPECT_EQ(FloppyHardware::DiskSize, 1474560u);
+}
+
+TEST(FloppyHardwareModel, MotorGatesTransfers) {
+  FloppyHardware Hw;
+  uint8_t Sector[FloppyHardware::SectorSize] = {};
+  EXPECT_FALSE(Hw.readSector(0, Sector)) << "motor off";
+  Hw.motorOn();
+  EXPECT_TRUE(Hw.readSector(0, Sector));
+}
+
+TEST(FloppyHardwareModel, SeekCostsTime) {
+  FloppyHardware Hw;
+  Hw.motorOn();
+  uint8_t Sector[FloppyHardware::SectorSize] = {};
+  uint64_t T0 = Hw.elapsedUs();
+  Hw.readSector(0, Sector);
+  uint64_t T1 = Hw.elapsedUs();
+  Hw.readSector(FloppyHardware::TotalSectors - 1, Sector); // Far seek.
+  uint64_t T2 = Hw.elapsedUs();
+  EXPECT_GT(T2 - T1, T1 - T0);
+  EXPECT_EQ(Hw.currentCylinder(), FloppyHardware::Cylinders - 1);
+}
+
+} // namespace

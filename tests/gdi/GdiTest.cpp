@@ -1,0 +1,132 @@
+//===- GdiTest.cpp - Graphics substrate (paper §6's next domain) ----------===//
+
+#include "gdi/Gdi.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::gdi;
+
+namespace {
+
+TEST(Gdi, PaintSessionHappyPath) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0;
+  ASSERT_EQ(W.beginPaint(Win, Dc), GdiError::Ok);
+  EXPECT_TRUE(W.isDcLive(Dc));
+  EXPECT_EQ(W.moveTo(Dc, 0, 0), GdiError::Ok);
+  EXPECT_EQ(W.lineTo(Dc, 5, 5), GdiError::Ok);
+  EXPECT_EQ(W.endPaint(Win, Dc), GdiError::Ok);
+  EXPECT_FALSE(W.isDcLive(Dc));
+  EXPECT_EQ(W.violationCount(), 0u);
+  ASSERT_EQ(W.displayList().size(), 1u);
+  EXPECT_EQ(W.displayList()[0].X1, 5);
+  EXPECT_EQ(W.displayList()[0].Pen, 0u) << "stock pen";
+}
+
+TEST(Gdi, PenSelectionRecordedInDrawing) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0;
+  W.beginPaint(Win, Dc);
+  auto Pen = W.createPen(3, 0xFF0000);
+  GdiWorld::Handle Old = ~0ull;
+  ASSERT_EQ(W.selectPen(Dc, Pen, Old), GdiError::Ok);
+  EXPECT_EQ(Old, 0u) << "previously the stock pen";
+  W.lineTo(Dc, 1, 1);
+  ASSERT_EQ(W.restorePen(Dc, Old), GdiError::Ok);
+  W.lineTo(Dc, 2, 2);
+  EXPECT_EQ(W.endPaint(Win, Dc), GdiError::Ok);
+  EXPECT_EQ(W.deletePen(Pen), GdiError::Ok);
+  ASSERT_EQ(W.displayList().size(), 2u);
+  EXPECT_EQ(W.displayList()[0].Pen, Pen);
+  EXPECT_EQ(W.displayList()[1].Pen, 0u);
+  EXPECT_EQ(W.violationCount(), 0u);
+}
+
+TEST(Gdi, EndPaintWithCustomPenIsViolation) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0, Old = 0;
+  W.beginPaint(Win, Dc);
+  auto Pen = W.createPen(1, 1);
+  W.selectPen(Dc, Pen, Old);
+  EXPECT_EQ(W.endPaint(Win, Dc), GdiError::PenStillCustom);
+  EXPECT_EQ(W.violationCount(), 1u);
+}
+
+TEST(Gdi, DoubleEndPaintIsViolation) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0;
+  W.beginPaint(Win, Dc);
+  W.endPaint(Win, Dc);
+  EXPECT_EQ(W.endPaint(Win, Dc), GdiError::WrongState);
+  EXPECT_EQ(W.violationCount(), 1u);
+}
+
+TEST(Gdi, DrawOnDeadDcIsViolation) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0;
+  W.beginPaint(Win, Dc);
+  W.endPaint(Win, Dc);
+  EXPECT_EQ(W.lineTo(Dc, 1, 1), GdiError::BadHandle);
+  EXPECT_EQ(W.violationCount(), 1u);
+}
+
+TEST(Gdi, DeleteSelectedPenIsViolation) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0, Old = 0;
+  W.beginPaint(Win, Dc);
+  auto Pen = W.createPen(1, 1);
+  W.selectPen(Dc, Pen, Old);
+  EXPECT_EQ(W.deletePen(Pen), GdiError::WrongState);
+  EXPECT_EQ(W.violationCount(), 1u);
+  W.restorePen(Dc, Old);
+  EXPECT_EQ(W.deletePen(Pen), GdiError::Ok);
+}
+
+TEST(Gdi, RestoreWithoutSelectIsViolation) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0;
+  W.beginPaint(Win, Dc);
+  EXPECT_EQ(W.restorePen(Dc, 0), GdiError::NotSelected);
+  EXPECT_EQ(W.violationCount(), 1u);
+}
+
+TEST(Gdi, LeakReporting) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle A = 0, B = 0;
+  W.beginPaint(Win, A);
+  W.beginPaint(Win, B);
+  W.endPaint(Win, A);
+  auto Leaked = W.leakedDcs();
+  ASSERT_EQ(Leaked.size(), 1u);
+  EXPECT_EQ(Leaked[0], B);
+  W.createPen(1, 1);
+  EXPECT_EQ(W.livePenCount(), 1u);
+}
+
+TEST(Gdi, NestedSelections) {
+  GdiWorld W;
+  auto Win = W.createWindow("w");
+  GdiWorld::Handle Dc = 0;
+  W.beginPaint(Win, Dc);
+  auto P1 = W.createPen(1, 1);
+  auto P2 = W.createPen(2, 2);
+  GdiWorld::Handle Old1 = 0, Old2 = 0;
+  W.selectPen(Dc, P1, Old1);
+  W.selectPen(Dc, P2, Old2);
+  EXPECT_EQ(Old2, P1);
+  W.lineTo(Dc, 1, 1);
+  W.restorePen(Dc, Old2); // Back to P1.
+  W.restorePen(Dc, Old1); // Back to stock.
+  EXPECT_EQ(W.endPaint(Win, Dc), GdiError::Ok);
+  EXPECT_EQ(W.violationCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- InterpProgramsTest.cpp - Larger interpreted programs ---------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+
+using namespace vault;
+using namespace vault::test;
+using vault::interp::Interp;
+
+namespace {
+
+std::pair<std::unique_ptr<VaultCompiler>, std::unique_ptr<Interp>>
+run(const std::string &Src, const std::string &Prelude = "") {
+  auto C = check(Src, Prelude);
+  EXPECT_FALSE(C->diags().hasErrors()) << C->diags().render();
+  auto I = std::make_unique<Interp>(*C);
+  I->run("main");
+  return {std::move(C), std::move(I)};
+}
+
+TEST(InterpPrograms, Recursion) {
+  auto [C, I] = run(R"(
+void print_int(int n);
+int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+void main() { print_int(fib(15)); }
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->output()[0], "610");
+}
+
+TEST(InterpPrograms, MutualRecursion) {
+  auto [C, I] = run(R"(
+void print(string s);
+bool isOdd(int n);
+bool isEven(int n) {
+  if (n == 0) { return true; }
+  return isOdd(n - 1);
+}
+bool isOdd(int n) {
+  if (n == 0) { return false; }
+  return isEven(n - 1);
+}
+void main() {
+  if (isEven(10)) { print("even"); } else { print("odd"); }
+  if (isOdd(7)) { print("odd"); } else { print("even"); }
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  ASSERT_EQ(I->output().size(), 2u);
+  EXPECT_EQ(I->output()[0], "even");
+  EXPECT_EQ(I->output()[1], "odd");
+}
+
+TEST(InterpPrograms, LinkedListOfRegions) {
+  // The Fig. 4 data structure, executed: build, walk, tear down.
+  auto [C, I] = run(R"(
+variant reglist [ 'Nil | 'Cons(tracked region, tracked reglist) ];
+int teardown(tracked reglist list) {
+  switch (list) {
+    case 'Nil:
+      return 0;
+    case 'Cons(rgn, rest):
+      Region.delete(rgn);
+      return 1 + teardown(rest);
+  }
+}
+void main() {
+  tracked(A) region a = Region.create();
+  tracked(B) region b = Region.create();
+  tracked(C2) region c = Region.create();
+  tracked reglist list = 'Cons(a, 'Cons(b, 'Cons(c, 'Nil)));
+  print_int(teardown(list));
+}
+)",
+                    regionPrelude());
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->output()[0], "3");
+  EXPECT_EQ(I->regions().leakedRegions().size(), 0u);
+  EXPECT_EQ(I->totalViolations(), 0u);
+}
+
+TEST(InterpPrograms, PipelineProgramComputes) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->addSource("p.vlt", corpus::loadInclude("region.vlt") +
+                            corpus::loadInclude("io.vlt") + R"(
+struct tokens { int count; }
+void main() {
+  tracked(L) region lexRgn = Region.create();
+  L:tokens toks = new(lexRgn) tokens {count=99;};
+  print_int(toks.count);
+  Region.delete(lexRgn);
+}
+)");
+  ASSERT_TRUE(C->check()) << C->diags().render();
+  Interp I(*C);
+  ASSERT_TRUE(I.run("main")) << I.trapMessage();
+  EXPECT_EQ(I.output()[0], "99");
+}
+
+TEST(InterpPrograms, GdiDisplayListContents) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->addSource("g.vlt", corpus::loadInclude("gdi.vlt") + R"(
+void main() {
+  HWND win = sim_window("t");
+  tracked(@plain) HDC dc = BeginPaint(win);
+  MoveTo(dc, 1, 2);
+  LineTo(dc, 3, 4);
+  EndPaint(win, dc);
+}
+)");
+  ASSERT_TRUE(C->check()) << C->diags().render();
+  Interp I(*C);
+  ASSERT_TRUE(I.run("main")) << I.trapMessage();
+  ASSERT_EQ(I.gdi().displayList().size(), 1u);
+  EXPECT_EQ(I.gdi().displayList()[0].X0, 1);
+  EXPECT_EQ(I.gdi().displayList()[0].Y0, 2);
+  EXPECT_EQ(I.gdi().displayList()[0].X1, 3);
+  EXPECT_EQ(I.gdi().displayList()[0].Y1, 4);
+}
+
+TEST(InterpPrograms, EarlyReturnSkipsRest) {
+  auto [C, I] = run(R"(
+void print(string s);
+int pick(bool b) {
+  if (b) {
+    return 1;
+  }
+  print("fallthrough");
+  return 2;
+}
+void main() {
+  print_int(pick(true));
+  print_int(pick(false));
+}
+void print_int(int n);
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  ASSERT_EQ(I->output().size(), 3u);
+  EXPECT_EQ(I->output()[0], "1");
+  EXPECT_EQ(I->output()[1], "fallthrough");
+  EXPECT_EQ(I->output()[2], "2");
+}
+
+TEST(InterpPrograms, DefaultArmTaken) {
+  auto [C, I] = run(R"(
+void print(string s);
+variant v [ 'A | 'B | 'C ];
+void classify(v x) {
+  switch (x) {
+    case 'A:
+      print("a");
+    default:
+      print("other");
+  }
+}
+void main() {
+  classify('A);
+  classify('B);
+  classify('C);
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  ASSERT_EQ(I->output().size(), 3u);
+  EXPECT_EQ(I->output()[0], "a");
+  EXPECT_EQ(I->output()[1], "other");
+  EXPECT_EQ(I->output()[2], "other");
+}
+
+} // namespace

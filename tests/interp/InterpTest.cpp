@@ -1,0 +1,239 @@
+//===- InterpTest.cpp - Interpreter semantics -----------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interp.h"
+
+using namespace vault;
+using namespace vault::test;
+using vault::interp::Interp;
+using vault::interp::Value;
+
+namespace {
+
+/// Checks then runs `main`, returning the interpreter for inspection.
+std::pair<std::unique_ptr<VaultCompiler>, std::unique_ptr<Interp>>
+run(const std::string &Src, const std::string &Prelude = "") {
+  auto C = check(Src, Prelude);
+  auto I = std::make_unique<Interp>(*C);
+  I->run("main");
+  return {std::move(C), std::move(I)};
+}
+
+TEST(Interp, ArithmeticAndOutput) {
+  auto [C, I] = run(R"(
+void print_int(int n);
+int square(int x) { return x * x; }
+void main() {
+  print_int(square(7));
+  print_int(10 % 3);
+  print_int(0 - 5);
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  ASSERT_EQ(I->output().size(), 3u);
+  EXPECT_EQ(I->output()[0], "49");
+  EXPECT_EQ(I->output()[1], "1");
+  EXPECT_EQ(I->output()[2], "-5");
+}
+
+TEST(Interp, ControlFlow) {
+  auto [C, I] = run(R"(
+void print_int(int n);
+int collatzSteps(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps++;
+  }
+  return steps;
+}
+void main() { print_int(collatzSteps(6)); }
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  ASSERT_EQ(I->output().size(), 1u);
+  EXPECT_EQ(I->output()[0], "8");
+}
+
+TEST(Interp, StructsAndFields) {
+  auto [C, I] = run(R"(
+void print_int(int n);
+struct p { int x; int y; }
+void main() {
+  p a = new p {x=3; y=4;};
+  a.x = a.x + a.y;
+  print_int(a.x);
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->output()[0], "7");
+}
+
+TEST(Interp, VariantsAndSwitch) {
+  auto [C, I] = run(R"(
+void print(string s);
+variant shape [ 'Circle(int) | 'Rect(int, int) ];
+int area(shape s) {
+  switch (s) {
+    case 'Circle(r):
+      return 3 * r * r;
+    case 'Rect(w, h):
+      return w * h;
+  }
+}
+void print_int(int n);
+void main() {
+  print_int(area('Circle(2)));
+  print_int(area('Rect(3, 4)));
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->output()[0], "12");
+  EXPECT_EQ(I->output()[1], "12");
+}
+
+TEST(Interp, RegionsLifecycle) {
+  auto [C, I] = run(std::string(R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  print_int(pt.x);
+  Region.delete(rgn);
+}
+)"),
+                    regionPrelude());
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->output()[0], "2");
+  EXPECT_EQ(I->totalViolations(), 0u);
+  EXPECT_TRUE(I->regions().leakedRegions().empty());
+}
+
+TEST(Interp, DanglingAccessDetectedDynamically) {
+  auto [C, I] = run(std::string(R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  Region.delete(rgn);
+  pt.x++;
+}
+)"),
+                    regionPrelude());
+  EXPECT_GE(I->totalViolations(), 1u);
+}
+
+TEST(Interp, LeakedRegionDetectedAtTeardown) {
+  auto [C, I] = run(std::string(R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+}
+)"),
+                    regionPrelude());
+  EXPECT_EQ(I->regions().leakedRegions().size(), 1u);
+}
+
+TEST(Interp, TrackedHeapFreeSemantics) {
+  auto [C, I] = run(std::string(R"(
+void main() {
+  tracked(K) point p = new tracked point {x=1; y=2;};
+  free(p);
+  free(p);
+}
+)"),
+                    regionPrelude());
+  EXPECT_GE(I->totalViolations(), 1u) << "double free must be flagged";
+}
+
+TEST(Interp, NestedFunctionClosure) {
+  auto [C, I] = run(R"(
+void print_int(int n);
+void main() {
+  int base = 10;
+  int addBase(int x) { return x + base; }
+  print_int(addBase(5));
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->output()[0], "15");
+}
+
+TEST(Interp, SocketsEndToEnd) {
+  auto [C, I] = run(R"(
+type sock;
+variant domain [ 'UNIX | 'INET ];
+variant comm_style [ 'STREAM | 'DGRAM ];
+struct sockaddr { int port; }
+tracked(@raw) sock socket(domain, comm_style, int);
+void bind(tracked(S) sock, sockaddr) [S@raw->named];
+void listen(tracked(S) sock, int) [S@named->listening];
+tracked(N) sock accept(tracked(S) sock, sockaddr) [S@listening, new N@ready];
+void receive(tracked(S) sock, byte[]) [S@ready];
+void close(tracked(S) sock) [-S];
+tracked(@ready) sock sim_client(int port);
+void sim_send(tracked(CC) sock, string msg) [CC@ready];
+byte[] make_buffer(int size);
+void main() {
+  sockaddr addr = new sockaddr {port=4242;};
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  listen(s, 2);
+  tracked(@ready) sock cl = sim_client(4242);
+  tracked(N) sock conn = accept(s, addr);
+  sim_send(cl, "hi");
+  byte[] buf = make_buffer(4);
+  receive(conn, buf);
+  close(cl);
+  close(conn);
+  close(s);
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  EXPECT_EQ(I->totalViolations(), 0u);
+  EXPECT_TRUE(I->sockets().leakedSockets().empty());
+}
+
+TEST(Interp, StepBudgetStopsInfiniteLoops) {
+  auto C = check("void main() { while (true) { } }");
+  Interp I(*C);
+  I.MaxSteps = 10000;
+  EXPECT_FALSE(I.run("main"));
+  EXPECT_TRUE(I.trapped());
+}
+
+TEST(Interp, MissingMainTraps) {
+  auto C = check("void notmain() {}");
+  Interp I(*C);
+  EXPECT_FALSE(I.run("main"));
+}
+
+TEST(Interp, CustomBuiltin) {
+  auto C = check("int magic(); void print_int(int n);"
+                 "void main() { print_int(magic()); }");
+  Interp I(*C);
+  I.registerBuiltin("magic", [](Interp &, std::vector<Value> &) {
+    return Value::intV(1234);
+  });
+  ASSERT_TRUE(I.run("main")) << I.trapMessage();
+  EXPECT_EQ(I.output()[0], "1234");
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  auto [C, I] = run(R"(
+void print(string s);
+bool boom() { print("boom"); return true; }
+void main() {
+  bool a = false && boom();
+  bool b = true || boom();
+  print("done");
+}
+)");
+  ASSERT_FALSE(I->trapped()) << I->trapMessage();
+  ASSERT_EQ(I->output().size(), 1u);
+  EXPECT_EQ(I->output()[0], "done");
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- OracleSoundnessTest.cpp - The soundness property over the corpus ---===//
+//
+// The central property of the paper: if the Vault checker accepts a
+// program, no run of that program violates a resource protocol. The
+// dynamic oracle (interpreter + substrates) provides the observation;
+// the corpus provides the programs. Also checks the converse corpus
+// annotations: statically rejected programs behave dynamically as the
+// index predicts (violating on hot paths, silent on cold ones — the
+// evidence for the paper's testing-is-not-enough argument).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+unsigned dynamicDetections(interp::Interp &I) {
+  return I.totalViolations() +
+         static_cast<unsigned>(I.regions().leakedRegions().size()) +
+         static_cast<unsigned>(I.sockets().leakedSockets().size()) +
+         static_cast<unsigned>(I.gdi().leakedDcs().size());
+}
+
+class OracleSoundness : public ::testing::TestWithParam<corpus::ProgramInfo> {
+};
+
+TEST_P(OracleSoundness, AcceptedProgramsRunClean) {
+  const auto &P = GetParam();
+  if (!P.Runnable)
+    GTEST_SKIP() << "not runnable";
+  auto C = corpus::check(P.Name);
+  if (!P.ExpectAccept)
+    GTEST_SKIP() << "rejected program (covered by DynamicBehaviour)";
+  ASSERT_FALSE(C->diags().hasErrors()) << C->diags().render();
+
+  interp::Interp I(*C);
+  ASSERT_TRUE(I.run("main")) << I.trapMessage();
+  EXPECT_EQ(dynamicDetections(I), 0u)
+      << "checker-accepted program violated a protocol at run time";
+}
+
+TEST_P(OracleSoundness, DynamicBehaviourMatchesAnnotation) {
+  const auto &P = GetParam();
+  if (!P.Runnable || P.ExpectAccept)
+    GTEST_SKIP();
+  auto C = corpus::check(P.Name);
+  ASSERT_TRUE(C->diags().hasErrors()) << "defect not rejected statically";
+
+  interp::Interp I(*C);
+  I.run("main");
+  EXPECT_EQ(dynamicDetections(I) > 0, P.ExpectDynViolations)
+      << "dynamic oracle disagrees with the corpus annotation";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, OracleSoundness, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(OracleSoundness, StaticCoversStrictlyMoreThanOneDynamicRun) {
+  unsigned Defects = 0, Static = 0, Dynamic = 0;
+  for (const auto &P : corpus::index()) {
+    if (P.ExpectAccept)
+      continue;
+    ++Defects;
+    auto C = corpus::check(P.Name);
+    if (C->diags().hasErrors())
+      ++Static;
+    if (P.Runnable) {
+      interp::Interp I(*C);
+      I.run("main");
+      if (dynamicDetections(I) > 0)
+        ++Dynamic;
+    }
+  }
+  EXPECT_GT(Defects, 10u);
+  EXPECT_EQ(Static, Defects) << "Vault catches every seeded defect";
+  EXPECT_LT(Dynamic, Static) << "a single test run must miss some defects "
+                                "(cold paths, silent leaks)";
+}
+
+} // namespace

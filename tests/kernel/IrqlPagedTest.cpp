@@ -1,0 +1,143 @@
+//===- IrqlPagedTest.cpp - IRQL controller and paged pool -----------------===//
+
+#include "kernel/DriverStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::kern;
+
+namespace {
+
+TEST(Irql, RaiseAndLower) {
+  Oracle O;
+  IrqlController C(O);
+  EXPECT_EQ(C.current(), Irql::Passive);
+  Irql Old = C.raise(Irql::Dispatch);
+  EXPECT_EQ(Old, Irql::Passive);
+  EXPECT_EQ(C.current(), Irql::Dispatch);
+  C.lower(Old);
+  EXPECT_EQ(C.current(), Irql::Passive);
+  EXPECT_EQ(O.total(), 0u);
+}
+
+TEST(Irql, RaiseDownwardIsViolation) {
+  Oracle O;
+  IrqlController C(O);
+  C.raise(Irql::Dispatch);
+  C.raise(Irql::Passive);
+  EXPECT_EQ(O.count(Violation::IrqlInvalidTransition), 1u);
+  EXPECT_EQ(C.current(), Irql::Dispatch) << "level unchanged on violation";
+}
+
+TEST(Irql, LowerUpwardIsViolation) {
+  Oracle O;
+  IrqlController C(O);
+  C.lower(Irql::Dirql);
+  EXPECT_EQ(O.count(Violation::IrqlInvalidTransition), 1u);
+}
+
+TEST(Irql, RequireMaxLevel) {
+  Oracle O;
+  IrqlController C(O);
+  EXPECT_TRUE(C.require(Irql::Apc, "pagedRead"));
+  C.raise(Irql::Dispatch);
+  EXPECT_FALSE(C.require(Irql::Apc, "pagedRead"));
+  EXPECT_EQ(O.count(Violation::IrqlTooHigh), 1u);
+}
+
+TEST(PagedPool, ResidentAccessAtAnyLevel) {
+  Oracle O;
+  IrqlController C(O);
+  PagedPool P(C, O);
+  auto H = P.allocate(64, PoolType::Paged);
+  P.write(H, 0, 42);
+  C.raise(Irql::Dispatch);
+  EXPECT_EQ(P.read(H, 0), 42) << "resident pages are safe at DISPATCH";
+  EXPECT_EQ(O.total(), 0u);
+  EXPECT_FALSE(P.bugchecked());
+}
+
+TEST(PagedPool, FaultServicedAtPassive) {
+  Oracle O;
+  IrqlController C(O);
+  PagedPool P(C, O);
+  auto H = P.allocate(64, PoolType::Paged);
+  P.write(H, 3, 7);
+  P.evict(H);
+  EXPECT_FALSE(P.isResident(H));
+  EXPECT_EQ(P.read(H, 3), 7) << "fault serviced, data preserved";
+  EXPECT_TRUE(P.isResident(H));
+  EXPECT_EQ(O.total(), 0u);
+}
+
+TEST(PagedPool, FaultAtDispatchBugchecks) {
+  // The paper's §4.4 hazard: "if the data's page happens to be
+  // resident, then the access is fine; otherwise, the kernel
+  // deadlocks".
+  Oracle O;
+  IrqlController C(O);
+  PagedPool P(C, O);
+  auto H = P.allocate(64, PoolType::Paged);
+  P.evict(H);
+  C.raise(Irql::Dispatch);
+  P.read(H, 0);
+  EXPECT_TRUE(P.bugchecked());
+  EXPECT_EQ(O.count(Violation::PagedAccessAtDispatch), 1u);
+}
+
+TEST(PagedPool, TimingDependentBug) {
+  // The same code path is fine or fatal depending on memory pressure —
+  // why such bugs are "very difficult to reproduce" by testing.
+  auto RunWorkload = [](bool Pressure) {
+    Oracle O;
+    IrqlController C(O);
+    PagedPool P(C, O);
+    auto H = P.allocate(64, PoolType::Paged);
+    if (Pressure)
+      P.evictAll();
+    C.raise(Irql::Dispatch);
+    P.read(H, 0);
+    C.lower(Irql::Passive);
+    return O.count(Violation::PagedAccessAtDispatch);
+  };
+  EXPECT_EQ(RunWorkload(false), 0u) << "test run without pressure: passes";
+  EXPECT_EQ(RunWorkload(true), 1u) << "same code under pressure: bugcheck";
+}
+
+TEST(PagedPool, NonPagedNeverEvicted) {
+  Oracle O;
+  IrqlController C(O);
+  PagedPool P(C, O);
+  auto H = P.allocate(64, PoolType::NonPaged);
+  P.evictAll();
+  EXPECT_TRUE(P.isResident(H));
+  C.raise(Irql::Dirql);
+  P.write(H, 0, 1);
+  EXPECT_EQ(O.total(), 0u);
+}
+
+TEST(PagedPool, UseAfterFreeDetected) {
+  Oracle O;
+  IrqlController C(O);
+  PagedPool P(C, O);
+  auto H = P.allocate(16, PoolType::Paged);
+  P.free(H);
+  P.read(H, 0);
+  EXPECT_EQ(O.count(Violation::UseAfterFree), 1u);
+  P.free(H);
+  EXPECT_EQ(O.count(Violation::UseAfterFree), 2u);
+}
+
+TEST(Oracle, ReportFormat) {
+  Oracle O;
+  O.record(Violation::IrpLeak, "IRP #1 lost");
+  O.record(Violation::LockDoubleAcquire, "lock L");
+  std::string R = O.report();
+  EXPECT_NE(R.find("irp-leak"), std::string::npos);
+  EXPECT_NE(R.find("lock-double-acquire"), std::string::npos);
+  EXPECT_EQ(O.total(), 2u);
+  O.clear();
+  EXPECT_TRUE(O.clean());
+}
+
+} // namespace

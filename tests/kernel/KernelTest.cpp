@@ -1,0 +1,190 @@
+//===- KernelTest.cpp - Kernel simulator core -----------------------------===//
+
+#include "driver/PassThroughDriver.h"
+#include "kernel/DriverStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::kern;
+using namespace vault::drv;
+
+namespace {
+
+TEST(Kernel, DeviceStackConstruction) {
+  Kernel K;
+  DeviceObject *Bus = K.createDevice("bus");
+  DeviceObject *Mid = K.createDevice("mid");
+  DeviceObject *Top = K.createDevice("top");
+  K.attach(Mid, Bus);
+  K.attach(Top, Mid);
+  EXPECT_EQ(K.stackDepth(Top), 3u);
+  EXPECT_EQ(K.stackDepth(Bus), 1u);
+  EXPECT_EQ(Top->lower(), Mid);
+}
+
+TEST(Kernel, IrpAllocationSizesStack) {
+  Kernel K;
+  DeviceObject *Bus = K.createDevice("bus");
+  DeviceObject *Top = K.createDevice("top");
+  K.attach(Top, Bus);
+  Irp *I = K.allocateIrp(IrpMajor::Read, Top, 512);
+  EXPECT_EQ(I->stackDepth(), 2u);
+  EXPECT_EQ(I->bufferSize(), 512u);
+  EXPECT_EQ(I->major(), IrpMajor::Read);
+}
+
+TEST(Kernel, PassThroughStackCompletes) {
+  Kernel K;
+  DeviceObject *Bus = K.createDevice("bus");
+  makeBusDriver(K, Bus);
+  DeviceObject *Filter = K.createDevice("filter");
+  makePassThroughDriver(K, Filter);
+  K.attach(Filter, Bus);
+  Irp *I = K.allocateIrp(IrpMajor::Pnp, Filter);
+  NtStatus St = K.sendRequest(Filter, I);
+  EXPECT_EQ(St, NtStatus::Success);
+  EXPECT_TRUE(I->isCompleted());
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST(Kernel, MissingDispatchCompletesInvalidRequest) {
+  Kernel K;
+  DeviceObject *Dev = K.createDevice("bare");
+  Irp *I = K.allocateIrp(IrpMajor::Read, Dev);
+  EXPECT_EQ(K.sendRequest(Dev, I), NtStatus::InvalidDeviceRequest);
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST(Kernel, DoubleCompleteDetected) {
+  Kernel K;
+  DeviceObject *Dev = K.createDevice("dev");
+  Dev->setDispatch(IrpMajor::Read, [](Kernel &Kn, DeviceObject &, Irp &I) {
+    Kn.completeRequest(&I, NtStatus::Success);
+    return Kn.completeRequest(&I, NtStatus::Success);
+  });
+  Irp *I = K.allocateIrp(IrpMajor::Read, Dev);
+  K.sendRequest(Dev, I);
+  EXPECT_EQ(K.oracle().count(Violation::IrpDoubleComplete), 1u);
+}
+
+TEST(Kernel, ForgottenIrpDetected) {
+  Kernel K;
+  DeviceObject *Dev = K.createDevice("dev");
+  Dev->setDispatch(IrpMajor::Read, [](Kernel &, DeviceObject &, Irp &) {
+    return DriverStatus::Pending; // Lies: never pended.
+  });
+  Irp *I = K.allocateIrp(IrpMajor::Read, Dev);
+  K.sendRequest(Dev, I);
+  EXPECT_EQ(K.oracle().count(Violation::IrpLeak), 1u);
+}
+
+TEST(Kernel, AccessWithoutOwnershipDetected) {
+  Kernel K;
+  DeviceObject *Dev = K.createDevice("dev");
+  DeviceObject *Thief = K.createDevice("thief");
+  Dev->setDispatch(IrpMajor::Read,
+                   [Thief](Kernel &Kn, DeviceObject &, Irp &I) {
+                     I.buffer(Thief); // Wrong owner tag.
+                     return Kn.completeRequest(&I, NtStatus::Success);
+                   });
+  Irp *I = K.allocateIrp(IrpMajor::Read, Dev, 16);
+  K.sendRequest(Dev, I);
+  EXPECT_EQ(K.oracle().count(Violation::IrpAccessWithoutOwnership), 1u);
+}
+
+TEST(Kernel, CompletionRoutineRunsBottomUp) {
+  Kernel K;
+  DeviceObject *Bus = K.createDevice("bus");
+  makeBusDriver(K, Bus);
+  DeviceObject *Top = K.createDevice("top");
+  std::vector<std::string> Order;
+  Top->setDispatch(IrpMajor::Pnp,
+                   [&Order](Kernel &Kn, DeviceObject &D, Irp &I) {
+                     Kn.setCompletionRoutine(
+                         &I, &D,
+                         [&Order](Kernel &, DeviceObject &,
+                                  Irp &) -> CompletionDisposition {
+                           Order.push_back("completion");
+                           return CompletionDisposition::Continue;
+                         });
+                     Order.push_back("dispatch");
+                     return Kn.callDriver(D.lower(), &I);
+                   });
+  K.attach(Top, Bus);
+  Irp *I = K.allocateIrp(IrpMajor::Pnp, Top);
+  K.sendRequest(Top, I);
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], "dispatch");
+  EXPECT_EQ(Order[1], "completion");
+  EXPECT_EQ(K.stats().CompletionRoutinesRun, 1u);
+}
+
+TEST(Kernel, MoreProcessingRequiredReclaimsOwnership) {
+  Kernel K;
+  DeviceObject *Bus = K.createDevice("bus");
+  makeBusDriver(K, Bus);
+  DeviceObject *Top = K.createDevice("top");
+  Top->setDispatch(IrpMajor::Pnp, [](Kernel &Kn, DeviceObject &D, Irp &I) {
+    KEvent Back("back");
+    Kn.initializeEvent(Back);
+    Kn.setCompletionRoutine(&I, &D,
+                            [&Back](Kernel &Kn2, DeviceObject &,
+                                    Irp &) -> CompletionDisposition {
+                              Kn2.setEvent(Back);
+                              return CompletionDisposition::
+                                  MoreProcessingRequired;
+                            });
+    Kn.callDriver(D.lower(), &I);
+    EXPECT_TRUE(Kn.waitForEvent(Back));
+    EXPECT_FALSE(I.isCompleted()) << "ownership reclaimed";
+    return Kn.completeRequest(&I, NtStatus::Success);
+  });
+  K.attach(Top, Bus);
+  Irp *I = K.allocateIrp(IrpMajor::Pnp, Top);
+  EXPECT_EQ(K.sendRequest(Top, I), NtStatus::Success);
+  EXPECT_TRUE(I->isCompleted());
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST(Kernel, EventDeadlockDetected) {
+  Kernel K;
+  KEvent Never("never");
+  K.initializeEvent(Never);
+  EXPECT_FALSE(K.waitForEvent(Never));
+  EXPECT_EQ(K.oracle().count(Violation::EventDeadlock), 1u);
+}
+
+TEST(Kernel, WorkQueueRunsDeferredWork) {
+  Kernel K;
+  int Ran = 0;
+  K.queueWorkItem([&Ran](Kernel &) { ++Ran; });
+  K.queueWorkItem([&Ran](Kernel &) { ++Ran; });
+  EXPECT_EQ(K.pendingWork(), 2u);
+  EXPECT_EQ(K.runAllWork(), 2u);
+  EXPECT_EQ(Ran, 2);
+  EXPECT_FALSE(K.runOneWorkItem());
+}
+
+TEST(Kernel, IrpLeakReportAtTeardown) {
+  Kernel K;
+  DeviceObject *Dev = K.createDevice("dev");
+  Dev->setDispatch(IrpMajor::Read, [](Kernel &Kn, DeviceObject &, Irp &I) {
+    return Kn.markIrpPending(&I); // Pended but never completed.
+  });
+  Irp *I = K.allocateIrp(IrpMajor::Read, Dev);
+  EXPECT_EQ(K.sendRequest(Dev, I), NtStatus::Pending);
+  EXPECT_EQ(K.reportIrpLeaks(), 1u);
+}
+
+TEST(Kernel, CallDriverWithNoLowerDevice) {
+  Kernel K;
+  DeviceObject *Dev = K.createDevice("lonely");
+  Dev->setDispatch(IrpMajor::Read, [](Kernel &Kn, DeviceObject &D, Irp &I) {
+    return Kn.callDriver(D.lower(), &I); // No lower device.
+  });
+  Irp *I = K.allocateIrp(IrpMajor::Read, Dev);
+  EXPECT_EQ(K.sendRequest(Dev, I), NtStatus::NoSuchDevice);
+  EXPECT_GE(K.oracle().total(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- SpinLockEventTest.cpp - Spin locks and events ----------------------===//
+
+#include "kernel/DriverStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::kern;
+
+namespace {
+
+TEST(SpinLocks, AcquireRaisesToDispatch) {
+  Oracle O;
+  IrqlController C(O);
+  SpinLock L("q");
+  Irql Old = L.acquire(C, O);
+  EXPECT_EQ(Old, Irql::Passive);
+  EXPECT_EQ(C.current(), Irql::Dispatch);
+  EXPECT_TRUE(L.isHeld());
+  L.release(C, O, Old);
+  EXPECT_EQ(C.current(), Irql::Passive);
+  EXPECT_FALSE(L.isHeld());
+  EXPECT_EQ(O.total(), 0u);
+}
+
+TEST(SpinLocks, DoubleAcquireIsDeadlock) {
+  Oracle O;
+  IrqlController C(O);
+  SpinLock L("q");
+  L.acquire(C, O);
+  L.acquire(C, O);
+  EXPECT_EQ(O.count(Violation::LockDoubleAcquire), 1u);
+}
+
+TEST(SpinLocks, ReleaseNotHeld) {
+  Oracle O;
+  IrqlController C(O);
+  SpinLock L("q");
+  L.release(C, O, Irql::Passive);
+  EXPECT_EQ(O.count(Violation::LockReleaseNotHeld), 1u);
+}
+
+TEST(SpinLocks, NestedLocksRestoreInOrder) {
+  Oracle O;
+  IrqlController C(O);
+  SpinLock L1("a"), L2("b");
+  Irql S1 = L1.acquire(C, O); // PASSIVE -> DISPATCH
+  Irql S2 = L2.acquire(C, O); // DISPATCH -> DISPATCH
+  EXPECT_EQ(S1, Irql::Passive);
+  EXPECT_EQ(S2, Irql::Dispatch);
+  L2.release(C, O, S2);
+  EXPECT_EQ(C.current(), Irql::Dispatch);
+  L1.release(C, O, S1);
+  EXPECT_EQ(C.current(), Irql::Passive);
+  EXPECT_EQ(O.total(), 0u);
+}
+
+TEST(SpinLocks, SavedLevelConvenienceRelease) {
+  Oracle O;
+  IrqlController C(O);
+  SpinLock L("q");
+  L.acquire(C, O);
+  L.release(C, O); // Uses the internally saved level.
+  EXPECT_EQ(C.current(), Irql::Passive);
+}
+
+TEST(Events, SignalThenWaitSucceedsImmediately) {
+  Kernel K;
+  KEvent E("e");
+  K.initializeEvent(E);
+  K.setEvent(E);
+  EXPECT_TRUE(K.waitForEvent(E));
+  EXPECT_EQ(K.oracle().total(), 0u);
+}
+
+TEST(Events, WaitDrainsWorkUntilSignal) {
+  Kernel K;
+  KEvent E("e");
+  K.initializeEvent(E);
+  int Steps = 0;
+  K.queueWorkItem([&Steps](Kernel &) { ++Steps; });
+  K.queueWorkItem([&Steps, &E](Kernel &Kn) {
+    ++Steps;
+    Kn.setEvent(E);
+  });
+  K.queueWorkItem([&Steps](Kernel &) { ++Steps; });
+  EXPECT_TRUE(K.waitForEvent(E));
+  EXPECT_EQ(Steps, 2) << "wait stops as soon as the event is signaled";
+  EXPECT_EQ(K.pendingWork(), 1u);
+}
+
+TEST(Events, ReinitializeClearsSignal) {
+  Kernel K;
+  KEvent E("e");
+  K.setEvent(E);
+  K.initializeEvent(E);
+  EXPECT_FALSE(E.isSignaled());
+  EXPECT_FALSE(K.waitForEvent(E));
+  EXPECT_EQ(K.oracle().count(Violation::EventDeadlock), 1u);
+}
+
+TEST(SpinLocks, KernelForwarders) {
+  Kernel K;
+  SpinLock L("k");
+  Irql Old = K.acquireSpinLock(L);
+  EXPECT_EQ(K.irql().current(), Irql::Dispatch);
+  K.releaseSpinLock(L, Old);
+  EXPECT_EQ(K.irql().current(), Irql::Passive);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- LexerTest.cpp ------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Text, unsigned *Errors = nullptr) {
+  static SourceManager SM;
+  static DiagnosticEngine Diags(SM);
+  Diags.clear();
+  uint32_t Id = SM.addBuffer("lex.vlt", Text);
+  Lexer L(SM, Id, Diags);
+  auto Toks = L.lexAll();
+  if (Errors)
+    *Errors = Diags.errorCount();
+  return Toks;
+}
+
+std::vector<TokKind> kindsOf(const std::string &Text) {
+  std::vector<TokKind> Out;
+  for (const Token &T : lexAll(Text))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, Empty) {
+  auto Toks = lexAll("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokKind::Eof));
+}
+
+TEST(Lexer, Keywords) {
+  auto Ks = kindsOf("tracked key stateset variant interface module free");
+  std::vector<TokKind> Want = {
+      TokKind::KwTracked, TokKind::KwKey,    TokKind::KwStateset,
+      TokKind::KwVariant, TokKind::KwInterface, TokKind::KwModule,
+      TokKind::KwFree,    TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(Lexer, TickIdentifier) {
+  auto Toks = lexAll("'SomeKey 'Nil");
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[0].is(TokKind::TickIdentifier));
+  EXPECT_EQ(Toks[0].Text, "SomeKey");
+  EXPECT_EQ(Toks[1].Text, "Nil");
+}
+
+TEST(Lexer, Underscore) {
+  auto Toks = lexAll("_ _x");
+  EXPECT_TRUE(Toks[0].is(TokKind::Underscore));
+  EXPECT_TRUE(Toks[1].is(TokKind::Identifier));
+  EXPECT_EQ(Toks[1].Text, "_x");
+}
+
+TEST(Lexer, Numbers) {
+  auto Toks = lexAll("0 42 0x1F");
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 31);
+}
+
+TEST(Lexer, BadNumber) {
+  unsigned Errors = 0;
+  lexAll("12abc", &Errors);
+  EXPECT_EQ(Errors, 1u);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto Toks = lexAll(R"("a\nb\"c")");
+  ASSERT_TRUE(Toks[0].is(TokKind::StringLiteral));
+  EXPECT_EQ(Toks[0].Text, "a\nb\"c");
+}
+
+TEST(Lexer, UnterminatedString) {
+  unsigned Errors = 0;
+  lexAll("\"oops", &Errors);
+  EXPECT_EQ(Errors, 1u);
+}
+
+TEST(Lexer, ArrowVsMinus) {
+  auto Ks = kindsOf("a->b a-b a--");
+  std::vector<TokKind> Want = {TokKind::Identifier, TokKind::Arrow,
+                               TokKind::Identifier, TokKind::Identifier,
+                               TokKind::Minus,      TokKind::Identifier,
+                               TokKind::Identifier, TokKind::MinusMinus,
+                               TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto Ks = kindsOf("< <= > >= == != =");
+  std::vector<TokKind> Want = {
+      TokKind::Less,         TokKind::LessEqual, TokKind::Greater,
+      TokKind::GreaterEqual, TokKind::EqualEqual, TokKind::ExclaimEqual,
+      TokKind::Equal,        TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(Lexer, Comments) {
+  auto Ks = kindsOf("a // line comment\nb /* block\ncomment */ c");
+  std::vector<TokKind> Want = {TokKind::Identifier, TokKind::Identifier,
+                               TokKind::Identifier, TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  unsigned Errors = 0;
+  lexAll("a /* never closed", &Errors);
+  EXPECT_EQ(Errors, 1u);
+}
+
+TEST(Lexer, EffectClauseTokens) {
+  auto Ks = kindsOf("[K@a->b, -F, +G, new H@s]");
+  std::vector<TokKind> Want = {
+      TokKind::LBracket, TokKind::Identifier, TokKind::At,
+      TokKind::Identifier, TokKind::Arrow,    TokKind::Identifier,
+      TokKind::Comma,    TokKind::Minus,      TokKind::Identifier,
+      TokKind::Comma,    TokKind::Plus,       TokKind::Identifier,
+      TokKind::Comma,    TokKind::KwNew,      TokKind::Identifier,
+      TokKind::At,       TokKind::Identifier, TokKind::RBracket,
+      TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(Lexer, UnknownCharacterRecovers) {
+  unsigned Errors = 0;
+  auto Toks = lexAll("a $ b", &Errors);
+  EXPECT_EQ(Errors, 1u);
+  ASSERT_EQ(Toks.size(), 3u); // a, b, eof — '$' skipped.
+}
+
+TEST(Lexer, Locations) {
+  auto Toks = lexAll("ab\ncd");
+  EXPECT_EQ(Toks[0].Loc.Offset, 0u);
+  EXPECT_EQ(Toks[1].Loc.Offset, 3u);
+}
+
+TEST(Lexer, PositionSaveRestore) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  uint32_t Id = SM.addBuffer("t.vlt", "a b c");
+  Lexer L(SM, Id, Diags);
+  L.lex();
+  size_t Pos = L.position();
+  Token B1 = L.lex();
+  L.setPosition(Pos);
+  Token B2 = L.lex();
+  EXPECT_EQ(B1.Text, B2.Text);
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+//===- CEmitterTest.cpp - Vault-to-C lowering / key erasure ---------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "lower/CEmitter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+std::string emit(const std::string &Src, const std::string &Prelude = "") {
+  auto C = check(Src, Prelude);
+  EXPECT_FALSE(C->diags().hasErrors()) << C->diags().render();
+  CEmitter E(*C);
+  return E.emitProgram();
+}
+
+TEST(CEmitter, ErasesKeysAndGuards) {
+  std::string CSrc = emit(R"(
+void okay() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  Region.delete(rgn);
+}
+)",
+                          regionPrelude());
+  // No trace of the protocol machinery survives lowering.
+  EXPECT_EQ(CSrc.find("tracked"), std::string::npos);
+  EXPECT_EQ(CSrc.find("held-key"), std::string::npos);
+  EXPECT_EQ(CSrc.find("[-R]"), std::string::npos);
+  EXPECT_EQ(CSrc.find("@raw"), std::string::npos);
+  // The functional content survives.
+  EXPECT_NE(CSrc.find("vault_region_alloc"), std::string::npos);
+  EXPECT_NE(CSrc.find("pt->x++"), std::string::npos);
+}
+
+TEST(CEmitter, VariantsBecomeTaggedUnions) {
+  std::string CSrc = emit(R"(
+variant opt [ 'None | 'Some(int) ];
+int get(opt o, int dflt) {
+  switch (o) {
+    case 'None:
+      return dflt;
+    case 'Some(v):
+      return v;
+  }
+}
+)");
+  EXPECT_NE(CSrc.find("enum opt_tag"), std::string::npos);
+  EXPECT_NE(CSrc.find("struct opt"), std::string::npos);
+  EXPECT_NE(CSrc.find("opt_None"), std::string::npos);
+  EXPECT_NE(CSrc.find("switch"), std::string::npos);
+}
+
+TEST(CEmitter, EnumOnlyVariantsLowerToEnums) {
+  std::string CSrc = emit("variant dir [ 'Left | 'Right ];\n"
+                          "dir flip(dir d) { switch (d) { case 'Left: return "
+                          "'Right; case 'Right: return 'Left; } }");
+  EXPECT_NE(CSrc.find("enum dir"), std::string::npos);
+  EXPECT_EQ(CSrc.find("union"), std::string::npos);
+}
+
+TEST(CEmitter, KeyedCtorLosesItsBraces) {
+  std::string CSrc = emit(R"(
+type FILE;
+tracked(@open) FILE fopen(string path);
+void fclose(tracked(F) FILE) [-F];
+variant opt_key<key K> [ 'NoKey | 'SomeKey {K} ];
+void foo(tracked(F) FILE f) [-F] {
+  tracked opt_key<F> flag = 'SomeKey{F};
+  switch (flag) {
+    case 'NoKey:
+    case 'SomeKey:
+      fclose(f);
+  }
+}
+)");
+  // The key braces have no run-time counterpart.
+  EXPECT_EQ(CSrc.find("{F}"), std::string::npos);
+  EXPECT_NE(CSrc.find("opt_key_SomeKey"), std::string::npos);
+}
+
+TEST(CEmitter, CountCodeLines) {
+  EXPECT_EQ(CEmitter::countCodeLines(""), 0u);
+  EXPECT_EQ(CEmitter::countCodeLines("int x;\n// comment\n\nint y;\n"), 2u);
+  EXPECT_EQ(CEmitter::countCodeLines("  // indented comment\n  code;\n"), 1u);
+}
+
+TEST(CEmitter, StatesetAndKeysAreCompileTimeOnly) {
+  std::string CSrc = emit(R"(
+stateset L = [ a < b ];
+key G @ L;
+void f() [G @ a] {}
+)");
+  EXPECT_NE(CSrc.find("compile-time only"), std::string::npos);
+}
+
+class CorpusCompiles : public ::testing::TestWithParam<corpus::ProgramInfo> {};
+
+TEST_P(CorpusCompiles, EmittedCIsValidC) {
+  const auto &P = GetParam();
+  if (!P.ExpectAccept)
+    GTEST_SKIP() << "only accepted programs are lowered";
+  auto C = corpus::check(P.Name);
+  ASSERT_FALSE(C->diags().hasErrors());
+  CEmitter E(*C);
+  std::string CSrc = E.emitProgram();
+  ASSERT_FALSE(CSrc.empty());
+
+  // Compile the generated C with the system compiler (syntax only).
+  std::string Base = ::testing::TempDir() + "/vault_emit_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(reinterpret_cast<uintptr_t>(&P) & 0xffff);
+  std::string CPath = Base + ".c";
+  std::ofstream Out(CPath);
+  Out << CSrc;
+  Out.close();
+  std::string Cmd = "cc -std=c11 -fsyntax-only " + CPath + " 2>" + Base + ".log";
+  int Rc = std::system(Cmd.c_str());
+  std::ifstream Log(Base + ".log");
+  std::string Err((std::istreambuf_iterator<char>(Log)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(Rc, 0) << "emitted C does not compile:\n" << Err << "\n" << CSrc;
+  std::remove(CPath.c_str());
+  std::remove((Base + ".log").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusCompiles, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

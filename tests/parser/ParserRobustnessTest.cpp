@@ -1,0 +1,124 @@
+//===- ParserRobustnessTest.cpp - No crash on mangled input ---------------===//
+//
+// Deterministic fuzz-lite: the front end must never crash, hang, or
+// loop on damaged input — it must report diagnostics and terminate.
+// Mutations are seeded deterministically from corpus programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "sema/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace vault;
+
+namespace {
+
+/// A cheap deterministic PRNG (avoid platform-dependent distributions).
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  size_t below(size_t N) { return N ? next() % N : 0; }
+};
+
+std::string mutate(std::string Text, Rng &R, unsigned Edits) {
+  static const char *Tokens[] = {"tracked", "[-K]", "'Ctor", "@", "<",  ">",
+                                 "{",       "}",    "(",     ")", ";",  ":",
+                                 "key",     "new",  "free",  "|", "->", "%"};
+  for (unsigned I = 0; I != Edits && !Text.empty(); ++I) {
+    switch (R.below(4)) {
+    case 0: // Delete a span.
+    {
+      size_t Pos = R.below(Text.size());
+      size_t Len = 1 + R.below(8);
+      Text.erase(Pos, std::min(Len, Text.size() - Pos));
+      break;
+    }
+    case 1: // Insert a token.
+    {
+      size_t Pos = R.below(Text.size());
+      Text.insert(Pos, Tokens[R.below(std::size(Tokens))]);
+      break;
+    }
+    case 2: // Flip a character.
+    {
+      size_t Pos = R.below(Text.size());
+      Text[Pos] = static_cast<char>(' ' + R.below(94));
+      break;
+    }
+    case 3: // Duplicate a span.
+    {
+      size_t Pos = R.below(Text.size());
+      size_t Len = std::min<size_t>(1 + R.below(16), Text.size() - Pos);
+      Text.insert(Pos, Text.substr(Pos, Len));
+      break;
+    }
+    }
+  }
+  return Text;
+}
+
+class ParserRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserRobustness, MutatedCorpusNeverCrashes) {
+  Rng R(static_cast<uint64_t>(GetParam()));
+  const auto &Index = corpus::index();
+  const auto &Program = Index[R.below(Index.size())];
+  std::string Text = corpus::load(Program.Name);
+  ASSERT_FALSE(Text.empty());
+  for (unsigned Round = 0; Round != 8; ++Round) {
+    std::string Mangled = mutate(Text, R, 1 + Round * 3);
+    VaultCompiler C;
+    C.addSource("fuzz.vlt", Mangled);
+    // Must terminate; verdict and diagnostics are irrelevant.
+    (void)C.check();
+    SUCCEED();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Range(0, 24));
+
+TEST(ParserRobustness, TruncationsOfTheDriver) {
+  // Every prefix-truncation of the largest program must terminate.
+  std::string Text = corpus::load("driver/floppy");
+  ASSERT_FALSE(Text.empty());
+  for (size_t Cut = 0; Cut < Text.size(); Cut += 97) {
+    VaultCompiler C;
+    C.addSource("trunc.vlt", Text.substr(0, Cut));
+    (void)C.check();
+  }
+  SUCCEED();
+}
+
+TEST(ParserRobustness, PathologicalNesting) {
+  // Deep parenthesis/brace nesting must not blow the stack at sane
+  // depths.
+  std::string Expr = "1";
+  for (int I = 0; I != 200; ++I)
+    Expr = "(" + Expr + " + 1)";
+  VaultCompiler C;
+  C.addSource("deep.vlt", "void f() { int x = " + Expr + "; }");
+  EXPECT_TRUE(C.check()) << C.diags().render();
+}
+
+TEST(ParserRobustness, GarbageBytes) {
+  std::string Garbage;
+  Rng R(1234);
+  for (int I = 0; I != 4096; ++I)
+    Garbage += static_cast<char>(R.below(256));
+  VaultCompiler C;
+  C.addSource("garbage.vlt", Garbage);
+  (void)C.check();
+  SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,52 @@
+//===- ParserRoundTripTest.cpp --------------------------------------------===//
+//
+// Property: pretty-printing a parsed program and re-parsing the output
+// yields a program that pretty-prints identically (print∘parse is a
+// fixpoint after one iteration). Exercised over every corpus program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "corpus/Corpus.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+std::string parseAndPrint(const std::string &Text, bool &Ok) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  AstContext Ctx;
+  Ok = Parser::parseString(Ctx, SM, Diags, "rt.vlt", Text);
+  AstPrinter P;
+  return P.print(Ctx.program());
+}
+
+class RoundTrip : public ::testing::TestWithParam<corpus::ProgramInfo> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  std::string Source = corpus::load(GetParam().Name);
+  ASSERT_FALSE(Source.empty()) << "cannot load " << GetParam().Name;
+
+  bool Ok1 = false, Ok2 = false;
+  std::string Once = parseAndPrint(Source, Ok1);
+  ASSERT_TRUE(Ok1) << "original does not parse";
+  std::string Twice = parseAndPrint(Once, Ok2);
+  ASSERT_TRUE(Ok2) << "printed output does not re-parse:\n" << Once;
+  EXPECT_EQ(Once, Twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- ParserTest.cpp -----------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<AstContext> Ctx;
+  bool Ok = false;
+};
+
+Parsed parse(const std::string &Text) {
+  Parsed P;
+  P.SM = std::make_unique<SourceManager>();
+  P.Diags = std::make_unique<DiagnosticEngine>(*P.SM);
+  P.Ctx = std::make_unique<AstContext>();
+  P.Ok = Parser::parseString(*P.Ctx, *P.SM, *P.Diags, "p.vlt", Text);
+  return P;
+}
+
+TEST(Parser, EmptyProgram) {
+  auto P = parse("");
+  EXPECT_TRUE(P.Ok);
+  EXPECT_TRUE(P.Ctx->program().Decls.empty());
+}
+
+TEST(Parser, FunctionPrototype) {
+  auto P = parse("void fclose(tracked(F) FILE f) [-F];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  ASSERT_EQ(P.Ctx->program().Decls.size(), 1u);
+  const auto *F = dyn_cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isPrototype());
+  EXPECT_EQ(F->params().size(), 1u);
+  EXPECT_TRUE(F->effect().Present);
+  ASSERT_EQ(F->effect().Items.size(), 1u);
+  EXPECT_EQ(F->effect().Items[0].M, EffectItemAst::Mode::Consume);
+  EXPECT_EQ(F->effect().Items[0].KeyName, "F");
+}
+
+TEST(Parser, EffectShorthands) {
+  auto P = parse("void f(tracked(K) T x) [K@a];"
+                 "void g(tracked(K) T x) [K@a->b];"
+                 "void h() [+K@b];"
+                 "void i() [new K@b];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  ASSERT_EQ(F->effect().Items.size(), 1u);
+  EXPECT_EQ(F->effect().Items[0].M, EffectItemAst::Mode::Keep);
+  ASSERT_TRUE(F->effect().Items[0].Post.has_value());
+  EXPECT_EQ(*F->effect().Items[0].Post, "a"); // [K@a] == [K@a->a]
+  const auto *G = cast<FuncDecl>(P.Ctx->program().Decls[1]);
+  EXPECT_EQ(*G->effect().Items[0].Post, "b");
+  const auto *H = cast<FuncDecl>(P.Ctx->program().Decls[2]);
+  EXPECT_EQ(H->effect().Items[0].M, EffectItemAst::Mode::Produce);
+  const auto *I = cast<FuncDecl>(P.Ctx->program().Decls[3]);
+  EXPECT_EQ(I->effect().Items[0].M, EffectItemAst::Mode::Fresh);
+}
+
+TEST(Parser, BoundedStateVariable) {
+  auto P = parse(
+      "int f() [IRQL @ (level <= DISPATCH_LEVEL) -> DISPATCH_LEVEL];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  ASSERT_EQ(F->effect().Items.size(), 1u);
+  const EffectItemAst &I = F->effect().Items[0];
+  ASSERT_TRUE(I.Pre.has_value());
+  EXPECT_EQ(I.Pre->K, StateExprAst::Kind::BoundedVar);
+  EXPECT_EQ(I.Pre->Name, "level");
+  EXPECT_EQ(I.Pre->Bound, "DISPATCH_LEVEL");
+  EXPECT_EQ(*I.Post, "DISPATCH_LEVEL");
+}
+
+TEST(Parser, GuardedLocalDecl) {
+  auto P = parse("void f() { K:FILE input; }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  ASSERT_EQ(F->body()->stmts().size(), 1u);
+  const auto *DS = dyn_cast<DeclStmt>(F->body()->stmts()[0]);
+  ASSERT_NE(DS, nullptr);
+  const auto *V = cast<VarDecl>(DS->decl());
+  const auto *G = dyn_cast<GuardedTypeExpr>(V->typeExpr());
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->guards().size(), 1u);
+  EXPECT_EQ(G->guards()[0].KeyName, "K");
+}
+
+TEST(Parser, GuardWithState) {
+  auto P = parse("void f() { K@open:FILE input; }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, DeclVsExpressionAmbiguity) {
+  // `a < b;` is an expression, not a malformed generic declaration.
+  auto P = parse("void f(int a, int b) { a < b; a * b - 1; }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  EXPECT_EQ(F->body()->stmts().size(), 2u);
+  EXPECT_TRUE(isa<ExprStmt>(F->body()->stmts()[0]));
+}
+
+TEST(Parser, GenericTypeLocal) {
+  auto P = parse("void f(tracked(I) IRP irp) { KEVENT<I> ev = mk(irp); }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, VariantDeclaration) {
+  auto P = parse(
+      "variant status<key K> [ 'Ok {K@named} | 'Error(int) {K@raw} ];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *V = cast<VariantDecl>(P.Ctx->program().Decls[0]);
+  ASSERT_EQ(V->ctors().size(), 2u);
+  EXPECT_EQ(V->ctors()[0].Name, "Ok");
+  EXPECT_TRUE(V->ctors()[0].Payload.empty());
+  ASSERT_EQ(V->ctors()[0].KeyAttachments.size(), 1u);
+  EXPECT_EQ(V->ctors()[0].KeyAttachments[0].KeyName, "K");
+  ASSERT_TRUE(V->ctors()[0].KeyAttachments[0].State.has_value());
+  EXPECT_EQ(V->ctors()[0].KeyAttachments[0].State->Name, "named");
+  EXPECT_EQ(V->ctors()[1].Payload.size(), 1u);
+}
+
+TEST(Parser, RecursiveVariant) {
+  auto P = parse(
+      "variant reglist [ 'Nil | 'Cons(tracked region, tracked reglist) ];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, StatesetChain) {
+  auto P = parse("stateset IRQ = [ A < B < C < D ];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *S = cast<StatesetDecl>(P.Ctx->program().Decls[0]);
+  EXPECT_EQ(S->ranks().size(), 4u);
+}
+
+TEST(Parser, StatesetRanks) {
+  auto P = parse("stateset S = [ a, b < c ];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *S = cast<StatesetDecl>(P.Ctx->program().Decls[0]);
+  ASSERT_EQ(S->ranks().size(), 2u);
+  EXPECT_EQ(S->ranks()[0].size(), 2u);
+}
+
+TEST(Parser, GlobalKey) {
+  auto P = parse("key IRQL @ IRQ_LEVEL;");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *K = cast<KeyDecl>(P.Ctx->program().Decls[0]);
+  EXPECT_EQ(K->statesetName(), "IRQ_LEVEL");
+}
+
+TEST(Parser, InterfaceAndModule) {
+  auto P = parse("interface REGION { type region; "
+                 "tracked(R) region create() [new R]; } "
+                 "extern module Region : REGION;");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  ASSERT_EQ(P.Ctx->program().Decls.size(), 2u);
+  EXPECT_TRUE(isa<InterfaceDecl>(P.Ctx->program().Decls[0]));
+  EXPECT_TRUE(isa<ModuleDecl>(P.Ctx->program().Decls[1]));
+}
+
+TEST(Parser, FunctionTypeAlias) {
+  auto P = parse(
+      "type CR<key K> = tracked RESULT<K> Routine(DEV, tracked(K) IRP) [-K];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *A = cast<TypeAliasDecl>(P.Ctx->program().Decls[0]);
+  EXPECT_TRUE(isa<FuncTypeExpr>(A->underlying()));
+}
+
+TEST(Parser, NewExpressions) {
+  auto P = parse("void f() {"
+                 "  tracked(K) point p = new tracked point {x=3; y=4;};"
+                 "  R:point q = new(rgn) point {x=1;};"
+                 "}");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, CtorWithKeyBraces) {
+  auto P = parse("void f() { flag = 'SomeKey{F}; g = 'Error(3); h = 'Nil; }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, SwitchWithPatterns) {
+  auto P = parse("void f(opt o) { switch (o) {"
+                 "  case 'None: return;"
+                 "  case 'Some(x, _): x++;"
+                 "  default: return;"
+                 "} }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  const auto *Sw = cast<SwitchStmt>(F->body()->stmts()[0]);
+  ASSERT_EQ(Sw->cases().size(), 3u);
+  EXPECT_EQ(Sw->cases()[1].Pattern.Binders.size(), 2u);
+  EXPECT_EQ(Sw->cases()[1].Pattern.Binders[1], ""); // wildcard
+  EXPECT_TRUE(Sw->cases()[2].Pattern.IsDefault);
+}
+
+TEST(Parser, NestedFunction) {
+  auto P = parse("int outer(tracked(I) IRP irp) [-I] {"
+                 "  int helper(int x) { return x + 1; }"
+                 "  return helper(1);"
+                 "}");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, FreeStatement) {
+  auto P = parse("void f(tracked(K) point p) [-K] { free(p); }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  EXPECT_TRUE(isa<FreeStmt>(F->body()->stmts()[0]));
+}
+
+TEST(Parser, TupleTypeAlias) {
+  auto P = parse("type pair = (tracked(R) region, R:point);");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto P = parse("void f(int a, int b, int c) { x = a + b * c == a && b < c; }");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  AstPrinter Pr;
+  std::string S = Pr.print(P.Ctx->program().Decls[0]);
+  EXPECT_NE(S.find("((a + (b * c)) == a) && (b < c)"), std::string::npos) << S;
+}
+
+TEST(Parser, ErrorRecovery) {
+  // A bad declaration should not prevent later declarations from
+  // parsing.
+  auto P = parse("void broken( ; void good() { return; }");
+  EXPECT_FALSE(P.Ok);
+  bool FoundGood = false;
+  for (const Decl *D : P.Ctx->program().Decls)
+    if (D->name() == "good")
+      FoundGood = true;
+  EXPECT_TRUE(FoundGood);
+}
+
+TEST(Parser, MissingSemicolonDiagnosed) {
+  auto P = parse("void f() { return }");
+  EXPECT_FALSE(P.Ok);
+  // `return }` errors at the expression position.
+  EXPECT_TRUE(P.Diags->has(DiagId::ParseExpected) ||
+              P.Diags->has(DiagId::ParseUnexpectedToken));
+  auto P2 = parse("void f() { int a = 1 }");
+  EXPECT_FALSE(P2.Ok);
+}
+
+TEST(Parser, ArrayTypes) {
+  auto P = parse("void receive(tracked(S) sock s, byte[] data) [S@ready];");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  EXPECT_TRUE(isa<ArrayTypeExpr>(F->params()[1].Type));
+}
+
+TEST(Parser, TrackedWithInitialState) {
+  auto P = parse("tracked(@raw) sock socket(int d);");
+  ASSERT_TRUE(P.Ok) << P.Diags->render();
+  const auto *F = cast<FuncDecl>(P.Ctx->program().Decls[0]);
+  const auto *T = cast<TrackedTypeExpr>(F->retType());
+  ASSERT_TRUE(T->initialState().has_value());
+  EXPECT_EQ(T->initialState()->Name, "raw");
+}
+
+} // namespace

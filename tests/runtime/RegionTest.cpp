@@ -1,0 +1,119 @@
+//===- RegionTest.cpp - Region allocator runtime --------------------------===//
+
+#include "runtime/Region.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace vault::rt;
+
+namespace {
+
+TEST(Region, BasicAllocation) {
+  Region R;
+  void *A = R.allocate(16);
+  void *B = R.allocate(16);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(R.numAllocations(), 2u);
+  EXPECT_EQ(R.bytesAllocated(), 32u);
+}
+
+TEST(Region, Alignment) {
+  Region R;
+  R.allocate(1);
+  void *P = R.allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 64, 0u);
+}
+
+TEST(Region, ZeroSizedAllocationsAreDistinct) {
+  Region R;
+  void *A = R.allocate(0);
+  void *B = R.allocate(0);
+  EXPECT_NE(A, B);
+}
+
+TEST(Region, LargeAllocationGetsOwnChunk) {
+  Region R(1024);
+  void *P = R.allocate(1 << 20);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xAB, 1 << 20); // Must be fully usable.
+  EXPECT_GE(R.numChunks(), 1u);
+}
+
+TEST(Region, ManySmallAllocationsSpanChunks) {
+  Region R(1024);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_NE(R.allocate(64), nullptr);
+  EXPECT_GT(R.numChunks(), 1u);
+}
+
+TEST(Region, CreateTyped) {
+  struct Point {
+    int X, Y;
+  };
+  Region R;
+  Point *P = R.create<Point>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Region, ResetReleasesEverything) {
+  Region R;
+  R.allocate(128);
+  R.reset();
+  EXPECT_EQ(R.bytesAllocated(), 0u);
+  EXPECT_EQ(R.numAllocations(), 0u);
+  EXPECT_NE(R.allocate(8), nullptr);
+}
+
+TEST(RegionManager, LifecycleAndHandles) {
+  RegionManager M;
+  auto H = M.create();
+  EXPECT_TRUE(M.isLive(H));
+  EXPECT_NE(M.allocate(H, 32), nullptr);
+  EXPECT_TRUE(M.destroy(H));
+  EXPECT_FALSE(M.isLive(H));
+  EXPECT_EQ(M.violationCount(), 0u);
+}
+
+TEST(RegionManager, UseAfterDeleteDetected) {
+  RegionManager M;
+  auto H = M.create();
+  M.destroy(H);
+  EXPECT_EQ(M.allocate(H, 8), nullptr);
+  EXPECT_EQ(M.violationCount(), 1u);
+}
+
+TEST(RegionManager, DoubleDeleteDetected) {
+  RegionManager M;
+  auto H = M.create();
+  M.destroy(H);
+  EXPECT_FALSE(M.destroy(H));
+  EXPECT_EQ(M.violationCount(), 1u);
+}
+
+TEST(RegionManager, BogusHandleDetected) {
+  RegionManager M;
+  EXPECT_FALSE(M.isLive(0));
+  EXPECT_FALSE(M.isLive(42));
+  EXPECT_EQ(M.allocate(42, 8), nullptr);
+  EXPECT_EQ(M.violationCount(), 1u);
+}
+
+TEST(RegionManager, LeakReport) {
+  RegionManager M;
+  auto A = M.create();
+  auto B = M.create();
+  auto CH = M.create();
+  M.destroy(B);
+  auto Leaked = M.leakedRegions();
+  ASSERT_EQ(Leaked.size(), 2u);
+  EXPECT_EQ(Leaked[0], A);
+  EXPECT_EQ(Leaked[1], CH);
+  EXPECT_EQ(M.liveCount(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- AnonymityTests.cpp - Paper §2.4 / Figure 4 anonymization -----------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+const char *ListPrelude = R"(
+variant reglist [ 'Nil | 'Cons(tracked region, tracked reglist) ];
+)";
+
+TEST(Anonymity, Fig4Rejected) {
+  auto C = check(std::string(ListPrelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  tracked reglist list = 'Cons(rgn, 'Nil);
+  switch (list) {
+    case 'Cons(rgn2, rest):
+      pt.x++; // Bug! We need key R, but hold only a fresh key.
+      Region.delete(rgn2);
+      free(rest);
+    case 'Nil:
+      print("empty");
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardNotHeld);
+}
+
+TEST(Anonymity, RecoveredRegionIsUsable) {
+  // The fresh key from unpacking does let the program delete the
+  // recovered region.
+  auto C = check(std::string(ListPrelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  tracked reglist list = 'Cons(rgn, 'Nil);
+  switch (list) {
+    case 'Cons(rgn2, rest):
+      Region.delete(rgn2);
+      free(rest);
+    case 'Nil:
+      print("empty");
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Anonymity, PackingConsumesTheKey) {
+  auto C = check(std::string(ListPrelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  tracked reglist list = 'Cons(rgn, 'Nil);
+  Region.delete(rgn); // error: R packed into the list
+  switch (list) {
+    case 'Cons(rgn2, rest):
+      Region.delete(rgn2);
+      free(rest);
+    case 'Nil:
+      print("empty");
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Anonymity, UnswitchedListLeaks) {
+  auto C = check(std::string(ListPrelude) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  tracked reglist list = 'Cons(rgn, 'Nil);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(Anonymity, CorrelatedPairsFixAccepted) {
+  // §2.4's fix: a list of pairs keeps the key/guard correlation.
+  auto C = check(R"(
+type regptpair = (tracked(R) region, R:point);
+variant regptlist [ 'Nil | 'Cons(tracked regptpair, tracked regptlist) ];
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  tracked regptlist list = 'Cons((rgn, pt), 'Nil);
+  switch (list) {
+    case 'Cons(pair, rest):
+      pair[1].x++;
+      Region.delete(pair[0]);
+      free(pair);
+      free(rest);
+    case 'Nil:
+      print("empty");
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Anonymity, PairInternalCorrelationEnforced) {
+  // Deleting the pair's region kills access to the pair's point.
+  auto C = check(R"(
+type regptpair = (tracked(R) region, R:point);
+variant regptlist [ 'Nil | 'Cons(tracked regptpair, tracked regptlist) ];
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  tracked regptlist list = 'Cons((rgn, pt), 'Nil);
+  switch (list) {
+    case 'Cons(pair, rest):
+      Region.delete(pair[0]);
+      pair[1].x++; // error: the pair's region is gone
+      free(pair);
+      free(rest);
+    case 'Nil:
+      print("empty");
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardNotHeld);
+}
+
+TEST(Anonymity, AnonymousParameterUnpacksOnEntry) {
+  // §3.3: "function parameters are unpacked on entry".
+  auto C = check(R"(
+void consume(tracked region r) [] {
+  Region.delete(r);
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  consume(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Anonymity, AnonymousParameterKeptLeaks) {
+  auto C = check(R"(
+void consume(tracked region r) [] {
+  // BUG: r's unpacked key is not consumed and not in the post set.
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(Anonymity, CallerLosesKeyWhenPassingAnonymously) {
+  auto C = check(R"(
+void consume(tracked region r) [] {
+  Region.delete(r);
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  consume(rgn);
+  Region.delete(rgn); // error: key given away
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+} // namespace

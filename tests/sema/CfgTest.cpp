@@ -1,0 +1,94 @@
+//===- CfgTest.cpp - Control-flow graph construction ----------------------===//
+
+#include "TestUtil.h"
+
+#include "sema/Cfg.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+const FuncDecl *firstFunc(VaultCompiler &C) {
+  for (const Decl *D : C.ast().program().Decls)
+    if (const auto *F = dyn_cast<FuncDecl>(D); F && F->body())
+      return F;
+  return nullptr;
+}
+
+TEST(Cfg, StraightLine) {
+  auto C = check("void f() { int a = 1; a++; a--; }");
+  const FuncDecl *F = firstFunc(*C);
+  ASSERT_NE(F, nullptr);
+  Cfg G = Cfg::build(F);
+  // Entry and exit plus no extra blocks needed beyond entry's chain.
+  EXPECT_GE(G.numNodes(), 2u);
+  EXPECT_TRUE(G.unreachableNodes().empty());
+}
+
+TEST(Cfg, IfElseDiamond) {
+  auto C = check("void f(bool b) { if (b) { int x = 1; } else { int y = 2; } "
+                 "int z = 3; }");
+  Cfg G = Cfg::build(firstFunc(*C));
+  // entry, then, else, join, exit at minimum.
+  EXPECT_GE(G.numNodes(), 5u);
+  EXPECT_GE(G.numEdges(), 4u);
+  EXPECT_TRUE(G.unreachableNodes().empty());
+}
+
+TEST(Cfg, WhileHasBackEdge) {
+  auto C = check("void f(int n) { int i = 0; while (i < n) { i++; } }");
+  Cfg G = Cfg::build(firstFunc(*C));
+  // Find a back edge: an edge to a node with a smaller id that has a
+  // Terminator (the loop head).
+  bool BackEdge = false;
+  for (const CfgNode &N : G.nodes())
+    for (unsigned S : N.Succs)
+      if (S < N.Id && G.nodes()[S].Terminator)
+        BackEdge = true;
+  EXPECT_TRUE(BackEdge);
+}
+
+TEST(Cfg, ReturnEndsBlock) {
+  auto C = check("int f(bool b) { if (b) { return 1; } return 2; }");
+  Cfg G = Cfg::build(firstFunc(*C));
+  // The exit node must have at least two predecessors.
+  unsigned ExitPreds = 0;
+  for (const CfgNode &N : G.nodes())
+    for (unsigned S : N.Succs)
+      if (S == G.exit())
+        ++ExitPreds;
+  EXPECT_GE(ExitPreds, 2u);
+}
+
+TEST(Cfg, SwitchFansOut) {
+  auto C = check(R"(
+variant v [ 'A | 'B | 'C ];
+void f(v x) {
+  switch (x) {
+    case 'A: return;
+    case 'B: return;
+    case 'C: return;
+  }
+}
+)");
+  Cfg G = Cfg::build(firstFunc(*C));
+  // The entry block branches to three arms.
+  EXPECT_GE(G.nodes()[G.entry()].Succs.size(), 3u);
+}
+
+TEST(Cfg, UnreachableAfterReturn) {
+  auto C = check("int f() { return 1; }");
+  Cfg G = Cfg::build(firstFunc(*C));
+  EXPECT_TRUE(G.unreachableNodes().size() <= 1u); // only the dangling exit-chain
+}
+
+TEST(Cfg, DotOutput) {
+  auto C = check("void f(bool b) { if (b) { int x = 1; } }");
+  Cfg G = Cfg::build(firstFunc(*C));
+  std::string Dot = G.dot();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+}
+
+} // namespace

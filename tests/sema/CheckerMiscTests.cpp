@@ -1,0 +1,222 @@
+//===- CheckerMiscTests.cpp - Name resolution, arity, misc sema -----------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(CheckerMisc, UnknownName) {
+  auto C = check("void f() { x = 1; }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownName);
+}
+
+TEST(CheckerMisc, UnknownType) {
+  auto C = check("void f(Widget w) { }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownType);
+}
+
+TEST(CheckerMisc, UnknownFunction) {
+  auto C = check("void f() { g(); }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownName);
+}
+
+TEST(CheckerMisc, ArityMismatch) {
+  auto C = check("void g(int a, int b); void f() { g(1); }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaArity);
+}
+
+TEST(CheckerMisc, ArgumentTypeMismatch) {
+  auto C = check("void g(int a); void f(bool b) { g(b); }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaTypeMismatch);
+}
+
+TEST(CheckerMisc, RedefinedFunction) {
+  auto C = check("void f() {} void f() {}");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaRedefinition);
+}
+
+TEST(CheckerMisc, PrototypeThenDefinitionOk) {
+  auto C = check("void f(); void f() {}");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(CheckerMisc, RedefinedLocal) {
+  auto C = check("void f() { int x = 1; int x = 2; }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaRedefinition);
+}
+
+TEST(CheckerMisc, ShadowingInInnerScopeAllowed) {
+  auto C = check("void f() { int x = 1; { int x = 2; x++; } x++; }");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(CheckerMisc, UnknownCtor) {
+  auto C = check("variant v [ 'A | 'B ]; void f(v x) { y = 'C; }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownCtor);
+}
+
+TEST(CheckerMisc, CtorFromWrongVariantInSwitch) {
+  auto C = check(R"(
+variant v [ 'A | 'B ];
+variant w [ 'C ];
+void f(v x) {
+  switch (x) {
+    case 'A:
+    case 'C: // not a member of v
+      return;
+  }
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownCtor);
+}
+
+TEST(CheckerMisc, DuplicateSwitchCase) {
+  auto C = check(R"(
+variant v [ 'A | 'B ];
+void f(v x) {
+  switch (x) {
+    case 'A:
+    case 'A:
+    case 'B:
+      return;
+  }
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaDuplicateCase);
+}
+
+TEST(CheckerMisc, NonExhaustiveSwitchWarns) {
+  auto C = check(R"(
+variant v [ 'A | 'B ];
+void f(v x) {
+  switch (x) {
+    case 'A:
+      return;
+  }
+}
+)");
+  EXPECT_ACCEPTED(C); // Warning only.
+  EXPECT_TRUE(C->diags().has(DiagId::SemaNonExhaustiveSwitch));
+}
+
+TEST(CheckerMisc, UnknownField) {
+  auto C = check("struct p { int x; } void f(p q) { q.z = 1; }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownField);
+}
+
+TEST(CheckerMisc, FieldOfNonRecord) {
+  auto C = check("void f(int x) { x.y = 1; }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaNotARecord);
+}
+
+TEST(CheckerMisc, FreeOfNonTracked) {
+  auto C = check("void f(int x) { free(x); }");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaNotTracked);
+}
+
+TEST(CheckerMisc, UninitializedTrackedUse) {
+  auto C = check(std::string("void f() { tracked region r; Region.delete(r); }"),
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowUninitialized);
+}
+
+TEST(CheckerMisc, UninitializedPlainIsUsable) {
+  auto C = check("struct p { int x; } void f() { p q; q.x = 1; }");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(CheckerMisc, NonVoidMustReturn) {
+  auto C = check("int f(bool b) { if (b) { return 1; } }");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowReturnValue);
+}
+
+TEST(CheckerMisc, VoidReturnWithValueRejected) {
+  auto C = check("void f() { return 3; }");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowReturnValue);
+}
+
+TEST(CheckerMisc, ReturnTypeMismatch) {
+  auto C = check("int f() { return true; }");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowReturnValue);
+}
+
+TEST(CheckerMisc, ConditionMustBeBool) {
+  auto C = check("void f(int x) { if (x) { } }");
+  // Accessing an int where bool is needed is a type error in strict
+  // mode; we accept any diagnostics as long as the program is flagged.
+  EXPECT_TRUE(C->diags().hasErrors() ||
+              !C->diags().diagnostics().empty());
+}
+
+TEST(CheckerMisc, LogicalOperatorsTypeChecked) {
+  auto C = check("void f(int x, bool b) { bool c = b && (x > 0); }");
+  EXPECT_ACCEPTED(C);
+  auto C2 = check("void f(int x, bool b) { bool c = b && x; }");
+  EXPECT_REJECTED_WITH(C2, DiagId::SemaTypeMismatch);
+}
+
+TEST(CheckerMisc, ModuleResolution) {
+  auto C = check(std::string(R"(
+void f() {
+  tracked(R) region r = Region.create();
+  Region.delete(r);
+}
+)"),
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(CheckerMisc, UnknownModuleMember) {
+  auto C = check(std::string("void f() { Region.destroy(1); }"),
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaBadModule);
+}
+
+TEST(CheckerMisc, ModuleAgainstUnknownInterface) {
+  auto C = check("extern module M : NOPE;");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaBadModule);
+}
+
+TEST(CheckerMisc, StatesetRedefinition) {
+  auto C = check("stateset S = [ a < b ]; stateset S = [ c ];");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaRedefinition);
+}
+
+TEST(CheckerMisc, GlobalKeyWithUnknownStateset) {
+  auto C = check("key K @ MISSING;");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownState);
+}
+
+TEST(CheckerMisc, UnknownStateInEffect) {
+  auto C = check(R"(
+stateset L = [ lo < hi ];
+key G @ L;
+void f() [G @ nonexistent];
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaUnknownState);
+}
+
+TEST(CheckerMisc, VariantCtorArity) {
+  auto C = check(R"(
+variant v [ 'Pair(int, int) ];
+void f(v x) { y = 'Pair(1); }
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaArity);
+}
+
+TEST(CheckerMisc, GenericArityMismatch) {
+  auto C = check("type box<type T> = T; void f(box<int, int> b) {}");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaArity);
+}
+
+TEST(CheckerMisc, StatsPopulated) {
+  auto C = check("void a() {} void b() {} void c();");
+  EXPECT_ACCEPTED(C);
+  EXPECT_EQ(C->stats().FunctionsChecked, 2u);
+  EXPECT_EQ(C->stats().FunctionsWithBodies, 2u);
+  EXPECT_GE(C->stats().DeclsRegistered, 3u);
+}
+
+} // namespace

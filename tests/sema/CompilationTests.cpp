@@ -1,0 +1,117 @@
+//===- CompilationTests.cpp - Multi-file compilation and determinism ------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(Compilation, InterfaceAndProgramInSeparateUnits) {
+  VaultCompiler C;
+  C.addSource("region_iface.vlt", regionPrelude());
+  C.addSource("program.vlt", R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  Region.delete(rgn);
+}
+)");
+  EXPECT_TRUE(C.check()) << C.diags().render();
+}
+
+TEST(Compilation, ErrorsPointIntoTheRightUnit) {
+  VaultCompiler C;
+  C.addSource("region_iface.vlt", regionPrelude());
+  C.addSource("buggy.vlt", R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+  Region.delete(rgn);
+}
+)");
+  EXPECT_FALSE(C.check());
+  bool FoundInBuggy = false;
+  for (const Diagnostic &D : C.diags().diagnostics()) {
+    PresumedLoc P = C.sources().presumed(D.Loc);
+    if (P.isValid() && P.BufferName == "buggy.vlt")
+      FoundInBuggy = true;
+  }
+  EXPECT_TRUE(FoundInBuggy);
+}
+
+TEST(Compilation, CrossUnitFunctionCalls) {
+  VaultCompiler C;
+  C.addSource("lib.vlt", std::string(regionPrelude()) + R"(
+void finish(tracked(K) region r) [-K] {
+  Region.delete(r);
+}
+)");
+  C.addSource("app.vlt", R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  finish(rgn);
+}
+)");
+  EXPECT_TRUE(C.check()) << C.diags().render();
+}
+
+TEST(Compilation, DuplicateAcrossUnitsDiagnosed) {
+  VaultCompiler C;
+  C.addSource("a.vlt", "void f() {}");
+  C.addSource("b.vlt", "void f() {}");
+  EXPECT_FALSE(C.check());
+  EXPECT_TRUE(C.diags().has(DiagId::SemaRedefinition));
+}
+
+class Determinism : public ::testing::TestWithParam<corpus::ProgramInfo> {};
+
+TEST_P(Determinism, CheckingIsDeterministic) {
+  // Re-checking a program yields the identical diagnostic sequence —
+  // key numbering, ordering, and messages must not depend on run
+  // state.
+  const auto &P = GetParam();
+  auto C1 = corpus::check(P.Name);
+  auto C2 = corpus::check(P.Name);
+  ASSERT_EQ(C1->diags().diagnostics().size(),
+            C2->diags().diagnostics().size());
+  for (size_t I = 0; I != C1->diags().diagnostics().size(); ++I) {
+    const Diagnostic &A = C1->diags().diagnostics()[I];
+    const Diagnostic &B = C2->diags().diagnostics()[I];
+    EXPECT_EQ(A.Id, B.Id);
+    EXPECT_EQ(A.Message, B.Message);
+    EXPECT_EQ(A.Loc.Offset, B.Loc.Offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Determinism, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(Compilation, RunIsDeterministicToo) {
+  // Two interpreter runs of the same program produce identical output
+  // and oracle state.
+  auto C = corpus::check("figures/fig3_server_ok");
+  ASSERT_FALSE(C->diags().hasErrors());
+  auto RunOnce = [&] {
+    vault::interp::Interp I(*C);
+    I.run("main");
+    return std::make_pair(I.output(), I.totalViolations());
+  };
+  auto A = RunOnce();
+  auto B = RunOnce();
+  EXPECT_EQ(A.first, B.first);
+  EXPECT_EQ(A.second, B.second);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- CompletionRoutineTests.cpp - Paper §4.3 / Figure 7 -----------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(CompletionRoutines, Fig7Accepted) {
+  auto C = check(R"(
+NTSTATUS PnpRequest(DEVICE_OBJECT Dev, tracked(I) IRP Irp,
+                    DEVICE_OBJECT nextDriver) [-I] {
+  KEVENT<I> IrpIsBack = KeInitializeEvent(Irp);
+  tracked COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT D,
+                                         tracked(I) IRP Irp2) [-I] {
+    KeSignalEvent(IrpIsBack);
+    return 'MoreProcessingRequired;
+  }
+  IoSetCompletionRoutine(Irp, RegainIrp);
+  IoCallDriver(nextDriver, Irp);
+  KeWaitForEvent(IrpIsBack);
+  IoCompleteRequest(Irp, 0);
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(CompletionRoutines, Footnote10SignalThenFinishedRejected) {
+  // "If a completion routine consumes its IRP parameter, it has no
+  // choice but to return 'MoreProcessingRequired, since no other
+  // option will type check."
+  auto C = check(R"(
+NTSTATUS PnpRequest(DEVICE_OBJECT Dev, tracked(I) IRP Irp,
+                    DEVICE_OBJECT nextDriver) [-I] {
+  KEVENT<I> IrpIsBack = KeInitializeEvent(Irp);
+  tracked COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT D,
+                                         tracked(I) IRP Irp2) [-I] {
+    KeSignalEvent(IrpIsBack);
+    return 'Finished(0); // error: key gone after signaling
+  }
+  IoSetCompletionRoutine(Irp, RegainIrp);
+  IoCallDriver(nextDriver, Irp);
+  KeWaitForEvent(IrpIsBack);
+  IoCompleteRequest(Irp, 0);
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(CompletionRoutines, FinishedWithoutSignalAccepted) {
+  // A routine that does NOT pass the key away may return 'Finished.
+  auto C = check(R"(
+void install(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [I] {
+  tracked COMPLETION_RESULT<I> Done(DEVICE_OBJECT D,
+                                    tracked(I) IRP Irp2) [-I] {
+    return 'Finished(0);
+  }
+  IoSetCompletionRoutine(Irp, Done);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(CompletionRoutines, RoutineKeepingTheKeyWithoutReportRejected) {
+  // A routine whose every path holds I but returns the key-free
+  // constructor violates its [-I] effect.
+  auto C = check(R"(
+void install(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [I] {
+  tracked COMPLETION_RESULT<I> Bad(DEVICE_OBJECT D,
+                                   tracked(I) IRP Irp2) [-I] {
+    return 'MoreProcessingRequired; // BUG: I neither consumed nor...
+  }
+  IoSetCompletionRoutine(Irp, Bad);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(CompletionRoutines, MismatchedRoutineSignatureRejected) {
+  // A routine with the wrong effect cannot be installed.
+  auto C = check(R"(
+void install(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [I] {
+  tracked COMPLETION_RESULT<I> Wrong(DEVICE_OBJECT D,
+                                     tracked(I) IRP Irp2) [I] {
+    return 'MoreProcessingRequired;
+  }
+  IoSetCompletionRoutine(Irp, Wrong);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaTypeMismatch);
+}
+
+TEST(CompletionRoutines, NestedFunctionCapturesEventOk) {
+  // KEVENT<I> carries no key itself, so capturing it is fine (tested
+  // by Fig7Accepted); capturing a *tracked* value is not.
+  auto C = check(R"(
+NTSTATUS f(DEVICE_OBJECT Dev, tracked(I) IRP Irp,
+           DEVICE_OBJECT next) [-I] {
+  tracked(J) IRP other = AllocIrp();
+  tracked COMPLETION_RESULT<I> Bad(DEVICE_OBJECT D,
+                                   tracked(I) IRP Irp2) [-I] {
+    IrpSetInformation(other, 1); // error: captures a tracked local
+    IoCompleteRequest(Irp2, 0);
+    return 'MoreProcessingRequired;
+  }
+  IoSetCompletionRoutine(Irp, Bad);
+  IoCallDriver(next, Irp);
+  IoCompleteRequest(other, 0);
+  return 0;
+}
+tracked(N) IRP AllocIrp() [new N];
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowCaptureTracked);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- ElaboratorTests.cpp - Signature elaboration internals --------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+/// Checks a prelude and returns the compiler for signature inspection.
+std::unique_ptr<VaultCompiler> compile(const std::string &Src) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->addSource("elab.vlt", Src);
+  C->check();
+  return C;
+}
+
+TEST(Elaborator, TrackedParamBindsSignatureKey) {
+  auto C = compile("type FILE; void fclose(tracked(F) FILE f) [-F];");
+  const FuncSig *Sig = C->signatureOf("fclose");
+  ASSERT_NE(Sig, nullptr);
+  ASSERT_EQ(Sig->SigKeys.size(), 1u);
+  EXPECT_EQ(C->types().keys().name(Sig->SigKeys[0]), "F");
+  EXPECT_TRUE(Sig->FreshKeys.empty());
+  ASSERT_EQ(Sig->Effects.size(), 1u);
+  EXPECT_EQ(Sig->Effects[0].M, EffectItem::Mode::Consume);
+  EXPECT_EQ(Sig->Effects[0].Key, Sig->SigKeys[0]);
+}
+
+TEST(Elaborator, ImplicitKeepEffectForUnmentionedTrackedParam) {
+  // §2.2: no effect clause promises an unchanged key set.
+  auto C = compile("type FILE; void peek(tracked(F) FILE f);");
+  const FuncSig *Sig = C->signatureOf("peek");
+  ASSERT_NE(Sig, nullptr);
+  ASSERT_EQ(Sig->Effects.size(), 1u);
+  EXPECT_EQ(Sig->Effects[0].M, EffectItem::Mode::Keep);
+  ASSERT_TRUE(Sig->Effects[0].Post.has_value());
+  EXPECT_EQ(Sig->Effects[0].Pre, *Sig->Effects[0].Post) << "state unchanged";
+}
+
+TEST(Elaborator, GuardOnlyKeyGetsNoImplicitEffect) {
+  auto C = compile("type FILE;"
+                   "type gi<key K> = K:int;"
+                   "void peek(tracked(F) FILE f, gi<F> x) [F];");
+  const FuncSig *Sig = C->signatureOf("peek");
+  ASSERT_NE(Sig, nullptr);
+  EXPECT_EQ(Sig->Effects.size(), 1u) << "only the declared [F]";
+}
+
+TEST(Elaborator, FreshKeyFromNewEffect) {
+  auto C = compile("type region;"
+                   "tracked(R) region create() [new R];");
+  const FuncSig *Sig = C->signatureOf("create");
+  ASSERT_NE(Sig, nullptr);
+  ASSERT_EQ(Sig->FreshKeys.size(), 1u);
+  ASSERT_EQ(Sig->Effects.size(), 1u);
+  EXPECT_EQ(Sig->Effects[0].M, EffectItem::Mode::Fresh);
+  const auto *Ret = dyn_cast<TrackedType>(Sig->RetType);
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->key(), Sig->FreshKeys[0]) << "return names the fresh key";
+}
+
+TEST(Elaborator, ImplicitFreshKeyFromTrackedReturn) {
+  // `tracked(@raw) sock socket(...)` without a `new` effect.
+  auto C = compile("type sock; tracked(@raw) sock mk(int d);");
+  const FuncSig *Sig = C->signatureOf("mk");
+  ASSERT_NE(Sig, nullptr);
+  ASSERT_EQ(Sig->FreshKeys.size(), 1u);
+  ASSERT_EQ(Sig->Effects.size(), 1u);
+  EXPECT_EQ(Sig->Effects[0].M, EffectItem::Mode::Fresh);
+  ASSERT_TRUE(Sig->Effects[0].Post.has_value());
+  EXPECT_EQ(Sig->Effects[0].Post->nameOrBound(), "raw");
+}
+
+TEST(Elaborator, AnonymousTrackedReturnHasNoEffect) {
+  auto C = compile("type region; tracked region mk();");
+  const FuncSig *Sig = C->signatureOf("mk");
+  ASSERT_NE(Sig, nullptr);
+  EXPECT_TRUE(Sig->Effects.empty()) << "the key travels inside the value";
+  EXPECT_EQ(Sig->RetType->kind(), TyKind::AnonTracked);
+}
+
+TEST(Elaborator, BoundedStateVariableRegistered) {
+  auto C = compile("stateset L = [ a < b < c ];"
+                   "key G @ L;"
+                   "void f() [G @ (lvl <= b)];");
+  const FuncSig *Sig = C->signatureOf("f");
+  ASSERT_NE(Sig, nullptr);
+  EXPECT_EQ(Sig->NumStateVars, 1u);
+  ASSERT_EQ(Sig->StateVarNames.size(), 1u);
+  EXPECT_EQ(Sig->StateVarNames[0].first, "lvl");
+  ASSERT_EQ(Sig->Effects.size(), 1u);
+  EXPECT_TRUE(Sig->Effects[0].Pre.isVar());
+  EXPECT_EQ(Sig->Effects[0].Pre.nameOrBound(), "b");
+}
+
+TEST(Elaborator, StateVarIdsGloballyUnique) {
+  // Two signatures must not share state-variable ids (a collision lets
+  // a caller's bound spuriously satisfy a callee's — the same-variable
+  // rule).
+  auto C = compile("stateset L = [ a < b ];"
+                   "key G @ L;"
+                   "void f() [G @ (x <= a)];"
+                   "void g() [G @ (y <= b)];");
+  const FuncSig *F = C->signatureOf("f");
+  const FuncSig *G = C->signatureOf("g");
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(G, nullptr);
+  ASSERT_EQ(F->StateVarNames.size(), 1u);
+  ASSERT_EQ(G->StateVarNames.size(), 1u);
+  EXPECT_NE(F->StateVarNames[0].second.varId(),
+            G->StateVarNames[0].second.varId());
+}
+
+TEST(Elaborator, GlobalKeysAreShared) {
+  auto C = compile("stateset L = [ a < b ];"
+                   "key G @ L;"
+                   "void f() [G @ a];"
+                   "void g() [G @ a];");
+  const FuncSig *F = C->signatureOf("f");
+  const FuncSig *G = C->signatureOf("g");
+  ASSERT_EQ(F->Effects.size(), 1u);
+  ASSERT_EQ(G->Effects.size(), 1u);
+  EXPECT_EQ(F->Effects[0].Key, G->Effects[0].Key)
+      << "both reference the one global key";
+  EXPECT_TRUE(F->SigKeys.empty());
+}
+
+TEST(Elaborator, AliasExpansion) {
+  auto C = compile("type pairish<type T> = T;"
+                   "void f(pairish<int> x) { x + 1; }");
+  EXPECT_FALSE(C->diags().hasErrors()) << C->diags().render();
+}
+
+TEST(Elaborator, CyclicAliasDiagnosed) {
+  auto C = compile("type a = b; type b = a; void f(a x) {}");
+  EXPECT_TRUE(C->diags().hasErrors());
+}
+
+TEST(Elaborator, SignatureKeyAliasingWithinParams) {
+  // Two params naming the same key declare aliases; callers must pass
+  // the same resource.
+  auto C = compile(R"(
+type FILE;
+tracked(@open) FILE fopen(string p);
+void fclose(tracked(F) FILE) [-F];
+void both(tracked(F) FILE a, tracked(F) FILE b) [F] { }
+void ok() {
+  tracked(A) FILE f = fopen("x");
+  both(f, f);
+  fclose(f);
+}
+)");
+  EXPECT_FALSE(C->diags().hasErrors()) << C->diags().render();
+
+  auto C2 = compile(R"(
+type FILE;
+tracked(@open) FILE fopen(string p);
+void fclose(tracked(F) FILE) [-F];
+void both(tracked(F) FILE a, tracked(F) FILE b) [F] { }
+void bad() {
+  tracked(A) FILE f = fopen("x");
+  tracked(B) FILE g = fopen("y");
+  both(f, g); // error: distinct resources where aliases declared
+  fclose(f);
+  fclose(g);
+}
+)");
+  EXPECT_TRUE(C2->diags().hasErrors());
+}
+
+TEST(Elaborator, EffectOnUnknownKeyBindsSignatureKey) {
+  // `[+K]` with K bound only through a parameter's type argument.
+  auto C = compile("type EV<key K>; void wait(EV<K>) [+K];");
+  const FuncSig *Sig = C->signatureOf("wait");
+  ASSERT_NE(Sig, nullptr);
+  EXPECT_EQ(Sig->SigKeys.size(), 1u);
+  ASSERT_EQ(Sig->Effects.size(), 1u);
+  EXPECT_EQ(Sig->Effects[0].M, EffectItem::Mode::Produce);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- GdiProtocolTests.cpp - §6's graphics domain, statically ------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+std::string gdiPrelude() { return corpus::loadInclude("gdi.vlt"); }
+
+TEST(GdiProtocol, CorrectSessionAccepted) {
+  auto C = check(R"(
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  MoveTo(dc, 0, 0);
+  LineTo(dc, 10, 10);
+  EndPaint(win, dc);
+}
+)",
+                 gdiPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(GdiProtocol, SelectConsumesThePenKey) {
+  auto C = check(R"(
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  tracked(P) HPEN pen = CreatePen(1, 1);
+  OLDPEN<P> old = SelectPen(dc, pen);
+  DeletePen(pen); // error: the DC holds the pen's key now
+  RestorePen(dc, old);
+  EndPaint(win, dc);
+}
+)",
+                 gdiPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(GdiProtocol, RestoreReturnsThePenKey) {
+  auto C = check(R"(
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  tracked(P) HPEN pen = CreatePen(1, 1);
+  OLDPEN<P> old = SelectPen(dc, pen);
+  LineTo(dc, 3, 3);
+  RestorePen(dc, old);
+  DeletePen(pen); // fine: key returned by RestorePen
+  EndPaint(win, dc);
+}
+)",
+                 gdiPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(GdiProtocol, EndPaintRequiresPlainState) {
+  auto C = check(R"(
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  tracked(P) HPEN pen = CreatePen(1, 1);
+  OLDPEN<P> old = SelectPen(dc, pen);
+  EndPaint(win, dc); // error: DC is "custom"
+  DeletePen(pen);
+}
+)",
+                 gdiPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(GdiProtocol, DoubleRestoreRejected) {
+  auto C = check(R"(
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  tracked(P) HPEN pen = CreatePen(1, 1);
+  OLDPEN<P> old = SelectPen(dc, pen);
+  RestorePen(dc, old);
+  RestorePen(dc, old); // error: DC already "plain", and +P duplicates
+  DeletePen(pen);
+  EndPaint(win, dc);
+}
+)",
+                 gdiPrelude());
+  EXPECT_TRUE(C->diags().hasErrors());
+}
+
+TEST(GdiProtocol, TwoDcsIndependent) {
+  auto C = check(R"(
+void main(HWND a, HWND b) {
+  tracked(@plain) HDC dca = BeginPaint(a);
+  tracked(@plain) HDC dcb = BeginPaint(b);
+  LineTo(dca, 1, 1);
+  EndPaint(a, dca);
+  LineTo(dcb, 2, 2); // still live
+  EndPaint(b, dcb);
+}
+)",
+                 gdiPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void main(HWND a, HWND b) {
+  tracked(@plain) HDC dca = BeginPaint(a);
+  tracked(@plain) HDC dcb = BeginPaint(b);
+  EndPaint(a, dca);
+  LineTo(dca, 1, 1); // error: dca released
+  EndPaint(b, dcb);
+}
+)",
+                  gdiPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowKeyNotHeld);
+}
+
+TEST(GdiProtocol, PaintHelperWithEffectSignature) {
+  // A drawing helper borrows the DC in the "custom" state.
+  auto C = check(R"(
+void drawBox(tracked(D) HDC dc, int size) [D@custom] {
+  MoveTo(dc, 0, 0);
+  LineTo(dc, size, 0);
+  LineTo(dc, size, size);
+  LineTo(dc, 0, size);
+  LineTo(dc, 0, 0);
+}
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  tracked(P) HPEN pen = CreatePen(1, 1);
+  OLDPEN<P> old = SelectPen(dc, pen);
+  drawBox(dc, 16);
+  RestorePen(dc, old);
+  DeletePen(pen);
+  EndPaint(win, dc);
+}
+)",
+                 gdiPrelude());
+  EXPECT_ACCEPTED(C);
+
+  // Calling it with a plain DC violates the precondition.
+  auto C2 = check(R"(
+void drawBox(tracked(D) HDC dc, int size) [D@custom] {
+  LineTo(dc, size, size);
+}
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  drawBox(dc, 16); // error: DC is "plain"
+  EndPaint(win, dc);
+}
+)",
+                  gdiPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowKeyWrongState);
+}
+
+TEST(GdiProtocol, PenLeakRejected) {
+  auto C = check(R"(
+void main(HWND win) {
+  tracked(@plain) HDC dc = BeginPaint(win);
+  tracked(P) HPEN pen = CreatePen(1, 1);
+  EndPaint(win, dc);
+  // BUG: pen never deleted.
+}
+)",
+                 gdiPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- IrpProtocolTests.cpp - Paper §4.1 IRP ownership --------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(IrpProtocol, CompleteOnEveryPathAccepted) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp, bool ready)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  if (!ready) {
+    return IoCompleteRequest(Irp, -3);
+  }
+  return IoCallDriver(Dev, Irp);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(IrpProtocol, PendedAndQueuedAccepted) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp,
+                LOCK<Q> qlock, Q:QUEUE queue)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  DSTATUS<I> st = IoMarkIrpPending(Irp);
+  KIRQL<old> saved = KeAcquireSpinLock(qlock);
+  Enqueue(queue, Irp);
+  KeReleaseSpinLock(qlock, saved);
+  return st;
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(IrpProtocol, PendedButNotQueuedLeaks) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  return IoMarkIrpPending(Irp); // BUG: IRP lost forever.
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(IrpProtocol, DoubleCompleteRejected) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  IoCompleteRequest(Irp, 0);
+  return IoCompleteRequest(Irp, 0); // BUG
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(IrpProtocol, CompleteThenForwardRejected) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  IoCompleteRequest(Irp, 0);
+  return IoCallDriver(Dev, Irp); // BUG: IRP already completed
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(IrpProtocol, AccessAfterCompleteRejected) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  DSTATUS<I> st = IoCompleteRequest(Irp, 0);
+  IrpSetInformation(Irp, 512); // BUG: no longer owns the IRP
+  return st;
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(IrpProtocol, AccessBeforeCompleteAccepted) {
+  auto C = check(R"(
+DSTATUS<I> Read(DEVICE_OBJECT Dev, tracked(I) IRP Irp)
+    [-I, IRQL @ (level <= DISPATCH_LEVEL)] {
+  IrpSetInformation(Irp, IrpLength(Irp));
+  return IoCompleteRequest(Irp, 0);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(IrpProtocol, DequeuedIrpMustBeResolved) {
+  auto C = check(R"(
+void drain(LOCK<Q> qlock, Q:QUEUE queue)
+    [IRQL @ (lvl <= DISPATCH_LEVEL)] {
+  KIRQL<old> saved = KeAcquireSpinLock(qlock);
+  tracked popt item = Dequeue(queue);
+  KeReleaseSpinLock(qlock, saved);
+  switch (item) {
+    case 'NoIrp:
+      return;
+    case 'GotIrp(irp):
+      return; // BUG: dequeued IRP dropped.
+  }
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(IrpProtocol, DequeuedIrpCompletedAccepted) {
+  auto C = check(R"(
+void drain(LOCK<Q> qlock, Q:QUEUE queue)
+    [IRQL @ (lvl <= DISPATCH_LEVEL)] {
+  KIRQL<old> saved = KeAcquireSpinLock(qlock);
+  tracked popt item = Dequeue(queue);
+  KeReleaseSpinLock(qlock, saved);
+  switch (item) {
+    case 'NoIrp:
+      return;
+    case 'GotIrp(irp):
+      IoCompleteRequest(irp, 0);
+  }
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(IrpProtocol, TwoIrpsResolvedIndependently) {
+  auto C = check(R"(
+DSTATUS<B> Pair(DEVICE_OBJECT Dev, tracked(A) IRP first,
+                tracked(B) IRP second) [-A, -B] {
+  IoCompleteRequest(first, 0);
+  return IoCompleteRequest(second, 0);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(IrpProtocol, CrossedIrpCompletionCaught) {
+  auto C = check(R"(
+DSTATUS<B> Pair(DEVICE_OBJECT Dev, tracked(A) IRP first,
+                tracked(B) IRP second) [-A, -B] {
+  IoCompleteRequest(first, 0);
+  IoCompleteRequest(first, 0); // BUG: first twice, second never
+  return IoCompleteRequest(second, 0);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(IrpProtocol, AliasedIrpArgumentsRejected) {
+  // Passing the same IRP for two distinct keys would alias what the
+  // signature declares distinct.
+  auto C = check(R"(
+DSTATUS<B> Pair(DEVICE_OBJECT Dev, tracked(A) IRP first,
+                tracked(B) IRP second) [-A, -B] {
+  IoCompleteRequest(first, 0);
+  return IoCompleteRequest(second, 0);
+}
+DSTATUS<I> caller(DEVICE_OBJECT Dev, tracked(I) IRP irp) [-I] {
+  return Pair(Dev, irp, irp);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaTypeMismatch);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- IrqlTests.cpp - Paper §4.4 interrupt levels and paged memory -------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+const char *GeoPrelude = R"(
+struct DISK_GEOMETRY { int cylinders; int heads; int sectors; }
+int readGeometry(paged<DISK_GEOMETRY> geo) [IRQL @ (lvl <= APC_LEVEL)];
+)";
+
+TEST(Irql, ExactLevelRequirement) {
+  auto C = check(R"(
+void ok() [IRQL @ PASSIVE_LEVEL] {
+  KeSetPriorityThread(5);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void bad() [IRQL @ DISPATCH_LEVEL] {
+  KeSetPriorityThread(5); // needs PASSIVE_LEVEL
+}
+)",
+                  kernelPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowKeyWrongState);
+}
+
+TEST(Irql, BoundedPolymorphismSatisfiedByLowerBound) {
+  // KeReleaseSemaphore accepts any level <= DISPATCH_LEVEL.
+  auto C = check(R"(
+void fromPassive() [IRQL @ PASSIVE_LEVEL] { KeReleaseSemaphore(1); }
+void fromApc() [IRQL @ APC_LEVEL] { KeReleaseSemaphore(1); }
+void fromDispatch() [IRQL @ DISPATCH_LEVEL] { KeReleaseSemaphore(1); }
+void polymorphic() [IRQL @ (level <= DISPATCH_LEVEL)] {
+  KeReleaseSemaphore(1);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Irql, BoundedPolymorphismViolatedAboveBound) {
+  auto C = check(R"(
+void fromDirql() [IRQL @ DIRQL] {
+  KeReleaseSemaphore(1); // DIRQL > DISPATCH_LEVEL
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(Irql, SymbolicCallerBoundImpliesCalleeBound) {
+  // A caller bounded by APC_LEVEL may call a callee bounded by
+  // DISPATCH_LEVEL, but not vice versa.
+  auto C = check(R"(
+void callee() [IRQL @ (a <= DISPATCH_LEVEL)] {}
+void caller() [IRQL @ (b <= APC_LEVEL)] { callee(); }
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void callee() [IRQL @ (a <= APC_LEVEL)] {}
+void caller() [IRQL @ (b <= DISPATCH_LEVEL)] { callee(); }
+)",
+                  kernelPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowKeyWrongState);
+}
+
+TEST(Irql, SpinLockRaisesAndRestores) {
+  auto C = check(std::string(GeoPrelude) + R"(
+void ok(LOCK<Q> lock, Q:QUEUE q, paged<DISK_GEOMETRY> geo)
+    [IRQL @ PASSIVE_LEVEL] {
+  int before = readGeometry(geo);
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+  tracked popt item = Dequeue(q);
+  KeReleaseSpinLock(lock, saved);
+  int after = readGeometry(geo); // back at PASSIVE_LEVEL
+  switch (item) {
+    case 'NoIrp:
+      return;
+    case 'GotIrp(irp):
+      IoCompleteRequest(irp, 0);
+  }
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Irql, PagedCallAtDispatchRejected) {
+  auto C = check(std::string(GeoPrelude) + R"(
+void bad(LOCK<Q> lock, paged<DISK_GEOMETRY> geo) [IRQL @ PASSIVE_LEVEL] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+  int n = readGeometry(geo); // at DISPATCH_LEVEL: pager cannot run
+  KeReleaseSpinLock(lock, saved);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(Irql, PagedDirectAccessGuarded) {
+  // Accessing paged<T> data directly is guarded by the IRQL.
+  auto C = check(std::string(GeoPrelude) + R"(
+int ok(paged<DISK_GEOMETRY> geo) [IRQL @ PASSIVE_LEVEL] {
+  return geo.cylinders;
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(std::string(GeoPrelude) + R"(
+int bad(LOCK<Q> lock, paged<DISK_GEOMETRY> geo) [IRQL @ PASSIVE_LEVEL] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+  int n = geo.cylinders; // guard: IRQL <= APC_LEVEL, but at DISPATCH
+  KeReleaseSpinLock(lock, saved);
+  return n;
+}
+)",
+                  kernelPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowGuardWrongState);
+}
+
+TEST(Irql, LevelChangeMustBeRestoredAtExit) {
+  // A function promising to stay at PASSIVE must lower before exit.
+  auto C = check(R"(
+void forgets(LOCK<Q> lock) [IRQL @ PASSIVE_LEVEL] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+  // BUG: never releases, so IRQL is DISPATCH at exit.
+}
+)",
+                 kernelPrelude());
+  EXPECT_TRUE(C->diags().hasErrors()) << C->diags().render();
+}
+
+TEST(Irql, DeclaredLevelTransitionAccepted) {
+  auto C = check(R"(
+void raise(LOCK<Q> lock) [IRQL @ PASSIVE_LEVEL -> DISPATCH_LEVEL, +Q] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Irql, SavedLevelValueRestoresCorrectLevel) {
+  // KIRQL<level> captures the pre-acquire level in the value's type;
+  // releasing with it restores exactly that level.
+  auto C = check(R"(
+void nestedLocks(LOCK<A2> l1, LOCK<B2> l2) [IRQL @ PASSIVE_LEVEL] {
+  KIRQL<s1> save1 = KeAcquireSpinLock(l1);  // PASSIVE -> DISPATCH
+  KIRQL<s2> save2 = KeAcquireSpinLock(l2);  // DISPATCH -> DISPATCH
+  KeReleaseSpinLock(l2, save2);             // back to DISPATCH
+  KeReleaseSpinLock(l1, save1);             // back to PASSIVE
+  KeSetPriorityThread(1);                   // requires PASSIVE: ok
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Irql, ReleasingInWrongOrderLeavesWrongLevel) {
+  auto C = check(R"(
+void wrongOrder(LOCK<A2> l1, LOCK<B2> l2) [IRQL @ PASSIVE_LEVEL] {
+  KIRQL<s1> save1 = KeAcquireSpinLock(l1);  // saves PASSIVE
+  KIRQL<s2> save2 = KeAcquireSpinLock(l2);  // saves DISPATCH
+  KeReleaseSpinLock(l2, save1);             // restores PASSIVE too early
+  KeReleaseSpinLock(l1, save2);             // "restores" DISPATCH
+}
+)",
+                 kernelPrelude());
+  // Exit promises PASSIVE_LEVEL but the level is DISPATCH_LEVEL; also
+  // the inner release happens below DISPATCH_LEVEL.
+  EXPECT_TRUE(C->diags().hasErrors()) << C->diags().render();
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- JoinPointTests.cpp - Paper §2.4 / Figure 5 join points -------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(JoinPoints, Fig5Rejected) {
+  auto C = check(R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  int x = pt.x;
+  if (x > 0) {
+    pt.y = 0;
+    Region.delete(rgn);
+  } else {
+    pt.y = x;
+  }
+  if (x <= 0)
+    Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
+TEST(JoinPoints, KeyedVariantRewriteAccepted) {
+  auto C = check(R"(
+variant holds<key K> [ 'Deleted | 'Alive {K} ];
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  tracked holds<R> flag;
+  if (pt.x > 0) {
+    pt.y = 0;
+    Region.delete(rgn);
+    flag = 'Deleted;
+  } else {
+    pt.y = pt.x;
+    flag = 'Alive{R};
+  }
+  switch (flag) {
+    case 'Deleted:
+      print("gone");
+    case 'Alive:
+      Region.delete(rgn);
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(JoinPoints, BalancedBranchesAccepted) {
+  auto C = check(R"(
+void main(bool b) {
+  tracked(R) region rgn = Region.create();
+  if (b) {
+    R:point p = new(rgn) point {x=1;};
+    p.x++;
+  } else {
+    R:point q = new(rgn) point {x=2;};
+    q.x--;
+  }
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(JoinPoints, LocalKeysCanonicalizedThroughVariables) {
+  // Both branches create a *different* fresh region bound to the same
+  // variable; the join abstracts the key names (paper §3).
+  auto C = check(R"(
+void main(bool b) {
+  tracked region r = Region.create();
+  if (b) {
+    Region.delete(r);
+    r = Region.create();
+  }
+  Region.delete(r);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(JoinPoints, StateMismatchAtJoinRejected) {
+  auto C = check(R"(
+type sock;
+tracked(@raw) sock socket(int d);
+void bind(tracked(S) sock) [S@raw->named];
+void close(tracked(S) sock) [-S];
+void main(bool b) {
+  tracked(K) sock s = socket(0);
+  if (b) {
+    bind(s);
+  }
+  close(s);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
+TEST(JoinPoints, EarlyReturnAvoidsJoin) {
+  // An early return is not a join: each exit is checked separately.
+  auto C = check(R"(
+void main(bool b) {
+  tracked(R) region rgn = Region.create();
+  if (b) {
+    Region.delete(rgn);
+    return;
+  }
+  R:point p = new(rgn) point {x=1;};
+  p.x++;
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(JoinPoints, LeakOnOnePathOnly) {
+  auto C = check(R"(
+void main(bool b) {
+  tracked(R) region rgn = Region.create();
+  if (b) {
+    return; // BUG: leaks rgn on this path only.
+  }
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(JoinPoints, SwitchArmsMustAgree) {
+  auto C = check(R"(
+variant choice [ 'Yes | 'No ];
+void main(choice c) {
+  tracked(R) region rgn = Region.create();
+  switch (c) {
+    case 'Yes:
+      Region.delete(rgn);
+    case 'No:
+      print("keep");
+  }
+  // Join of the two arms disagrees on R.
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
+TEST(JoinPoints, SwitchArmsAgreeAccepted) {
+  auto C = check(R"(
+variant choice [ 'Yes | 'No ];
+void main(choice c) {
+  tracked(R) region rgn = Region.create();
+  switch (c) {
+    case 'Yes:
+      Region.delete(rgn);
+    case 'No:
+      Region.delete(rgn);
+  }
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(JoinPoints, NestedIfsJoinCorrectly) {
+  auto C = check(R"(
+void main(bool a, bool b) {
+  tracked(R) region rgn = Region.create();
+  if (a) {
+    if (b) {
+      R:point p = new(rgn) point {x=1;};
+      p.x++;
+    }
+  } else {
+    print("else");
+  }
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+//===- KeyTraceTests.cpp - Held-key-set tracing ---------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+std::vector<KeyTraceEntry> traceOf(const std::string &Src,
+                                   const std::string &Prelude) {
+  VaultCompiler C;
+  C.enableKeyTrace();
+  C.addSource("trace.vlt", Prelude + Src);
+  C.check();
+  return C.keyTrace();
+}
+
+TEST(KeyTrace, RegionLifetimeVisible) {
+  auto Trace = traceOf(R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  Region.delete(rgn);
+}
+)",
+                       regionPrelude());
+  ASSERT_GE(Trace.size(), 4u);
+  // The key is held through the body...
+  EXPECT_NE(Trace[0].Held.find("R#"), std::string::npos) << Trace[0].Held;
+  EXPECT_NE(Trace[1].Held.find("R#"), std::string::npos);
+  EXPECT_NE(Trace[2].Held.find("R#"), std::string::npos);
+  // ...and gone after Region.delete.
+  EXPECT_EQ(Trace.back().Held, "{}");
+  EXPECT_EQ(Trace[0].Function, "main");
+}
+
+TEST(KeyTrace, StateTransitionsVisible) {
+  auto Trace = traceOf(R"(
+void main(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  listen(s, 5);
+  close(s);
+}
+)",
+                       socketPrelude());
+  ASSERT_EQ(Trace.size(), 4u);
+  EXPECT_NE(Trace[0].Held.find("@raw"), std::string::npos) << Trace[0].Held;
+  EXPECT_NE(Trace[1].Held.find("@named"), std::string::npos);
+  EXPECT_NE(Trace[2].Held.find("@listening"), std::string::npos);
+  EXPECT_EQ(Trace[3].Held, "{}");
+}
+
+TEST(KeyTrace, BranchTraceCoversBothArms) {
+  auto Trace = traceOf(R"(
+void main(bool b) {
+  tracked(R) region rgn = Region.create();
+  if (b) {
+    R:point p = new(rgn) point {x=1;};
+    p.x++;
+  } else {
+    print("skip");
+  }
+  Region.delete(rgn);
+}
+)",
+                       regionPrelude());
+  // Entries from both arms plus the straight-line statements.
+  ASSERT_GE(Trace.size(), 5u);
+  EXPECT_EQ(Trace.back().Held, "{}");
+}
+
+TEST(KeyTrace, LoopTraceOnlyFromTheLoudPass) {
+  // The fixpoint iterations are suppressed: each body statement
+  // appears a bounded number of times, not MaxLoopIterations times.
+  auto Trace = traceOf(R"(
+void main(int n) {
+  tracked(R) region rgn = Region.create();
+  int i = 0;
+  while (i < n) {
+    i++;
+  }
+  Region.delete(rgn);
+}
+)",
+                       regionPrelude());
+  unsigned BodyEntries = 0;
+  for (const KeyTraceEntry &T : Trace)
+    if (T.Held.find("R#") != std::string::npos)
+      ++BodyEntries;
+  EXPECT_LT(Trace.size(), 12u) << "quiet iterations must not trace";
+  (void)BodyEntries;
+}
+
+TEST(KeyTrace, DisabledByDefault) {
+  VaultCompiler C;
+  C.addSource("t.vlt", "void main() {}");
+  C.check();
+  EXPECT_TRUE(C.keyTrace().empty());
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- LockEventTests.cpp - Paper §4.2 locks and events -------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(Locks, BalancedAcquireReleaseAccepted) {
+  auto C = check(R"(
+void f(LOCK<Q> lock, Q:QUEUE queue) [IRQL @ (l <= DISPATCH_LEVEL)] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+  tracked popt item = Dequeue(queue);
+  KeReleaseSpinLock(lock, saved);
+  switch (item) {
+    case 'NoIrp:
+      return;
+    case 'GotIrp(irp):
+      IoCompleteRequest(irp, 0);
+  }
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Locks, MissingReleaseRejected) {
+  auto C = check(R"(
+void f(LOCK<Q> lock) [IRQL @ (l <= DISPATCH_LEVEL)] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+}
+)",
+                 kernelPrelude());
+  EXPECT_TRUE(C->diags().hasErrors());
+  // Both the lock key and the raised IRQL are inconsistent at exit.
+  EXPECT_TRUE(C->diags().has(DiagId::FlowKeyLeaked) ||
+              C->diags().has(DiagId::FlowMissingAtExit))
+      << C->diags().render();
+}
+
+TEST(Locks, DoubleAcquireRejected) {
+  auto C = check(R"(
+void f(LOCK<Q> lock) [IRQL @ (l <= DISPATCH_LEVEL)] {
+  KIRQL<a> s1 = KeAcquireSpinLock(lock);
+  KIRQL<b> s2 = KeAcquireSpinLock(lock);
+  KeReleaseSpinLock(lock, s2);
+  KeReleaseSpinLock(lock, s1);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyAlreadyHeld);
+}
+
+TEST(Locks, ReleaseWithoutAcquireRejected) {
+  auto C = check(R"(
+void f(LOCK<Q> lock, KIRQL<lvl> saved) [IRQL @ DISPATCH_LEVEL] {
+  KeReleaseSpinLock(lock, saved);
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Locks, GuardedDataRequiresTheLock) {
+  auto C = check(R"(
+void f(LOCK<Q> lock, Q:QUEUE queue) [IRQL @ (l <= DISPATCH_LEVEL)] {
+  tracked popt item = Dequeue(queue); // error: Q not held
+  switch (item) {
+    case 'NoIrp:
+      return;
+    case 'GotIrp(irp):
+      IoCompleteRequest(irp, 0);
+  }
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Locks, AccessAfterReleaseRejected) {
+  auto C = check(R"(
+void f(LOCK<Q> lock, Q:QUEUE queue) [IRQL @ (l <= DISPATCH_LEVEL)] {
+  KIRQL<old> saved = KeAcquireSpinLock(lock);
+  KeReleaseSpinLock(lock, saved);
+  tracked popt item = Dequeue(queue); // error: lock released
+  switch (item) {
+    case 'NoIrp:
+      return;
+    case 'GotIrp(irp):
+      IoCompleteRequest(irp, 0);
+  }
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Events, PassKeyThroughEventAccepted) {
+  // §4.2: "our Vault description of events can be used to pass a key
+  // from one thread to another".
+  auto C = check(R"(
+NTSTATUS f(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [-I] {
+  KEVENT<I> ev = KeInitializeEvent(Irp);
+  KeSignalEvent(ev);   // give the key away
+  KeWaitForEvent(ev);  // get it back
+  IoCompleteRequest(Irp, 0);
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(Events, SignalWithoutKeyRejected) {
+  auto C = check(R"(
+NTSTATUS f(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [-I] {
+  KEVENT<I> ev = KeInitializeEvent(Irp);
+  IoCompleteRequest(Irp, 0);
+  KeSignalEvent(ev); // error: I already consumed
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Events, UseWhileSignaledRejected) {
+  auto C = check(R"(
+NTSTATUS f(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [-I] {
+  KEVENT<I> ev = KeInitializeEvent(Irp);
+  KeSignalEvent(ev);
+  IrpSetInformation(Irp, 1); // error: key with the other thread
+  KeWaitForEvent(ev);
+  IoCompleteRequest(Irp, 0);
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Events, DoubleSignalRejected) {
+  auto C = check(R"(
+NTSTATUS f(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [-I] {
+  KEVENT<I> ev = KeInitializeEvent(Irp);
+  KeSignalEvent(ev);
+  KeSignalEvent(ev); // error: key already given away
+  KeWaitForEvent(ev);
+  IoCompleteRequest(Irp, 0);
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(Events, WaitWhileHoldingRejected) {
+  // Waiting would duplicate the key.
+  auto C = check(R"(
+NTSTATUS f(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [-I] {
+  KEVENT<I> ev = KeInitializeEvent(Irp);
+  KeWaitForEvent(ev); // error: I already held
+  IoCompleteRequest(Irp, 0);
+  return 0;
+}
+)",
+                 kernelPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyAlreadyHeld);
+}
+
+} // namespace

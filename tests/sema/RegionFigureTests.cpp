@@ -1,0 +1,242 @@
+//===- RegionFigureTests.cpp - Paper §2.2 / Figures 1-2 -------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(RegionFigures, OkayAccepted) {
+  auto C = check(R"(
+void okay() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(RegionFigures, DanglingRejected) {
+  auto C = check(R"(
+void dangling() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  Region.delete(rgn);
+  pt.x++;
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardNotHeld);
+}
+
+TEST(RegionFigures, LeakyRejected) {
+  auto C = check(R"(
+void leaky() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(RegionFigures, DoubleDeleteRejected) {
+  auto C = check(R"(
+void dd() {
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(RegionFigures, AliasesShareTheKey) {
+  // §3.1: "calling Region.delete on either rgn1 or rgn2 deletes the
+  // key, which prevents the region from being referenced under either
+  // name".
+  auto C = check(R"(
+void aliases() {
+  tracked(R) region rgn1 = Region.create();
+  tracked region rgn2 = rgn1;
+  Region.delete(rgn2);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void aliases() {
+  tracked(R) region rgn1 = Region.create();
+  tracked region rgn2 = rgn1;
+  Region.delete(rgn2);
+  Region.delete(rgn1); // same key: double delete
+}
+)",
+                  regionPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowKeyNotHeld);
+}
+
+TEST(RegionFigures, AllocationFromDeletedRegionRejected) {
+  auto C = check(R"(
+void f() {
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+  R:point pt = new(rgn) point {x=1;};
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(RegionFigures, TwoRegionsAreDistinct) {
+  auto C = check(R"(
+void two() {
+  tracked(A) region ra = Region.create();
+  tracked(B) region rb = Region.create();
+  A:point pa = new(ra) point {x=1;};
+  B:point pb = new(rb) point {x=2;};
+  Region.delete(ra);
+  pb.x++;          // still fine: key B held
+  Region.delete(rb);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void two() {
+  tracked(A) region ra = Region.create();
+  tracked(B) region rb = Region.create();
+  A:point pa = new(ra) point {x=1;};
+  Region.delete(ra);
+  pa.x++;          // dangling: key A gone
+  Region.delete(rb);
+}
+)",
+                  regionPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowGuardNotHeld);
+}
+
+TEST(RegionFigures, GuardedDataFlowsBetweenFunctions) {
+  // The paper's foo(tracked(F) FILE f, guarded_int<F> gi) pattern:
+  // a guarded value and its guard key passed together.
+  auto C = check(R"(
+type guarded_pt<key K> = K:point;
+void bump(tracked(F) region r, guarded_pt<F> p) [F] {
+  p.x++;
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  bump(rgn, pt);
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(RegionFigures, GuardedParamWithoutKeyRejected) {
+  // Passing the guarded value after deleting its region.
+  auto C = check(R"(
+type guarded_pt<key K> = K:point;
+void bump(tracked(F) region r, guarded_pt<F> p) [F] {
+  p.x++;
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  Region.delete(rgn);
+  bump(rgn, pt);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(RegionFigures, EffectfulCalleeAccountedInCaller) {
+  // A helper that consumes the region; the caller must not use it
+  // afterwards.
+  auto C = check(R"(
+void finish(tracked(K) region r) [-K] {
+  Region.delete(r);
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  finish(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void finish(tracked(K) region r) [-K] {
+  Region.delete(r);
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1;};
+  finish(rgn);
+  pt.x++;
+}
+)",
+                  regionPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowGuardNotHeld);
+}
+
+TEST(RegionFigures, CalleeBodyCheckedAgainstItsEffect) {
+  // A callee that promises to consume but does not is itself rejected.
+  auto C = check(R"(
+void finish(tracked(K) region r) [-K] {
+  // BUG: forgot Region.delete(r).
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(RegionFigures, NoEffectMeansUnchanged) {
+  // §2.2: "because this function has no explicit effect clause, it
+  // promises that the pre and post key set will be the same".
+  auto C = check(R"(
+void peek(tracked(K) region r) {
+  Region.delete(r); // violates the implicit identity effect
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowMissingAtExit);
+}
+
+TEST(RegionFigures, FreshKeyReturnedToCaller) {
+  auto C = check(R"(
+tracked(N) region make() [new N] {
+  tracked(R) region rgn = Region.create();
+  return rgn;
+}
+void main() {
+  tracked(M) region r = make();
+  Region.delete(r);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(RegionFigures, DiscardedFreshKeyLeaks) {
+  auto C = check(R"(
+void main() {
+  Region.create(); // fresh region discarded
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+} // namespace

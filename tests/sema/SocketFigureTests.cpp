@@ -1,0 +1,221 @@
+//===- SocketFigureTests.cpp - Paper §2.3 / Figure 3 ----------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(SocketFigures, CorrectSequenceAccepted) {
+  auto C = check(R"(
+void server(sockaddr addr, byte[] buf) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  listen(s, 5);
+  tracked(N) sock conn = accept(s, addr);
+  receive(conn, buf);
+  close(conn);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(SocketFigures, MissingBindRejected) {
+  auto C = check(R"(
+void server(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  listen(s, 5);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(SocketFigures, MissingListenRejected) {
+  auto C = check(R"(
+void server(sockaddr addr, byte[] buf) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  tracked(N) sock conn = accept(s, addr);
+  receive(conn, buf);
+  close(conn);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(SocketFigures, ReceiveOnListeningSocketRejected) {
+  auto C = check(R"(
+void server(sockaddr addr, byte[] buf) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  listen(s, 5);
+  receive(s, buf); // must receive on the accepted connection
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(SocketFigures, DoubleBindRejected) {
+  auto C = check(R"(
+void server(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  bind(s, addr);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+}
+
+TEST(SocketFigures, SocketLeakRejected) {
+  auto C = check(R"(
+void server(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+}
+
+TEST(SocketFigures, UseAfterCloseRejected) {
+  auto C = check(R"(
+void server(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  close(s);
+  bind(s, addr);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(SocketFigures, UncheckedFallibleBindRejected) {
+  // §2.3: "Here, the call to bind removes the socket's key from the
+  // held-key set, hence the precondition for listen is violated."
+  auto C = check(R"(
+void server(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind2(s, addr);
+  listen(s, 0);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(SocketFigures, CheckedFallibleBindAccepted) {
+  auto C = check(R"(
+void server(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  switch (bind2(s, addr)) {
+    case 'Ok:
+      listen(s, 0);
+      close(s);
+    case 'Error(code):
+      close(s);
+  }
+}
+)",
+                 socketPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(SocketFigures, ErrorArmKeyIsBackInRawState) {
+  // In the 'Error case the key is restored in state "raw" — so a
+  // retry bind is legal, but listen is not.
+  auto C = check(R"(
+void retry(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  switch (bind2(s, addr)) {
+    case 'Ok:
+      close(s);
+    case 'Error(code):
+      bind(s, addr); // legal: raw again
+      close(s);
+  }
+}
+)",
+                 socketPrelude());
+  EXPECT_ACCEPTED(C);
+
+  auto C2 = check(R"(
+void bad(sockaddr addr) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  switch (bind2(s, addr)) {
+    case 'Ok:
+      close(s);
+    case 'Error(code):
+      listen(s, 1); // error: still raw
+      close(s);
+  }
+}
+)",
+                  socketPrelude());
+  EXPECT_REJECTED_WITH(C2, DiagId::FlowKeyWrongState);
+}
+
+TEST(SocketFigures, AcceptReturnsDistinctReadySocket) {
+  auto C = check(R"(
+void server(sockaddr addr, byte[] buf) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  listen(s, 5);
+  tracked(N) sock conn = accept(s, addr);
+  // The listener is not "ready"; the connection is.
+  receive(conn, buf);
+  // And accept can be repeated on the listener.
+  tracked(M) sock conn2 = accept(s, addr);
+  close(conn2);
+  close(conn);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(SocketFigures, StateRestoredOnBothBranchesMustAgree) {
+  auto C = check(R"(
+void cond(sockaddr addr, bool flip) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  if (flip) {
+    bind(s, addr);
+  }
+  // Join: raw on one path, named on the other.
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
+TEST(SocketFigures, SameProtocolStepOnBothBranchesAccepted) {
+  auto C = check(R"(
+void cond(sockaddr a, sockaddr b, bool flip) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  if (flip) {
+    bind(s, a);
+  } else {
+    bind(s, b);
+  }
+  listen(s, 5);
+  close(s);
+}
+)",
+                 socketPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+} // namespace

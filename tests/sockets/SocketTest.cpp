@@ -1,0 +1,157 @@
+//===- SocketTest.cpp - In-memory socket substrate ------------------------===//
+
+#include "sockets/Socket.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::net;
+
+namespace {
+
+TEST(Sockets, ProtocolHappyPath) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  EXPECT_EQ(W.stateOf(S), SockState::Raw);
+  EXPECT_EQ(W.bind(S, 80), SockError::Ok);
+  EXPECT_EQ(W.stateOf(S), SockState::Named);
+  EXPECT_EQ(W.listen(S, 4), SockError::Ok);
+  EXPECT_EQ(W.stateOf(S), SockState::Listening);
+
+  auto Client = W.socketCreate();
+  EXPECT_EQ(W.connect(Client, 80), SockError::Ok);
+  SocketWorld::Handle Conn = 0;
+  EXPECT_EQ(W.accept(S, Conn), SockError::Ok);
+  EXPECT_EQ(W.stateOf(Conn), SockState::Ready);
+
+  EXPECT_EQ(W.send(Client, {1, 2, 3}), SockError::Ok);
+  std::vector<uint8_t> Buf;
+  EXPECT_EQ(W.receive(Conn, Buf), SockError::Ok);
+  EXPECT_EQ(Buf, (std::vector<uint8_t>{1, 2, 3}));
+
+  EXPECT_EQ(W.close(Client), SockError::Ok);
+  EXPECT_EQ(W.close(Conn), SockError::Ok);
+  EXPECT_EQ(W.close(S), SockError::Ok);
+  EXPECT_EQ(W.violationCount(), 0u);
+  EXPECT_TRUE(W.leakedSockets().empty());
+}
+
+TEST(Sockets, BidirectionalTraffic) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  W.bind(S, 1000);
+  W.listen(S, 1);
+  auto Client = W.socketCreate();
+  W.connect(Client, 1000);
+  SocketWorld::Handle Conn = 0;
+  W.accept(S, Conn);
+  W.send(Conn, {9});
+  std::vector<uint8_t> Buf;
+  EXPECT_EQ(W.receive(Client, Buf), SockError::Ok);
+  EXPECT_EQ(Buf, std::vector<uint8_t>{9});
+}
+
+TEST(Sockets, ListenWithoutBindIsViolation) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  EXPECT_EQ(W.listen(S, 4), SockError::WrongState);
+  EXPECT_EQ(W.violationCount(), 1u);
+  EXPECT_FALSE(W.violationLog().empty());
+}
+
+TEST(Sockets, ReceiveOnRawIsViolation) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  std::vector<uint8_t> Buf;
+  EXPECT_EQ(W.receive(S, Buf), SockError::WrongState);
+  EXPECT_EQ(W.violationCount(), 1u);
+}
+
+TEST(Sockets, AddrInUseIsEnvironmentalNotProtocol) {
+  SocketWorld W;
+  auto A = W.socketCreate();
+  auto B = W.socketCreate();
+  EXPECT_EQ(W.bind(A, 80), SockError::Ok);
+  EXPECT_EQ(W.bind(B, 80), SockError::AddrInUse);
+  EXPECT_EQ(W.violationCount(), 0u) << "failure, but not a protocol bug";
+  EXPECT_EQ(W.stateOf(B), SockState::Raw) << "B can retry another port";
+  EXPECT_EQ(W.bind(B, 81), SockError::Ok);
+}
+
+TEST(Sockets, PortFreedOnClose) {
+  SocketWorld W;
+  auto A = W.socketCreate();
+  W.bind(A, 80);
+  W.close(A);
+  auto B = W.socketCreate();
+  EXPECT_EQ(W.bind(B, 80), SockError::Ok);
+}
+
+TEST(Sockets, AcceptWouldBlockWithNoPending) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  W.bind(S, 80);
+  W.listen(S, 4);
+  SocketWorld::Handle Conn = 0;
+  EXPECT_EQ(W.accept(S, Conn), SockError::WouldBlock);
+  EXPECT_EQ(W.violationCount(), 0u);
+}
+
+TEST(Sockets, BacklogLimit) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  W.bind(S, 80);
+  W.listen(S, 1);
+  auto C1 = W.socketCreate();
+  auto C2 = W.socketCreate();
+  EXPECT_EQ(W.connect(C1, 80), SockError::Ok);
+  EXPECT_EQ(W.connect(C2, 80), SockError::WouldBlock);
+}
+
+TEST(Sockets, DoubleCloseIsViolation) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  EXPECT_EQ(W.close(S), SockError::Ok);
+  EXPECT_EQ(W.close(S), SockError::WrongState);
+  EXPECT_EQ(W.violationCount(), 1u);
+}
+
+TEST(Sockets, SendToClosedPeer) {
+  SocketWorld W;
+  auto S = W.socketCreate();
+  W.bind(S, 80);
+  W.listen(S, 4);
+  auto Client = W.socketCreate();
+  W.connect(Client, 80);
+  SocketWorld::Handle Conn = 0;
+  W.accept(S, Conn);
+  W.close(Client);
+  EXPECT_EQ(W.send(Conn, {1}), SockError::NotConnected);
+}
+
+TEST(Sockets, LeakReporting) {
+  SocketWorld W;
+  auto A = W.socketCreate();
+  auto B = W.socketCreate();
+  W.close(A);
+  auto Leaked = W.leakedSockets();
+  ASSERT_EQ(Leaked.size(), 1u);
+  EXPECT_EQ(Leaked[0], B);
+  EXPECT_EQ(W.liveCount(), 1u);
+}
+
+TEST(Sockets, ConnectToUnboundPortFails) {
+  SocketWorld W;
+  auto C = W.socketCreate();
+  EXPECT_EQ(W.connect(C, 9999), SockError::NotConnected);
+}
+
+TEST(Sockets, StateNamesComplete) {
+  EXPECT_STREQ(sockStateName(SockState::Raw), "raw");
+  EXPECT_STREQ(sockStateName(SockState::Named), "named");
+  EXPECT_STREQ(sockStateName(SockState::Listening), "listening");
+  EXPECT_STREQ(sockStateName(SockState::Ready), "ready");
+  EXPECT_STREQ(sockStateName(SockState::Closed), "closed");
+  EXPECT_STREQ(sockErrorName(SockError::WouldBlock), "would-block");
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- DiagnosticsTest.cpp ------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+class DiagnosticsTest : public ::testing::Test {
+protected:
+  DiagnosticsTest() : Diags(SM) {
+    BufferId = SM.addBuffer("t.vlt", "line one\nline two\n");
+  }
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  uint32_t BufferId;
+};
+
+TEST_F(DiagnosticsTest, CountsErrors) {
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.report(DiagId::FlowKeyLeaked, SM.locInBuffer(BufferId, 0), "leak");
+  Diags.report(DiagId::SemaUnknownName, SM.locInBuffer(BufferId, 9), "warn",
+               DiagSeverity::Warning);
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics().size(), 2u);
+}
+
+TEST_F(DiagnosticsTest, HasAndCount) {
+  Diags.report(DiagId::FlowKeyLeaked, SourceLoc{}, "a");
+  Diags.report(DiagId::FlowKeyLeaked, SourceLoc{}, "b");
+  EXPECT_TRUE(Diags.has(DiagId::FlowKeyLeaked));
+  EXPECT_FALSE(Diags.has(DiagId::FlowGuardNotHeld));
+  EXPECT_EQ(Diags.count(DiagId::FlowKeyLeaked), 2u);
+}
+
+TEST_F(DiagnosticsTest, RenderIncludesCaret) {
+  Diags.report(DiagId::FlowGuardNotHeld, SM.locInBuffer(BufferId, 5),
+               "bad access");
+  std::string R = Diags.render();
+  EXPECT_NE(R.find("t.vlt:1:6"), std::string::npos);
+  EXPECT_NE(R.find("bad access"), std::string::npos);
+  EXPECT_NE(R.find("flow-guard-not-held"), std::string::npos);
+  EXPECT_NE(R.find('^'), std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, NotesAttachToLastDiagnostic) {
+  Diags.report(DiagId::FlowKeyLeaked, SourceLoc{}, "leak");
+  Diags.note(SM.locInBuffer(BufferId, 0), "origin here");
+  ASSERT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_EQ(Diags.diagnostics()[0].Notes.size(), 1u);
+}
+
+TEST_F(DiagnosticsTest, SuppressionDiscards) {
+  {
+    DiagnosticEngine::SuppressionScope Quiet(Diags);
+    Diags.report(DiagId::FlowKeyLeaked, SourceLoc{}, "hidden");
+    Diags.note(SourceLoc{}, "hidden note");
+  }
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+  Diags.report(DiagId::FlowKeyLeaked, SourceLoc{}, "visible");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+}
+
+TEST_F(DiagnosticsTest, NestedSuppression) {
+  Diags.suppress();
+  Diags.suppress();
+  Diags.report(DiagId::RunError, SourceLoc{}, "x");
+  Diags.unsuppress();
+  EXPECT_TRUE(Diags.isSuppressed());
+  Diags.report(DiagId::RunError, SourceLoc{}, "y");
+  Diags.unsuppress();
+  EXPECT_FALSE(Diags.isSuppressed());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+}
+
+TEST(DiagName, AllIdsHaveNames) {
+  for (unsigned I = 0; I != static_cast<unsigned>(DiagId::NumDiags); ++I) {
+    const char *N = diagName(static_cast<DiagId>(I));
+    EXPECT_NE(std::string(N), "unknown") << "DiagId " << I;
+  }
+}
+
+} // namespace

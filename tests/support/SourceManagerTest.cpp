@@ -1,0 +1,57 @@
+//===- SourceManagerTest.cpp ----------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+TEST(SourceManager, EmptyBuffer) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("empty.vlt", "");
+  EXPECT_EQ(Id, 1u);
+  EXPECT_EQ(SM.bufferText(Id), "");
+  PresumedLoc P = SM.presumed(SM.locInBuffer(Id, 0));
+  EXPECT_EQ(P.Line, 1u);
+  EXPECT_EQ(P.Column, 1u);
+}
+
+TEST(SourceManager, LineAndColumn) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("t.vlt", "abc\ndef\n\nxyz");
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 0)).Line, 1u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 2)).Column, 3u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 4)).Line, 2u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 4)).Column, 1u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 8)).Line, 3u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 9)).Line, 4u);
+}
+
+TEST(SourceManager, LineText) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("t.vlt", "first\nsecond\r\nthird");
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 1)), "first");
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 7)), "second");
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 15)), "third");
+}
+
+TEST(SourceManager, MultipleBuffers) {
+  SourceManager SM;
+  uint32_t A = SM.addBuffer("a.vlt", "aaa");
+  uint32_t B = SM.addBuffer("b.vlt", "bbb");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SM.bufferName(A), "a.vlt");
+  EXPECT_EQ(SM.bufferName(B), "b.vlt");
+  EXPECT_EQ(SM.numBuffers(), 2u);
+}
+
+TEST(SourceManager, InvalidLoc) {
+  SourceManager SM;
+  PresumedLoc P = SM.presumed(SourceLoc{});
+  EXPECT_FALSE(P.isValid());
+}
+
+TEST(SourceManager, MissingFile) {
+  SourceManager SM;
+  EXPECT_FALSE(SM.addFile("/nonexistent/path/x.vlt").has_value());
+}

@@ -1,0 +1,108 @@
+//===- KeySetTest.cpp -----------------------------------------------------===//
+
+#include "types/KeySet.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+TEST(KeyTable, CreateAndQuery) {
+  KeyTable T;
+  KeySym A = T.create("R", KeyTable::Origin::Local, SourceLoc{});
+  KeySym B = T.create("IRQL", KeyTable::Origin::Global, SourceLoc{});
+  EXPECT_NE(A, InvalidKey);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.name(A), "R");
+  EXPECT_FALSE(T.isGlobal(A));
+  EXPECT_TRUE(T.isGlobal(B));
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(HeldKeySet, NoDuplicates) {
+  KeyTable T;
+  KeySym K = T.create("K", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  EXPECT_TRUE(S.add(K, StateRef::top()));
+  EXPECT_FALSE(S.add(K, StateRef::top())) << "keys cannot be duplicated";
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(HeldKeySet, NoLosing) {
+  KeyTable T;
+  KeySym K = T.create("K", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  EXPECT_FALSE(S.remove(K)) << "removing an unheld key fails";
+  S.add(K, StateRef::top());
+  EXPECT_TRUE(S.remove(K));
+  EXPECT_FALSE(S.remove(K));
+}
+
+TEST(HeldKeySet, Transition) {
+  KeyTable T;
+  KeySym K = T.create("S", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(K, StateRef::name("raw"));
+  EXPECT_TRUE(S.transition(K, StateRef::name("named")));
+  EXPECT_EQ(S.stateOf(K), StateRef::name("named"));
+  S.remove(K);
+  EXPECT_FALSE(S.transition(K, StateRef::name("x")));
+}
+
+TEST(HeldKeySet, Equality) {
+  KeyTable T;
+  KeySym A = T.create("A", KeyTable::Origin::Local, SourceLoc{});
+  KeySym B = T.create("B", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S1, S2;
+  S1.add(A, StateRef::name("x"));
+  S1.add(B, StateRef::top());
+  S2.add(B, StateRef::top());
+  S2.add(A, StateRef::name("x"));
+  EXPECT_TRUE(S1 == S2);
+  S2.transition(A, StateRef::name("y"));
+  EXPECT_FALSE(S1 == S2);
+}
+
+TEST(HeldKeySet, RenameKeys) {
+  KeyTable T;
+  KeySym A = T.create("A", KeyTable::Origin::Local, SourceLoc{});
+  KeySym B = T.create("B", KeyTable::Origin::Local, SourceLoc{});
+  KeySym C = T.create("C", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(A, StateRef::name("s"));
+  S.add(C, StateRef::top());
+  S.renameKeys({{A, B}});
+  EXPECT_FALSE(S.contains(A));
+  EXPECT_TRUE(S.contains(B));
+  EXPECT_EQ(S.stateOf(B), StateRef::name("s"));
+  EXPECT_TRUE(S.contains(C));
+}
+
+TEST(HeldKeySet, DeterministicIteration) {
+  KeyTable T;
+  std::vector<KeySym> Keys;
+  for (int I = 0; I != 16; ++I)
+    Keys.push_back(T.create("K", KeyTable::Origin::Local, SourceLoc{}));
+  HeldKeySet S;
+  for (auto It = Keys.rbegin(); It != Keys.rend(); ++It)
+    S.add(*It, StateRef::top());
+  KeySym Prev = 0;
+  for (const auto &[K, St] : S) {
+    (void)St;
+    EXPECT_GT(K, Prev);
+    Prev = K;
+  }
+}
+
+TEST(HeldKeySet, Render) {
+  KeyTable T;
+  KeySym K = T.create("R", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(K, StateRef::name("open"));
+  std::string Str = S.str(T);
+  EXPECT_NE(Str.find("R"), std::string::npos);
+  EXPECT_NE(Str.find("open"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- StateSetTest.cpp ---------------------------------------------------===//
+
+#include "types/StateSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+Stateset irql() {
+  return Stateset("IRQ_LEVEL", {{"PASSIVE"}, {"APC"}, {"DISPATCH"}, {"DIRQL"}});
+}
+
+TEST(Stateset, ChainOrder) {
+  Stateset S = irql();
+  EXPECT_TRUE(S.leq("PASSIVE", "DIRQL"));
+  EXPECT_TRUE(S.leq("APC", "APC"));
+  EXPECT_FALSE(S.leq("DISPATCH", "APC"));
+  EXPECT_TRUE(S.lt("PASSIVE", "APC"));
+  EXPECT_FALSE(S.lt("APC", "APC"));
+}
+
+TEST(Stateset, SameRankIncomparable) {
+  Stateset S("colors", {{"red", "green"}, {"top"}});
+  EXPECT_FALSE(S.leq("red", "green"));
+  EXPECT_FALSE(S.leq("green", "red"));
+  EXPECT_TRUE(S.leq("red", "red"));
+  EXPECT_TRUE(S.leq("red", "top"));
+  EXPECT_TRUE(S.leq("green", "top"));
+}
+
+TEST(Stateset, Contains) {
+  Stateset S = irql();
+  EXPECT_TRUE(S.contains("DISPATCH"));
+  EXPECT_FALSE(S.contains("bogus"));
+  EXPECT_EQ(S.allStates().size(), 4u);
+}
+
+TEST(StateRef, Equality) {
+  EXPECT_EQ(StateRef::top(), StateRef::top());
+  EXPECT_EQ(StateRef::name("open"), StateRef::name("open"));
+  EXPECT_NE(StateRef::name("open"), StateRef::name("closed"));
+  EXPECT_NE(StateRef::top(), StateRef::name("open"));
+  EXPECT_EQ(StateRef::var(3), StateRef::var(3));
+  EXPECT_NE(StateRef::var(3), StateRef::var(4));
+}
+
+TEST(StateSatisfies, TopRequirementMatchesAnything) {
+  EXPECT_TRUE(stateSatisfies(StateRef::name("x"), StateRef::top(), nullptr));
+  EXPECT_TRUE(stateSatisfies(StateRef::top(), StateRef::top(), nullptr));
+  EXPECT_TRUE(stateSatisfies(StateRef::var(1), StateRef::top(), nullptr));
+}
+
+TEST(StateSatisfies, NameRequirementExact) {
+  EXPECT_TRUE(
+      stateSatisfies(StateRef::name("raw"), StateRef::name("raw"), nullptr));
+  EXPECT_FALSE(
+      stateSatisfies(StateRef::name("raw"), StateRef::name("named"), nullptr));
+  EXPECT_FALSE(
+      stateSatisfies(StateRef::top(), StateRef::name("raw"), nullptr));
+  // A symbolic held state never satisfies a concrete name.
+  EXPECT_FALSE(
+      stateSatisfies(StateRef::var(0), StateRef::name("raw"), nullptr));
+}
+
+TEST(StateSatisfies, BoundedVariable) {
+  Stateset S = irql();
+  StateRef UpToDispatch = StateRef::var(0, "DISPATCH");
+  EXPECT_TRUE(stateSatisfies(StateRef::name("PASSIVE"), UpToDispatch, &S));
+  EXPECT_TRUE(stateSatisfies(StateRef::name("DISPATCH"), UpToDispatch, &S));
+  EXPECT_FALSE(stateSatisfies(StateRef::name("DIRQL"), UpToDispatch, &S));
+  // Strict bound.
+  StateRef BelowDispatch = StateRef::var(0, "DISPATCH", /*Strict=*/true);
+  EXPECT_FALSE(stateSatisfies(StateRef::name("DISPATCH"), BelowDispatch, &S));
+  EXPECT_TRUE(stateSatisfies(StateRef::name("APC"), BelowDispatch, &S));
+}
+
+TEST(StateSatisfies, SymbolicHeldAgainstBound) {
+  Stateset S = irql();
+  // Held <= APC implies held <= DISPATCH.
+  EXPECT_TRUE(stateSatisfies(StateRef::var(1, "APC"),
+                             StateRef::var(2, "DISPATCH"), &S));
+  // Held <= DISPATCH does not imply held <= APC.
+  EXPECT_FALSE(stateSatisfies(StateRef::var(1, "DISPATCH"),
+                              StateRef::var(2, "APC"), &S));
+  // Same variable trivially satisfies itself.
+  EXPECT_TRUE(
+      stateSatisfies(StateRef::var(7, "APC"), StateRef::var(7, "APC"), &S));
+  // Unbounded requirement accepts anything.
+  EXPECT_TRUE(stateSatisfies(StateRef::var(1), StateRef::var(2), &S));
+}
+
+TEST(StateSatisfies, UnboundedHeldVarFailsBound) {
+  Stateset S = irql();
+  EXPECT_FALSE(
+      stateSatisfies(StateRef::var(1), StateRef::var(2, "DISPATCH"), &S));
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- TypeTest.cpp -------------------------------------------------------===//
+
+#include "types/Substitution.h"
+#include "types/TypeContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+class TypeTest : public ::testing::Test {
+protected:
+  TypeContext TC;
+  KeySym key(const char *N) {
+    return TC.keys().create(N, KeyTable::Origin::Local, SourceLoc{});
+  }
+};
+
+TEST_F(TypeTest, PrimSingletons) {
+  EXPECT_EQ(TC.intType(), TC.primType(PrimKind::Int));
+  EXPECT_TRUE(typeEquals(TC.intType(), TC.intType()));
+  EXPECT_FALSE(typeEquals(TC.intType(), TC.boolType()));
+}
+
+TEST_F(TypeTest, TrackedEqualityIsKeySensitive) {
+  KeySym A = key("A"), B = key("B");
+  const Type *TA = TC.make<TrackedType>(TC.intType(), A);
+  const Type *TA2 = TC.make<TrackedType>(TC.intType(), A);
+  const Type *TB = TC.make<TrackedType>(TC.intType(), B);
+  EXPECT_TRUE(typeEquals(TA, TA2));
+  EXPECT_FALSE(typeEquals(TA, TB));
+}
+
+TEST_F(TypeTest, GuardedEquality) {
+  KeySym A = key("A");
+  std::vector<GuardedType::Guard> G1{{A, StateRef::name("open")}};
+  std::vector<GuardedType::Guard> G2{{A, StateRef::name("open")}};
+  std::vector<GuardedType::Guard> G3{{A, StateRef::name("closed")}};
+  const Type *T1 = TC.make<GuardedType>(G1, TC.intType());
+  const Type *T2 = TC.make<GuardedType>(G2, TC.intType());
+  const Type *T3 = TC.make<GuardedType>(G3, TC.intType());
+  EXPECT_TRUE(typeEquals(T1, T2));
+  EXPECT_FALSE(typeEquals(T1, T3));
+}
+
+TEST_F(TypeTest, ErrorTypeAbsorbs) {
+  EXPECT_TRUE(typeEquals(TC.errorType(), TC.intType()));
+  EXPECT_TRUE(typeEquals(TC.intType(), TC.errorType()));
+}
+
+TEST_F(TypeTest, CollectKeys) {
+  KeySym A = key("A"), B = key("B");
+  std::vector<GuardedType::Guard> G{{B, StateRef::top()}};
+  const Type *T = TC.make<TrackedType>(
+      TC.make<GuardedType>(G, TC.intType()), A);
+  std::vector<KeySym> Keys;
+  collectKeys(T, Keys);
+  ASSERT_EQ(Keys.size(), 2u);
+  EXPECT_EQ(Keys[0], A);
+  EXPECT_EQ(Keys[1], B);
+}
+
+TEST_F(TypeTest, SubstituteKeys) {
+  KeySym A = key("A"), B = key("B");
+  const Type *T = TC.make<TrackedType>(TC.intType(), A);
+  Subst S;
+  S.Keys[A] = B;
+  const Type *T2 = substType(TC, T, S);
+  EXPECT_EQ(cast<TrackedType>(T2)->key(), B);
+  // Original unchanged.
+  EXPECT_EQ(cast<TrackedType>(T)->key(), A);
+}
+
+TEST_F(TypeTest, SubstituteStates) {
+  StateRef V = StateRef::var(7);
+  const Type *T = TC.make<AnonTrackedType>(TC.intType(), V);
+  Subst S;
+  S.StateVars[7] = StateRef::name("ready");
+  const Type *T2 = substType(TC, T, S);
+  EXPECT_EQ(cast<AnonTrackedType>(T2)->state(), StateRef::name("ready"));
+}
+
+TEST_F(TypeTest, EmptySubstIsIdentity) {
+  KeySym A = key("A");
+  const Type *T = TC.make<TrackedType>(TC.intType(), A);
+  Subst S;
+  EXPECT_EQ(substType(TC, T, S), T);
+}
+
+TEST_F(TypeTest, TupleAndArray) {
+  const Type *Tup = TC.make<TupleType>(
+      std::vector<const Type *>{TC.intType(), TC.boolType()});
+  const Type *Tup2 = TC.make<TupleType>(
+      std::vector<const Type *>{TC.intType(), TC.boolType()});
+  EXPECT_TRUE(typeEquals(Tup, Tup2));
+  const Type *Arr = TC.make<ArrayType>(TC.byteType());
+  EXPECT_TRUE(typeEquals(Arr, TC.make<ArrayType>(TC.byteType())));
+  EXPECT_FALSE(typeEquals(Arr, TC.make<ArrayType>(TC.intType())));
+}
+
+TEST_F(TypeTest, TypeCarriesKeys) {
+  KeySym A = key("A");
+  EXPECT_FALSE(typeCarriesKeys(TC.intType()));
+  EXPECT_TRUE(typeCarriesKeys(TC.make<TrackedType>(TC.intType(), A)));
+  EXPECT_TRUE(
+      typeCarriesKeys(TC.make<AnonTrackedType>(TC.intType(), StateRef::top())));
+  const Type *Tup = TC.make<TupleType>(std::vector<const Type *>{
+      TC.intType(), TC.make<TrackedType>(TC.intType(), A)});
+  EXPECT_TRUE(typeCarriesKeys(Tup));
+}
+
+TEST_F(TypeTest, TypeStrMentionsKeyNames) {
+  KeySym A = key("MyKey");
+  const Type *T = TC.make<TrackedType>(TC.intType(), A);
+  EXPECT_NE(typeStr(T, TC.keys()).find("MyKey"), std::string::npos);
+}
+
+TEST_F(TypeTest, Statesets) {
+  const Stateset *S = TC.addStateset("L", {{"a"}, {"b"}});
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(TC.findStateset("L"), S);
+  EXPECT_EQ(TC.findStateset("missing"), nullptr);
+  EXPECT_EQ(TC.addStateset("L", {{"x"}}), nullptr) << "duplicate rejected";
+  EXPECT_TRUE(TC.isKnownStateName("a"));
+  EXPECT_FALSE(TC.isKnownStateName("zz"));
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- vaultc.cpp - The Vault compiler driver -----------------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Usage:
+//   vaultc [options] <file.vlt | corpus-name>
+//
+// Options:
+//   --check      Parse and type-check (default).
+//   --emit-c     Lower to C on stdout after checking.
+//   --run        Interpret main() after checking (runs even if
+//                checking fails, to demonstrate the dynamic oracle).
+//   --dump-ast   Pretty-print the parsed program.
+//   --dump-cfg   Print each function's control-flow graph as dot.
+//   --stats      Print checker statistics.
+//   --trace-keys Print the held-key set after every statement.
+//
+// Inputs may be files or corpus program names (e.g. figures/fig2_okay);
+// `//!include name.vlt` lines resolve against corpus/include.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "corpus/Corpus.h"
+#include "interp/Interp.h"
+#include "lower/CEmitter.h"
+#include "sema/Cfg.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace vault;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vaultc [--check|--emit-c|--run|--dump-ast|--dump-cfg|--stats] "
+      "<file.vlt|corpus-name>...\n");
+}
+
+int main(int Argc, char **Argv) {
+  bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
+       Stats = false, TraceKeys = false;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--check") {
+      // Default.
+    } else if (A == "--emit-c") {
+      EmitC = true;
+    } else if (A == "--run") {
+      Run = true;
+    } else if (A == "--dump-ast") {
+      DumpAst = true;
+    } else if (A == "--dump-cfg") {
+      DumpCfg = true;
+    } else if (A == "--stats") {
+      Stats = true;
+    } else if (A == "--trace-keys") {
+      TraceKeys = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "vaultc: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      Inputs.push_back(A);
+    }
+  }
+  if (Inputs.empty()) {
+    usage();
+    return 2;
+  }
+
+  VaultCompiler C;
+  for (const std::string &In : Inputs) {
+    std::string Text = corpus::load(In);
+    if (Text.empty()) {
+      // Not a corpus name: read as a plain file.
+      std::optional<uint32_t> Id = C.sources().addFile(In);
+      if (!Id) {
+        std::fprintf(stderr, "vaultc: cannot read '%s'\n", In.c_str());
+        return 2;
+      }
+      // Re-load through the corpus resolver for //!include support.
+      std::string Raw(C.sources().bufferText(*Id));
+      std::string Resolved;
+      size_t Pos = 0;
+      while (Pos < Raw.size()) {
+        size_t Eol = Raw.find('\n', Pos);
+        if (Eol == std::string::npos)
+          Eol = Raw.size();
+        std::string Line = Raw.substr(Pos, Eol - Pos);
+        Pos = Eol + 1;
+        if (Line.rfind("//!include ", 0) == 0)
+          Resolved += corpus::loadInclude(Line.substr(11));
+        else
+          Resolved += Line;
+        Resolved += '\n';
+      }
+      C.addSource(In, Resolved);
+    } else {
+      C.addSource(In, Text);
+    }
+  }
+
+  if (TraceKeys)
+    C.enableKeyTrace();
+  bool Ok = C.check();
+  std::fputs(C.diags().render().c_str(), stderr);
+  std::fprintf(stderr, "vaultc: %s (%u error(s))\n",
+               Ok ? "program is protocol-safe" : "protocol violations found",
+               C.diags().errorCount());
+
+  if (DumpAst) {
+    AstPrinter P;
+    std::fputs(P.print(C.ast().program()).c_str(), stdout);
+  }
+  if (DumpCfg) {
+    for (const Decl *D : C.ast().program().Decls)
+      if (const auto *F = dyn_cast<FuncDecl>(D); F && F->body()) {
+        std::printf("// CFG of %s\n", F->name().c_str());
+        std::fputs(Cfg::build(F).dot().c_str(), stdout);
+      }
+  }
+  if (TraceKeys) {
+    for (const KeyTraceEntry &T : C.keyTrace()) {
+      PresumedLoc P = C.sources().presumed(T.Loc);
+      std::printf("%s:%u: held = %s\n", T.Function.c_str(),
+                  P.isValid() ? P.Line : 0, T.Held.c_str());
+    }
+  }
+  if (Stats) {
+    std::printf("functions checked: %u\n", C.stats().FunctionsChecked);
+    std::printf("declarations:      %u\n", C.stats().DeclsRegistered);
+    std::printf("keys allocated:    %zu\n", C.types().keys().size());
+  }
+  if (EmitC && Ok) {
+    CEmitter E(C);
+    std::fputs(E.emitProgram().c_str(), stdout);
+  }
+  if (Run) {
+    interp::Interp I(C);
+    bool Ran = I.run("main");
+    for (const std::string &L : I.output())
+      std::printf("%s\n", L.c_str());
+    if (!Ran)
+      std::fprintf(stderr, "vaultc: run trapped: %s\n",
+                   I.trapMessage().c_str());
+    unsigned Dyn = I.totalViolations() +
+                   static_cast<unsigned>(I.regions().leakedRegions().size()) +
+                   static_cast<unsigned>(I.sockets().leakedSockets().size()) +
+                   static_cast<unsigned>(I.gdi().leakedDcs().size());
+    for (const std::string &V : I.violations())
+      std::fprintf(stderr, "vaultc: dynamic violation: %s\n", V.c_str());
+    std::fprintf(stderr, "vaultc: dynamic oracle: %u violation(s)\n", Dyn);
+    return Ok && Dyn == 0 && Ran ? 0 : 1;
+  }
+  return Ok ? 0 : 1;
+}
