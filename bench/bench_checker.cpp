@@ -80,6 +80,32 @@ void BM_CheckSynthetic(benchmark::State &State) {
 }
 BENCHMARK(BM_CheckSynthetic)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
+/// Pass 3 scaling: the same synthetic program at a fixed size, checked
+/// with an increasing worker count. Parse + elaboration stay serial,
+/// so this is an upper bound on end-to-end speedup (Amdahl); compare
+/// against jobs:1 within the same binary run.
+void BM_CheckSyntheticJobs(benchmark::State &State) {
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
+  std::string Src = synthesizeProgram(256);
+  size_t Lines = CEmitter::countCodeLines(Src);
+  bool Ok = true;
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.setJobs(Jobs);
+    C.addSource("synth.vlt", Src);
+    Ok = C.check() && Ok;
+    benchmark::DoNotOptimize(C.diags().errorCount());
+  }
+  if (!Ok)
+    State.SkipWithError("synthetic program failed to check");
+  State.SetItemsProcessed(State.iterations() * Lines);
+  State.counters["jobs"] = static_cast<double>(Jobs);
+  State.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(State.iterations() * Lines),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckSyntheticJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_ParseOnlySynthetic(benchmark::State &State) {
   std::string Src = synthesizeProgram(static_cast<unsigned>(State.range(0)));
   size_t Lines = CEmitter::countCodeLines(Src);
@@ -109,7 +135,12 @@ void BM_CheckFloppyDriver(benchmark::State &State) {
 }
 BENCHMARK(BM_CheckFloppyDriver);
 
+/// Whole-corpus batch check at a given job count (0 = hardware
+/// concurrency). The multi-file batch case the --jobs flag exists
+/// for: many small programs, each parsed serially and flow-checked in
+/// parallel.
 void BM_CheckWholeCorpus(benchmark::State &State) {
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
   size_t Lines = 0;
   for (auto _ : State) {
     Lines = 0;
@@ -117,14 +148,16 @@ void BM_CheckWholeCorpus(benchmark::State &State) {
       std::string Src = corpus::load(P.Name);
       Lines += CEmitter::countCodeLines(Src);
       VaultCompiler C;
+      C.setJobs(Jobs);
       C.addSource(P.Name, Src);
       benchmark::DoNotOptimize(C.check());
     }
   }
   State.SetItemsProcessed(State.iterations() * Lines);
+  State.counters["jobs"] = static_cast<double>(Jobs);
   State.counters["programs"] =
       static_cast<double>(corpus::index().size());
 }
-BENCHMARK(BM_CheckWholeCorpus);
+BENCHMARK(BM_CheckWholeCorpus)->Arg(1)->Arg(0);
 
 } // namespace

@@ -29,15 +29,13 @@ std::string vault::corpus::loadInclude(const std::string &Name) {
   return readFile(corpusDir() + "/include/" + Name);
 }
 
-std::string vault::corpus::load(const std::string &Name) {
-  std::string Path = corpusDir() + "/" + Name;
-  if (Path.size() < 4 || Path.substr(Path.size() - 4) != ".vlt")
-    Path += ".vlt";
-  std::string Text = readFile(Path);
-  if (Text.empty())
-    return Text;
-
-  // Resolve leading //!include directives.
+std::string
+vault::corpus::resolveIncludes(const std::string &Text,
+                               std::vector<std::string> *MissingIncludes) {
+  // Resolve leading //!include directives. The directive is only
+  // honored in the comment header (before the first code line), per
+  // the corpus contract; a missing prelude is recorded rather than
+  // silently spliced as empty text.
   std::string Out;
   std::istringstream Lines(Text);
   std::string Line;
@@ -47,7 +45,10 @@ std::string vault::corpus::load(const std::string &Name) {
       std::string Inc = Line.substr(11);
       while (!Inc.empty() && (Inc.back() == '\r' || Inc.back() == ' '))
         Inc.pop_back();
-      Out += loadInclude(Inc);
+      std::string Prelude = loadInclude(Inc);
+      if (Prelude.empty() && MissingIncludes)
+        MissingIncludes->push_back(Inc);
+      Out += Prelude;
       Out += '\n';
       continue;
     }
@@ -59,14 +60,30 @@ std::string vault::corpus::load(const std::string &Name) {
   return Out;
 }
 
+std::string vault::corpus::load(const std::string &Name,
+                                std::vector<std::string> *MissingIncludes) {
+  std::string Path = corpusDir() + "/" + Name;
+  if (Path.size() < 4 || Path.substr(Path.size() - 4) != ".vlt")
+    Path += ".vlt";
+  std::string Text = readFile(Path);
+  if (Text.empty())
+    return Text;
+  return resolveIncludes(Text, MissingIncludes);
+}
+
 std::unique_ptr<VaultCompiler> vault::corpus::check(const std::string &Name) {
   auto C = std::make_unique<VaultCompiler>();
-  std::string Text = load(Name);
+  std::vector<std::string> Missing;
+  std::string Text = load(Name, &Missing);
   if (Text.empty()) {
     C->diags().report(DiagId::RunError, SourceLoc{},
                       "cannot load corpus program '" + Name + "'");
     return C;
   }
+  for (const std::string &Inc : Missing)
+    C->diags().report(DiagId::RunError, SourceLoc{},
+                      "cannot resolve include '" + Inc + "' in corpus program '" +
+                          Name + "'");
   C->addSource(Name + ".vlt", Text);
   C->check();
   return C;

@@ -49,8 +49,18 @@ std::string corpusDir();
 const std::vector<ProgramInfo> &index();
 
 /// Loads a program (by index name or path), resolving includes.
-/// Returns an empty string if the file cannot be read.
-std::string load(const std::string &Name);
+/// Returns an empty string if the file cannot be read. Include
+/// directives naming files that do not exist under corpus/include are
+/// recorded in \p MissingIncludes (when non-null); callers are
+/// expected to turn them into hard errors.
+std::string load(const std::string &Name,
+                 std::vector<std::string> *MissingIncludes = nullptr);
+
+/// Splices `//!include name.vlt` lines in \p Text with the named
+/// prelude from corpus/include, recording unresolvable names in
+/// \p MissingIncludes (when non-null).
+std::string resolveIncludes(const std::string &Text,
+                            std::vector<std::string> *MissingIncludes = nullptr);
 
 /// Loads, parses, and checks a corpus program.
 std::unique_ptr<VaultCompiler> check(const std::string &Name);

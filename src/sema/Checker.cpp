@@ -4,6 +4,10 @@
 
 #include "parser/Parser.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 using namespace vault;
 
 VaultCompiler::VaultCompiler() {
@@ -93,12 +97,14 @@ void VaultCompiler::registerDecl(const Decl *D) {
     auto It = FuncDeclByName.find(F->name());
     if (It != FuncDeclByName.end()) {
       // A definition may complete an earlier prototype, but two bodies
-      // (or two prototypes) collide.
+      // collide. Prototype/definition (and prototype/prototype) pairs
+      // must agree in signature; pass 2 verifies that.
       if (It->second->body() && F->body()) {
         Diags->report(DiagId::SemaRedefinition, D->loc(),
                       "redefinition of function '" + F->name() + "'");
         return;
       }
+      Redecls.emplace_back(It->second, F);
       if (!F->body())
         return; // Keep the existing (defining or first) declaration.
       // The new definition supersedes the prototype.
@@ -144,11 +150,24 @@ void VaultCompiler::registerDecl(const Decl *D) {
 }
 
 bool VaultCompiler::check() {
+  // check() is idempotent: every run re-registers all declarations, so
+  // the semantic state of the previous run — global symbols, types,
+  // keys, signatures, and the diagnostics it reported — is discarded
+  // first. Parse diagnostics (outside [CheckDiagBegin, CheckDiagEnd))
+  // are kept.
+  if (HasChecked) {
+    Diags->eraseRange(CheckDiagBegin, CheckDiagEnd);
+    Globals = GlobalSymbols{};
+    TC.reset();
+    Elab = std::make_unique<Elaborator>(TC, Globals, *Diags);
+  }
+  CheckDiagBegin = Diags->size();
   LastStats = Stats{};
   KeyTrace.clear();
   PendingFuncs.clear();
   FuncDeclByName.clear();
   SigOf.clear();
+  Redecls.clear();
 
   // Pass 1: register every top-level name.
   for (const Decl *D : Ast.program().Decls)
@@ -161,18 +180,106 @@ bool VaultCompiler::check() {
     SigOf[F] = Sig;
   }
 
-  // Pass 3: flow-check every body.
-  for (const FuncDecl *F : PendingFuncs) {
-    if (!F->body())
-      continue;
-    ++LastStats.FunctionsWithBodies;
-    FlowChecker FC(*Elab, *Diags);
-    if (TraceEnabled)
-      FC.setTraceSink(&KeyTrace);
-    FC.checkFunction(SigOf[F], nullptr);
+  // A superseded (or repeated) prototype must agree with the kept
+  // declaration: same parameters, return type and effect clause. The
+  // shadowed signature is elaborated here only for the comparison.
+  for (const auto &[First, Second] : Redecls) {
+    const FuncDecl *Kept = FuncDeclByName[First->name()];
+    const FuncDecl *Shadowed = First == Kept ? Second : First;
+    FuncSig *KeptSig = Globals.Functions[First->name()];
+    FuncSig *ShadowedSig =
+        Elab->elabSignature(Shadowed, nullptr, /*IsLocal=*/false);
+    if (!Elab->sigCompatible(ShadowedSig, KeptSig) ||
+        !Elab->sigCompatible(KeptSig, ShadowedSig)) {
+      Diags->report(DiagId::SemaProtoMismatch, Second->loc(),
+                    "signature of function '" + First->name() +
+                        "' disagrees with its earlier declaration "
+                        "(parameters, return type and effect clause "
+                        "must match)");
+      Diags->note(First->loc(), "earlier declaration is here");
+    }
+  }
+
+  // Pass 3: flow-check every body. Each function is checked in full
+  // isolation — its own diagnostics buffer, elaborator (state-variable
+  // counter seeded to the common post-signature base), type arena, and
+  // key display scope — so bodies can be distributed over worker
+  // threads. Results are merged in source order below, making the
+  // output byte-identical at any job count.
+  struct FuncTask {
+    const FuncDecl *F;
+    FuncSig *Sig;
+  };
+  struct FuncOutcome {
+    std::vector<Diagnostic> Diags;
+    std::vector<KeyTraceEntry> Trace;
+    TypeArena Arena;
+    double WallMs = 0;
+    unsigned MaxHeldKeys = 0;
+  };
+  std::vector<FuncTask> Tasks;
+  for (const FuncDecl *F : PendingFuncs)
+    if (F->body())
+      Tasks.push_back(FuncTask{F, SigOf[F]});
+  LastStats.FunctionsWithBodies = static_cast<unsigned>(Tasks.size());
+
+  std::vector<FuncOutcome> Outcomes(Tasks.size());
+  const uint32_t StateVarBase = Elab->stateVarCounter();
+  const uint32_t KeyDisplayBase = static_cast<uint32_t>(TC.keys().size());
+  std::atomic<size_t> NextTask{0};
+  auto RunWorker = [&] {
+    for (;;) {
+      size_t I = NextTask.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Tasks.size())
+        break;
+      FuncOutcome &Out = Outcomes[I];
+      TypeContext::ArenaScope Arena(Out.Arena);
+      KeyTable::DisplayScope Display(TC.keys(), KeyDisplayBase);
+      DiagnosticEngine FnDiags(SM);
+      Elaborator FnElab(TC, Globals, FnDiags);
+      FnElab.seedStateVarCounter(StateVarBase);
+      FlowChecker FC(FnElab, FnDiags);
+      if (TraceEnabled)
+        FC.setTraceSink(&Out.Trace);
+      auto Start = std::chrono::steady_clock::now();
+      FC.checkFunction(Tasks[I].Sig, nullptr);
+      Out.WallMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+      Out.MaxHeldKeys = FC.maxHeldKeys();
+      Out.Diags = FnDiags.take();
+    }
+  };
+
+  unsigned NJobs = Jobs ? Jobs : std::thread::hardware_concurrency();
+  NJobs = std::min<size_t>(std::max(NJobs, 1u), std::max<size_t>(Tasks.size(), 1));
+  LastStats.JobsUsed = NJobs;
+  if (NJobs <= 1) {
+    RunWorker();
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(NJobs);
+    for (unsigned T = 0; T < NJobs; ++T)
+      Workers.emplace_back(RunWorker);
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  // Deterministic merge, in source order.
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    FuncOutcome &Out = Outcomes[I];
+    for (Diagnostic &D : Out.Diags)
+      Diags->append(std::move(D));
+    KeyTrace.insert(KeyTrace.end(), std::make_move_iterator(Out.Trace.begin()),
+                    std::make_move_iterator(Out.Trace.end()));
+    TC.adopt(std::move(Out.Arena));
+    LastStats.PerFunction.push_back(
+        Stats::FuncStat{Tasks[I].F->name(), Out.WallMs, Out.MaxHeldKeys});
     ++LastStats.FunctionsChecked;
   }
 
+  CheckDiagEnd = Diags->size();
+  HasChecked = true;
   return !ParseFailed && !Diags->hasErrors();
 }
 

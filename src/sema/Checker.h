@@ -8,7 +8,8 @@
 /// The top-level Vault compiler front end: owns all per-compilation
 /// state (sources, AST, types, diagnostics, global symbols), parses
 /// Vault sources, registers declarations, elaborates signatures and
-/// flow-checks every function body.
+/// flow-checks every function body — concurrently when jobs > 1, with
+/// output merged in source order so it is identical at any job count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,7 +47,19 @@ public:
   /// Runs declaration collection, signature elaboration, and the flow
   /// checker over every function with a body. Returns true iff no
   /// errors were reported (including earlier parse errors).
+  ///
+  /// Idempotent: calling check() again re-runs the full pipeline from
+  /// the parsed program and produces the same diagnostics.
   bool check();
+
+  /// Number of worker threads Pass 3 (per-function flow checking) may
+  /// use. 1 (the default) checks inline on the calling thread; 0 means
+  /// "use the hardware concurrency". Any job count produces
+  /// byte-identical diagnostics, key traces and verdicts: every
+  /// function is checked in isolation and the results are merged in
+  /// source order.
+  void setJobs(unsigned N) { Jobs = N; }
+  unsigned jobs() const { return Jobs; }
 
   SourceManager &sources() { return SM; }
   DiagnosticEngine &diags() { return *Diags; }
@@ -71,6 +84,15 @@ public:
     unsigned FunctionsChecked = 0;
     unsigned FunctionsWithBodies = 0;
     unsigned DeclsRegistered = 0;
+    /// Worker threads Pass 3 actually used.
+    unsigned JobsUsed = 1;
+    /// Per-function observability (source order), behind --stats.
+    struct FuncStat {
+      std::string Name;
+      double WallMs = 0;        ///< Flow-check wall time.
+      unsigned MaxHeldKeys = 0; ///< Peak held-key-set size.
+    };
+    std::vector<FuncStat> PerFunction;
   };
   const Stats &stats() const { return LastStats; }
 
@@ -80,6 +102,11 @@ private:
   std::vector<const FuncDecl *> PendingFuncs;
   std::map<const FuncDecl *, FuncSig *> SigOf;
   std::map<std::string, const FuncDecl *> FuncDeclByName;
+  /// Re-declarations of one function name, in registration order:
+  /// First was registered before Second, and exactly one of each pair
+  /// is the kept (canonical) declaration. Pass 2 verifies the two
+  /// signatures agree.
+  std::vector<std::pair<const FuncDecl *, const FuncDecl *>> Redecls;
 
   SourceManager SM;
   std::unique_ptr<DiagnosticEngine> Diags;
@@ -88,9 +115,15 @@ private:
   GlobalSymbols Globals;
   std::unique_ptr<Elaborator> Elab;
   Stats LastStats;
+  unsigned Jobs = 1;
   bool ParseFailed = false;
   bool TraceEnabled = false;
   std::vector<KeyTraceEntry> KeyTrace;
+  /// Range of Diags occupied by the previous check() run, erased on
+  /// re-check so diagnostics are not duplicated.
+  bool HasChecked = false;
+  size_t CheckDiagBegin = 0;
+  size_t CheckDiagEnd = 0;
 };
 
 /// Convenience: parse + check one source string; returns the compiler

@@ -114,6 +114,18 @@ public:
   GlobalSymbols &globals() { return Globals; }
   DiagnosticEngine &diags() { return Diags; }
 
+  /// Current state-variable counter (see nextStateVar).
+  uint32_t stateVarCounter() const { return FreeVarCounter; }
+
+  /// Seeds the state-variable counter. Pass 3 gives every function its
+  /// own elaborator seeded to the same post-signature base: ids stay
+  /// unique within a function (one counter per function, and no two
+  /// functions' signatures are ever unified against each other), and
+  /// any id rendered into a diagnostic is independent of how many
+  /// functions were checked before this one — a prerequisite for
+  /// deterministic output under concurrent checking.
+  void seedStateVarCounter(uint32_t V) { FreeVarCounter = V; }
+
 private:
   const Type *elabNamedType(const NamedTypeExpr *N, ElabScope &Scope,
                             TypeCtx Ctx, FuncSig *Sig);

@@ -919,6 +919,7 @@ void FlowChecker::checkNestedFunc(const FuncDecl *F, FlowState &St,
   if (F->body()) {
     FlowChecker Nested(Elab, Diags);
     Nested.checkFunction(NestedSig, &scope());
+    MaxHeld = std::max(MaxHeld, Nested.MaxHeld);
   }
 }
 
@@ -1215,6 +1216,8 @@ void FlowChecker::checkReturn(const ReturnStmt *S, FlowState &St) {
 
 void FlowChecker::checkStmt(const Stmt *S, FlowState &St) {
   checkStmtInner(S, St);
+  if (St.Held.size() > MaxHeld)
+    MaxHeld = static_cast<unsigned>(St.Held.size());
   if (Trace && !Diags.isSuppressed())
     Trace->push_back(
         KeyTraceEntry{Sig->Name, S->loc(), St.Held.str(TC.keys())});
@@ -1376,6 +1379,9 @@ void FlowChecker::checkFunction(const FuncSig *FSig, ElabScope *Enclosing) {
     bindLocal(Name, Info);
     St.Vars[Id] = PT;
   }
+
+  if (St.Held.size() > MaxHeld)
+    MaxHeld = static_cast<unsigned>(St.Held.size());
 
   checkBlock(F->body(), St);
 

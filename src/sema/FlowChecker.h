@@ -50,6 +50,10 @@ public:
   /// Records the held-key set after every statement into \p Sink.
   void setTraceSink(std::vector<KeyTraceEntry> *Sink) { Trace = Sink; }
 
+  /// Largest held-key set observed while checking (nested functions
+  /// included); feeds the --stats histograms.
+  unsigned maxHeldKeys() const { return MaxHeld; }
+
 private:
   struct ExprResult {
     const Type *Ty = nullptr;
@@ -146,6 +150,8 @@ private:
   std::map<const void *, std::string> PendingBinders;
   /// >0 suppresses diagnostics (loop fixpoint iterations).
   int Quiet = 0;
+  /// See maxHeldKeys().
+  unsigned MaxHeld = 0;
   /// Optional key-trace sink (see setTraceSink).
   std::vector<KeyTraceEntry> *Trace = nullptr;
 };

@@ -88,6 +88,23 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
 
   // A rename target that is itself still live in B (and not renamed
   // away) would silently merge two keys.
+  //
+  // Audited for soundness against chain renames (two locals renamed
+  // through each other, e.g. a swap `{k1->k2, k2->k1}` or a chain
+  // `{k1->k2, k2->k3}`): testing `B.Held` *before* the rename is
+  // deliberate, and the `!Rename.count(Ka)` exemption is valid,
+  // because renameKeys applies the whole map simultaneously — a target
+  // that is itself renamed away vacates its slot in the same step, so
+  // swaps and chains of live keys cannot collide. A collision is then
+  // only possible when two B-keys land on one A-key, and every such
+  // shape is rejected: two *renamed* keys sharing a target fail the
+  // RenameInv injectivity check above, and a renamed key landing on an
+  // *unrenamed* live key fails here. Note this check also fires when
+  // Ka is live in B but dead in A (a dead B-binding joined against a
+  // live A-binding); that rejection is load-bearing too, since
+  // accepting would let a dangling variable alias a live key after the
+  // join. Pinned by JoinPointTests.{SwapRenameAtJoinAccepted,
+  // RenameOntoLiveKeyRejected, DeadBindingOntoLiveKeyRejected}.
   for (const auto &[Kb, Ka] : Rename) {
     (void)Kb;
     if (B.Held.contains(Ka) && !Rename.count(Ka)) {

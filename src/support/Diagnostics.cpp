@@ -62,6 +62,8 @@ const char *vault::diagName(DiagId Id) {
     return "sema-bad-module";
   case DiagId::SemaAbstractType:
     return "sema-abstract-type";
+  case DiagId::SemaProtoMismatch:
+    return "sema-proto-mismatch";
   case DiagId::FlowGuardNotHeld:
     return "flow-guard-not-held";
   case DiagId::FlowGuardWrongState:
@@ -120,6 +122,27 @@ void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
   }
   assert(!Diags.empty() && "note without a preceding diagnostic");
   Diags.back().Notes.emplace_back(Loc, std::move(Message));
+}
+
+void DiagnosticEngine::append(Diagnostic D) {
+  if (D.Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(std::move(D));
+}
+
+std::vector<Diagnostic> DiagnosticEngine::take() {
+  std::vector<Diagnostic> Out = std::move(Diags);
+  clear();
+  return Out;
+}
+
+void DiagnosticEngine::eraseRange(size_t Begin, size_t End) {
+  assert(Begin <= End && End <= Diags.size() && "bad diagnostic range");
+  Diags.erase(Diags.begin() + Begin, Diags.begin() + End);
+  NumErrors = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Error)
+      ++NumErrors;
 }
 
 bool DiagnosticEngine::has(DiagId Id) const {

@@ -59,6 +59,7 @@ enum class DiagId {
   SemaNonExhaustiveSwitch,
   SemaBadModule,
   SemaAbstractType,
+  SemaProtoMismatch, ///< Definition disagrees with an earlier prototype.
   // Flow checking: the heart of Vault.
   FlowGuardNotHeld,      ///< Accessing data whose guard key is not held.
   FlowGuardWrongState,   ///< Guard key held in the wrong state.
@@ -128,12 +129,26 @@ public:
   };
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  size_t size() const { return Diags.size(); }
   unsigned errorCount() const { return NumErrors; }
   bool hasErrors() const { return NumErrors != 0; }
   void clear() {
     Diags.clear();
     NumErrors = 0;
   }
+
+  /// Appends an already-built diagnostic (with its notes), updating
+  /// the error count. Used to merge per-function buffers into the
+  /// main engine in deterministic order.
+  void append(Diagnostic D);
+
+  /// Moves all diagnostics out of the engine, leaving it empty.
+  std::vector<Diagnostic> take();
+
+  /// Erases diagnostics [Begin, End) and recomputes the error count.
+  /// Used by VaultCompiler::check() to discard the previous run's
+  /// diagnostics while keeping parse diagnostics intact.
+  void eraseRange(size_t Begin, size_t End);
 
   /// Returns true if any diagnostic with id \p Id was reported.
   bool has(DiagId Id) const;

@@ -4,10 +4,62 @@
 
 using namespace vault;
 
+namespace {
+/// Active display-numbering scope of the current thread (see
+/// KeyTable::DisplayScope). A worker checks exactly one function at a
+/// time, so a single slot (rather than a stack) suffices; nesting is
+/// still handled by the save/restore in the scope object itself.
+struct DisplayTL {
+  const KeyTable *Table = nullptr;
+  uint32_t Base = 0;
+  uint32_t Next = 0;
+};
+thread_local DisplayTL TheDisplayTL;
+} // namespace
+
+KeyTable::KeyTable()
+    : Chunks(std::make_unique<std::atomic<Entry *>[]>(MaxChunks)) {
+  for (size_t I = 0; I < MaxChunks; ++I)
+    Chunks[I].store(nullptr, std::memory_order_relaxed);
+}
+
+KeyTable::~KeyTable() { clear(); }
+
+void KeyTable::clear() {
+  std::lock_guard<std::mutex> Lock(CreateMutex);
+  Count.store(0, std::memory_order_release);
+  for (size_t I = 0; I < MaxChunks; ++I)
+    delete[] Chunks[I].exchange(nullptr, std::memory_order_acq_rel);
+}
+
 KeySym KeyTable::create(std::string Name, Origin O, SourceLoc Loc,
                         const Stateset *Order) {
-  Entries.push_back(Entry{std::move(Name), O, Loc, Order});
-  return static_cast<KeySym>(Entries.size());
+  std::lock_guard<std::mutex> Lock(CreateMutex);
+  size_t Idx = Count.load(std::memory_order_relaxed);
+  assert(Idx < MaxChunks * ChunkSize && "key table full");
+  size_t ChunkIdx = Idx >> ChunkBits;
+  Entry *Chunk = Chunks[ChunkIdx].load(std::memory_order_relaxed);
+  if (!Chunk) {
+    Chunk = new Entry[ChunkSize];
+    Chunks[ChunkIdx].store(Chunk, std::memory_order_release);
+  }
+  KeySym Sym = static_cast<KeySym>(Idx + 1);
+  uint32_t Display = Sym;
+  if (TheDisplayTL.Table == this)
+    Display = TheDisplayTL.Base + ++TheDisplayTL.Next;
+  Chunk[Idx & (ChunkSize - 1)] = Entry{std::move(Name), O, Loc, Order, Display};
+  Count.store(Idx + 1, std::memory_order_release);
+  return Sym;
+}
+
+KeyTable::DisplayScope::DisplayScope(const KeyTable &T, uint32_t Base)
+    : SavedTable(TheDisplayTL.Table), SavedBase(TheDisplayTL.Base),
+      SavedNext(TheDisplayTL.Next) {
+  TheDisplayTL = DisplayTL{&T, Base, 0};
+}
+
+KeyTable::DisplayScope::~DisplayScope() {
+  TheDisplayTL = DisplayTL{SavedTable, SavedBase, SavedNext};
 }
 
 void HeldKeySet::renameKeys(const std::map<KeySym, KeySym> &Map) {
@@ -30,7 +82,7 @@ std::string HeldKeySet::str(const KeyTable &Keys) const {
     First = false;
     Out += Keys.name(K);
     Out += '#';
-    Out += std::to_string(K);
+    Out += std::to_string(Keys.displayId(K));
     if (!S.isTop()) {
       Out += '@';
       Out += S.str();

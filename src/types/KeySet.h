@@ -20,7 +20,10 @@
 #include "support/SourceManager.h"
 #include "types/StateSet.h"
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,13 @@ using KeySym = uint32_t;
 inline constexpr KeySym InvalidKey = 0;
 
 /// Origin and metadata of every key the checker ever creates.
+///
+/// Thread safety: create() may be called concurrently from pass-3
+/// worker threads. Storage is chunked, and a chunk is never moved or
+/// freed once published, so accessors stay lock-free. The supported
+/// access pattern is the checker's: a thread reads only keys it
+/// created itself or keys that existed before the workers were
+/// spawned (global and signature keys).
 class KeyTable {
 public:
   enum class Origin : uint8_t {
@@ -41,6 +51,11 @@ public:
     Existential, ///< Placeholder bound inside a type alias body;
                  ///< instantiated to a fresh Local key on unpack.
   };
+
+  KeyTable();
+  ~KeyTable();
+  KeyTable(const KeyTable &) = delete;
+  KeyTable &operator=(const KeyTable &) = delete;
 
   /// Allocates a new key. \p Name is for diagnostics only and need not
   /// be unique.
@@ -54,7 +69,35 @@ public:
   const Stateset *order(KeySym K) const { return entry(K).Order; }
   bool isGlobal(KeySym K) const { return entry(K).O == Origin::Global; }
 
-  size_t size() const { return Entries.size(); }
+  /// Number a key is *displayed* with (e.g. "R#7" in key traces).
+  /// Outside a DisplayScope this is the raw KeySym; inside one, keys
+  /// are numbered from the scope's base in creation order, which makes
+  /// rendered output independent of how concurrent checks interleave
+  /// their allocations in the shared table.
+  uint32_t displayId(KeySym K) const { return entry(K).Display; }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+
+  /// Frees every key. Callers must not retain KeySyms across a clear.
+  void clear();
+
+  /// RAII: while alive, keys created *on this thread* in this table
+  /// are numbered Base+1, Base+2, ... for display purposes. Pass 3
+  /// installs one per checked function (all with the same base), so
+  /// display numbering restarts per function and is deterministic
+  /// regardless of worker scheduling.
+  class DisplayScope {
+  public:
+    DisplayScope(const KeyTable &T, uint32_t Base);
+    ~DisplayScope();
+    DisplayScope(const DisplayScope &) = delete;
+    DisplayScope &operator=(const DisplayScope &) = delete;
+
+  private:
+    const KeyTable *SavedTable;
+    uint32_t SavedBase;
+    uint32_t SavedNext;
+  };
 
 private:
   struct Entry {
@@ -62,12 +105,23 @@ private:
     Origin O;
     SourceLoc Loc;
     const Stateset *Order;
+    uint32_t Display;
   };
+
+  static constexpr size_t ChunkBits = 9; // 512 entries per chunk.
+  static constexpr size_t ChunkSize = size_t(1) << ChunkBits;
+  static constexpr size_t MaxChunks = 4096; // 2M keys per compilation.
+
   const Entry &entry(KeySym K) const {
-    assert(K != InvalidKey && K <= Entries.size() && "bad key");
-    return Entries[K - 1];
+    assert(K != InvalidKey && K <= size() && "bad key");
+    size_t Idx = K - 1;
+    return Chunks[Idx >> ChunkBits].load(std::memory_order_acquire)
+        [Idx & (ChunkSize - 1)];
   }
-  std::vector<Entry> Entries;
+
+  std::unique_ptr<std::atomic<Entry *>[]> Chunks;
+  std::atomic<size_t> Count{0};
+  std::mutex CreateMutex;
 };
 
 /// The held-key set: finite map from keys to their current local

@@ -4,13 +4,35 @@
 
 using namespace vault;
 
-TypeContext::TypeContext() {
+thread_local TypeArena *TypeContext::ActiveArena = nullptr;
+
+TypeContext::TypeContext() { initPrims(); }
+
+void TypeContext::initPrims() {
   IntTy = make<PrimType>(PrimKind::Int);
   BoolTy = make<PrimType>(PrimKind::Bool);
   ByteTy = make<PrimType>(PrimKind::Byte);
   VoidTy = make<PrimType>(PrimKind::Void);
   StringTy = make<PrimType>(PrimKind::String);
   ErrTy = make<ErrorType>();
+}
+
+void TypeContext::adopt(TypeArena &&A) {
+  Types.insert(Types.end(), std::make_move_iterator(A.Types.begin()),
+               std::make_move_iterator(A.Types.end()));
+  Sigs.insert(Sigs.end(), std::make_move_iterator(A.Sigs.begin()),
+              std::make_move_iterator(A.Sigs.end()));
+  A.Types.clear();
+  A.Sigs.clear();
+}
+
+void TypeContext::reset() {
+  assert(!ActiveArena && "reset inside an arena scope");
+  Types.clear();
+  Sigs.clear();
+  Statesets.clear();
+  Keys.clear();
+  initPrims();
 }
 
 const PrimType *TypeContext::primType(PrimKind K) const {

@@ -20,6 +20,23 @@
 
 namespace vault {
 
+/// Owns the types and signatures allocated by one pass-3 worker while
+/// an ArenaScope is active. Adopted into the TypeContext (which
+/// extends their lifetime to the whole compilation) once the worker
+/// has finished — this keeps allocation during concurrent function
+/// checking completely lock-free.
+class TypeArena {
+public:
+  TypeArena() = default;
+  TypeArena(TypeArena &&) = default;
+  TypeArena &operator=(TypeArena &&) = default;
+
+private:
+  friend class TypeContext;
+  std::vector<std::unique_ptr<Type>> Types;
+  std::vector<std::unique_ptr<FuncSig>> Sigs;
+};
+
 class TypeContext {
 public:
   TypeContext();
@@ -27,7 +44,10 @@ public:
   template <typename T, typename... Args> const T *make(Args &&...As) {
     auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
     const T *Raw = Owned.get();
-    Types.push_back(std::move(Owned));
+    if (TypeArena *A = ActiveArena)
+      A->Types.push_back(std::move(Owned));
+    else
+      Types.push_back(std::move(Owned));
     return Raw;
   }
 
@@ -53,11 +73,47 @@ public:
   bool isKnownStateName(const std::string &State) const;
 
   FuncSig *makeSig() {
-    Sigs.push_back(std::make_unique<FuncSig>());
-    return Sigs.back().get();
+    auto Owned = std::make_unique<FuncSig>();
+    FuncSig *Raw = Owned.get();
+    if (TypeArena *A = ActiveArena)
+      A->Sigs.push_back(std::move(Owned));
+    else
+      Sigs.push_back(std::move(Owned));
+    return Raw;
   }
 
+  /// RAII: while alive, make()/makeSig() on this thread allocate into
+  /// \p A instead of the shared tables. Pass-3 workers install one per
+  /// function so concurrent checks never touch the shared vectors.
+  class ArenaScope {
+  public:
+    explicit ArenaScope(TypeArena &A) : Saved(ActiveArena) {
+      ActiveArena = &A;
+    }
+    ~ArenaScope() { ActiveArena = Saved; }
+    ArenaScope(const ArenaScope &) = delete;
+    ArenaScope &operator=(const ArenaScope &) = delete;
+
+  private:
+    TypeArena *Saved;
+  };
+
+  /// Splices a finished worker arena into the context, extending the
+  /// lifetime of its types to the compilation's. Must be called from
+  /// the coordinating thread, after the worker is done with \p A.
+  void adopt(TypeArena &&A);
+
+  /// Drops every type, signature, stateset and key and re-creates the
+  /// primitives. Invalidates all outstanding Type/FuncSig/KeySym
+  /// handles; used by VaultCompiler::check() to make re-checking
+  /// idempotent.
+  void reset();
+
 private:
+  void initPrims();
+
+  static thread_local TypeArena *ActiveArena;
+
   std::vector<std::unique_ptr<Type>> Types;
   std::vector<std::unique_ptr<FuncSig>> Sigs;
   std::unordered_map<std::string, std::unique_ptr<Stateset>> Statesets;

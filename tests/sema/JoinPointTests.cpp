@@ -173,6 +173,72 @@ void main(choice c) {
   EXPECT_ACCEPTED(C);
 }
 
+TEST(JoinPoints, SwapRenameAtJoinAccepted) {
+  // Chain-rename audit (two locals renamed *through each other*): one
+  // branch swaps which keys r and s alias, so the join's canonicalizing
+  // renaming is the two-cycle {k1->k2, k2->k1}. joinStates tests rename
+  // targets against the pre-rename held set but exempts targets that
+  // are themselves renamed away; because renameKeys applies the map
+  // simultaneously, the swap vacates each slot in the same step and no
+  // live keys merge. Both resources remain separately deletable.
+  auto C = check(R"(
+void main(bool b) {
+  tracked region r = Region.create();
+  tracked region s = Region.create();
+  if (b) {
+    tracked region t = r;
+    r = s;
+    s = t;
+  }
+  Region.delete(r);
+  Region.delete(s);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(JoinPoints, RenameOntoLiveKeyRejected) {
+  // One branch re-aliases r onto s's key while r's own key stays live:
+  // canonicalizing the join would have to merge two live keys into
+  // one, losing track of a resource. The pre-rename liveness check in
+  // joinStates must reject this.
+  auto C = check(R"(
+void main(bool b) {
+  tracked region r = Region.create();
+  tracked region s = Region.create();
+  if (b) {
+    r = s;
+  }
+  Region.delete(r);
+  Region.delete(s);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
+TEST(JoinPoints, DeadBindingOntoLiveKeyRejected) {
+  // r's key is consumed before the branch; one path re-aliases r onto
+  // the live key of s. Unifying the dead binding with the live one
+  // would let the dangling r pass access checks after the join, so the
+  // join must be rejected even though only one of the two keys
+  // involved is still held.
+  auto C = check(R"(
+void main(bool b) {
+  tracked region s = Region.create();
+  tracked region r = Region.create();
+  Region.delete(r);
+  if (b) {
+    r = s;
+  }
+  Region.delete(s);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
 TEST(JoinPoints, NestedIfsJoinCorrectly) {
   auto C = check(R"(
 void main(bool a, bool b) {

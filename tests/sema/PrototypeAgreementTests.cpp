@@ -1,0 +1,119 @@
+//===- PrototypeAgreementTests.cpp - prototype/definition agreement -------===//
+//
+// Regressions for the silent-supersede bug: a definition used to
+// replace an earlier prototype of the same name without any check
+// that the two signatures agree, so callers checked against the
+// prototype's effect clause could be flow-checked against a function
+// that actually does something else entirely. Pass 2 now verifies
+// every prototype/definition (and prototype/prototype) pair and
+// reports sema-proto-mismatch when they disagree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(PrototypeAgreement, AgreeingDefinitionAccepted) {
+  auto C = check(R"(
+void destroy(tracked(R) region r) [-R];
+void main() {
+  tracked region rgn = Region.create();
+  destroy(rgn);
+}
+void destroy(tracked(R) region r) [-R] {
+  Region.delete(r);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(PrototypeAgreement, EffectClauseMismatchRejected) {
+  // The prototype consumes the key; the definition keeps it held.
+  // Silently superseding would change the meaning of every call site
+  // checked so far, so this must be diagnosed.
+  auto C = check(R"(
+void destroy(tracked(R) region r) [-R];
+void destroy(tracked(R) region r) [R] {
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaProtoMismatch);
+}
+
+TEST(PrototypeAgreement, ReturnTypeMismatchRejected) {
+  auto C = check(R"(
+int answer();
+bool answer() {
+  return true;
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaProtoMismatch);
+}
+
+TEST(PrototypeAgreement, ParamCountMismatchRejected) {
+  auto C = check(R"(
+void grow(int a);
+void grow(int a, int b) {
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaProtoMismatch);
+}
+
+TEST(PrototypeAgreement, PrototypeAfterDefinitionChecked) {
+  // Order must not matter: a disagreeing prototype that arrives after
+  // the definition (e.g. from a second input file) is just as wrong.
+  auto C = check(R"(
+void destroy(tracked(R) region r) [-R] {
+  Region.delete(r);
+}
+void destroy(tracked(R) region r) [R];
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::SemaProtoMismatch);
+}
+
+TEST(PrototypeAgreement, MatchingPrototypePairAccepted) {
+  // Repeated identical prototypes (common across //!include'd headers)
+  // stay legal.
+  auto C = check(R"(
+void destroy(tracked(R) region r) [-R];
+void destroy(tracked(R) region r) [-R];
+void main() {
+  tracked region rgn = Region.create();
+  destroy(rgn);
+}
+void destroy(tracked(R) region r) [-R] {
+  Region.delete(r);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(PrototypeAgreement, CallSitesStillUseDefinition) {
+  // The agreement check must not disturb the existing supersede
+  // behavior: after a matching definition lands, callers flow-check
+  // against it (here: consuming the region exactly once).
+  auto C = check(R"(
+void destroy(tracked(R) region r) [-R];
+void destroy(tracked(R) region r) [-R] {
+  Region.delete(r);
+}
+void main() {
+  tracked region rgn = Region.create();
+  destroy(rgn);
+  destroy(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- RecheckIdempotenceTests.cpp - check() must be re-runnable ----------===//
+//
+// Regressions for the non-idempotent check() bug: a second call used
+// to re-run registerDecl against the persistent Globals/TypeContext,
+// emitting spurious "redefinition" errors for every declaration.
+// check() now resets all semantic state (and erases the previous
+// run's diagnostics) so repeated checks are byte-identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+TEST(RecheckIdempotence, CleanProgramStaysClean) {
+  auto C = check(R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  pt.x++;
+  Region.delete(rgn);
+}
+)",
+                 regionPrelude());
+  EXPECT_ACCEPTED(C);
+  EXPECT_TRUE(C->check()) << C->diags().render();
+  EXPECT_ACCEPTED(C);
+  EXPECT_TRUE(C->check()) << C->diags().render();
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(RecheckIdempotence, DiagnosticsIdenticalAcrossRuns) {
+  auto C = check(R"(
+void main(bool b) {
+  tracked(R) region rgn = Region.create();
+  if (b) {
+    Region.delete(rgn);
+  }
+}
+)",
+                 regionPrelude());
+  ASSERT_TRUE(C->diags().hasErrors());
+  const std::string First = C->diags().render();
+  const unsigned FirstErrors = C->diags().errorCount();
+  EXPECT_FALSE(C->check());
+  EXPECT_EQ(First, C->diags().render());
+  EXPECT_EQ(FirstErrors, C->diags().errorCount());
+  EXPECT_FALSE(C->check());
+  EXPECT_EQ(First, C->diags().render());
+  EXPECT_EQ(FirstErrors, C->diags().errorCount());
+}
+
+TEST(RecheckIdempotence, StatsAndTraceRebuiltNotAccumulated) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->enableKeyTrace();
+  C->addSource("t.vlt", std::string(regionPrelude()) + R"(
+void main() {
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+}
+)");
+  ASSERT_TRUE(C->check());
+  const auto Trace1 = C->keyTrace();
+  const unsigned Checked1 = C->stats().FunctionsChecked;
+  const unsigned Decls1 = C->stats().DeclsRegistered;
+  ASSERT_TRUE(C->check());
+  ASSERT_EQ(Trace1.size(), C->keyTrace().size());
+  for (size_t I = 0; I < Trace1.size(); ++I) {
+    EXPECT_EQ(Trace1[I].Function, C->keyTrace()[I].Function);
+    EXPECT_EQ(Trace1[I].Held, C->keyTrace()[I].Held);
+  }
+  EXPECT_EQ(Checked1, C->stats().FunctionsChecked);
+  EXPECT_EQ(Decls1, C->stats().DeclsRegistered);
+}
+
+TEST(RecheckIdempotence, ParseDiagnosticsSurviveRecheck) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->addSource("bad.vlt", "void main( {");
+  const unsigned ParseDiags = static_cast<unsigned>(C->diags().size());
+  ASSERT_GT(ParseDiags, 0u);
+  EXPECT_FALSE(C->check());
+  const std::string First = C->diags().render();
+  EXPECT_FALSE(C->check());
+  // Re-checking must neither duplicate nor drop the parse diagnostics.
+  EXPECT_EQ(First, C->diags().render());
+}
+
+} // namespace

@@ -12,11 +12,16 @@
 //                checking fails, to demonstrate the dynamic oracle).
 //   --dump-ast   Pretty-print the parsed program.
 //   --dump-cfg   Print each function's control-flow graph as dot.
-//   --stats      Print checker statistics.
+//   --jobs N     Flow-check function bodies on N worker threads
+//                (default: hardware concurrency). Output is identical
+//                at any job count.
+//   --stats      Print checker statistics, including per-function
+//                wall-time and held-key-set-size histograms.
 //   --trace-keys Print the held-key set after every statement.
 //
 // Inputs may be files or corpus program names (e.g. figures/fig2_okay);
-// `//!include name.vlt` lines resolve against corpus/include.
+// `//!include name.vlt` lines resolve against corpus/include. A
+// missing include is a hard error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,7 +31,9 @@
 #include "lower/CEmitter.h"
 #include "sema/Cfg.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace vault;
@@ -35,17 +42,37 @@ static void usage() {
   std::fprintf(
       stderr,
       "usage: vaultc [--check|--emit-c|--run|--dump-ast|--dump-cfg|--stats] "
-      "<file.vlt|corpus-name>...\n");
+      "[--jobs N] <file.vlt|corpus-name>...\n");
 }
 
 int main(int Argc, char **Argv) {
   bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
        Stats = false, TraceKeys = false;
+  unsigned Jobs = 0; // 0 = hardware concurrency.
   std::vector<std::string> Inputs;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--check") {
       // Default.
+    } else if (A == "--jobs" || A.rfind("--jobs=", 0) == 0) {
+      std::string Val;
+      if (A == "--jobs") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --jobs requires an argument\n");
+          return 2;
+        }
+        Val = Argv[++I];
+      } else {
+        Val = A.substr(7);
+      }
+      char *End = nullptr;
+      long N = std::strtol(Val.c_str(), &End, 10);
+      if (Val.empty() || !End || *End || N < 0) {
+        std::fprintf(stderr, "vaultc: invalid --jobs value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(N);
     } else if (A == "--emit-c") {
       EmitC = true;
     } else if (A == "--run") {
@@ -75,8 +102,10 @@ int main(int Argc, char **Argv) {
   }
 
   VaultCompiler C;
+  C.setJobs(Jobs);
   for (const std::string &In : Inputs) {
-    std::string Text = corpus::load(In);
+    std::vector<std::string> Missing;
+    std::string Text = corpus::load(In, &Missing);
     if (Text.empty()) {
       // Not a corpus name: read as a plain file.
       std::optional<uint32_t> Id = C.sources().addFile(In);
@@ -86,24 +115,16 @@ int main(int Argc, char **Argv) {
       }
       // Re-load through the corpus resolver for //!include support.
       std::string Raw(C.sources().bufferText(*Id));
-      std::string Resolved;
-      size_t Pos = 0;
-      while (Pos < Raw.size()) {
-        size_t Eol = Raw.find('\n', Pos);
-        if (Eol == std::string::npos)
-          Eol = Raw.size();
-        std::string Line = Raw.substr(Pos, Eol - Pos);
-        Pos = Eol + 1;
-        if (Line.rfind("//!include ", 0) == 0)
-          Resolved += corpus::loadInclude(Line.substr(11));
-        else
-          Resolved += Line;
-        Resolved += '\n';
-      }
-      C.addSource(In, Resolved);
-    } else {
-      C.addSource(In, Text);
+      Text = corpus::resolveIncludes(Raw, &Missing);
     }
+    for (const std::string &Inc : Missing)
+      std::fprintf(stderr,
+                   "vaultc: %s: cannot resolve include '%s' (looked in %s)\n",
+                   In.c_str(), Inc.c_str(),
+                   (corpus::corpusDir() + "/include").c_str());
+    if (!Missing.empty())
+      return 2;
+    C.addSource(In, Text);
   }
 
   if (TraceKeys)
@@ -133,9 +154,60 @@ int main(int Argc, char **Argv) {
     }
   }
   if (Stats) {
-    std::printf("functions checked: %u\n", C.stats().FunctionsChecked);
-    std::printf("declarations:      %u\n", C.stats().DeclsRegistered);
+    const VaultCompiler::Stats &S = C.stats();
+    std::printf("functions checked: %u\n", S.FunctionsChecked);
+    std::printf("declarations:      %u\n", S.DeclsRegistered);
     std::printf("keys allocated:    %zu\n", C.types().keys().size());
+    std::printf("jobs used:         %u\n", S.JobsUsed);
+
+    // Per-function wall-time histogram (log buckets).
+    static const double MsEdges[] = {0.01, 0.1, 1.0, 10.0};
+    unsigned MsBuckets[5] = {};
+    double TotalMs = 0;
+    for (const auto &F : S.PerFunction) {
+      TotalMs += F.WallMs;
+      size_t B = 0;
+      while (B < 4 && F.WallMs >= MsEdges[B])
+        ++B;
+      ++MsBuckets[B];
+    }
+    std::printf("flow-check time:   %.3f ms total\n", TotalMs);
+    static const char *MsLabels[] = {"     <0.01ms", " 0.01-0.10ms",
+                                     " 0.10-1.00ms", " 1.00-10.0ms",
+                                     "     >=10ms "};
+    std::printf("wall-time histogram:\n");
+    for (size_t B = 0; B < 5; ++B)
+      std::printf("  %s  %u\n", MsLabels[B], MsBuckets[B]);
+
+    // Held-key-set size histogram (peak per function).
+    static const unsigned HeldEdges[] = {1, 2, 3, 5, 9};
+    unsigned HeldBuckets[6] = {};
+    for (const auto &F : S.PerFunction) {
+      size_t B = 0;
+      while (B < 5 && F.MaxHeldKeys >= HeldEdges[B])
+        ++B;
+      ++HeldBuckets[B];
+    }
+    static const char *HeldLabels[] = {"   0", "   1", "   2",
+                                       " 3-4", " 5-8", " >=9"};
+    std::printf("peak held-key-set size histogram:\n");
+    for (size_t B = 0; B < 6; ++B)
+      std::printf("  %s keys  %u\n", HeldLabels[B], HeldBuckets[B]);
+
+    // The slowest functions, for profiling batch checks.
+    std::vector<VaultCompiler::Stats::FuncStat> Sorted = S.PerFunction;
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.WallMs > B.WallMs;
+                     });
+    size_t Top = std::min<size_t>(Sorted.size(), 5);
+    if (Top) {
+      std::printf("slowest functions:\n");
+      for (size_t I = 0; I < Top; ++I)
+        std::printf("  %-24s %8.3f ms  (peak %u key(s))\n",
+                    Sorted[I].Name.c_str(), Sorted[I].WallMs,
+                    Sorted[I].MaxHeldKeys);
+    }
   }
   if (EmitC && Ok) {
     CEmitter E(C);
