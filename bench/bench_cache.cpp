@@ -1,0 +1,121 @@
+//===- bench_cache.cpp - Incremental-check cache speedup ------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Measures the incremental checking subsystem: a warm cache replaces
+// per-function flow checks with fingerprint computation plus
+// diagnostic replay, so the interesting ratio is cold check() vs warm
+// check() at growing program sizes. Also isolates the fixed costs a
+// cached run still pays: fingerprinting (re-lex + dependency closure)
+// and cache-entry IO.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Checker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <sstream>
+
+using namespace vault;
+
+namespace {
+
+/// N functions, each allocating, touching and deleting a region — a
+/// body with real flow-checking work — plus a call to its predecessor
+/// so the dependency closure is non-trivial.
+std::string synthProgram(unsigned N) {
+  std::ostringstream OS;
+  OS << R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+)";
+  for (unsigned I = 0; I != N; ++I) {
+    OS << "void f" << I << "() {\n"
+       << "  tracked(K" << I << ") region r = Region.create();\n"
+       << "  K" << I << ":point p = new(r) point {x=1; y=2;};\n"
+       << "  p.x++;\n";
+    if (I)
+      OS << "  f" << I - 1 << "();\n";
+    OS << "  Region.delete(r);\n}\n";
+  }
+  return OS.str();
+}
+
+std::string benchCacheDir(const std::string &Tag) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / ("vault-bench-" + Tag))
+          .string();
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Baseline: full check, no cache.
+void BM_ColdCheck(benchmark::State &State) {
+  std::string Src = synthProgram(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("bench.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+}
+BENCHMARK(BM_ColdCheck)->Arg(8)->Arg(32)->Arg(128);
+
+/// Warm cache: every flow check replaced by fingerprint + replay.
+void BM_WarmCheck(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  std::string Src = synthProgram(N);
+  std::string Dir = benchCacheDir("warm-" + std::to_string(N));
+  {
+    VaultCompiler Seed;
+    Seed.setCacheDir(Dir);
+    Seed.addSource("bench.vlt", Src);
+    Seed.check();
+  }
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.setCacheDir(Dir);
+    C.addSource("bench.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+    if (C.stats().FlowChecksRun != 0)
+      State.SkipWithError("cache did not hit");
+  }
+  std::filesystem::remove_all(Dir);
+}
+BENCHMARK(BM_WarmCheck)->Arg(8)->Arg(32)->Arg(128);
+
+/// One edited function among N: the incremental case an editor sees.
+void BM_OneFunctionInvalidated(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  std::string Src = synthProgram(N);
+  // Editing f0's body (not its signature) re-checks only f0: callers
+  // depend on signatures alone.
+  std::string Edited = Src;
+  size_t P = Edited.find("p.x++;");
+  Edited.replace(P, 6, "p.y++;");
+  std::string Dir = benchCacheDir("edit-" + std::to_string(N));
+  {
+    VaultCompiler Seed;
+    Seed.setCacheDir(Dir);
+    Seed.addSource("bench.vlt", Src);
+    Seed.check();
+  }
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.setCacheDir(Dir);
+    C.addSource("bench.vlt", Edited);
+    benchmark::DoNotOptimize(C.check());
+    if (C.stats().FlowChecksRun > 1)
+      State.SkipWithError("body edit invalidated more than one function");
+  }
+  std::filesystem::remove_all(Dir);
+}
+BENCHMARK(BM_OneFunctionInvalidated)->Arg(32)->Arg(128);
+
+} // namespace

@@ -51,7 +51,9 @@ void Lexer::skipTrivia() {
       continue;
     }
     if (C == '/' && peek(1) == '/') {
-      while (peek() != '\n' && peek() != '\0')
+      // '\r' ends the comment too, so CR-only files don't fold the
+      // following lines into it.
+      while (peek() != '\n' && peek() != '\r' && peek() != '\0')
         ++Pos;
       continue;
     }
@@ -131,7 +133,10 @@ Token Lexer::lexString(size_t Start) {
   std::string Decoded;
   for (;;) {
     char C = peek();
-    if (C == '\0' || C == '\n') {
+    // '\r' ends the line for CRLF and CR sources: without it the
+    // carriage return would be decoded into the string contents and
+    // the diagnostic would differ from the LF encoding of the file.
+    if (C == '\0' || C == '\n' || C == '\r') {
       Diags.report(DiagId::LexUnterminatedString, loc(Start),
                    "unterminated string literal");
       break;

@@ -135,3 +135,9 @@ const char *vault::tokKindName(TokKind K) {
   }
   return "unknown token";
 }
+
+void vault::hashTokenRange(const Token *Begin, const Token *End, Hasher &H) {
+  H.u64(static_cast<uint64_t>(End - Begin));
+  for (const Token *T = Begin; T != End; ++T)
+    T->hashInto(H);
+}

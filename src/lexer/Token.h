@@ -15,11 +15,13 @@
 #ifndef VAULT_LEXER_TOKEN_H
 #define VAULT_LEXER_TOKEN_H
 
+#include "support/Hash.h"
 #include "support/SourceManager.h"
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace vault {
 
@@ -114,7 +116,21 @@ struct Token {
         return true;
     return false;
   }
+
+  /// Feeds the token's kind and spelling (not its location) into \p H:
+  /// a token-stream hash is insensitive to layout and comments.
+  void hashInto(Hasher &H) const {
+    H.u8(static_cast<uint8_t>(Kind));
+    H.str(Text);
+    H.u64(static_cast<uint64_t>(IntValue));
+  }
 };
+
+/// Hashes the half-open token range [\p Begin, \p End): the basis of
+/// the incremental checker's per-declaration fingerprints. Identical
+/// token streams — regardless of whitespace, comments, or position in
+/// the file — hash equal.
+void hashTokenRange(const Token *Begin, const Token *End, Hasher &H);
 
 } // namespace vault
 

@@ -1,0 +1,170 @@
+//===- CheckCache.cpp -----------------------------------------------------===//
+
+#include "sema/CheckCache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace vault;
+
+namespace fs = std::filesystem;
+
+static constexpr const char *EntryMagic = "VFC 1";
+
+CheckCache::CheckCache(std::string Dir, std::string Unit)
+    : Dir(std::move(Dir)), Unit(std::move(Unit)) {
+  std::error_code EC;
+  fs::create_directories(this->Dir, EC);
+  if (EC || !fs::is_directory(this->Dir, EC))
+    return;
+  Usable = true;
+
+  // Load the index; a missing file is a cold cache, a malformed row is
+  // skipped (it only costs a spurious re-check).
+  std::ifstream In(this->Dir + "/index.tsv");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t T1 = Line.find('\t');
+    size_t T2 = T1 == std::string::npos ? T1 : Line.find('\t', T1 + 1);
+    if (T2 == std::string::npos)
+      continue;
+    Fingerprint FP;
+    if (!Fingerprint::fromHex(std::string_view(Line).substr(T2 + 1), FP))
+      continue;
+    OldIndex[{Line.substr(0, T1), Line.substr(T1 + 1, T2 - T1 - 1)}] = FP;
+  }
+}
+
+std::string CheckCache::entryPath(const Fingerprint &FP) const {
+  return Dir + "/" + FP.hex() + ".vfc";
+}
+
+/// Writes \p Text to \p Path atomically (temp file + rename). Returns
+/// false on any filesystem error.
+static bool atomicWrite(const std::string &Path, const std::string &Text) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << Text;
+    if (!Out.flush())
+      return false;
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
+std::optional<CheckCache::CachedResult>
+CheckCache::lookup(const std::string &FuncName, const FuncCacheKey &Key) {
+  if (!Usable)
+    return std::nullopt;
+  auto Miss = [&]() -> std::optional<CachedResult> {
+    ++Misses;
+    auto It = OldIndex.find({Unit, FuncName});
+    if (It != OldIndex.end() && It->second != Key.FP)
+      ++Invalidations;
+    return std::nullopt;
+  };
+
+  std::ifstream In(entryPath(Key.FP), std::ios::binary);
+  if (!In)
+    return Miss();
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  // Header: magic line, then "max-held N".
+  size_t Eol = Text.find('\n');
+  if (Eol == std::string::npos || Text.substr(0, Eol) != EntryMagic)
+    return Miss();
+  size_t H2 = Text.find('\n', Eol + 1);
+  if (H2 == std::string::npos)
+    return Miss();
+  std::string_view MaxLine(Text.data() + Eol + 1, H2 - Eol - 1);
+  if (MaxLine.substr(0, 9) != "max-held ")
+    return Miss();
+  unsigned MaxHeld = 0;
+  for (char C : MaxLine.substr(9)) {
+    if (C < '0' || C > '9' || MaxHeld > 100000000)
+      return Miss();
+    MaxHeld = MaxHeld * 10 + static_cast<unsigned>(C - '0');
+  }
+
+  std::optional<std::vector<Diagnostic>> Diags = deserializeDiagnostics(
+      std::string_view(Text).substr(H2 + 1), Key.BufferId, Key.ChunkBegin);
+  if (!Diags)
+    return Miss();
+
+  ++Hits;
+  NewRows[FuncName] = Key.FP;
+  return CachedResult{std::move(*Diags), MaxHeld};
+}
+
+void CheckCache::store(const std::string &FuncName, const FuncCacheKey &Key,
+                       unsigned MaxHeldKeys,
+                       const std::vector<Diagnostic> &Diags) {
+  if (!Usable)
+    return;
+  // Every valid location must sit inside the function's own chunk —
+  // that is all that replay can rebase. Diagnostics pointing elsewhere
+  // (possible in principle, not produced by the current checker) make
+  // the result uncacheable, never wrong.
+  auto InChunk = [&](SourceLoc L) {
+    return !L.isValid() ||
+           (L.BufferId == Key.BufferId && L.Offset >= Key.ChunkBegin &&
+            L.Offset < Key.ChunkEnd);
+  };
+  for (const Diagnostic &D : Diags) {
+    if (!InChunk(D.Loc))
+      return;
+    for (const auto &N : D.Notes)
+      if (!InChunk(N.first))
+        return;
+  }
+
+  std::string Text = EntryMagic;
+  Text += "\nmax-held " + std::to_string(MaxHeldKeys) + "\n";
+  Text += serializeDiagnostics(Diags, Key.ChunkBegin);
+  if (atomicWrite(entryPath(Key.FP), Text))
+    NewRows[FuncName] = Key.FP;
+}
+
+void CheckCache::finalizeRun() {
+  if (!Usable)
+    return;
+
+  // Merge: keep other units' rows, replace this unit's.
+  std::map<std::pair<std::string, std::string>, Fingerprint> Merged;
+  for (const auto &[K, FP] : OldIndex)
+    if (K.first != Unit)
+      Merged[K] = FP;
+  for (const auto &[Func, FP] : NewRows)
+    Merged[{Unit, Func}] = FP;
+
+  std::string Text;
+  for (const auto &[K, FP] : Merged)
+    Text += K.first + "\t" + K.second + "\t" + FP.hex() + "\n";
+  if (!atomicWrite(Dir + "/index.tsv", Text))
+    return;
+
+  // Prune entry files this unit used to reference and nothing
+  // references anymore.
+  std::set<std::string> Live;
+  for (const auto &[K, FP] : Merged)
+    Live.insert(FP.hex());
+  for (const auto &[K, FP] : OldIndex) {
+    if (K.first != Unit || Live.count(FP.hex()))
+      continue;
+    std::error_code EC;
+    fs::remove(entryPath(FP), EC);
+  }
+}

@@ -1,0 +1,95 @@
+//===- CheckCache.h - On-disk per-function result cache ---------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental checker's on-disk cache. Entries are
+/// content-addressed: `<dir>/<fingerprint>.vfc` holds the flow-check
+/// result (diagnostics with chunk-relative locations, peak held-key
+/// count) of any function whose FuncCacheKey hashes to that
+/// fingerprint. A sidecar `index.tsv` maps (compilation unit, function
+/// name) to the fingerprint of the last run, which is what makes
+/// invalidation observable: a function whose name is indexed under a
+/// different fingerprint was edited (or something it depends on was).
+///
+/// Different compilation units (vaultc input sets) may share one cache
+/// directory; entry files are shared by content, index rows are scoped
+/// by unit so runs on different programs never invalidate each other.
+///
+/// All writes go through a temp file + rename, so a crashed or
+/// concurrent run leaves whole files, never torn ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_CHECKCACHE_H
+#define VAULT_SEMA_CHECKCACHE_H
+
+#include "sema/Fingerprint.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vault {
+
+class CheckCache {
+public:
+  /// A replayable flow-check result.
+  struct CachedResult {
+    std::vector<Diagnostic> Diags; ///< Locations already rebased.
+    unsigned MaxHeldKeys = 0;
+  };
+
+  /// Opens the cache at \p Dir, creating the directory if needed, and
+  /// loads the index. \p Unit identifies the current compilation's
+  /// input set; index rows are scoped to it. On any filesystem error
+  /// the cache degrades to unusable (and the checker runs uncached).
+  CheckCache(std::string Dir, std::string Unit);
+
+  bool usable() const { return Usable; }
+
+  /// Looks up \p Key's fingerprint; on a hit, returns the stored
+  /// result with diagnostic locations rebased onto the function's
+  /// current chunk position. A corrupt or unreadable entry is a miss.
+  std::optional<CachedResult> lookup(const std::string &FuncName,
+                                     const FuncCacheKey &Key);
+
+  /// Stores a freshly computed result under \p Key's fingerprint.
+  /// Quietly declines when a diagnostic points outside the function's
+  /// own chunk (replay could not rebase it) or on filesystem errors.
+  void store(const std::string &FuncName, const FuncCacheKey &Key,
+             unsigned MaxHeldKeys, const std::vector<Diagnostic> &Diags);
+
+  /// Rewrites the index with this run's rows (other units' rows are
+  /// kept) and deletes entry files that no index row references
+  /// anymore. Call once, after all lookups and stores.
+  void finalizeRun();
+
+  unsigned hits() const { return Hits; }
+  unsigned misses() const { return Misses; }
+  /// Misses for functions the index knew under a different
+  /// fingerprint — i.e. re-checks forced by an edit.
+  unsigned invalidations() const { return Invalidations; }
+
+private:
+  std::string entryPath(const Fingerprint &FP) const;
+
+  std::string Dir;
+  std::string Unit;
+  bool Usable = false;
+
+  /// index.tsv rows: (unit, function) -> fingerprint.
+  std::map<std::pair<std::string, std::string>, Fingerprint> OldIndex;
+  /// Rows this run produced (always for Unit).
+  std::map<std::string, Fingerprint> NewRows;
+
+  unsigned Hits = 0, Misses = 0, Invalidations = 0;
+};
+
+} // namespace vault
+
+#endif // VAULT_SEMA_CHECKCACHE_H

@@ -3,12 +3,19 @@
 #include "sema/Checker.h"
 
 #include "parser/Parser.h"
+#include "sema/CheckCache.h"
+#include "sema/Fingerprint.h"
 
 #include <atomic>
 #include <chrono>
 #include <thread>
 
 using namespace vault;
+
+/// Version tag folded into every fingerprint. Bump whenever the
+/// checker's diagnostics or semantics change, so stale cache entries
+/// from older builds can never replay.
+static constexpr const char *CheckerVersion = "vault-checker 1";
 
 VaultCompiler::VaultCompiler() {
   Diags = std::make_unique<DiagnosticEngine>(SM);
@@ -209,6 +216,10 @@ bool VaultCompiler::check() {
   struct FuncTask {
     const FuncDecl *F;
     FuncSig *Sig;
+    const FuncCacheKey *Key = nullptr;
+    /// Set when the cache already holds this function's result; the
+    /// workers skip the task and the merge replays the diagnostics.
+    std::optional<CheckCache::CachedResult> Cached;
   };
   struct FuncOutcome {
     std::vector<Diagnostic> Diags;
@@ -226,12 +237,43 @@ bool VaultCompiler::check() {
   std::vector<FuncOutcome> Outcomes(Tasks.size());
   const uint32_t StateVarBase = Elab->stateVarCounter();
   const uint32_t KeyDisplayBase = static_cast<uint32_t>(TC.keys().size());
+
+  // Incremental checking: fingerprint every function and replay cached
+  // results. Key tracing bypasses the cache (traces are not stored);
+  // parse failures bypass it too — the token streams the fingerprints
+  // are built from would not match the recovered AST.
+  std::unique_ptr<CheckCache> Cache;
+  FingerprintMap FPMap;
+  if (!CacheDir.empty() && !TraceEnabled && !ParseFailed) {
+    FingerprintMap::GlobalContext Ctx;
+    Ctx.CheckerVersion = CheckerVersion;
+    Ctx.KeyDisplayBase = KeyDisplayBase;
+    Ctx.StateVarBase = StateVarBase;
+    if (FPMap.build(SM, Ast.program(), SigOf, TC.keys(), Ctx)) {
+      std::string Unit;
+      for (unsigned B = 1; B <= SM.numBuffers(); ++B) {
+        if (!Unit.empty())
+          Unit += ";";
+        Unit += SM.bufferName(B);
+      }
+      Cache = std::make_unique<CheckCache>(CacheDir, Unit);
+      if (!Cache->usable())
+        Cache.reset();
+    }
+  }
+  if (Cache)
+    for (FuncTask &T : Tasks)
+      if ((T.Key = FPMap.find(T.F)))
+        T.Cached = Cache->lookup(T.F->name(), *T.Key);
+
   std::atomic<size_t> NextTask{0};
   auto RunWorker = [&] {
     for (;;) {
       size_t I = NextTask.fetch_add(1, std::memory_order_relaxed);
       if (I >= Tasks.size())
         break;
+      if (Tasks[I].Cached)
+        continue;
       FuncOutcome &Out = Outcomes[I];
       TypeContext::ArenaScope Arena(Out.Arena);
       KeyTable::DisplayScope Display(TC.keys(), KeyDisplayBase);
@@ -251,8 +293,11 @@ bool VaultCompiler::check() {
     }
   };
 
+  size_t Uncached = 0;
+  for (const FuncTask &T : Tasks)
+    Uncached += !T.Cached;
   unsigned NJobs = Jobs ? Jobs : std::thread::hardware_concurrency();
-  NJobs = std::min<size_t>(std::max(NJobs, 1u), std::max<size_t>(Tasks.size(), 1));
+  NJobs = std::min<size_t>(std::max(NJobs, 1u), std::max<size_t>(Uncached, 1));
   LastStats.JobsUsed = NJobs;
   if (NJobs <= 1) {
     RunWorker();
@@ -265,9 +310,21 @@ bool VaultCompiler::check() {
       W.join();
   }
 
-  // Deterministic merge, in source order.
+  // Deterministic merge, in source order. Cached tasks replay their
+  // stored diagnostics; fresh results are stored for the next run.
   for (size_t I = 0; I < Tasks.size(); ++I) {
+    FuncTask &T = Tasks[I];
+    if (T.Cached) {
+      for (Diagnostic &D : T.Cached->Diags)
+        Diags->append(std::move(D));
+      LastStats.PerFunction.push_back(
+          Stats::FuncStat{T.F->name(), 0.0, T.Cached->MaxHeldKeys});
+      ++LastStats.FunctionsChecked;
+      continue;
+    }
     FuncOutcome &Out = Outcomes[I];
+    if (Cache && T.Key)
+      Cache->store(T.F->name(), *T.Key, Out.MaxHeldKeys, Out.Diags);
     for (Diagnostic &D : Out.Diags)
       Diags->append(std::move(D));
     KeyTrace.insert(KeyTrace.end(), std::make_move_iterator(Out.Trace.begin()),
@@ -276,6 +333,14 @@ bool VaultCompiler::check() {
     LastStats.PerFunction.push_back(
         Stats::FuncStat{Tasks[I].F->name(), Out.WallMs, Out.MaxHeldKeys});
     ++LastStats.FunctionsChecked;
+    ++LastStats.FlowChecksRun;
+  }
+  if (Cache) {
+    Cache->finalizeRun();
+    LastStats.CacheEnabled = true;
+    LastStats.CacheHits = Cache->hits();
+    LastStats.CacheMisses = Cache->misses();
+    LastStats.CacheInvalidations = Cache->invalidations();
   }
 
   CheckDiagEnd = Diags->size();

@@ -79,11 +79,29 @@ public:
   void enableKeyTrace() { TraceEnabled = true; }
   const std::vector<KeyTraceEntry> &keyTrace() const { return KeyTrace; }
 
+  /// Enables the incremental-check cache rooted at \p Dir (created on
+  /// demand). check() then skips flow-checking any function whose
+  /// fingerprint has a cached result, replaying its stored diagnostics
+  /// instead — byte-identically, at any job count. Tracing disables
+  /// the cache for the run (key traces are not cached).
+  void setCacheDir(std::string Dir) { CacheDir = std::move(Dir); }
+  const std::string &cacheDir() const { return CacheDir; }
+
   /// Statistics of the last check() run.
   struct Stats {
     unsigned FunctionsChecked = 0;
     unsigned FunctionsWithBodies = 0;
     unsigned DeclsRegistered = 0;
+    /// Functions whose bodies were actually flow-checked this run;
+    /// FunctionsChecked minus cache replays.
+    unsigned FlowChecksRun = 0;
+    /// True when a cache directory was set and usable this run.
+    bool CacheEnabled = false;
+    unsigned CacheHits = 0;
+    unsigned CacheMisses = 0;
+    /// Cache misses whose function was previously cached under a
+    /// different fingerprint — re-checks forced by an edit.
+    unsigned CacheInvalidations = 0;
     /// Worker threads Pass 3 actually used.
     unsigned JobsUsed = 1;
     /// Per-function observability (source order), behind --stats.
@@ -118,6 +136,8 @@ private:
   unsigned Jobs = 1;
   bool ParseFailed = false;
   bool TraceEnabled = false;
+  /// Root of the incremental-check cache; empty = caching off.
+  std::string CacheDir;
   std::vector<KeyTraceEntry> KeyTrace;
   /// Range of Diags occupied by the previous check() run, erased on
   /// re-check so diagnostics are not duplicated.

@@ -1,0 +1,267 @@
+//===- Fingerprint.cpp ----------------------------------------------------===//
+
+#include "sema/Fingerprint.h"
+
+#include "lexer/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+
+using namespace vault;
+
+namespace {
+
+/// One top-level declaration's token range within a buffer, delimited
+/// by re-lexing: a chunk ends at a ';' or '}' at bracket depth zero.
+struct Chunk {
+  size_t FirstTok = 0, EndTok = 0; ///< Token index range (end exclusive).
+  uint32_t ByteBegin = 0;          ///< Offset of the first token.
+  uint32_t ByteEnd = 0;            ///< Next chunk's first token / buffer end.
+};
+
+struct BufferChunks {
+  std::vector<Token> Tokens; ///< Without the trailing Eof.
+  std::vector<Chunk> Chunks;
+};
+
+BufferChunks chunkBuffer(const SourceManager &SM, uint32_t BufferId) {
+  BufferChunks Out;
+  // Re-lex with a throwaway diagnostic engine: any lex errors were
+  // already reported when the buffer was parsed.
+  DiagnosticEngine Scratch(SM);
+  Lexer L(SM, BufferId, Scratch);
+  Out.Tokens = L.lexAll();
+  Out.Tokens.pop_back(); // Drop Eof.
+
+  size_t ChunkStart = 0;
+  int Depth = 0;
+  for (size_t I = 0; I < Out.Tokens.size(); ++I) {
+    switch (Out.Tokens[I].Kind) {
+    case TokKind::LParen:
+    case TokKind::LBrace:
+    case TokKind::LBracket:
+      ++Depth;
+      break;
+    case TokKind::RParen:
+    case TokKind::RBrace:
+    case TokKind::RBracket:
+      Depth = std::max(0, Depth - 1);
+      break;
+    default:
+      break;
+    }
+    bool Boundary = Depth == 0 && (Out.Tokens[I].is(TokKind::Semi) ||
+                                   Out.Tokens[I].is(TokKind::RBrace));
+    if (Boundary) {
+      Out.Chunks.push_back(Chunk{ChunkStart, I + 1,
+                                 Out.Tokens[ChunkStart].Loc.Offset, 0});
+      ChunkStart = I + 1;
+    }
+  }
+  if (ChunkStart < Out.Tokens.size())
+    Out.Chunks.push_back(Chunk{ChunkStart, Out.Tokens.size(),
+                               Out.Tokens[ChunkStart].Loc.Offset, 0});
+  uint32_t BufEnd = static_cast<uint32_t>(SM.bufferText(BufferId).size());
+  for (size_t I = 0; I < Out.Chunks.size(); ++I)
+    Out.Chunks[I].ByteEnd =
+        I + 1 < Out.Chunks.size() ? Out.Chunks[I + 1].ByteBegin : BufEnd;
+  return Out;
+}
+
+/// Per-declaration fingerprint data for the dependency closure.
+struct DeclNode {
+  const Decl *D = nullptr;
+  uint32_t BufferId = 0;
+  const Chunk *C = nullptr;
+  /// Contribution when some function depends on this declaration: for
+  /// functions, the signature tokens plus the elaborated signature
+  /// (bodies excluded — callers see only the interface); for
+  /// everything else, the full token stream.
+  Fingerprint Contrib;
+  /// Declarations referenced from the "interface" token range (for
+  /// functions: the tokens before the body), for closure traversal.
+  std::vector<const DeclNode *> InterfaceDeps;
+  /// Declarations referenced from anywhere in the chunk (function
+  /// bodies included) — the dependency roots of this declaration.
+  std::vector<const DeclNode *> FullDeps;
+};
+
+} // namespace
+
+bool FingerprintMap::build(const SourceManager &SM, const Program &Prog,
+                           const std::map<const FuncDecl *, FuncSig *> &Sigs,
+                           const KeyTable &KeyTab, const GlobalContext &Ctx) {
+  Keys.clear();
+
+  // Re-lex and chunk every buffer that holds top-level declarations.
+  std::vector<uint32_t> BufferIds;
+  for (const Decl *D : Prog.Decls)
+    if (D->loc().isValid() &&
+        !std::count(BufferIds.begin(), BufferIds.end(), D->loc().BufferId))
+      BufferIds.push_back(D->loc().BufferId);
+  std::map<uint32_t, BufferChunks> ByBuffer;
+  for (uint32_t Id : BufferIds)
+    ByBuffer.emplace(Id, chunkBuffer(SM, Id));
+
+  // Associate each top-level declaration with the chunk containing its
+  // location. Chunking has failed (and the cache must stay off) if a
+  // declaration matches no chunk or two declarations share one.
+  std::vector<DeclNode> Nodes(Prog.Decls.size());
+  std::map<const Chunk *, const Decl *> ChunkOwner;
+  for (size_t I = 0; I < Prog.Decls.size(); ++I) {
+    const Decl *D = Prog.Decls[I];
+    if (!D->loc().isValid())
+      return false;
+    auto BIt = ByBuffer.find(D->loc().BufferId);
+    if (BIt == ByBuffer.end())
+      return false;
+    std::vector<Chunk> &Chunks = BIt->second.Chunks;
+    uint32_t Off = D->loc().Offset;
+    auto CIt = std::upper_bound(
+        Chunks.begin(), Chunks.end(), Off,
+        [](uint32_t O, const Chunk &C) { return O < C.ByteBegin; });
+    if (CIt == Chunks.begin())
+      return false;
+    --CIt;
+    if (Off < CIt->ByteBegin || Off >= CIt->ByteEnd)
+      return false;
+    if (!ChunkOwner.emplace(&*CIt, D).second)
+      return false;
+    Nodes[I] = DeclNode{D, D->loc().BufferId, &*CIt, Fingerprint{}, {}, {}};
+  }
+
+  // Name resolution for dependency edges: every name a source token
+  // could use to reach a declaration — the declaration's own name,
+  // variant constructor names, and interface member names (mapped to
+  // the whole interface).
+  std::map<std::string, std::vector<const DeclNode *>> ByName;
+  for (DeclNode &N : Nodes) {
+    ByName[N.D->name()].push_back(&N);
+    if (const auto *V = dyn_cast<VariantDecl>(N.D))
+      for (const VariantDecl::Ctor &C : V->ctors())
+        ByName[C.Name].push_back(&N);
+    if (const auto *I = dyn_cast<InterfaceDecl>(N.D))
+      for (const Decl *M : I->members())
+        ByName[M->name()].push_back(&N);
+  }
+
+  // Per-declaration contribution hashes and dependency edges.
+  auto CollectDeps = [&](const std::vector<Token> &Toks, const Chunk &C,
+                         size_t EndTok, std::vector<const DeclNode *> &Out) {
+    for (size_t T = C.FirstTok; T < EndTok; ++T) {
+      const Token &Tok = Toks[T];
+      if (!Tok.is(TokKind::Identifier) && !Tok.is(TokKind::TickIdentifier))
+        continue;
+      auto It = ByName.find(Tok.Text);
+      if (It == ByName.end())
+        continue;
+      for (const DeclNode *Dep : It->second)
+        if (!std::count(Out.begin(), Out.end(), Dep))
+          Out.push_back(Dep);
+    }
+  };
+  for (DeclNode &N : Nodes) {
+    const std::vector<Token> &Toks = ByBuffer[N.BufferId].Tokens;
+    // For functions the interface stops at the '{' that opens the
+    // body; prototypes and every other declaration expose all tokens.
+    size_t IfaceEnd = N.C->EndTok;
+    if (const auto *F = dyn_cast<FuncDecl>(N.D); F && F->body()) {
+      int Depth = 0;
+      for (size_t T = N.C->FirstTok; T < N.C->EndTok; ++T) {
+        if (Toks[T].is(TokKind::LBrace) && Depth == 0) {
+          IfaceEnd = T;
+          break;
+        }
+        if (Toks[T].isOneOf({TokKind::LParen, TokKind::LBracket}))
+          ++Depth;
+        else if (Toks[T].isOneOf({TokKind::RParen, TokKind::RBracket}))
+          --Depth;
+      }
+    }
+    Hasher H;
+    hashTokenRange(Toks.data() + N.C->FirstTok, Toks.data() + IfaceEnd, H);
+    if (const auto *F = dyn_cast<FuncDecl>(N.D)) {
+      auto SIt = Sigs.find(F);
+      H.u8(SIt != Sigs.end());
+      if (SIt != Sigs.end())
+        hashSignature(SIt->second, KeyTab, H);
+    }
+    N.Contrib = H.finish();
+    CollectDeps(Toks, *N.C, IfaceEnd, N.InterfaceDeps);
+    CollectDeps(Toks, *N.C, N.C->EndTok, N.FullDeps);
+  }
+
+  // Fingerprint every function with a body: global context, the
+  // chunk's raw source and position, the elaborated signature, and the
+  // dependency closure in deterministic (name, kind, location) order.
+  for (DeclNode &N : Nodes) {
+    const auto *F = dyn_cast<FuncDecl>(N.D);
+    if (!F || !F->body())
+      continue;
+    auto SIt = Sigs.find(F);
+
+    Hasher H;
+    H.str(Ctx.CheckerVersion);
+    H.u32(Ctx.KeyDisplayBase);
+    H.u32(Ctx.StateVarBase);
+
+    // Position and raw text: everything rendered output can show.
+    std::string_view Text = SM.bufferText(N.BufferId);
+    H.str(SM.bufferName(N.BufferId));
+    PresumedLoc P = SM.presumed(SourceLoc{N.BufferId, N.C->ByteBegin});
+    H.u32(P.Line);
+    H.u32(P.Column);
+    // The partial line before the chunk and after it: carets render
+    // whole lines, which can start in the previous declaration or
+    // continue into the next.
+    H.str(Text.substr(N.C->ByteBegin - (P.Column - 1), P.Column - 1));
+    H.str(Text.substr(N.C->ByteBegin, N.C->ByteEnd - N.C->ByteBegin));
+    size_t SuffixEnd = Text.find_first_of("\r\n", N.C->ByteEnd);
+    if (SuffixEnd == std::string_view::npos)
+      SuffixEnd = Text.size();
+    H.str(Text.substr(N.C->ByteEnd, SuffixEnd - N.C->ByteEnd));
+
+    H.u8(SIt != Sigs.end());
+    if (SIt != Sigs.end())
+      hashSignature(SIt->second, KeyTab, H);
+
+    // Dependency closure: breadth-first from the full-chunk references,
+    // expanding through declaration interfaces only.
+    std::vector<const DeclNode *> Closure;
+    std::vector<const DeclNode *> Work(N.FullDeps.begin(), N.FullDeps.end());
+    auto Push = [&](const DeclNode *Dep) {
+      if (Dep != &N && !std::count(Closure.begin(), Closure.end(), Dep)) {
+        Closure.push_back(Dep);
+        Work.push_back(Dep);
+      }
+    };
+    std::vector<const DeclNode *> Roots = std::move(Work);
+    Work.clear();
+    for (const DeclNode *R : Roots)
+      Push(R);
+    while (!Work.empty()) {
+      const DeclNode *Cur = Work.back();
+      Work.pop_back();
+      for (const DeclNode *Dep : Cur->InterfaceDeps)
+        Push(Dep);
+    }
+    std::sort(Closure.begin(), Closure.end(),
+              [](const DeclNode *A, const DeclNode *B) {
+                if (A->D->name() != B->D->name())
+                  return A->D->name() < B->D->name();
+                if (A->BufferId != B->BufferId)
+                  return A->BufferId < B->BufferId;
+                return A->C->ByteBegin < B->C->ByteBegin;
+              });
+    H.u64(Closure.size());
+    for (const DeclNode *Dep : Closure) {
+      H.str(Dep->D->name());
+      H.u8(static_cast<uint8_t>(Dep->D->kind()));
+      H.fingerprint(Dep->Contrib);
+    }
+
+    Keys.emplace(F, FuncCacheKey{H.finish(), N.BufferId, N.C->ByteBegin,
+                                 N.C->ByteEnd});
+  }
+  return true;
+}

@@ -1,0 +1,95 @@
+//===- Fingerprint.h - Per-function incremental-check keys ------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, for every top-level function with a body, a stable
+/// fingerprint of everything that can influence its flow-check outcome
+/// *and* the bytes of its rendered diagnostics:
+///
+///   * the raw source of the function's declaration "chunk" (layout
+///     included — carets and columns render from it), plus the
+///     surrounding partial lines and the chunk's absolute position;
+///   * the token streams of every declaration the function can
+///     observe, transitively: callee *signatures* (never bodies),
+///     stateset/variant/typedef/struct/key/interface definitions;
+///   * the elaborated signatures involved (types, key sets, state
+///     variables — via the stable hashing in types/);
+///   * compilation-wide counters that leak into rendered text (key
+///     display base, state-variable base) and the checker version.
+///
+/// Equal fingerprints imply byte-identical flow-check diagnostics, so
+/// a cached result can be replayed instead of re-checking. The
+/// converse is deliberately conservative: layout edits inside a
+/// function, or declaration insertions that shift global counters,
+/// re-check more than strictly necessary but never less.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SEMA_FINGERPRINT_H
+#define VAULT_SEMA_FINGERPRINT_H
+
+#include "ast/Ast.h"
+#include "support/Hash.h"
+#include "types/Type.h"
+
+#include <map>
+#include <string>
+
+namespace vault {
+
+class SourceManager;
+
+/// Fingerprint plus the replay anchor of one function: where its
+/// declaration chunk sits now, so cached diagnostics (stored with
+/// chunk-relative offsets) can be rebased.
+struct FuncCacheKey {
+  Fingerprint FP;
+  uint32_t BufferId = 0;
+  /// Byte offset of the chunk's first token.
+  uint32_t ChunkBegin = 0;
+  /// One past the chunk's last byte (the next chunk's first token, or
+  /// end of buffer).
+  uint32_t ChunkEnd = 0;
+};
+
+/// Builder/owner of the per-function cache keys of one compilation.
+class FingerprintMap {
+public:
+  /// Compilation-global context folded into every fingerprint.
+  struct GlobalContext {
+    std::string CheckerVersion;
+    /// Key-display numbering base of Pass 3 (== number of keys that
+    /// exist after signature elaboration); local keys render as
+    /// Base+1, Base+2, ... in messages.
+    uint32_t KeyDisplayBase = 0;
+    /// Elaborator state-variable counter after Pass 2; body-local
+    /// state variables are numbered from it and render as "$N".
+    uint32_t StateVarBase = 0;
+  };
+
+  /// Computes cache keys for every function in \p Sigs that has a
+  /// body. \p Sigs maps each kept declaration to its elaborated
+  /// signature (Checker::SigOf). Returns false — and leaves the map
+  /// empty — when the surface form defeats per-declaration chunking
+  /// (e.g. a declaration whose location cannot be matched to a token
+  /// chunk); callers must then check everything.
+  bool build(const SourceManager &SM, const Program &Prog,
+             const std::map<const FuncDecl *, FuncSig *> &Sigs,
+             const KeyTable &Keys, const GlobalContext &Ctx);
+
+  /// Cache key of \p F, or null if \p F was not fingerprinted.
+  const FuncCacheKey *find(const FuncDecl *F) const {
+    auto It = Keys.find(F);
+    return It == Keys.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::map<const FuncDecl *, FuncCacheKey> Keys;
+};
+
+} // namespace vault
+
+#endif // VAULT_SEMA_FINGERPRINT_H

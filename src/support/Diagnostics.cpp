@@ -192,6 +192,192 @@ static void renderOne(std::ostringstream &OS, const SourceManager &SM,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Serialization (incremental-check cache).
+//===----------------------------------------------------------------------===//
+
+static void escapeTo(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+}
+
+static bool unescape(std::string_view S, std::string &Out) {
+  Out.clear();
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\') {
+      Out += S[I];
+      continue;
+    }
+    if (++I == S.size())
+      return false;
+    switch (S[I]) {
+    case '\\':
+      Out += '\\';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+static void appendLoc(std::string &Out, SourceLoc Loc, uint32_t BaseOffset) {
+  if (!Loc.isValid()) {
+    Out += '-';
+    return;
+  }
+  Out += std::to_string(Loc.Offset - BaseOffset);
+}
+
+std::string vault::serializeDiagnostics(const std::vector<Diagnostic> &Diags,
+                                        uint32_t BaseOffset) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += "D ";
+    Out += std::to_string(static_cast<unsigned>(D.Id));
+    Out += ' ';
+    Out += std::to_string(static_cast<unsigned>(D.Severity));
+    Out += ' ';
+    appendLoc(Out, D.Loc, BaseOffset);
+    Out += ' ';
+    escapeTo(Out, D.Message);
+    Out += '\n';
+    for (const auto &[Loc, Msg] : D.Notes) {
+      Out += "N ";
+      appendLoc(Out, Loc, BaseOffset);
+      Out += ' ';
+      escapeTo(Out, Msg);
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+namespace {
+/// Splits one serialized line into space-separated head fields plus the
+/// escaped-message tail.
+struct LineReader {
+  std::string_view Rest;
+
+  bool next(std::string_view &Line) {
+    if (Rest.empty())
+      return false;
+    size_t E = Rest.find('\n');
+    if (E == std::string_view::npos)
+      return false; // Every line must be terminated.
+    Line = Rest.substr(0, E);
+    Rest.remove_prefix(E + 1);
+    return true;
+  }
+};
+
+bool takeField(std::string_view &Line, std::string_view &Field) {
+  size_t E = Line.find(' ');
+  if (E == std::string_view::npos)
+    return false;
+  Field = Line.substr(0, E);
+  Line.remove_prefix(E + 1);
+  return true;
+}
+
+bool parseUnsigned(std::string_view S, uint64_t Max, uint64_t &Out) {
+  if (S.empty() || S.size() > 10)
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + (C - '0');
+  }
+  return Out <= Max;
+}
+
+bool parseLoc(std::string_view S, uint32_t BufferId, uint32_t BaseOffset,
+              SourceLoc &Out) {
+  if (S == "-") {
+    Out = SourceLoc{};
+    return true;
+  }
+  uint64_t Rel;
+  if (!parseUnsigned(S, UINT32_MAX, Rel) ||
+      Rel > UINT32_MAX - static_cast<uint64_t>(BaseOffset))
+    return false;
+  Out = SourceLoc{BufferId, BaseOffset + static_cast<uint32_t>(Rel)};
+  return true;
+}
+} // namespace
+
+std::optional<std::vector<Diagnostic>>
+vault::deserializeDiagnostics(std::string_view Text, uint32_t BufferId,
+                              uint32_t BaseOffset) {
+  std::vector<Diagnostic> Out;
+  LineReader R{Text};
+  std::string_view Line;
+  while (R.next(Line)) {
+    std::string_view Tag;
+    if (!takeField(Line, Tag))
+      return std::nullopt;
+    if (Tag == "D") {
+      std::string_view IdS, SevS, LocS;
+      uint64_t Id, Sev;
+      Diagnostic D;
+      if (!takeField(Line, IdS) || !takeField(Line, SevS) ||
+          !takeField(Line, LocS) ||
+          !parseUnsigned(IdS, static_cast<uint64_t>(DiagId::NumDiags) - 1,
+                         Id) ||
+          !parseUnsigned(SevS, static_cast<uint64_t>(DiagSeverity::Error),
+                         Sev) ||
+          !parseLoc(LocS, BufferId, BaseOffset, D.Loc) ||
+          !unescape(Line, D.Message))
+        return std::nullopt;
+      D.Id = static_cast<DiagId>(Id);
+      D.Severity = static_cast<DiagSeverity>(Sev);
+      Out.push_back(std::move(D));
+    } else if (Tag == "N") {
+      std::string_view LocS;
+      SourceLoc Loc;
+      std::string Msg;
+      if (Out.empty() || !takeField(Line, LocS) ||
+          !parseLoc(LocS, BufferId, BaseOffset, Loc) || !unescape(Line, Msg))
+        return std::nullopt;
+      Out.back().Notes.emplace_back(Loc, std::move(Msg));
+    } else {
+      return std::nullopt;
+    }
+  }
+  // next() stops at an unterminated final line; anything left over is
+  // a truncated file, not a valid (shorter) result.
+  if (!R.Rest.empty())
+    return std::nullopt;
+  return Out;
+}
+
 std::string DiagnosticEngine::render() const {
   std::ostringstream OS;
   for (const Diagnostic &D : Diags) {

@@ -17,6 +17,7 @@
 
 #include "support/SourceManager.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -171,6 +172,28 @@ private:
   /// diagnostic even when the diagnostic is being discarded.
   Diagnostic Discard{};
 };
+
+//===----------------------------------------------------------------------===//
+// Serialization (incremental-check cache).
+//===----------------------------------------------------------------------===//
+
+/// Serializes \p Diags to a stable, line-based text form. Locations are
+/// stored as byte offsets *relative to* \p BaseOffset so a cached entry
+/// can be replayed after the function moved within its file; every
+/// valid location must lie in the serializing function's range (same
+/// buffer, offset >= BaseOffset) — callers check this before caching.
+/// Round-trips exactly through deserializeDiagnostics, including notes,
+/// severities and invalid locations.
+std::string serializeDiagnostics(const std::vector<Diagnostic> &Diags,
+                                 uint32_t BaseOffset);
+
+/// Parses the output of serializeDiagnostics, rebasing every stored
+/// relative offset onto (\p BufferId, \p BaseOffset). Returns
+/// std::nullopt on any malformed input (truncated file, unknown id,
+/// bad escape), never a partial result.
+std::optional<std::vector<Diagnostic>>
+deserializeDiagnostics(std::string_view Text, uint32_t BufferId,
+                       uint32_t BaseOffset);
 
 } // namespace vault
 

@@ -1,0 +1,121 @@
+//===- Hash.h - Stable hashing for fingerprints -----------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free 128-bit streaming hash used for the
+/// incremental-check fingerprints. The value is stable across runs,
+/// platforms and job counts: it depends only on the bytes fed in. Not
+/// cryptographic — collisions are astronomically unlikely at 128 bits
+/// for the workloads here, but an adversarial input could forge one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_HASH_H
+#define VAULT_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vault {
+
+/// 128-bit fingerprint value.
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  friend bool operator==(const Fingerprint &A, const Fingerprint &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const Fingerprint &A, const Fingerprint &B) {
+    return !(A == B);
+  }
+
+  /// 32 lowercase hex digits.
+  std::string hex() const;
+
+  /// Parses the hex() form; returns false on malformed input.
+  static bool fromHex(std::string_view S, Fingerprint &Out);
+};
+
+/// Streaming hasher: two independent FNV-1a-style 64-bit lanes with
+/// distinct primes, finalized with an avalanche mix. Feed bytes or
+/// length-prefixed fields; the length prefix keeps adjacent fields
+/// from sliding into each other ("ab"+"c" vs "a"+"bc").
+class Hasher {
+public:
+  void bytes(const void *Data, size_t N) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I) {
+      A = (A ^ P[I]) * 0x100000001b3ULL;
+      B = (B ^ P[I]) * 0x00000100000001b3ULL ^ (B >> 29);
+    }
+  }
+
+  void str(std::string_view S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  void u64(uint64_t V) { bytes(&V, sizeof V); }
+  void u32(uint32_t V) { bytes(&V, sizeof V); }
+  void u8(uint8_t V) { bytes(&V, sizeof V); }
+
+  void fingerprint(const Fingerprint &F) {
+    u64(F.Hi);
+    u64(F.Lo);
+  }
+
+  Fingerprint finish() const {
+    auto Mix = [](uint64_t X) {
+      X ^= X >> 33;
+      X *= 0xff51afd7ed558ccdULL;
+      X ^= X >> 33;
+      X *= 0xc4ceb9fe1a85ec53ULL;
+      X ^= X >> 33;
+      return X;
+    };
+    return Fingerprint{Mix(A ^ (B << 1)), Mix(B ^ (A >> 1))};
+  }
+
+private:
+  uint64_t A = 0xcbf29ce484222325ULL;
+  uint64_t B = 0x84222325cbf29ce4ULL;
+};
+
+inline std::string Fingerprint::hex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(32, '0');
+  uint64_t W[2] = {Hi, Lo};
+  for (int P = 0; P < 2; ++P)
+    for (int I = 0; I < 16; ++I)
+      S[P * 16 + I] = Digits[(W[P] >> (60 - 4 * I)) & 0xF];
+  return S;
+}
+
+inline bool Fingerprint::fromHex(std::string_view S, Fingerprint &Out) {
+  if (S.size() != 32)
+    return false;
+  uint64_t W[2] = {0, 0};
+  for (int P = 0; P < 2; ++P)
+    for (int I = 0; I < 16; ++I) {
+      char C = S[P * 16 + I];
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else
+        return false;
+      W[P] = (W[P] << 4) | D;
+    }
+  Out = Fingerprint{W[0], W[1]};
+  return true;
+}
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_HASH_H

@@ -13,9 +13,16 @@ uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
   B.Name = std::move(Name);
   B.Text = std::move(Text);
   B.LineStarts.push_back(0);
-  for (uint32_t I = 0, E = static_cast<uint32_t>(B.Text.size()); I != E; ++I)
+  // Line terminators: "\n", "\r\n" (one line break, starting after the
+  // '\n'), and a lone "\r" (classic-Mac endings). Treating the bare
+  // '\r' as a terminator keeps line/column numbers identical for LF,
+  // CRLF and CR encodings of the same text.
+  for (uint32_t I = 0, E = static_cast<uint32_t>(B.Text.size()); I != E; ++I) {
     if (B.Text[I] == '\n')
       B.LineStarts.push_back(I + 1);
+    else if (B.Text[I] == '\r' && (I + 1 == E || B.Text[I + 1] != '\n'))
+      B.LineStarts.push_back(I + 1);
+  }
   Buffers.push_back(std::move(B));
   return static_cast<uint32_t>(Buffers.size());
 }
@@ -64,7 +71,8 @@ std::string_view SourceManager::lineText(SourceLoc Loc) const {
   uint32_t End = LineIdx + 1 < B.LineStarts.size()
                      ? B.LineStarts[LineIdx + 1] - 1
                      : static_cast<uint32_t>(B.Text.size());
-  // Strip a trailing carriage return for CRLF sources.
+  // The terminator excluded above is the '\n' (LF, CRLF) or the lone
+  // '\r' (CR); for CRLF also strip the '\r' before it.
   if (End > Start && B.Text[End - 1] == '\r')
     --End;
   return std::string_view(B.Text).substr(Start, End - Start);

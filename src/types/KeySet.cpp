@@ -91,3 +91,28 @@ std::string HeldKeySet::str(const KeyTable &Keys) const {
   Out += '}';
   return Out;
 }
+
+void vault::hashKey(KeySym K, const KeyTable &Keys, Hasher &H) {
+  if (K == InvalidKey) {
+    H.u32(0);
+    return;
+  }
+  H.u32(K);
+  H.u32(Keys.displayId(K));
+  H.str(Keys.name(K));
+  H.u8(static_cast<uint8_t>(Keys.origin(K)));
+  if (const Stateset *Order = Keys.order(K)) {
+    H.u8(1);
+    Order->hashInto(H);
+  } else {
+    H.u8(0);
+  }
+}
+
+void HeldKeySet::hashInto(const KeyTable &Keys, Hasher &H) const {
+  H.u64(Entries.size());
+  for (const auto &[K, S] : Entries) {
+    hashKey(K, Keys, H);
+    S.hashInto(H);
+  }
+}

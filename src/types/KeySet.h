@@ -124,6 +124,13 @@ private:
   std::mutex CreateMutex;
 };
 
+/// Feeds a stable description of key \p K into \p H: raw id, display
+/// id, name, origin, and the defining stateset (if any). The ids are
+/// included deliberately — both can be rendered verbatim into
+/// diagnostics ("R#7", "tracked(F#3)"), so any run in which they would
+/// differ must produce a different fingerprint.
+void hashKey(KeySym K, const KeyTable &Keys, Hasher &H);
+
 /// The held-key set: finite map from keys to their current local
 /// states. Deterministically ordered for stable diagnostics.
 class HeldKeySet {
@@ -172,6 +179,10 @@ public:
   /// Renders e.g. "{R@T, S@raw}" for diagnostics; key names resolved
   /// through \p Keys.
   std::string str(const KeyTable &Keys) const;
+
+  /// Feeds a stable description of the held set (keys in deterministic
+  /// order, with states) into \p H.
+  void hashInto(const KeyTable &Keys, Hasher &H) const;
 
 private:
   std::map<KeySym, StateRef> Entries;

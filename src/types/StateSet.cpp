@@ -37,6 +37,22 @@ bool Stateset::leq(const std::string &A, const std::string &B) const {
   return RankOf[*IA] < RankOf[*IB];
 }
 
+void Stateset::hashInto(Hasher &H) const {
+  H.str(Name);
+  H.u64(States.size());
+  for (size_t I = 0; I < States.size(); ++I) {
+    H.str(States[I]);
+    H.u32(RankOf[I]);
+  }
+}
+
+void StateRef::hashInto(Hasher &H) const {
+  H.u8(static_cast<uint8_t>(K));
+  H.str(StateName);
+  H.u32(VarId);
+  H.u8(Strict);
+}
+
 std::string StateRef::str() const {
   switch (K) {
   case Kind::Top:

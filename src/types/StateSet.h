@@ -21,6 +21,8 @@
 #ifndef VAULT_TYPES_STATESET_H
 #define VAULT_TYPES_STATESET_H
 
+#include "support/Hash.h"
+
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -51,6 +53,10 @@ public:
   }
 
   const std::vector<std::string> &allStates() const { return States; }
+
+  /// Feeds a stable description of this stateset (name, states, ranks)
+  /// into \p H. Two runs that declare the same stateset hash equal.
+  void hashInto(Hasher &H) const;
 
 private:
   std::optional<unsigned> indexOf(const std::string &State) const;
@@ -103,6 +109,13 @@ public:
   bool strictBound() const { return Strict; }
 
   std::string str() const;
+
+  /// Feeds a stable description of this state expression into \p H.
+  /// Var ids are hashed as-is: they are deterministic for a fixed
+  /// program (see Elaborator::seedStateVarCounter) and rendered
+  /// verbatim into diagnostics, so a fingerprint *must* change when
+  /// they do.
+  void hashInto(Hasher &H) const;
 
   friend bool operator==(const StateRef &A, const StateRef &B) {
     if (A.K != B.K)

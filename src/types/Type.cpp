@@ -348,3 +348,127 @@ bool vault::typeCarriesKeys(const Type *T) {
   }
   return false;
 }
+
+//===----------------------------------------------------------------------===//
+// Stable hashing (incremental-check fingerprints).
+//===----------------------------------------------------------------------===//
+
+static void hashGenArg(const GenArg &A, const KeyTable &Keys, Hasher &H) {
+  H.u8(static_cast<uint8_t>(A.K));
+  switch (A.K) {
+  case Kind::Type:
+    hashType(A.T, Keys, H);
+    return;
+  case Kind::Key:
+    hashKey(A.Key, Keys, H);
+    return;
+  case Kind::State:
+    A.State.hashInto(H);
+    return;
+  }
+}
+
+static void hashGenArgs(const std::vector<GenArg> &Args, const KeyTable &Keys,
+                        Hasher &H) {
+  H.u64(Args.size());
+  for (const GenArg &A : Args)
+    hashGenArg(A, Keys, H);
+}
+
+void vault::hashType(const Type *T, const KeyTable &Keys, Hasher &H) {
+  if (!T) {
+    H.u8(0xFF);
+    return;
+  }
+  H.u8(static_cast<uint8_t>(T->kind()));
+  switch (T->kind()) {
+  case TyKind::Prim:
+    H.u8(static_cast<uint8_t>(cast<PrimType>(T)->prim()));
+    return;
+  case TyKind::Error:
+    return;
+  case TyKind::Struct:
+    H.str(cast<StructType>(T)->decl()->name());
+    hashGenArgs(cast<StructType>(T)->args(), Keys, H);
+    return;
+  case TyKind::Abstract:
+    H.str(cast<AbstractType>(T)->decl()->name());
+    hashGenArgs(cast<AbstractType>(T)->args(), Keys, H);
+    return;
+  case TyKind::Variant:
+    H.str(cast<VariantType>(T)->decl()->name());
+    hashGenArgs(cast<VariantType>(T)->args(), Keys, H);
+    return;
+  case TyKind::Tracked:
+    hashKey(cast<TrackedType>(T)->key(), Keys, H);
+    hashType(cast<TrackedType>(T)->inner(), Keys, H);
+    return;
+  case TyKind::AnonTracked:
+    cast<AnonTrackedType>(T)->state().hashInto(H);
+    hashType(cast<AnonTrackedType>(T)->inner(), Keys, H);
+    return;
+  case TyKind::Guarded: {
+    const auto *G = cast<GuardedType>(T);
+    H.u64(G->guards().size());
+    for (const GuardedType::Guard &Gu : G->guards()) {
+      hashKey(Gu.Key, Keys, H);
+      Gu.Required.hashInto(H);
+    }
+    hashType(G->inner(), Keys, H);
+    return;
+  }
+  case TyKind::Tuple: {
+    const auto &Elems = cast<TupleType>(T)->elems();
+    H.u64(Elems.size());
+    for (const Type *E : Elems)
+      hashType(E, Keys, H);
+    return;
+  }
+  case TyKind::Array:
+    hashType(cast<ArrayType>(T)->elem(), Keys, H);
+    return;
+  case TyKind::Func:
+    hashSignature(cast<FuncType>(T)->sig(), Keys, H);
+    return;
+  case TyKind::TypeVar:
+    H.str(cast<TypeVarType>(T)->param()->Name);
+    return;
+  }
+}
+
+void vault::hashSignature(const FuncSig *Sig, const KeyTable &Keys,
+                          Hasher &H) {
+  if (!Sig) {
+    H.u8(0xFF);
+    return;
+  }
+  H.str(Sig->Name);
+  H.u8(Sig->IsLocal);
+  H.u64(Sig->SigKeys.size());
+  for (KeySym K : Sig->SigKeys)
+    hashKey(K, Keys, H);
+  H.u64(Sig->FreshKeys.size());
+  for (KeySym K : Sig->FreshKeys)
+    hashKey(K, Keys, H);
+  H.u32(Sig->NumStateVars);
+  H.u64(Sig->StateVarNames.size());
+  for (const auto &[Name, S] : Sig->StateVarNames) {
+    H.str(Name);
+    S.hashInto(H);
+  }
+  H.u64(Sig->ParamTypes.size());
+  for (size_t I = 0; I < Sig->ParamTypes.size(); ++I) {
+    hashType(Sig->ParamTypes[I], Keys, H);
+    H.str(I < Sig->ParamNames.size() ? Sig->ParamNames[I] : std::string());
+  }
+  hashType(Sig->RetType, Keys, H);
+  H.u64(Sig->Effects.size());
+  for (const EffectItem &E : Sig->Effects) {
+    H.u8(static_cast<uint8_t>(E.M));
+    hashKey(E.Key, Keys, H);
+    E.Pre.hashInto(H);
+    H.u8(E.Post.has_value());
+    if (E.Post)
+      E.Post->hashInto(H);
+  }
+}

@@ -324,6 +324,20 @@ void collectKeys(const Type *T, std::vector<KeySym> &Out);
 /// Variants are resolved through \p Memo to handle recursion.
 bool typeCarriesKeys(const Type *T);
 
+/// Feeds a stable structural description of \p T into \p H: the same
+/// (structural) type hashes equal across runs and job counts. Key
+/// symbols are hashed with their ids, names and statesets (see
+/// hashKey), state variables with their ids — both can surface
+/// verbatim in rendered diagnostics, so the hash must track them.
+void hashType(const Type *T, const KeyTable &Keys, Hasher &H);
+
+/// Feeds a stable description of an elaborated signature — parameters,
+/// return type, signature/fresh keys, state variables and the effect
+/// clause — into \p H. This is the "interface" part of a function for
+/// the incremental-check fingerprint: callers depend on it, never on
+/// the callee's body.
+void hashSignature(const FuncSig *Sig, const KeyTable &Keys, Hasher &H);
+
 } // namespace vault
 
 #endif // VAULT_TYPES_TYPE_H

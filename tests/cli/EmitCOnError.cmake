@@ -1,0 +1,31 @@
+# --emit-c on a program with protocol violations must exit non-zero and
+# emit NO C at all — not a partial translation unit. And on a clean
+# program it must exit zero with non-empty C. Run with:
+#   cmake -DVAULTC=<path> -P EmitCOnError.cmake
+
+if(NOT VAULTC)
+  message(FATAL_ERROR "pass -DVAULTC=<binary>")
+endif()
+
+execute_process(COMMAND ${VAULTC} --emit-c figures/fig2_leaky
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "--emit-c on an erroring program exited 0")
+endif()
+if(NOT "${OUT}" STREQUAL "")
+  message(FATAL_ERROR "--emit-c on an erroring program wrote to stdout:\n${OUT}")
+endif()
+if(NOT "${ERR}" MATCHES "protocol violations found")
+  message(FATAL_ERROR "expected the violation summary on stderr, got:\n${ERR}")
+endif()
+
+execute_process(COMMAND ${VAULTC} --emit-c figures/fig2_okay
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "--emit-c on a clean program exited ${RC}:\n${ERR}")
+endif()
+if("${OUT}" STREQUAL "")
+  message(FATAL_ERROR "--emit-c on a clean program emitted nothing")
+endif()
+
+message(STATUS "emit-c error handling OK")

@@ -1,0 +1,67 @@
+# Cross-checks `vaultc --help` against the flags the driver actually
+# parses: (1) every flag the option loop compares against must appear
+# in the help text, and (2) every flag the help text advertises must be
+# accepted by the binary (no "unknown option"). Run with:
+#   cmake -DVAULTC=<path> -DVAULTC_SOURCE=<tools/vaultc.cpp> -P UsageRoundTrip.cmake
+
+if(NOT VAULTC OR NOT VAULTC_SOURCE)
+  message(FATAL_ERROR "pass -DVAULTC=<binary> -DVAULTC_SOURCE=<vaultc.cpp>")
+endif()
+
+execute_process(COMMAND ${VAULTC} --help
+  RESULT_VARIABLE HELP_RC OUTPUT_VARIABLE HELP_OUT ERROR_VARIABLE HELP_ERR)
+if(NOT HELP_RC EQUAL 0)
+  message(FATAL_ERROR "vaultc --help exited with ${HELP_RC}")
+endif()
+set(HELP_TEXT "${HELP_OUT}${HELP_ERR}")
+
+string(REGEX MATCHALL "--[a-z][a-z-]*" HELP_FLAGS "${HELP_TEXT}")
+list(REMOVE_DUPLICATES HELP_FLAGS)
+
+# Flags the driver's option loop parses: the string literals it
+# compares arguments against ('A == "--x"' and 'A.rfind("--x=", 0)').
+file(READ ${VAULTC_SOURCE} SRC)
+string(REGEX MATCHALL "A == \"(--[a-z][a-z-]*)\"" EQ_MATCHES "${SRC}")
+string(REGEX MATCHALL "A\\.rfind\\(\"(--[a-z][a-z-]*)=" PREFIX_MATCHES "${SRC}")
+set(PARSED_FLAGS "")
+foreach(M ${EQ_MATCHES} ${PREFIX_MATCHES})
+  string(REGEX MATCH "--[a-z][a-z-]*" F "${M}")
+  list(APPEND PARSED_FLAGS ${F})
+endforeach()
+list(REMOVE_DUPLICATES PARSED_FLAGS)
+list(LENGTH PARSED_FLAGS N_PARSED)
+if(N_PARSED LESS 5)
+  message(FATAL_ERROR "flag extraction from ${VAULTC_SOURCE} looks broken: "
+    "only found '${PARSED_FLAGS}'")
+endif()
+
+# (1) Usage completeness: every parsed flag is documented.
+foreach(F ${PARSED_FLAGS})
+  list(FIND HELP_FLAGS ${F} IDX)
+  if(IDX EQUAL -1)
+    message(FATAL_ERROR "flag '${F}' is parsed by vaultc but missing from "
+      "--help output:\n${HELP_TEXT}")
+  endif()
+endforeach()
+
+# (2) Usage honesty: every documented flag is accepted. Value-taking
+# flags get a value; everything else is probed bare against a tiny
+# clean corpus program.
+foreach(F ${HELP_FLAGS})
+  if(F STREQUAL "--help")
+    continue() # Probed above.
+  elseif(F STREQUAL "--jobs")
+    set(PROBE ${F} 1)
+  elseif(F STREQUAL "--cache-dir")
+    set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-cache)
+  else()
+    set(PROBE ${F})
+  endif()
+  execute_process(COMMAND ${VAULTC} ${PROBE} figures/fig2_okay
+    RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+  if("${ERR}" MATCHES "unknown option")
+    message(FATAL_ERROR "flag '${F}' is in --help but rejected: ${ERR}")
+  endif()
+endforeach()
+
+message(STATUS "usage round trip OK: ${PARSED_FLAGS}")

@@ -1,0 +1,50 @@
+# End-to-end incremental-check acceptance: run every corpus program
+# twice against one shared --cache-dir; the second (warm) run must
+# report zero per-function flow checks in --stats and produce the same
+# stderr and exit code as the cold run. Run with:
+#   cmake -DVAULTC=<path> -DCORPUS_DIR=<repo/corpus> -DCACHE_DIR=<tmp> -P WarmCache.cmake
+
+if(NOT VAULTC OR NOT CORPUS_DIR OR NOT CACHE_DIR)
+  message(FATAL_ERROR
+    "pass -DVAULTC=<binary> -DCORPUS_DIR=<corpus> -DCACHE_DIR=<tmp dir>")
+endif()
+
+file(REMOVE_RECURSE ${CACHE_DIR})
+
+file(GLOB_RECURSE PROGRAMS RELATIVE ${CORPUS_DIR} ${CORPUS_DIR}/*.vlt)
+list(FILTER PROGRAMS EXCLUDE REGEX "^include/")
+list(LENGTH PROGRAMS N_PROGRAMS)
+if(N_PROGRAMS LESS 10)
+  message(FATAL_ERROR "corpus glob found only ${N_PROGRAMS} programs")
+endif()
+
+set(TOTAL_WARM_CHECKS 0)
+foreach(P ${PROGRAMS})
+  string(REGEX REPLACE "\\.vlt$" "" NAME ${P})
+
+  execute_process(COMMAND ${VAULTC} --stats --cache-dir ${CACHE_DIR} ${NAME}
+    RESULT_VARIABLE COLD_RC OUTPUT_VARIABLE COLD_OUT ERROR_VARIABLE COLD_ERR)
+  execute_process(COMMAND ${VAULTC} --stats --cache-dir ${CACHE_DIR} ${NAME}
+    RESULT_VARIABLE WARM_RC OUTPUT_VARIABLE WARM_OUT ERROR_VARIABLE WARM_ERR)
+
+  if(NOT COLD_RC EQUAL WARM_RC)
+    message(FATAL_ERROR
+      "${NAME}: exit code changed cold=${COLD_RC} warm=${WARM_RC}")
+  endif()
+  if(NOT "${COLD_ERR}" STREQUAL "${WARM_ERR}")
+    message(FATAL_ERROR "${NAME}: warm stderr differs from cold:\n"
+      "--- cold ---\n${COLD_ERR}\n--- warm ---\n${WARM_ERR}")
+  endif()
+
+  if(NOT "${WARM_OUT}" MATCHES "flow checks run:[ ]*([0-9]+)")
+    message(FATAL_ERROR "${NAME}: no 'flow checks run' in --stats:\n${WARM_OUT}")
+  endif()
+  math(EXPR TOTAL_WARM_CHECKS "${TOTAL_WARM_CHECKS} + ${CMAKE_MATCH_1}")
+  if(NOT CMAKE_MATCH_1 EQUAL 0)
+    message(FATAL_ERROR
+      "${NAME}: warm run still performed ${CMAKE_MATCH_1} flow check(s)")
+  endif()
+endforeach()
+
+message(STATUS
+  "warm cache OK: ${N_PROGRAMS} programs, ${TOTAL_WARM_CHECKS} warm flow checks")

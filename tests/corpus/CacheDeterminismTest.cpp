@@ -1,0 +1,188 @@
+//===- CacheDeterminismTest.cpp - warm vs cold cache byte-identity --------===//
+//
+// The incremental-check contract: with --cache-dir, a warm re-check of
+// an unchanged program performs zero per-function flow checks and
+// replays byte-identical diagnostics — at any job count. And edits
+// invalidate precisely: a changed callee signature or stateset forces
+// dependents to re-check while untouched functions stay cached.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+/// Fresh, empty cache directory unique to the calling test.
+std::string freshCacheDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "vault-cache-" + Tag;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+std::unique_ptr<VaultCompiler> checkCached(const std::string &Name,
+                                           const std::string &Text,
+                                           const std::string &CacheDir,
+                                           unsigned Jobs = 1) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->setJobs(Jobs);
+  C->setCacheDir(CacheDir);
+  C->addSource(Name, Text);
+  C->check();
+  return C;
+}
+
+class CacheDeterminism : public ::testing::TestWithParam<corpus::ProgramInfo> {
+};
+
+TEST_P(CacheDeterminism, WarmRunReplaysColdRunByteForByte) {
+  const auto &P = GetParam();
+  std::string Text = corpus::load(P.Name);
+  ASSERT_FALSE(Text.empty());
+  std::string Tag = P.Name;
+  for (char &C : Tag)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  std::string Dir = freshCacheDir(Tag);
+
+  auto Cold = checkCached(P.Name + ".vlt", Text, Dir);
+  ASSERT_TRUE(Cold->stats().CacheEnabled) << P.Name;
+  EXPECT_EQ(Cold->stats().CacheHits, 0u) << P.Name;
+  EXPECT_EQ(Cold->stats().FlowChecksRun, Cold->stats().FunctionsChecked)
+      << P.Name;
+
+  for (unsigned Jobs : {1u, 8u}) {
+    auto Warm = checkCached(P.Name + ".vlt", Text, Dir, Jobs);
+    ASSERT_TRUE(Warm->stats().CacheEnabled) << P.Name;
+    EXPECT_EQ(Warm->stats().FlowChecksRun, 0u)
+        << P.Name << " at jobs=" << Jobs;
+    EXPECT_EQ(Warm->stats().CacheHits, Warm->stats().FunctionsWithBodies)
+        << P.Name << " at jobs=" << Jobs;
+    EXPECT_EQ(Warm->stats().CacheInvalidations, 0u) << P.Name;
+    EXPECT_EQ(Cold->diags().render(), Warm->diags().render())
+        << P.Name << " at jobs=" << Jobs;
+    EXPECT_EQ(Cold->diags().errorCount(), Warm->diags().errorCount())
+        << P.Name;
+    EXPECT_EQ(P.ExpectAccept, !Warm->diags().hasErrors())
+        << P.PaperRef << ":\n"
+        << Warm->diags().render();
+    // Replay preserves the per-function observability stats too.
+    ASSERT_EQ(Cold->stats().PerFunction.size(),
+              Warm->stats().PerFunction.size());
+    for (size_t I = 0; I < Cold->stats().PerFunction.size(); ++I) {
+      EXPECT_EQ(Cold->stats().PerFunction[I].Name,
+                Warm->stats().PerFunction[I].Name);
+      EXPECT_EQ(Cold->stats().PerFunction[I].MaxHeldKeys,
+                Warm->stats().PerFunction[I].MaxHeldKeys)
+          << P.Name << " function " << Cold->stats().PerFunction[I].Name;
+    }
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, CacheDeterminism, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(CacheInvalidation, CalleeSignatureEditRechecksCallersOnly) {
+  const char *Before = "key L;\n"
+                       "void acquire() [ +L ];\n"
+                       "void release() [ -L ];\n"
+                       "void user() { acquire(); release(); }\n"
+                       "void bystander() { int x = 1; }\n";
+  // Adding a parameter to release() changes its signature: user()
+  // must re-check (and now errors), bystander() must stay cached.
+  const char *After = "key L;\n"
+                      "void acquire() [ +L ];\n"
+                      "void release(int why) [ -L ];\n"
+                      "void user() { acquire(); release(); }\n"
+                      "void bystander() { int x = 1; }\n";
+  std::string Dir = freshCacheDir("callee-sig-edit");
+
+  auto Cold = checkCached("p.vlt", Before, Dir);
+  ASSERT_TRUE(Cold->stats().CacheEnabled);
+  EXPECT_FALSE(Cold->diags().hasErrors()) << Cold->diags().render();
+  EXPECT_EQ(Cold->stats().FlowChecksRun, 2u);
+
+  auto Edited = checkCached("p.vlt", After, Dir);
+  ASSERT_TRUE(Edited->stats().CacheEnabled);
+  EXPECT_TRUE(Edited->diags().hasErrors());
+  EXPECT_EQ(Edited->stats().CacheHits, 1u) << "bystander stays cached";
+  EXPECT_EQ(Edited->stats().CacheMisses, 1u) << "user re-checks";
+  EXPECT_EQ(Edited->stats().CacheInvalidations, 1u);
+  EXPECT_EQ(Edited->stats().FlowChecksRun, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheInvalidation, StatesetEditRechecksDependents) {
+  const char *Before = "stateset ORDER = [ raw < cooked ];\n"
+                       "key K @ ORDER;\n"
+                       "void cook() [ K@raw -> cooked ];\n"
+                       "void user() [ K@raw -> cooked ] { cook(); }\n"
+                       "void bystander() { int x = 1; }\n";
+  // Renaming a state invalidates everything that can see the
+  // stateset (through key K), but not the unrelated bystander.
+  const char *After = "stateset ORDER = [ rare < cooked ];\n"
+                      "key K @ ORDER;\n"
+                      "void cook() [ K@raw -> cooked ];\n"
+                      "void user() [ K@raw -> cooked ] { cook(); }\n"
+                      "void bystander() { int x = 1; }\n";
+  std::string Dir = freshCacheDir("stateset-edit");
+
+  auto Cold = checkCached("s.vlt", Before, Dir);
+  ASSERT_TRUE(Cold->stats().CacheEnabled);
+  EXPECT_FALSE(Cold->diags().hasErrors()) << Cold->diags().render();
+
+  auto Edited = checkCached("s.vlt", After, Dir);
+  ASSERT_TRUE(Edited->stats().CacheEnabled);
+  EXPECT_GE(Edited->stats().CacheInvalidations, 1u) << "user must re-check";
+  EXPECT_GE(Edited->stats().CacheHits, 1u) << "bystander stays cached";
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheBehavior, KeyTracingBypassesTheCache) {
+  std::string Text = corpus::load("figures/fig2_okay");
+  ASSERT_FALSE(Text.empty());
+  std::string Dir = freshCacheDir("tracing");
+  auto C = std::make_unique<VaultCompiler>();
+  C->setCacheDir(Dir);
+  C->enableKeyTrace();
+  C->addSource("fig2.vlt", Text);
+  C->check();
+  EXPECT_FALSE(C->stats().CacheEnabled);
+  EXPECT_FALSE(C->keyTrace().empty());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheBehavior, CorruptEntryIsAMissNotAnError) {
+  std::string Text = corpus::load("figures/fig5_join");
+  ASSERT_FALSE(Text.empty());
+  std::string Dir = freshCacheDir("corrupt");
+  auto Cold = checkCached("fig5.vlt", Text, Dir);
+  ASSERT_TRUE(Cold->stats().CacheEnabled);
+
+  // Truncate every stored entry; the warm run must fall back to
+  // re-checking and still produce identical output.
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".vfc")
+      std::ofstream(E.path(), std::ios::trunc) << "VFC 1\nmax-held 0\nD trunc";
+  auto Warm = checkCached("fig5.vlt", Text, Dir);
+  ASSERT_TRUE(Warm->stats().CacheEnabled);
+  EXPECT_EQ(Warm->stats().CacheHits, 0u);
+  EXPECT_EQ(Warm->stats().FlowChecksRun, Warm->stats().FunctionsChecked);
+  EXPECT_EQ(Cold->diags().render(), Warm->diags().render());
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

@@ -154,3 +154,64 @@ TEST(Lexer, PositionSaveRestore) {
 }
 
 } // namespace
+
+TEST(Lexer, CrlfTokensMatchLfLineAndColumn) {
+  // The same program in LF and CRLF encodings lexes to the same token
+  // stream, with every token at the same line and column. (Byte
+  // offsets differ; diagnostics render line/column, so those are what
+  // must agree.)
+  static SourceManager SM;
+  static DiagnosticEngine Diags(SM);
+  std::string Lf = "key L;\nvoid f() {\n  int x = 1;\n}\n";
+  std::string Crlf;
+  for (char C : Lf)
+    Crlf += C == '\n' ? std::string("\r\n") : std::string(1, C);
+  uint32_t LfId = SM.addBuffer("lf.vlt", Lf);
+  uint32_t CrlfId = SM.addBuffer("crlf.vlt", Crlf);
+  auto LfToks = Lexer(SM, LfId, Diags).lexAll();
+  auto CrlfToks = Lexer(SM, CrlfId, Diags).lexAll();
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  ASSERT_EQ(LfToks.size(), CrlfToks.size());
+  for (size_t I = 0; I < LfToks.size(); ++I) {
+    EXPECT_EQ(LfToks[I].Kind, CrlfToks[I].Kind) << "token " << I;
+    EXPECT_EQ(LfToks[I].Text, CrlfToks[I].Text) << "token " << I;
+    PresumedLoc A = SM.presumed(LfToks[I].Loc);
+    PresumedLoc B = SM.presumed(CrlfToks[I].Loc);
+    EXPECT_EQ(A.Line, B.Line) << "token " << I;
+    EXPECT_EQ(A.Column, B.Column) << "token " << I;
+  }
+}
+
+TEST(Lexer, LoneCrEndsLineComment) {
+  // A '//' comment ends at a bare '\r' (classic-Mac line break), not
+  // only at '\n' — otherwise the comment would swallow the next line.
+  static SourceManager SM;
+  static DiagnosticEngine Diags(SM);
+  uint32_t Id = SM.addBuffer("crcomment.vlt", "// comment\rkey L;");
+  auto Toks = Lexer(SM, Id, Diags).lexAll();
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_TRUE(Toks[0].is(TokKind::KwKey));
+  EXPECT_EQ(SM.presumed(Toks[0].Loc).Line, 2u);
+}
+
+TEST(Lexer, CrTerminatesStringLiteral) {
+  // A raw '\r' inside a string literal ends the line, so the literal
+  // is unterminated — and the '\r' must never be decoded into the
+  // string's contents.
+  unsigned Errors = 0;
+  auto Toks = lexAll("\"ab\rcd\"", &Errors);
+  EXPECT_GE(Errors, 1u);
+  ASSERT_FALSE(Toks.empty());
+  EXPECT_TRUE(Toks[0].is(TokKind::StringLiteral));
+  EXPECT_EQ(Toks[0].Text.find('\r'), std::string::npos);
+}
+
+TEST(Lexer, TabBeforeTokenCountsOneColumn) {
+  static SourceManager SM;
+  static DiagnosticEngine Diags(SM);
+  uint32_t Id = SM.addBuffer("tabtok.vlt", "\t\tkey L;");
+  auto Toks = Lexer(SM, Id, Diags).lexAll();
+  ASSERT_GE(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokKind::KwKey));
+  EXPECT_EQ(SM.presumed(Toks[0].Loc).Column, 3u);
+}

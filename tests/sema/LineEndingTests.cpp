@@ -1,0 +1,79 @@
+//===- LineEndingTests.cpp - LF / CRLF / CR diagnostic identity -----------===//
+//
+// The same program must produce byte-identical rendered diagnostics no
+// matter how its lines are terminated: column drift on CRLF or lone-CR
+// input would break editors that jump to reported positions, and would
+// defeat the incremental cache's byte-identical-replay contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Checker.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+/// A program with one flow error (a leaked region) and a tab-indented
+/// body, exercising carets, notes and column math.
+const char *LfProgram = "interface REGION {\n"
+                        "\ttype region;\n"
+                        "\ttracked(R) region create() [new R];\n"
+                        "\tvoid delete(tracked(R) region) [-R];\n"
+                        "}\n"
+                        "extern module Region : REGION;\n"
+                        "void leaky() {\n"
+                        "\ttracked region r = Region.create();\n"
+                        "}\n";
+
+std::string withEnding(const std::string &Lf, const std::string &Eol) {
+  std::string Out;
+  for (char C : Lf)
+    if (C == '\n')
+      Out += Eol;
+    else
+      Out += C;
+  return Out;
+}
+
+std::string renderOf(const std::string &Text) {
+  auto C = checkVaultSource("t.vlt", Text);
+  EXPECT_TRUE(C->diags().hasErrors());
+  return C->diags().render();
+}
+
+TEST(LineEndings, CrlfRendersIdenticallyToLf) {
+  EXPECT_EQ(renderOf(LfProgram), renderOf(withEnding(LfProgram, "\r\n")));
+}
+
+TEST(LineEndings, LoneCrRendersIdenticallyToLf) {
+  EXPECT_EQ(renderOf(LfProgram), renderOf(withEnding(LfProgram, "\r")));
+}
+
+TEST(LineEndings, TabIndentedCaretReproducesTabs) {
+  // The caret line re-emits the source line's tabs, so the caret sits
+  // under the offending token at any tab width.
+  std::string R = renderOf(LfProgram);
+  EXPECT_NE(R.find("\ttracked region r"), std::string::npos) << R;
+  EXPECT_NE(R.find("\t"), std::string::npos);
+}
+
+TEST(LineEndings, LineCommentsEndAtEveryTerminator) {
+  // A '//' comment must not swallow the following line under CR or
+  // CRLF endings: this program is clean under all three.
+  std::string Lf = "// header comment\n"
+                   "key L;\n"
+                   "void ok() {\n"
+                   "\tint x = 1; // trailing comment\n"
+                   "}\n";
+  for (const char *Eol : {"\n", "\r\n", "\r"}) {
+    auto C = checkVaultSource("c.vlt", withEnding(Lf, Eol));
+    EXPECT_FALSE(C->diags().hasErrors())
+        << "ending " << (Eol[0] == '\n' ? "LF" : Eol[1] ? "CRLF" : "CR")
+        << ":\n"
+        << C->diags().render();
+  }
+}
+
+} // namespace

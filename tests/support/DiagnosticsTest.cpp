@@ -85,3 +85,85 @@ TEST(DiagName, AllIdsHaveNames) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialization round trip (incremental-check cache).
+//===----------------------------------------------------------------------===//
+
+TEST_F(DiagnosticsTest, SerializationRoundTripsExactly) {
+  std::vector<Diagnostic> In;
+  Diagnostic A;
+  A.Id = DiagId::FlowKeyLeaked;
+  A.Severity = DiagSeverity::Error;
+  A.Loc = SM.locInBuffer(BufferId, 9);
+  A.Message = "key 'R' leaked\twith tab,\nnewline and back\\slash";
+  A.Notes.emplace_back(SM.locInBuffer(BufferId, 12), "origin here");
+  A.Notes.emplace_back(SourceLoc{}, "note with no location");
+  In.push_back(A);
+  Diagnostic B;
+  B.Id = DiagId::SemaUnknownName;
+  B.Severity = DiagSeverity::Warning;
+  B.Loc = SourceLoc{}; // Invalid location survives the trip.
+  B.Message = "";      // Empty message too.
+  In.push_back(B);
+
+  std::string Text = serializeDiagnostics(In, /*BaseOffset=*/9);
+  auto Out = deserializeDiagnostics(Text, BufferId, /*BaseOffset=*/9);
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 2u);
+  EXPECT_EQ((*Out)[0].Id, A.Id);
+  EXPECT_EQ((*Out)[0].Severity, A.Severity);
+  EXPECT_EQ((*Out)[0].Loc, A.Loc);
+  EXPECT_EQ((*Out)[0].Message, A.Message);
+  ASSERT_EQ((*Out)[0].Notes.size(), 2u);
+  EXPECT_EQ((*Out)[0].Notes[0].first, A.Notes[0].first);
+  EXPECT_EQ((*Out)[0].Notes[0].second, A.Notes[0].second);
+  EXPECT_FALSE((*Out)[0].Notes[1].first.isValid());
+  EXPECT_EQ((*Out)[1].Id, B.Id);
+  EXPECT_EQ((*Out)[1].Severity, B.Severity);
+  EXPECT_FALSE((*Out)[1].Loc.isValid());
+  EXPECT_EQ((*Out)[1].Message, "");
+}
+
+TEST_F(DiagnosticsTest, SerializationRebasesLocations) {
+  // Locations are stored relative to the base offset, so a cached
+  // entry replays correctly after its function moved within the file:
+  // deserializing at a different base shifts every valid location by
+  // the same amount, leaving invalid locations untouched.
+  std::vector<Diagnostic> In;
+  Diagnostic D;
+  D.Id = DiagId::FlowGuardNotHeld;
+  D.Severity = DiagSeverity::Error;
+  D.Loc = SM.locInBuffer(BufferId, 14);
+  D.Message = "m";
+  D.Notes.emplace_back(SourceLoc{}, "n");
+  In.push_back(D);
+
+  std::string Text = serializeDiagnostics(In, /*BaseOffset=*/10);
+  auto Out = deserializeDiagnostics(Text, BufferId, /*BaseOffset=*/3);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)[0].Loc.Offset, 7u); // 14 - 10 + 3.
+  EXPECT_EQ((*Out)[0].Loc.BufferId, BufferId);
+  EXPECT_FALSE((*Out)[0].Notes[0].first.isValid());
+}
+
+TEST_F(DiagnosticsTest, DeserializationRejectsMalformedInput) {
+  // Strictness: any malformed entry yields nullopt, never a partial
+  // or garbage result a replay could then render.
+  EXPECT_FALSE(deserializeDiagnostics("garbage\n", 1, 0).has_value());
+  EXPECT_FALSE(deserializeDiagnostics("D 0 2 0 ok", 1, 0).has_value())
+      << "unterminated final line";
+  EXPECT_FALSE(deserializeDiagnostics("D 99999 2 0 m\n", 1, 0).has_value())
+      << "diag id out of range";
+  EXPECT_FALSE(deserializeDiagnostics("D 0 7 0 m\n", 1, 0).has_value())
+      << "severity out of range";
+  EXPECT_FALSE(deserializeDiagnostics("D 0 2 x m\n", 1, 0).has_value())
+      << "bad location field";
+  EXPECT_FALSE(deserializeDiagnostics("D 0 2 0 bad\\escape\n", 1, 0)
+                   .has_value())
+      << "unknown escape";
+  EXPECT_FALSE(deserializeDiagnostics("N 0 orphan note\n", 1, 0).has_value())
+      << "note before any diagnostic";
+  EXPECT_TRUE(deserializeDiagnostics("", 1, 0).has_value())
+      << "empty input is a valid empty result";
+}

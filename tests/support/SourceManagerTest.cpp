@@ -55,3 +55,47 @@ TEST(SourceManager, MissingFile) {
   SourceManager SM;
   EXPECT_FALSE(SM.addFile("/nonexistent/path/x.vlt").has_value());
 }
+
+TEST(SourceManager, LoneCRLineEndings) {
+  // Classic-Mac endings: a bare '\r' terminates a line exactly like
+  // '\n' or "\r\n" would, so the same text has the same line/column
+  // numbers in all three encodings.
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("cr.vlt", "ab\rcd\ref");
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 0)).Line, 1u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 3)).Line, 2u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 3)).Column, 1u);
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 6)).Line, 3u);
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 0)), "ab");
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 3)), "cd");
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 6)), "ef");
+}
+
+TEST(SourceManager, CrlfMatchesLfPositions) {
+  SourceManager SM;
+  uint32_t Lf = SM.addBuffer("lf.vlt", "ab\ncd\nef");
+  uint32_t Crlf = SM.addBuffer("crlf.vlt", "ab\r\ncd\r\nef");
+  // The same character ('c', 'e') gets the same line and column in
+  // both encodings, even though its byte offset differs.
+  PresumedLoc CLf = SM.presumed(SM.locInBuffer(Lf, 3));
+  PresumedLoc CCrlf = SM.presumed(SM.locInBuffer(Crlf, 4));
+  EXPECT_EQ(CLf.Line, CCrlf.Line);
+  EXPECT_EQ(CLf.Column, CCrlf.Column);
+  PresumedLoc ELf = SM.presumed(SM.locInBuffer(Lf, 6));
+  PresumedLoc ECrlf = SM.presumed(SM.locInBuffer(Crlf, 8));
+  EXPECT_EQ(ELf.Line, ECrlf.Line);
+  EXPECT_EQ(ELf.Column, ECrlf.Column);
+  // And the rendered line text is CR-free either way.
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Crlf, 0)), "ab");
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Crlf, 4)), "cd");
+}
+
+TEST(SourceManager, TabsOccupyOneColumn) {
+  // Columns are byte-based: a tab advances the column by one, and
+  // diagnostic rendering re-emits the tab in the caret line so the
+  // caret still lines up visually.
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("tab.vlt", "\tkey L;");
+  EXPECT_EQ(SM.presumed(SM.locInBuffer(Id, 1)).Column, 2u);
+  EXPECT_EQ(SM.lineText(SM.locInBuffer(Id, 1)), "\tkey L;");
+}

@@ -5,19 +5,9 @@
 // Usage:
 //   vaultc [options] <file.vlt | corpus-name>
 //
-// Options:
-//   --check      Parse and type-check (default).
-//   --emit-c     Lower to C on stdout after checking.
-//   --run        Interpret main() after checking (runs even if
-//                checking fails, to demonstrate the dynamic oracle).
-//   --dump-ast   Pretty-print the parsed program.
-//   --dump-cfg   Print each function's control-flow graph as dot.
-//   --jobs N     Flow-check function bodies on N worker threads
-//                (default: hardware concurrency). Output is identical
-//                at any job count.
-//   --stats      Print checker statistics, including per-function
-//                wall-time and held-key-set-size histograms.
-//   --trace-keys Print the held-key set after every statement.
+// See usage() below for the option list; it is the single source of
+// truth and a CLI test cross-checks it against the flags this file
+// actually parses.
 //
 // Inputs may be files or corpus program names (e.g. figures/fig2_okay);
 // `//!include name.vlt` lines resolve against corpus/include. A
@@ -41,19 +31,53 @@ using namespace vault;
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: vaultc [--check|--emit-c|--run|--dump-ast|--dump-cfg|--stats] "
-      "[--jobs N] <file.vlt|corpus-name>...\n");
+      "usage: vaultc [options] <file.vlt|corpus-name>...\n"
+      "\n"
+      "modes (mutually exclusive):\n"
+      "  --check           parse and protocol-check only (default)\n"
+      "  --emit-c          lower to C on stdout after a clean check\n"
+      "  --run             interpret main() after checking (the dynamic\n"
+      "                    oracle; runs even when checking fails)\n"
+      "  --dump-ast        pretty-print the parsed program\n"
+      "  --dump-cfg        print each function's control-flow graph as dot\n"
+      "\n"
+      "options:\n"
+      "  --jobs N          flow-check bodies on N worker threads; 0 or\n"
+      "                    omitted means hardware concurrency. Output is\n"
+      "                    byte-identical at any job count.\n"
+      "  --cache-dir DIR   reuse per-function flow-check results across\n"
+      "                    runs (incremental checking); DIR is created on\n"
+      "                    demand\n"
+      "  --stats           print checker statistics (counts, cache\n"
+      "                    hits/misses, wall-time and held-key histograms)\n"
+      "  --trace-keys      print the held-key set after every statement\n"
+      "  --help, -h        show this help\n");
 }
 
 int main(int Argc, char **Argv) {
   bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
        Stats = false, TraceKeys = false;
   unsigned Jobs = 0; // 0 = hardware concurrency.
+  std::string CacheDir;
   std::vector<std::string> Inputs;
+  // The output modes are mutually exclusive; remember which one was
+  // picked so a second one is a proper driver error, not silently
+  // combined output.
+  const char *Mode = nullptr;
+  auto SetMode = [&](const char *M) {
+    if (Mode && std::strcmp(Mode, M) != 0) {
+      std::fprintf(stderr, "vaultc: conflicting modes '%s' and '%s'\n", Mode,
+                   M);
+      return false;
+    }
+    Mode = M;
+    return true;
+  };
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--check") {
-      // Default.
+      if (!SetMode("--check"))
+        return 2;
     } else if (A == "--jobs" || A.rfind("--jobs=", 0) == 0) {
       std::string Val;
       if (A == "--jobs") {
@@ -73,13 +97,35 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Jobs = static_cast<unsigned>(N);
+    } else if (A == "--cache-dir" || A.rfind("--cache-dir=", 0) == 0) {
+      if (A == "--cache-dir") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --cache-dir requires an argument\n");
+          return 2;
+        }
+        CacheDir = Argv[++I];
+      } else {
+        CacheDir = A.substr(12);
+      }
+      if (CacheDir.empty()) {
+        std::fprintf(stderr, "vaultc: --cache-dir requires an argument\n");
+        return 2;
+      }
     } else if (A == "--emit-c") {
+      if (!SetMode("--emit-c"))
+        return 2;
       EmitC = true;
     } else if (A == "--run") {
+      if (!SetMode("--run"))
+        return 2;
       Run = true;
     } else if (A == "--dump-ast") {
+      if (!SetMode("--dump-ast"))
+        return 2;
       DumpAst = true;
     } else if (A == "--dump-cfg") {
+      if (!SetMode("--dump-cfg"))
+        return 2;
       DumpCfg = true;
     } else if (A == "--stats") {
       Stats = true;
@@ -103,6 +149,8 @@ int main(int Argc, char **Argv) {
 
   VaultCompiler C;
   C.setJobs(Jobs);
+  if (!CacheDir.empty())
+    C.setCacheDir(CacheDir);
   for (const std::string &In : Inputs) {
     std::vector<std::string> Missing;
     std::string Text = corpus::load(In, &Missing);
@@ -156,9 +204,15 @@ int main(int Argc, char **Argv) {
   if (Stats) {
     const VaultCompiler::Stats &S = C.stats();
     std::printf("functions checked: %u\n", S.FunctionsChecked);
+    std::printf("flow checks run:   %u\n", S.FlowChecksRun);
     std::printf("declarations:      %u\n", S.DeclsRegistered);
     std::printf("keys allocated:    %zu\n", C.types().keys().size());
     std::printf("jobs used:         %u\n", S.JobsUsed);
+    if (S.CacheEnabled) {
+      std::printf("cache hits:        %u\n", S.CacheHits);
+      std::printf("cache misses:      %u\n", S.CacheMisses);
+      std::printf("cache invalidated: %u\n", S.CacheInvalidations);
+    }
 
     // Per-function wall-time histogram (log buckets).
     static const double MsEdges[] = {0.01, 0.1, 1.0, 10.0};
