@@ -1,0 +1,99 @@
+//===- bench_trace.cpp - Observability overhead ---------------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Pins the cost of the observability layer. The contract is that a
+// null tracer reduces every instrumentation site to one branch, so
+// --check without --trace-json must stay within noise (~2%) of the
+// pre-instrumentation baseline; compare BM_CheckNoTracing against
+// BM_CheckTracingEnabled to see what turning the sink on costs, and
+// BM_TraceRecord/BM_TraceSerialize for the recorder in isolation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Checker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace vault;
+
+namespace {
+
+/// N functions with real flow-checking work (mirrors bench_cache's
+/// generator: allocate, touch, call the predecessor, delete).
+std::string synthProgram(unsigned N) {
+  std::ostringstream OS;
+  OS << R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+)";
+  for (unsigned I = 0; I != N; ++I) {
+    OS << "void f" << I << "() {\n"
+       << "  tracked(K" << I << ") region r = Region.create();\n"
+       << "  K" << I << ":point p = new(r) point {x=1; y=2;};\n"
+       << "  p.x++;\n";
+    if (I)
+      OS << "  f" << I - 1 << "();\n";
+    OS << "  Region.delete(r);\n}\n";
+  }
+  return OS.str();
+}
+
+/// Baseline: the instrumented pipeline with tracing disabled (null
+/// sink). This is the configuration every plain `vaultc --check` runs.
+void BM_CheckNoTracing(benchmark::State &State) {
+  std::string Src = synthProgram(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.addSource("bench.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+  }
+}
+BENCHMARK(BM_CheckNoTracing)->Arg(8)->Arg(32)->Arg(128);
+
+/// Same pipeline with a live tracer: spans are recorded (but not yet
+/// serialized).
+void BM_CheckTracingEnabled(benchmark::State &State) {
+  std::string Src = synthProgram(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    Tracer T;
+    VaultCompiler C;
+    C.setTracer(&T);
+    C.addSource("bench.vlt", Src);
+    benchmark::DoNotOptimize(C.check());
+    benchmark::DoNotOptimize(T.eventCount());
+  }
+}
+BENCHMARK(BM_CheckTracingEnabled)->Arg(8)->Arg(32)->Arg(128);
+
+/// The recorder alone: one complete() per iteration, single thread.
+void BM_TraceRecord(benchmark::State &State) {
+  Tracer T;
+  uint64_t I = 0;
+  for (auto _ : State) {
+    T.complete("span", I, I + 1);
+    ++I;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_TraceRecord);
+
+/// Serialization cost for a trace of State.range(0) events.
+void BM_TraceSerialize(benchmark::State &State) {
+  Tracer T;
+  for (int64_t I = 0; I < State.range(0); ++I)
+    T.complete("span", static_cast<uint64_t>(I), static_cast<uint64_t>(I + 1),
+               {{"i", std::to_string(I)}});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(T.json());
+}
+BENCHMARK(BM_TraceSerialize)->Arg(1000)->Arg(10000);
+
+} // namespace

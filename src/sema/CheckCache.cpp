@@ -14,8 +14,9 @@ namespace fs = std::filesystem;
 
 static constexpr const char *EntryMagic = "VFC 1";
 
-CheckCache::CheckCache(std::string Dir, std::string Unit)
-    : Dir(std::move(Dir)), Unit(std::move(Unit)) {
+CheckCache::CheckCache(std::string Dir, std::string Unit, Tracer *Trc)
+    : Dir(std::move(Dir)), Unit(std::move(Unit)), Trc(Trc) {
+  TraceSpan Span(Trc, "cache-open");
   std::error_code EC;
   fs::create_directories(this->Dir, EC);
   if (EC || !fs::is_directory(this->Dir, EC))
@@ -64,14 +65,22 @@ static bool atomicWrite(const std::string &Path, const std::string &Text) {
 }
 
 std::optional<CheckCache::CachedResult>
-CheckCache::lookup(const std::string &FuncName, const FuncCacheKey &Key) {
+CheckCache::lookup(const std::string &FuncName, const FuncCacheKey &Key,
+                   bool *Invalidated) {
+  if (Invalidated)
+    *Invalidated = false;
   if (!Usable)
     return std::nullopt;
+  TraceSpan Span(Trc, "cache-read");
+  Span.arg("function", FuncName);
   auto Miss = [&]() -> std::optional<CachedResult> {
     ++Misses;
     auto It = OldIndex.find({Unit, FuncName});
-    if (It != OldIndex.end() && It->second != Key.FP)
+    if (It != OldIndex.end() && It->second != Key.FP) {
       ++Invalidations;
+      if (Invalidated)
+        *Invalidated = true;
+    }
     return std::nullopt;
   };
 
@@ -141,6 +150,7 @@ void CheckCache::store(const std::string &FuncName, const FuncCacheKey &Key,
 void CheckCache::finalizeRun() {
   if (!Usable)
     return;
+  TraceSpan Span(Trc, "cache-finalize");
 
   // Merge: keep other units' rows, replace this unit's.
   std::map<std::pair<std::string, std::string>, Fingerprint> Merged;

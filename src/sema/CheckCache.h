@@ -28,6 +28,7 @@
 
 #include "sema/Fingerprint.h"
 #include "support/Diagnostics.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <optional>
@@ -48,15 +49,21 @@ public:
   /// loads the index. \p Unit identifies the current compilation's
   /// input set; index rows are scoped to it. On any filesystem error
   /// the cache degrades to unusable (and the checker runs uncached).
-  CheckCache(std::string Dir, std::string Unit);
+  /// \p Trc, when non-null, receives "cache-open" / "cache-read" /
+  /// "cache-finalize" spans for --trace-json.
+  CheckCache(std::string Dir, std::string Unit, Tracer *Trc = nullptr);
 
   bool usable() const { return Usable; }
 
   /// Looks up \p Key's fingerprint; on a hit, returns the stored
   /// result with diagnostic locations rebased onto the function's
   /// current chunk position. A corrupt or unreadable entry is a miss.
+  /// \p Invalidated, when non-null, is set to true iff this lookup was
+  /// a miss for a function the index knew under a different fingerprint
+  /// (the per-function "invalidated" trace tag).
   std::optional<CachedResult> lookup(const std::string &FuncName,
-                                     const FuncCacheKey &Key);
+                                     const FuncCacheKey &Key,
+                                     bool *Invalidated = nullptr);
 
   /// Stores a freshly computed result under \p Key's fingerprint.
   /// Quietly declines when a diagnostic points outside the function's
@@ -80,6 +87,7 @@ private:
 
   std::string Dir;
   std::string Unit;
+  Tracer *Trc = nullptr;
   bool Usable = false;
 
   /// index.tsv rows: (unit, function) -> fingerprint.

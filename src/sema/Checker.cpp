@@ -6,8 +6,10 @@
 #include "sema/CheckCache.h"
 #include "sema/Fingerprint.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 using namespace vault;
@@ -24,6 +26,10 @@ VaultCompiler::VaultCompiler() {
 
 bool VaultCompiler::addSource(const std::string &Name,
                               const std::string &Text) {
+  // One "parse" span covers lexing too: the lexer is pulled through
+  // the parser, never run standalone.
+  TraceSpan Span(Trc, "parse");
+  Span.arg("source", Name);
   if (!Parser::parseString(Ast, SM, *Diags, Name, Text)) {
     ParseFailed = true;
     return false;
@@ -32,6 +38,8 @@ bool VaultCompiler::addSource(const std::string &Name,
 }
 
 bool VaultCompiler::addFile(const std::string &Path) {
+  TraceSpan Span(Trc, "parse");
+  Span.arg("source", Path);
   std::optional<uint32_t> Id = SM.addFile(Path);
   if (!Id) {
     Diags->report(DiagId::RunError, SourceLoc{},
@@ -170,6 +178,7 @@ bool VaultCompiler::check() {
   }
   CheckDiagBegin = Diags->size();
   LastStats = Stats{};
+  Reg.reset();
   KeyTrace.clear();
   PendingFuncs.clear();
   FuncDeclByName.clear();
@@ -177,10 +186,15 @@ bool VaultCompiler::check() {
   Redecls.clear();
 
   // Pass 1: register every top-level name.
-  for (const Decl *D : Ast.program().Decls)
-    registerDecl(D);
+  {
+    TraceSpan Span(Trc, "register-decls");
+    for (const Decl *D : Ast.program().Decls)
+      registerDecl(D);
+    Span.arg("declarations", LastStats.DeclsRegistered);
+  }
 
   // Pass 2: elaborate all signatures (prototypes included).
+  const uint64_t ElabBegin = Trc ? Trc->nowUs() : 0;
   for (const FuncDecl *F : PendingFuncs) {
     FuncSig *Sig = Elab->elabSignature(F, nullptr, /*IsLocal=*/false);
     Globals.Functions[F->name()] = Sig;
@@ -206,6 +220,8 @@ bool VaultCompiler::check() {
       Diags->note(First->loc(), "earlier declaration is here");
     }
   }
+  if (Trc)
+    Trc->complete("elab-signatures", ElabBegin, Trc->nowUs());
 
   // Pass 3: flow-check every body. Each function is checked in full
   // isolation — its own diagnostics buffer, elaborator (state-variable
@@ -220,6 +236,9 @@ bool VaultCompiler::check() {
     /// Set when the cache already holds this function's result; the
     /// workers skip the task and the merge replays the diagnostics.
     std::optional<CheckCache::CachedResult> Cached;
+    /// Per-function cache status for trace span args; null when the
+    /// cache is off for the run.
+    const char *CacheStatus = nullptr;
   };
   struct FuncOutcome {
     std::vector<Diagnostic> Diags;
@@ -227,6 +246,11 @@ bool VaultCompiler::check() {
     TypeArena Arena;
     double WallMs = 0;
     unsigned MaxHeldKeys = 0;
+    unsigned FixpointIters = 0;
+    unsigned KeysetOps = 0;
+    unsigned Joins = 0;
+    unsigned JoinRenames = 0;
+    size_t ArenaBytes = 0;
   };
   std::vector<FuncTask> Tasks;
   for (const FuncDecl *F : PendingFuncs)
@@ -240,31 +264,42 @@ bool VaultCompiler::check() {
 
   // Incremental checking: fingerprint every function and replay cached
   // results. Key tracing bypasses the cache (traces are not stored);
-  // parse failures bypass it too — the token streams the fingerprints
-  // are built from would not match the recovered AST.
+  // --explain bypasses it too (provenance notes are not cached, and
+  // fingerprints must not depend on observability flags); parse
+  // failures bypass it because the token streams the fingerprints are
+  // built from would not match the recovered AST.
   std::unique_ptr<CheckCache> Cache;
   FingerprintMap FPMap;
-  if (!CacheDir.empty() && !TraceEnabled && !ParseFailed) {
+  if (!CacheDir.empty() && !TraceEnabled && !ExplainEnabled && !ParseFailed) {
     FingerprintMap::GlobalContext Ctx;
     Ctx.CheckerVersion = CheckerVersion;
     Ctx.KeyDisplayBase = KeyDisplayBase;
     Ctx.StateVarBase = StateVarBase;
-    if (FPMap.build(SM, Ast.program(), SigOf, TC.keys(), Ctx)) {
+    bool Fingerprinted;
+    {
+      TraceSpan Span(Trc, "fingerprint");
+      Fingerprinted = FPMap.build(SM, Ast.program(), SigOf, TC.keys(), Ctx);
+    }
+    if (Fingerprinted) {
       std::string Unit;
       for (unsigned B = 1; B <= SM.numBuffers(); ++B) {
         if (!Unit.empty())
           Unit += ";";
         Unit += SM.bufferName(B);
       }
-      Cache = std::make_unique<CheckCache>(CacheDir, Unit);
+      Cache = std::make_unique<CheckCache>(CacheDir, Unit, Trc);
       if (!Cache->usable())
         Cache.reset();
     }
   }
   if (Cache)
     for (FuncTask &T : Tasks)
-      if ((T.Key = FPMap.find(T.F)))
-        T.Cached = Cache->lookup(T.F->name(), *T.Key);
+      if ((T.Key = FPMap.find(T.F))) {
+        bool Invalidated = false;
+        T.Cached = Cache->lookup(T.F->name(), *T.Key, &Invalidated);
+        T.CacheStatus = T.Cached ? "hit" : (Invalidated ? "invalidated"
+                                                        : "miss");
+      }
 
   std::atomic<size_t> NextTask{0};
   auto RunWorker = [&] {
@@ -275,6 +310,7 @@ bool VaultCompiler::check() {
       if (Tasks[I].Cached)
         continue;
       FuncOutcome &Out = Outcomes[I];
+      TraceSpan Span(Trc, std::string("check ") += Tasks[I].F->name());
       TypeContext::ArenaScope Arena(Out.Arena);
       KeyTable::DisplayScope Display(TC.keys(), KeyDisplayBase);
       DiagnosticEngine FnDiags(SM);
@@ -283,13 +319,24 @@ bool VaultCompiler::check() {
       FlowChecker FC(FnElab, FnDiags);
       if (TraceEnabled)
         FC.setTraceSink(&Out.Trace);
+      FC.setExplain(ExplainEnabled);
       auto Start = std::chrono::steady_clock::now();
       FC.checkFunction(Tasks[I].Sig, nullptr);
       Out.WallMs = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - Start)
                        .count();
       Out.MaxHeldKeys = FC.maxHeldKeys();
+      Out.FixpointIters = FC.fixpointIterations();
+      Out.KeysetOps = FC.keysetOps();
+      Out.Joins = FC.joins();
+      Out.JoinRenames = FC.joinRenamedKeys();
+      Out.ArenaBytes = Out.Arena.bytes();
       Out.Diags = FnDiags.take();
+      Span.arg("cache-status",
+               std::string(Tasks[I].CacheStatus ? Tasks[I].CacheStatus
+                                                : "off"));
+      Span.arg("fixpoint-iterations", uint64_t(Out.FixpointIters));
+      Span.arg("peak-held-keys", uint64_t(Out.MaxHeldKeys));
     }
   };
 
@@ -299,43 +346,78 @@ bool VaultCompiler::check() {
   unsigned NJobs = Jobs ? Jobs : std::thread::hardware_concurrency();
   NJobs = std::min<size_t>(std::max(NJobs, 1u), std::max<size_t>(Uncached, 1));
   LastStats.JobsUsed = NJobs;
-  if (NJobs <= 1) {
-    RunWorker();
-  } else {
-    std::vector<std::thread> Workers;
-    Workers.reserve(NJobs);
-    for (unsigned T = 0; T < NJobs; ++T)
-      Workers.emplace_back(RunWorker);
-    for (std::thread &W : Workers)
-      W.join();
+  {
+    TraceSpan Span(Trc, "flow-check");
+    Span.arg("jobs", uint64_t(NJobs));
+    Span.arg("functions", uint64_t(Uncached));
+    if (NJobs <= 1) {
+      RunWorker();
+    } else {
+      std::vector<std::thread> Workers;
+      Workers.reserve(NJobs);
+      for (unsigned T = 0; T < NJobs; ++T)
+        Workers.emplace_back(RunWorker);
+      for (std::thread &W : Workers)
+        W.join();
+    }
   }
 
   // Deterministic merge, in source order. Cached tasks replay their
   // stored diagnostics; fresh results are stored for the next run.
-  for (size_t I = 0; I < Tasks.size(); ++I) {
-    FuncTask &T = Tasks[I];
-    if (T.Cached) {
-      for (Diagnostic &D : T.Cached->Diags)
+  // Cached functions still get a "check <fn>" span (zero-length,
+  // tagged "hit") so the trace's span inventory is identical cold and
+  // warm.
+  unsigned Stores = 0;
+  {
+    TraceSpan MergeSpan(Trc, "merge");
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      FuncTask &T = Tasks[I];
+      if (T.Cached) {
+        if (Trc) {
+          uint64_t Now = Trc->nowUs();
+          Trc->complete(std::string("check ") += T.F->name(), Now, Now,
+                        {{"cache-status", "hit"},
+                         {"fixpoint-iterations", "0"},
+                         {"peak-held-keys",
+                          std::to_string(T.Cached->MaxHeldKeys)}});
+        }
+        for (Diagnostic &D : T.Cached->Diags)
+          Diags->append(std::move(D));
+        LastStats.PerFunction.push_back(
+            Stats::FuncStat{T.F->name(), 0.0, T.Cached->MaxHeldKeys});
+        ++LastStats.FunctionsChecked;
+        continue;
+      }
+      FuncOutcome &Out = Outcomes[I];
+      if (Cache && T.Key) {
+        Cache->store(T.F->name(), *T.Key, Out.MaxHeldKeys, Out.Diags);
+        ++Stores;
+      }
+      for (Diagnostic &D : Out.Diags)
         Diags->append(std::move(D));
+      KeyTrace.insert(KeyTrace.end(),
+                      std::make_move_iterator(Out.Trace.begin()),
+                      std::make_move_iterator(Out.Trace.end()));
+      TC.adopt(std::move(Out.Arena));
       LastStats.PerFunction.push_back(
-          Stats::FuncStat{T.F->name(), 0.0, T.Cached->MaxHeldKeys});
+          Stats::FuncStat{Tasks[I].F->name(), Out.WallMs, Out.MaxHeldKeys});
       ++LastStats.FunctionsChecked;
-      continue;
+      ++LastStats.FlowChecksRun;
+      Reg.add("flow.fixpoint_iterations", Out.FixpointIters);
+      Reg.add("flow.keyset_ops", Out.KeysetOps);
+      Reg.add("flow.joins", Out.Joins);
+      Reg.add("flow.join_renamed_keys", Out.JoinRenames);
+      Reg.add("types.arena_bytes", Out.ArenaBytes);
     }
-    FuncOutcome &Out = Outcomes[I];
-    if (Cache && T.Key)
-      Cache->store(T.F->name(), *T.Key, Out.MaxHeldKeys, Out.Diags);
-    for (Diagnostic &D : Out.Diags)
-      Diags->append(std::move(D));
-    KeyTrace.insert(KeyTrace.end(), std::make_move_iterator(Out.Trace.begin()),
-                    std::make_move_iterator(Out.Trace.end()));
-    TC.adopt(std::move(Out.Arena));
-    LastStats.PerFunction.push_back(
-        Stats::FuncStat{Tasks[I].F->name(), Out.WallMs, Out.MaxHeldKeys});
-    ++LastStats.FunctionsChecked;
-    ++LastStats.FlowChecksRun;
   }
   if (Cache) {
+    // One aggregate write-back event: stores happen inline during the
+    // merge, so this records the count, not a wall-clock phase.
+    if (Trc) {
+      uint64_t Now = Trc->nowUs();
+      Trc->complete("cache-write-back", Now, Now,
+                    {{"stores", std::to_string(Stores)}});
+    }
     Cache->finalizeRun();
     LastStats.CacheEnabled = true;
     LastStats.CacheHits = Cache->hits();
@@ -343,9 +425,113 @@ bool VaultCompiler::check() {
     LastStats.CacheInvalidations = Cache->invalidations();
   }
 
+  // Populate the metrics registry. Histograms take every checked
+  // function (cache replays included, at 0 ms) so --stats matches the
+  // per-function table; flow.* counters above cover fresh checks only
+  // (a replay re-runs no fixpoint).
+  Reg.set("check.functions_checked", LastStats.FunctionsChecked);
+  Reg.set("check.functions_with_bodies", LastStats.FunctionsWithBodies);
+  Reg.set("check.declarations", LastStats.DeclsRegistered);
+  Reg.set("check.flow_checks_run", LastStats.FlowChecksRun);
+  Reg.set("check.jobs_used", LastStats.JobsUsed);
+  Reg.set("keys.allocated", TC.keys().size());
+  if (LastStats.CacheEnabled) {
+    Reg.set("cache.enabled", 1);
+    Reg.set("cache.hits", LastStats.CacheHits);
+    Reg.set("cache.misses", LastStats.CacheMisses);
+    Reg.set("cache.invalidated", LastStats.CacheInvalidations);
+  }
+  uint64_t PeakHeld = 0;
+  Metrics::Histogram &WallH =
+      Reg.histogram("flow.wall_ms", {0.01, 0.1, 1.0, 10.0});
+  Metrics::Histogram &HeldH =
+      Reg.histogram("flow.peak_held_keys", {1, 2, 3, 5, 9});
+  for (const Stats::FuncStat &FS : LastStats.PerFunction) {
+    WallH.record(FS.WallMs);
+    HeldH.record(FS.MaxHeldKeys);
+    PeakHeld = std::max<uint64_t>(PeakHeld, FS.MaxHeldKeys);
+  }
+  Reg.set("flow.peak_held_keys", PeakHeld);
+
   CheckDiagEnd = Diags->size();
   HasChecked = true;
   return !ParseFailed && !Diags->hasErrors();
+}
+
+std::string VaultCompiler::renderStatsText() const {
+  const Stats &S = LastStats;
+  std::string Out;
+  char Buf[128];
+  auto Line = [&](auto... A) {
+    std::snprintf(Buf, sizeof(Buf), A...);
+    Out += Buf;
+  };
+
+  Line("functions checked: %u\n", S.FunctionsChecked);
+  Line("flow checks run:   %u\n", S.FlowChecksRun);
+  Line("declarations:      %u\n", S.DeclsRegistered);
+  Line("keys allocated:    %zu\n", TC.keys().size());
+  Line("jobs used:         %u\n", S.JobsUsed);
+  if (S.CacheEnabled) {
+    Line("cache hits:        %u\n", S.CacheHits);
+    Line("cache misses:      %u\n", S.CacheMisses);
+    Line("cache invalidated: %u\n", S.CacheInvalidations);
+  }
+
+  // Per-function wall-time histogram (log buckets).
+  static const double MsEdges[] = {0.01, 0.1, 1.0, 10.0};
+  unsigned MsBuckets[5] = {};
+  double TotalMs = 0;
+  for (const auto &F : S.PerFunction) {
+    TotalMs += F.WallMs;
+    size_t B = 0;
+    while (B < 4 && F.WallMs >= MsEdges[B])
+      ++B;
+    ++MsBuckets[B];
+  }
+  Line("flow-check time:   %.3f ms total\n", TotalMs);
+  static const char *MsLabels[] = {"     <0.01ms", " 0.01-0.10ms",
+                                   " 0.10-1.00ms", " 1.00-10.0ms",
+                                   "     >=10ms "};
+  Out += "wall-time histogram:\n";
+  for (size_t B = 0; B < 5; ++B)
+    Line("  %s  %u\n", MsLabels[B], MsBuckets[B]);
+
+  // Held-key-set size histogram (peak per function).
+  static const unsigned HeldEdges[] = {1, 2, 3, 5, 9};
+  unsigned HeldBuckets[6] = {};
+  for (const auto &F : S.PerFunction) {
+    size_t B = 0;
+    while (B < 5 && F.MaxHeldKeys >= HeldEdges[B])
+      ++B;
+    ++HeldBuckets[B];
+  }
+  static const char *HeldLabels[] = {"   0", "   1", "   2",
+                                     " 3-4", " 5-8", " >=9"};
+  Out += "peak held-key-set size histogram:\n";
+  for (size_t B = 0; B < 6; ++B)
+    Line("  %s keys  %u\n", HeldLabels[B], HeldBuckets[B]);
+
+  // The slowest functions, for profiling batch checks.
+  std::vector<Stats::FuncStat> Sorted = S.PerFunction;
+  std::stable_sort(
+      Sorted.begin(), Sorted.end(),
+      [](const auto &A, const auto &B) { return A.WallMs > B.WallMs; });
+  size_t Top = std::min<size_t>(Sorted.size(), 5);
+  if (Top) {
+    Out += "slowest functions:\n";
+    for (size_t I = 0; I < Top; ++I)
+      Line("  %-24s %8.3f ms  (peak %u key(s))\n", Sorted[I].Name.c_str(),
+           Sorted[I].WallMs, Sorted[I].MaxHeldKeys);
+  }
+
+  // The raw registry, sorted by name, for everything the classic block
+  // doesn't break out.
+  if (!Reg.empty()) {
+    Out += "metrics registry:\n";
+    Out += Reg.renderText();
+  }
+  return Out;
 }
 
 std::unique_ptr<VaultCompiler> vault::checkVaultSource(const std::string &Name,

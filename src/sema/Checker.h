@@ -18,6 +18,8 @@
 
 #include "sema/Elaborator.h"
 #include "sema/FlowChecker.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <memory>
 
@@ -79,6 +81,36 @@ public:
   void enableKeyTrace() { TraceEnabled = true; }
   const std::vector<KeyTraceEntry> &keyTrace() const { return KeyTrace; }
 
+  /// Wires a span tracer (--trace-json) through every pass: parsing,
+  /// declaration registration, signature elaboration, fingerprinting,
+  /// per-function flow checks (tagged with worker thread, fixpoint
+  /// iteration count and cache status), cache I/O, and the merge.
+  /// Null (the default) disables tracing; instrumentation sites then
+  /// cost one branch each. Does not perturb cache fingerprints.
+  void setTracer(Tracer *T) { Trc = T; }
+  Tracer *tracer() const { return Trc; }
+
+  /// Enables provenance recording (--explain): key-related diagnostics
+  /// get notes explaining how the key got into (or left) the held set.
+  /// Bypasses the result cache for the run — cached entries never
+  /// contain provenance notes, and fingerprints stay untouched.
+  void enableExplain() { ExplainEnabled = true; }
+  bool explainEnabled() const { return ExplainEnabled; }
+
+  /// The metrics registry populated by the last check() run: counters
+  /// (check.*, cache.*, flow.*, keys.*, types.*) and histograms
+  /// (flow.wall_ms, flow.peak_held_keys). Reset at the start of every
+  /// check().
+  const Metrics &metrics() const { return Reg; }
+
+  /// Human-readable statistics dump (--stats): the classic counter
+  /// block, histograms and slowest functions, then the sorted metrics
+  /// registry. Stable-ordered; never depends on job count.
+  std::string renderStatsText() const;
+
+  /// Metrics registry as JSON (--stats-json).
+  std::string renderStatsJson() const { return Reg.renderJson(); }
+
   /// Enables the incremental-check cache rooted at \p Dir (created on
   /// demand). check() then skips flow-checking any function whose
   /// fingerprint has a cached result, replaying its stored diagnostics
@@ -133,9 +165,12 @@ private:
   GlobalSymbols Globals;
   std::unique_ptr<Elaborator> Elab;
   Stats LastStats;
+  Metrics Reg;
+  Tracer *Trc = nullptr;
   unsigned Jobs = 1;
   bool ParseFailed = false;
   bool TraceEnabled = false;
+  bool ExplainEnabled = false;
   /// Root of the incremental-check cache; empty = caching off.
   std::string CacheDir;
   std::vector<KeyTraceEntry> KeyTrace;

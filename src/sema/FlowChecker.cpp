@@ -16,6 +16,22 @@ void FlowChecker::note(SourceLoc Loc, const std::string &Msg) {
   Diags.note(Loc, Msg);
 }
 
+void FlowChecker::provStep(FlowState &St, KeySym K, SourceLoc Loc,
+                           const std::string &Desc) {
+  if (Explain)
+    St.Prov[K].push_back(ProvStep{Loc, Desc});
+}
+
+void FlowChecker::explainKey(const FlowState &St, KeySym K) {
+  if (!Explain || Diags.isSuppressed())
+    return;
+  auto It = St.Prov.find(K);
+  if (It == St.Prov.end())
+    return;
+  for (const ProvStep &P : It->second)
+    note(P.Loc, "key " + keyDesc(K) + " " + P.Desc);
+}
+
 void FlowChecker::pushScope() {
   ElabScope *Parent = Scopes.empty() ? nullptr : Scopes.back().Scope.get();
   ScopeFrame F;
@@ -50,23 +66,28 @@ const Type *FlowChecker::requireAccess(const Type *T, SourceLoc Loc,
           report(DiagId::FlowGuardNotHeld, Loc,
                  "cannot access data guarded by key " + keyDesc(Gu.Key) +
                      ": the key is not in the held-key set");
+          explainKey(St, Gu.Key);
           continue;
         }
         const StateRef &Held = St.Held.stateOf(Gu.Key);
-        if (!stateSatisfies(Held, Gu.Required, TC.keys().order(Gu.Key)))
+        if (!stateSatisfies(Held, Gu.Required, TC.keys().order(Gu.Key))) {
           report(DiagId::FlowGuardWrongState, Loc,
                  "key " + keyDesc(Gu.Key) + " is held in state '" +
                      Held.str() + "' but the guard requires '" +
                      Gu.Required.str() + "'");
+          explainKey(St, Gu.Key);
+        }
       }
       T = G->inner();
       continue;
     }
     if (const auto *Tr = dyn_cast<TrackedType>(T)) {
-      if (!St.Held.contains(Tr->key()))
+      if (!St.Held.contains(Tr->key())) {
         report(DiagId::FlowKeyNotHeld, Loc,
                "cannot access tracked object: its key " +
                    keyDesc(Tr->key()) + " is not in the held-key set");
+        explainKey(St, Tr->key());
+      }
       T = Tr->inner();
       continue;
     }
@@ -89,15 +110,20 @@ void FlowChecker::packValue(const Type *ParamT, const Type *ArgT,
         report(DiagId::FlowKeyNotHeld, Loc,
                "cannot give up key " + keyDesc(K) +
                    ": it is not in the held-key set");
+        explainKey(St, K);
         return;
       }
       const StateRef Req = substState(Anon->state(), S);
-      if (!stateSatisfies(St.Held.stateOf(K), Req, TC.keys().order(K)))
+      if (!stateSatisfies(St.Held.stateOf(K), Req, TC.keys().order(K))) {
         report(DiagId::FlowKeyWrongState, Loc,
                "key " + keyDesc(K) + " is in state '" +
                    St.Held.stateOf(K).str() + "' but must be in '" +
                    Req.str() + "' to be packed here");
+        explainKey(St, K);
+      }
       St.Held.remove(K);
+      ++KeysetOps;
+      provStep(St, K, Loc, "was given up (packed into an existential) here");
       return;
     }
     if (isa<AnonTrackedType>(ArgT))
@@ -113,12 +139,17 @@ void FlowChecker::packValue(const Type *ParamT, const Type *ArgT,
     if (TC.keys().origin(Tr->key()) == KeyTable::Origin::Existential) {
       KeySym K = S.mapKey(Tr->key());
       if (K != Tr->key()) {
-        if (!St.Held.contains(K))
+        if (!St.Held.contains(K)) {
           report(DiagId::FlowKeyNotHeld, Loc,
                  "cannot give up key " + keyDesc(K) +
                      ": it is not in the held-key set");
-        else
+          explainKey(St, K);
+        } else {
           St.Held.remove(K);
+          ++KeysetOps;
+          provStep(St, K, Loc,
+                   "was given up (packed into a tracked position) here");
+        }
       }
     }
     return;
@@ -148,13 +179,19 @@ const Type *FlowChecker::unpackValue(const AnonTrackedType *Anon,
   // Keys instantiated from internal existentials become held.
   for (const auto &[Old, New] : Fresh) {
     (void)Old;
-    if (!St.Held.contains(New))
+    if (!St.Held.contains(New)) {
       St.Held.add(New, StateRef::top());
+      ++KeysetOps;
+      provStep(St, New, Loc,
+               "was acquired by instantiating an existential here");
+    }
   }
   KeySym K = TC.keys().create(KeyName.empty() ? "unpacked" : KeyName,
                               KeyTable::Origin::Local, Loc);
   if (!St.Held.add(K, Anon->state().isVar() ? StateRef::top() : Anon->state()))
     report(DiagId::FlowKeyAlreadyHeld, Loc, "internal: fresh key collision");
+  ++KeysetOps;
+  provStep(St, K, Loc, "was acquired by unpacking a tracked value here");
   return TC.make<TrackedType>(Inner, K);
 }
 
@@ -352,6 +389,7 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
         report(DiagId::FlowKeyNotHeld, Loc,
                "calling '" + CalleeSig->Name + "' requires key " +
                    keyDesc(K) + ", which is not in the held-key set");
+        explainKey(St, K);
         break;
       }
       const StateRef Held = St.Held.stateOf(K);
@@ -364,6 +402,7 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
                  "calling '" + CalleeSig->Name + "' requires key " +
                      keyDesc(K) + " in a state satisfying '" + Req.str() +
                      "', but it is held in state '" + Held.str() + "'");
+          explainKey(St, K);
           break;
         }
         S.StateVars[Req.varId()] = Held;
@@ -372,12 +411,22 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
                "calling '" + CalleeSig->Name + "' requires key " +
                    keyDesc(K) + " in state '" + Req.str() +
                    "', but it is held in state '" + Held.str() + "'");
+        explainKey(St, K);
         break;
       }
       if (EI.M == EffectItem::Mode::Consume) {
         St.Held.remove(K);
+        ++KeysetOps;
+        provStep(St, K, Loc,
+                 "was consumed by the call to '" + CalleeSig->Name +
+                     "' (effect [-" + TC.keys().name(EI.Key) + "])");
       } else if (EI.Post) {
-        St.Held.transition(K, substState(*EI.Post, S));
+        StateRef Post = substState(*EI.Post, S);
+        St.Held.transition(K, Post);
+        ++KeysetOps;
+        provStep(St, K, Loc,
+                 "transitioned to state '" + Post.str() +
+                     "' by the call to '" + CalleeSig->Name + "'");
       }
       break;
     }
@@ -390,10 +439,17 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
         break;
       }
       StateRef Post = EI.Post ? substState(*EI.Post, S) : StateRef::top();
-      if (!St.Held.add(K, Post))
+      if (!St.Held.add(K, Post)) {
         report(DiagId::FlowKeyAlreadyHeld, Loc,
                "calling '" + CalleeSig->Name + "' would acquire key " +
                    keyDesc(K) + " which is already in the held-key set");
+        explainKey(St, K);
+      } else {
+        ++KeysetOps;
+        provStep(St, K, Loc,
+                 "was acquired by the call to '" + CalleeSig->Name +
+                     "' (effect [+" + TC.keys().name(EI.Key) + "])");
+      }
       break;
     }
     case EffectItem::Mode::Fresh: {
@@ -402,6 +458,10 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
       S.Keys[EI.Key] = Fresh;
       StateRef Post = EI.Post ? substState(*EI.Post, S) : StateRef::top();
       St.Held.add(Fresh, Post);
+      ++KeysetOps;
+      provStep(St, Fresh, Loc,
+               "was created by the call to '" + CalleeSig->Name +
+                   "' (effect [new " + TC.keys().name(EI.Key) + "])");
       break;
     }
     }
@@ -567,15 +627,21 @@ FlowChecker::ExprResult FlowChecker::checkCtor(const CtorExpr *E,
       report(DiagId::FlowKeyNotHeld, E->loc(),
              "constructing '" + E->name() + "' requires key " +
                  keyDesc(Att.Key) + ", which is not in the held-key set");
+      explainKey(St, Att.Key);
       continue;
     }
     const StateRef &Held = St.Held.stateOf(Att.Key);
-    if (!stateSatisfies(Held, Att.Required, TC.keys().order(Att.Key)))
+    if (!stateSatisfies(Held, Att.Required, TC.keys().order(Att.Key))) {
       report(DiagId::FlowKeyWrongState, E->loc(),
              "constructing '" + E->name() + "' requires key " +
                  keyDesc(Att.Key) + " in state '" + Att.Required.str() +
                  "', but it is held in state '" + Held.str() + "'");
+      explainKey(St, Att.Key);
+    }
     St.Held.remove(Att.Key);
+    ++KeysetOps;
+    provStep(St, Att.Key, E->loc(),
+             "was consumed by constructing '" + E->name() + "' here");
   }
 
   const Type *Result =
@@ -615,6 +681,8 @@ FlowChecker::ExprResult FlowChecker::checkNew(const NewExpr *E, FlowState &St) {
   if (E->isTracked()) {
     KeySym K = TC.keys().create("heap", KeyTable::Origin::Local, E->loc());
     St.Held.add(K, StateRef::top());
+    ++KeysetOps;
+    provStep(St, K, E->loc(), "was acquired by this tracked allocation");
     return ExprResult{TC.make<TrackedType>(T, K), false, nullptr};
   }
   if (E->region()) {
@@ -627,10 +695,12 @@ FlowChecker::ExprResult FlowChecker::checkNew(const NewExpr *E, FlowState &St) {
       return ExprResult{ErrTy(), false, nullptr};
     }
     KeySym RK = Tr->key();
-    if (!St.Held.contains(RK))
+    if (!St.Held.contains(RK)) {
       report(DiagId::FlowKeyNotHeld, E->loc(),
              "cannot allocate from region: its key " + keyDesc(RK) +
                  " is not in the held-key set");
+      explainKey(St, RK);
+    }
     std::vector<GuardedType::Guard> Guards{
         GuardedType::Guard{RK, StateRef::top()}};
     return ExprResult{TC.make<GuardedType>(std::move(Guards), T), false,
@@ -918,8 +988,13 @@ void FlowChecker::checkNestedFunc(const FuncDecl *F, FlowState &St,
 
   if (F->body()) {
     FlowChecker Nested(Elab, Diags);
+    Nested.Explain = Explain;
     Nested.checkFunction(NestedSig, &scope());
     MaxHeld = std::max(MaxHeld, Nested.MaxHeld);
+    FixpointIters += Nested.FixpointIters;
+    KeysetOps += Nested.KeysetOps;
+    Joins += Nested.Joins;
+    JoinRenamedKeys += Nested.JoinRenamedKeys;
   }
 }
 
@@ -936,9 +1011,17 @@ void FlowChecker::checkBlock(const BlockStmt *B, FlowState &St) {
 void FlowChecker::joinInto(FlowState &Into, const FlowState &Other,
                            SourceLoc Loc) {
   JoinResult J = joinStates(TC, Into, Other);
+  ++Joins;
+  JoinRenamedKeys += J.RenamedKeys;
   if (!J.Ok)
     report(DiagId::FlowJoinMismatch, Loc,
            "held-key sets disagree at this join point: " + J.Mismatch);
+  if (Explain)
+    for (const auto &[From, To] : J.Renamed)
+      if (J.State.Held.contains(To))
+        J.State.Prov[To].push_back(
+            ProvStep{Loc, "absorbed key '" + TC.keys().name(From) +
+                              "' at this branch join"});
   Into = std::move(J.State);
 }
 
@@ -975,11 +1058,14 @@ void FlowChecker::checkWhile(const WhileStmt *S, FlowState &St) {
   {
     DiagnosticEngine::SuppressionScope Quiet(Diags);
     for (unsigned Iter = 0; Iter != MaxLoopIterations; ++Iter) {
+      ++FixpointIters;
       FlowState CondSt = Inv;
       checkCondition(S->cond(), CondSt);
       FlowState BodySt = CondSt;
       checkStmt(S->body(), BodySt);
       JoinResult J = joinStates(TC, Inv, BodySt);
+      ++Joins;
+      JoinRenamedKeys += J.RenamedKeys;
       if (!J.Ok) {
         // Will be reported by the loud pass below via the same join.
         break;
@@ -1001,6 +1087,8 @@ void FlowChecker::checkWhile(const WhileStmt *S, FlowState &St) {
       FlowState BodySt = CondSt;
       checkStmt(S->body(), BodySt);
       JoinResult J = joinStates(TC, Inv, BodySt);
+      ++Joins;
+      JoinRenamedKeys += J.RenamedKeys;
       if (!J.Ok) {
         Diags.unsuppress();
         report(DiagId::FlowJoinMismatch, S->loc(),
@@ -1028,10 +1116,15 @@ void FlowChecker::checkFree(const FreeStmt *S, FlowState &St) {
   if (!R.Ty || R.Ty->kind() == TyKind::Error)
     return;
   if (const auto *Tr = dyn_cast<TrackedType>(R.Ty)) {
-    if (!St.Held.remove(Tr->key()))
+    if (St.Held.remove(Tr->key())) {
+      ++KeysetOps;
+      provStep(St, Tr->key(), S->loc(), "was released by this free");
+    } else {
       report(DiagId::FlowKeyNotHeld, S->loc(),
              "cannot free: key " + keyDesc(Tr->key()) +
                  " is not in the held-key set (double free?)");
+      explainKey(St, Tr->key());
+    }
     return;
   }
   if (isa<AnonTrackedType>(R.Ty))
@@ -1052,11 +1145,17 @@ void FlowChecker::checkSwitch(const SwitchStmt *S, FlowState &St) {
     // (the paper's `flag` idiom, §2.1).
     VT = dyn_cast<VariantType>(Tr->inner());
     if (VT) {
-      if (!St.Held.remove(Tr->key()))
+      if (St.Held.remove(Tr->key())) {
+        ++KeysetOps;
+        provStep(St, Tr->key(), S->loc(),
+                 "was consumed by switching on the tracked value here");
+      } else {
         report(DiagId::FlowKeyNotHeld, S->loc(),
                "cannot switch on tracked value: its key " +
                    keyDesc(Tr->key()) +
                    " is not in the held-key set (already tested?)");
+        explainKey(St, Tr->key());
+      }
     }
   } else if (const auto *Anon = dyn_cast<AnonTrackedType>(Subj.Ty)) {
     // A packed rvalue: testing it immediately releases its contents.
@@ -1102,10 +1201,17 @@ void FlowChecker::checkSwitch(const SwitchStmt *S, FlowState &St) {
         // Pattern matching restores the constructor's attached keys
         // (paper §2.1) ...
         for (const GuardedType::Guard &Att : Shape.Attachments) {
-          if (!ArmSt.Held.add(Att.Key, Att.Required))
+          if (ArmSt.Held.add(Att.Key, Att.Required)) {
+            ++KeysetOps;
+            provStep(ArmSt, Att.Key, C.Pattern.Loc,
+                     "was restored by matching '" + C.Pattern.CtorName +
+                         "' here");
+          } else {
             report(DiagId::FlowKeyAlreadyHeld, C.Pattern.Loc,
                    "matching '" + C.Pattern.CtorName + "' would restore key " +
                        keyDesc(Att.Key) + ", which is already held");
+            explainKey(ArmSt, Att.Key);
+          }
         }
         // ... and unpacks anonymous payloads under fresh keys (§2.4:
         // the keys are "anonymous" — fresh, unrelated to the ones
@@ -1142,8 +1248,12 @@ void FlowChecker::checkSwitch(const SwitchStmt *S, FlowState &St) {
         // positions become held too.
         for (const auto &[Old, New] : SharedFresh) {
           (void)Old;
-          if (!ArmSt.Held.contains(New))
+          if (!ArmSt.Held.contains(New)) {
             ArmSt.Held.add(New, StateRef::top());
+            ++KeysetOps;
+            provStep(ArmSt, New, C.Pattern.Loc,
+                     "was acquired by pattern unpacking here");
+          }
         }
       }
     }
@@ -1310,15 +1420,18 @@ void FlowChecker::checkExit(FlowState &St, Subst &RetSubst, SourceLoc Loc) {
       report(DiagId::FlowMissingAtExit, Loc,
              "function exits without key " + keyDesc(K) +
                  ", which its effect clause promises to hold");
+      explainKey(St, K);
       continue;
     }
     const StateRef &Held = St.Held.stateOf(K);
     if (!stateSatisfies(Held, ExpState, TC.keys().order(K)) &&
-        !(Held == ExpState))
+        !(Held == ExpState)) {
       report(DiagId::FlowMissingAtExit, Loc,
              "function exits with key " + keyDesc(K) + " in state '" +
                  Held.str() + "' but promises state '" + ExpState.str() +
                  "'");
+      explainKey(St, K);
+    }
   }
   for (const auto &[K, State] : St.Held) {
     (void)State;
@@ -1329,6 +1442,7 @@ void FlowChecker::checkExit(FlowState &St, Subst &RetSubst, SourceLoc Loc) {
                " is still held at function exit but is not in the "
                "declared post key set (resource leak)");
     note(TC.keys().loc(K), "key " + keyDesc(K) + " originates here");
+    explainKey(St, K);
   }
 }
 
@@ -1356,10 +1470,15 @@ void FlowChecker::checkFunction(const FuncSig *FSig, ElabScope *Enclosing) {
   FlowState St;
   for (const EffectItem &EI : Sig->Effects) {
     if (EI.M == EffectItem::Mode::Keep || EI.M == EffectItem::Mode::Consume) {
-      if (!St.Held.add(EI.Key, EI.Pre))
+      if (St.Held.add(EI.Key, EI.Pre)) {
+        ++KeysetOps;
+        provStep(St, EI.Key, EI.Loc,
+                 "is held on entry (declared in the effect clause)");
+      } else {
         report(DiagId::FlowKeyAlreadyHeld, EI.Loc,
                "key " + keyDesc(EI.Key) +
                    " appears twice in the precondition");
+      }
     }
   }
   // Parameters: bound, unpacked (paper §3.3: "function parameters are

@@ -50,9 +50,21 @@ public:
   /// Records the held-key set after every statement into \p Sink.
   void setTraceSink(std::vector<KeyTraceEntry> *Sink) { Trace = Sink; }
 
+  /// When enabled, the checker records a provenance chain per held key
+  /// (acquire, state transitions, joins, effect applications) and
+  /// attaches it as notes to key-related diagnostics (--explain).
+  void setExplain(bool On) { Explain = On; }
+
   /// Largest held-key set observed while checking (nested functions
   /// included); feeds the --stats histograms.
   unsigned maxHeldKeys() const { return MaxHeld; }
+
+  /// Observability counters, accumulated across nested functions.
+  /// Feed the flow.* metrics.
+  unsigned fixpointIterations() const { return FixpointIters; }
+  unsigned keysetOps() const { return KeysetOps; }
+  unsigned joins() const { return Joins; }
+  unsigned joinRenamedKeys() const { return JoinRenamedKeys; }
 
 private:
   struct ExprResult {
@@ -127,6 +139,14 @@ private:
   void report(DiagId Id, SourceLoc Loc, const std::string &Msg);
   void note(SourceLoc Loc, const std::string &Msg);
 
+  /// Appends one provenance step for \p K to \p St (no-op unless
+  /// --explain is on). Call at every held-set mutation site.
+  void provStep(FlowState &St, KeySym K, SourceLoc Loc,
+                const std::string &Desc);
+  /// Attaches \p K's provenance chain (if any) to the diagnostic just
+  /// reported, oldest step first. Call right after report().
+  void explainKey(const FlowState &St, KeySym K);
+
   std::string keyDesc(KeySym K) const {
     return "'" + TC.keys().name(K) + "'";
   }
@@ -152,6 +172,13 @@ private:
   int Quiet = 0;
   /// See maxHeldKeys().
   unsigned MaxHeld = 0;
+  /// See setExplain().
+  bool Explain = false;
+  /// See the accessors above.
+  unsigned FixpointIters = 0;
+  unsigned KeysetOps = 0;
+  unsigned Joins = 0;
+  unsigned JoinRenamedKeys = 0;
   /// Optional key-trace sink (see setTraceSink).
   std::vector<KeyTraceEntry> *Trace = nullptr;
 };

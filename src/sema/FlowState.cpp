@@ -16,6 +16,13 @@ FlowState vault::renameState(TypeContext &TC, const FlowState &S,
   Sub.Keys = Rename;
   for (const auto &[D, T] : S.Vars)
     Out.Vars.emplace(D, T ? substType(TC, T, Sub) : nullptr);
+  // Provenance chains follow their key through the (simultaneous)
+  // renaming; the injectivity checks in joinStates guarantee no two
+  // chains land on the same key.
+  for (const auto &[K, Steps] : S.Prov) {
+    auto It = Rename.find(K);
+    Out.Prov.emplace(It == Rename.end() ? K : It->second, Steps);
+  }
   return Out;
 }
 
@@ -117,6 +124,8 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
   }
 
   FlowState BR = renameState(TC, B, Rename);
+  R.RenamedKeys = static_cast<unsigned>(Rename.size());
+  R.Renamed = Rename;
 
   // Held-key sets must agree exactly (same keys, same states). This is
   // the check that rejects the paper's Fig. 5.
@@ -152,6 +161,11 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
   // initialized on only one path), the variable becomes uninitialized.
   R.State.Reachable = true;
   R.State.Held = A.Held;
+  // Keep A's provenance for keys both sides hold (the sets agree here,
+  // so picking one side keeps chains deterministic at any --jobs).
+  R.State.Prov = A.Prov;
+  for (const auto &[K, Steps] : BR.Prov)
+    R.State.Prov.emplace(K, Steps);
   for (const auto &[D, TA] : A.Vars) {
     auto It = BR.Vars.find(D);
     if (It == BR.Vars.end())

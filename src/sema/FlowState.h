@@ -20,16 +20,31 @@
 #ifndef VAULT_SEMA_FLOWSTATE_H
 #define VAULT_SEMA_FLOWSTATE_H
 
+#include "support/SourceManager.h"
 #include "types/Substitution.h"
 #include "types/TypeContext.h"
 
 #include <map>
+#include <vector>
 
 namespace vault {
+
+/// One step of a held key's provenance chain, recorded under --explain:
+/// where the key was acquired, changed state, survived a join, or was
+/// affected by an effect clause.
+struct ProvStep {
+  SourceLoc Loc;
+  std::string Desc;
+};
 
 class FlowState {
 public:
   HeldKeySet Held;
+  /// Provenance chains for held keys, populated only when the checker
+  /// runs with --explain. Deliberately excluded from operator==: chains
+  /// grow monotonically while a loop body is re-analyzed, so comparing
+  /// them would keep the fixpoint iteration from ever converging.
+  std::map<KeySym, std::vector<ProvStep>> Prov;
   /// Flow-sensitive types of local variables and parameters; a null
   /// type means "declared but not yet initialized". Keyed by the
   /// binding's identity (VarDecl, FuncDecl::Param, or pattern binder
@@ -63,6 +78,12 @@ struct JoinResult {
   /// Human-readable explanation when Ok is false (which key/variable
   /// disagreed).
   std::string Mismatch;
+  /// How many local keys were canonicalized (renamed) to make the two
+  /// sides agree. Feeds the flow.join_renamed_keys metric.
+  unsigned RenamedKeys = 0;
+  /// The canonicalizing renaming itself (B key -> A key), for --explain
+  /// provenance ("absorbed key ... at this branch join").
+  std::map<KeySym, KeySym> Renamed;
 };
 
 /// Joins the states flowing out of two branches. Local keys are

@@ -1,0 +1,147 @@
+//===- DiagnosticsFormat.cpp ----------------------------------------------===//
+
+#include "support/DiagnosticsFormat.h"
+
+#include "support/Diagnostics.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace vault;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+namespace {
+struct Position {
+  std::string File;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+} // namespace
+
+static Position position(const SourceManager &SM, SourceLoc Loc) {
+  Position P;
+  if (Loc.isValid()) {
+    PresumedLoc PL = SM.presumed(Loc);
+    P.File = PL.BufferName;
+    P.Line = PL.Line;
+    P.Column = PL.Column;
+  }
+  return P;
+}
+
+std::string vault::renderDiagnosticsJson(const DiagnosticEngine &Diags) {
+  const SourceManager &SM = Diags.sourceManager();
+  std::string Out = "{\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : Diags.diagnostics()) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Position P = position(SM, D.Loc);
+    Out += "    {\"id\": " + json::str(diagName(D.Id)) +
+           ", \"severity\": " + json::str(severityName(D.Severity)) +
+           ", \"file\": " + json::str(P.File) +
+           ", \"line\": " + std::to_string(P.Line) +
+           ", \"column\": " + std::to_string(P.Column) +
+           ", \"message\": " + json::str(D.Message);
+    if (!D.Notes.empty()) {
+      Out += ", \"notes\": [";
+      bool FirstNote = true;
+      for (const auto &[NLoc, NMsg] : D.Notes) {
+        if (!FirstNote)
+          Out += ", ";
+        FirstNote = false;
+        Position NP = position(SM, NLoc);
+        Out += "{\"file\": " + json::str(NP.File) +
+               ", \"line\": " + std::to_string(NP.Line) +
+               ", \"column\": " + std::to_string(NP.Column) +
+               ", \"message\": " + json::str(NMsg) + "}";
+      }
+      Out += "]";
+    }
+    Out += "}";
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+static std::string sarifLocation(const Position &P) {
+  std::string Out = "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": " +
+                    json::str(P.File) + "}";
+  if (P.Line != 0)
+    Out += ", \"region\": {\"startLine\": " + std::to_string(P.Line) +
+           ", \"startColumn\": " + std::to_string(P.Column) + "}";
+  Out += "}}";
+  return Out;
+}
+
+std::string vault::renderDiagnosticsSarif(const DiagnosticEngine &Diags) {
+  const SourceManager &SM = Diags.sourceManager();
+
+  // The rule table lists exactly the distinct ids that fired, sorted by
+  // name so the document is independent of report order.
+  std::set<std::string> RuleIds;
+  for (const Diagnostic &D : Diags.diagnostics())
+    RuleIds.insert(diagName(D.Id));
+
+  std::string Out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\"driver\": {\"name\": \"vaultc\", \"rules\": [";
+  bool First = true;
+  for (const std::string &Rule : RuleIds) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "{\"id\": " + json::str(Rule) + "}";
+  }
+  Out += "]}},\n"
+         "      \"results\": [";
+  First = true;
+  for (const Diagnostic &D : Diags.diagnostics()) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Position P = position(SM, D.Loc);
+    Out += "        {\"ruleId\": " + json::str(diagName(D.Id)) +
+           ", \"level\": " + json::str(severityName(D.Severity)) +
+           ", \"message\": {\"text\": " + json::str(D.Message) +
+           "}, \"locations\": [" + sarifLocation(P) + "]";
+    if (!D.Notes.empty()) {
+      Out += ", \"relatedLocations\": [";
+      bool FirstNote = true;
+      for (const auto &[NLoc, NMsg] : D.Notes) {
+        if (!FirstNote)
+          Out += ", ";
+        FirstNote = false;
+        Position NP = position(SM, NLoc);
+        // A relatedLocation is the physicalLocation plus its message in
+        // the same object: drop sarifLocation's closing brace and
+        // append the message.
+        std::string Loc = sarifLocation(NP);
+        Loc.pop_back();
+        Out += Loc + ", \"message\": {\"text\": " + json::str(NMsg) + "}}";
+      }
+      Out += "]";
+    }
+    Out += "}";
+  }
+  Out += "\n      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return Out;
+}

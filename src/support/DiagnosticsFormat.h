@@ -1,0 +1,40 @@
+//===- DiagnosticsFormat.h - Machine-readable diagnostics -------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializers behind `--diagnostics-format=json|sarif`. Both walk the
+/// engine's diagnostic vector in order, so the byte-identical merge
+/// ordering of the parallel checker carries over verbatim: a warm-cache
+/// replay serializes to exactly the bytes of the cold run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_DIAGNOSTICSFORMAT_H
+#define VAULT_SUPPORT_DIAGNOSTICSFORMAT_H
+
+#include <string>
+
+namespace vault {
+
+class DiagnosticEngine;
+
+/// Which rendering `vaultc` uses for diagnostics.
+enum class DiagnosticsFormat { Text, Json, Sarif };
+
+/// All diagnostics in \p Diags as a JSON document:
+/// {"diagnostics": [{"id", "severity", "file", "line", "column",
+/// "message", "notes": [...]}]}. Invalid locations render as an empty
+/// file with line/column 0.
+std::string renderDiagnosticsJson(const DiagnosticEngine &Diags);
+
+/// All diagnostics in \p Diags as a minimal SARIF 2.1.0 log: one run,
+/// tool.driver.rules holding the distinct rule ids that fired (sorted),
+/// one result per diagnostic with notes as relatedLocations.
+std::string renderDiagnosticsSarif(const DiagnosticEngine &Diags);
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_DIAGNOSTICSFORMAT_H

@@ -1,0 +1,98 @@
+//===- Json.h - Minimal JSON emission helpers -------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping and number formatting for the observability
+/// emitters (trace-event JSON, --stats-json, --diagnostics-format).
+/// Output-only: the toolchain never needs to parse JSON, so there is
+/// deliberately no reader here (the trace tests carry their own).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_JSON_H
+#define VAULT_SUPPORT_JSON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace vault {
+namespace json {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+inline std::string escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// \p S as a quoted JSON string literal.
+inline std::string str(std::string_view S) {
+  return "\"" + escape(S) + "\"";
+}
+
+/// A double in the shortest form that round-trips, without locale
+/// dependence ("." decimal point always).
+inline std::string num(double V) {
+  char Buf[64];
+  // Integral values print as integers ("10", not "1e+01").
+  if (V == static_cast<double>(static_cast<long long>(V)) &&
+      V >= -1e15 && V <= 1e15) {
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    return Buf;
+  }
+  for (int Prec = 1; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, V);
+    if (std::strtod(Buf, nullptr) == V)
+      break;
+  }
+  // snprintf %g never emits a locale comma for the "C" locale the
+  // toolchain runs in, but normalize defensively.
+  for (char &C : Buf)
+    if (C == ',')
+      C = '.';
+  return Buf;
+}
+
+} // namespace json
+} // namespace vault
+
+#endif // VAULT_SUPPORT_JSON_H

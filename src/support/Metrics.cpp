@@ -1,0 +1,69 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace vault;
+
+std::string Metrics::renderText() const {
+  std::string Out;
+  size_t Width = 0;
+  for (const auto &[Name, V] : Counters) {
+    (void)V;
+    Width = std::max(Width, Name.size());
+  }
+  for (const auto &[Name, V] : Counters) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "  %-*s  %llu\n",
+                  static_cast<int>(Width), Name.c_str(),
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  for (const auto &[Name, H] : Hists) {
+    Out += "  " + Name + ":\n";
+    for (size_t B = 0; B < H.Buckets.size(); ++B) {
+      std::string Label;
+      if (B == 0)
+        Label = "< " + json::num(H.Edges.empty() ? 0 : H.Edges[0]);
+      else if (B == H.Edges.size())
+        Label = ">= " + json::num(H.Edges[B - 1]);
+      else
+        Label = "[" + json::num(H.Edges[B - 1]) + ", " +
+                json::num(H.Edges[B]) + ")";
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf), "    %-20s %llu\n", Label.c_str(),
+                    static_cast<unsigned long long>(H.Buckets[B]));
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+std::string Metrics::renderJson() const {
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + json::str(Name) + ": " + std::to_string(V);
+  }
+  Out += "\n  },\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Hists) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + json::str(Name) + ": {\"edges\": [";
+    for (size_t I = 0; I < H.Edges.size(); ++I)
+      Out += (I ? ", " : "") + json::num(H.Edges[I]);
+    Out += "], \"buckets\": [";
+    for (size_t I = 0; I < H.Buckets.size(); ++I)
+      Out += (I ? ", " : "") + std::to_string(H.Buckets[I]);
+    Out += "], \"count\": " + std::to_string(H.Count) +
+           ", \"sum\": " + json::num(H.Sum) + "}";
+  }
+  Out += "\n  }\n}\n";
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- Metrics.h - Counter/histogram registry -------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central metrics registry behind `Checker::Stats`: named
+/// monotonic counters plus fixed-edge histograms, populated by
+/// VaultCompiler::check() and rendered as stable-ordered text
+/// (`--stats`) or JSON (`--stats-json`). Names sort lexicographically
+/// in every dump, so output ordering never depends on insertion order
+/// or job count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_METRICS_H
+#define VAULT_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vault {
+
+class Metrics {
+public:
+  /// A histogram over fixed bucket edges: N edges define N+1 buckets,
+  /// bucket B counting values in [Edges[B-1], Edges[B]).
+  struct Histogram {
+    std::vector<double> Edges;
+    std::vector<uint64_t> Buckets; ///< Edges.size() + 1 entries.
+    uint64_t Count = 0;
+    double Sum = 0;
+
+    void record(double V) {
+      size_t B = 0;
+      while (B < Edges.size() && V >= Edges[B])
+        ++B;
+      ++Buckets[B];
+      ++Count;
+      Sum += V;
+    }
+  };
+
+  /// Drops every counter and histogram. Called at the start of each
+  /// check() so repeated checks never accumulate.
+  void reset() {
+    Counters.clear();
+    Hists.clear();
+  }
+
+  /// Adds \p Delta to counter \p Name, creating it at zero first.
+  void add(std::string_view Name, uint64_t Delta = 1) {
+    counterRef(Name) += Delta;
+  }
+
+  /// Sets counter \p Name to \p V.
+  void set(std::string_view Name, uint64_t V) { counterRef(Name) = V; }
+
+  /// Current value of counter \p Name (0 when absent).
+  uint64_t value(std::string_view Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// The histogram named \p Name, created with \p Edges on first use.
+  /// Edges of an existing histogram are left untouched.
+  Histogram &histogram(std::string_view Name, std::vector<double> Edges) {
+    auto It = Hists.find(Name);
+    if (It == Hists.end()) {
+      Histogram H;
+      H.Edges = std::move(Edges);
+      H.Buckets.assign(H.Edges.size() + 1, 0);
+      It = Hists.emplace(std::string(Name), std::move(H)).first;
+    }
+    return It->second;
+  }
+
+  const Histogram *findHistogram(std::string_view Name) const {
+    auto It = Hists.find(Name);
+    return It == Hists.end() ? nullptr : &It->second;
+  }
+
+  bool empty() const { return Counters.empty() && Hists.empty(); }
+
+  const std::map<std::string, uint64_t, std::less<>> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, Histogram, std::less<>> &histograms() const {
+    return Hists;
+  }
+
+  /// "name  value" lines, sorted by name, then one block per histogram.
+  std::string renderText() const;
+
+  /// {"counters": {...}, "histograms": {...}} with sorted keys.
+  std::string renderJson() const;
+
+private:
+  uint64_t &counterRef(std::string_view Name) {
+    auto It = Counters.find(Name);
+    if (It == Counters.end())
+      It = Counters.emplace(std::string(Name), 0).first;
+    return It->second;
+  }
+
+  std::map<std::string, uint64_t, std::less<>> Counters;
+  std::map<std::string, Histogram, std::less<>> Hists;
+};
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_METRICS_H

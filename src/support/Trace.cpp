@@ -1,0 +1,114 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+using namespace vault;
+
+static std::atomic<uint64_t> NextTracerId{1};
+
+Tracer::Tracer()
+    : Id(NextTracerId.fetch_add(1, std::memory_order_relaxed)),
+      Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+Tracer::ThreadBuf &Tracer::localBuf() {
+  // Cache keyed by tracer id, not address: ids are never reused, so a
+  // new tracer at a recycled address cannot see a stale buffer.
+  struct Cached {
+    uint64_t Owner = 0;
+    ThreadBuf *Buf = nullptr;
+  };
+  thread_local Cached Cache;
+  if (Cache.Owner != Id) {
+    std::lock_guard<std::mutex> L(Mu);
+    Bufs.push_back(std::make_unique<ThreadBuf>());
+    Bufs.back()->Tid = static_cast<uint32_t>(Bufs.size());
+    Cache = {Id, Bufs.back().get()};
+  }
+  return *Cache.Buf;
+}
+
+void Tracer::complete(std::string Name, uint64_t BeginUs, uint64_t EndUs,
+                      Args EventArgs) {
+  ThreadBuf &B = localBuf();
+  Event E;
+  E.Name = std::move(Name);
+  E.TsUs = BeginUs;
+  E.DurUs = EndUs >= BeginUs ? EndUs - BeginUs : 0;
+  E.Tid = B.Tid;
+  E.EventArgs = std::move(EventArgs);
+  B.Events.push_back(std::move(E));
+}
+
+size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  size_t N = 0;
+  for (const auto &B : Bufs)
+    N += B->Events.size();
+  return N;
+}
+
+std::string Tracer::json() const {
+  std::vector<const Event *> All;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (const auto &B : Bufs)
+      for (const Event &E : B->Events)
+        All.push_back(&E);
+  }
+  std::stable_sort(All.begin(), All.end(), [](const Event *A, const Event *B) {
+    if (A->TsUs != B->TsUs)
+      return A->TsUs < B->TsUs;
+    if (A->DurUs != B->DurUs)
+      return A->DurUs > B->DurUs; // Parent before contained children.
+    if (A->Tid != B->Tid)
+      return A->Tid < B->Tid;
+    return A->Name < B->Name;
+  });
+
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const Event *E : All) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":" + json::str(E->Name) +
+           ",\"ph\":\"X\",\"ts\":" + std::to_string(E->TsUs) +
+           ",\"dur\":" + std::to_string(E->DurUs) +
+           ",\"pid\":1,\"tid\":" + std::to_string(E->Tid);
+    if (!E->EventArgs.empty()) {
+      Out += ",\"args\":{";
+      bool FirstArg = true;
+      for (const auto &[K, V] : E->EventArgs) {
+        if (!FirstArg)
+          Out += ",";
+        FirstArg = false;
+        Out += json::str(K) + ":" + json::str(V);
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+bool Tracer::writeJson(const std::string &Path) const {
+  std::ofstream OutFile(Path, std::ios::binary | std::ios::trunc);
+  if (!OutFile)
+    return false;
+  OutFile << json();
+  return static_cast<bool>(OutFile.flush());
+}

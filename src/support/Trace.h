@@ -1,0 +1,130 @@
+//===- Trace.h - Span/event recorder for --trace-json -----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free-per-thread span recorder emitting Chrome
+/// `chrome://tracing` / Perfetto-compatible trace-event JSON
+/// ("complete" events, ph "X"). Every pass of the checker opens spans
+/// against a Tracer wired through VaultCompiler::setTracer(); a null
+/// tracer reduces every instrumentation site to a single branch, which
+/// is the whole cost of tracing-disabled builds (bench_trace pins it).
+///
+/// Threading model: each worker thread appends to its own buffer; the
+/// shared mutex is taken only once per (thread, tracer) pair, to
+/// register the buffer. Recording itself never synchronizes, so span
+/// timestamps are honest even under --jobs N. Buffers are merged and
+/// sorted at serialization time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_TRACE_H
+#define VAULT_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vault {
+
+class Tracer {
+public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// Microseconds since this tracer was constructed (steady clock, so
+  /// per-thread timestamps are monotonic).
+  uint64_t nowUs() const;
+
+  /// Records one complete ("X") event on the calling thread's buffer.
+  void complete(std::string Name, uint64_t BeginUs, uint64_t EndUs,
+                Args EventArgs = {});
+
+  /// All recorded events as a Chrome trace-event JSON document.
+  /// Events are sorted by (ts, dur desc, tid, name) so that, within a
+  /// thread, a parent precedes the children it contains — the order
+  /// the nesting validation in the tests relies on.
+  std::string json() const;
+
+  /// Writes json() to \p Path. Returns false on any filesystem error.
+  bool writeJson(const std::string &Path) const;
+
+  /// Number of events recorded so far (all threads).
+  size_t eventCount() const;
+
+private:
+  struct Event {
+    std::string Name;
+    uint64_t TsUs = 0;
+    uint64_t DurUs = 0;
+    uint32_t Tid = 0;
+    Args EventArgs;
+  };
+  struct ThreadBuf {
+    uint32_t Tid = 0;
+    std::vector<Event> Events;
+  };
+
+  ThreadBuf &localBuf();
+
+  /// Process-unique id: the thread-local buffer cache keys on it, so a
+  /// tracer allocated at a previous tracer's address can never alias
+  /// its stale cached buffer.
+  const uint64_t Id;
+  const std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu; ///< Guards Bufs growth (registration only).
+  std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+};
+
+/// RAII span over a Tracer that may be null. With a null tracer every
+/// member is one branch and no allocation happens — instrumentation
+/// sites can stay unconditional.
+class TraceSpan {
+public:
+  TraceSpan(Tracer *T, const char *Name) : T(T) {
+    if (T) {
+      this->Name = Name;
+      Begin = T->nowUs();
+    }
+  }
+  TraceSpan(Tracer *T, std::string NameStr) : T(T) {
+    if (T) {
+      Name = std::move(NameStr);
+      Begin = T->nowUs();
+    }
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  ~TraceSpan() {
+    if (T)
+      T->complete(std::move(Name), Begin, T->nowUs(), std::move(SpanArgs));
+  }
+
+  void arg(const char *Key, std::string Value) {
+    if (T)
+      SpanArgs.emplace_back(Key, std::move(Value));
+  }
+  void arg(const char *Key, uint64_t Value) {
+    if (T)
+      SpanArgs.emplace_back(Key, std::to_string(Value));
+  }
+
+private:
+  Tracer *T;
+  std::string Name;
+  uint64_t Begin = 0;
+  Tracer::Args SpanArgs;
+};
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_TRACE_H

@@ -31,10 +31,16 @@ public:
   TypeArena(TypeArena &&) = default;
   TypeArena &operator=(TypeArena &&) = default;
 
+  /// Bytes of type/signature objects allocated through this arena.
+  /// Object payload only (not vector bookkeeping): a stable measure of
+  /// how much type structure a function's check materialized.
+  size_t bytes() const { return Bytes; }
+
 private:
   friend class TypeContext;
   std::vector<std::unique_ptr<Type>> Types;
   std::vector<std::unique_ptr<FuncSig>> Sigs;
+  size_t Bytes = 0;
 };
 
 class TypeContext {
@@ -44,10 +50,12 @@ public:
   template <typename T, typename... Args> const T *make(Args &&...As) {
     auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
     const T *Raw = Owned.get();
-    if (TypeArena *A = ActiveArena)
+    if (TypeArena *A = ActiveArena) {
       A->Types.push_back(std::move(Owned));
-    else
+      A->Bytes += sizeof(T);
+    } else {
       Types.push_back(std::move(Owned));
+    }
     return Raw;
   }
 
@@ -75,10 +83,12 @@ public:
   FuncSig *makeSig() {
     auto Owned = std::make_unique<FuncSig>();
     FuncSig *Raw = Owned.get();
-    if (TypeArena *A = ActiveArena)
+    if (TypeArena *A = ActiveArena) {
       A->Sigs.push_back(std::move(Owned));
-    else
+      A->Bytes += sizeof(FuncSig);
+    } else {
       Sigs.push_back(std::move(Owned));
+    }
     return Raw;
   }
 

@@ -1,0 +1,119 @@
+# End-to-end observability acceptance:
+#  (1) --diagnostics-format=sarif on an erroring corpus program emits
+#      the SARIF 2.1.0 fields tooling keys on, and --explain threads a
+#      multi-step provenance chain through text, json and sarif alike;
+#  (2) json/sarif stderr is byte-identical cold vs warm cache at
+#      different job counts;
+#  (3) --trace-json writes a non-empty trace-event file and refuses to
+#      combine with --dump-ast.
+# Run with:
+#   cmake -DVAULTC=<path> -DWORK_DIR=<tmp> -P TraceAndSarif.cmake
+
+if(NOT VAULTC OR NOT WORK_DIR)
+  message(FATAL_ERROR "pass -DVAULTC=<binary> -DWORK_DIR=<tmp dir>")
+endif()
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(PROGRAM figures/fig2_dangling)
+
+# --- (1) SARIF shape + --explain provenance ---------------------------
+execute_process(COMMAND ${VAULTC} --diagnostics-format=sarif --explain
+    ${PROGRAM}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE SARIF)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "${PROGRAM} unexpectedly checked clean")
+endif()
+if(NOT "${OUT}" STREQUAL "")
+  message(FATAL_ERROR "sarif mode wrote to stdout:\n${OUT}")
+endif()
+foreach(FIELD
+    "\"version\": \"2.1.0\""
+    "sarif-2.1.0.json"
+    "\"name\": \"vaultc\""
+    "\"ruleId\": \"flow-guard-not-held\""
+    "\"level\": \"error\""
+    "\"uri\": \"figures/fig2_dangling\""
+    "\"startLine\": "
+    "\"startColumn\": "
+    "\"relatedLocations\": ")
+  string(FIND "${SARIF}" "${FIELD}" IDX)
+  if(IDX EQUAL -1)
+    message(FATAL_ERROR "SARIF output is missing '${FIELD}':\n${SARIF}")
+  endif()
+endforeach()
+
+# The --explain chain must have at least two steps (acquire, consume),
+# in every format.
+set(STEP1 "was created by the call to 'create'")
+set(STEP2 "was consumed by the call to 'delete'")
+execute_process(COMMAND ${VAULTC} --explain ${PROGRAM}
+  OUTPUT_VARIABLE IGN ERROR_VARIABLE TEXT)
+execute_process(COMMAND ${VAULTC} --diagnostics-format=json --explain
+    ${PROGRAM}
+  OUTPUT_VARIABLE IGN ERROR_VARIABLE JSON)
+foreach(DOC TEXT JSON SARIF)
+  foreach(STEP "${STEP1}" "${STEP2}")
+    string(FIND "${${DOC}}" "${STEP}" IDX)
+    if(IDX EQUAL -1)
+      message(FATAL_ERROR
+        "--explain chain step '${STEP}' missing from ${DOC}:\n${${DOC}}")
+    endif()
+  endforeach()
+endforeach()
+# Without --explain, no provenance notes appear.
+execute_process(COMMAND ${VAULTC} ${PROGRAM}
+  OUTPUT_VARIABLE IGN ERROR_VARIABLE PLAIN)
+string(FIND "${PLAIN}" "${STEP1}" IDX)
+if(NOT IDX EQUAL -1)
+  message(FATAL_ERROR "provenance notes leaked without --explain:\n${PLAIN}")
+endif()
+
+# --- (2) json/sarif byte-identity: cold vs warm cache, jobs 1 vs 8 ----
+foreach(FMT json sarif)
+  set(REF "")
+  foreach(RUN cold-jobs1 warm-jobs8 warm-jobs1)
+    if(RUN STREQUAL "warm-jobs8")
+      set(JOBS 8)
+    else()
+      set(JOBS 1)
+    endif()
+    execute_process(COMMAND ${VAULTC} --diagnostics-format=${FMT}
+        --jobs ${JOBS} --cache-dir ${WORK_DIR}/${FMT}-cache ${PROGRAM}
+      OUTPUT_VARIABLE IGN ERROR_VARIABLE DOC)
+    if(REF STREQUAL "")
+      set(REF "${DOC}")
+    elseif(NOT "${DOC}" STREQUAL "${REF}")
+      message(FATAL_ERROR "${FMT} output for ${RUN} differs from cold run:\n"
+        "--- cold ---\n${REF}\n--- ${RUN} ---\n${DOC}")
+    endif()
+  endforeach()
+endforeach()
+
+# --- (3) --trace-json --------------------------------------------------
+execute_process(COMMAND ${VAULTC} --trace-json ${WORK_DIR}/trace.json
+    figures/fig2_okay
+  RESULT_VARIABLE RC OUTPUT_VARIABLE IGN ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "--trace-json run failed (${RC}):\n${ERR}")
+endif()
+file(READ ${WORK_DIR}/trace.json TRACE)
+foreach(FIELD "\"traceEvents\":[" "\"ph\":\"X\"" "\"name\":\"flow-check\""
+    "\"name\":\"parse\"" "\"displayTimeUnit\":\"ms\"")
+  string(FIND "${TRACE}" "${FIELD}" IDX)
+  if(IDX EQUAL -1)
+    message(FATAL_ERROR "trace file is missing '${FIELD}':\n${TRACE}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${VAULTC} --trace-json ${WORK_DIR}/no.json --dump-ast
+    figures/fig2_okay
+  RESULT_VARIABLE RC OUTPUT_VARIABLE IGN ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 2)
+  message(FATAL_ERROR "--trace-json with --dump-ast exited ${RC}, wanted 2")
+endif()
+if(NOT "${ERR}" MATCHES "--trace-json cannot be combined with --dump-ast")
+  message(FATAL_ERROR "wrong rejection message:\n${ERR}")
+endif()
+
+message(STATUS "trace + sarif acceptance OK")

@@ -54,6 +54,12 @@ foreach(F ${HELP_FLAGS})
     set(PROBE ${F} 1)
   elseif(F STREQUAL "--cache-dir")
     set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-cache)
+  elseif(F STREQUAL "--trace-json")
+    set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-trace.json)
+  elseif(F STREQUAL "--stats-json")
+    set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-stats.json)
+  elseif(F STREQUAL "--diagnostics-format")
+    set(PROBE ${F} text)
   else()
     set(PROBE ${F})
   endif()

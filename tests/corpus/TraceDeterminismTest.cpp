@@ -1,0 +1,212 @@
+//===- TraceDeterminismTest.cpp - --trace-json validity & determinism -----===//
+//
+// Corpus-wide acceptance for the span tracer: every program's trace
+// must parse as trace-event JSON, nest properly (within a thread,
+// spans form a stack), carry monotonically non-decreasing timestamps,
+// and contain the same span-name multiset at --jobs 1 and --jobs 8,
+// and cold-cache vs warm-cache (cache replays emit synthetic
+// zero-length "check <fn>" spans so the inventory never changes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+
+using namespace vault;
+
+namespace {
+
+/// One parsed trace event. The parser below understands exactly the
+/// subset of JSON the Tracer emits (compact objects, string and
+/// integer values, one nested "args" object).
+struct Ev {
+  std::string Name;
+  uint64_t Ts = 0, Dur = 0, Tid = 0;
+};
+
+/// Reads a JSON string starting at S[I] == '"'. Returns the unescaped
+/// content and advances I past the closing quote.
+std::string parseString(const std::string &S, size_t &I) {
+  EXPECT_EQ(S[I], '"');
+  ++I;
+  std::string Out;
+  while (I < S.size() && S[I] != '"') {
+    if (S[I] == '\\' && I + 1 < S.size()) {
+      ++I;
+      switch (S[I]) {
+      case 'n': Out += '\n'; break;
+      case 't': Out += '\t'; break;
+      default: Out += S[I];
+      }
+    } else {
+      Out += S[I];
+    }
+    ++I;
+  }
+  ++I; // Closing quote.
+  return Out;
+}
+
+uint64_t parseInt(const std::string &S, size_t &I) {
+  uint64_t V = 0;
+  while (I < S.size() && S[I] >= '0' && S[I] <= '9')
+    V = V * 10 + static_cast<uint64_t>(S[I++] - '0');
+  return V;
+}
+
+/// Parses the Tracer's JSON document into events. Fails the current
+/// test (and returns what it has) on malformed input.
+std::vector<Ev> parseTrace(const std::string &J) {
+  std::vector<Ev> Events;
+  size_t I = J.find("\"traceEvents\":[");
+  EXPECT_NE(I, std::string::npos) << "no traceEvents array";
+  if (I == std::string::npos)
+    return Events;
+  I += 15;
+  for (;;) {
+    while (I < J.size() && (J[I] == ',' || J[I] == '\n' || J[I] == ' '))
+      ++I;
+    if (I >= J.size() || J[I] == ']')
+      break;
+    EXPECT_EQ(J[I], '{') << "event is not an object at offset " << I;
+    ++I;
+    Ev E;
+    int Depth = 1; // Inside the event object; "args" nests one deeper.
+    while (I < J.size() && Depth > 0) {
+      if (J[I] == '}') {
+        --Depth;
+        ++I;
+      } else if (J[I] == '{') {
+        ++Depth;
+        ++I;
+      } else if (J[I] == '"') {
+        std::string Key = parseString(J, I);
+        EXPECT_EQ(J[I], ':') << "missing ':' after key " << Key;
+        ++I;
+        if (J[I] == '"') {
+          std::string Val = parseString(J, I);
+          if (Depth == 1 && Key == "name")
+            E.Name = Val;
+          else if (Depth == 1 && Key == "ph")
+            EXPECT_EQ(Val, "X");
+        } else if (J[I] >= '0' && J[I] <= '9') {
+          uint64_t Val = parseInt(J, I);
+          if (Depth == 1 && Key == "ts")
+            E.Ts = Val;
+          else if (Depth == 1 && Key == "dur")
+            E.Dur = Val;
+          else if (Depth == 1 && Key == "tid")
+            E.Tid = Val;
+        }
+        // '{' (the args object) is handled by the Depth branch above.
+      } else {
+        ++I;
+      }
+    }
+    EXPECT_FALSE(E.Name.empty()) << "event without a name";
+    Events.push_back(std::move(E));
+  }
+  EXPECT_NE(J.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  return Events;
+}
+
+/// Checks the trace contract on one document: global timestamps
+/// non-decreasing, and per-thread spans properly nested (a stack).
+void validateTrace(const std::vector<Ev> &Events, const std::string &Label) {
+  uint64_t PrevTs = 0;
+  for (const Ev &E : Events) {
+    EXPECT_GE(E.Ts, PrevTs) << Label << ": timestamps not sorted";
+    PrevTs = E.Ts;
+  }
+  std::map<uint64_t, std::vector<const Ev *>> ByTid;
+  for (const Ev &E : Events)
+    ByTid[E.Tid].push_back(&E);
+  for (auto &[Tid, Evs] : ByTid) {
+    std::vector<const Ev *> Stack;
+    for (const Ev *E : Evs) {
+      while (!Stack.empty() && E->Ts >= Stack.back()->Ts + Stack.back()->Dur)
+        Stack.pop_back();
+      if (!Stack.empty()) {
+        // Overlapping spans on one thread must nest, not straddle.
+        EXPECT_LE(E->Ts + E->Dur, Stack.back()->Ts + Stack.back()->Dur)
+            << Label << ": tid " << Tid << " span '" << E->Name
+            << "' straddles '" << Stack.back()->Name << "'";
+      }
+      Stack.push_back(E);
+    }
+  }
+}
+
+std::multiset<std::string> names(const std::vector<Ev> &Events) {
+  std::multiset<std::string> Out;
+  for (const Ev &E : Events)
+    Out.insert(E.Name);
+  return Out;
+}
+
+std::string traceOf(const std::string &Name, const std::string &Text,
+                    unsigned Jobs, const std::string &CacheDir = "") {
+  Tracer T;
+  VaultCompiler C;
+  C.setTracer(&T);
+  C.setJobs(Jobs);
+  if (!CacheDir.empty())
+    C.setCacheDir(CacheDir);
+  C.addSource(Name, Text);
+  C.check();
+  return T.json();
+}
+
+class TraceDeterminism : public ::testing::TestWithParam<corpus::ProgramInfo> {
+};
+
+TEST_P(TraceDeterminism, ValidNestedAndJobAndCacheInvariant) {
+  const corpus::ProgramInfo &P = GetParam();
+  std::string Text = corpus::load(P.Name);
+  ASSERT_FALSE(Text.empty()) << P.Name;
+  std::string SrcName = P.Name + ".vlt";
+
+  std::vector<Ev> Serial = parseTrace(traceOf(SrcName, Text, 1));
+  ASSERT_FALSE(Serial.empty()) << P.Name;
+  validateTrace(Serial, P.Name + " jobs=1");
+  std::vector<Ev> Parallel = parseTrace(traceOf(SrcName, Text, 8));
+  validateTrace(Parallel, P.Name + " jobs=8");
+  EXPECT_EQ(names(Serial), names(Parallel))
+      << P.Name << ": span inventory depends on job count";
+
+  std::string Tag = P.Name;
+  for (char &C : Tag)
+    if (C == '/')
+      C = '_';
+  std::string Dir = ::testing::TempDir() + "vault-trace-" + Tag;
+  std::filesystem::remove_all(Dir);
+  std::vector<Ev> Cold = parseTrace(traceOf(SrcName, Text, 1, Dir));
+  validateTrace(Cold, P.Name + " cold");
+  std::vector<Ev> Warm = parseTrace(traceOf(SrcName, Text, 8, Dir));
+  validateTrace(Warm, P.Name + " warm");
+  EXPECT_EQ(names(Cold), names(Warm))
+      << P.Name << ": span inventory differs cold vs warm cache";
+  // The cached runs add exactly the cache I/O spans on top of the
+  // uncached inventory.
+  for (const char *Extra :
+       {"cache-open", "cache-finalize", "cache-write-back", "fingerprint"})
+    EXPECT_EQ(names(Cold).count(Extra), 1u) << P.Name << " missing " << Extra;
+  std::filesystem::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, TraceDeterminism, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

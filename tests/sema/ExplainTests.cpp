@@ -1,0 +1,140 @@
+//===- ExplainTests.cpp - --explain provenance chains ---------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <filesystem>
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+const char *DanglingSource = R"(
+void dangling() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1; y=2;};
+  Region.delete(rgn);
+  pt.x++;
+}
+)";
+
+std::unique_ptr<VaultCompiler> checkExplained(const std::string &Source,
+                                              const std::string &Prelude) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->enableExplain();
+  C->addSource("test.vlt", Prelude + Source);
+  C->check();
+  return C;
+}
+
+/// Notes attached to the first diagnostic carrying \p Id.
+std::vector<std::string> notesOf(VaultCompiler &C, DiagId Id) {
+  std::vector<std::string> Out;
+  for (const Diagnostic &D : C.diags().diagnostics())
+    if (D.Id == Id) {
+      for (const auto &N : D.Notes)
+        Out.push_back(N.second);
+      break;
+    }
+  return Out;
+}
+
+TEST(Explain, DanglingAccessGetsAtLeastTwoStepChain) {
+  auto C = checkExplained(DanglingSource, regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardNotHeld);
+
+  std::vector<std::string> Notes = notesOf(*C, DiagId::FlowGuardNotHeld);
+  ASSERT_GE(Notes.size(), 2u) << C->diags().render();
+  EXPECT_NE(Notes[0].find("was created by the call to 'create'"),
+            std::string::npos)
+      << Notes[0];
+  EXPECT_NE(Notes[1].find("was consumed by the call to 'delete'"),
+            std::string::npos)
+      << Notes[1];
+}
+
+TEST(Explain, OffByDefaultProducesNoProvenanceNotes) {
+  auto C = check(DanglingSource, regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardNotHeld);
+  for (const std::string &N : notesOf(*C, DiagId::FlowGuardNotHeld))
+    EXPECT_EQ(N.find("was created by"), std::string::npos) << N;
+}
+
+TEST(Explain, StateTransitionsAppearInTheChain) {
+  auto C = checkExplained(R"(
+void f(sockaddr addr, byte[] buf) {
+  tracked(@raw) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, addr);
+  receive(s, buf);
+  close(s);
+}
+)",
+                          socketPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyWrongState);
+  std::vector<std::string> Notes = notesOf(*C, DiagId::FlowKeyWrongState);
+  ASSERT_GE(Notes.size(), 2u) << C->diags().render();
+  bool SawTransition = false;
+  for (const std::string &N : Notes)
+    if (N.find("transitioned to state 'named' by the call to 'bind'") !=
+        std::string::npos)
+      SawTransition = true;
+  EXPECT_TRUE(SawTransition) << C->diags().render();
+}
+
+TEST(Explain, LeakExplainsWhereTheKeyCameFrom) {
+  auto C = checkExplained(R"(
+void leaky() {
+  tracked(R) region rgn = Region.create();
+}
+)",
+                          regionPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyLeaked);
+  std::vector<std::string> Notes = notesOf(*C, DiagId::FlowKeyLeaked);
+  bool SawAcquire = false;
+  for (const std::string &N : Notes)
+    if (N.find("was created by the call to 'create'") != std::string::npos)
+      SawAcquire = true;
+  EXPECT_TRUE(SawAcquire) << C->diags().render();
+}
+
+TEST(Explain, OutputIsIdenticalAtAnyJobCount) {
+  auto C1 = std::make_unique<VaultCompiler>();
+  C1->enableExplain();
+  C1->setJobs(1);
+  C1->addSource("t.vlt", std::string(regionPrelude()) + DanglingSource);
+  C1->check();
+  auto C8 = std::make_unique<VaultCompiler>();
+  C8->enableExplain();
+  C8->setJobs(8);
+  C8->addSource("t.vlt", std::string(regionPrelude()) + DanglingSource);
+  C8->check();
+  EXPECT_EQ(C1->diags().render(), C8->diags().render());
+}
+
+TEST(Explain, BypassesTheResultCache) {
+  // Cached entries never contain provenance notes, so --explain must
+  // not read or populate the cache.
+  std::string Dir = ::testing::TempDir() + "/explain-cache";
+  std::filesystem::remove_all(Dir);
+  auto C = std::make_unique<VaultCompiler>();
+  C->setCacheDir(Dir);
+  C->enableExplain();
+  C->addSource("t.vlt", std::string(regionPrelude()) + DanglingSource);
+  C->check();
+  EXPECT_FALSE(C->stats().CacheEnabled);
+  EXPECT_FALSE(notesOf(*C, DiagId::FlowGuardNotHeld).empty());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(Explain, RecheckReproducesTheSameChain) {
+  auto C = checkExplained(DanglingSource, regionPrelude());
+  std::string First = C->diags().render();
+  C->check();
+  EXPECT_EQ(C->diags().render(), First);
+}
+
+} // namespace

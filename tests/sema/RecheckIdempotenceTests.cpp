@@ -76,6 +76,37 @@ void main() {
   EXPECT_EQ(Decls1, C->stats().DeclsRegistered);
 }
 
+TEST(RecheckIdempotence, MetricsRegistryResetsEveryCheck) {
+  // Counters live in a persistent registry; a re-check must rebuild
+  // them from zero, not accumulate across runs.
+  auto C = check(R"(
+void main(bool b) {
+  tracked(R) region rgn = Region.create();
+  if (b) {
+    pt_use(rgn);
+  }
+  Region.delete(rgn);
+}
+void pt_use(tracked(R) region rgn) [R] {}
+)",
+                 regionPrelude());
+  const uint64_t Keyset1 = C->metrics().value("flow.keyset_ops");
+  const uint64_t Checked1 = C->metrics().value("check.functions_checked");
+  const auto Counters1 = C->metrics().counters();
+  ASSERT_GT(Keyset1, 0u);
+  ASSERT_GT(Checked1, 0u);
+  C->check();
+  EXPECT_EQ(C->metrics().value("flow.keyset_ops"), Keyset1);
+  EXPECT_EQ(C->metrics().value("check.functions_checked"), Checked1);
+  // Every counter is rebuilt from zero (histograms carry wall times,
+  // which legitimately vary run to run).
+  EXPECT_EQ(C->metrics().counters(), Counters1)
+      << "metrics accumulated across re-checks";
+  // The classic Stats block resets with it.
+  C->check();
+  EXPECT_EQ(C->stats().PerFunction.size(), size_t(Checked1));
+}
+
 TEST(RecheckIdempotence, ParseDiagnosticsSurviveRecheck) {
   auto C = std::make_unique<VaultCompiler>();
   C->addSource("bad.vlt", "void main( {");

@@ -1,0 +1,86 @@
+//===- DiagnosticsFormatTest.cpp - json/sarif renderer unit tests ---------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DiagnosticsFormat.h"
+
+#include "support/Diagnostics.h"
+
+#include "gtest/gtest.h"
+
+using namespace vault;
+
+namespace {
+
+struct Fixture {
+  SourceManager SM;
+  DiagnosticEngine Diags{SM};
+  uint32_t Buf;
+
+  Fixture() {
+    Buf = SM.addBuffer("demo.vlt", "key K;\nfunc f() {}\n");
+  }
+  SourceLoc at(uint32_t Offset) { return SourceLoc{Buf, Offset}; }
+};
+
+TEST(DiagnosticsFormat, JsonCarriesIdSeverityPositionAndNotes) {
+  Fixture F;
+  F.Diags.report(DiagId::FlowKeyNotHeld, F.at(7), "key 'K' is not held");
+  F.Diags.note(F.at(0), "declared here");
+
+  std::string J = renderDiagnosticsJson(F.Diags);
+  EXPECT_NE(J.find("\"id\": \"flow-key-not-held\""), std::string::npos);
+  EXPECT_NE(J.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(J.find("\"file\": \"demo.vlt\""), std::string::npos);
+  EXPECT_NE(J.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(J.find("\"message\": \"key 'K' is not held\""), std::string::npos);
+  EXPECT_NE(J.find("\"notes\""), std::string::npos);
+  EXPECT_NE(J.find("\"declared here\""), std::string::npos);
+}
+
+TEST(DiagnosticsFormat, JsonEscapesMessages) {
+  Fixture F;
+  F.Diags.report(DiagId::RunError, SourceLoc{}, "a \"quoted\"\nmessage");
+  std::string J = renderDiagnosticsJson(F.Diags);
+  EXPECT_NE(J.find("a \\\"quoted\\\"\\nmessage"), std::string::npos);
+}
+
+TEST(DiagnosticsFormat, SarifHasTheFieldsToolingKeysOn) {
+  Fixture F;
+  F.Diags.report(DiagId::FlowGuardNotHeld, F.at(7), "guard not held");
+  F.Diags.note(F.at(0), "key came from here");
+
+  std::string S = renderDiagnosticsSarif(F.Diags);
+  EXPECT_NE(S.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(S.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\": \"vaultc\""), std::string::npos);
+  EXPECT_NE(S.find("\"ruleId\": \"flow-guard-not-held\""), std::string::npos);
+  EXPECT_NE(S.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(S.find("\"uri\": \"demo.vlt\""), std::string::npos);
+  EXPECT_NE(S.find("\"startLine\": 2"), std::string::npos);
+  EXPECT_NE(S.find("\"startColumn\": "), std::string::npos);
+  EXPECT_NE(S.find("\"relatedLocations\""), std::string::npos);
+  EXPECT_NE(S.find("\"key came from here\""), std::string::npos);
+  // The rules table lists each distinct rule once.
+  EXPECT_NE(S.find("\"rules\": [{\"id\": \"flow-guard-not-held\"}]"),
+            std::string::npos);
+}
+
+TEST(DiagnosticsFormat, EmptyEngineStillRendersValidDocuments) {
+  Fixture F;
+  std::string J = renderDiagnosticsJson(F.Diags);
+  EXPECT_NE(J.find("\"diagnostics\""), std::string::npos);
+  std::string S = renderDiagnosticsSarif(F.Diags);
+  EXPECT_NE(S.find("\"results\""), std::string::npos);
+}
+
+TEST(DiagnosticsFormat, RenderingIsDeterministic) {
+  Fixture F;
+  F.Diags.report(DiagId::FlowKeyLeaked, F.at(3), "leaked");
+  EXPECT_EQ(renderDiagnosticsJson(F.Diags), renderDiagnosticsJson(F.Diags));
+  EXPECT_EQ(renderDiagnosticsSarif(F.Diags), renderDiagnosticsSarif(F.Diags));
+}
+
+} // namespace

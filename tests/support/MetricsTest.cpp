@@ -1,0 +1,79 @@
+//===- MetricsTest.cpp - Metrics registry unit tests ----------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "gtest/gtest.h"
+
+using namespace vault;
+
+namespace {
+
+TEST(Metrics, CountersAddAndSet) {
+  Metrics M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.value("absent"), 0u);
+  M.add("a");
+  M.add("a", 4);
+  M.set("b", 10);
+  EXPECT_EQ(M.value("a"), 5u);
+  EXPECT_EQ(M.value("b"), 10u);
+  EXPECT_FALSE(M.empty());
+}
+
+TEST(Metrics, HistogramBucketsValuesAgainstEdges) {
+  Metrics M;
+  Metrics::Histogram &H = M.histogram("h", {1.0, 10.0});
+  H.record(0.5);  // < 1
+  H.record(1.0);  // [1, 10)
+  H.record(9.99); // [1, 10)
+  H.record(10.0); // >= 10
+  ASSERT_EQ(H.Buckets.size(), 3u);
+  EXPECT_EQ(H.Buckets[0], 1u);
+  EXPECT_EQ(H.Buckets[1], 2u);
+  EXPECT_EQ(H.Buckets[2], 1u);
+  EXPECT_EQ(H.Count, 4u);
+  EXPECT_DOUBLE_EQ(H.Sum, 21.49);
+  // Re-fetch keeps the existing edges and contents.
+  EXPECT_EQ(&M.histogram("h", {99.0}), &H);
+  EXPECT_EQ(H.Edges.size(), 2u);
+}
+
+TEST(Metrics, RenderTextSortsByNameRegardlessOfInsertionOrder) {
+  Metrics A, B;
+  A.add("zeta", 1);
+  A.add("alpha", 2);
+  B.add("alpha", 2);
+  B.add("zeta", 1);
+  EXPECT_EQ(A.renderText(), B.renderText());
+  std::string T = A.renderText();
+  EXPECT_LT(T.find("alpha"), T.find("zeta"));
+}
+
+TEST(Metrics, RenderJsonIsStableAndContainsEverything) {
+  Metrics M;
+  M.set("n", 3);
+  M.histogram("lat", {0.5}).record(0.25);
+  std::string J = M.renderJson();
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"n\": 3"), std::string::npos);
+  EXPECT_NE(J.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(J.find("\"lat\""), std::string::npos);
+  EXPECT_NE(J.find("\"count\": 1"), std::string::npos);
+  EXPECT_EQ(J, M.renderJson()) << "rendering must be deterministic";
+}
+
+TEST(Metrics, ResetDropsEverything) {
+  Metrics M;
+  M.add("c");
+  M.histogram("h", {1.0}).record(2.0);
+  M.reset();
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.value("c"), 0u);
+  EXPECT_EQ(M.findHistogram("h"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- TraceTest.cpp - Tracer/TraceSpan unit tests ------------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <thread>
+
+using namespace vault;
+
+namespace {
+
+TEST(Trace, NullTracerRecordsNothingAndAllocatesNothing) {
+  // The disabled path must be safe to exercise everywhere: spans over
+  // a null tracer are inert.
+  TraceSpan Span(nullptr, "never");
+  Span.arg("key", std::string("value"));
+  Span.arg("n", uint64_t(7));
+  // No tracer to inspect; reaching the end without touching one is the
+  // assertion.
+  SUCCEED();
+}
+
+TEST(Trace, CompleteEventsAppearInJson) {
+  Tracer T;
+  T.complete("alpha", 10, 30, {{"k", "v"}});
+  T.complete("beta", 15, 20);
+  EXPECT_EQ(T.eventCount(), 2u);
+
+  std::string J = T.json();
+  EXPECT_NE(J.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"args\":{\"k\":\"v\"}"), std::string::npos);
+  EXPECT_NE(J.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // alpha (ts 10) sorts before beta (ts 15).
+  EXPECT_LT(J.find("\"name\":\"alpha\""), J.find("\"name\":\"beta\""));
+}
+
+TEST(Trace, SpanNestingSortsParentFirst) {
+  Tracer T;
+  // Same begin timestamp: the longer (containing) span must precede
+  // the contained one, which is what trace viewers need for nesting.
+  T.complete("child", 100, 110);
+  T.complete("parent", 100, 200);
+  std::string J = T.json();
+  EXPECT_LT(J.find("\"name\":\"parent\""), J.find("\"name\":\"child\""));
+}
+
+TEST(Trace, RaiiSpanRecordsOnDestruction) {
+  Tracer T;
+  {
+    TraceSpan Span(&T, "scoped");
+    Span.arg("answer", uint64_t(42));
+    EXPECT_EQ(T.eventCount(), 0u) << "span must not record until closed";
+  }
+  EXPECT_EQ(T.eventCount(), 1u);
+  std::string J = T.json();
+  EXPECT_NE(J.find("\"name\":\"scoped\""), std::string::npos);
+  EXPECT_NE(J.find("\"answer\":\"42\""), std::string::npos);
+}
+
+TEST(Trace, NegativeDurationClampsToZero) {
+  Tracer T;
+  T.complete("clock-skew", 50, 40);
+  EXPECT_NE(T.json().find("\"dur\":0"), std::string::npos);
+}
+
+TEST(Trace, ThreadsGetDistinctTidsAndLoseNoEvents) {
+  Tracer T;
+  constexpr int NThreads = 8, PerThread = 100;
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < NThreads; ++W)
+    Workers.emplace_back([&T] {
+      for (int I = 0; I < PerThread; ++I) {
+        TraceSpan Span(&T, "work");
+        Span.arg("i", uint64_t(I));
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(T.eventCount(), size_t(NThreads * PerThread));
+}
+
+TEST(Trace, SecondTracerOnSameThreadDoesNotAliasTheFirst) {
+  // The thread-local buffer cache keys on a process-unique tracer id;
+  // a fresh tracer (possibly at the same address) must get a fresh
+  // buffer, not the previous tracer's.
+  auto First = std::make_unique<Tracer>();
+  First->complete("one", 0, 1);
+  First.reset();
+  Tracer Second;
+  Second.complete("two", 0, 1);
+  EXPECT_EQ(Second.eventCount(), 1u);
+  EXPECT_EQ(Second.json().find("\"name\":\"one\""), std::string::npos);
+}
+
+TEST(Trace, WriteJsonRoundTripsThroughAFile) {
+  Tracer T;
+  T.complete("saved", 1, 2);
+  std::string Path = ::testing::TempDir() + "/trace-test.json";
+  ASSERT_TRUE(T.writeJson(Path));
+  std::ifstream In(Path, std::ios::binary);
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(Content, T.json());
+  EXPECT_FALSE(T.writeJson("/nonexistent-dir-xyz/trace.json"));
+}
+
+} // namespace

@@ -20,11 +20,12 @@
 #include "interp/Interp.h"
 #include "lower/CEmitter.h"
 #include "sema/Cfg.h"
+#include "support/DiagnosticsFormat.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 using namespace vault;
 
@@ -48,17 +49,30 @@ static void usage() {
       "  --cache-dir DIR   reuse per-function flow-check results across\n"
       "                    runs (incremental checking); DIR is created on\n"
       "                    demand\n"
-      "  --stats           print checker statistics (counts, cache\n"
-      "                    hits/misses, wall-time and held-key histograms)\n"
+      "  --stats           print checker statistics on stderr (counts,\n"
+      "                    cache hits/misses, wall-time and held-key\n"
+      "                    histograms, metrics registry)\n"
+      "  --stats-json FILE write the metrics registry as JSON to FILE\n"
       "  --trace-keys      print the held-key set after every statement\n"
+      "                    (on stderr)\n"
+      "  --trace-json FILE write a Chrome trace-event timeline of every\n"
+      "                    pass to FILE; not combinable with --dump-ast\n"
+      "                    or --dump-cfg\n"
+      "  --diagnostics-format FMT\n"
+      "                    render diagnostics as 'text' (default),\n"
+      "                    'json', or 'sarif' (SARIF 2.1.0) on stderr\n"
+      "  --explain         attach provenance notes to key diagnostics\n"
+      "                    (how each key entered or left the held set)\n"
       "  --help, -h        show this help\n");
 }
 
 int main(int Argc, char **Argv) {
   bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
-       Stats = false, TraceKeys = false;
+       Stats = false, TraceKeys = false, Explain = false;
   unsigned Jobs = 0; // 0 = hardware concurrency.
   std::string CacheDir;
+  std::string TraceJsonPath, StatsJsonPath;
+  DiagnosticsFormat DiagFormat = DiagnosticsFormat::Text;
   std::vector<std::string> Inputs;
   // The output modes are mutually exclusive; remember which one was
   // picked so a second one is a proper driver error, not silently
@@ -129,8 +143,64 @@ int main(int Argc, char **Argv) {
       DumpCfg = true;
     } else if (A == "--stats") {
       Stats = true;
+    } else if (A == "--stats-json" || A.rfind("--stats-json=", 0) == 0) {
+      if (A == "--stats-json") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --stats-json requires an argument\n");
+          return 2;
+        }
+        StatsJsonPath = Argv[++I];
+      } else {
+        StatsJsonPath = A.substr(13);
+      }
+      if (StatsJsonPath.empty()) {
+        std::fprintf(stderr, "vaultc: --stats-json requires an argument\n");
+        return 2;
+      }
     } else if (A == "--trace-keys") {
       TraceKeys = true;
+    } else if (A == "--trace-json" || A.rfind("--trace-json=", 0) == 0) {
+      if (A == "--trace-json") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --trace-json requires an argument\n");
+          return 2;
+        }
+        TraceJsonPath = Argv[++I];
+      } else {
+        TraceJsonPath = A.substr(13);
+      }
+      if (TraceJsonPath.empty()) {
+        std::fprintf(stderr, "vaultc: --trace-json requires an argument\n");
+        return 2;
+      }
+    } else if (A == "--diagnostics-format" ||
+               A.rfind("--diagnostics-format=", 0) == 0) {
+      std::string Val;
+      if (A == "--diagnostics-format") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr,
+                       "vaultc: --diagnostics-format requires an argument\n");
+          return 2;
+        }
+        Val = Argv[++I];
+      } else {
+        Val = A.substr(21);
+      }
+      if (Val == "text") {
+        DiagFormat = DiagnosticsFormat::Text;
+      } else if (Val == "json") {
+        DiagFormat = DiagnosticsFormat::Json;
+      } else if (Val == "sarif") {
+        DiagFormat = DiagnosticsFormat::Sarif;
+      } else {
+        std::fprintf(stderr,
+                     "vaultc: invalid --diagnostics-format '%s' "
+                     "(expected text, json, or sarif)\n",
+                     Val.c_str());
+        return 2;
+      }
+    } else if (A == "--explain") {
+      Explain = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -146,11 +216,23 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
+  // A trace timeline of the dump modes would be all dead air: neither
+  // runs the checker pipeline the spans cover.
+  if (!TraceJsonPath.empty() && (DumpAst || DumpCfg)) {
+    std::fprintf(stderr, "vaultc: --trace-json cannot be combined with %s\n",
+                 DumpAst ? "--dump-ast" : "--dump-cfg");
+    return 2;
+  }
 
   VaultCompiler C;
   C.setJobs(Jobs);
   if (!CacheDir.empty())
     C.setCacheDir(CacheDir);
+  Tracer T;
+  if (!TraceJsonPath.empty())
+    C.setTracer(&T); // Before addSource, so parse spans are recorded.
+  if (Explain)
+    C.enableExplain();
   for (const std::string &In : Inputs) {
     std::vector<std::string> Missing;
     std::string Text = corpus::load(In, &Missing);
@@ -178,10 +260,23 @@ int main(int Argc, char **Argv) {
   if (TraceKeys)
     C.enableKeyTrace();
   bool Ok = C.check();
-  std::fputs(C.diags().render().c_str(), stderr);
-  std::fprintf(stderr, "vaultc: %s (%u error(s))\n",
-               Ok ? "program is protocol-safe" : "protocol violations found",
-               C.diags().errorCount());
+  // json/sarif runs print only the document on stderr (no text render,
+  // no summary line), so the whole stream is machine-parseable — and
+  // byte-identical between cold and warm cache runs at any job count.
+  switch (DiagFormat) {
+  case DiagnosticsFormat::Text:
+    std::fputs(C.diags().render().c_str(), stderr);
+    std::fprintf(stderr, "vaultc: %s (%u error(s))\n",
+                 Ok ? "program is protocol-safe" : "protocol violations found",
+                 C.diags().errorCount());
+    break;
+  case DiagnosticsFormat::Json:
+    std::fputs(renderDiagnosticsJson(C.diags()).c_str(), stderr);
+    break;
+  case DiagnosticsFormat::Sarif:
+    std::fputs(renderDiagnosticsSarif(C.diags()).c_str(), stderr);
+    break;
+  }
 
   if (DumpAst) {
     AstPrinter P;
@@ -194,74 +289,30 @@ int main(int Argc, char **Argv) {
         std::fputs(Cfg::build(F).dot().c_str(), stdout);
       }
   }
+  // All telemetry goes to stderr so it can never interleave with
+  // machine-readable stdout (--emit-c, --dump-ast, --dump-cfg).
   if (TraceKeys) {
     for (const KeyTraceEntry &T : C.keyTrace()) {
       PresumedLoc P = C.sources().presumed(T.Loc);
-      std::printf("%s:%u: held = %s\n", T.Function.c_str(),
-                  P.isValid() ? P.Line : 0, T.Held.c_str());
+      std::fprintf(stderr, "%s:%u: held = %s\n", T.Function.c_str(),
+                   P.isValid() ? P.Line : 0, T.Held.c_str());
     }
   }
-  if (Stats) {
-    const VaultCompiler::Stats &S = C.stats();
-    std::printf("functions checked: %u\n", S.FunctionsChecked);
-    std::printf("flow checks run:   %u\n", S.FlowChecksRun);
-    std::printf("declarations:      %u\n", S.DeclsRegistered);
-    std::printf("keys allocated:    %zu\n", C.types().keys().size());
-    std::printf("jobs used:         %u\n", S.JobsUsed);
-    if (S.CacheEnabled) {
-      std::printf("cache hits:        %u\n", S.CacheHits);
-      std::printf("cache misses:      %u\n", S.CacheMisses);
-      std::printf("cache invalidated: %u\n", S.CacheInvalidations);
+  if (Stats)
+    std::fputs(C.renderStatsText().c_str(), stderr);
+  if (!StatsJsonPath.empty()) {
+    std::ofstream Out(StatsJsonPath, std::ios::binary | std::ios::trunc);
+    Out << C.renderStatsJson();
+    if (!Out.flush()) {
+      std::fprintf(stderr, "vaultc: cannot write stats file '%s'\n",
+                   StatsJsonPath.c_str());
+      return 2;
     }
-
-    // Per-function wall-time histogram (log buckets).
-    static const double MsEdges[] = {0.01, 0.1, 1.0, 10.0};
-    unsigned MsBuckets[5] = {};
-    double TotalMs = 0;
-    for (const auto &F : S.PerFunction) {
-      TotalMs += F.WallMs;
-      size_t B = 0;
-      while (B < 4 && F.WallMs >= MsEdges[B])
-        ++B;
-      ++MsBuckets[B];
-    }
-    std::printf("flow-check time:   %.3f ms total\n", TotalMs);
-    static const char *MsLabels[] = {"     <0.01ms", " 0.01-0.10ms",
-                                     " 0.10-1.00ms", " 1.00-10.0ms",
-                                     "     >=10ms "};
-    std::printf("wall-time histogram:\n");
-    for (size_t B = 0; B < 5; ++B)
-      std::printf("  %s  %u\n", MsLabels[B], MsBuckets[B]);
-
-    // Held-key-set size histogram (peak per function).
-    static const unsigned HeldEdges[] = {1, 2, 3, 5, 9};
-    unsigned HeldBuckets[6] = {};
-    for (const auto &F : S.PerFunction) {
-      size_t B = 0;
-      while (B < 5 && F.MaxHeldKeys >= HeldEdges[B])
-        ++B;
-      ++HeldBuckets[B];
-    }
-    static const char *HeldLabels[] = {"   0", "   1", "   2",
-                                       " 3-4", " 5-8", " >=9"};
-    std::printf("peak held-key-set size histogram:\n");
-    for (size_t B = 0; B < 6; ++B)
-      std::printf("  %s keys  %u\n", HeldLabels[B], HeldBuckets[B]);
-
-    // The slowest functions, for profiling batch checks.
-    std::vector<VaultCompiler::Stats::FuncStat> Sorted = S.PerFunction;
-    std::stable_sort(Sorted.begin(), Sorted.end(),
-                     [](const auto &A, const auto &B) {
-                       return A.WallMs > B.WallMs;
-                     });
-    size_t Top = std::min<size_t>(Sorted.size(), 5);
-    if (Top) {
-      std::printf("slowest functions:\n");
-      for (size_t I = 0; I < Top; ++I)
-        std::printf("  %-24s %8.3f ms  (peak %u key(s))\n",
-                    Sorted[I].Name.c_str(), Sorted[I].WallMs,
-                    Sorted[I].MaxHeldKeys);
-    }
+  }
+  if (!TraceJsonPath.empty() && !T.writeJson(TraceJsonPath)) {
+    std::fprintf(stderr, "vaultc: cannot write trace file '%s'\n",
+                 TraceJsonPath.c_str());
+    return 2;
   }
   if (EmitC && Ok) {
     CEmitter E(C);
