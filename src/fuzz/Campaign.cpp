@@ -1,0 +1,306 @@
+//===- Campaign.cpp -------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "fuzz/Reducer.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vault;
+using namespace vault::fuzz;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Buckets an outcome into the per-oracle tally map.
+void tally(std::map<std::string, unsigned> &Map, const OracleOutcome &O) {
+  switch (O.S) {
+  case OracleOutcome::Status::Ok:
+    ++Map["ok"];
+    break;
+  case OracleOutcome::Status::Classified:
+    ++Map["classified:" + O.Class];
+    break;
+  case OracleOutcome::Status::Violation:
+    ++Map["violation"];
+    break;
+  case OracleOutcome::Status::Skipped:
+    ++Map["skipped:" + O.Class];
+    break;
+  }
+}
+
+void countOutcome(Metrics *M, const char *Oracle, const OracleOutcome &O) {
+  if (!M)
+    return;
+  const char *Bucket = O.ok()          ? "ok"
+                       : O.violation() ? "violation"
+                       : O.S == OracleOutcome::Status::Classified
+                           ? "classified"
+                           : "skipped";
+  M->add(std::string("fuzz.oracle.") + Oracle + "." + Bucket);
+}
+
+/// Writes \p Content to \p Dir/\p Name.vlt; returns the path ("" on
+/// error — emit/reduce dirs are conveniences, not correctness).
+std::string writeProgram(const std::string &Dir, const std::string &Name,
+                         const std::string &Content) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  std::string Path = Dir + "/" + Name + ".vlt";
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return "";
+  Out << Content;
+  return Out.good() ? Path : "";
+}
+
+/// The reduction predicate for a finding: "the reduced text still
+/// exhibits the same oracle outcome class". Findings of different
+/// oracles need different re-checks.
+std::function<bool(const std::string &)>
+makePredicate(const Finding &F, const GeneratedProgram &Origin,
+              const CampaignOptions &Opts) {
+  // The reduced candidate inherits the origin's metadata so oracle
+  // classification logic behaves identically.
+  auto Wrap = [Origin](const std::string &Text) {
+    GeneratedProgram P = Origin;
+    P.Name += "-red";
+    P.Text = Text;
+    return P;
+  };
+  if (F.Oracle == "determinism")
+    return [Wrap, &Opts](const std::string &Text) {
+      return runDeterminismOracle(Wrap(Text), Opts.DetJobs, Opts.TmpDir)
+          .violation();
+    };
+  if (F.Oracle == "roundtrip")
+    return [Wrap, &Opts](const std::string &Text) {
+      return runRoundtripOracle(Wrap(Text), Opts.TmpDir).violation();
+    };
+  // Parity findings: a "missed" defect must keep looking like a miss
+  // (accepted statically, silent dynamically) *and* keep the mutated
+  // resource in play — anchoring on the mutation site's identifier
+  // stops ddmin from collapsing the program to an empty (trivially
+  // clean) main. Violations just need to stay violations.
+  if (F.Class == "missed") {
+    std::string Anchor = Origin.MutationNote;
+    return [Wrap, Anchor](const std::string &Text) {
+      if (!Anchor.empty() && Text.find(Anchor) == std::string::npos)
+        return false;
+      OracleOutcome O = runParityOracle(Wrap(Text));
+      return O.Class == "missed";
+    };
+  }
+  return [Wrap](const std::string &Text) {
+    return runParityOracle(Wrap(Text)).violation();
+  };
+}
+
+} // namespace
+
+std::string vault::fuzz::renderReproducer(const std::string &Text,
+                                          const Finding &F,
+                                          const GeneratedProgram &Origin,
+                                          uint64_t Seed) {
+  // Re-derive the expected verdict from the reduced text itself: the
+  // regress harness replays exactly this.
+  StaticRun S = checkText(Origin.Name + "-expect", Text);
+  std::string Expect = S.Accept ? "accept" : "reject";
+  for (DiagId Id : S.ErrorIds)
+    Expect += std::string(" ") + diagName(Id);
+
+  std::ostringstream Out;
+  Out << "//!fuzz-oracle: " << F.Oracle << "\n";
+  if (!F.Class.empty())
+    Out << "//!fuzz-class: " << F.Class << "\n";
+  Out << "//!fuzz-origin: seed=" << Seed << " program=" << Origin.Name;
+  if (Origin.Mutated) {
+    Out << " mutation=" << mutationName(Origin.Mutation);
+    if (!Origin.MutationNote.empty())
+      Out << " site=" << Origin.MutationNote;
+  }
+  Out << "\n";
+  Out << "//!fuzz-expect: " << Expect << "\n";
+  Out << Text;
+  return Out.str();
+}
+
+CampaignResult vault::fuzz::runCampaign(const CampaignOptions &Opts,
+                                        Metrics *M, Tracer *T) {
+  TraceSpan Campaign(T, "fuzz.campaign");
+  Campaign.arg("seed", Opts.Seed);
+  Campaign.arg("count", static_cast<uint64_t>(Opts.Count));
+
+  CampaignResult R;
+  Generator Gen(Opts.Seed);
+  std::string Scratch = Opts.TmpDir + "/vaultfuzz-s" +
+                        std::to_string(Opts.Seed);
+  std::error_code EC;
+  fs::create_directories(Scratch, EC);
+
+  auto runOracles = [&](const GeneratedProgram &P) {
+    if (Opts.RunParity) {
+      TraceSpan Span(T, "fuzz.oracle.parity");
+      OracleOutcome O = runParityOracle(P);
+      tally(R.Parity, O);
+      countOutcome(M, "parity", O);
+      if (P.Mutated) {
+        if (O.Class == "missed") {
+          ++R.MutantsMissed;
+          if (M)
+            M->add("fuzz.mutants.missed");
+          R.Findings.push_back({"parity", P.Name, O.Class, O.Detail, "", 0});
+        } else {
+          ++R.MutantsDetected;
+          if (M)
+            M->add("fuzz.mutants.detected");
+          if (O.violation())
+            R.Findings.push_back({"parity", P.Name, O.Class, O.Detail, "", 0});
+        }
+      } else if (O.violation()) {
+        R.Findings.push_back({"parity", P.Name, O.Class, O.Detail, "", 0});
+      }
+    }
+    if (Opts.RunDeterminism) {
+      TraceSpan Span(T, "fuzz.oracle.determinism");
+      OracleOutcome O = runDeterminismOracle(P, Opts.DetJobs, Scratch);
+      tally(R.Determinism, O);
+      countOutcome(M, "determinism", O);
+      if (O.violation())
+        R.Findings.push_back({"determinism", P.Name, O.Class, O.Detail, "",
+                              0});
+    }
+    if (Opts.RunRoundtrip) {
+      TraceSpan Span(T, "fuzz.oracle.roundtrip");
+      OracleOutcome O = runRoundtripOracle(P, Scratch);
+      tally(R.Roundtrip, O);
+      countOutcome(M, "roundtrip", O);
+      if (O.violation())
+        R.Findings.push_back({"roundtrip", P.Name, O.Class, O.Detail, "", 0});
+    }
+  };
+
+  std::vector<GeneratedProgram> Origins;
+  for (unsigned I = 0; I < Opts.Count; ++I) {
+    GeneratedProgram P;
+    {
+      TraceSpan Span(T, "fuzz.generate");
+      P = Gen.generate(I);
+    }
+    ++R.Generated;
+    if (M) {
+      M->add("fuzz.programs.generated");
+      M->histogram("fuzz.program.bytes", {256, 512, 1024, 2048, 4096})
+          .record(static_cast<double>(P.Text.size()));
+    }
+    if (!Opts.EmitDir.empty())
+      writeProgram(Opts.EmitDir, P.Name, P.Text);
+    size_t FindingsBefore = R.Findings.size();
+    runOracles(P);
+    for (size_t FI = FindingsBefore; FI < R.Findings.size(); ++FI)
+      Origins.push_back(P);
+
+    if (Opts.Mutate) {
+      std::optional<GeneratedProgram> Mut;
+      {
+        TraceSpan Span(T, "fuzz.mutate");
+        Mut = Gen.mutate(I);
+      }
+      if (Mut) {
+        ++R.Mutants;
+        if (M)
+          M->add("fuzz.programs.mutated");
+        if (!Opts.EmitDir.empty())
+          writeProgram(Opts.EmitDir, Mut->Name, Mut->Text);
+        FindingsBefore = R.Findings.size();
+        runOracles(*Mut);
+        for (size_t FI = FindingsBefore; FI < R.Findings.size(); ++FI)
+          Origins.push_back(*Mut);
+      }
+    }
+  }
+
+  // Reduce every finding to a minimal reproducer.
+  if (Opts.Reduce) {
+    for (size_t FI = 0; FI < R.Findings.size(); ++FI) {
+      Finding &F = R.Findings[FI];
+      const GeneratedProgram &Origin = Origins[FI];
+      TraceSpan Span(T, "fuzz.reduce");
+      Span.arg("program", F.Program);
+      auto Pred = makePredicate(F, Origin, Opts);
+      ReduceStats RS;
+      std::string Reduced = Origin.Text;
+      if (Pred(Origin.Text))
+        Reduced = reduceLines(Origin.Text, Pred, Opts.MaxReduceEvals, &RS);
+      F.ReducedLines = RS.LinesAfter ? RS.LinesAfter : RS.LinesBefore;
+      if (M) {
+        M->add("fuzz.reduce.runs");
+        M->add("fuzz.reduce.evals", RS.Evals);
+      }
+      if (!Opts.ReduceDir.empty())
+        F.ReducedPath = writeProgram(
+            Opts.ReduceDir, F.Program,
+            renderReproducer(Reduced, F, Origin, Opts.Seed));
+    }
+  }
+
+  fs::remove_all(Scratch, EC);
+
+  R.Pass = R.violations() == 0 &&
+           (R.Mutants == 0 || R.detectPct() >= Opts.MinDetectPct);
+  if (M) {
+    M->set("fuzz.findings", R.Findings.size());
+    M->set("fuzz.pass", R.Pass ? 1 : 0);
+  }
+
+  // Deterministic report: every line derives from counters and sorted
+  // maps, never from wall time or directory iteration order.
+  std::ostringstream Rep;
+  Rep << "vaultfuzz: seed=" << Opts.Seed << " count=" << Opts.Count
+      << " mutate=" << (Opts.Mutate ? "on" : "off") << "\n";
+  Rep << "programs: " << R.Generated << " clean + " << R.Mutants
+      << " mutants = " << (R.Generated + R.Mutants) << "\n";
+  auto RenderMap = [&Rep](const char *Name,
+                          const std::map<std::string, unsigned> &Map) {
+    Rep << Name << ":";
+    if (Map.empty())
+      Rep << " (not run)";
+    for (const auto &[K, V] : Map)
+      Rep << " " << K << "=" << V;
+    Rep << "\n";
+  };
+  RenderMap("parity", R.Parity);
+  RenderMap("determinism", R.Determinism);
+  RenderMap("roundtrip", R.Roundtrip);
+  if (R.Mutants) {
+    std::ostringstream Pct;
+    Pct.precision(1);
+    Pct << std::fixed << R.detectPct();
+    Rep << "seeded-defect detection: " << R.MutantsDetected << "/"
+        << (R.MutantsDetected + R.MutantsMissed) << " (" << Pct.str()
+        << "%, floor " << Opts.MinDetectPct << "%)\n";
+  }
+  for (const Finding &F : R.Findings) {
+    Rep << "finding: oracle=" << F.Oracle << " program=" << F.Program
+        << " class=" << (F.Class.empty() ? "violation" : F.Class);
+    if (!F.ReducedPath.empty())
+      Rep << " reduced=" << F.ReducedPath << " (" << F.ReducedLines
+          << " lines)";
+    Rep << "\n";
+    if (!F.Detail.empty()) {
+      std::istringstream Lines(F.Detail);
+      std::string L;
+      while (std::getline(Lines, L))
+        Rep << "  | " << L << "\n";
+    }
+  }
+  Rep << (R.Pass ? "PASS" : "FAIL") << "\n";
+  R.Report = Rep.str();
+  return R;
+}

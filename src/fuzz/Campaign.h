@@ -1,0 +1,101 @@
+//===- Campaign.h - Fuzzing campaign driver ---------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates one differential-fuzzing campaign: generate Count
+/// programs from a seed (plus one mutant each when Mutate is set), run
+/// the enabled oracles over every program, auto-reduce each violation
+/// and each missed seeded defect to a minimal reproducer, and render a
+/// deterministic report. The campaign populates the shared Metrics
+/// registry under the `fuzz.` prefix and opens Tracer spans, so
+/// --stats-json / --trace-json cover fuzz runs exactly as they cover
+/// checker runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_FUZZ_CAMPAIGN_H
+#define VAULT_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Fuzz.h"
+#include "fuzz/Oracles.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vault {
+class Metrics;
+class Tracer;
+} // namespace vault
+
+namespace vault::fuzz {
+
+struct CampaignOptions {
+  uint64_t Seed = 1;
+  unsigned Count = 50;  ///< Clean programs; mutants double the total.
+  bool Mutate = true;   ///< Also run every program's seeded-defect twin.
+  bool Reduce = true;   ///< ddmin violations/misses into reproducers.
+  bool RunParity = true;
+  bool RunDeterminism = true;
+  bool RunRoundtrip = true;
+  unsigned DetJobs = 4;        ///< The N of the --jobs 1 vs N comparison.
+  unsigned MinDetectPct = 95;  ///< Seeded-defect detection floor for Pass.
+  unsigned MaxReduceEvals = 300;
+  std::string EmitDir;   ///< When set, every program text is written here.
+  std::string ReduceDir; ///< Reproducer output dir ("" = don't write).
+  std::string TmpDir = "/tmp"; ///< Scratch for cache dirs and C binaries.
+};
+
+/// One oracle violation or missed defect, with its reduction result.
+struct Finding {
+  std::string Oracle;  ///< "parity" | "determinism" | "roundtrip".
+  std::string Program; ///< GeneratedProgram::Name.
+  std::string Class;   ///< e.g. "dynamic-gap", "missed".
+  std::string Detail;
+  std::string ReducedPath; ///< Reproducer file, if one was written.
+  unsigned ReducedLines = 0;
+};
+
+struct CampaignResult {
+  unsigned Generated = 0;
+  unsigned Mutants = 0;
+  /// Per-oracle tallies keyed by outcome bucket, e.g.
+  /// Parity["classified:join-conservative"].
+  std::map<std::string, unsigned> Parity, Determinism, Roundtrip;
+  unsigned MutantsDetected = 0; ///< static-only + detected-both + dynamic-gap.
+  unsigned MutantsMissed = 0;
+  std::vector<Finding> Findings;
+  bool Pass = false;
+  std::string Report; ///< Deterministic human-readable summary.
+
+  unsigned violations() const {
+    unsigned N = 0;
+    for (const Finding &F : Findings)
+      if (F.Class != "missed")
+        ++N;
+    return N;
+  }
+  /// Detection rate in percent (100 when no mutants ran).
+  double detectPct() const {
+    unsigned Total = MutantsDetected + MutantsMissed;
+    return Total ? 100.0 * MutantsDetected / Total : 100.0;
+  }
+};
+
+/// Runs the campaign. \p M and \p T may be null.
+CampaignResult runCampaign(const CampaignOptions &Opts, Metrics *M = nullptr,
+                           Tracer *T = nullptr);
+
+/// Renders the reproducer file for \p Text: `//!fuzz-*` header lines
+/// (oracle, class, origin, and a fresh `//!fuzz-expect:` verdict line
+/// derived by re-checking \p Text) followed by the program. The
+/// regress harness parses these headers back. Exposed for tests.
+std::string renderReproducer(const std::string &Text, const Finding &F,
+                             const GeneratedProgram &Origin, uint64_t Seed);
+
+} // namespace vault::fuzz
+
+#endif // VAULT_FUZZ_CAMPAIGN_H

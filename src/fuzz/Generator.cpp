@@ -1,0 +1,538 @@
+//===- Generator.cpp - Grammar-directed program generation ----------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Programs are assembled from independent protocol fragments, each a
+// self-contained block over its own resources: region lifecycles
+// through straight lines, branches and loops; tracked heap objects;
+// keyed variants packing a region key through a join (the Fig. 5
+// rewrite) or a loop; effect-clause-polymorphic helper functions; and
+// socket state-machine lifecycles. Every fragment registers the
+// mutation points the defect seeder may strike, so ground-truth labels
+// come from construction, not from guessing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace vault::fuzz;
+
+const char *vault::fuzz::mutationName(MutationKind K) {
+  switch (K) {
+  case MutationKind::None:
+    return "none";
+  case MutationKind::DropRelease:
+    return "drop-release";
+  case MutationKind::DoubleRelease:
+    return "double-release";
+  case MutationKind::WrongStateUse:
+    return "wrong-state-use";
+  case MutationKind::OnePathLeak:
+    return "one-path-leak";
+  case MutationKind::DoubleAcquire:
+    return "double-acquire";
+  }
+  return "none";
+}
+
+namespace {
+
+struct ScriptLine {
+  std::string Text;
+  int Indent = 1;
+};
+
+/// How a mutation edits the script, independent of its label.
+enum class MutOp { Erase, Duplicate, InsertAfter, Wrap, RenameKey };
+
+struct MutPoint {
+  MutationKind Label;
+  MutOp Op;
+  size_t Line;      ///< Anchor into Script::Main.
+  std::string Aux;  ///< InsertAfter: stmt; Wrap: condition; RenameKey: new.
+  std::string Aux2; ///< RenameKey: old key text (with parens).
+  bool Cold = false; ///< Defect invisible to the generated run.
+  std::string Note; ///< Resource the mutation strikes.
+};
+
+struct Script {
+  std::vector<std::string> TopDecls;
+  std::vector<ScriptLine> Main;
+  std::vector<MutPoint> Points;
+  bool UsesRegion = false, UsesPoint = false, UsesHolds = false,
+       UsesSocket = false;
+
+  size_t line(std::string Text, int Indent = 1) {
+    Main.push_back({std::move(Text), Indent});
+    return Main.size() - 1;
+  }
+  void point(MutationKind Label, MutOp Op, size_t Line, std::string Note,
+             std::string Aux = "", std::string Aux2 = "", bool Cold = false) {
+    Points.push_back(
+        {Label, Op, Line, std::move(Aux), std::move(Aux2), Cold,
+         std::move(Note)});
+  }
+};
+
+/// A fresh-key-introducing declaration, for double-acquire renames.
+struct KeyIntro {
+  size_t Line;
+  std::string Key; ///< Bare key name, e.g. "R3".
+};
+
+//===----------------------------------------------------------------------===//
+// Fragments
+//===----------------------------------------------------------------------===//
+
+/// Registers the release-site mutations every fragment shares: drop,
+/// duplicate, use-after via \p UseStmt, and (when \p WrapLeak) the
+/// conditional one-path leak. \p Hot tells whether the generated run
+/// actually reaches this release.
+void releasePoints(Script &S, Rng &R, size_t ReleaseLine,
+                   const std::string &Res, const std::string &UseStmt,
+                   bool LeakIsHot, bool WrapLeak = true) {
+  S.point(MutationKind::DropRelease, MutOp::Erase, ReleaseLine, Res, "", "",
+          /*Cold=*/!LeakIsHot);
+  S.point(MutationKind::DoubleRelease, MutOp::Duplicate, ReleaseLine, Res, "",
+          "", /*Cold=*/!LeakIsHot);
+  if (!UseStmt.empty())
+    S.point(MutationKind::WrongStateUse, MutOp::InsertAfter, ReleaseLine, Res,
+            UseStmt, "", /*Cold=*/!LeakIsHot);
+  if (WrapLeak) {
+    // The wrapped release still runs when the literal condition is
+    // true — then only the checker sees the leak (a cold defect).
+    bool CondTrue = R.chance(50);
+    S.point(MutationKind::OnePathLeak, MutOp::Wrap, ReleaseLine, Res,
+            CondTrue ? "0 < 1" : "1 < 0", "",
+            /*Cold=*/CondTrue || !LeakIsHot);
+  }
+}
+
+void emitRegionLinear(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesRegion = S.UsesPoint = true;
+  std::string N = std::to_string(Id);
+  std::string Rgn = "rgn" + N, Pt = "pt" + N, Key = "R" + N;
+  Keys.push_back({S.line("tracked(" + Key + ") region " + Rgn +
+                         " = Region.create();"),
+                  Key});
+  S.line(Key + ":point " + Pt + " = new(" + Rgn + ") point {x=" +
+         std::to_string(R.range(1, 9)) + "; y=" + std::to_string(R.range(1, 9)) +
+         ";};");
+  bool TwoObjects = R.chance(40);
+  std::string Qt = "qt" + N;
+  if (TwoObjects)
+    S.line(Key + ":point " + Qt + " = new(" + Rgn + ") point {x=" +
+           std::to_string(R.range(1, 9)) + "; y=" +
+           std::to_string(R.range(1, 9)) + ";};");
+  int Ops = R.range(1, 3);
+  for (int I = 0; I < Ops; ++I) {
+    const char *Fld = R.chance(50) ? "x" : "y";
+    if (TwoObjects && R.chance(50))
+      S.line(Pt + "." + Fld + " = " + Pt + "." + Fld + " + " + Qt + "." +
+             (R.chance(50) ? "x" : "y") + ";");
+    else
+      S.line(Pt + "." + Fld + " = " + Pt + "." + Fld + " + " +
+             std::to_string(R.range(1, 5)) + ";");
+  }
+  S.line("print_int(" + Pt + ".x + " + Pt + ".y);");
+  size_t Rel = S.line("Region.delete(" + Rgn + ");");
+  releasePoints(S, R, Rel, Rgn, "print_int(" + Pt + ".x);", /*LeakIsHot=*/true);
+}
+
+void emitRegionBranch(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesRegion = S.UsesPoint = true;
+  std::string N = std::to_string(Id);
+  if (R.chance(50)) {
+    // Style A: one region, data-dependent branch, release after join.
+    std::string Rgn = "rgn" + N, Pt = "pt" + N, V = "v" + N, Key = "R" + N;
+    int K = R.range(0, 9), C = R.range(0, 9);
+    Keys.push_back({S.line("tracked(" + Key + ") region " + Rgn +
+                           " = Region.create();"),
+                    Key});
+    S.line(Key + ":point " + Pt + " = new(" + Rgn + ") point {x=" +
+           std::to_string(R.range(1, 9)) + "; y=" +
+           std::to_string(R.range(1, 9)) + ";};");
+    S.line("int " + V + " = " + std::to_string(K) + ";");
+    S.line("if (" + V + " > " + std::to_string(C) + ") {");
+    S.line(Pt + ".x = " + Pt + ".x + 1;", 2);
+    S.line("} else {");
+    S.line(Pt + ".y = " + Pt + ".y + 2;", 2);
+    S.line("}");
+    S.line("print_int(" + Pt + ".x + " + Pt + ".y);");
+    size_t Rel = S.line("Region.delete(" + Rgn + ");");
+    releasePoints(S, R, Rel, Rgn, "print_int(" + Pt + ".y);", true);
+  } else {
+    // Style B: two regions released in both arms in *different*
+    // orders — the join-renaming stress from PR 1's bugfix.
+    std::string A = "ra" + N, B = "rb" + N, Pa = "pa" + N, Pb = "pb" + N,
+                V = "v" + N, Ka = "RA" + N, Kb = "RB" + N;
+    int K = R.range(0, 9), C = R.range(0, 9);
+    bool Then = K > C;
+    Keys.push_back({S.line("tracked(" + Ka + ") region " + A +
+                           " = Region.create();"),
+                    Ka});
+    Keys.push_back({S.line("tracked(" + Kb + ") region " + B +
+                           " = Region.create();"),
+                    Kb});
+    S.line(Ka + ":point " + Pa + " = new(" + A + ") point {x=" +
+           std::to_string(R.range(1, 9)) + "; y=0;};");
+    S.line(Kb + ":point " + Pb + " = new(" + B + ") point {x=" +
+           std::to_string(R.range(1, 9)) + "; y=0;};");
+    S.line("int " + V + " = " + std::to_string(K) + ";");
+    S.line("if (" + V + " > " + std::to_string(C) + ") {");
+    S.line("print_int(" + Pa + ".x);", 2);
+    size_t R1 = S.line("Region.delete(" + A + ");", 2);
+    size_t R2 = S.line("Region.delete(" + B + ");", 2);
+    S.line("} else {");
+    S.line("print_int(" + Pb + ".x);", 2);
+    size_t R3 = S.line("Region.delete(" + B + ");", 2);
+    size_t R4 = S.line("Region.delete(" + A + ");", 2);
+    S.line("}");
+    releasePoints(S, R, R1, A, "print_int(" + Pa + ".x);", Then,
+                  /*WrapLeak=*/false);
+    releasePoints(S, R, R2, B, "", Then, false);
+    releasePoints(S, R, R3, B, "print_int(" + Pb + ".x);", !Then, false);
+    releasePoints(S, R, R4, A, "", !Then, false);
+  }
+}
+
+void emitRegionLoop(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesRegion = S.UsesPoint = true;
+  std::string N = std::to_string(Id);
+  std::string Rgn = "rgn" + N, Acc = "acc" + N, I = "i" + N, Key = "R" + N;
+  int Bound = R.range(3, 8);
+  Keys.push_back({S.line("tracked(" + Key + ") region " + Rgn +
+                         " = Region.create();"),
+                  Key});
+  S.line(Key + ":point " + Acc + " = new(" + Rgn + ") point {x=0; y=" +
+         std::to_string(R.range(0, 4)) + ";};");
+  S.line("int " + I + " = 0;");
+  S.line("while (" + I + " < " + std::to_string(Bound) + ") {");
+  S.line(Acc + ".x = " + Acc + ".x + " + I + ";", 2);
+  if (R.chance(60))
+    S.line(Acc + ".y = " + Acc + ".y + " + Acc + ".x;", 2);
+  S.line(I + " = " + I + " + 1;", 2);
+  S.line("}");
+  S.line("print_int(" + Acc + ".x);");
+  S.line("print_int(" + Acc + ".y);");
+  size_t Rel = S.line("Region.delete(" + Rgn + ");");
+  releasePoints(S, R, Rel, Rgn, "print_int(" + Acc + ".x);", true);
+}
+
+void emitHeap(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesPoint = true;
+  std::string N = std::to_string(Id);
+  std::string P = "p" + N, Key = "K" + N;
+  Keys.push_back({S.line("tracked(" + Key + ") point " + P +
+                         " = new tracked point {x=" +
+                         std::to_string(R.range(1, 9)) + "; y=" +
+                         std::to_string(R.range(1, 9)) + ";};"),
+                  Key});
+  int Ops = R.range(0, 2);
+  for (int I = 0; I < Ops; ++I)
+    S.line(P + ".x = " + P + ".x * " + std::to_string(R.range(2, 3)) + ";");
+  S.line("print_int(" + P + ".x + " + P + ".y);");
+  size_t Rel = S.line("free(" + P + ");");
+  // A dropped free leaks silently at run time (no heap-leak tracker,
+  // exactly the paper's "testing cannot see it" class) — cold.
+  releasePoints(S, R, Rel, P, "print_int(" + P + ".y);",
+                /*LeakIsHot=*/false);
+}
+
+void emitKeyedVariantJoin(Script &S, Rng &R, int Id,
+                          std::vector<KeyIntro> &Keys) {
+  S.UsesRegion = S.UsesPoint = S.UsesHolds = true;
+  std::string N = std::to_string(Id);
+  std::string Rgn = "rgn" + N, Pt = "pt" + N, Fl = "fl" + N, Key = "R" + N;
+  int A = R.range(1, 9), C = R.range(0, 9);
+  bool ThenTaken = A > C; // pt.x > C decides at run time.
+  Keys.push_back({S.line("tracked(" + Key + ") region " + Rgn +
+                         " = Region.create();"),
+                  Key});
+  S.line(Key + ":point " + Pt + " = new(" + Rgn + ") point {x=" +
+         std::to_string(A) + "; y=" + std::to_string(R.range(1, 9)) + ";};");
+  S.line("tracked holds<" + Key + "> " + Fl + ";");
+  S.line("if (" + Pt + ".x > " + std::to_string(C) + ") {");
+  S.line(Pt + ".y = 0;", 2);
+  size_t RelThen = S.line("Region.delete(" + Rgn + ");", 2);
+  S.line(Fl + " = 'Deleted;", 2);
+  S.line("} else {");
+  S.line(Pt + ".y = " + Pt + ".x;", 2);
+  S.line(Fl + " = 'Alive{" + Key + "};", 2);
+  S.line("}");
+  S.line("switch (" + Fl + ") {");
+  S.line("case 'Deleted:", 1);
+  S.line("print(\"gone" + N + "\");", 2);
+  S.line("case 'Alive:", 1);
+  S.line("print_int(" + Pt + ".y);", 2);
+  size_t RelCase = S.line("Region.delete(" + Rgn + ");", 2);
+  S.line("}");
+  releasePoints(S, R, RelThen, Rgn, Pt + ".x = 2;", ThenTaken,
+                /*WrapLeak=*/false);
+  releasePoints(S, R, RelCase, Rgn, Pt + ".x = 3;", !ThenTaken,
+                /*WrapLeak=*/false);
+}
+
+void emitVariantLoop(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesRegion = S.UsesPoint = S.UsesHolds = true;
+  std::string N = std::to_string(Id);
+  std::string Rgn = "rgn" + N, Pt = "pt" + N, Fl = "fl" + N, I = "i" + N,
+              Key = "R" + N;
+  int Bound = R.range(2, 6);
+  Keys.push_back({S.line("tracked(" + Key + ") region " + Rgn +
+                         " = Region.create();"),
+                  Key});
+  S.line(Key + ":point " + Pt + " = new(" + Rgn + ") point {x=" +
+         std::to_string(R.range(1, 9)) + "; y=0;};");
+  S.line("tracked holds<" + Key + "> " + Fl + " = 'Alive{" + Key + "};");
+  S.line("int " + I + " = 0;");
+  S.line("while (" + I + " < " + std::to_string(Bound) + ") {");
+  S.line("switch (" + Fl + ") {", 2);
+  S.line("case 'Deleted:", 2);
+  S.line(Fl + " = 'Deleted;", 3);
+  S.line("case 'Alive:", 2);
+  S.line(Pt + ".y = " + Pt + ".y + " + I + ";", 3);
+  size_t Repack = S.line(Fl + " = 'Alive{" + Key + "};", 3);
+  S.line("}", 2);
+  S.line(I + " = " + I + " + 1;", 2);
+  S.line("}");
+  S.line("switch (" + Fl + ") {");
+  S.line("case 'Deleted:", 1);
+  S.line("print(\"dead" + N + "\");", 2);
+  S.line("case 'Alive:", 1);
+  S.line("print_int(" + Pt + ".y);", 2);
+  size_t Rel = S.line("Region.delete(" + Rgn + ");", 2);
+  S.line("}");
+  // Dropping the repack leaves the key loose in the 'Alive case only —
+  // a loop/join disagreement the checker must catch; the run stays
+  // clean (the variant value is unchanged), so the defect is cold.
+  S.point(MutationKind::DropRelease, MutOp::Erase, Repack, Fl, "", "",
+          /*Cold=*/true);
+  releasePoints(S, R, Rel, Rgn, Pt + ".x = 1;", /*LeakIsHot=*/true,
+                /*WrapLeak=*/false);
+}
+
+void emitHelperCalls(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesPoint = true;
+  std::string N = std::to_string(Id);
+  // Effect-clause polymorphism: one helper pair, two call sites with
+  // distinct caller-chosen keys.
+  S.TopDecls.push_back("tracked(H) point mk" + N +
+                       "(int a) [new H] {\n"
+                       "  return new tracked point {x=a; y=a+1;};\n"
+                       "}");
+  S.TopDecls.push_back("int burn" + N +
+                       "(tracked(H) point p) [-H] {\n"
+                       "  int t = p.x + p.y;\n"
+                       "  free(p);\n"
+                       "  return t;\n"
+                       "}");
+  std::string U = "u" + N, W = "w" + N, Ka = "A" + N, Kb = "B" + N;
+  Keys.push_back({S.line("tracked(" + Ka + ") point " + U + " = mk" + N + "(" +
+                         std::to_string(R.range(1, 9)) + ");"),
+                  Ka});
+  Keys.push_back({S.line("tracked(" + Kb + ") point " + W + " = mk" + N + "(" +
+                         std::to_string(R.range(1, 9)) + ");"),
+                  Kb});
+  S.line(U + ".x = " + U + ".x + " + std::to_string(R.range(1, 5)) + ";");
+  size_t B1 = S.line("print_int(burn" + N + "(" + U + "));");
+  size_t B2 = S.line("print_int(burn" + N + "(" + W + "));");
+  releasePoints(S, R, B1, U, "print_int(" + U + ".y);", /*LeakIsHot=*/true,
+                /*WrapLeak=*/false);
+  releasePoints(S, R, B2, W, "", /*LeakIsHot=*/true, /*WrapLeak=*/false);
+}
+
+void emitSocket(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesSocket = true;
+  std::string N = std::to_string(Id);
+  std::string Addr = "addr" + N, Sock = "s" + N;
+  S.line("sockaddr " + Addr + " = new sockaddr {port=" +
+         std::to_string(R.range(1024, 9999)) + ";};");
+  // The socket key is introduced anonymously at @raw (Fig. 3 style),
+  // so double-acquire renames do not apply here.
+  S.line("tracked(@raw) sock " + Sock + " = socket(" +
+         (R.chance(50) ? "'UNIX" : "'INET") + ", 'STREAM, 0);");
+  size_t Bind = S.line("bind(" + Sock + ", " + Addr + ");");
+  S.line("listen(" + Sock + ", " + std::to_string(R.range(1, 16)) + ");");
+  size_t Rel = S.line("close(" + Sock + ");");
+  (void)Keys;
+  // Dropping the bind skips a protocol transition: listen then runs on
+  // a @raw socket — the canonical wrong-state defect, hot.
+  S.point(MutationKind::WrongStateUse, MutOp::Erase, Bind, Sock, "", "",
+          /*Cold=*/false);
+  releasePoints(S, R, Rel, Sock, "listen(" + Sock + ", 1);",
+                /*LeakIsHot=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program assembly
+//===----------------------------------------------------------------------===//
+
+enum class FragKind {
+  RegionLinear,
+  RegionBranch,
+  RegionLoop,
+  Heap,
+  KeyedVariantJoin,
+  VariantLoop,
+  HelperCalls,
+  Socket,
+  NumKinds
+};
+
+Script buildScript(uint64_t Seed, unsigned Index) {
+  // One stream decides everything about program Index; mutation picks
+  // come from a second, independent stream (see mutate()).
+  Rng R(Seed * 0x9E3779B97F4A7C15ull + Index * 2654435761ull + 1);
+  Script S;
+  std::vector<KeyIntro> Keys;
+  int NumFrags = R.range(1, 3);
+  for (int F = 0; F < NumFrags; ++F) {
+    int Id = F + 1;
+    switch (static_cast<FragKind>(R.below(
+        static_cast<size_t>(FragKind::NumKinds)))) {
+    case FragKind::RegionLinear:
+      emitRegionLinear(S, R, Id, Keys);
+      break;
+    case FragKind::RegionBranch:
+      emitRegionBranch(S, R, Id, Keys);
+      break;
+    case FragKind::RegionLoop:
+      emitRegionLoop(S, R, Id, Keys);
+      break;
+    case FragKind::Heap:
+      emitHeap(S, R, Id, Keys);
+      break;
+    case FragKind::KeyedVariantJoin:
+      emitKeyedVariantJoin(S, R, Id, Keys);
+      break;
+    case FragKind::VariantLoop:
+      emitVariantLoop(S, R, Id, Keys);
+      break;
+    case FragKind::HelperCalls:
+      emitHelperCalls(S, R, Id, Keys);
+      break;
+    case FragKind::Socket:
+      emitSocket(S, R, Id, Keys);
+      break;
+    case FragKind::NumKinds:
+      break;
+    }
+  }
+  // Double-acquire points: a later fresh-key declaration can be
+  // renamed to collide with any earlier live key.
+  for (size_t J = 1; J < Keys.size(); ++J)
+    for (size_t I = 0; I < J; ++I)
+      S.point(MutationKind::DoubleAcquire, MutOp::RenameKey, Keys[J].Line,
+              Keys[J].Key + "->" + Keys[I].Key, "(" + Keys[I].Key + ")",
+              "(" + Keys[J].Key + ")", /*Cold=*/true);
+  return S;
+}
+
+std::string renderProgram(const Script &S, uint64_t Seed, unsigned Index,
+                          MutationKind K, const std::string &Note) {
+  std::ostringstream Out;
+  Out << "// generated by vaultfuzz: seed=" << Seed << " program=" << Index
+      << " mutation=" << mutationName(K);
+  if (!Note.empty())
+    Out << " site=" << Note;
+  Out << "\n";
+  Out << "void print(string s);\n"
+         "void print_int(int n);\n";
+  if (S.UsesRegion)
+    Out << "interface REGION {\n"
+           "  type region;\n"
+           "  tracked(R) region create() [new R];\n"
+           "  void delete(tracked(R) region) [-R];\n"
+           "}\n"
+           "extern module Region : REGION;\n";
+  if (S.UsesPoint)
+    Out << "struct point { int x; int y; }\n";
+  if (S.UsesHolds)
+    Out << "variant holds<key K> [ 'Deleted | 'Alive {K} ];\n";
+  if (S.UsesSocket)
+    Out << "type sock;\n"
+           "variant domain [ 'UNIX | 'INET ];\n"
+           "variant comm_style [ 'STREAM | 'DGRAM ];\n"
+           "struct sockaddr { int port; }\n"
+           "tracked(@raw) sock socket(domain, comm_style, int);\n"
+           "void bind(tracked(S) sock, sockaddr) [S@raw->named];\n"
+           "void listen(tracked(S) sock, int) [S@named->listening];\n"
+           "void close(tracked(S) sock) [-S];\n";
+  for (const std::string &D : S.TopDecls)
+    Out << D << "\n";
+  Out << "void main() {\n";
+  for (const ScriptLine &L : S.Main) {
+    for (int I = 0; I < L.Indent; ++I)
+      Out << "  ";
+    Out << L.Text << "\n";
+  }
+  Out << "}\n";
+  return Out.str();
+}
+
+} // namespace
+
+GeneratedProgram Generator::generate(unsigned Index) const {
+  Script S = buildScript(Seed, Index);
+  GeneratedProgram P;
+  P.Name = "fuzz-s" + std::to_string(Seed) + "-p" + std::to_string(Index);
+  P.Text = renderProgram(S, Seed, Index, MutationKind::None, "");
+  P.RoundtripEligible = !S.UsesSocket;
+  return P;
+}
+
+std::optional<GeneratedProgram> Generator::mutate(unsigned Index) const {
+  Script S = buildScript(Seed, Index);
+  if (S.Points.empty())
+    return std::nullopt;
+  Rng R(Seed * 0xD1B54A32D192ED03ull + Index * 0x8CB92BA72F3D8DD7ull + 5);
+  const MutPoint P = S.Points[R.below(S.Points.size())];
+
+  std::vector<ScriptLine> &M = S.Main;
+  assert(P.Line < M.size());
+  switch (P.Op) {
+  case MutOp::Erase:
+    M.erase(M.begin() + static_cast<long>(P.Line));
+    break;
+  case MutOp::Duplicate:
+    M.insert(M.begin() + static_cast<long>(P.Line) + 1, M[P.Line]);
+    break;
+  case MutOp::InsertAfter:
+    M.insert(M.begin() + static_cast<long>(P.Line) + 1,
+             {P.Aux, M[P.Line].Indent});
+    break;
+  case MutOp::Wrap: {
+    ScriptLine Orig = M[P.Line];
+    M[P.Line] = {"if (" + P.Aux + ") {", Orig.Indent};
+    M.insert(M.begin() + static_cast<long>(P.Line) + 1,
+             {Orig.Text, Orig.Indent + 1});
+    M.insert(M.begin() + static_cast<long>(P.Line) + 2,
+             {"}", Orig.Indent});
+    break;
+  }
+  case MutOp::RenameKey: {
+    std::string &T = M[P.Line].Text;
+    size_t At = T.find(P.Aux2);
+    if (At == std::string::npos)
+      return std::nullopt;
+    T.replace(At, P.Aux2.size(), P.Aux);
+    break;
+  }
+  }
+
+  GeneratedProgram G;
+  G.Name = "fuzz-s" + std::to_string(Seed) + "-p" + std::to_string(Index) +
+           "-" + mutationName(P.Label);
+  G.Text = renderProgram(S, Seed, Index, P.Label, P.Note);
+  G.Mutated = true;
+  G.Mutation = P.Label;
+  G.ExpectClean = false;
+  G.MutationIsCold = P.Cold;
+  G.RoundtripEligible = !S.UsesSocket;
+  G.MutationNote = P.Note;
+  return G;
+}

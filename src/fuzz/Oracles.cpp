@@ -1,0 +1,274 @@
+//===- Oracles.cpp --------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "interp/Interp.h"
+#include "lower/CEmitter.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace vault;
+using namespace vault::fuzz;
+
+namespace fs = std::filesystem;
+
+StaticRun vault::fuzz::checkText(const std::string &Name,
+                                 const std::string &Text, unsigned Jobs,
+                                 const std::string &CacheDir) {
+  StaticRun R;
+  R.C = std::make_unique<VaultCompiler>();
+  R.C->setJobs(Jobs);
+  if (!CacheDir.empty())
+    R.C->setCacheDir(CacheDir);
+  R.C->addSource(Name + ".vlt", Text);
+  R.Accept = R.C->check();
+  std::set<DiagId> Ids;
+  for (const Diagnostic &D : R.C->diags().diagnostics())
+    if (D.Severity == DiagSeverity::Error)
+      Ids.insert(D.Id);
+  R.ErrorIds.assign(Ids.begin(), Ids.end());
+  R.Signature = R.C->diags().render() + "verdict: " +
+                (R.Accept ? "accept" : "reject") + " errors=" +
+                std::to_string(R.C->diags().errorCount()) + "\n";
+  return R;
+}
+
+DynamicRun vault::fuzz::runDynamic(VaultCompiler &C) {
+  interp::Interp I(C);
+  DynamicRun D;
+  D.Ran = I.run("main");
+  D.Trapped = I.trapped();
+  D.TrapMessage = I.trapMessage();
+  D.Detections =
+      I.totalViolations() +
+      static_cast<unsigned>(I.regions().leakedRegions().size()) +
+      static_cast<unsigned>(I.sockets().leakedSockets().size()) +
+      static_cast<unsigned>(I.gdi().leakedDcs().size());
+  std::string Out;
+  for (const std::string &L : I.output())
+    Out += L + "\n";
+  D.Output = std::move(Out);
+  return D;
+}
+
+static bool onlyJoinConservatism(const std::vector<DiagId> &Ids) {
+  if (Ids.empty())
+    return false;
+  for (DiagId Id : Ids)
+    if (Id != DiagId::FlowJoinMismatch)
+      return false;
+  return true;
+}
+
+OracleOutcome vault::fuzz::runParityOracle(const GeneratedProgram &P) {
+  StaticRun S = checkText(P.Name, P.Text);
+  DynamicRun D = runDynamic(*S.C);
+  bool DynDetect = D.Detections > 0;
+
+  OracleOutcome O;
+  if (!P.Mutated) {
+    // Ground truth: protocol-clean and terminating by construction.
+    if (S.Accept && !D.Trapped && !DynDetect)
+      return O; // Ok.
+    if (S.Accept) {
+      O.S = OracleOutcome::Status::Violation;
+      O.Detail = "checker-accepted program misbehaved dynamically: " +
+                 (D.Trapped ? "trap: " + D.TrapMessage
+                            : std::to_string(D.Detections) + " violation(s)");
+      return O;
+    }
+    if (onlyJoinConservatism(S.ErrorIds)) {
+      // The documented Fig. 5 limitation: the join is conservative on
+      // a memory-safe program. Classified, not a finding.
+      O.S = OracleOutcome::Status::Classified;
+      O.Class = "join-conservative";
+      return O;
+    }
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "clean-by-construction program rejected:\n" + S.Signature;
+    return O;
+  }
+
+  // Mutant: exactly one seeded defect. Detection = static rejection or
+  // any dynamic observation (violation, leak, or trap).
+  bool StaticDetect = !S.Accept;
+  bool DynamicDetect = DynDetect || D.Trapped;
+  if (StaticDetect && DynamicDetect) {
+    O.Class = "detected-both";
+    return O;
+  }
+  if (StaticDetect) {
+    // The paper's core argument: a single test run misses cold-path
+    // defects and silent leaks that the checker still catches.
+    O.Class = "static-only";
+    return O;
+  }
+  if (DynamicDetect) {
+    O.S = OracleOutcome::Status::Violation;
+    O.Class = "dynamic-gap";
+    O.Detail = "seeded defect (" + std::string(mutationName(P.Mutation)) +
+               " at " + P.MutationNote +
+               ") missed statically but caught by the dynamic oracle";
+    return O;
+  }
+  O.S = OracleOutcome::Status::Classified;
+  O.Class = "missed";
+  O.Detail = "seeded defect (" + std::string(mutationName(P.Mutation)) +
+             " at " + P.MutationNote + ") missed by both oracles";
+  return O;
+}
+
+OracleOutcome vault::fuzz::runDeterminismOracle(const GeneratedProgram &P,
+                                                unsigned JobsB,
+                                                const std::string &ScratchDir) {
+  OracleOutcome O;
+  StaticRun Base = checkText(P.Name, P.Text, 1);
+  StaticRun Par = checkText(P.Name, P.Text, JobsB);
+  if (Par.Signature != Base.Signature) {
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "diagnostics differ between --jobs 1 and --jobs " +
+               std::to_string(JobsB) + ":\n--- jobs 1\n" + Base.Signature +
+               "--- jobs " + std::to_string(JobsB) + "\n" + Par.Signature;
+    return O;
+  }
+  std::string CacheDir = ScratchDir + "/cache-" + P.Name;
+  std::error_code EC;
+  fs::remove_all(CacheDir, EC);
+  StaticRun Cold = checkText(P.Name, P.Text, 2, CacheDir);
+  StaticRun Warm = checkText(P.Name, P.Text, 3, CacheDir);
+  bool WarmReplayed = Warm.C->stats().CacheEnabled &&
+                      Warm.C->stats().FlowChecksRun == 0;
+  std::string ColdSig = Cold.Signature, WarmSig = Warm.Signature;
+  fs::remove_all(CacheDir, EC);
+  if (ColdSig != Base.Signature || WarmSig != Base.Signature) {
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "diagnostics differ between uncached, cold-cache and "
+               "warm-cache runs:\n--- uncached\n" +
+               Base.Signature + "--- cold\n" + ColdSig + "--- warm\n" +
+               WarmSig;
+    return O;
+  }
+  if (!WarmReplayed) {
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "warm cache run re-checked " +
+               std::to_string(Warm.C->stats().FlowChecksRun) +
+               " function(s) instead of replaying";
+    return O;
+  }
+  return O;
+}
+
+bool vault::fuzz::haveCCompiler() {
+  static const bool Have = [] {
+    return std::system("cc --version >/dev/null 2>&1") == 0;
+  }();
+  return Have;
+}
+
+/// The same 30-line protocol-free runtime the E10 execution test links
+/// against: enough for regions, tracked heap objects and the I/O
+/// builtins the generator emits.
+static const char *RuntimeStub = R"(
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+static uint64_t next_region = 1;
+uint64_t Region_create(void) { return next_region++; }
+void Region_delete(uint64_t r) { (void)r; }
+void *vault_region_alloc(uint64_t region, size_t size) {
+  (void)region;
+  return calloc(1, size);
+}
+void print(const char *s) { printf("%s\n", s); }
+void print_int(int32_t n) { printf("%d\n", n); }
+void expect(_Bool b) {
+  if (!b) {
+    fprintf(stderr, "expect failed\n");
+    exit(3);
+  }
+}
+)";
+
+OracleOutcome vault::fuzz::runRoundtripOracle(const GeneratedProgram &P,
+                                              const std::string &ScratchDir) {
+  OracleOutcome O;
+  if (!P.RoundtripEligible) {
+    O.S = OracleOutcome::Status::Skipped;
+    O.Class = "unsupported-features";
+    return O;
+  }
+  StaticRun S = checkText(P.Name, P.Text);
+  if (!S.Accept) {
+    O.S = OracleOutcome::Status::Skipped;
+    O.Class = "statically-rejected";
+    return O;
+  }
+  if (!haveCCompiler()) {
+    O.S = OracleOutcome::Status::Skipped;
+    O.Class = "no-cc";
+    return O;
+  }
+  DynamicRun D = runDynamic(*S.C);
+  if (D.Trapped || D.Detections > 0) {
+    // The parity oracle owns this finding; don't report it twice.
+    O.S = OracleOutcome::Status::Skipped;
+    O.Class = "dynamic-misbehavior";
+    return O;
+  }
+
+  CEmitter E(*S.C);
+  std::string CSrc = E.emitProgram();
+  std::error_code EC;
+  fs::create_directories(ScratchDir, EC);
+  std::string Base = ScratchDir + "/" + P.Name;
+  {
+    std::ofstream PFile(Base + ".c", std::ios::binary | std::ios::trunc);
+    PFile << CSrc;
+    std::ofstream SFile(Base + "_rt.c", std::ios::binary | std::ios::trunc);
+    SFile << RuntimeStub;
+  }
+  std::string ExtraFlags;
+  if (const char *F = std::getenv("VAULTFUZZ_CC_FLAGS"))
+    ExtraFlags = std::string(" ") + F;
+  std::string Bin = Base + ".bin";
+  std::string Cmd = "cc -std=c11 -w" + ExtraFlags + " " + Base + ".c " + Base +
+                    "_rt.c -o " + Bin + " 2>" + Base + ".log";
+  auto Cleanup = [&] {
+    std::error_code E2;
+    for (const char *Ext : {".c", "_rt.c", ".bin", ".out", ".log"})
+      fs::remove(Base + Ext, E2);
+  };
+  if (std::system(Cmd.c_str()) != 0) {
+    std::ifstream Log(Base + ".log");
+    std::string Err((std::istreambuf_iterator<char>(Log)),
+                    std::istreambuf_iterator<char>());
+    Cleanup();
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "emitted C failed to compile:\n" + Err;
+    return O;
+  }
+  std::string OutFile = Base + ".out";
+  if (std::system((Bin + " >" + OutFile).c_str()) != 0) {
+    Cleanup();
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "emitted binary exited non-zero";
+    return O;
+  }
+  std::ifstream Out(OutFile);
+  std::string CText((std::istreambuf_iterator<char>(Out)),
+                    std::istreambuf_iterator<char>());
+  Cleanup();
+  if (CText != D.Output) {
+    O.S = OracleOutcome::Status::Violation;
+    O.Detail = "observable behavior diverges:\n--- interpreter\n" + D.Output +
+               "--- emitted C\n" + CText;
+    return O;
+  }
+  return O;
+}

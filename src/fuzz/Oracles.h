@@ -1,0 +1,95 @@
+//===- Oracles.h - Differential fuzzing oracles -----------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three differential oracles of the fuzzing subsystem:
+///
+///  * parity — the static checker's verdict against the interpreter's
+///    dynamic protocol oracle, with the documented Fig. 5 class
+///    (join-point conservatism) *classified* rather than flagged;
+///  * determinism — byte-identical diagnostics across --jobs 1/N and
+///    across cold/warm --cache-dir runs, for every generated program;
+///  * erasure round-trip — the --emit-c lowering of an accepted
+///    program compiles, runs, and matches the interpreter's output.
+///
+/// Each oracle returns a four-way outcome: Ok, Classified (an expected
+/// and explainable divergence), Violation (a finding worth reducing),
+/// or Skipped (precondition absent, e.g. no C compiler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_FUZZ_ORACLES_H
+#define VAULT_FUZZ_ORACLES_H
+
+#include "fuzz/Fuzz.h"
+#include "sema/Checker.h"
+
+#include <memory>
+#include <string>
+
+namespace vault::fuzz {
+
+/// One static run of the checker over a program text.
+struct StaticRun {
+  std::unique_ptr<VaultCompiler> C;
+  bool Accept = false;
+  /// diags().render() plus a verdict trailer — the byte string the
+  /// determinism oracle compares.
+  std::string Signature;
+  /// Error-severity DiagIds reported (deduplicated, sorted).
+  std::vector<DiagId> ErrorIds;
+};
+
+StaticRun checkText(const std::string &Name, const std::string &Text,
+                    unsigned Jobs = 1, const std::string &CacheDir = "");
+
+/// One interpreter run with the dynamic protocol oracle.
+struct DynamicRun {
+  bool Ran = false;
+  bool Trapped = false;
+  std::string TrapMessage;
+  /// Protocol violations + end-of-run leaks (regions, sockets, DCs).
+  unsigned Detections = 0;
+  std::string Output; ///< print()/print_int() lines, '\n'-joined.
+};
+
+DynamicRun runDynamic(VaultCompiler &C);
+
+struct OracleOutcome {
+  enum class Status { Ok, Classified, Violation, Skipped };
+  Status S = Status::Ok;
+  /// Classification or skip reason ("join-conservative", "static-only",
+  /// "missed", "no-cc", "statically-rejected", ...).
+  std::string Class;
+  std::string Detail; ///< Human-readable finding description.
+
+  bool ok() const { return S == Status::Ok; }
+  bool violation() const { return S == Status::Violation; }
+};
+
+/// Static-vs-dynamic parity. For mutants, also decides the detection
+/// outcome: Class is "detected-both", "static-only", "dynamic-gap"
+/// (a Violation: statically missed, dynamically caught) or "missed".
+OracleOutcome runParityOracle(const GeneratedProgram &P);
+
+/// Diagnostics byte-identity across jobs 1 vs \p JobsB and across a
+/// cold-then-warm result cache rooted under \p ScratchDir.
+OracleOutcome runDeterminismOracle(const GeneratedProgram &P, unsigned JobsB,
+                                   const std::string &ScratchDir);
+
+/// Erasure round-trip: lower, compile with the C runtime stub, run,
+/// and compare observable output with the interpreter. Only meaningful
+/// for statically-accepted programs within the stub's feature set.
+/// \p ScratchDir receives the temporary .c/.bin files.
+OracleOutcome runRoundtripOracle(const GeneratedProgram &P,
+                                 const std::string &ScratchDir);
+
+/// Whether a C compiler ("cc") is reachable; cached after first call.
+bool haveCCompiler();
+
+} // namespace vault::fuzz
+
+#endif // VAULT_FUZZ_ORACLES_H

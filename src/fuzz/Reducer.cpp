@@ -1,0 +1,92 @@
+//===- Reducer.cpp --------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <vector>
+
+using namespace vault::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Alive) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (Alive[I]) {
+      Out += Lines[I];
+      Out += '\n';
+    }
+  return Out;
+}
+
+} // namespace
+
+std::string vault::fuzz::reduceLines(
+    const std::string &Text,
+    const std::function<bool(const std::string &)> &StillFails,
+    unsigned MaxEvals, ReduceStats *Stats) {
+  std::vector<std::string> Lines = splitLines(Text);
+  std::vector<bool> Alive(Lines.size(), true);
+  size_t AliveCount = Lines.size();
+  unsigned Evals = 0;
+
+  // ddmin over contiguous chunks: halve the chunk size each round a
+  // full sweep removes nothing, down to single lines; restart at the
+  // current size after any successful deletion so the sweep is greedy.
+  size_t Chunk = (AliveCount + 1) / 2;
+  while (Chunk >= 1 && AliveCount > 1 && Evals < MaxEvals) {
+    bool Removed = false;
+    // Walk alive-line positions in fixed order for determinism.
+    std::vector<size_t> Pos;
+    Pos.reserve(AliveCount);
+    for (size_t I = 0; I < Lines.size(); ++I)
+      if (Alive[I])
+        Pos.push_back(I);
+    for (size_t Start = 0; Start < Pos.size() && Evals < MaxEvals;
+         Start += Chunk) {
+      size_t End = std::min(Start + Chunk, Pos.size());
+      for (size_t I = Start; I < End; ++I)
+        Alive[Pos[I]] = false;
+      ++Evals;
+      if (StillFails(joinLines(Lines, Alive))) {
+        AliveCount -= End - Start;
+        Removed = true;
+      } else {
+        for (size_t I = Start; I < End; ++I)
+          Alive[Pos[I]] = true;
+      }
+    }
+    if (!Removed) {
+      if (Chunk == 1)
+        break;
+      Chunk /= 2;
+    } else {
+      Chunk = std::min(Chunk, AliveCount);
+      if (Chunk == 0)
+        Chunk = 1;
+    }
+  }
+
+  if (Stats) {
+    Stats->Evals = Evals;
+    Stats->LinesBefore = static_cast<unsigned>(Lines.size());
+    Stats->LinesAfter = static_cast<unsigned>(AliveCount);
+  }
+  return joinLines(Lines, Alive);
+}

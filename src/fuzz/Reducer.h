@@ -1,0 +1,44 @@
+//===- Reducer.h - Delta-debugging reducer ----------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented delta-debugging (ddmin-style) reducer: given a
+/// program text and a predicate "does this text still exhibit the
+/// finding", it greedily deletes ever-smaller contiguous line chunks
+/// until the text is 1-minimal under the predicate. Deterministic —
+/// chunk order is fixed, no randomness — so a reduced reproducer is a
+/// pure function of (input, predicate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_FUZZ_REDUCER_H
+#define VAULT_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace vault::fuzz {
+
+struct ReduceStats {
+  unsigned Evals = 0;       ///< Predicate evaluations performed.
+  unsigned LinesBefore = 0; ///< Input line count.
+  unsigned LinesAfter = 0;  ///< Output line count.
+};
+
+/// Shrinks \p Text while \p StillFails holds. \p StillFails must be
+/// true for \p Text itself; the result is the smallest variant found
+/// within \p MaxEvals predicate evaluations (the cap bounds reduction
+/// time on pathological inputs; the partially reduced text is still
+/// valid). Lines are the atomic unit — the predicate is expected to
+/// tolerate arbitrary line deletions (parse errors simply fail it).
+std::string reduceLines(const std::string &Text,
+                        const std::function<bool(const std::string &)>
+                            &StillFails,
+                        unsigned MaxEvals = 400, ReduceStats *Stats = nullptr);
+
+} // namespace vault::fuzz
+
+#endif // VAULT_FUZZ_REDUCER_H

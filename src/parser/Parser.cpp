@@ -26,6 +26,14 @@ void Parser::error(DiagId Id, const std::string &Msg) {
   Diags.report(Id, tok().Loc, Msg);
 }
 
+bool Parser::enterDepth(const char *What) {
+  if (Depth < MaxDepth)
+    return true;
+  error(DiagId::ParseTooDeep,
+        std::string(What) + " nesting exceeds the parser's depth limit");
+  return false;
+}
+
 bool Parser::expect(TokKind K, const char *Context) {
   if (accept(K))
     return true;
@@ -36,18 +44,18 @@ bool Parser::expect(TokKind K, const char *Context) {
 }
 
 void Parser::skipTo(std::initializer_list<TokKind> Sync) {
-  unsigned Depth = 0;
+  unsigned Nest = 0;
   while (!at(TokKind::Eof)) {
-    if (Depth == 0)
+    if (Nest == 0)
       for (TokKind K : Sync)
         if (at(K))
           return;
     if (atOneOf({TokKind::LBrace, TokKind::LParen, TokKind::LBracket}))
-      ++Depth;
+      ++Nest;
     else if (atOneOf({TokKind::RBrace, TokKind::RParen, TokKind::RBracket})) {
-      if (Depth == 0)
+      if (Nest == 0)
         return;
-      --Depth;
+      --Nest;
     }
     consume();
   }
@@ -255,10 +263,16 @@ TypeExprAst *Parser::parseTypeNoGuard() {
 }
 
 TypeExprAst *Parser::parseType() {
+  if (!enterDepth("type"))
+    return nullptr;
+  ++Depth;
+  TypeExprAst *T = nullptr;
   if (atOneOf({TokKind::Identifier, TokKind::LParen}))
-    if (TypeExprAst *G = tryParseGuardedType())
-      return G;
-  return parseTypeNoGuard();
+    T = tryParseGuardedType();
+  if (!T)
+    T = parseTypeNoGuard();
+  --Depth;
+  return T;
 }
 
 //===----------------------------------------------------------------------===//
@@ -334,7 +348,14 @@ bool Parser::parseEffectClause(EffectClauseAst &Out) {
 // Expressions
 //===----------------------------------------------------------------------===//
 
-Expr *Parser::parseExpr() { return parseAssign(); }
+Expr *Parser::parseExpr() {
+  if (!enterDepth("expression"))
+    return nullptr;
+  ++Depth;
+  Expr *E = parseAssign();
+  --Depth;
+  return E;
+}
 
 Expr *Parser::parseAssign() {
   Expr *Lhs = parseOr();
@@ -857,6 +878,15 @@ Stmt *Parser::tryParseLocalDecl() {
 }
 
 Stmt *Parser::parseStmt() {
+  if (!enterDepth("statement"))
+    return nullptr;
+  ++Depth;
+  Stmt *S = parseStmtImpl();
+  --Depth;
+  return S;
+}
+
+Stmt *Parser::parseStmtImpl() {
   switch (tok().Kind) {
   case TokKind::LBrace:
     return parseBlock();

@@ -96,6 +96,7 @@ private:
 
   // Statements.
   Stmt *parseStmt();
+  Stmt *parseStmtImpl();
   BlockStmt *parseBlock();
   Stmt *parseIf();
   Stmt *parseWhile();
@@ -122,10 +123,18 @@ private:
   Expr *parseNew();
   Expr *parseCtor();
 
+  /// Recursion budget shared by parseExpr/parseStmt/parseType. Each
+  /// nesting level costs a dozen-odd stack frames through the
+  /// precedence chain, so this bounds real stack use well below any
+  /// platform default instead of crashing on pathological input.
+  static constexpr unsigned MaxDepth = 512;
+  bool enterDepth(const char *What);
+
   AstContext &Ctx;
   DiagnosticEngine &Diags;
   std::vector<Token> Tokens;
   size_t Idx = 0;
+  unsigned Depth = 0;
   /// >0 while inside a tentative parse: suppress diagnostics.
   int Quiet = 0;
   bool SawError = false;

@@ -26,6 +26,8 @@ const char *vault::diagName(DiagId Id) {
     return "parse-bad-type";
   case DiagId::ParseBadPattern:
     return "parse-bad-pattern";
+  case DiagId::ParseTooDeep:
+    return "parse-too-deep";
   case DiagId::SemaUnknownName:
     return "sema-unknown-name";
   case DiagId::SemaRedefinition:

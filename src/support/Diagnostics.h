@@ -41,6 +41,7 @@ enum class DiagId {
   ParseBadEffect,
   ParseBadType,
   ParseBadPattern,
+  ParseTooDeep, ///< Nesting beyond the parser's recursion budget.
   // Name resolution / elaboration.
   SemaUnknownName,
   SemaRedefinition,

@@ -1,0 +1,41 @@
+# Two vaultfuzz runs with the same seed must agree byte-for-byte:
+# the report on stdout, every emitted program, and every reduced
+# reproducer. Anything less makes fuzz findings unreproducible.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(RUN a b)
+  execute_process(
+    COMMAND ${VAULTFUZZ} --seed 2026 --count 20 --oracle parity,determinism
+            --emit ${WORK_DIR}/emit-${RUN} --out ${WORK_DIR}/repro-${RUN}
+            --tmp ${WORK_DIR}/tmp-${RUN}
+    OUTPUT_FILE ${WORK_DIR}/report-${RUN}.txt
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "vaultfuzz run ${RUN} failed with status ${RC}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/report-a.txt ${WORK_DIR}/report-b.txt RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR "reports differ between identical-seed runs")
+endif()
+
+file(GLOB PROGRAMS_A RELATIVE ${WORK_DIR}/emit-a ${WORK_DIR}/emit-a/*.vlt)
+file(GLOB PROGRAMS_B RELATIVE ${WORK_DIR}/emit-b ${WORK_DIR}/emit-b/*.vlt)
+if(NOT "${PROGRAMS_A}" STREQUAL "${PROGRAMS_B}")
+  message(FATAL_ERROR "emitted program sets differ")
+endif()
+if("${PROGRAMS_A}" STREQUAL "")
+  message(FATAL_ERROR "no programs were emitted")
+endif()
+foreach(P ${PROGRAMS_A})
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/emit-a/${P} ${WORK_DIR}/emit-b/${P} RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR "program ${P} differs between identical-seed runs")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})

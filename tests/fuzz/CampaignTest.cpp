@@ -1,0 +1,115 @@
+//===- CampaignTest.cpp - Campaign driver behavior ------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace vault;
+using namespace vault::fuzz;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+CampaignOptions smallCampaign(uint64_t Seed) {
+  CampaignOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Count = 6;
+  Opts.Mutate = true;
+  Opts.Reduce = false;
+  Opts.RunRoundtrip = false; // Keep unit tests compiler-independent.
+  Opts.TmpDir = (fs::temp_directory_path() / "vault-campaign-test").string();
+  return Opts;
+}
+
+TEST(FuzzCampaign, SmallCampaignPasses) {
+  CampaignResult R = runCampaign(smallCampaign(101));
+  EXPECT_TRUE(R.Pass) << R.Report;
+  EXPECT_EQ(R.Generated, 6u);
+  EXPECT_EQ(R.Mutants, 6u);
+  EXPECT_EQ(R.violations(), 0u) << R.Report;
+  EXPECT_GE(R.detectPct(), 95.0) << R.Report;
+}
+
+TEST(FuzzCampaign, ReportIsDeterministic) {
+  CampaignResult A = runCampaign(smallCampaign(55));
+  CampaignResult B = runCampaign(smallCampaign(55));
+  EXPECT_EQ(A.Report, B.Report);
+}
+
+TEST(FuzzCampaign, MetricsAndSpansAreRecorded) {
+  Metrics M;
+  Tracer T;
+  CampaignResult R = runCampaign(smallCampaign(7), &M, &T);
+  EXPECT_EQ(M.value("fuzz.programs.generated"), 6u);
+  EXPECT_EQ(M.value("fuzz.programs.mutated"), 6u);
+  EXPECT_EQ(M.value("fuzz.mutants.detected") + M.value("fuzz.mutants.missed"),
+            6u);
+  EXPECT_GT(M.value("fuzz.oracle.parity.ok") +
+                M.value("fuzz.oracle.parity.classified"),
+            0u);
+  EXPECT_EQ(M.value("fuzz.pass"), R.Pass ? 1u : 0u);
+  const Metrics::Histogram *H = M.findHistogram("fuzz.program.bytes");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Count, 6u);
+  // Spans: one campaign, one generate per program, oracle spans.
+  std::string Json = T.json();
+  EXPECT_NE(Json.find("fuzz.campaign"), std::string::npos);
+  EXPECT_NE(Json.find("fuzz.generate"), std::string::npos);
+  EXPECT_NE(Json.find("fuzz.mutate"), std::string::npos);
+  EXPECT_NE(Json.find("fuzz.oracle.parity"), std::string::npos);
+}
+
+TEST(FuzzCampaign, EmitDirReceivesEveryProgram) {
+  CampaignOptions Opts = smallCampaign(9);
+  Opts.Count = 3;
+  Opts.EmitDir =
+      (fs::temp_directory_path() / "vault-campaign-emit").string();
+  std::error_code EC;
+  fs::remove_all(Opts.EmitDir, EC);
+  runCampaign(Opts);
+  unsigned Files = 0;
+  for (const auto &E : fs::directory_iterator(Opts.EmitDir))
+    if (E.path().extension() == ".vlt")
+      ++Files;
+  EXPECT_EQ(Files, 6u); // 3 clean + 3 mutants.
+  fs::remove_all(Opts.EmitDir, EC);
+}
+
+TEST(FuzzCampaign, ReproducerHeaderRoundTrips) {
+  // renderReproducer must produce the //!fuzz-* headers the regress
+  // harness consumes, with the expect line matching a fresh check.
+  GeneratedProgram Origin;
+  Origin.Name = "fuzz-s1-p0-m-drop-release";
+  Origin.Mutated = true;
+  Origin.Mutation = MutationKind::DropRelease;
+  Origin.MutationNote = "rgn1";
+  Origin.Text = "void main() { int x = 1; }\n";
+  Finding F{"parity", Origin.Name, "missed", "detail", "", 0};
+  std::string Repro = renderReproducer(Origin.Text, F, Origin, 1);
+  EXPECT_NE(Repro.find("//!fuzz-oracle: parity\n"), std::string::npos);
+  EXPECT_NE(Repro.find("//!fuzz-class: missed\n"), std::string::npos);
+  EXPECT_NE(Repro.find("mutation=drop-release"), std::string::npos);
+  EXPECT_NE(Repro.find("site=rgn1"), std::string::npos);
+  EXPECT_NE(Repro.find("//!fuzz-expect: accept\n"), std::string::npos);
+  EXPECT_NE(Repro.find(Origin.Text), std::string::npos);
+}
+
+TEST(FuzzCampaign, RejectedReproducerNamesItsDiagnostics) {
+  GeneratedProgram Origin;
+  Origin.Name = "r";
+  Origin.Text = "void main() { nonsense(); }\n";
+  Finding F{"parity", "r", "", "", "", 0};
+  std::string Repro = renderReproducer(Origin.Text, F, Origin, 2);
+  EXPECT_NE(Repro.find("//!fuzz-expect: reject sema-unknown-name"),
+            std::string::npos)
+      << Repro;
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- ReducerTest.cpp - ddmin reducer properties -------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::fuzz;
+
+namespace {
+
+std::string lines(std::initializer_list<const char *> Ls) {
+  std::string Out;
+  for (const char *L : Ls) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+TEST(FuzzReducer, KeepsOnlyTheFailingLine) {
+  std::string In = lines({"a", "b", "MAGIC", "c", "d", "e", "f", "g"});
+  auto Pred = [](const std::string &T) {
+    return T.find("MAGIC") != std::string::npos;
+  };
+  ReduceStats S;
+  std::string Out = reduceLines(In, Pred, 400, &S);
+  EXPECT_EQ(Out, "MAGIC\n");
+  EXPECT_EQ(S.LinesBefore, 8u);
+  EXPECT_EQ(S.LinesAfter, 1u);
+  EXPECT_GT(S.Evals, 0u);
+}
+
+TEST(FuzzReducer, KeepsDependentPair) {
+  // Two lines that must survive together; ddmin must not delete one
+  // without the other.
+  std::string In = lines({"x", "OPEN", "y", "z", "CLOSE", "w"});
+  auto Pred = [](const std::string &T) {
+    return T.find("OPEN") != std::string::npos &&
+           T.find("CLOSE") != std::string::npos;
+  };
+  std::string Out = reduceLines(In, Pred);
+  EXPECT_EQ(Out, "OPEN\nCLOSE\n");
+}
+
+TEST(FuzzReducer, IsDeterministic) {
+  std::string In;
+  for (int I = 0; I != 40; ++I)
+    In += "line" + std::to_string(I) + "\n";
+  In += "KEEP1\nfiller\nKEEP2\n";
+  auto Pred = [](const std::string &T) {
+    return T.find("KEEP1") != std::string::npos &&
+           T.find("KEEP2") != std::string::npos;
+  };
+  EXPECT_EQ(reduceLines(In, Pred), reduceLines(In, Pred));
+}
+
+TEST(FuzzReducer, EvalBudgetIsHonored) {
+  std::string In;
+  for (int I = 0; I != 200; ++I)
+    In += "l" + std::to_string(I) + "\n";
+  unsigned Calls = 0;
+  auto Pred = [&Calls](const std::string &T) {
+    ++Calls;
+    return T.find("l0\n") != std::string::npos;
+  };
+  ReduceStats S;
+  reduceLines(In, Pred, 25, &S);
+  EXPECT_LE(S.Evals, 25u);
+  EXPECT_EQ(Calls, S.Evals);
+}
+
+TEST(FuzzReducer, ResultStillFails) {
+  // Whatever the budget, the returned text must satisfy the predicate.
+  std::string In;
+  for (int I = 0; I != 64; ++I)
+    In += (I % 7 == 3 ? "NEED" + std::to_string(I) : "pad") + "\n";
+  auto Pred = [](const std::string &T) {
+    return T.find("NEED3") != std::string::npos &&
+           T.find("NEED10") != std::string::npos;
+  };
+  for (unsigned Budget : {5u, 20u, 400u}) {
+    std::string Out = reduceLines(In, Pred, Budget);
+    EXPECT_TRUE(Pred(Out)) << "budget " << Budget;
+  }
+}
+
+TEST(FuzzReducer, SingleLineInputIsReturnedAsIs) {
+  auto Pred = [](const std::string &) { return true; };
+  EXPECT_EQ(reduceLines("only\n", Pred), "only\n");
+}
+
+} // namespace

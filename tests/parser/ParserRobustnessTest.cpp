@@ -110,6 +110,71 @@ TEST(ParserRobustness, PathologicalNesting) {
   EXPECT_TRUE(C.check()) << C.diags().render();
 }
 
+TEST(ParserRobustness, UnterminatedBlockCommentAtEof) {
+  // The comment swallows the rest of the buffer; the lexer must
+  // diagnose it rather than scan past the end or hang.
+  VaultCompiler C;
+  C.addSource("cmt.vlt", "void f() { int x = 1; } /* trailing");
+  EXPECT_FALSE(C.check());
+  EXPECT_TRUE(C.diags().has(DiagId::LexUnterminatedComment))
+      << C.diags().render();
+}
+
+TEST(ParserRobustness, LoneTickBeforeEof) {
+  // `'` introduces a constructor tag only when a letter follows; a
+  // bare tick as the last byte must be a clean diagnostic.
+  for (const char *Text : {"'", "void f() { int x = 1; } '",
+                           "variant v [ 'A | ' "}) {
+    VaultCompiler C;
+    C.addSource("tick.vlt", Text);
+    EXPECT_FALSE(C.check()) << Text;
+    EXPECT_FALSE(C.diags().diagnostics().empty()) << Text;
+  }
+}
+
+TEST(ParserRobustness, CrOnlyLineEndingsInStrings) {
+  // Classic-Mac CR-only line endings: the CR terminates the line, so
+  // an unterminated string before it must be reported with sane line
+  // numbers, and a CR between tokens is plain whitespace.
+  VaultCompiler C;
+  C.addSource("cr.vlt",
+              "void f() {\r  print(\"unterminated\r}\rvoid g() { }\r");
+  EXPECT_FALSE(C.check());
+  EXPECT_TRUE(C.diags().has(DiagId::LexUnterminatedString))
+      << C.diags().render();
+
+  VaultCompiler C2;
+  C2.addSource("cr_ok.vlt",
+               "void print(string s);\rvoid f() {\r  print(\"ok\");\r}\r");
+  EXPECT_TRUE(C2.check()) << C2.diags().render();
+}
+
+TEST(ParserRobustness, DepthGuardRejectsExtremeNesting) {
+  // Beyond the parser's recursion budget the answer is a diagnostic,
+  // not a blown stack. 20k levels would need megabytes of stack
+  // through the precedence chain without the guard.
+  std::string Expr = "1";
+  for (int I = 0; I != 20000; ++I)
+    Expr = "(" + Expr + ")";
+  VaultCompiler C;
+  C.addSource("deep2.vlt", "void f() { int x = " + Expr + "; }");
+  EXPECT_FALSE(C.check());
+  EXPECT_TRUE(C.diags().has(DiagId::ParseTooDeep)) << "guard did not fire";
+}
+
+TEST(ParserRobustness, DepthGuardRejectsDeepStatementNesting) {
+  std::string Body;
+  for (int I = 0; I != 20000; ++I)
+    Body += "if (1 < 2) { ";
+  Body += "int x = 1;";
+  for (int I = 0; I != 20000; ++I)
+    Body += " }";
+  VaultCompiler C;
+  C.addSource("deepstmt.vlt", "void f() { " + Body + " }");
+  EXPECT_FALSE(C.check());
+  EXPECT_TRUE(C.diags().has(DiagId::ParseTooDeep));
+}
+
 TEST(ParserRobustness, GarbageBytes) {
   std::string Garbage;
   Rng R(1234);

@@ -1,0 +1,147 @@
+//===- RegressTest.cpp - Fuzz reproducer regression harness ---------------===//
+//
+// Re-checks every committed reproducer under tests/regress/ against
+// the verdict recorded in its `//!fuzz-expect:` header. Reproducers
+// are written by the vaultfuzz reducer (and occasionally curated by
+// hand); once committed, the checker must keep producing the labeled
+// verdict — byte-identically at any job count.
+//
+// Header grammar (all lines optional except fuzz-expect):
+//   //!fuzz-oracle: parity|determinism|roundtrip
+//   //!fuzz-class:  <classification>
+//   //!fuzz-origin: seed=N program=NAME [mutation=K site=S]
+//   //!fuzz-expect: accept
+//   //!fuzz-expect: reject <diag-name>...
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+
+using namespace vault;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<DiagId> diagIdByName(const std::string &Name) {
+  for (unsigned I = 0; I != static_cast<unsigned>(DiagId::NumDiags); ++I)
+    if (Name == diagName(static_cast<DiagId>(I)))
+      return static_cast<DiagId>(I);
+  return std::nullopt;
+}
+
+struct Reproducer {
+  std::string Path;
+  std::string Text;
+  bool ExpectAccept = false;
+  std::set<DiagId> ExpectIds;
+};
+
+std::vector<Reproducer> loadReproducers() {
+  std::vector<Reproducer> Out;
+  std::vector<fs::path> Paths;
+  for (const auto &E : fs::directory_iterator(VAULT_REGRESS_DIR))
+    if (E.path().extension() == ".vlt")
+      Paths.push_back(E.path());
+  std::sort(Paths.begin(), Paths.end());
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P, std::ios::binary);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Reproducer R;
+    R.Path = P.string();
+    R.Text = Buf.str();
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+/// Parses the //!fuzz-expect header; fails the test on a malformed one
+/// so a bad commit is caught by the harness itself.
+bool parseExpect(Reproducer &R) {
+  std::istringstream Lines(R.Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.rfind("//!fuzz-expect:", 0) != 0)
+      continue;
+    std::istringstream Fields(Line.substr(std::string("//!fuzz-expect:").size()));
+    std::string Verdict;
+    Fields >> Verdict;
+    if (Verdict == "accept") {
+      R.ExpectAccept = true;
+      return true;
+    }
+    if (Verdict != "reject")
+      return false;
+    std::string Name;
+    while (Fields >> Name) {
+      std::optional<DiagId> Id = diagIdByName(Name);
+      if (!Id)
+        return false;
+      R.ExpectIds.insert(*Id);
+    }
+    return !R.ExpectIds.empty();
+  }
+  return false;
+}
+
+std::string checkSignature(const Reproducer &R, unsigned Jobs, bool &Accept,
+                           std::set<DiagId> &ErrorIds) {
+  VaultCompiler C;
+  C.setJobs(Jobs);
+  C.addSource(fs::path(R.Path).filename().string(), R.Text);
+  Accept = C.check();
+  for (const Diagnostic &D : C.diags().diagnostics())
+    if (D.Severity == DiagSeverity::Error)
+      ErrorIds.insert(D.Id);
+  return C.diags().render();
+}
+
+TEST(FuzzRegress, CorpusIsNonEmpty) {
+  // The harness only means something with committed reproducers in it;
+  // the tree ships with curated generator pins at minimum.
+  EXPECT_GE(loadReproducers().size(), 3u);
+}
+
+TEST(FuzzRegress, EveryReproducerMatchesItsLabel) {
+  for (Reproducer &R : loadReproducers()) {
+    ASSERT_TRUE(parseExpect(R)) << R.Path << ": missing or malformed "
+                                << "//!fuzz-expect header";
+    bool Accept = false;
+    std::set<DiagId> Ids;
+    std::string Render = checkSignature(R, 1, Accept, Ids);
+    EXPECT_EQ(Accept, R.ExpectAccept) << R.Path << "\n" << Render;
+    if (!R.ExpectAccept && Accept == false) {
+      std::string Got, Want;
+      for (DiagId Id : Ids)
+        Got += std::string(diagName(Id)) + " ";
+      for (DiagId Id : R.ExpectIds)
+        Want += std::string(diagName(Id)) + " ";
+      EXPECT_EQ(Ids, R.ExpectIds)
+          << R.Path << ": labeled [" << Want << "] got [" << Got << "]\n"
+          << Render;
+    }
+  }
+}
+
+TEST(FuzzRegress, DiagnosticsAreJobCountInvariant) {
+  for (Reproducer &R : loadReproducers()) {
+    bool A1 = false, A4 = false;
+    std::set<DiagId> I1, I4;
+    std::string S1 = checkSignature(R, 1, A1, I1);
+    std::string S4 = checkSignature(R, 4, A4, I4);
+    EXPECT_EQ(S1, S4) << R.Path;
+    EXPECT_EQ(A1, A4) << R.Path;
+  }
+}
+
+} // namespace

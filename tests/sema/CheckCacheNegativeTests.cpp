@@ -1,0 +1,202 @@
+//===- CheckCacheNegativeTests.cpp - Cache corruption soft-failure --------===//
+//
+// The on-disk result cache is an accelerator, never an authority: any
+// corruption — a torn index row, a truncated entry body, a cache
+// directory that stops accepting writes mid-run — must degrade to a
+// full re-check with byte-identical diagnostics, not to wrong verdicts
+// or crashes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "sema/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vault;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *Program = R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+struct point { int x; int y; }
+
+void use(tracked(R) region r) [R] {
+  point p = new(r) point { x = 1; y = 2; };
+}
+
+void ok() {
+  tracked(R) region r = Region.create();
+  use(r);
+  Region.delete(r);
+}
+
+void leaky() {
+  tracked(R) region r = Region.create();
+  use(r);
+}
+)";
+
+struct CacheRun {
+  bool Accept = false;
+  std::string Render;
+  VaultCompiler::Stats Stats;
+};
+
+CacheRun checkWithCache(const std::string &CacheDir) {
+  VaultCompiler C;
+  if (!CacheDir.empty())
+    C.setCacheDir(CacheDir);
+  C.addSource("cachecorrupt.vlt", Program);
+  CacheRun R;
+  R.Accept = C.check();
+  R.Render = C.diags().render();
+  R.Stats = C.stats();
+  return R;
+}
+
+std::string freshDir(const char *Name) {
+  fs::path Dir = fs::temp_directory_path() / Name;
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+  fs::create_directories(Dir, EC);
+  return Dir.string();
+}
+
+std::string readFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void writeFile(const fs::path &P, const std::string &Text) {
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  Out << Text;
+}
+
+TEST(CheckCacheNegative, TruncatedIndexMidRecordIsSkipped) {
+  std::string Dir = freshDir("vault-cache-neg-index");
+  CacheRun Uncached = checkWithCache("");
+  CacheRun Cold = checkWithCache(Dir);
+  ASSERT_EQ(Cold.Render, Uncached.Render);
+
+  // Tear the index mid-record: cut it in the middle of the last row's
+  // fingerprint, leaving a structurally valid prefix plus a torn tail.
+  fs::path Index = fs::path(Dir) / "index.tsv";
+  std::string Text = readFile(Index);
+  ASSERT_GT(Text.size(), 10u);
+  writeFile(Index, Text.substr(0, Text.size() - 10));
+
+  CacheRun Warm = checkWithCache(Dir);
+  EXPECT_EQ(Warm.Render, Uncached.Render);
+  EXPECT_EQ(Warm.Accept, Uncached.Accept);
+  // Entries are keyed by fingerprint, so replay still succeeds; what
+  // the torn index must never cause is a crash or a verdict change.
+  EXPECT_TRUE(Warm.Stats.CacheEnabled);
+
+  // A wholly garbage index must behave the same.
+  writeFile(Index, "no tabs at all\n\t\tnot-a-fingerprint\nx\ty\tzz\n");
+  CacheRun Garbage = checkWithCache(Dir);
+  EXPECT_EQ(Garbage.Render, Uncached.Render);
+  EXPECT_EQ(Garbage.Accept, Uncached.Accept);
+}
+
+TEST(CheckCacheNegative, TruncatedEntryBodyIsAMiss) {
+  std::string Dir = freshDir("vault-cache-neg-entry");
+  CacheRun Uncached = checkWithCache("");
+  CacheRun Cold = checkWithCache(Dir);
+  ASSERT_TRUE(Cold.Stats.CacheEnabled);
+  ASSERT_GT(Cold.Stats.CacheMisses, 0u);
+
+  // Truncate every entry to a valid magic header with a short body:
+  // lookup must treat each as a miss and re-run the flow check.
+  unsigned Entries = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".vfc") {
+      std::string Text = readFile(E.path());
+      ASSERT_GT(Text.size(), 8u);
+      writeFile(E.path(), Text.substr(0, 8));
+      ++Entries;
+    }
+  ASSERT_GT(Entries, 0u);
+
+  CacheRun Warm = checkWithCache(Dir);
+  EXPECT_EQ(Warm.Render, Uncached.Render);
+  EXPECT_EQ(Warm.Accept, Uncached.Accept);
+  EXPECT_EQ(Warm.Stats.CacheHits, 0u);
+  EXPECT_GT(Warm.Stats.FlowChecksRun, 0u);
+
+  // A later run replays the freshly rewritten entries.
+  CacheRun Healed = checkWithCache(Dir);
+  EXPECT_EQ(Healed.Render, Uncached.Render);
+  EXPECT_GT(Healed.Stats.CacheHits, 0u);
+}
+
+TEST(CheckCacheNegative, EntryWithCorruptDiagnosticsIsAMiss) {
+  std::string Dir = freshDir("vault-cache-neg-diags");
+  CacheRun Uncached = checkWithCache("");
+  checkWithCache(Dir);
+
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".vfc")
+      writeFile(E.path(), "VFC 1\nmax-held 2\nD 99999 9 bad bad\n");
+
+  CacheRun Warm = checkWithCache(Dir);
+  EXPECT_EQ(Warm.Render, Uncached.Render);
+  EXPECT_EQ(Warm.Accept, Uncached.Accept);
+  EXPECT_EQ(Warm.Stats.CacheHits, 0u);
+}
+
+TEST(CheckCacheNegative, UnwritableEntriesSoftFailToFullCheck) {
+  // Simulate the cache directory losing writability mid-run: replace
+  // each entry path (and its .tmp staging path) with a directory, so
+  // every store and the index rewrite fail. (chmod is no barrier when
+  // tests run as root; a colliding directory always is.)
+  std::string Dir = freshDir("vault-cache-neg-ro");
+  CacheRun Uncached = checkWithCache("");
+  CacheRun Cold = checkWithCache(Dir);
+  ASSERT_TRUE(Cold.Stats.CacheEnabled);
+
+  std::vector<fs::path> Entries;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".vfc")
+      Entries.push_back(E.path());
+  ASSERT_FALSE(Entries.empty());
+  std::error_code EC;
+  for (const fs::path &P : Entries) {
+    fs::remove(P, EC);
+    fs::create_directories(P.string() + ".tmp", EC);
+    fs::create_directories(P, EC);
+  }
+  fs::path Index = fs::path(Dir) / "index.tsv";
+  fs::remove(Index, EC);
+  fs::create_directories(Index.string() + ".tmp", EC);
+  fs::create_directories(Index, EC);
+
+  // Every lookup now fails (the "entry" is a directory) and every
+  // store quietly declines; diagnostics must be unchanged.
+  CacheRun Broken = checkWithCache(Dir);
+  EXPECT_EQ(Broken.Render, Uncached.Render);
+  EXPECT_EQ(Broken.Accept, Uncached.Accept);
+  EXPECT_EQ(Broken.Stats.CacheHits, 0u);
+  EXPECT_GT(Broken.Stats.FlowChecksRun, 0u);
+
+  // And a second broken run too — nothing accumulated anywhere.
+  CacheRun Again = checkWithCache(Dir);
+  EXPECT_EQ(Again.Render, Uncached.Render);
+  EXPECT_EQ(Again.Stats.CacheHits, 0u);
+}
+
+} // namespace

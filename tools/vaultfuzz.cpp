@@ -1,0 +1,200 @@
+//===- vaultfuzz.cpp - Protocol-aware differential fuzzer -----------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Usage:
+//   vaultfuzz [options]
+//
+// Generates seeded, deterministic Vault programs biased toward
+// protocol structure, optionally seeds one labeled defect into each,
+// runs the differential oracles (parity, determinism, round-trip)
+// over every program, and delta-debugs each finding into a minimal
+// .vlt reproducer. The whole run is a pure function of --seed: the
+// same seed yields identical program bytes and an identical report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace vault;
+using namespace vault::fuzz;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vaultfuzz [options]\n"
+      "\n"
+      "options:\n"
+      "  --seed N          campaign seed (default 1); the run is a pure\n"
+      "                    function of it\n"
+      "  --count N         number of clean programs to generate (default\n"
+      "                    50); --mutate doubles the total\n"
+      "  --mutate          also run each program's seeded-defect twin\n"
+      "                    (default on)\n"
+      "  --no-mutate       generate clean programs only\n"
+      "  --oracle LIST     comma-separated subset of parity,determinism,\n"
+      "                    roundtrip (default all)\n"
+      "  --reduce          delta-debug findings to minimal reproducers\n"
+      "                    (default on)\n"
+      "  --no-reduce       report findings without reducing them\n"
+      "  --out DIR         write reduced .vlt reproducers into DIR\n"
+      "  --emit DIR        write every generated program into DIR\n"
+      "  --tmp DIR         scratch space for cache dirs and C binaries\n"
+      "                    (default /tmp)\n"
+      "  --det-jobs N      the N of the --jobs 1 vs N determinism\n"
+      "                    comparison (default 4)\n"
+      "  --min-detect PCT  seeded-defect detection floor in percent for\n"
+      "                    exit status 0 (default 95)\n"
+      "  --stats-json FILE write the fuzz metrics registry as JSON\n"
+      "  --trace-json FILE write a Chrome trace-event timeline of the\n"
+      "                    campaign (generate/mutate/oracle/reduce spans)\n"
+      "  --help, -h        show this help\n"
+      "\n"
+      "exit status: 0 if the campaign passed (no unclassified oracle\n"
+      "violations and detection >= the floor), 1 if it failed, 2 on\n"
+      "usage errors.\n");
+}
+
+/// Parses `--flag VAL` / `--flag=VAL`; on match, \p Val is set and I
+/// advanced. Exits with a usage error when the argument is missing.
+static bool valueFlag(int Argc, char **Argv, int &I, const char *Flag,
+                      std::string &Val) {
+  std::string A = Argv[I];
+  std::string Eq = std::string(Flag) + "=";
+  if (A == Flag) {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "vaultfuzz: %s requires an argument\n", Flag);
+      std::exit(2);
+    }
+    Val = Argv[++I];
+    return true;
+  }
+  if (A.rfind(Eq, 0) == 0) {
+    Val = A.substr(Eq.size());
+    if (Val.empty()) {
+      std::fprintf(stderr, "vaultfuzz: %s requires an argument\n", Flag);
+      std::exit(2);
+    }
+    return true;
+  }
+  return false;
+}
+
+static uint64_t parseU64(const char *Flag, const std::string &Val) {
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
+  if (Val.empty() || !End || *End) {
+    std::fprintf(stderr, "vaultfuzz: invalid %s value '%s'\n", Flag,
+                 Val.c_str());
+    std::exit(2);
+  }
+  return N;
+}
+
+int main(int Argc, char **Argv) {
+  CampaignOptions Opts;
+  std::string StatsJsonPath, TraceJsonPath, Val;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (valueFlag(Argc, Argv, I, "--seed", Val)) {
+      Opts.Seed = parseU64("--seed", Val);
+    } else if (valueFlag(Argc, Argv, I, "--count", Val)) {
+      Opts.Count = static_cast<unsigned>(parseU64("--count", Val));
+    } else if (A == "--mutate") {
+      Opts.Mutate = true;
+    } else if (A == "--no-mutate") {
+      Opts.Mutate = false;
+    } else if (A == "--reduce") {
+      Opts.Reduce = true;
+    } else if (A == "--no-reduce") {
+      Opts.Reduce = false;
+    } else if (valueFlag(Argc, Argv, I, "--oracle", Val)) {
+      Opts.RunParity = Opts.RunDeterminism = Opts.RunRoundtrip = false;
+      std::istringstream List(Val);
+      std::string Name;
+      while (std::getline(List, Name, ',')) {
+        if (Name == "parity") {
+          Opts.RunParity = true;
+        } else if (Name == "determinism") {
+          Opts.RunDeterminism = true;
+        } else if (Name == "roundtrip") {
+          Opts.RunRoundtrip = true;
+        } else if (Name == "all") {
+          Opts.RunParity = Opts.RunDeterminism = Opts.RunRoundtrip = true;
+        } else {
+          std::fprintf(stderr,
+                       "vaultfuzz: unknown oracle '%s' (expected parity, "
+                       "determinism, roundtrip, or all)\n",
+                       Name.c_str());
+          return 2;
+        }
+      }
+      if (!Opts.RunParity && !Opts.RunDeterminism && !Opts.RunRoundtrip) {
+        std::fprintf(stderr, "vaultfuzz: --oracle selected no oracles\n");
+        return 2;
+      }
+    } else if (valueFlag(Argc, Argv, I, "--out", Val)) {
+      Opts.ReduceDir = Val;
+    } else if (valueFlag(Argc, Argv, I, "--emit", Val)) {
+      Opts.EmitDir = Val;
+    } else if (valueFlag(Argc, Argv, I, "--tmp", Val)) {
+      Opts.TmpDir = Val;
+    } else if (valueFlag(Argc, Argv, I, "--det-jobs", Val)) {
+      Opts.DetJobs = static_cast<unsigned>(parseU64("--det-jobs", Val));
+      if (Opts.DetJobs < 2) {
+        std::fprintf(stderr, "vaultfuzz: --det-jobs must be at least 2\n");
+        return 2;
+      }
+    } else if (valueFlag(Argc, Argv, I, "--min-detect", Val)) {
+      Opts.MinDetectPct = static_cast<unsigned>(parseU64("--min-detect", Val));
+      if (Opts.MinDetectPct > 100) {
+        std::fprintf(stderr, "vaultfuzz: --min-detect must be 0..100\n");
+        return 2;
+      }
+    } else if (valueFlag(Argc, Argv, I, "--stats-json", Val)) {
+      StatsJsonPath = Val;
+    } else if (valueFlag(Argc, Argv, I, "--trace-json", Val)) {
+      TraceJsonPath = Val;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vaultfuzz: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  Metrics M;
+  Tracer T;
+  CampaignResult R =
+      runCampaign(Opts, &M, TraceJsonPath.empty() ? nullptr : &T);
+
+  // The report is the product; stdout stays machine-comparable (the
+  // determinism smoke test diffs two runs byte-for-byte).
+  std::fputs(R.Report.c_str(), stdout);
+
+  if (!StatsJsonPath.empty()) {
+    std::ofstream Out(StatsJsonPath, std::ios::binary | std::ios::trunc);
+    Out << M.renderJson();
+    if (!Out.flush()) {
+      std::fprintf(stderr, "vaultfuzz: cannot write stats file '%s'\n",
+                   StatsJsonPath.c_str());
+      return 2;
+    }
+  }
+  if (!TraceJsonPath.empty() && !T.writeJson(TraceJsonPath)) {
+    std::fprintf(stderr, "vaultfuzz: cannot write trace file '%s'\n",
+                 TraceJsonPath.c_str());
+    return 2;
+  }
+  return R.Pass ? 0 : 1;
+}
