@@ -23,11 +23,7 @@ using namespace vault;
 
 namespace {
 
-/// Generates a well-typed program with \p NumFuncs functions, each
-/// creating, using, and deleting regions with branches and a loop.
-std::string synthesizeProgram(unsigned NumFuncs) {
-  std::ostringstream OS;
-  OS << R"(
+constexpr const char *SynthPrelude = R"(
 interface REGION {
   type region;
   tracked(R) region create() [new R];
@@ -36,7 +32,12 @@ interface REGION {
 extern module Region : REGION;
 struct point { int x; int y; }
 )";
-  for (unsigned F = 0; F != NumFuncs; ++F) {
+
+/// Functions [\p Begin, \p End) of the synthetic program, each
+/// creating, using, and deleting regions with branches and a loop.
+std::string synthesizeFunctions(unsigned Begin, unsigned End) {
+  std::ostringstream OS;
+  for (unsigned F = Begin; F != End; ++F) {
     OS << "void work" << F << "(int n, bool b) {\n"
        << "  tracked(R) region rgn = Region.create();\n"
        << "  R:point p = new(rgn) point {x=n; y=0;};\n"
@@ -57,6 +58,11 @@ struct point { int x; int y; }
        << "}\n";
   }
   return OS.str();
+}
+
+/// A well-typed program: the shared prelude plus \p NumFuncs functions.
+std::string synthesizeProgram(unsigned NumFuncs) {
+  return SynthPrelude + synthesizeFunctions(0, NumFuncs);
 }
 
 void BM_CheckSynthetic(benchmark::State &State) {
@@ -80,9 +86,10 @@ void BM_CheckSynthetic(benchmark::State &State) {
 }
 BENCHMARK(BM_CheckSynthetic)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
-/// Pass 3 scaling: the same synthetic program at a fixed size, checked
-/// with an increasing worker count. Parse + elaboration stay serial,
-/// so this is an upper bound on end-to-end speedup (Amdahl); compare
+/// Worker scaling: the same synthetic program at a fixed size, checked
+/// with an increasing worker count. addSource parses inline on the
+/// calling thread, but signature elaboration and the flow checks run
+/// on the pool, so only the parse is Amdahl-serial here; compare
 /// against jobs:1 within the same binary run.
 void BM_CheckSyntheticJobs(benchmark::State &State) {
   const unsigned Jobs = static_cast<unsigned>(State.range(0));
@@ -105,6 +112,40 @@ void BM_CheckSyntheticJobs(benchmark::State &State) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CheckSyntheticJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Front-end scaling: the same workload split across many queued
+/// buffers, so parsing itself runs on the worker pool too (queued
+/// buffers parse concurrently at check(); addSource parses inline).
+/// The whole pipeline — parse, elaborate, flow check — is parallel.
+void BM_CheckQueuedBuffersJobs(benchmark::State &State) {
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
+  const unsigned NumFuncs = 256, NumBuffers = 16;
+  std::vector<std::string> Buffers;
+  size_t Lines = CEmitter::countCodeLines(SynthPrelude);
+  for (unsigned B = 0; B != NumBuffers; ++B) {
+    Buffers.push_back(synthesizeFunctions(B * NumFuncs / NumBuffers,
+                                          (B + 1) * NumFuncs / NumBuffers));
+    Lines += CEmitter::countCodeLines(Buffers.back());
+  }
+  bool Ok = true;
+  for (auto _ : State) {
+    VaultCompiler C;
+    C.setJobs(Jobs);
+    C.queueSource("prelude.vlt", SynthPrelude);
+    for (unsigned B = 0; B != NumBuffers; ++B)
+      C.queueSource("unit" + std::to_string(B) + ".vlt", Buffers[B]);
+    Ok = C.check() && Ok;
+    benchmark::DoNotOptimize(C.diags().errorCount());
+  }
+  if (!Ok)
+    State.SkipWithError("synthetic program failed to check");
+  State.SetItemsProcessed(State.iterations() * Lines);
+  State.counters["jobs"] = static_cast<double>(Jobs);
+  State.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(State.iterations() * Lines),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckQueuedBuffersJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ParseOnlySynthetic(benchmark::State &State) {
   std::string Src = synthesizeProgram(static_cast<unsigned>(State.range(0)));

@@ -887,6 +887,20 @@ public:
   Program &program() { return Prog; }
   const Program &program() const { return Prog; }
 
+  /// Steals every node and top-level declaration of \p O, appending
+  /// O's declarations after this context's. The parallel front end
+  /// parses each buffer into a private context and merges them in
+  /// input order, so the combined program is identical to what serial
+  /// parsing would have produced.
+  void adopt(AstContext &&O) {
+    Nodes.insert(Nodes.end(), std::make_move_iterator(O.Nodes.begin()),
+                 std::make_move_iterator(O.Nodes.end()));
+    O.Nodes.clear();
+    Prog.Decls.insert(Prog.Decls.end(), O.Prog.Decls.begin(),
+                      O.Prog.Decls.end());
+    O.Prog.Decls.clear();
+  }
+
 private:
   template <typename T> static void destroy(void *P) {
     delete static_cast<T *>(P);

@@ -19,6 +19,36 @@ using namespace vault;
 /// from older builds can never replay.
 static constexpr const char *CheckerVersion = "vault-checker 1";
 
+namespace {
+/// Runs \p Body on \p NJobs threads; inline on the calling thread when
+/// NJobs <= 1. Bodies pull work from a shared atomic counter, so the
+/// helper is just the spawn/join boilerplate every phase shares.
+template <typename Fn> void runOnWorkers(unsigned NJobs, Fn &&Body) {
+  if (NJobs <= 1) {
+    Body();
+    return;
+  }
+  std::vector<std::thread> Workers;
+  Workers.reserve(NJobs);
+  for (unsigned T = 0; T < NJobs; ++T)
+    Workers.emplace_back(Body);
+  for (std::thread &W : Workers)
+    W.join();
+}
+} // namespace
+
+unsigned VaultCompiler::effectiveJobs(size_t TaskCount, size_t Grain) const {
+  unsigned N = Jobs ? Jobs : std::thread::hardware_concurrency();
+  // Never more workers than tasks, and for phases whose tasks are tiny
+  // (Grain > 1) never fewer than Grain tasks per worker: spawning a
+  // thread costs tens of microseconds, which swamps e.g. a one-line
+  // signature's elaboration. The choice only affects scheduling —
+  // every phase produces byte-identical output at any worker count.
+  size_t ByGrain = std::max<size_t>(TaskCount / std::max<size_t>(Grain, 1), 1);
+  return static_cast<unsigned>(
+      std::min<size_t>(std::max(N, 1u), std::min(std::max<size_t>(TaskCount, 1), ByGrain)));
+}
+
 VaultCompiler::VaultCompiler() {
   Diags = std::make_unique<DiagnosticEngine>(SM);
   Elab = std::make_unique<Elaborator>(TC, Globals, *Diags);
@@ -35,6 +65,61 @@ bool VaultCompiler::addSource(const std::string &Name,
     return false;
   }
   return true;
+}
+
+void VaultCompiler::queueSource(const std::string &Name,
+                                const std::string &Text) {
+  // The buffer is registered now (buffer numbering is input order,
+  // diagnostics depend on it); only the parse itself is deferred.
+  PendingParses.push_back(PendingParse{Name, SM.addBuffer(Name, Text)});
+}
+
+void VaultCompiler::flushPendingParses() {
+  if (PendingParses.empty())
+    return;
+  std::vector<PendingParse> Queue;
+  Queue.swap(PendingParses);
+
+  // Each buffer parses into a private AST arena and diagnostics
+  // buffer; the source manager is only read. Results merge in input
+  // order below, so the program is identical at any job count.
+  struct ParseOutcome {
+    AstContext Ctx;
+    std::vector<Diagnostic> Diags;
+    bool Ok = true;
+  };
+  std::vector<ParseOutcome> Outcomes(Queue.size());
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Queue.size())
+        break;
+      ParseOutcome &Out = Outcomes[I];
+      // Same span as addSource: one "parse" per buffer, lexing
+      // included.
+      TraceSpan Span(Trc, "parse");
+      Span.arg("source", Queue[I].Name);
+      DiagnosticEngine ParseDiags(SM);
+      Parser P(Out.Ctx, SM, Queue[I].BufferId, ParseDiags);
+      Out.Ok = P.parseProgram();
+      Out.Diags = ParseDiags.take();
+    }
+  };
+  unsigned NJobs = effectiveJobs(Queue.size());
+  {
+    TraceSpan Span(Trc, "parse-sources");
+    Span.arg("buffers", uint64_t(Queue.size()));
+    Span.arg("jobs", uint64_t(NJobs));
+    runOnWorkers(NJobs, Worker);
+  }
+  for (ParseOutcome &Out : Outcomes) {
+    if (!Out.Ok)
+      ParseFailed = true;
+    for (Diagnostic &D : Out.Diags)
+      Diags->append(std::move(D));
+    Ast.adopt(std::move(Out.Ctx));
+  }
 }
 
 bool VaultCompiler::addFile(const std::string &Path) {
@@ -164,6 +249,105 @@ void VaultCompiler::registerDecl(const Decl *D) {
   }
 }
 
+void VaultCompiler::elabSignaturesParallel(unsigned NJobs) {
+  const size_t N = PendingFuncs.size();
+  const uint32_t StateVarBase0 = Elab->stateVarCounter();
+
+  // Discovery: elaborate every signature against scratch resources to
+  // learn how many keys and state variables it allocates. Shared state
+  // (globals, statesets, the key table) is only read; everything the
+  // discovery run produces — types, diagnostics, scratch keys — is
+  // discarded. This doubles the elaboration work, but both halves are
+  // embarrassingly parallel, where the serial pass was a strict
+  // bottleneck between parsing and flow checking.
+  struct SigPlan {
+    uint32_t Keys = 0;
+    uint32_t StateVars = 0;
+    KeySym KeyBase = InvalidKey;
+    uint32_t StateVarBase = 0;
+  };
+  std::vector<SigPlan> Plans(N);
+  {
+    std::atomic<size_t> Next{0};
+    runOnWorkers(NJobs, [&] {
+      for (;;) {
+        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= N)
+          break;
+        TypeArena Scratch;
+        TypeContext::ArenaScope Arena(Scratch);
+        KeyTable::ScratchScope ScratchKeys(TC.keys());
+        DiagnosticEngine Discard(SM);
+        Elaborator E(TC, Globals, Discard);
+        E.seedStateVarCounter(StateVarBase0);
+        E.elabSignature(PendingFuncs[I], nullptr, /*IsLocal=*/false);
+        Plans[I].Keys = static_cast<uint32_t>(ScratchKeys.created());
+        Plans[I].StateVars = E.stateVarCounter() - StateVarBase0;
+      }
+    });
+  }
+
+  // Reserve: prefix sums assign every signature the key window and
+  // state-variable range the serial pass would have given it, so the
+  // numbering — which reaches diagnostics and cache fingerprints — is
+  // byte-identical to serial elaboration.
+  size_t TotalKeys = 0;
+  uint32_t TotalVars = 0;
+  for (SigPlan &P : Plans) {
+    P.StateVarBase = StateVarBase0 + TotalVars;
+    TotalVars += P.StateVars;
+    TotalKeys += P.Keys;
+  }
+  KeySym NextKey = TC.keys().reserve(TotalKeys);
+  for (SigPlan &P : Plans) {
+    P.KeyBase = NextKey;
+    NextKey += P.Keys;
+  }
+
+  // Real elaboration: concurrent, each signature filling its reserved
+  // key window lock-free. No DisplayScope is installed — the serial
+  // pass has none either, so display ids are the raw syms both ways.
+  struct SigOutcome {
+    FuncSig *Sig = nullptr;
+    std::vector<Diagnostic> Diags;
+    TypeArena Arena;
+  };
+  std::vector<SigOutcome> Outcomes(N);
+  {
+    std::atomic<size_t> Next{0};
+    runOnWorkers(NJobs, [&] {
+      for (;;) {
+        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= N)
+          break;
+        SigOutcome &Out = Outcomes[I];
+        TraceSpan Span(Trc, std::string("elab ") += PendingFuncs[I]->name());
+        TypeContext::ArenaScope Arena(Out.Arena);
+        KeyTable::WindowScope Window(TC.keys(), Plans[I].KeyBase,
+                                     Plans[I].Keys);
+        DiagnosticEngine SigDiags(SM);
+        Elaborator E(TC, Globals, SigDiags);
+        E.seedStateVarCounter(Plans[I].StateVarBase);
+        Out.Sig = E.elabSignature(PendingFuncs[I], nullptr, /*IsLocal=*/false);
+        Out.Diags = SigDiags.take();
+      }
+    });
+  }
+
+  // Merge, in source order — same writes the serial loop makes.
+  for (size_t I = 0; I < N; ++I) {
+    SigOutcome &Out = Outcomes[I];
+    Globals.Functions[PendingFuncs[I]->name()] = Out.Sig;
+    SigOf[PendingFuncs[I]] = Out.Sig;
+    for (Diagnostic &D : Out.Diags)
+      Diags->append(std::move(D));
+    TC.adopt(std::move(Out.Arena));
+  }
+  // Leave the main elaborator exactly where serial elaboration would
+  // have: the redeclaration checks and Pass 3 allocate after it.
+  Elab->seedStateVarCounter(StateVarBase0 + TotalVars);
+}
+
 bool VaultCompiler::check() {
   // check() is idempotent: every run re-registers all declarations, so
   // the semantic state of the previous run — global symbols, types,
@@ -176,6 +360,10 @@ bool VaultCompiler::check() {
     TC.reset();
     Elab = std::make_unique<Elaborator>(TC, Globals, *Diags);
   }
+  // Queued sources parse before CheckDiagBegin is fixed: their
+  // diagnostics are parse diagnostics and must survive a re-check,
+  // exactly like addSource's.
+  flushPendingParses();
   CheckDiagBegin = Diags->size();
   LastStats = Stats{};
   Reg.reset();
@@ -193,12 +381,21 @@ bool VaultCompiler::check() {
     Span.arg("declarations", LastStats.DeclsRegistered);
   }
 
-  // Pass 2: elaborate all signatures (prototypes included).
+  // Pass 2: elaborate all signatures (prototypes included). At jobs >
+  // 1 the signatures elaborate concurrently (discovery + reserved key
+  // windows, see elabSignaturesParallel); the serial path below is the
+  // reference behavior the parallel one must reproduce byte-for-byte.
   const uint64_t ElabBegin = Trc ? Trc->nowUs() : 0;
-  for (const FuncDecl *F : PendingFuncs) {
-    FuncSig *Sig = Elab->elabSignature(F, nullptr, /*IsLocal=*/false);
-    Globals.Functions[F->name()] = Sig;
-    SigOf[F] = Sig;
+  const unsigned ElabJobs = effectiveJobs(PendingFuncs.size(), /*Grain=*/8);
+  if (ElabJobs > 1 && PendingFuncs.size() > 1) {
+    elabSignaturesParallel(ElabJobs);
+  } else {
+    for (const FuncDecl *F : PendingFuncs) {
+      TraceSpan Span(Trc, std::string("elab ") += F->name());
+      FuncSig *Sig = Elab->elabSignature(F, nullptr, /*IsLocal=*/false);
+      Globals.Functions[F->name()] = Sig;
+      SigOf[F] = Sig;
+    }
   }
 
   // A superseded (or repeated) prototype must agree with the kept
@@ -343,23 +540,13 @@ bool VaultCompiler::check() {
   size_t Uncached = 0;
   for (const FuncTask &T : Tasks)
     Uncached += !T.Cached;
-  unsigned NJobs = Jobs ? Jobs : std::thread::hardware_concurrency();
-  NJobs = std::min<size_t>(std::max(NJobs, 1u), std::max<size_t>(Uncached, 1));
+  unsigned NJobs = effectiveJobs(Uncached);
   LastStats.JobsUsed = NJobs;
   {
     TraceSpan Span(Trc, "flow-check");
     Span.arg("jobs", uint64_t(NJobs));
     Span.arg("functions", uint64_t(Uncached));
-    if (NJobs <= 1) {
-      RunWorker();
-    } else {
-      std::vector<std::thread> Workers;
-      Workers.reserve(NJobs);
-      for (unsigned T = 0; T < NJobs; ++T)
-        Workers.emplace_back(RunWorker);
-      for (std::thread &W : Workers)
-        W.join();
-    }
+    runOnWorkers(NJobs, RunWorker);
   }
 
   // Deterministic merge, in source order. Cached tasks replay their

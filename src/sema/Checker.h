@@ -43,6 +43,19 @@ public:
   /// diagnostics).
   bool addSource(const std::string &Name, const std::string &Text);
 
+  /// Registers \p Text (a buffer named \p Name) for parsing at the
+  /// start of the next check(). Unlike addSource(), which parses
+  /// inline on the calling thread, queued sources are parsed by the
+  /// check() worker pool (setJobs) — each buffer into a private AST
+  /// arena and diagnostics buffer, merged in input order, so the
+  /// combined program and diagnostics are byte-identical to serial
+  /// parsing at any job count. Buffers are numbered at queue time;
+  /// queueSource and addSource/addFile calls may be mixed, but inline
+  /// sources parse immediately while queued ones parse at check(), so
+  /// the combined program is every inline source (in call order)
+  /// followed by every queued source (in queue order).
+  void queueSource(const std::string &Name, const std::string &Text);
+
   /// Reads and parses a file. Returns false if unreadable or invalid.
   bool addFile(const std::string &Path);
 
@@ -54,12 +67,13 @@ public:
   /// the parsed program and produces the same diagnostics.
   bool check();
 
-  /// Number of worker threads Pass 3 (per-function flow checking) may
-  /// use. 1 (the default) checks inline on the calling thread; 0 means
-  /// "use the hardware concurrency". Any job count produces
-  /// byte-identical diagnostics, key traces and verdicts: every
-  /// function is checked in isolation and the results are merged in
-  /// source order.
+  /// Number of worker threads the pipeline may use — queued-source
+  /// parsing, signature elaboration, and Pass 3 (per-function flow
+  /// checking) all share the setting. 1 (the default) runs inline on
+  /// the calling thread; 0 means "use the hardware concurrency". Any
+  /// job count produces byte-identical diagnostics, key traces and
+  /// verdicts: every unit of work runs in isolation and the results
+  /// are merged in source order.
   void setJobs(unsigned N) { Jobs = N; }
   unsigned jobs() const { return Jobs; }
 
@@ -148,6 +162,28 @@ public:
 
 private:
   void registerDecl(const Decl *D);
+  /// Parses every queueSource'd buffer (concurrently at jobs > 1) and
+  /// merges the results in input order. Runs at the start of check().
+  void flushPendingParses();
+  /// Pass 2 at jobs > 1: a parallel discovery pass counts each
+  /// signature's key/state-variable allocations against scratch
+  /// resources, slots are reserved by prefix sum, and the real
+  /// elaboration then runs concurrently with every signature writing
+  /// its pre-assigned key window — reproducing the serial numbering
+  /// exactly. Results merge in source order.
+  void elabSignaturesParallel(unsigned NJobs);
+  /// Worker count for a phase with \p TaskCount independent tasks.
+  /// Worker count for a phase with \p TaskCount tasks: the --jobs
+  /// setting (0 = hardware concurrency) capped so no worker gets
+  /// fewer than \p Grain tasks — phases with tiny per-task work pass
+  /// a larger grain so thread spawn cost stays amortized.
+  unsigned effectiveJobs(size_t TaskCount, size_t Grain = 1) const;
+
+  struct PendingParse {
+    std::string Name;
+    uint32_t BufferId;
+  };
+  std::vector<PendingParse> PendingParses;
 
   std::vector<const FuncDecl *> PendingFuncs;
   std::map<const FuncDecl *, FuncSig *> SigOf;

@@ -5,24 +5,27 @@
 using namespace vault;
 
 FlowState vault::renameState(TypeContext &TC, const FlowState &S,
-                             const std::map<KeySym, KeySym> &Rename) {
+                             const KeyRename &Rename) {
   if (Rename.empty())
     return S;
   FlowState Out;
   Out.Reachable = S.Reachable;
   Out.Held = S.Held;
-  Out.Held.renameKeys(Rename);
+  bool Ok = Out.Held.renameKeys(Rename);
+  // joinStates rejects every colliding shape before renaming; a
+  // collision here would mean the canonicalization silently merged two
+  // live keys.
+  assert(Ok && "join canonicalization produced a colliding rename");
+  (void)Ok;
   Subst Sub;
-  Sub.Keys = Rename;
+  Sub.FlatKeys = &Rename;
   for (const auto &[D, T] : S.Vars)
     Out.Vars.emplace(D, T ? substType(TC, T, Sub) : nullptr);
   // Provenance chains follow their key through the (simultaneous)
   // renaming; the injectivity checks in joinStates guarantee no two
   // chains land on the same key.
-  for (const auto &[K, Steps] : S.Prov) {
-    auto It = Rename.find(K);
-    Out.Prov.emplace(It == Rename.end() ? K : It->second, Steps);
-  }
+  for (const auto &[K, Steps] : S.Prov)
+    Out.Prov.emplace(Rename.map(K), Steps);
   return Out;
 }
 
@@ -47,8 +50,8 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
 
   // Build the canonicalizing renaming of B's local keys onto A's,
   // driven by the common variables' key bindings.
-  std::map<KeySym, KeySym> Rename;    // B key -> A key.
-  std::map<KeySym, KeySym> RenameInv; // A key -> B key (injectivity).
+  KeyRename Rename;    // B key -> A key.
+  KeyRename RenameInv; // A key -> B key (injectivity).
   for (const auto &[D, TA] : A.Vars) {
     auto It = B.Vars.find(D);
     if (It == B.Vars.end())
@@ -73,23 +76,29 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
         R.State = pickRicher();
         return R;
       }
-      auto [ItF, InsF] = Rename.emplace(Kb, Ka);
-      if (!InsF && ItF->second != Ka) {
-        R.Ok = false;
-        R.Mismatch = "key '" + Keys.name(Kb) +
-                     "' would need to unify with two different keys at "
-                     "this join";
-        R.State = pickRicher();
-        return R;
+      KeySym Bound = Rename.lookup(Kb);
+      if (Bound != InvalidKey) {
+        if (Bound != Ka) {
+          R.Ok = false;
+          R.Mismatch = "key '" + Keys.name(Kb) +
+                       "' would need to unify with two different keys at "
+                       "this join";
+          R.State = pickRicher();
+          return R;
+        }
+        continue; // Same pair seen through another variable.
       }
-      auto [ItI, InsI] = RenameInv.emplace(Ka, Kb);
-      if (!InsI && ItI->second != Kb) {
+      KeySym BoundInv = RenameInv.lookup(Ka);
+      if (BoundInv != InvalidKey && BoundInv != Kb) {
         R.Ok = false;
         R.Mismatch = "two distinct keys alias the same variable at this "
                      "join";
         R.State = pickRicher();
         return R;
       }
+      Rename.add(Kb, Ka);
+      if (BoundInv == InvalidKey)
+        RenameInv.add(Ka, Kb);
     }
   }
 
@@ -99,7 +108,7 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
   // Audited for soundness against chain renames (two locals renamed
   // through each other, e.g. a swap `{k1->k2, k2->k1}` or a chain
   // `{k1->k2, k2->k3}`): testing `B.Held` *before* the rename is
-  // deliberate, and the `!Rename.count(Ka)` exemption is valid,
+  // deliberate, and the `!Rename.contains(Ka)` exemption is valid,
   // because renameKeys applies the whole map simultaneously — a target
   // that is itself renamed away vacates its slot in the same step, so
   // swaps and chains of live keys cannot collide. A collision is then
@@ -111,10 +120,13 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
   // live A-binding); that rejection is load-bearing too, since
   // accepting would let a dangling variable alias a live key after the
   // join. Pinned by JoinPointTests.{SwapRenameAtJoinAccepted,
-  // RenameOntoLiveKeyRejected, DeadBindingOntoLiveKeyRejected}.
+  // RenameOntoLiveKeyRejected, DeadBindingOntoLiveKeyRejected}; the
+  // simultaneous-rename semantics itself (collisions rejected rather
+  // than keys silently dropped) is pinned by the KeySetTest rename
+  // suite.
   for (const auto &[Kb, Ka] : Rename) {
     (void)Kb;
-    if (B.Held.contains(Ka) && !Rename.count(Ka)) {
+    if (B.Held.contains(Ka) && !Rename.contains(Ka)) {
       R.Ok = false;
       R.Mismatch = "renaming key '" + Keys.name(Ka) +
                    "' would merge two live keys at this join";
@@ -123,9 +135,17 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
     }
   }
 
-  FlowState BR = renameState(TC, B, Rename);
+  // Canonicalize B only when something actually renames: the common
+  // case (straight-line code rejoining, no fresh keys on either side)
+  // used to copy the whole of B here just to compare it.
   R.RenamedKeys = static_cast<unsigned>(Rename.size());
-  R.Renamed = Rename;
+  FlowState BRStorage;
+  if (!Rename.empty())
+    BRStorage = renameState(TC, B, Rename);
+  const FlowState &BR = Rename.empty() ? B : BRStorage;
+  // Filled in before the agreement checks below: a failed join still
+  // reports which keys were canonicalized (--explain provenance).
+  R.Renamed = std::move(Rename);
 
   // Held-key sets must agree exactly (same keys, same states). This is
   // the check that rejects the paper's Fig. 5.

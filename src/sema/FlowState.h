@@ -20,10 +20,12 @@
 #ifndef VAULT_SEMA_FLOWSTATE_H
 #define VAULT_SEMA_FLOWSTATE_H
 
+#include "support/SmallVector.h"
 #include "support/SourceManager.h"
 #include "types/Substitution.h"
 #include "types/TypeContext.h"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -35,6 +37,77 @@ namespace vault {
 struct ProvStep {
   SourceLoc Loc;
   std::string Desc;
+};
+
+/// Flat sorted map from binding identity to flow-sensitive type — the
+/// std::map subset FlowState needs, over a small-vector so the
+/// branch/join snapshot copies the checker makes at every `if` are a
+/// single allocation (or none: inline capacity covers most functions'
+/// live-variable counts). Sorted by pointer; that order never reaches
+/// any output (pinned by the jobs/cache determinism suites, which
+/// compare runs with different heap layouts).
+class VarMap {
+public:
+  struct Entry {
+    const void *first;
+    const Type *second;
+  };
+  using iterator = Entry *;
+  using const_iterator = const Entry *;
+
+  iterator begin() { return Entries.begin(); }
+  iterator end() { return Entries.end(); }
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  iterator find(const void *D) {
+    auto It = lowerBound(D);
+    return It != end() && It->first == D ? It : end();
+  }
+  const_iterator find(const void *D) const {
+    auto It = lowerBound(D);
+    return It != end() && It->first == D ? It : end();
+  }
+  size_t count(const void *D) const { return find(D) != end() ? 1 : 0; }
+
+  /// Inserts or updates; returns the slot's type reference.
+  const Type *&operator[](const void *D) {
+    auto It = lowerBound(D);
+    if (It == end() || It->first != D)
+      It = Entries.insert(It, Entry{D, nullptr});
+    return It->second;
+  }
+
+  /// Inserts only if absent (std::map::emplace semantics).
+  void emplace(const void *D, const Type *T) {
+    auto It = lowerBound(D);
+    if (It == end() || It->first != D)
+      Entries.insert(It, Entry{D, T});
+  }
+
+  size_t erase(const void *D) {
+    auto It = find(D);
+    if (It == end())
+      return 0;
+    Entries.erase(It);
+    return 1;
+  }
+
+private:
+  iterator lowerBound(const void *D) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), D,
+        [](const Entry &E, const void *P) { return E.first < P; });
+  }
+  const_iterator lowerBound(const void *D) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), D,
+        [](const Entry &E, const void *P) { return E.first < P; });
+  }
+
+  SmallVector<Entry, 8> Entries;
 };
 
 class FlowState {
@@ -49,7 +122,7 @@ public:
   /// type means "declared but not yet initialized". Keyed by the
   /// binding's identity (VarDecl, FuncDecl::Param, or pattern binder
   /// storage — see ElabScope::ValueInfo::Id).
-  std::map<const void *, const Type *> Vars;
+  VarMap Vars;
   bool Reachable = true;
 
   bool operator==(const FlowState &O) const {
@@ -83,7 +156,7 @@ struct JoinResult {
   unsigned RenamedKeys = 0;
   /// The canonicalizing renaming itself (B key -> A key), for --explain
   /// provenance ("absorbed key ... at this branch join").
-  std::map<KeySym, KeySym> Renamed;
+  KeyRename Renamed;
 };
 
 /// Joins the states flowing out of two branches. Local keys are
@@ -93,7 +166,7 @@ JoinResult joinStates(TypeContext &TC, const FlowState &A, const FlowState &B);
 
 /// Applies a key renaming to every component of a state.
 FlowState renameState(TypeContext &TC, const FlowState &S,
-                      const std::map<KeySym, KeySym> &Rename);
+                      const KeyRename &Rename);
 
 } // namespace vault
 

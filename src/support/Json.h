@@ -23,42 +23,92 @@
 namespace vault {
 namespace json {
 
+/// Length of the well-formed UTF-8 sequence starting at S[I], or 0 if
+/// the bytes there are not valid UTF-8 (stray continuation byte,
+/// overlong encoding, surrogate, out-of-range lead, or truncation).
+inline size_t utf8SequenceLength(std::string_view S, size_t I) {
+  auto Cont = [&](size_t Off) {
+    return I + Off < S.size() &&
+           (static_cast<unsigned char>(S[I + Off]) & 0xC0) == 0x80;
+  };
+  unsigned char C0 = static_cast<unsigned char>(S[I]);
+  if (C0 < 0x80)
+    return 1;
+  if (C0 < 0xC2) // Continuation byte or overlong 2-byte lead.
+    return 0;
+  unsigned char C1 = I + 1 < S.size() ? static_cast<unsigned char>(S[I + 1])
+                                      : 0;
+  if (C0 <= 0xDF)
+    return Cont(1) ? 2 : 0;
+  if (C0 <= 0xEF) {
+    // E0 excludes overlongs (A0..BF), ED excludes surrogates (80..9F).
+    unsigned char Lo = C0 == 0xE0 ? 0xA0 : 0x80;
+    unsigned char Hi = C0 == 0xED ? 0x9F : 0xBF;
+    return C1 >= Lo && C1 <= Hi && Cont(2) ? 3 : 0;
+  }
+  if (C0 <= 0xF4) {
+    // F0 excludes overlongs (90..BF), F4 caps at U+10FFFF (80..8F).
+    unsigned char Lo = C0 == 0xF0 ? 0x90 : 0x80;
+    unsigned char Hi = C0 == 0xF4 ? 0x8F : 0xBF;
+    return C1 >= Lo && C1 <= Hi && Cont(2) && Cont(3) ? 4 : 0;
+  }
+  return 0;
+}
+
 /// Escapes \p S for inclusion inside a JSON string literal (quotes not
-/// included). Control characters become \uXXXX.
+/// included). Control characters become \uXXXX. Bytes that are not
+/// part of a well-formed UTF-8 sequence become U+FFFD (�), one
+/// replacement per invalid byte, so the document stays valid UTF-8
+/// even when a diagnostic quotes garbage source bytes.
 inline std::string escape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());
-  for (unsigned char C : S) {
+  for (size_t I = 0; I < S.size();) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
     switch (C) {
     case '"':
       Out += "\\\"";
-      break;
+      ++I;
+      continue;
     case '\\':
       Out += "\\\\";
-      break;
+      ++I;
+      continue;
     case '\b':
       Out += "\\b";
-      break;
+      ++I;
+      continue;
     case '\f':
       Out += "\\f";
-      break;
+      ++I;
+      continue;
     case '\n':
       Out += "\\n";
-      break;
+      ++I;
+      continue;
     case '\r':
       Out += "\\r";
-      break;
+      ++I;
+      continue;
     case '\t':
       Out += "\\t";
-      break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += static_cast<char>(C);
-      }
+      ++I;
+      continue;
+    }
+    if (C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      ++I;
+    } else if (C < 0x80) {
+      Out += static_cast<char>(C);
+      ++I;
+    } else if (size_t Len = utf8SequenceLength(S, I)) {
+      Out.append(S.substr(I, Len));
+      I += Len;
+    } else {
+      Out += "\\ufffd";
+      ++I;
     }
   }
   return Out;

@@ -1,0 +1,199 @@
+//===- SmallVector.h - Inline-capacity vector -------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with N elements of inline storage, spilling to the heap
+/// only past that. The checker's flow facts (held-key sets, variable
+/// binding maps) are copied at every branch and join; almost all of
+/// them are tiny, so keeping the common case allocation-free is what
+/// makes FlowState snapshots cheap. Deliberately minimal: exactly the
+/// surface HeldKeySet and FlowState::VarMap need, nothing more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_SMALLVECTOR_H
+#define VAULT_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vault {
+
+template <typename T, size_t N> class SmallVector {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVector() = default;
+  SmallVector(const SmallVector &O) { append(O.begin(), O.end()); }
+  SmallVector(SmallVector &&O) noexcept { moveFrom(std::move(O)); }
+  SmallVector &operator=(const SmallVector &O) {
+    if (this != &O) {
+      clear();
+      append(O.begin(), O.end());
+    }
+    return *this;
+  }
+  SmallVector &operator=(SmallVector &&O) noexcept {
+    if (this != &O) {
+      destroyAll();
+      moveFrom(std::move(O));
+    }
+    return *this;
+  }
+  ~SmallVector() { destroyAll(); }
+
+  iterator begin() { return Data; }
+  iterator end() { return Data + Size; }
+  const_iterator begin() const { return Data; }
+  const_iterator end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Cap; }
+
+  T &operator[](size_t I) {
+    assert(I < Size);
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size);
+    return Data[I];
+  }
+  T &back() {
+    assert(Size);
+    return Data[Size - 1];
+  }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Cap)
+      grow(NewCap);
+  }
+
+  void push_back(const T &V) { emplace_back(V); }
+  void push_back(T &&V) { emplace_back(std::move(V)); }
+
+  template <typename... Args> T &emplace_back(Args &&...As) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    T *Slot = new (Data + Size) T(std::forward<Args>(As)...);
+    ++Size;
+    return *Slot;
+  }
+
+  /// Inserts \p V before \p Pos, shifting the tail up.
+  iterator insert(iterator Pos, T V) {
+    size_t Idx = static_cast<size_t>(Pos - Data);
+    assert(Idx <= Size);
+    if (Size == Cap)
+      grow(Cap * 2);
+    if (Idx == Size) {
+      new (Data + Size) T(std::move(V));
+    } else {
+      new (Data + Size) T(std::move(Data[Size - 1]));
+      for (size_t I = Size - 1; I > Idx; --I)
+        Data[I] = std::move(Data[I - 1]);
+      Data[Idx] = std::move(V);
+    }
+    ++Size;
+    return Data + Idx;
+  }
+
+  /// Erases the element at \p Pos, shifting the tail down.
+  iterator erase(iterator Pos) {
+    size_t Idx = static_cast<size_t>(Pos - Data);
+    assert(Idx < Size);
+    for (size_t I = Idx; I + 1 < Size; ++I)
+      Data[I] = std::move(Data[I + 1]);
+    Data[Size - 1].~T();
+    --Size;
+    return Data + Idx;
+  }
+
+  void clear() {
+    for (size_t I = 0; I != Size; ++I)
+      Data[I].~T();
+    Size = 0;
+  }
+
+  friend bool operator==(const SmallVector &A, const SmallVector &B) {
+    if (A.Size != B.Size)
+      return false;
+    for (size_t I = 0; I != A.Size; ++I)
+      if (!(A.Data[I] == B.Data[I]))
+        return false;
+    return true;
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  bool isInline() const {
+    return Data == reinterpret_cast<const T *>(Inline);
+  }
+
+  void append(const T *First, const T *Last) {
+    size_t Count = static_cast<size_t>(Last - First);
+    reserve(Size + Count);
+    for (; First != Last; ++First)
+      new (Data + Size++) T(*First);
+  }
+
+  /// Steals O's heap buffer, or element-moves its inline contents.
+  void moveFrom(SmallVector &&O) {
+    if (O.isInline()) {
+      Data = inlineData();
+      Cap = N;
+      Size = O.Size;
+      for (size_t I = 0; I != O.Size; ++I) {
+        new (Data + I) T(std::move(O.Data[I]));
+        O.Data[I].~T();
+      }
+      O.Size = 0;
+    } else {
+      Data = O.Data;
+      Size = O.Size;
+      Cap = O.Cap;
+      O.Data = O.inlineData();
+      O.Size = 0;
+      O.Cap = N;
+    }
+  }
+
+  void grow(size_t NewCap) {
+    if (NewCap < Size + 1)
+      NewCap = Size + 1;
+    T *NewData = static_cast<T *>(
+        ::operator new(NewCap * sizeof(T), std::align_val_t(alignof(T))));
+    for (size_t I = 0; I != Size; ++I) {
+      new (NewData + I) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    if (!isInline())
+      ::operator delete(Data, std::align_val_t(alignof(T)));
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  void destroyAll() {
+    clear();
+    if (!isInline())
+      ::operator delete(Data, std::align_val_t(alignof(T)));
+  }
+
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+  T *Data = reinterpret_cast<T *>(Inline);
+  size_t Size = 0;
+  size_t Cap = N;
+};
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_SMALLVECTOR_H

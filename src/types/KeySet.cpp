@@ -34,6 +34,22 @@ void KeyTable::clear() {
 
 KeySym KeyTable::create(std::string Name, Origin O, SourceLoc Loc,
                         const Stateset *Order) {
+  if (ScratchTLS &S = scratchTLS(); S.Table == this) {
+    KeySym Sym = static_cast<KeySym>(ScratchBase + S.Entries.size() + 1);
+    S.Entries.push_back(Entry{std::move(Name), O, Loc, Order, Sym});
+    return Sym;
+  }
+  if (WindowTLS &W = windowTLS(); W.Table == this) {
+    assert(W.Next < W.Len && "window overflow: discovery undercounted");
+    size_t Idx = W.First + W.Next++;
+    KeySym Sym = static_cast<KeySym>(Idx + 1);
+    uint32_t Display = Sym;
+    if (TheDisplayTL.Table == this)
+      Display = TheDisplayTL.Base + ++TheDisplayTL.Next;
+    Chunks[Idx >> ChunkBits].load(std::memory_order_acquire)
+        [Idx & (ChunkSize - 1)] = Entry{std::move(Name), O, Loc, Order, Display};
+    return Sym;
+  }
   std::lock_guard<std::mutex> Lock(CreateMutex);
   size_t Idx = Count.load(std::memory_order_relaxed);
   assert(Idx < MaxChunks * ChunkSize && "key table full");
@@ -52,6 +68,67 @@ KeySym KeyTable::create(std::string Name, Origin O, SourceLoc Loc,
   return Sym;
 }
 
+KeySym KeyTable::reserve(size_t N) {
+  std::lock_guard<std::mutex> Lock(CreateMutex);
+  size_t First = Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return static_cast<KeySym>(First + 1);
+  assert(First + N <= MaxChunks * ChunkSize && "key table full");
+  for (size_t ChunkIdx = First >> ChunkBits;
+       ChunkIdx <= (First + N - 1) >> ChunkBits; ++ChunkIdx)
+    if (!Chunks[ChunkIdx].load(std::memory_order_relaxed))
+      Chunks[ChunkIdx].store(new Entry[ChunkSize], std::memory_order_release);
+  Count.store(First + N, std::memory_order_release);
+  return static_cast<KeySym>(First + 1);
+}
+
+KeyTable::ScratchTLS &KeyTable::scratchTLS() {
+  static thread_local ScratchTLS TLS;
+  return TLS;
+}
+
+KeyTable::WindowTLS &KeyTable::windowTLS() {
+  static thread_local WindowTLS TLS;
+  return TLS;
+}
+
+const KeyTable::Entry &KeyTable::scratchEntry(KeySym K) const {
+  const ScratchTLS &S = scratchTLS();
+  assert(S.Table == this && "scratch key resolved outside its scope");
+  size_t Idx = K - ScratchBase - 1;
+  assert(Idx < S.Entries.size() && "bad scratch key");
+  return S.Entries[Idx];
+}
+
+KeyTable::ScratchScope::ScratchScope(const KeyTable &T) {
+  ScratchTLS &S = scratchTLS();
+  assert(!S.Table && "nested scratch scopes are not supported");
+  S.Table = &T;
+  S.Entries.clear();
+}
+
+KeyTable::ScratchScope::~ScratchScope() {
+  ScratchTLS &S = scratchTLS();
+  S.Table = nullptr;
+  S.Entries.clear();
+}
+
+size_t KeyTable::ScratchScope::created() const {
+  return scratchTLS().Entries.size();
+}
+
+KeyTable::WindowScope::WindowScope(KeyTable &T, KeySym First, uint32_t Len) {
+  WindowTLS &W = windowTLS();
+  assert(!W.Table && "nested window scopes are not supported");
+  W = WindowTLS{&T, static_cast<size_t>(First) - 1, Len, 0};
+}
+
+KeyTable::WindowScope::~WindowScope() {
+  WindowTLS &W = windowTLS();
+  assert(W.Next == W.Len && "window underfilled: discovery overcounted");
+  W = WindowTLS{};
+}
+
 KeyTable::DisplayScope::DisplayScope(const KeyTable &T, uint32_t Base)
     : SavedTable(TheDisplayTL.Table), SavedBase(TheDisplayTL.Base),
       SavedNext(TheDisplayTL.Next) {
@@ -62,21 +139,41 @@ KeyTable::DisplayScope::~DisplayScope() {
   TheDisplayTL = DisplayTL{SavedTable, SavedBase, SavedNext};
 }
 
-void HeldKeySet::renameKeys(const std::map<KeySym, KeySym> &Map) {
-  if (Map.empty())
-    return;
-  std::map<KeySym, StateRef> Renamed;
-  for (auto &[K, S] : Entries) {
-    auto It = Map.find(K);
-    Renamed.emplace(It != Map.end() ? It->second : K, std::move(S));
+bool HeldKeySet::renameKeys(const KeyRename &Map) {
+  if (Map.empty() || Entries.empty())
+    return true;
+  // Map every entry, then restore the sort. Renaming may permute the
+  // order arbitrarily; the sets are tiny, so an insertion sort beats
+  // anything with allocation or dispatch overhead.
+  SmallVector<Item, 4> Renamed;
+  Renamed.reserve(Entries.size());
+  uint64_t NewMask = 0;
+  for (const Item &E : Entries) {
+    KeySym Target = Map.map(E.Sym);
+    auto It = std::lower_bound(
+        Renamed.begin(), Renamed.end(), Target,
+        [](const Item &I, KeySym S) { return I.Sym < S; });
+    if (It != Renamed.end() && It->Sym == Target)
+      return false; // Two sources collide on one target: reject whole.
+    Renamed.insert(It, Item{Target, E.St});
+    NewMask |= uint64_t(1) << (Target & 63);
   }
   Entries = std::move(Renamed);
+  Mask = NewMask;
+  return true;
+}
+
+bool HeldKeySet::renameKeys(const std::map<KeySym, KeySym> &Map) {
+  KeyRename R;
+  for (const auto &[From, To] : Map)
+    R.add(From, To);
+  return renameKeys(R);
 }
 
 std::string HeldKeySet::str(const KeyTable &Keys) const {
   std::string Out = "{";
   bool First = true;
-  for (const auto &[K, S] : Entries) {
+  for (const auto &[K, S] : *this) {
     if (!First)
       Out += ", ";
     First = false;
@@ -111,7 +208,7 @@ void vault::hashKey(KeySym K, const KeyTable &Keys, Hasher &H) {
 
 void HeldKeySet::hashInto(const KeyTable &Keys, Hasher &H) const {
   H.u64(Entries.size());
-  for (const auto &[K, S] : Entries) {
+  for (const auto &[K, S] : *this) {
     hashKey(K, Keys, H);
     S.hashInto(H);
   }

@@ -17,9 +17,11 @@
 #ifndef VAULT_TYPES_KEYSET_H
 #define VAULT_TYPES_KEYSET_H
 
+#include "support/SmallVector.h"
 #include "support/SourceManager.h"
 #include "types/StateSet.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -62,6 +64,18 @@ public:
   KeySym create(std::string Name, Origin O, SourceLoc Loc,
                 const Stateset *Order = nullptr);
 
+  /// Syms at or above this value denote thread-local scratch keys (see
+  /// ScratchScope); they never enter shared state. The shared table is
+  /// capped at 2M keys, far below this.
+  static constexpr KeySym ScratchBase = KeySym(1) << 30;
+
+  /// Reserves \p N contiguous slots (allocating their chunks eagerly)
+  /// and returns the first reserved sym. The slots count as allocated
+  /// — size() includes them — but hold empty entries until a
+  /// WindowScope writer fills them; per the class access pattern, only
+  /// the thread that fills a slot reads it before the workers join.
+  KeySym reserve(size_t N);
+
   const std::string &name(KeySym K) const { return entry(K).Name; }
   Origin origin(KeySym K) const { return entry(K).O; }
   SourceLoc loc(KeySym K) const { return entry(K).Loc; }
@@ -99,6 +113,35 @@ public:
     uint32_t SavedNext;
   };
 
+  /// RAII: while alive, create() calls *on this thread* allocate
+  /// thread-local scratch keys (syms from ScratchBase) instead of
+  /// touching the shared table; accessors resolve scratch syms against
+  /// the scope. The parallel signature-elaboration discovery pass uses
+  /// this to learn how many keys a signature allocates without
+  /// perturbing shared numbering.
+  class ScratchScope {
+  public:
+    explicit ScratchScope(const KeyTable &T);
+    ~ScratchScope();
+    ScratchScope(const ScratchScope &) = delete;
+    ScratchScope &operator=(const ScratchScope &) = delete;
+
+    /// Keys created on this thread since the scope opened.
+    size_t created() const;
+  };
+
+  /// RAII: while alive, create() calls *on this thread* fill the
+  /// reserved slots [First, First+Len), in order and lock-free (the
+  /// slots came from reserve()). Destruction asserts the window was
+  /// filled exactly — a mismatch means the discovery pass miscounted.
+  class WindowScope {
+  public:
+    WindowScope(KeyTable &T, KeySym First, uint32_t Len);
+    ~WindowScope();
+    WindowScope(const WindowScope &) = delete;
+    WindowScope &operator=(const WindowScope &) = delete;
+  };
+
 private:
   struct Entry {
     std::string Name;
@@ -113,11 +156,28 @@ private:
   static constexpr size_t MaxChunks = 4096; // 2M keys per compilation.
 
   const Entry &entry(KeySym K) const {
+    if (K >= ScratchBase)
+      return scratchEntry(K);
     assert(K != InvalidKey && K <= size() && "bad key");
     size_t Idx = K - 1;
     return Chunks[Idx >> ChunkBits].load(std::memory_order_acquire)
         [Idx & (ChunkSize - 1)];
   }
+  /// Resolves a scratch sym against this thread's active ScratchScope.
+  const Entry &scratchEntry(KeySym K) const;
+
+  struct ScratchTLS {
+    const KeyTable *Table = nullptr;
+    std::vector<Entry> Entries;
+  };
+  struct WindowTLS {
+    KeyTable *Table = nullptr;
+    size_t First = 0; ///< 0-based index of the first reserved slot.
+    uint32_t Len = 0;
+    uint32_t Next = 0;
+  };
+  static ScratchTLS &scratchTLS();
+  static WindowTLS &windowTLS();
 
   std::unique_ptr<std::atomic<Entry *>[]> Chunks;
   std::atomic<size_t> Count{0};
@@ -131,34 +191,112 @@ private:
 /// differ must produce a different fingerprint.
 void hashKey(KeySym K, const KeyTable &Keys, Hasher &H);
 
+/// A flat, sorted key renaming (source key -> target key), applied
+/// *simultaneously* — a swap `{k1->k2, k2->k1}` exchanges the two
+/// keys, it does not chain. Built by the join-point canonicalization;
+/// replaces the std::map the joins used to allocate per call.
+class KeyRename {
+public:
+  struct Pair {
+    KeySym From;
+    KeySym To;
+  };
+
+  /// Records From -> To. Keeps the table sorted by From; a duplicate
+  /// From is an error (callers check before inserting).
+  void add(KeySym From, KeySym To) {
+    auto It = lowerBound(From);
+    assert((It == Pairs.end() || It->From != From) && "duplicate source");
+    Pairs.insert(It, Pair{From, To});
+  }
+
+  /// The target of \p K, or \p K itself when unmapped.
+  KeySym map(KeySym K) const {
+    auto It = lowerBound(K);
+    return It != Pairs.end() && It->From == K ? It->To : K;
+  }
+
+  /// The target of \p K, or InvalidKey when unmapped (distinguishes
+  /// "maps to itself" from "not in the table").
+  KeySym lookup(KeySym K) const {
+    auto It = lowerBound(K);
+    return It != Pairs.end() && It->From == K ? It->To : InvalidKey;
+  }
+
+  bool contains(KeySym K) const {
+    auto It = lowerBound(K);
+    return It != Pairs.end() && It->From == K;
+  }
+
+  bool empty() const { return Pairs.empty(); }
+  size_t size() const { return Pairs.size(); }
+  auto begin() const { return Pairs.begin(); }
+  auto end() const { return Pairs.end(); }
+
+private:
+  const Pair *lowerBound(KeySym K) const {
+    return std::lower_bound(
+        Pairs.begin(), Pairs.end(), K,
+        [](const Pair &P, KeySym S) { return P.From < S; });
+  }
+  Pair *lowerBound(KeySym K) {
+    return const_cast<Pair *>(
+        static_cast<const KeyRename *>(this)->lowerBound(K));
+  }
+
+  SmallVector<Pair, 4> Pairs;
+};
+
 /// The held-key set: finite map from keys to their current local
-/// states. Deterministically ordered for stable diagnostics.
+/// states, ordered by key for stable diagnostics.
+///
+/// Representation: a sorted small-vector (inline capacity covers the
+/// corpus — peak held-set sizes are single digits) plus a 64-bit
+/// residue mask over `K & 63` for fast negative contains(). The mask
+/// is a may-contain filter: remove() leaves bits stale rather than
+/// rescanning, so a set bit still falls through to the binary search.
 class HeldKeySet {
 public:
-  bool contains(KeySym K) const { return Entries.count(K) != 0; }
+  bool contains(KeySym K) const {
+    if (!(Mask >> (K & 63) & 1))
+      return false;
+    auto It = lowerBound(K);
+    return It != Entries.end() && It->Sym == K;
+  }
 
   /// State of a held key; asserts that the key is held.
   const StateRef &stateOf(KeySym K) const {
-    auto It = Entries.find(K);
-    assert(It != Entries.end() && "key not held");
-    return It->second;
+    auto It = lowerBound(K);
+    assert(It != Entries.end() && It->Sym == K && "key not held");
+    return It->St;
   }
 
   /// Adds a key. Returns false (and leaves the set unchanged) if the
   /// key is already held — keys cannot be duplicated.
   bool add(KeySym K, StateRef S) {
-    return Entries.emplace(K, std::move(S)).second;
+    auto It = lowerBound(K);
+    if (It != Entries.end() && It->Sym == K)
+      return false;
+    Entries.insert(It, Item{K, std::move(S)});
+    Mask |= uint64_t(1) << (K & 63);
+    return true;
   }
 
   /// Removes a key. Returns false if the key was not held.
-  bool remove(KeySym K) { return Entries.erase(K) != 0; }
+  bool remove(KeySym K) {
+    auto It = lowerBound(K);
+    if (It == Entries.end() || It->Sym != K)
+      return false;
+    Entries.erase(It);
+    return true;
+  }
 
   /// Changes the state of a held key. Returns false if not held.
   bool transition(KeySym K, StateRef S) {
-    auto It = Entries.find(K);
-    if (It == Entries.end())
+    auto It = lowerBound(K);
+    if (It == Entries.end() || It->Sym != K)
       return false;
-    It->second = std::move(S);
+    It->St = std::move(S);
     return true;
   }
 
@@ -168,9 +306,18 @@ public:
   auto begin() const { return Entries.begin(); }
   auto end() const { return Entries.end(); }
 
-  /// Renames keys according to \p Map (keys absent from the map keep
-  /// their names). Used by the join-point canonicalization.
-  void renameKeys(const std::map<KeySym, KeySym> &Map);
+  /// Renames keys according to \p Map, simultaneously (keys absent
+  /// from the map keep their names). Returns false — leaving the set
+  /// *unchanged* — if two held keys would land on the same name, since
+  /// merging them would silently lose a key. (The previous std::map
+  /// representation kept the first and dropped the second.) The join
+  /// canonicalization pre-rejects every colliding shape, so a false
+  /// return indicates a checker bug, not a user error.
+  [[nodiscard]] bool renameKeys(const KeyRename &Map);
+
+  /// Compatibility overload for the std::map-based callers (tests,
+  /// benchmarks); same simultaneous-rename semantics.
+  [[nodiscard]] bool renameKeys(const std::map<KeySym, KeySym> &Map);
 
   friend bool operator==(const HeldKeySet &A, const HeldKeySet &B) {
     return A.Entries == B.Entries;
@@ -185,7 +332,32 @@ public:
   void hashInto(const KeyTable &Keys, Hasher &H) const;
 
 private:
-  std::map<KeySym, StateRef> Entries;
+  struct Item {
+    KeySym Sym;
+    StateRef St;
+
+    friend bool operator==(const Item &A, const Item &B) {
+      return A.Sym == B.Sym && A.St == B.St;
+    }
+  };
+
+  const Item *lowerBound(KeySym K) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), K,
+        [](const Item &I, KeySym S) { return I.Sym < S; });
+  }
+  Item *lowerBound(KeySym K) {
+    return const_cast<Item *>(
+        static_cast<const HeldKeySet *>(this)->lowerBound(K));
+  }
+
+  /// Sorted by Sym. Inline capacity 4: flow.peak_held_keys over the
+  /// corpus rarely exceeds it, so branch/join snapshots stay
+  /// allocation-free.
+  SmallVector<Item, 4> Entries;
+  /// May-contain filter: bit `K & 63` is set if a key with that
+  /// residue was ever added.
+  uint64_t Mask = 0;
 };
 
 } // namespace vault

@@ -26,12 +26,22 @@ struct Subst {
   std::map<KeySym, KeySym> Keys;
   std::map<const TypeParamAst *, const Type *> TypeVars;
   std::map<StateVarId, StateRef> StateVars;
+  /// Flat key renaming applied in addition to (and before) Keys. The
+  /// join canonicalization substitutes through its KeyRename directly
+  /// instead of copying it into the Keys map on every join.
+  const KeyRename *FlatKeys = nullptr;
 
   bool empty() const {
-    return Keys.empty() && TypeVars.empty() && StateVars.empty();
+    return Keys.empty() && TypeVars.empty() && StateVars.empty() &&
+           (!FlatKeys || FlatKeys->empty());
   }
 
   KeySym mapKey(KeySym K) const {
+    if (FlatKeys) {
+      KeySym To = FlatKeys->lookup(K);
+      if (To != InvalidKey)
+        return To;
+    }
     auto It = Keys.find(K);
     return It != Keys.end() ? It->second : K;
   }

@@ -1,0 +1,82 @@
+# The bench trajectory round trip: vaultbench's pinned subset must
+# produce a well-formed BENCH_checker.json from scratch, append a
+# second run to it without corrupting the history, and reject a
+# deliberately truncated file. Run with:
+#   cmake -DVAULTBENCH=<path> -DWORK_DIR=<tmp> -P BenchTrajectory.cmake
+
+if(NOT VAULTBENCH OR NOT WORK_DIR)
+  message(FATAL_ERROR "pass -DVAULTBENCH=<binary> -DWORK_DIR=<tmp dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(OUT ${WORK_DIR}/BENCH_checker.json)
+
+# Fresh file.
+execute_process(
+  COMMAND ${VAULTBENCH} --subset --iterations 1 --jobs 4
+          --label trajectory-test --out ${OUT}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE STDOUT ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "fresh bench run failed (${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+
+# Append a second run; both must survive.
+execute_process(
+  COMMAND ${VAULTBENCH} --subset --iterations 1 --jobs 4
+          --label trajectory-test-2 --out ${OUT}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE STDOUT ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "append bench run failed (${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+
+execute_process(COMMAND ${VAULTBENCH} --validate ${OUT}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE STDOUT ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "trajectory failed validation:\n${STDOUT}\n${STDERR}")
+endif()
+
+file(READ ${OUT} TEXT)
+foreach(NEEDLE
+    "\"schema\": \"vault-bench-trajectory-v1\""
+    "\"label\": \"trajectory-test\""
+    "\"label\": \"trajectory-test-2\""
+    "\"name\": \"corpus-cold\""
+    "\"name\": \"synthetic-many-fns\"")
+  string(FIND "${TEXT}" "${NEEDLE}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "trajectory is missing ${NEEDLE}:\n${TEXT}")
+  endif()
+endforeach()
+
+# Both job counts of each benchmark must be present (the speedup
+# comparison needs the jobs=1 baseline next to the parallel number).
+string(REGEX MATCHALL "\"jobs\": 1," JOBS1 "${TEXT}")
+string(REGEX MATCHALL "\"jobs\": 4," JOBS4 "${TEXT}")
+list(LENGTH JOBS1 N1)
+list(LENGTH JOBS4 N4)
+if(N1 LESS 4 OR N4 LESS 4)
+  message(FATAL_ERROR
+    "expected 4 jobs=1 and 4 jobs=4 measurements, got ${N1}/${N4}:\n${TEXT}")
+endif()
+
+# A truncated file must be rejected, both by --validate and as an
+# update target.
+string(LENGTH "${TEXT}" LEN)
+math(EXPR HALF "${LEN} / 2")
+string(SUBSTRING "${TEXT}" 0 ${HALF} BROKEN)
+file(WRITE ${WORK_DIR}/broken.json "${BROKEN}")
+execute_process(COMMAND ${VAULTBENCH} --validate ${WORK_DIR}/broken.json
+  RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "truncated trajectory passed validation")
+endif()
+execute_process(
+  COMMAND ${VAULTBENCH} --subset --iterations 1 --jobs 4
+          --label onto-broken --out ${WORK_DIR}/broken.json
+  RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "vaultbench overwrote a malformed trajectory")
+endif()
+
+message(STATUS "bench trajectory round trip OK")

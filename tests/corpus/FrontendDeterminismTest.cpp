@@ -1,0 +1,308 @@
+//===- FrontendDeterminismTest.cpp - parallel front-end byte-identity -----===//
+//
+// The parallel front end's contract: queueSource'd buffers parse on
+// the check() worker pool and signatures elaborate concurrently
+// (discovery + reserved key windows), yet every observable — parse and
+// sema diagnostics, key traces, statistics, cache fingerprints, trace
+// span inventory — is byte-identical to the serial pipeline at any job
+// count, cold and warm. This suite runs every corpus program through
+// the queued path at jobs 1/4/16 and compares everything, then pins
+// the merge-order and re-check properties on synthetic multi-buffer
+// units.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "support/Trace.h"
+
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace vault;
+
+namespace {
+
+/// Checks \p Name through the queued (parallel-parse) front end at the
+/// given job count, with key tracing on.
+std::unique_ptr<VaultCompiler> checkQueuedAt(const std::string &Name,
+                                             unsigned Jobs,
+                                             const std::string &CacheDir = "") {
+  auto C = std::make_unique<VaultCompiler>();
+  C->setJobs(Jobs);
+  C->enableKeyTrace();
+  if (!CacheDir.empty())
+    C->setCacheDir(CacheDir);
+  std::string Text = corpus::load(Name);
+  if (!Text.empty()) {
+    C->queueSource(Name + ".vlt", Text);
+    C->check();
+  }
+  return C;
+}
+
+void expectIdenticalOutput(VaultCompiler &A, VaultCompiler &B,
+                           const std::string &Label) {
+  EXPECT_EQ(A.diags().errorCount(), B.diags().errorCount()) << Label;
+  EXPECT_EQ(A.diags().render(), B.diags().render()) << Label;
+
+  ASSERT_EQ(A.keyTrace().size(), B.keyTrace().size()) << Label;
+  for (size_t I = 0; I < A.keyTrace().size(); ++I) {
+    EXPECT_EQ(A.keyTrace()[I].Function, B.keyTrace()[I].Function)
+        << Label << " trace entry " << I;
+    EXPECT_EQ(A.keyTrace()[I].Held, B.keyTrace()[I].Held)
+        << Label << " trace entry " << I;
+  }
+
+  const auto &SA = A.stats();
+  const auto &SB = B.stats();
+  EXPECT_EQ(SA.FunctionsChecked, SB.FunctionsChecked) << Label;
+  EXPECT_EQ(SA.FunctionsWithBodies, SB.FunctionsWithBodies) << Label;
+  EXPECT_EQ(SA.DeclsRegistered, SB.DeclsRegistered) << Label;
+  ASSERT_EQ(SA.PerFunction.size(), SB.PerFunction.size()) << Label;
+  for (size_t I = 0; I < SA.PerFunction.size(); ++I) {
+    EXPECT_EQ(SA.PerFunction[I].Name, SB.PerFunction[I].Name)
+        << Label << " function " << I;
+    EXPECT_EQ(SA.PerFunction[I].MaxHeldKeys, SB.PerFunction[I].MaxHeldKeys)
+        << Label << " function " << SA.PerFunction[I].Name;
+  }
+}
+
+/// Every span name in a Tracer JSON document. Span names never contain
+/// escapes (they are "parse", "elab <fn>", "check <fn>", ...), and
+/// "name" appears as a key only on events, so a plain scan suffices.
+std::multiset<std::string> spanNames(const std::string &J) {
+  std::multiset<std::string> Out;
+  const std::string Key = "\"name\":\"";
+  for (size_t I = J.find(Key); I != std::string::npos; I = J.find(Key, I)) {
+    I += Key.size();
+    size_t End = J.find('"', I);
+    if (End == std::string::npos)
+      break;
+    Out.insert(J.substr(I, End - I));
+    I = End;
+  }
+  return Out;
+}
+
+class FrontendDeterminism
+    : public ::testing::TestWithParam<corpus::ProgramInfo> {};
+
+TEST_P(FrontendDeterminism, QueuedPipelineMatchesAtAnyJobCount) {
+  const corpus::ProgramInfo &P = GetParam();
+  auto J1 = checkQueuedAt(P.Name, 1);
+  auto J4 = checkQueuedAt(P.Name, 4);
+  auto J16 = checkQueuedAt(P.Name, 16);
+  expectIdenticalOutput(*J1, *J4, P.Name + " jobs 1 vs 4");
+  expectIdenticalOutput(*J1, *J16, P.Name + " jobs 1 vs 16");
+  EXPECT_EQ(P.ExpectAccept, !J16->diags().hasErrors())
+      << P.PaperRef << ":\n"
+      << J16->diags().render();
+
+  // The queued path must also match the inline addSource path exactly
+  // — it is the same pipeline, only scheduled differently.
+  auto Inline = std::make_unique<VaultCompiler>();
+  Inline->setJobs(1);
+  Inline->enableKeyTrace();
+  std::string Text = corpus::load(P.Name);
+  if (!Text.empty()) {
+    Inline->addSource(P.Name + ".vlt", Text);
+    Inline->check();
+  }
+  expectIdenticalOutput(*Inline, *J16, P.Name + " inline vs queued");
+}
+
+TEST_P(FrontendDeterminism, WarmCacheCrossesJobCounts) {
+  // A cache built by a serial run must replay fully under a parallel
+  // one: fingerprints hash raw key syms and state-variable ids, so
+  // this pins that the parallel front end reproduces the serial
+  // numbering exactly.
+  const corpus::ProgramInfo &P = GetParam();
+  std::string Tag = P.Name;
+  for (char &C : Tag)
+    if (C == '/')
+      C = '_';
+  std::string Dir = ::testing::TempDir() + "vault-frontend-" + Tag;
+  std::filesystem::remove_all(Dir);
+
+  auto Cold = std::make_unique<VaultCompiler>();
+  Cold->setJobs(1);
+  Cold->setCacheDir(Dir);
+  std::string Text = corpus::load(P.Name);
+  ASSERT_FALSE(Text.empty()) << P.Name;
+  Cold->queueSource(P.Name + ".vlt", Text);
+  Cold->check();
+
+  auto Warm = std::make_unique<VaultCompiler>();
+  Warm->setJobs(16);
+  Warm->setCacheDir(Dir);
+  Warm->queueSource(P.Name + ".vlt", Text);
+  Warm->check();
+
+  EXPECT_EQ(Cold->diags().render(), Warm->diags().render()) << P.Name;
+  if (Cold->stats().CacheEnabled && Warm->stats().CacheEnabled) {
+    EXPECT_EQ(Warm->stats().CacheHits, Warm->stats().FunctionsChecked)
+        << P.Name << ": parallel warm run missed a serial run's cache";
+    EXPECT_EQ(Warm->stats().FlowChecksRun, 0u) << P.Name;
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST_P(FrontendDeterminism, SpanInventoryIsJobAndCacheInvariant) {
+  const corpus::ProgramInfo &P = GetParam();
+  std::string Text = corpus::load(P.Name);
+  ASSERT_FALSE(Text.empty()) << P.Name;
+
+  auto traceOf = [&](unsigned Jobs, const std::string &CacheDir) {
+    Tracer T;
+    VaultCompiler C;
+    C.setTracer(&T);
+    C.setJobs(Jobs);
+    if (!CacheDir.empty())
+      C.setCacheDir(CacheDir);
+    C.queueSource(P.Name + ".vlt", Text);
+    C.check();
+    return T.json();
+  };
+
+  std::multiset<std::string> Serial = spanNames(traceOf(1, ""));
+  std::multiset<std::string> Parallel = spanNames(traceOf(16, ""));
+  ASSERT_FALSE(Serial.empty()) << P.Name;
+  EXPECT_EQ(Serial, Parallel)
+      << P.Name << ": span inventory depends on job count";
+  EXPECT_EQ(Serial.count("parse"), 1u) << P.Name;
+  EXPECT_EQ(Serial.count("parse-sources"), 1u) << P.Name;
+
+  std::string Tag = P.Name;
+  for (char &C : Tag)
+    if (C == '/')
+      C = '_';
+  std::string Dir = ::testing::TempDir() + "vault-frontend-trace-" + Tag;
+  std::filesystem::remove_all(Dir);
+  std::multiset<std::string> Cold = spanNames(traceOf(1, Dir));
+  std::multiset<std::string> Warm = spanNames(traceOf(16, Dir));
+  EXPECT_EQ(Cold, Warm)
+      << P.Name << ": span inventory differs cold vs warm cache";
+  std::filesystem::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, FrontendDeterminism, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(FrontendDeterminism, ManyBuffersMergeInInputOrder) {
+  // More buffers than workers, a parse error in every third one:
+  // diagnostics must come out in input order at any job count, and the
+  // combined program must register every declaration exactly as serial
+  // parsing would.
+  auto runAt = [&](unsigned Jobs) {
+    auto C = std::make_unique<VaultCompiler>();
+    C->setJobs(Jobs);
+    for (int I = 0; I < 24; ++I) {
+      std::string N = "f" + std::to_string(I);
+      std::string Src;
+      if (I % 3 == 2)
+        Src = "void " + N + "() { int x = ; }\n"; // Syntax error.
+      else
+        Src = "void " + N + "() { int x = 1; }\n";
+      C->queueSource("buf" + std::to_string(I) + ".vlt", Src);
+    }
+    C->check();
+    return C;
+  };
+  auto Serial = runAt(1);
+  auto Parallel = runAt(16);
+  EXPECT_TRUE(Serial->diags().hasErrors());
+  EXPECT_EQ(Serial->diags().render(), Parallel->diags().render());
+  EXPECT_EQ(Serial->stats().DeclsRegistered, Parallel->stats().DeclsRegistered);
+  EXPECT_GE(Serial->stats().DeclsRegistered, 16u);
+
+  // Input order: the erroneous buffers are buf2, buf5, buf8, ... and
+  // each diagnostic names its buffer, so the reported buffer indices
+  // must be strictly increasing regardless of which worker parsed
+  // which buffer.
+  int LastBuf = -1;
+  for (const Diagnostic &D : Parallel->diags().diagnostics()) {
+    PresumedLoc P = Parallel->sources().presumed(D.Loc);
+    ASSERT_TRUE(P.isValid());
+    std::string File = P.BufferName;
+    ASSERT_EQ(File.rfind("buf", 0), 0u) << File;
+    int Buf = std::stoi(File.substr(3));
+    EXPECT_GE(Buf, LastBuf);
+    LastBuf = Buf;
+  }
+}
+
+TEST(FrontendDeterminism, SignatureErrorsMergeInSourceOrder) {
+  // Pass-2 diagnostics (bad signatures) interleaved with good
+  // functions: the parallel signature elaboration must report them in
+  // source order with identical text.
+  std::string Src;
+  for (int I = 0; I < 16; ++I) {
+    std::string N = "g" + std::to_string(I);
+    if (I % 4 == 1)
+      Src += "NoSuchType " + N + "();\n"; // Unknown return type.
+    else
+      Src += "void " + N + "() {}\n";
+  }
+  auto runAt = [&](unsigned Jobs) {
+    auto C = std::make_unique<VaultCompiler>();
+    C->setJobs(Jobs);
+    C->queueSource("sigs.vlt", Src);
+    C->check();
+    return C;
+  };
+  auto Serial = runAt(1);
+  auto Parallel = runAt(16);
+  EXPECT_TRUE(Serial->diags().hasErrors());
+  EXPECT_EQ(Serial->diags().render(), Parallel->diags().render());
+
+  unsigned LastLine = 0;
+  for (const Diagnostic &D : Parallel->diags().diagnostics()) {
+    PresumedLoc P = Parallel->sources().presumed(D.Loc);
+    ASSERT_TRUE(P.isValid());
+    EXPECT_GE(P.Line, LastLine);
+    LastLine = P.Line;
+  }
+}
+
+TEST(FrontendDeterminism, RecheckKeepsParseDiagnosticsOnce) {
+  // Parse diagnostics from queued buffers must behave like
+  // addSource's: reported once, kept across a re-check, never
+  // duplicated.
+  auto C = std::make_unique<VaultCompiler>();
+  C->setJobs(4);
+  C->queueSource("ok.vlt", "void a() { int x = 1; }\n");
+  C->queueSource("bad.vlt", "void b() { int x = ; }\n");
+  EXPECT_FALSE(C->check());
+  std::string First = C->diags().render();
+  EXPECT_FALSE(C->check());
+  EXPECT_EQ(First, C->diags().render())
+      << "re-check duplicated or dropped parse diagnostics";
+}
+
+TEST(FrontendDeterminism, QueueAndAddSourceInterleave) {
+  // queueSource and addSource may be mixed, but they are not
+  // interchangeable positionally: addSource parses immediately while
+  // queued buffers parse at check(), so the combined program is every
+  // inline source (in call order) followed by every queued source (in
+  // queue order). Pin that contract.
+  auto C = std::make_unique<VaultCompiler>();
+  C->setJobs(8);
+  C->queueSource("a.vlt", "void a() { int x = 1; }\n");
+  C->addSource("b.vlt", "void b() { int y = 2; }\n");
+  C->queueSource("c.vlt", "void c() { int z = 3; }\n");
+  EXPECT_TRUE(C->check()) << C->diags().render();
+  ASSERT_EQ(C->stats().PerFunction.size(), 3u);
+  EXPECT_EQ(C->stats().PerFunction[0].Name, "b");
+  EXPECT_EQ(C->stats().PerFunction[1].Name, "a");
+  EXPECT_EQ(C->stats().PerFunction[2].Name, "c");
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+//===- JsonTest.cpp - json::escape validity under hostile input -----------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// The observability emitters feed raw source bytes into JSON string
+// literals (diagnostics quote source text, trace spans carry file
+// names). A source file is allowed to contain arbitrary bytes, so the
+// escaper must turn every input into a *valid UTF-8* JSON document —
+// the bug pinned here was bytes >= 0x80 passing through unvalidated,
+// which made --diagnostics-format=json output unparseable by any
+// conforming reader. The strict parser below rejects exactly what
+// RFC 8259 rejects: malformed UTF-8, unescaped control characters,
+// and bad escape sequences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/Diagnostics.h"
+#include "support/DiagnosticsFormat.h"
+#include "support/Trace.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "gtest/gtest.h"
+
+using namespace vault;
+
+namespace {
+
+/// A strict RFC 8259 JSON validator (structure + string contents).
+/// Returns true iff \p S is one well-formed JSON value. Carried by the
+/// test on purpose: the toolchain's Json.h is emit-only.
+class StrictParser {
+public:
+  explicit StrictParser(const std::string &S) : S(S) {}
+
+  bool valid() {
+    ws();
+    if (!value())
+      return false;
+    ws();
+    return I == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t I = 0;
+
+  bool eof() const { return I >= S.size(); }
+  char peek() const { return S[I]; }
+  void ws() {
+    while (!eof() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\n' ||
+                      S[I] == '\r'))
+      ++I;
+  }
+  bool lit(const char *L) {
+    size_t Len = std::strlen(L);
+    if (S.compare(I, Len, L) != 0)
+      return false;
+    I += Len;
+    return true;
+  }
+
+  bool value() {
+    if (eof())
+      return false;
+    switch (peek()) {
+    case '{': return object();
+    case '[': return array();
+    case '"': return string();
+    case 't': return lit("true");
+    case 'f': return lit("false");
+    case 'n': return lit("null");
+    default: return number();
+    }
+  }
+
+  bool object() {
+    ++I; // '{'
+    ws();
+    if (!eof() && peek() == '}') {
+      ++I;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (eof() || peek() != '"' || !string())
+        return false;
+      ws();
+      if (eof() || S[I++] != ':')
+        return false;
+      ws();
+      if (!value())
+        return false;
+      ws();
+      if (eof())
+        return false;
+      if (S[I] == ',') {
+        ++I;
+        continue;
+      }
+      return S[I++] == '}';
+    }
+  }
+
+  bool array() {
+    ++I; // '['
+    ws();
+    if (!eof() && peek() == ']') {
+      ++I;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!value())
+        return false;
+      ws();
+      if (eof())
+        return false;
+      if (S[I] == ',') {
+        ++I;
+        continue;
+      }
+      return S[I++] == ']';
+    }
+  }
+
+  bool hex4() {
+    for (int K = 0; K != 4; ++K) {
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(S[I])))
+        return false;
+      ++I;
+    }
+    return true;
+  }
+
+  bool string() {
+    ++I; // Opening quote.
+    while (!eof()) {
+      unsigned char C = static_cast<unsigned char>(S[I]);
+      if (C == '"') {
+        ++I;
+        return true;
+      }
+      if (C == '\\') {
+        ++I;
+        if (eof())
+          return false;
+        char E = S[I++];
+        if (E == 'u') {
+          if (!hex4())
+            return false;
+          continue;
+        }
+        if (!std::strchr("\"\\/bfnrt", E))
+          return false;
+        continue;
+      }
+      if (C < 0x20)
+        return false; // Unescaped control character.
+      size_t Len = json::utf8SequenceLength(S, I);
+      if (Len == 0)
+        return false; // Invalid UTF-8.
+      I += Len;
+    }
+    return false; // Unterminated.
+  }
+
+  bool number() {
+    size_t Start = I;
+    if (!eof() && peek() == '-')
+      ++I;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (I == Start || (S[Start] == '-' && I == Start + 1))
+      return false;
+    if (!eof() && peek() == '.') {
+      ++I;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++I;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++I;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    return true;
+  }
+};
+
+bool strictValid(const std::string &J) { return StrictParser(J).valid(); }
+
+TEST(JsonEscape, PassesValidUtf8Through) {
+  // 2-, 3- and 4-byte sequences survive byte-identically.
+  std::string S = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x94\x91";
+  EXPECT_EQ(json::escape(S), S);
+  EXPECT_TRUE(strictValid(json::str(S)));
+}
+
+TEST(JsonEscape, ReplacesInvalidBytesWithUFFFD) {
+  // A stray continuation byte, a truncated lead, and an overlong NUL.
+  EXPECT_EQ(json::escape("\x80"), "\\ufffd");
+  EXPECT_EQ(json::escape("a\xC3"), "a\\ufffd");
+  EXPECT_EQ(json::escape("\xC0\x80"), "\\ufffd\\ufffd");
+  // CESU-style surrogate halves are not valid UTF-8.
+  EXPECT_EQ(json::escape("\xED\xA0\x80"), "\\ufffd\\ufffd\\ufffd");
+  // Leads above U+10FFFF.
+  EXPECT_EQ(json::escape("\xF5\x90\x80\x80"),
+            "\\ufffd\\ufffd\\ufffd\\ufffd");
+}
+
+TEST(JsonEscape, InvalidByteDoesNotEatTheFollowingValidSequence) {
+  std::string Out = json::escape("\xC3high\xC3\xA9");
+  EXPECT_EQ(Out, "\\ufffdhigh\xC3\xA9");
+}
+
+TEST(JsonEscape, ControlAndQuoteEscapesUnchanged) {
+  EXPECT_EQ(json::escape("a\"b\\c\n\t\x01"), "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(JsonEscape, EveryByteValueYieldsAParseableDocument) {
+  std::string All;
+  for (int B = 0; B != 256; ++B)
+    All += static_cast<char>(B);
+  EXPECT_TRUE(strictValid(json::str(All)));
+}
+
+TEST(JsonEscape, BadByteDiagnosticRoundTripsThroughStrictParser) {
+  // The pinned end-to-end path: a diagnostic quoting invalid UTF-8
+  // (e.g. the lexer echoing a garbage source byte) must still render
+  // as a strictly parseable --diagnostics-format=json document.
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  uint32_t Buf = SM.addBuffer("bad.vlt", "key \xFF\xFE K;\n");
+  Diags.report(DiagId::LexUnknownChar, SourceLoc{Buf, 4},
+               std::string("unexpected character '\xFF\xFE'"));
+  Diags.note(SourceLoc{Buf, 0}, std::string("near byte \x80 here"));
+
+  std::string J = renderDiagnosticsJson(Diags);
+  EXPECT_TRUE(strictValid(J)) << J;
+  EXPECT_NE(J.find("\\ufffd"), std::string::npos);
+
+  std::string Sarif = renderDiagnosticsSarif(Diags);
+  EXPECT_TRUE(strictValid(Sarif)) << Sarif;
+}
+
+TEST(JsonEscape, TraceWithBadBytesStaysParseable) {
+  Tracer T;
+  uint64_t Now = T.nowUs();
+  T.complete("parse", Now, Now, {{"source", "evil\xFF.vlt"}});
+  EXPECT_TRUE(strictValid(T.json())) << T.json();
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- SmallVectorTest.cpp - inline-capacity vector unit tests ------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// The container under the checker's flow facts. The interesting cases
+// are the inline/heap boundary (element destruction, move semantics)
+// and ordered insert/erase, which HeldKeySet leans on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SmallVector.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace vault;
+
+namespace {
+
+TEST(SmallVector, GrowsPastInlineCapacity) {
+  SmallVector<std::string, 2> V;
+  for (int I = 0; I != 20; ++I)
+    V.push_back("s" + std::to_string(I));
+  ASSERT_EQ(V.size(), 20u);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(V[I], "s" + std::to_string(I));
+}
+
+TEST(SmallVector, InsertKeepsOrderInlineAndHeap) {
+  SmallVector<int, 4> V;
+  for (int I : {9, 1, 7, 3, 5, 8, 2, 6, 4, 0}) {
+    auto *Pos = V.begin();
+    while (Pos != V.end() && *Pos < I)
+      ++Pos;
+    V.insert(Pos, I);
+  }
+  ASSERT_EQ(V.size(), 10u);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVector, EraseShiftsTail) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I != 6; ++I)
+    V.push_back(I);
+  V.erase(V.begin() + 2); // {0,1,3,4,5}
+  V.erase(V.begin());     // {1,3,4,5}
+  ASSERT_EQ(V.size(), 4u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 3);
+  EXPECT_EQ(V[3], 5);
+}
+
+TEST(SmallVector, CopyAndMoveAcrossTheBoundary) {
+  SmallVector<std::string, 2> Small;
+  Small.push_back("a");
+  SmallVector<std::string, 2> Big;
+  for (int I = 0; I != 8; ++I)
+    Big.push_back(std::to_string(I));
+
+  SmallVector<std::string, 2> CopySmall = Small;
+  SmallVector<std::string, 2> CopyBig = Big;
+  EXPECT_TRUE(CopySmall == Small);
+  EXPECT_TRUE(CopyBig == Big);
+
+  SmallVector<std::string, 2> MovedSmall = std::move(CopySmall);
+  SmallVector<std::string, 2> MovedBig = std::move(CopyBig);
+  EXPECT_TRUE(MovedSmall == Small);
+  EXPECT_TRUE(MovedBig == Big);
+  EXPECT_TRUE(CopySmall.empty());
+  EXPECT_TRUE(CopyBig.empty());
+
+  // Assignment both directions, including heap -> inline reuse.
+  CopyBig = Small;
+  EXPECT_TRUE(CopyBig == Small);
+  CopyBig = std::move(MovedBig);
+  EXPECT_TRUE(CopyBig == Big);
+}
+
+TEST(SmallVector, EqualityIsElementwise) {
+  SmallVector<int, 4> A, B;
+  for (int I = 0; I != 3; ++I) {
+    A.push_back(I);
+    B.push_back(I);
+  }
+  EXPECT_TRUE(A == B);
+  B.back() = 99;
+  EXPECT_FALSE(A == B);
+  B.back() = 2;
+  B.push_back(3);
+  EXPECT_FALSE(A == B);
+}
+
+} // namespace

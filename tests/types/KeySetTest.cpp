@@ -72,11 +72,132 @@ TEST(HeldKeySet, RenameKeys) {
   HeldKeySet S;
   S.add(A, StateRef::name("s"));
   S.add(C, StateRef::top());
-  S.renameKeys({{A, B}});
+  EXPECT_TRUE(S.renameKeys({{A, B}}));
   EXPECT_FALSE(S.contains(A));
   EXPECT_TRUE(S.contains(B));
   EXPECT_EQ(S.stateOf(B), StateRef::name("s"));
   EXPECT_TRUE(S.contains(C));
+}
+
+TEST(HeldKeySet, SwapRenameIsSimultaneous) {
+  // {k1->k2, k2->k1} must exchange the two keys' states, not chain one
+  // through the other.
+  KeyTable T;
+  KeySym K1 = T.create("K1", KeyTable::Origin::Local, SourceLoc{});
+  KeySym K2 = T.create("K2", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(K1, StateRef::name("one"));
+  S.add(K2, StateRef::name("two"));
+  EXPECT_TRUE(S.renameKeys({{K1, K2}, {K2, K1}}));
+  EXPECT_EQ(S.stateOf(K1), StateRef::name("two"));
+  EXPECT_EQ(S.stateOf(K2), StateRef::name("one"));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(HeldKeySet, ChainRenameDoesNotCascade) {
+  // {k1->k2, k2->k3}: k1's state lands on k2 and k2's on k3 in one
+  // step; k1's must NOT ride the second mapping through to k3.
+  KeyTable T;
+  KeySym K1 = T.create("K1", KeyTable::Origin::Local, SourceLoc{});
+  KeySym K2 = T.create("K2", KeyTable::Origin::Local, SourceLoc{});
+  KeySym K3 = T.create("K3", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(K1, StateRef::name("one"));
+  S.add(K2, StateRef::name("two"));
+  EXPECT_TRUE(S.renameKeys({{K1, K2}, {K2, K3}}));
+  EXPECT_FALSE(S.contains(K1));
+  EXPECT_EQ(S.stateOf(K2), StateRef::name("one"));
+  EXPECT_EQ(S.stateOf(K3), StateRef::name("two"));
+}
+
+TEST(HeldKeySet, TwoSourcesOneTargetRejectedUnchanged) {
+  // Regression pin: the old std::map representation kept the first
+  // source and *silently dropped* the second — a held key vanished.
+  // Colliding renames are now rejected outright, set untouched.
+  KeyTable T;
+  KeySym K1 = T.create("K1", KeyTable::Origin::Local, SourceLoc{});
+  KeySym K2 = T.create("K2", KeyTable::Origin::Local, SourceLoc{});
+  KeySym K3 = T.create("K3", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(K1, StateRef::name("one"));
+  S.add(K2, StateRef::name("two"));
+  HeldKeySet Before = S;
+  EXPECT_FALSE(S.renameKeys({{K1, K3}, {K2, K3}}));
+  EXPECT_TRUE(S == Before);
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(HeldKeySet, RenameOntoLiveUnrenamedKeyRejected) {
+  // {k1->k2} while k2 is itself held (and not renamed away) would
+  // merge two live keys; same key-loss class as above.
+  KeyTable T;
+  KeySym K1 = T.create("K1", KeyTable::Origin::Local, SourceLoc{});
+  KeySym K2 = T.create("K2", KeyTable::Origin::Local, SourceLoc{});
+  HeldKeySet S;
+  S.add(K1, StateRef::name("one"));
+  S.add(K2, StateRef::name("two"));
+  HeldKeySet Before = S;
+  EXPECT_FALSE(S.renameKeys({{K1, K2}}));
+  EXPECT_TRUE(S == Before);
+}
+
+TEST(HeldKeySet, EquivalenceWithMapReferenceImplementation) {
+  // Drive the small-vector representation and a std::map reference
+  // model through the same pseudo-random op sequence (adds, removes,
+  // transitions, collision-free renames) and require identical
+  // contents and iteration order at every step.
+  KeyTable T;
+  std::vector<KeySym> Keys;
+  for (int I = 0; I != 24; ++I)
+    Keys.push_back(T.create("K" + std::to_string(I),
+                            KeyTable::Origin::Local, SourceLoc{}));
+
+  HeldKeySet S;
+  std::map<KeySym, StateRef> Ref;
+  uint64_t Rng = 42;
+  auto Next = [&] {
+    Rng = Rng * 6364136223846793005u + 1442695040888963407u;
+    return static_cast<uint32_t>(Rng >> 33);
+  };
+  auto CheckEqual = [&] {
+    ASSERT_EQ(S.size(), Ref.size());
+    auto RefIt = Ref.begin();
+    for (const auto &[K, St] : S) {
+      ASSERT_EQ(K, RefIt->first);
+      ASSERT_TRUE(St == RefIt->second);
+      ++RefIt;
+    }
+  };
+
+  for (int Step = 0; Step != 2000; ++Step) {
+    uint32_t Op = Next() % 100;
+    KeySym K = Keys[Next() % Keys.size()];
+    if (Op < 45) {
+      StateRef St = StateRef::name("s" + std::to_string(Next() % 4));
+      bool Added = S.add(K, St);
+      EXPECT_EQ(Added, Ref.emplace(K, St).second);
+    } else if (Op < 70) {
+      bool Removed = S.remove(K);
+      EXPECT_EQ(Removed, Ref.erase(K) != 0);
+    } else if (Op < 90) {
+      StateRef St = StateRef::name("t" + std::to_string(Next() % 4));
+      bool Changed = S.transition(K, St);
+      auto It = Ref.find(K);
+      EXPECT_EQ(Changed, It != Ref.end());
+      if (It != Ref.end())
+        It->second = St;
+    } else {
+      // A collision-free rename: map one held key onto an unheld one.
+      KeySym To = Keys[Next() % Keys.size()];
+      if (!Ref.count(K) || Ref.count(To) || K == To)
+        continue;
+      EXPECT_TRUE(S.renameKeys({{K, To}}));
+      auto Node = Ref.extract(K);
+      Node.key() = To;
+      Ref.insert(std::move(Node));
+    }
+    CheckEqual();
+  }
 }
 
 TEST(HeldKeySet, DeterministicIteration) {

@@ -1,0 +1,454 @@
+//===- vaultbench.cpp - Checker performance trajectory emitter ------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Usage:
+//   vaultbench [options]
+//
+// Times the checker end to end — cold whole-corpus runs through the
+// queued (parallel) front end at --jobs 1 and --jobs N, plus a
+// synthetic many-function unit that stresses parsing and signature
+// elaboration — and records the measurements as one run object in a
+// trajectory JSON file (BENCH_checker.json at the repository root is
+// the committed history). Unlike the google-benchmark micro harness
+// under bench/, this measures the whole pipeline in-process, including
+// parse and elaboration time, so front-end parallelism shows up.
+//
+// The file is append-only: an existing trajectory keeps its previous
+// runs and the new run is spliced into the "runs" array. The tool
+// re-reads whatever it wrote and exits nonzero if the result is not
+// well-formed, so a CI step (the bench.trajectory ctest) catches a
+// corrupted trajectory immediately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vault;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vaultbench [options]\n"
+      "\n"
+      "options:\n"
+      "  --out FILE      trajectory file to update (default\n"
+      "                  BENCH_checker.json in the current directory)\n"
+      "  --label NAME    label recorded on this run (default 'local')\n"
+      "  --jobs N        job count for the parallel measurements\n"
+      "                  (default 8)\n"
+      "  --iterations K  repetitions per measurement; the minimum is\n"
+      "                  recorded (default 3)\n"
+      "  --subset        pinned quick subset: figures-only corpus and a\n"
+      "                  smaller synthetic unit (what the bench.trajectory\n"
+      "                  ctest runs)\n"
+      "  --validate FILE parse FILE as a trajectory and exit (0 if\n"
+      "                  well-formed, 1 otherwise)\n"
+      "  --help, -h      show this help\n");
+}
+
+unsigned parseUnsigned(const char *Flag, const std::string &Val) {
+  char *End = nullptr;
+  errno = 0;
+  long N = std::strtol(Val.c_str(), &End, 10);
+  if (Val.empty() || !End || *End || N <= 0 || errno == ERANGE ||
+      static_cast<unsigned long>(N) > UINT_MAX) {
+    std::fprintf(stderr, "vaultbench: invalid %s value '%s'\n", Flag,
+                 Val.c_str());
+    std::exit(2);
+  }
+  return static_cast<unsigned>(N);
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One measurement: name, job count, and the best-of-K wall time.
+struct Entry {
+  std::string Name;
+  unsigned Jobs = 1;
+  double WallMs = 0;
+  unsigned Programs = 0;
+  unsigned Functions = 0;
+};
+
+/// A synthetic unit with \p Count functions over a tracked-key
+/// interface: enough signatures to make pass 2 matter and enough
+/// buffers to exercise the parallel parser.
+std::vector<std::pair<std::string, std::string>>
+syntheticUnit(unsigned Count) {
+  std::string Prelude = R"(
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+)";
+  std::vector<std::pair<std::string, std::string>> Buffers;
+  Buffers.emplace_back("prelude.vlt", Prelude);
+  const unsigned PerBuffer = 32;
+  std::string Cur;
+  for (unsigned I = 0; I < Count; ++I) {
+    std::string N = "fn" + std::to_string(I);
+    // Nested loops over tracked regions: the flow checker has to
+    // iterate each loop to a fixpoint, so every function carries real
+    // dataflow work, not just a handful of straight-line transitions.
+    Cur += "void " + N + "(int n, bool b) {\n"
+           "  tracked region r = Region.create();\n"
+           "  int i = 0;\n"
+           "  while (i < n) {\n"
+           "    int j = 0;\n"
+           "    while (j < n) {\n"
+           "      tracked region t = Region.create();\n"
+           "      if (b) {\n"
+           "        tracked region u = Region.create();\n"
+           "        Region.delete(u);\n"
+           "      }\n"
+           "      Region.delete(t);\n"
+           "      j++;\n"
+           "    }\n"
+           "    i++;\n"
+           "  }\n"
+           "  if (b) { Region.delete(r); }\n"
+           "  else { Region.delete(r); }\n"
+           "}\n";
+    if ((I + 1) % PerBuffer == 0 || I + 1 == Count) {
+      Buffers.emplace_back("unit" + std::to_string(Buffers.size()) + ".vlt",
+                           Cur);
+      Cur.clear();
+    }
+  }
+  return Buffers;
+}
+
+/// Cold-checks every named corpus program, one compiler per program,
+/// through the queued front end. Returns total wall ms and accumulates
+/// program/function counts.
+double runCorpus(const std::vector<std::string> &Names, unsigned Jobs,
+                 unsigned &Programs, unsigned &Functions) {
+  double Begin = nowMs();
+  Programs = Functions = 0;
+  for (const std::string &Name : Names) {
+    std::string Text = corpus::load(Name);
+    if (Text.empty())
+      continue;
+    VaultCompiler C;
+    C.setJobs(Jobs);
+    C.queueSource(Name + ".vlt", Text);
+    C.check();
+    ++Programs;
+    Functions += C.stats().FunctionsChecked;
+  }
+  return nowMs() - Begin;
+}
+
+double runSynthetic(
+    const std::vector<std::pair<std::string, std::string>> &Buffers,
+    unsigned Jobs, unsigned &Functions) {
+  double Begin = nowMs();
+  VaultCompiler C;
+  C.setJobs(Jobs);
+  for (const auto &[Name, Text] : Buffers)
+    C.queueSource(Name, Text);
+  C.check();
+  Functions = C.stats().FunctionsChecked;
+  return nowMs() - Begin;
+}
+
+template <typename Fn> double bestOf(unsigned Iterations, Fn &&Body) {
+  double Best = 0;
+  for (unsigned I = 0; I < Iterations; ++I) {
+    double Ms = Body();
+    if (I == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+std::string renderRun(const std::string &Label, unsigned Jobs,
+                      unsigned Iterations, bool Subset,
+                      const std::vector<Entry> &Entries) {
+  // Fixed 3-decimal times keep the file diff-friendly; json::num's
+  // shortest-round-trip form would churn every digit on every run.
+  auto Ms = [](double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    return std::string(Buf);
+  };
+  std::ostringstream O;
+  // The host's core count is part of the measurement: a 1-core runner
+  // can at best reach parity with --jobs 1 (thread spawn is pure
+  // overhead there), so trajectory points are only comparable between
+  // runs with the same "cpus".
+  unsigned Cpus = std::max(1u, std::thread::hardware_concurrency());
+  O << "    {\n"
+    << "      \"label\": \"" << Label << "\",\n"
+    << "      \"cpus\": " << Cpus << ",\n"
+    << "      \"jobs\": " << Jobs << ",\n"
+    << "      \"iterations\": " << Iterations << ",\n"
+    << "      \"subset\": " << (Subset ? "true" : "false") << ",\n"
+    << "      \"entries\": [\n";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const Entry &E = Entries[I];
+    O << "        {\"name\": \"" << E.Name << "\", \"jobs\": " << E.Jobs
+      << ", \"wall_ms\": " << Ms(E.WallMs) << ", \"programs\": " << E.Programs
+      << ", \"functions\": " << E.Functions << "}"
+      << (I + 1 < Entries.size() ? "," : "") << "\n";
+  }
+  O << "      ]\n"
+    << "    }";
+  return O.str();
+}
+
+constexpr const char *SchemaMarker = "vault-bench-trajectory-v1";
+
+/// Structural validation: schema marker, balanced braces and brackets
+/// outside string literals, and at least one complete measurement.
+bool validateTrajectory(const std::string &Text, std::string &Err) {
+  if (Text.find(std::string("\"schema\": \"") + SchemaMarker + "\"") ==
+      std::string::npos) {
+    Err = "missing schema marker";
+    return false;
+  }
+  int Brace = 0, Bracket = 0;
+  bool InStr = false, Esc = false;
+  for (char C : Text) {
+    if (InStr) {
+      if (Esc)
+        Esc = false;
+      else if (C == '\\')
+        Esc = true;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InStr = true;
+      break;
+    case '{':
+      ++Brace;
+      break;
+    case '}':
+      --Brace;
+      break;
+    case '[':
+      ++Bracket;
+      break;
+    case ']':
+      --Bracket;
+      break;
+    default:
+      break;
+    }
+    if (Brace < 0 || Bracket < 0) {
+      Err = "unbalanced close";
+      return false;
+    }
+  }
+  if (InStr || Brace != 0 || Bracket != 0) {
+    Err = "unterminated string or unbalanced brackets";
+    return false;
+  }
+  if (Text.find("\"runs\": [") == std::string::npos) {
+    Err = "missing runs array";
+    return false;
+  }
+  if (Text.find("\"wall_ms\": ") == std::string::npos) {
+    Err = "no measurements";
+    return false;
+  }
+  return true;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return "";
+  std::ostringstream O;
+  O << In.rdbuf();
+  return O.str();
+}
+
+/// Splices \p Run into an existing trajectory's "runs" array, or
+/// starts a fresh file when there is none (or the existing one is not
+/// a trajectory — the old content is then preserved nowhere, so bail
+/// instead).
+bool updateTrajectory(const std::string &Path, const std::string &Run,
+                      std::string &Err) {
+  std::string Old = readFile(Path);
+  std::string Out;
+  if (Old.empty()) {
+    Out = std::string("{\n  \"schema\": \"") + SchemaMarker + "\",\n" +
+          "  \"unit\": \"milliseconds, best of N iterations\",\n" +
+          "  \"runs\": [\n" + Run + "\n  ]\n}\n";
+  } else {
+    if (!validateTrajectory(Old, Err)) {
+      Err = "refusing to update " + Path + ": existing file is not a " +
+            "well-formed trajectory (" + Err + ")";
+      return false;
+    }
+    // Splice before the closing "]" of the runs array: the last "]"
+    // that precedes the final "}".
+    size_t CloseObj = Old.rfind('}');
+    size_t CloseArr = Old.rfind(']', CloseObj);
+    if (CloseObj == std::string::npos || CloseArr == std::string::npos) {
+      Err = "cannot find runs array in " + Path;
+      return false;
+    }
+    Out = Old.substr(0, CloseArr);
+    while (!Out.empty() && (Out.back() == '\n' || Out.back() == ' '))
+      Out.pop_back();
+    Out += ",\n" + Run + "\n  " + Old.substr(CloseArr);
+  }
+  if (!validateTrajectory(Out, Err))
+    return false;
+  std::ofstream O(Path, std::ios::binary | std::ios::trunc);
+  O << Out;
+  if (!O.flush()) {
+    Err = "cannot write " + Path;
+    return false;
+  }
+  // Re-read what actually landed on disk; a partial write must fail
+  // the run, not poison the committed history silently.
+  std::string Back = readFile(Path);
+  if (Back != Out) {
+    Err = "readback mismatch on " + Path;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_checker.json";
+  std::string Label = "local";
+  std::string ValidatePath;
+  unsigned Jobs = 8;
+  unsigned Iterations = 3;
+  bool Subset = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto value = [&](const char *Flag) -> const char * {
+      std::string Eq = std::string(Flag) + "=";
+      if (A == Flag) {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultbench: %s requires an argument\n", Flag);
+          std::exit(2);
+        }
+        return Argv[++I];
+      }
+      if (A.rfind(Eq, 0) == 0)
+        return A.c_str() + Eq.size();
+      return nullptr;
+    };
+    if (const char *V = value("--out")) {
+      OutPath = V;
+    } else if (const char *V = value("--label")) {
+      Label = V;
+    } else if (const char *V = value("--jobs")) {
+      Jobs = parseUnsigned("--jobs", V);
+    } else if (const char *V = value("--iterations")) {
+      Iterations = parseUnsigned("--iterations", V);
+    } else if (const char *V = value("--validate")) {
+      ValidatePath = V;
+    } else if (A == "--subset") {
+      Subset = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vaultbench: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!ValidatePath.empty()) {
+    std::string Err;
+    std::string Text = readFile(ValidatePath);
+    if (Text.empty()) {
+      std::fprintf(stderr, "vaultbench: cannot read '%s'\n",
+                   ValidatePath.c_str());
+      return 1;
+    }
+    if (!validateTrajectory(Text, Err)) {
+      std::fprintf(stderr, "vaultbench: '%s' is malformed: %s\n",
+                   ValidatePath.c_str(), Err.c_str());
+      return 1;
+    }
+    std::printf("vaultbench: '%s' is a well-formed trajectory\n",
+                ValidatePath.c_str());
+    return 0;
+  }
+
+  // Pick the measured corpus: everything, or the pinned figures-only
+  // subset the ctest uses to stay fast.
+  std::vector<std::string> Names;
+  for (const corpus::ProgramInfo &P : corpus::index())
+    if (!Subset || P.Name.rfind("figures/", 0) == 0)
+      Names.push_back(P.Name);
+  if (Names.empty()) {
+    std::fprintf(stderr, "vaultbench: corpus index is empty\n");
+    return 1;
+  }
+  auto Buffers = syntheticUnit(Subset ? 64 : 256);
+
+  std::vector<Entry> Entries;
+  for (unsigned J : {1u, Jobs}) {
+    Entry E;
+    E.Name = "corpus-cold";
+    E.Jobs = J;
+    E.WallMs = bestOf(Iterations, [&] {
+      return runCorpus(Names, J, E.Programs, E.Functions);
+    });
+    Entries.push_back(E);
+    std::fprintf(stderr, "corpus-cold jobs=%u: %.3f ms (%u programs)\n", J,
+                 E.WallMs, E.Programs);
+    if (J == Jobs)
+      break; // Jobs == 1: one measurement, not two.
+  }
+  for (unsigned J : {1u, Jobs}) {
+    Entry E;
+    E.Name = "synthetic-many-fns";
+    E.Jobs = J;
+    E.Programs = 1;
+    E.WallMs =
+        bestOf(Iterations, [&] { return runSynthetic(Buffers, J, E.Functions); });
+    Entries.push_back(E);
+    std::fprintf(stderr, "synthetic-many-fns jobs=%u: %.3f ms (%u functions)\n",
+                 J, E.WallMs, E.Functions);
+    if (J == Jobs)
+      break;
+  }
+
+  std::string Run = renderRun(Label, Jobs, Iterations, Subset, Entries);
+  std::string Err;
+  if (!updateTrajectory(OutPath, Run, Err)) {
+    std::fprintf(stderr, "vaultbench: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("vaultbench: recorded run '%s' in %s\n", Label.c_str(),
+              OutPath.c_str());
+  return 0;
+}

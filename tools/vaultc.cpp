@@ -22,6 +22,8 @@
 #include "sema/Cfg.h"
 #include "support/DiagnosticsFormat.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,8 +106,13 @@ int main(int Argc, char **Argv) {
         Val = A.substr(7);
       }
       char *End = nullptr;
+      errno = 0;
       long N = std::strtol(Val.c_str(), &End, 10);
-      if (Val.empty() || !End || *End || N < 0) {
+      // The range checks matter: strtol saturates on overflow
+      // (ERANGE), and a long wider than unsigned would otherwise
+      // truncate silently — --jobs=4294967296 must not become 0.
+      if (Val.empty() || !End || *End || N < 0 || errno == ERANGE ||
+          static_cast<unsigned long>(N) > UINT_MAX) {
         std::fprintf(stderr, "vaultc: invalid --jobs value '%s'\n",
                      Val.c_str());
         return 2;
@@ -254,7 +261,9 @@ int main(int Argc, char **Argv) {
                    (corpus::corpusDir() + "/include").c_str());
     if (!Missing.empty())
       return 2;
-    C.addSource(In, Text);
+    // Queued rather than parsed inline: check() parses every queued
+    // buffer with the --jobs worker pool, merged in input order.
+    C.queueSource(In, Text);
   }
 
   if (TraceKeys)

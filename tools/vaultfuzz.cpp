@@ -18,6 +18,8 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,10 +90,18 @@ static bool valueFlag(int Argc, char **Argv, int &I, const char *Flag,
   return false;
 }
 
-static uint64_t parseU64(const char *Flag, const std::string &Val) {
+/// Parses \p Val as an unsigned integer no larger than \p Max.
+/// Rejects overflow (ERANGE) and negative input — strtoull wraps a
+/// leading '-' silently — and exits with the usual invalid-value
+/// message. Callers that narrow the result pass the narrow type's max
+/// so e.g. --count=4294967296 cannot truncate to 0.
+static uint64_t parseU64(const char *Flag, const std::string &Val,
+                         uint64_t Max = UINT64_MAX) {
   char *End = nullptr;
+  errno = 0;
   unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
-  if (Val.empty() || !End || *End) {
+  if (Val.empty() || Val[0] == '-' || !End || *End || errno == ERANGE ||
+      N > Max) {
     std::fprintf(stderr, "vaultfuzz: invalid %s value '%s'\n", Flag,
                  Val.c_str());
     std::exit(2);
@@ -107,7 +117,7 @@ int main(int Argc, char **Argv) {
     if (valueFlag(Argc, Argv, I, "--seed", Val)) {
       Opts.Seed = parseU64("--seed", Val);
     } else if (valueFlag(Argc, Argv, I, "--count", Val)) {
-      Opts.Count = static_cast<unsigned>(parseU64("--count", Val));
+      Opts.Count = static_cast<unsigned>(parseU64("--count", Val, UINT32_MAX));
     } else if (A == "--mutate") {
       Opts.Mutate = true;
     } else if (A == "--no-mutate") {
@@ -148,13 +158,14 @@ int main(int Argc, char **Argv) {
     } else if (valueFlag(Argc, Argv, I, "--tmp", Val)) {
       Opts.TmpDir = Val;
     } else if (valueFlag(Argc, Argv, I, "--det-jobs", Val)) {
-      Opts.DetJobs = static_cast<unsigned>(parseU64("--det-jobs", Val));
+      Opts.DetJobs = static_cast<unsigned>(parseU64("--det-jobs", Val, UINT32_MAX));
       if (Opts.DetJobs < 2) {
         std::fprintf(stderr, "vaultfuzz: --det-jobs must be at least 2\n");
         return 2;
       }
     } else if (valueFlag(Argc, Argv, I, "--min-detect", Val)) {
-      Opts.MinDetectPct = static_cast<unsigned>(parseU64("--min-detect", Val));
+      Opts.MinDetectPct =
+          static_cast<unsigned>(parseU64("--min-detect", Val, UINT32_MAX));
       if (Opts.MinDetectPct > 100) {
         std::fprintf(stderr, "vaultfuzz: --min-detect must be 0..100\n");
         return 2;
