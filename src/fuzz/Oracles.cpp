@@ -4,6 +4,7 @@
 
 #include "interp/Interp.h"
 #include "lower/CEmitter.h"
+#include "support/ShellQuote.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -236,9 +237,15 @@ OracleOutcome vault::fuzz::runRoundtripOracle(const GeneratedProgram &P,
   std::string ExtraFlags;
   if (const char *F = std::getenv("VAULTFUZZ_CC_FLAGS"))
     ExtraFlags = std::string(" ") + F;
+  // Every path is shell-quoted: the scratch directory is caller- (and
+  // environment-) controlled, and a space or metacharacter in it must
+  // not split or misroute the command. VAULTFUZZ_CC_FLAGS stays
+  // verbatim — it is deliberately a flag *list*.
   std::string Bin = Base + ".bin";
-  std::string Cmd = "cc -std=c11 -w" + ExtraFlags + " " + Base + ".c " + Base +
-                    "_rt.c -o " + Bin + " 2>" + Base + ".log";
+  std::string Cmd = "cc -std=c11 -w" + ExtraFlags + " " +
+                    shellQuote(Base + ".c") + " " + shellQuote(Base + "_rt.c") +
+                    " -o " + shellQuote(Bin) + " 2>" +
+                    shellQuote(Base + ".log");
   auto Cleanup = [&] {
     std::error_code E2;
     for (const char *Ext : {".c", "_rt.c", ".bin", ".out", ".log"})
@@ -254,7 +261,8 @@ OracleOutcome vault::fuzz::runRoundtripOracle(const GeneratedProgram &P,
     return O;
   }
   std::string OutFile = Base + ".out";
-  if (std::system((Bin + " >" + OutFile).c_str()) != 0) {
+  if (std::system((shellQuote(Bin) + " >" + shellQuote(OutFile)).c_str()) !=
+      0) {
     Cleanup();
     O.S = OracleOutcome::Status::Violation;
     O.Detail = "emitted binary exited non-zero";

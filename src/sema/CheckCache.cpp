@@ -2,17 +2,41 @@
 
 #include "sema/CheckCache.h"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 
+#ifdef _WIN32
+#include <process.h>
+#define VAULT_GETPID _getpid
+#else
+#include <unistd.h>
+#define VAULT_GETPID getpid
+#endif
+
 using namespace vault;
 
 namespace fs = std::filesystem;
 
 static constexpr const char *EntryMagic = "VFC 1";
+
+void CheckCache::loadIndexFile(const std::string &Path, IndexMap &Out) {
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t T1 = Line.find('\t');
+    size_t T2 = T1 == std::string::npos ? T1 : Line.find('\t', T1 + 1);
+    if (T2 == std::string::npos)
+      continue;
+    Fingerprint FP;
+    if (!Fingerprint::fromHex(std::string_view(Line).substr(T2 + 1), FP))
+      continue;
+    Out[{Line.substr(0, T1), Line.substr(T1 + 1, T2 - T1 - 1)}] = FP;
+  }
+}
 
 CheckCache::CheckCache(std::string Dir, std::string Unit, Tracer *Trc)
     : Dir(std::move(Dir)), Unit(std::move(Unit)), Trc(Trc) {
@@ -24,29 +48,36 @@ CheckCache::CheckCache(std::string Dir, std::string Unit, Tracer *Trc)
   Usable = true;
 
   // Load the index; a missing file is a cold cache, a malformed row is
-  // skipped (it only costs a spurious re-check).
-  std::ifstream In(this->Dir + "/index.tsv");
-  std::string Line;
-  while (std::getline(In, Line)) {
-    size_t T1 = Line.find('\t');
-    size_t T2 = T1 == std::string::npos ? T1 : Line.find('\t', T1 + 1);
-    if (T2 == std::string::npos)
-      continue;
-    Fingerprint FP;
-    if (!Fingerprint::fromHex(std::string_view(Line).substr(T2 + 1), FP))
-      continue;
-    OldIndex[{Line.substr(0, T1), Line.substr(T1 + 1, T2 - T1 - 1)}] = FP;
-  }
+  // skipped (it only costs a spurious re-check). A concurrent writer
+  // renaming a fresh index underneath this read is fine too: rename is
+  // atomic, so either complete version may be seen.
+  loadIndexFile(this->Dir + "/index.tsv", OldIndex);
+}
+
+CheckCache::CheckCache(CheckMemoryStore &Store, std::string Unit, Tracer *Trc)
+    : Mem(&Store), Unit(std::move(Unit)), Trc(Trc) {
+  TraceSpan Span(Trc, "cache-open");
+  Usable = true;
+  std::lock_guard<std::mutex> Lock(Store.Mu);
+  OldIndex = Store.Index;
 }
 
 std::string CheckCache::entryPath(const Fingerprint &FP) const {
   return Dir + "/" + FP.hex() + ".vfc";
 }
 
-/// Writes \p Text to \p Path atomically (temp file + rename). Returns
-/// false on any filesystem error.
+/// Writes \p Text to \p Path atomically (temp file + rename). The temp
+/// name is unique per process and call — two writers racing on the
+/// same entry (or the index) each stage their own whole file and the
+/// renames land atomically in some order, so a reader never sees a
+/// torn file. (A shared ".tmp" suffix would let writer A rename writer
+/// B's half-written bytes into place.) Returns false on any filesystem
+/// error.
 static bool atomicWrite(const std::string &Path, const std::string &Text) {
-  std::string Tmp = Path + ".tmp";
+  static std::atomic<uint64_t> Serial{0};
+  std::string Tmp = Path + ".tmp." +
+                    std::to_string(static_cast<long>(VAULT_GETPID())) + "." +
+                    std::to_string(Serial.fetch_add(1));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -62,6 +93,31 @@ static bool atomicWrite(const std::string &Path, const std::string &Text) {
     return false;
   }
   return true;
+}
+
+std::optional<std::string> CheckCache::readEntry(const Fingerprint &FP) const {
+  if (Mem) {
+    std::lock_guard<std::mutex> Lock(Mem->Mu);
+    auto It = Mem->Entries.find(FP.hex());
+    if (It == Mem->Entries.end())
+      return std::nullopt;
+    return It->second;
+  }
+  std::ifstream In(entryPath(FP), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+bool CheckCache::writeEntry(const Fingerprint &FP, const std::string &Text) {
+  if (Mem) {
+    std::lock_guard<std::mutex> Lock(Mem->Mu);
+    Mem->Entries[FP.hex()] = Text;
+    return true;
+  }
+  return atomicWrite(entryPath(FP), Text);
 }
 
 std::optional<CheckCache::CachedResult>
@@ -84,12 +140,10 @@ CheckCache::lookup(const std::string &FuncName, const FuncCacheKey &Key,
     return std::nullopt;
   };
 
-  std::ifstream In(entryPath(Key.FP), std::ios::binary);
-  if (!In)
+  std::optional<std::string> Entry = readEntry(Key.FP);
+  if (!Entry)
     return Miss();
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  std::string Text = Buf.str();
+  const std::string &Text = *Entry;
 
   // Header: magic line, then "max-held N".
   size_t Eol = Text.find('\n');
@@ -143,7 +197,7 @@ void CheckCache::store(const std::string &FuncName, const FuncCacheKey &Key,
   std::string Text = EntryMagic;
   Text += "\nmax-held " + std::to_string(MaxHeldKeys) + "\n";
   Text += serializeDiagnostics(Diags, Key.ChunkBegin);
-  if (atomicWrite(entryPath(Key.FP), Text))
+  if (writeEntry(Key.FP, Text))
     NewRows[FuncName] = Key.FP;
 }
 
@@ -152,9 +206,37 @@ void CheckCache::finalizeRun() {
     return;
   TraceSpan Span(Trc, "cache-finalize");
 
-  // Merge: keep other units' rows, replace this unit's.
-  std::map<std::pair<std::string, std::string>, Fingerprint> Merged;
-  for (const auto &[K, FP] : OldIndex)
+  if (Mem) {
+    // The in-memory backend finalizes under one lock: replace this
+    // unit's rows, then prune entries no row references. No other
+    // writer can interleave, so this is exact.
+    std::lock_guard<std::mutex> Lock(Mem->Mu);
+    for (auto It = Mem->Index.begin(); It != Mem->Index.end();)
+      It = It->first.first == Unit ? Mem->Index.erase(It) : std::next(It);
+    for (const auto &[Func, FP] : NewRows)
+      Mem->Index[{Unit, Func}] = FP;
+    std::set<std::string> Live;
+    for (const auto &[K, FP] : Mem->Index)
+      Live.insert(FP.hex());
+    for (auto It = Mem->Entries.begin(); It != Mem->Entries.end();)
+      It = Live.count(It->first) ? std::next(It) : Mem->Entries.erase(It);
+    return;
+  }
+
+  // Re-read the index rather than merging against the open-time
+  // snapshot: a concurrent run (another CLI, another daemon request)
+  // may have rewritten it since, and its rows for other units must
+  // survive our rewrite. This narrows the lost-update window to the
+  // read-merge-rename race below, which two same-unit writers settle
+  // last-writer-wins — the loser's rows degrade to cache misses on the
+  // next run, never to wrong replays (entries are content-addressed,
+  // so an index row can direct a lookup at worst to a miss).
+  IndexMap Fresh;
+  loadIndexFile(Dir + "/index.tsv", Fresh);
+
+  // Merge: keep other units' freshest rows, replace this unit's.
+  IndexMap Merged;
+  for (const auto &[K, FP] : Fresh)
     if (K.first != Unit)
       Merged[K] = FP;
   for (const auto &[Func, FP] : NewRows)
@@ -167,9 +249,13 @@ void CheckCache::finalizeRun() {
     return;
 
   // Prune entry files this unit used to reference and nothing
-  // references anymore.
+  // references anymore — per the open-time *and* the just-read index,
+  // so an entry a concurrent writer started referencing since we
+  // opened is left alone.
   std::set<std::string> Live;
   for (const auto &[K, FP] : Merged)
+    Live.insert(FP.hex());
+  for (const auto &[K, FP] : Fresh)
     Live.insert(FP.hex());
   for (const auto &[K, FP] : OldIndex) {
     if (K.first != Unit || Live.count(FP.hex()))

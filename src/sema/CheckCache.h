@@ -1,25 +1,38 @@
-//===- CheckCache.h - On-disk per-function result cache ---------*- C++ -*-===//
+//===- CheckCache.h - Per-function result cache -----------------*- C++ -*-===//
 //
 // Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The incremental checker's on-disk cache. Entries are
-/// content-addressed: `<dir>/<fingerprint>.vfc` holds the flow-check
-/// result (diagnostics with chunk-relative locations, peak held-key
-/// count) of any function whose FuncCacheKey hashes to that
-/// fingerprint. A sidecar `index.tsv` maps (compilation unit, function
-/// name) to the fingerprint of the last run, which is what makes
-/// invalidation observable: a function whose name is indexed under a
-/// different fingerprint was edited (or something it depends on was).
+/// The incremental checker's result cache. Entries are
+/// content-addressed: `<fingerprint>.vfc` holds the flow-check result
+/// (diagnostics with chunk-relative locations, peak held-key count) of
+/// any function whose FuncCacheKey hashes to that fingerprint. A
+/// sidecar index maps (compilation unit, function name) to the
+/// fingerprint of the last run, which is what makes invalidation
+/// observable: a function whose name is indexed under a different
+/// fingerprint was edited (or something it depends on was).
 ///
-/// Different compilation units (vaultc input sets) may share one cache
-/// directory; entry files are shared by content, index rows are scoped
-/// by unit so runs on different programs never invalidate each other.
+/// Two storage backends share the entry format byte for byte:
 ///
-/// All writes go through a temp file + rename, so a crashed or
-/// concurrent run leaves whole files, never torn ones.
+/// - On disk (`--cache-dir`): `<dir>/<fingerprint>.vfc` plus
+///   `index.tsv`. Different compilation units (vaultc input sets) may
+///   share one cache directory; entry files are shared by content,
+///   index rows are scoped by unit so runs on different programs never
+///   invalidate each other.
+/// - In memory (CheckMemoryStore): the same entries and index rows in
+///   a mutex-guarded map. This is the check server's warm cache — it
+///   outlives individual VaultCompiler runs and may be shared by many
+///   sessions.
+///
+/// Concurrency contract for a shared cache directory (daemon + CLI, or
+/// several daemon requests): all writes go through a uniquely-named
+/// temp file + rename, so another process only ever observes whole
+/// files; the index is reloaded at finalize so concurrent writers'
+/// rows for other units survive; and any torn or stale observation
+/// degrades to a cache miss (a spurious re-check), never to a crash or
+/// a wrong replay.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,11 +44,41 @@
 #include "support/Trace.h"
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace vault {
+
+/// Process-lifetime storage for CheckCache entries: the daemon's warm
+/// cache. Thread-safe; a CheckCache borrows it for one check() run,
+/// and many runs (or sessions) may share one store. Entries use
+/// exactly the on-disk byte format, so replay semantics — including
+/// byte-identical diagnostics — are the same warm-from-memory as
+/// warm-from-disk.
+class CheckMemoryStore {
+public:
+  /// Number of distinct cached results currently held.
+  size_t entryCount() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Entries.size();
+  }
+  /// Drops every entry and index row.
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Entries.clear();
+    Index.clear();
+  }
+
+private:
+  friend class CheckCache;
+  mutable std::mutex Mu;
+  /// Fingerprint hex -> serialized entry (the .vfc byte format).
+  std::map<std::string, std::string> Entries;
+  /// (unit, function) -> fingerprint of the last stored result.
+  std::map<std::pair<std::string, std::string>, Fingerprint> Index;
+};
 
 class CheckCache {
 public:
@@ -45,13 +88,17 @@ public:
     unsigned MaxHeldKeys = 0;
   };
 
-  /// Opens the cache at \p Dir, creating the directory if needed, and
-  /// loads the index. \p Unit identifies the current compilation's
-  /// input set; index rows are scoped to it. On any filesystem error
-  /// the cache degrades to unusable (and the checker runs uncached).
-  /// \p Trc, when non-null, receives "cache-open" / "cache-read" /
-  /// "cache-finalize" spans for --trace-json.
+  /// Opens the on-disk cache at \p Dir, creating the directory if
+  /// needed, and loads the index. \p Unit identifies the current
+  /// compilation's input set; index rows are scoped to it. On any
+  /// filesystem error the cache degrades to unusable (and the checker
+  /// runs uncached). \p Trc, when non-null, receives "cache-open" /
+  /// "cache-read" / "cache-finalize" spans for --trace-json.
   CheckCache(std::string Dir, std::string Unit, Tracer *Trc = nullptr);
+
+  /// Opens a cache over \p Store instead of a directory. Always
+  /// usable; entries persist for the store's lifetime.
+  CheckCache(CheckMemoryStore &Store, std::string Unit, Tracer *Trc = nullptr);
 
   bool usable() const { return Usable; }
 
@@ -72,8 +119,10 @@ public:
              unsigned MaxHeldKeys, const std::vector<Diagnostic> &Diags);
 
   /// Rewrites the index with this run's rows (other units' rows are
-  /// kept) and deletes entry files that no index row references
-  /// anymore. Call once, after all lookups and stores.
+  /// kept — re-read from disk at this point, so rows a concurrent
+  /// writer added since the cache was opened survive) and deletes
+  /// entry files that no index row references anymore. Call once,
+  /// after all lookups and stores.
   void finalizeRun();
 
   unsigned hits() const { return Hits; }
@@ -83,15 +132,26 @@ public:
   unsigned invalidations() const { return Invalidations; }
 
 private:
+  using IndexMap = std::map<std::pair<std::string, std::string>, Fingerprint>;
+
   std::string entryPath(const Fingerprint &FP) const;
+  /// Fetches the serialized entry for \p FP from whichever backend is
+  /// active; nullopt when absent.
+  std::optional<std::string> readEntry(const Fingerprint &FP) const;
+  /// Writes the serialized entry; returns false on failure.
+  bool writeEntry(const Fingerprint &FP, const std::string &Text);
+  /// Parses index.tsv rows from \p Path into \p Out (malformed rows
+  /// skipped — they only cost a spurious re-check).
+  static void loadIndexFile(const std::string &Path, IndexMap &Out);
 
   std::string Dir;
+  CheckMemoryStore *Mem = nullptr;
   std::string Unit;
   Tracer *Trc = nullptr;
   bool Usable = false;
 
-  /// index.tsv rows: (unit, function) -> fingerprint.
-  std::map<std::pair<std::string, std::string>, Fingerprint> OldIndex;
+  /// Index rows as of open time: (unit, function) -> fingerprint.
+  IndexMap OldIndex;
   /// Rows this run produced (always for Unit).
   std::map<std::string, Fingerprint> NewRows;
 

@@ -467,7 +467,8 @@ bool VaultCompiler::check() {
   // built from would not match the recovered AST.
   std::unique_ptr<CheckCache> Cache;
   FingerprintMap FPMap;
-  if (!CacheDir.empty() && !TraceEnabled && !ExplainEnabled && !ParseFailed) {
+  if ((MemCache || !CacheDir.empty()) && !TraceEnabled && !ExplainEnabled &&
+      !ParseFailed) {
     FingerprintMap::GlobalContext Ctx;
     Ctx.CheckerVersion = CheckerVersion;
     Ctx.KeyDisplayBase = KeyDisplayBase;
@@ -484,7 +485,8 @@ bool VaultCompiler::check() {
           Unit += ";";
         Unit += SM.bufferName(B);
       }
-      Cache = std::make_unique<CheckCache>(CacheDir, Unit, Trc);
+      Cache = MemCache ? std::make_unique<CheckCache>(*MemCache, Unit, Trc)
+                       : std::make_unique<CheckCache>(CacheDir, Unit, Trc);
       if (!Cache->usable())
         Cache.reset();
     }

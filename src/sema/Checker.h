@@ -25,6 +25,8 @@
 
 namespace vault {
 
+class CheckMemoryStore;
+
 /// One Vault compilation: sources in, diagnostics out.
 ///
 /// Typical use:
@@ -133,6 +135,15 @@ public:
   void setCacheDir(std::string Dir) { CacheDir = std::move(Dir); }
   const std::string &cacheDir() const { return CacheDir; }
 
+  /// Backs the incremental-check cache with \p Store (the check
+  /// server's warm in-memory cache) instead of a directory. The store
+  /// must outlive the compiler; it persists across compilations, so a
+  /// later VaultCompiler wired to the same store replays unchanged
+  /// functions without re-checking them. Takes precedence over
+  /// setCacheDir; null turns the memory backend off again.
+  void setMemoryCache(CheckMemoryStore *Store) { MemCache = Store; }
+  CheckMemoryStore *memoryCache() const { return MemCache; }
+
   /// Statistics of the last check() run.
   struct Stats {
     unsigned FunctionsChecked = 0;
@@ -209,6 +220,8 @@ private:
   bool ExplainEnabled = false;
   /// Root of the incremental-check cache; empty = caching off.
   std::string CacheDir;
+  /// In-memory cache backend; non-null wins over CacheDir.
+  CheckMemoryStore *MemCache = nullptr;
   std::vector<KeyTraceEntry> KeyTrace;
   /// Range of Diags occupied by the previous check() run, erased on
   /// re-check so diagnostics are not duplicated.

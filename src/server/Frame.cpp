@@ -1,0 +1,83 @@
+//===- Frame.cpp ----------------------------------------------------------===//
+
+#include "server/Frame.h"
+
+#include <algorithm>
+
+using namespace vault::server;
+
+/// How much of an oversized line survives into the Overflow frame, for
+/// the error message.
+static constexpr size_t PrefixBytes = 48;
+
+void FrameReader::feed(std::string_view Bytes) {
+  if (Discarding) {
+    // Constant-space path: an oversized line's bytes are dropped as
+    // they stream in; only its eventual '\n' (and whatever follows it)
+    // is kept for next() to close the Overflow frame against.
+    size_t Nl = Bytes.find('\n');
+    if (Nl == std::string_view::npos)
+      return;
+    Buf.append(Bytes.substr(Nl));
+    return;
+  }
+  Buf.append(Bytes);
+}
+
+FrameReader::Frame FrameReader::next() {
+  for (;;) {
+    if (Discarding) {
+      size_t Nl = Buf.find('\n');
+      if (Nl == std::string::npos) {
+        // Still inside the oversized line; everything buffered is part
+        // of it, so drop it all.
+        Buf.clear();
+        Scanned = 0;
+        return Frame{};
+      }
+      Buf.erase(0, Nl + 1);
+      Scanned = 0;
+      Discarding = false;
+      Frame F;
+      F.K = Kind::Overflow;
+      F.Line = std::move(OverflowPrefix);
+      OverflowPrefix.clear();
+      return F;
+    }
+
+    size_t Nl = Buf.find('\n', Scanned);
+    if (Nl == std::string::npos) {
+      Scanned = Buf.size();
+      if (Buf.size() > MaxBytes) {
+        // The line has already outgrown the limit with no terminator
+        // in sight. Remember a prefix for the error, drop the rest,
+        // and stay in discard mode until its '\n' shows up.
+        OverflowPrefix = Buf.substr(0, PrefixBytes);
+        Buf.clear();
+        Scanned = 0;
+        Discarding = true;
+        continue;
+      }
+      return Frame{};
+    }
+
+    if (Nl > MaxBytes) {
+      // Complete but oversized line. The prefix must stop at the
+      // line's own terminator — running past it would leak the next
+      // request's bytes (and a raw '\n') into the error message.
+      Frame F;
+      F.K = Kind::Overflow;
+      F.Line = Buf.substr(0, std::min(PrefixBytes, Nl));
+      Buf.erase(0, Nl + 1);
+      Scanned = 0;
+      return F;
+    }
+
+    Frame F;
+    F.K = Kind::Ok;
+    F.Line = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    Scanned = 0;
+    return F;
+  }
+}

@@ -1,0 +1,78 @@
+//===- Frame.h - Newline-delimited frame extraction -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vaultd's wire framing: one request per '\n'-terminated line, one
+/// response line back. FrameReader turns an arbitrary byte stream
+/// (stdio chunks, socket reads) into complete frames while enforcing a
+/// size ceiling — an endless line cannot grow the buffer without
+/// bound; once the limit is crossed the rest of the line streams
+/// through a constant-size discard path and surfaces as exactly one
+/// Overflow frame, so the server can answer with a structured error
+/// and keep the session alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SERVER_FRAME_H
+#define VAULT_SERVER_FRAME_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace vault::server {
+
+/// Incremental splitter for newline-delimited frames.
+///
+/// \code
+///   FrameReader R(1 << 20);
+///   R.feed(Bytes);
+///   while (auto F = R.next(); F.K != FrameReader::Kind::None) ...
+/// \endcode
+class FrameReader {
+public:
+  enum class Kind {
+    None,     ///< No complete frame buffered yet.
+    Ok,       ///< A complete line (terminator stripped, CR included).
+    Overflow, ///< A line exceeded the byte limit; its bytes were
+              ///< discarded and Line holds a short prefix for the
+              ///< error message.
+  };
+
+  struct Frame {
+    Kind K = Kind::None;
+    std::string Line;
+  };
+
+  explicit FrameReader(size_t MaxFrameBytes) : MaxBytes(MaxFrameBytes) {}
+
+  /// Appends raw bytes from the transport.
+  void feed(std::string_view Bytes);
+
+  /// Extracts the next complete frame, or Kind::None when more input
+  /// is needed.
+  Frame next();
+
+  /// True when no partial line is buffered (a clean EOF point).
+  bool idle() const { return Buf.empty() && !Discarding; }
+
+  size_t maxFrameBytes() const { return MaxBytes; }
+
+private:
+  size_t MaxBytes;
+  std::string Buf;
+  /// Bytes already scanned for '\n' (avoids rescanning the whole
+  /// buffer on every feed of a long line).
+  size_t Scanned = 0;
+  /// Inside an oversized line: drop bytes until its newline, then
+  /// emit one Overflow frame.
+  bool Discarding = false;
+  std::string OverflowPrefix;
+};
+
+} // namespace vault::server
+
+#endif // VAULT_SERVER_FRAME_H

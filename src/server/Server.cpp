@@ -1,0 +1,307 @@
+//===- Server.cpp ---------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "sema/Checker.h"
+#include "support/DiagnosticsFormat.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace vault;
+using namespace vault::server;
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+Admission::Outcome Admission::run(const std::function<void()> &Fn) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (Busy || Waiting > 0) {
+      // The slot is taken (or contended). Either join the bounded
+      // queue or bounce.
+      if (Waiting >= MaxQueue)
+        return Outcome::Saturated;
+      ++Waiting;
+      bool Got = Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                             [&] { return !Busy; });
+      --Waiting;
+      if (!Got)
+        return Outcome::TimedOut;
+    }
+    Busy = true;
+  }
+  try {
+    Fn();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Busy = false;
+    }
+    Cv.notify_one();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Busy = false;
+  }
+  Cv.notify_one();
+  return Outcome::Ran;
+}
+
+//===----------------------------------------------------------------------===//
+// Response rendering
+//===----------------------------------------------------------------------===//
+
+/// The request id, re-rendered for the response. JSON-RPC allows
+/// string, number, or null ids; anything else (or an absent id) maps
+/// to null so the client can still correlate the error.
+static std::string renderId(const json::Value *Id) {
+  if (!Id)
+    return "null";
+  switch (Id->K) {
+  case json::Value::Kind::Number:
+    return json::num(Id->Num);
+  case json::Value::Kind::String:
+    return json::str(Id->Str);
+  default:
+    return "null";
+  }
+}
+
+std::string Workspace::okResponse(const std::string &Id,
+                                  const std::string &ResultBody) {
+  return "{\"jsonrpc\": \"2.0\", \"id\": " + Id +
+         ", \"result\": " + ResultBody + "}";
+}
+
+std::string Workspace::errResponse(const std::string &Id, int Code,
+                                   const std::string &Message) {
+  ++Errors;
+  return "{\"jsonrpc\": \"2.0\", \"id\": " + Id +
+         ", \"error\": {\"code\": " + std::to_string(Code) +
+         ", \"message\": " + json::str(Message) + "}}";
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+std::string Workspace::handleFrame(const FrameReader::Frame &F) {
+  if (F.K == FrameReader::Kind::Overflow) {
+    ++Requests;
+    return errResponse("null", FrameTooLarge,
+                       "frame exceeds " + std::to_string(Cfg.MaxFrameBytes) +
+                           " bytes (starts \"" + F.Line + "\")");
+  }
+  return handleLine(F.Line);
+}
+
+std::string Workspace::handleLine(const std::string &Line) {
+  ++Requests;
+  // Soft-fail boundary: whatever happens while serving this request —
+  // a malformed frame, a parser crash on a pathological buffer, an
+  // out-of-range parameter — the session answers with a structured
+  // error and lives on.
+  try {
+    json::ParseLimits Limits;
+    Limits.MaxBytes = Cfg.MaxFrameBytes;
+    std::string Err;
+    std::optional<json::Value> Req = json::parseJson(Line, &Err, Limits);
+    if (!Req)
+      return errResponse("null", ParseError, "invalid JSON frame: " + Err);
+    return dispatch(*Req);
+  } catch (const std::exception &E) {
+    return errResponse("null", InternalError,
+                       std::string("internal error: ") + E.what());
+  } catch (...) {
+    return errResponse("null", InternalError, "internal error");
+  }
+}
+
+std::string Workspace::dispatch(const json::Value &Req) {
+  if (!Req.isObject())
+    return errResponse("null", InvalidRequest, "request must be an object");
+  std::string Id = renderId(Req.find("id"));
+  const json::Value *Method = Req.find("method");
+  if (!Method || !Method->isString())
+    return errResponse(Id, InvalidRequest, "missing string \"method\"");
+  const json::Value *Params = Req.find("params");
+  if (Params && !Params->isObject())
+    return errResponse(Id, InvalidParams, "\"params\" must be an object");
+
+  const std::string &M = Method->Str;
+  if (M == "open")
+    return handleOpenChange(Params, Id, /*IsChange=*/false);
+  if (M == "change")
+    return handleOpenChange(Params, Id, /*IsChange=*/true);
+  if (M == "close")
+    return handleClose(Params, Id);
+  if (M == "check")
+    return handleCheck(Params, Id);
+  if (M == "stats")
+    return handleStats(Id);
+  if (M == "shutdown") {
+    ShutdownFlag = true;
+    return okResponse(Id, "{\"shuttingDown\": true}");
+  }
+  return errResponse(Id, MethodNotFound, "unknown method \"" + M + "\"");
+}
+
+size_t Workspace::findBuffer(const std::string &Name) const {
+  for (size_t I = 0; I < Buffers.size(); ++I)
+    if (Buffers[I].first == Name)
+      return I;
+  return static_cast<size_t>(-1);
+}
+
+std::string Workspace::handleOpenChange(const json::Value *Params,
+                                        const std::string &Id, bool IsChange) {
+  const json::Value *Name = Params ? Params->find("name") : nullptr;
+  const json::Value *Text = Params ? Params->find("text") : nullptr;
+  if (!Name || !Name->isString() || Name->Str.empty() || !Text ||
+      !Text->isString())
+    return errResponse(Id, InvalidParams,
+                       "open/change need a non-empty string \"name\" and a "
+                       "string \"text\"");
+  size_t At = findBuffer(Name->Str);
+  if (IsChange) {
+    if (At == static_cast<size_t>(-1))
+      return errResponse(Id, InvalidParams,
+                         "change: no open buffer named \"" + Name->Str + "\"");
+    Buffers[At].second = Text->Str;
+  } else {
+    if (At != static_cast<size_t>(-1))
+      return errResponse(Id, InvalidParams,
+                         "open: buffer \"" + Name->Str +
+                             "\" is already open (use change)");
+    Buffers.emplace_back(Name->Str, Text->Str);
+  }
+  return okResponse(Id, std::string("{\"") + (IsChange ? "changed" : "opened") +
+                            "\": " + json::str(Name->Str) +
+                            ", \"buffers\": " +
+                            std::to_string(Buffers.size()) + "}");
+}
+
+std::string Workspace::handleClose(const json::Value *Params,
+                                   const std::string &Id) {
+  const json::Value *Name = Params ? Params->find("name") : nullptr;
+  if (!Name || !Name->isString())
+    return errResponse(Id, InvalidParams, "close needs a string \"name\"");
+  size_t At = findBuffer(Name->Str);
+  if (At == static_cast<size_t>(-1))
+    return errResponse(Id, InvalidParams,
+                       "close: no open buffer named \"" + Name->Str + "\"");
+  Buffers.erase(Buffers.begin() + static_cast<ptrdiff_t>(At));
+  return okResponse(Id, "{\"closed\": " + json::str(Name->Str) +
+                            ", \"buffers\": " +
+                            std::to_string(Buffers.size()) + "}");
+}
+
+std::string Workspace::handleCheck(const json::Value *Params,
+                                   const std::string &Id) {
+  unsigned Jobs = Cfg.Jobs;
+  if (Params)
+    if (const json::Value *J = Params->find("jobs")) {
+      // Same contract as --jobs: a non-negative integer, 0 = hardware
+      // concurrency. Reject rather than truncate anything else.
+      if (!J->isNumber() || J->Num < 0 || J->Num > 65536 ||
+          J->Num != std::floor(J->Num))
+        return errResponse(Id, InvalidParams,
+                           "\"jobs\" must be an integer in [0, 65536]");
+      Jobs = static_cast<unsigned>(J->Num);
+    }
+
+  // Snapshot the overlay; edits racing a queued check (impossible on a
+  // single connection, cheap insurance anyway) see a consistent set.
+  std::vector<std::pair<std::string, std::string>> Snapshot = Buffers;
+
+  struct Outcome {
+    bool Ok = false;
+    unsigned Errors = 0;
+    VaultCompiler::Stats St;
+    std::string DiagJson;
+    std::string StatsJson;
+  } Out;
+
+  auto Work = [&] {
+    // One warm compilation per request: parse and elaboration re-run
+    // (they are cheap and must, for fingerprinting), while flow checks
+    // — the dominant cost — replay from the warm store for every
+    // function the edit did not dirty.
+    VaultCompiler C;
+    C.setJobs(Jobs);
+    if (!Cfg.CacheDir.empty())
+      C.setCacheDir(Cfg.CacheDir);
+    else
+      C.setMemoryCache(&Store);
+    for (const auto &[Name, Text] : Snapshot)
+      C.queueSource(Name, Text);
+    Out.Ok = C.check();
+    Out.Errors = C.diags().errorCount();
+    Out.St = C.stats();
+    // Byte-identical reuse of the one-shot renderers: what vaultc
+    // --diagnostics-format=json / --stats-json would print.
+    Out.DiagJson = renderDiagnosticsJson(C.diags());
+    Out.StatsJson = C.renderStatsJson();
+  };
+
+  switch (Gate.run(Work)) {
+  case Admission::Outcome::Saturated:
+    ++Rejected;
+    return errResponse(Id, Saturated,
+                       "server saturated: " + std::to_string(Cfg.MaxQueue) +
+                           " check(s) already queued; retry later");
+  case Admission::Outcome::TimedOut:
+    ++TimedOutCount;
+    return errResponse(Id, TimedOut,
+                       "timed out after " +
+                           std::to_string(Cfg.RequestTimeoutMs) +
+                           " ms waiting for the check slot");
+  case Admission::Outcome::Ran:
+    break;
+  }
+
+  ++Checks;
+  HaveLastCheck = true;
+  LastFlowChecksRun = Out.St.FlowChecksRun;
+  LastCacheHits = Out.St.CacheHits;
+  LastFunctionsChecked = Out.St.FunctionsChecked;
+
+  std::string R = "{\"ok\": ";
+  R += Out.Ok ? "true" : "false";
+  R += ", \"errors\": " + std::to_string(Out.Errors);
+  R += ", \"functionsChecked\": " + std::to_string(Out.St.FunctionsChecked);
+  R += ", \"flowChecksRun\": " + std::to_string(Out.St.FlowChecksRun);
+  R += ", \"cacheHits\": " + std::to_string(Out.St.CacheHits);
+  R += ", \"cacheMisses\": " + std::to_string(Out.St.CacheMisses);
+  R += ", \"cacheInvalidated\": " + std::to_string(Out.St.CacheInvalidations);
+  R += ", \"jobsUsed\": " + std::to_string(Out.St.JobsUsed);
+  R += ", \"diagnostics\": " + json::str(Out.DiagJson);
+  R += ", \"stats\": " + json::str(Out.StatsJson);
+  R += "}";
+  return okResponse(Id, R);
+}
+
+std::string Workspace::handleStats(const std::string &Id) {
+  std::string R = "{\"requests\": " + std::to_string(Requests);
+  R += ", \"errors\": " + std::to_string(Errors);
+  R += ", \"checks\": " + std::to_string(Checks);
+  R += ", \"rejected\": " + std::to_string(Rejected);
+  R += ", \"timedOut\": " + std::to_string(TimedOutCount);
+  R += ", \"buffersOpen\": " + std::to_string(Buffers.size());
+  R += ", \"cacheEntries\": " +
+       std::to_string(Cfg.CacheDir.empty() ? Store.entryCount() : 0);
+  if (HaveLastCheck) {
+    R += ", \"lastCheck\": {\"functionsChecked\": " +
+         std::to_string(LastFunctionsChecked) +
+         ", \"flowChecksRun\": " + std::to_string(LastFlowChecksRun) +
+         ", \"cacheHits\": " + std::to_string(LastCacheHits) + "}";
+  } else {
+    R += ", \"lastCheck\": null";
+  }
+  R += "}";
+  return okResponse(Id, R);
+}

@@ -1,0 +1,176 @@
+//===- Server.h - vaultd session state and dispatch -------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The check server behind tools/vaultd.cpp: a long-lived process that
+/// keeps the fingerprint-keyed result cache warm so each edit
+/// re-checks only the functions it actually dirtied.
+///
+/// Layering:
+///
+/// - FrameReader (Frame.h) splits the transport's byte stream into
+///   newline-delimited frames.
+/// - Workspace owns one session: the in-memory overlay of open buffers
+///   plus a borrowed CheckMemoryStore, and turns each request frame
+///   into exactly one response line. It soft-fails per request — a
+///   malformed frame, bad params, or an exception out of the checker
+///   becomes a structured JSON-RPC error response, never a dead
+///   daemon.
+/// - Admission is the server-wide gate in front of check requests:
+///   one check runs at a time (the compiler parallelizes internally
+///   via jobs), a bounded number may wait, and beyond that requests
+///   are rejected immediately with a "saturated" error. Waiting is
+///   also bounded by a per-request timeout.
+///
+/// The protocol is newline-delimited JSON-RPC 2.0 (a strict subset):
+/// requests `{"jsonrpc": "2.0", "id": N, "method": M, "params": {...}}`
+/// with methods open/change/close/check/stats/shutdown; responses
+/// carry either "result" or "error" {code, message}. A check result
+/// embeds the `--diagnostics-format=json` and `--stats-json` renderers'
+/// output byte-for-byte (as JSON strings), so a client sees exactly
+/// what a one-shot `vaultc` run would have printed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SERVER_SERVER_H
+#define VAULT_SERVER_SERVER_H
+
+#include "sema/CheckCache.h"
+#include "server/Frame.h"
+#include "support/JsonParse.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vault::server {
+
+/// JSON-RPC error codes the server emits. Standard codes per the spec;
+/// -320xx are vaultd's server-defined range.
+enum ErrorCode : int {
+  ParseError = -32700,     ///< Frame is not a valid JSON document.
+  InvalidRequest = -32600, ///< Valid JSON, but not a request object.
+  MethodNotFound = -32601,
+  InvalidParams = -32602,
+  InternalError = -32603, ///< The handler threw; the session survives.
+  Saturated = -32000,     ///< Admission queue full; retry later.
+  TimedOut = -32001,      ///< Gave up waiting for the check slot.
+  FrameTooLarge = -32002, ///< Line exceeded the frame byte limit.
+};
+
+/// Server-wide tunables, fixed at startup.
+struct Config {
+  /// Worker threads per check (the compiler's --jobs); 0 = hardware
+  /// concurrency.
+  unsigned Jobs = 1;
+  /// Non-empty routes the cache to this shared on-disk directory
+  /// instead of the process-local memory store. The directory may be
+  /// shared with concurrent vaultc runs — see the CheckCache
+  /// concurrency contract.
+  std::string CacheDir;
+  /// Longest accepted request line, and the JSON parser's byte limit.
+  size_t MaxFrameBytes = 8u << 20;
+  /// Check requests allowed to wait for the check slot before new
+  /// ones are rejected outright.
+  size_t MaxQueue = 8;
+  /// Longest a check request waits for the slot before failing with
+  /// TimedOut. The check itself, once started, runs to completion.
+  uint64_t RequestTimeoutMs = 30000;
+};
+
+/// Bounded single-slot execution gate: at most one body runs at a
+/// time, at most MaxQueue callers wait, each for at most Timeout.
+class Admission {
+public:
+  Admission(size_t MaxQueue, uint64_t TimeoutMs)
+      : MaxQueue(MaxQueue), TimeoutMs(TimeoutMs) {}
+
+  enum class Outcome { Ran, Saturated, TimedOut };
+
+  /// Runs \p Fn under the gate. Exceptions from Fn propagate after the
+  /// slot is released.
+  Outcome run(const std::function<void()> &Fn);
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  size_t MaxQueue;
+  uint64_t TimeoutMs;
+  bool Busy = false;
+  size_t Waiting = 0;
+};
+
+/// One client session: the buffer overlay plus dispatch. Not
+/// thread-safe — each connection drives its own Workspace; only the
+/// Admission gate and the CheckMemoryStore are shared.
+class Workspace {
+public:
+  /// \p Store is the warm result cache, typically shared by every
+  /// session of the daemon; it must outlive the workspace. When
+  /// Cfg.CacheDir is non-empty the store is bypassed in favor of the
+  /// on-disk cache.
+  Workspace(const Config &Cfg, Admission &Gate, CheckMemoryStore &Store)
+      : Cfg(Cfg), Gate(Gate), Store(Store) {}
+
+  /// Turns one frame into one response line (no trailing newline;
+  /// responses never contain raw newlines). Never throws.
+  std::string handleFrame(const FrameReader::Frame &F);
+
+  /// Convenience for tests and the stdio loop: a complete, in-limit
+  /// request line.
+  std::string handleLine(const std::string &Line);
+
+  /// True once a shutdown request was answered; the transport loop
+  /// should stop reading.
+  bool shutdownRequested() const { return ShutdownFlag; }
+
+  /// Open buffers, in open order (the order they are fed to the
+  /// compiler — the protocol equivalent of vaultc's argument order).
+  const std::vector<std::pair<std::string, std::string>> &buffers() const {
+    return Buffers;
+  }
+
+private:
+  std::string dispatch(const json::Value &Req);
+  std::string handleOpenChange(const json::Value *Params, const std::string &Id,
+                               bool IsChange);
+  std::string handleClose(const json::Value *Params, const std::string &Id);
+  std::string handleCheck(const json::Value *Params, const std::string &Id);
+  std::string handleStats(const std::string &Id);
+
+  std::string okResponse(const std::string &Id, const std::string &ResultBody);
+  std::string errResponse(const std::string &Id, int Code,
+                          const std::string &Message);
+
+  /// Index of the named buffer in Buffers, or npos.
+  size_t findBuffer(const std::string &Name) const;
+
+  Config Cfg;
+  Admission &Gate;
+  CheckMemoryStore &Store;
+  std::vector<std::pair<std::string, std::string>> Buffers;
+  bool ShutdownFlag = false;
+
+  // Session counters, surfaced by the stats method.
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  uint64_t Checks = 0;
+  uint64_t Rejected = 0;
+  uint64_t TimedOutCount = 0;
+  /// Snapshot of the last completed check, for stats.
+  bool HaveLastCheck = false;
+  unsigned LastFlowChecksRun = 0;
+  unsigned LastCacheHits = 0;
+  unsigned LastFunctionsChecked = 0;
+};
+
+} // namespace vault::server
+
+#endif // VAULT_SERVER_SERVER_H

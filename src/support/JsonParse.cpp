@@ -1,0 +1,338 @@
+//===- JsonParse.cpp ------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace vault;
+using namespace vault::json;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, const ParseLimits &Limits)
+      : Text(Text), Limits(Limits) {}
+
+  std::optional<Value> run(std::string *Err) {
+    std::optional<Value> V = parseValue(0);
+    if (!V) {
+      if (Err)
+        *Err = "offset " + std::to_string(ErrOffset) + ": " + ErrMsg;
+      return std::nullopt;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      if (Err)
+        *Err = "offset " + std::to_string(Pos) +
+               ": trailing characters after document";
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  std::nullopt_t fail(std::string Msg) {
+    // Keep the first (deepest) failure; callers propagate nullopt up.
+    if (ErrMsg.empty()) {
+      ErrMsg = std::move(Msg);
+      ErrOffset = Pos;
+    }
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parseValue(unsigned Depth) {
+    if (Depth > Limits.MaxDepth)
+      return fail("nesting deeper than " + std::to_string(Limits.MaxDepth));
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"':
+      return parseString();
+    case 't':
+    case 'f':
+      return parseKeyword(C == 't' ? "true" : "false",
+                          [&](Value &V) {
+                            V.K = Value::Kind::Bool;
+                            V.B = C == 't';
+                          });
+    case 'n':
+      return parseKeyword("null", [](Value &V) { V.K = Value::Kind::Null; });
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return parseNumber();
+      return fail(std::string("unexpected character '") +
+                  (C >= 0x20 ? std::string(1, C) : std::string("\\x")) + "'");
+    }
+  }
+
+  template <typename Init>
+  std::optional<Value> parseKeyword(std::string_view Word, Init Fill) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail("invalid literal");
+    Pos += Word.size();
+    Value V;
+    Fill(V);
+    return V;
+  }
+
+  std::optional<Value> parseNumber() {
+    size_t Begin = Pos;
+    if (consume('-')) {
+    }
+    if (consume('0')) {
+      // No leading zeros.
+    } else {
+      if (Pos >= Text.size() || Text[Pos] < '1' || Text[Pos] > '9')
+        return fail("malformed number");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (consume('.')) {
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("malformed number (no digits after '.')");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("malformed number (empty exponent)");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    // The slice is a valid JSON number by construction, so strtod
+    // cannot reject it — but it can overflow to infinity, which the
+    // protocol treats as malformed rather than letting non-finite
+    // values leak into request fields.
+    std::string Num(Text.substr(Begin, Pos - Begin));
+    double D = std::strtod(Num.c_str(), nullptr);
+    if (!std::isfinite(D))
+      return fail("number out of range");
+    Value V;
+    V.K = Value::Kind::Number;
+    V.Num = D;
+    return V;
+  }
+
+  /// Appends \p Code as UTF-8. The caller has already validated the
+  /// scalar-value range.
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  std::optional<uint32_t> parseHex4() {
+    if (Pos + 4 > Text.size())
+      return std::nullopt;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + I];
+      uint32_t D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = C - 'A' + 10;
+      else
+        return std::nullopt;
+      V = V * 16 + D;
+    }
+    Pos += 4;
+    return V;
+  }
+
+  std::optional<Value> parseString() {
+    ++Pos; // Opening quote.
+    Value V;
+    V.K = Value::Kind::String;
+    for (;;) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return V;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos];
+        ++Pos;
+        switch (E) {
+        case '"':
+          V.Str += '"';
+          break;
+        case '\\':
+          V.Str += '\\';
+          break;
+        case '/':
+          V.Str += '/';
+          break;
+        case 'b':
+          V.Str += '\b';
+          break;
+        case 'f':
+          V.Str += '\f';
+          break;
+        case 'n':
+          V.Str += '\n';
+          break;
+        case 'r':
+          V.Str += '\r';
+          break;
+        case 't':
+          V.Str += '\t';
+          break;
+        case 'u': {
+          std::optional<uint32_t> Hi = parseHex4();
+          if (!Hi)
+            return fail("malformed \\u escape");
+          uint32_t Code = *Hi;
+          if (Code >= 0xDC00 && Code <= 0xDFFF)
+            return fail("lone low surrogate");
+          if (Code >= 0xD800 && Code <= 0xDBFF) {
+            // Must be followed by a low surrogate.
+            if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+                Text[Pos + 1] != 'u')
+              return fail("lone high surrogate");
+            Pos += 2;
+            std::optional<uint32_t> Lo = parseHex4();
+            if (!Lo || *Lo < 0xDC00 || *Lo > 0xDFFF)
+              return fail("invalid surrogate pair");
+            Code = 0x10000 + ((Code - 0xD800) << 10) + (*Lo - 0xDC00);
+          }
+          appendUtf8(V.Str, Code);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+        }
+        continue;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      if (C < 0x80) {
+        V.Str += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      // Non-ASCII: must be a complete, well-formed UTF-8 sequence.
+      size_t Len = utf8SequenceLength(Text, Pos);
+      if (Len == 0)
+        return fail("invalid UTF-8 in string");
+      V.Str.append(Text.substr(Pos, Len));
+      Pos += Len;
+    }
+  }
+
+  std::optional<Value> parseArray(unsigned Depth) {
+    ++Pos; // '['.
+    Value V;
+    V.K = Value::Kind::Array;
+    skipWs();
+    if (consume(']'))
+      return V;
+    for (;;) {
+      std::optional<Value> E = parseValue(Depth + 1);
+      if (!E)
+        return std::nullopt;
+      V.Elems.push_back(std::move(*E));
+      skipWs();
+      if (consume(']'))
+        return V;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<Value> parseObject(unsigned Depth) {
+    ++Pos; // '{'.
+    Value V;
+    V.K = Value::Kind::Object;
+    skipWs();
+    if (consume('}'))
+      return V;
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected string key in object");
+      std::optional<Value> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      std::optional<Value> Val = parseValue(Depth + 1);
+      if (!Val)
+        return std::nullopt;
+      V.Members.emplace_back(std::move(Key->Str), std::move(*Val));
+      skipWs();
+      if (consume('}'))
+        return V;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view Text;
+  const ParseLimits &Limits;
+  size_t Pos = 0;
+  std::string ErrMsg;
+  size_t ErrOffset = 0;
+};
+
+} // namespace
+
+std::optional<Value> vault::json::parseJson(std::string_view Text,
+                                            std::string *Err,
+                                            const ParseLimits &Limits) {
+  if (Text.size() > Limits.MaxBytes) {
+    if (Err)
+      *Err = "offset 0: document of " + std::to_string(Text.size()) +
+             " bytes exceeds the " + std::to_string(Limits.MaxBytes) +
+             "-byte limit";
+    return std::nullopt;
+  }
+  return Parser(Text, Limits).run(Err);
+}

@@ -1,0 +1,86 @@
+//===- JsonParse.h - Hardened JSON request parsing --------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reader half of the JSON support: a strict, limit-enforcing
+/// parser for the check server's request frames. Json.h stays the
+/// emission half; this file exists because vaultd accepts bytes from
+/// untrusted clients, so every malformed input — truncated UTF-8,
+/// unterminated strings, lone surrogates, over-deep nesting, oversized
+/// payloads, trailing garbage — must become a structured error, never
+/// a crash, a hang, or a silently-wrong value.
+///
+/// Deliberately small: null/bool/number/string/array/object, object
+/// members kept in source order, no streaming. Errors carry the byte
+/// offset so reduced fuzz frames pin exact failure points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_JSONPARSE_H
+#define VAULT_SUPPORT_JSONPARSE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vault {
+namespace json {
+
+/// A parsed JSON value. Members preserve source order; duplicate keys
+/// are kept (find() returns the first), matching the "be liberal in
+/// what you accept" side of the frame protocol.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// First member named \p Name, or null when absent (or not an
+  /// object).
+  const Value *find(std::string_view Name) const {
+    for (const auto &[K2, V] : Members)
+      if (K2 == Name)
+        return &V;
+    return nullptr;
+  }
+};
+
+/// Hard ceilings the parser enforces before and during the parse.
+struct ParseLimits {
+  /// Documents larger than this are rejected without being scanned.
+  size_t MaxBytes = 8u << 20;
+  /// Maximum array/object nesting depth (the parser recurses, so this
+  /// is also the stack-safety bound).
+  unsigned MaxDepth = 64;
+};
+
+/// Parses \p Text as one complete JSON document. Strict: the whole
+/// input must be consumed (trailing non-whitespace is an error),
+/// strings must be valid UTF-8 with correctly paired \u surrogates,
+/// numbers must be finite, and the ParseLimits ceilings apply. On
+/// failure returns nullopt and, when \p Err is non-null, sets it to
+/// "offset N: <what>".
+std::optional<Value> parseJson(std::string_view Text, std::string *Err,
+                               const ParseLimits &Limits = {});
+
+} // namespace json
+} // namespace vault
+
+#endif // VAULT_SUPPORT_JSONPARSE_H

@@ -1,0 +1,58 @@
+//===- ShellQuote.h - POSIX shell argument quoting --------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quoting for the few places the toolchain still builds a command
+/// line for std::system (the fuzzing round-trip oracle). Paths that
+/// contain spaces, quotes or shell metacharacters must reach the
+/// child verbatim — an unquoted scratch directory named "fuzz tmp"
+/// used to split into two arguments and misroute the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SUPPORT_SHELLQUOTE_H
+#define VAULT_SUPPORT_SHELLQUOTE_H
+
+#include <string>
+#include <string_view>
+
+namespace vault {
+
+/// \p Arg as a single POSIX-shell word: wrapped in single quotes, with
+/// every embedded single quote spelled '\''. Safe for any byte string
+/// (single quotes disable every other metacharacter, including
+/// backslash and newline). Plain words pass through unwrapped so
+/// logged commands stay readable.
+inline std::string shellQuote(std::string_view Arg) {
+  auto Plain = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9') || C == '_' || C == '-' || C == '.' ||
+           C == '/' || C == '+' || C == ':' || C == '=' || C == ',';
+  };
+  bool NeedsQuoting = Arg.empty();
+  for (char C : Arg)
+    if (!Plain(C)) {
+      NeedsQuoting = true;
+      break;
+    }
+  if (!NeedsQuoting)
+    return std::string(Arg);
+  std::string Out;
+  Out.reserve(Arg.size() + 2);
+  Out += '\'';
+  for (char C : Arg) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out += C;
+  }
+  Out += '\'';
+  return Out;
+}
+
+} // namespace vault
+
+#endif // VAULT_SUPPORT_SHELLQUOTE_H

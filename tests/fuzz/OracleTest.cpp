@@ -143,6 +143,29 @@ TEST(FuzzRoundtripOracle, AcceptedProgramRoundTrips) {
   EXPECT_TRUE(O.ok()) << O.Detail << " class=" << O.Class;
 }
 
+// Regression pin: the oracle used to splice scratch paths into the
+// std::system command line unquoted, so a cache/temp directory with a
+// space (or worse) split into multiple shell words and misrouted the
+// compile. Every path is shell-quoted now.
+TEST(FuzzRoundtripOracle, ScratchDirWithShellMetacharacters) {
+  if (!haveCCompiler())
+    GTEST_SKIP() << "no C compiler";
+  auto Dir = std::filesystem::temp_directory_path() /
+             "vault oracle scratch ($HOME; 'quoted')";
+  std::filesystem::create_directories(Dir);
+  GeneratedProgram P = program("rtspace", R"(
+  tracked(R) region r = Region.create();
+  R:point p = new(r) point { x = 6; y = 7; };
+  print_int(p.x * p.y);
+  print("done");
+  Region.delete(r);
+)");
+  OracleOutcome O = runRoundtripOracle(P, Dir.string());
+  EXPECT_TRUE(O.ok()) << O.Detail << " class=" << O.Class;
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+}
+
 TEST(FuzzRoundtripOracle, RejectedProgramIsSkipped) {
   GeneratedProgram P = program("rtskip", R"(
   tracked(R) region r = Region.create();

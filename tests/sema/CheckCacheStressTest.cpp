@@ -1,0 +1,200 @@
+//===- CheckCacheStressTest.cpp - concurrent writers, one cache dir -------===//
+//
+// The shared-cache-dir contract: any number of processes (modeled here
+// as threads, which share nothing but the directory) may check against
+// the same --cache-dir concurrently. Entries are content-addressed and
+// written via atomic rename, the index is advisory, and a concurrently
+// rewritten index degrades to a re-check — so no interleaving may ever
+// crash a writer, tear an entry into a wrong replay, or change a
+// run's diagnostics from what an uncached run prints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/CheckCache.h"
+#include "sema/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vault;
+
+namespace {
+
+const char *VariantA = "key L;\n"
+                       "void acquire() [ +L ];\n"
+                       "void release() [ -L ];\n"
+                       "void worker() { acquire(); release(); }\n"
+                       "void main() { worker(); }\n";
+
+// Same unit, one edited function: worker() now leaks L, so the two
+// variants produce different (stable) diagnostics and keep evicting
+// each other's fingerprints from the shared index. Note the leak
+// diagnostic's note points at the `key L;` declaration — outside
+// worker()'s own chunk — which makes the erroring worker() deliberately
+// uncacheable (the cache refuses any entry it could not replay
+// verbatim), so every B run re-checks exactly that one function.
+const char *VariantB = "key L;\n"
+                       "void acquire() [ +L ];\n"
+                       "void release() [ -L ];\n"
+                       "void worker() { acquire(); }\n"
+                       "void main() { worker(); }\n";
+
+// A clean edit of VariantA (fully cacheable, distinct fingerprints).
+const char *VariantC = "key L;\n"
+                       "void acquire() [ +L ];\n"
+                       "void release() [ -L ];\n"
+                       "void worker() { acquire(); release(); }\n"
+                       "void main() { int twice = 2; worker(); }\n";
+
+std::string uncachedRender(const char *Text) {
+  VaultCompiler C;
+  C.addSource("stress.vlt", Text);
+  C.check();
+  return C.diags().render();
+}
+
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "vault-cache-stress-" + Tag;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+TEST(CheckCacheStress, TwoWritersOneDirNeverTearOrDiverge) {
+  std::string Dir = freshDir("two-writers");
+  std::string RefA = uncachedRender(VariantA);
+  std::string RefB = uncachedRender(VariantB);
+  ASSERT_NE(RefA, RefB);
+
+  std::mutex Mu;
+  std::vector<std::string> Failures;
+  auto Writer = [&](unsigned Tid) {
+    for (unsigned I = 0; I != 40; ++I) {
+      bool UseA = ((I + Tid) % 2) == 0;
+      VaultCompiler C;
+      C.setCacheDir(Dir);
+      C.addSource("stress.vlt", UseA ? VariantA : VariantB);
+      C.check();
+      std::string Got = C.diags().render();
+      const std::string &Want = UseA ? RefA : RefB;
+      if (Got != Want) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Failures.push_back("thread " + std::to_string(Tid) + " iter " +
+                           std::to_string(I) + (UseA ? " (A)" : " (B)") +
+                           ":\n--- want ---\n" + Want + "--- got ---\n" + Got);
+      }
+    }
+  };
+  std::thread T1(Writer, 0), T2(Writer, 1);
+  T1.join();
+  T2.join();
+  EXPECT_TRUE(Failures.empty())
+      << Failures.size() << " divergent run(s); first:\n" << Failures.front();
+
+  // The directory settled into a usable state: a warm run of whichever
+  // variant we pick still replays or re-checks into the right bytes.
+  VaultCompiler C;
+  C.setCacheDir(Dir);
+  C.addSource("stress.vlt", VariantA);
+  C.check();
+  EXPECT_EQ(C.diags().render(), RefA);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CheckCacheStress, FinalizePreservesOtherUnitsRows) {
+  // Regression pin for the finalize merge: unit B's finalize used to
+  // rewrite index.tsv from its stale in-memory copy, dropping rows a
+  // concurrent (or merely later) unit-A run had added — demoting A's
+  // warm runs to full re-checks and, worse, letting the pruner delete
+  // A's live entries.
+  std::string Dir = freshDir("finalize-merge");
+
+  auto Run = [&](const char *Name, const char *Text) {
+    auto C = std::make_unique<VaultCompiler>();
+    C->setCacheDir(Dir);
+    C->addSource(Name, Text);
+    C->check();
+    return C;
+  };
+
+  Run("unit_a.vlt", VariantA);
+  Run("unit_b.vlt", VariantB); // Different unit, same directory.
+
+  auto WarmA = Run("unit_a.vlt", VariantA);
+  ASSERT_TRUE(WarmA->stats().CacheEnabled);
+  EXPECT_EQ(WarmA->stats().FlowChecksRun, 0u)
+      << "unit_b's finalize dropped unit_a's index rows";
+  auto WarmB = Run("unit_b.vlt", VariantB);
+  // worker() is uncacheable (its diagnostic's note crosses chunks), so
+  // a warm B run re-checks exactly it; main() replays.
+  EXPECT_EQ(WarmB->stats().FlowChecksRun, 1u);
+  EXPECT_EQ(WarmB->stats().CacheHits, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CheckCacheStress, ConcurrentDistinctUnitsStayWarm) {
+  // Two units hammering one directory in parallel; afterwards both
+  // must be replayable without a single flow check.
+  std::string Dir = freshDir("distinct-units");
+  auto Writer = [&](const char *Name, const char *Text) {
+    for (unsigned I = 0; I != 25; ++I) {
+      VaultCompiler C;
+      C.setCacheDir(Dir);
+      C.addSource(Name, Text);
+      C.check();
+    }
+  };
+  std::thread T1(Writer, "left.vlt", VariantA);
+  std::thread T2(Writer, "right.vlt", VariantC);
+  T1.join();
+  T2.join();
+
+  for (auto [Name, Text] : {std::pair{"left.vlt", VariantA},
+                            std::pair{"right.vlt", VariantC}}) {
+    VaultCompiler C;
+    C.setCacheDir(Dir);
+    C.addSource(Name, Text);
+    C.check();
+    EXPECT_EQ(C.stats().FlowChecksRun, 0u) << Name;
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CheckCacheStress, MemoryStoreSharedByConcurrentCompilers) {
+  // The daemon-side equivalent: many compilers, one CheckMemoryStore.
+  CheckMemoryStore Store;
+  std::string RefA = uncachedRender(VariantA);
+  std::string RefB = uncachedRender(VariantB);
+  std::mutex Mu;
+  std::vector<std::string> Failures;
+  auto Worker = [&](unsigned Tid) {
+    for (unsigned I = 0; I != 30; ++I) {
+      bool UseA = ((I + Tid) % 2) == 0;
+      VaultCompiler C;
+      C.setMemoryCache(&Store);
+      C.addSource("stress.vlt", UseA ? VariantA : VariantB);
+      C.check();
+      if (C.diags().render() != (UseA ? RefA : RefB)) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Failures.push_back("thread " + std::to_string(Tid) + " iter " +
+                           std::to_string(I));
+      }
+    }
+  };
+  std::thread T1(Worker, 0), T2(Worker, 1), T3(Worker, 2);
+  T1.join();
+  T2.join();
+  T3.join();
+  EXPECT_TRUE(Failures.empty()) << Failures.size() << " divergent run(s)";
+  // Each finalize replaces the single unit's rows and prunes what no
+  // row references, so the store settles at the last writer's live
+  // entries — never empty, never unbounded.
+  EXPECT_GE(Store.entryCount(), 1u);
+  EXPECT_LE(Store.entryCount(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- FrameTest.cpp - Newline-delimited frame extraction -----------------===//
+//
+// FrameReader turns arbitrary transport chunks into complete request
+// lines. The interesting behavior is at the seams: frames split across
+// feeds, several frames in one feed, and the overflow path, where an
+// oversized line must stream through in constant space and surface as
+// exactly one Overflow frame without desynchronizing the frames that
+// follow it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Frame.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault::server;
+
+namespace {
+
+using Kind = FrameReader::Kind;
+
+/// Drains every complete frame, appending "O:<line>" for Ok frames and
+/// "X:<prefix>" for Overflow frames.
+std::vector<std::string> drain(FrameReader &R) {
+  std::vector<std::string> Out;
+  for (;;) {
+    FrameReader::Frame F = R.next();
+    if (F.K == Kind::None)
+      return Out;
+    Out.push_back((F.K == Kind::Ok ? "O:" : "X:") + F.Line);
+  }
+}
+
+TEST(FrameReader, SplitsLinesAndStripsTerminators) {
+  FrameReader R(1024);
+  R.feed("alpha\nbeta\n");
+  EXPECT_EQ(drain(R), (std::vector<std::string>{"O:alpha", "O:beta"}));
+  EXPECT_TRUE(R.idle());
+}
+
+TEST(FrameReader, FramesSplitAcrossFeeds) {
+  FrameReader R(1024);
+  R.feed("hel");
+  EXPECT_EQ(R.next().K, Kind::None);
+  EXPECT_FALSE(R.idle());
+  R.feed("lo\nwor");
+  EXPECT_EQ(drain(R), (std::vector<std::string>{"O:hello"}));
+  R.feed("ld\n");
+  EXPECT_EQ(drain(R), (std::vector<std::string>{"O:world"}));
+  EXPECT_TRUE(R.idle());
+}
+
+TEST(FrameReader, ByteAtATimeFeeding) {
+  FrameReader R(1024);
+  std::string In = "a\n\nbc\n";
+  std::vector<std::string> Got;
+  for (char C : In) {
+    R.feed(std::string_view(&C, 1));
+    for (const std::string &F : drain(R))
+      Got.push_back(F);
+  }
+  EXPECT_EQ(Got, (std::vector<std::string>{"O:a", "O:", "O:bc"}));
+}
+
+TEST(FrameReader, EmptyLinesAreFrames) {
+  FrameReader R(1024);
+  R.feed("\n\n");
+  EXPECT_EQ(drain(R), (std::vector<std::string>{"O:", "O:"}));
+}
+
+TEST(FrameReader, CarriageReturnIsPreserved) {
+  // The framing is '\n'-delimited; a CRLF client's '\r' stays in the
+  // line (the JSON parser treats it as whitespace).
+  FrameReader R(1024);
+  R.feed("{}\r\n");
+  EXPECT_EQ(drain(R), (std::vector<std::string>{"O:{}\r"}));
+}
+
+TEST(FrameReader, CompleteOversizedLineOverflows) {
+  FrameReader R(8);
+  R.feed("0123456789abcdef\nok\n");
+  std::vector<std::string> Got = drain(R);
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0], "X:0123456789abcdef"); // Whole line < prefix cap.
+  EXPECT_EQ(Got[1], "O:ok");
+}
+
+TEST(FrameReader, EndlessLineDiscardsInConstantSpace) {
+  // A line far past the limit, fed in chunks with no newline: the
+  // reader must not buffer it. We can't observe memory directly, but
+  // the prefix cap (48 bytes) pins that only a prefix was kept.
+  FrameReader R(16);
+  std::string Chunk(1000, 'x');
+  for (int I = 0; I < 50; ++I) {
+    R.feed(Chunk);
+    EXPECT_EQ(R.next().K, Kind::None); // Frame not closed yet.
+  }
+  R.feed("tail\nnext\n");
+  FrameReader::Frame F = R.next();
+  EXPECT_EQ(F.K, Kind::Overflow);
+  EXPECT_EQ(F.Line, std::string(48, 'x'));
+  EXPECT_EQ(drain(R), (std::vector<std::string>{"O:next"}));
+  EXPECT_TRUE(R.idle());
+}
+
+TEST(FrameReader, ExactlyOneOverflowFramePerOversizedLine) {
+  FrameReader R(4);
+  R.feed(std::string(100, 'a'));
+  EXPECT_EQ(R.next().K, Kind::None);
+  R.feed(std::string(100, 'a') + "\n");
+  std::vector<std::string> Got = drain(R);
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0], "X:" + std::string(48, 'a')); // 48-byte prefix cap.
+}
+
+TEST(FrameReader, OverflowNewlineSplitFromItsLine) {
+  FrameReader R(4);
+  R.feed("toolongline");
+  EXPECT_EQ(R.next().K, Kind::None);
+  R.feed("\n");
+  FrameReader::Frame F = R.next();
+  EXPECT_EQ(F.K, Kind::Overflow);
+  EXPECT_EQ(F.Line, "toolongline"); // Shorter than the 48-byte prefix cap.
+  EXPECT_TRUE(R.idle());
+}
+
+TEST(FrameReader, LinesAfterOverflowInSameFeedSurvive) {
+  FrameReader R(4);
+  R.feed(std::string(64, 'z') + "\nfine\nalso\n");
+  std::vector<std::string> Got = drain(R);
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_EQ(Got[0].substr(0, 2), "X:");
+  EXPECT_EQ(Got[1], "O:fine");
+  EXPECT_EQ(Got[2], "O:also");
+}
+
+TEST(FrameReader, LineAtExactlyTheLimitIsOk) {
+  FrameReader R(4);
+  R.feed("abcd\nabcde\n");
+  std::vector<std::string> Got = drain(R);
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0], "O:abcd");
+  EXPECT_EQ(Got[1].substr(0, 2), "X:");
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+//===- ServerGoldenTest.cpp - warm vaultd vs cold vaultc byte-identity ----===//
+//
+// The server's contract with its clients: a check answered by the warm
+// daemon embeds exactly the bytes a cold one-shot `vaultc
+// --diagnostics-format=json` run would have printed — for every corpus
+// program, at any job count, and after an open→change→check edit cycle
+// in which only the dirtied function is re-checked (asserted through
+// both the response counters and the embedded --stats-json document).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "corpus/Corpus.h"
+#include "support/DiagnosticsFormat.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+using namespace vault::server;
+
+namespace {
+
+/// What a cold one-shot vaultc run prints for this buffer set.
+struct OneShot {
+  bool Ok = false;
+  std::string DiagJson;
+  VaultCompiler::Stats St;
+};
+
+OneShot oneShot(const std::vector<std::pair<std::string, std::string>> &Bufs,
+                unsigned Jobs = 1) {
+  VaultCompiler C;
+  C.setJobs(Jobs);
+  for (const auto &[Name, Text] : Bufs)
+    C.queueSource(Name, Text);
+  OneShot O;
+  O.Ok = C.check();
+  O.DiagJson = renderDiagnosticsJson(C.diags());
+  O.St = C.stats();
+  return O;
+}
+
+json::Value send(Workspace &Ws, const std::string &Line) {
+  std::string R = Ws.handleLine(Line);
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(R, &Err);
+  EXPECT_TRUE(V.has_value()) << R << "\n" << Err;
+  return V ? *V : json::Value{};
+}
+
+std::string openRequest(const std::string &Name, const std::string &Text,
+                        bool Change = false) {
+  return std::string("{\"id\": 1, \"method\": \"") +
+         (Change ? "change" : "open") + "\", \"params\": {\"name\": " +
+         json::str(Name) + ", \"text\": " + json::str(Text) + "}}";
+}
+
+const json::Value *checkResult(Workspace &Ws, unsigned Jobs,
+                               json::Value &Resp) {
+  Resp = send(Ws, "{\"id\": 2, \"method\": \"check\", \"params\": {\"jobs\": " +
+                      std::to_string(Jobs) + "}}");
+  return Resp.find("result");
+}
+
+/// The check.flow_checks_run counter from an embedded --stats-json
+/// document, or ~0 when absent.
+double statsFlowChecks(const std::string &StatsJson) {
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(StatsJson, &Err);
+  EXPECT_TRUE(V.has_value()) << Err;
+  if (!V)
+    return -1;
+  const json::Value *Counters = V->find("counters");
+  if (!Counters)
+    return -1;
+  const json::Value *N = Counters->find("check.flow_checks_run");
+  return N ? N->Num : -1;
+}
+
+class ServerGolden : public ::testing::TestWithParam<corpus::ProgramInfo> {};
+
+TEST_P(ServerGolden, WarmCheckMatchesColdOneShotByteForByte) {
+  const auto &P = GetParam();
+  std::string Text = corpus::load(P.Name);
+  ASSERT_FALSE(Text.empty());
+  std::vector<std::pair<std::string, std::string>> Bufs = {
+      {P.Name + ".vlt", Text}};
+  OneShot Cold = oneShot(Bufs);
+  EXPECT_EQ(Cold.Ok, P.ExpectAccept) << P.PaperRef;
+
+  Config Cfg;
+  Admission Gate(8, 30000);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  send(Ws, openRequest(P.Name + ".vlt", Text));
+
+  // First (cold-store) check, then a warm replay at a different job
+  // count: both must embed the one-shot renderer's bytes.
+  for (unsigned Jobs : {1u, 4u}) {
+    json::Value Resp;
+    const json::Value *Res = checkResult(Ws, Jobs, Resp);
+    ASSERT_TRUE(Res) << P.Name;
+    EXPECT_EQ(Res->find("ok")->B, Cold.Ok) << P.Name;
+    EXPECT_EQ(Res->find("diagnostics")->Str, Cold.DiagJson)
+        << P.Name << " at jobs=" << Jobs;
+  }
+
+  // The second check ran against the warm store: zero flow checks.
+  json::Value Resp;
+  const json::Value *Res = checkResult(Ws, 1, Resp);
+  ASSERT_TRUE(Res);
+  EXPECT_EQ(Res->find("flowChecksRun")->Num, 0) << P.Name;
+  EXPECT_EQ(statsFlowChecks(Res->find("stats")->Str), 0) << P.Name;
+  EXPECT_EQ(Res->find("diagnostics")->Str, Cold.DiagJson) << P.Name;
+}
+
+TEST(ServerGoldenEdit, EditCycleRechecksOnlyTheDirtiedFunction) {
+  // The acceptance scenario end to end, in process: a multi-buffer
+  // workspace, one function edited, and the warm re-check must (a) run
+  // zero flow checks for the untouched functions and (b) answer with
+  // bytes identical to a cold one-shot run of the edited snapshot.
+  const std::string Lib = "key L;\n"
+                          "void acquire() [ +L ];\n"
+                          "void release() [ -L ];\n"
+                          "void helper_one() { acquire(); release(); }\n"
+                          "void helper_two() { int x = 1; }\n";
+  const std::string MainV1 = "void helper_one();\n"
+                             "void main() { helper_one(); }\n";
+  const std::string MainV2 = "void helper_one();\n"
+                             "void main() { helper_one(); helper_one(); }\n";
+
+  Config Cfg;
+  Admission Gate(8, 30000);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  send(Ws, openRequest("lib.vlt", Lib));
+  send(Ws, openRequest("main.vlt", MainV1));
+
+  json::Value Resp;
+  const json::Value *Res = checkResult(Ws, 1, Resp);
+  ASSERT_TRUE(Res);
+  EXPECT_TRUE(Res->find("ok")->B) << Res->find("diagnostics")->Str;
+  // acquire/release are prototypes; the three bodies all check cold.
+  EXPECT_EQ(Res->find("flowChecksRun")->Num, 3);
+
+  // Edit main() only.
+  send(Ws, openRequest("main.vlt", MainV2, /*Change=*/true));
+  Res = checkResult(Ws, 1, Resp);
+  ASSERT_TRUE(Res);
+  EXPECT_TRUE(Res->find("ok")->B);
+  EXPECT_EQ(Res->find("flowChecksRun")->Num, 1) << "only main() was dirtied";
+  EXPECT_EQ(Res->find("cacheHits")->Num, 2) << "the library stayed cached";
+  EXPECT_EQ(Res->find("cacheInvalidated")->Num, 1);
+  EXPECT_EQ(statsFlowChecks(Res->find("stats")->Str), 1);
+
+  // Byte-identity against a cold one-shot of the edited snapshot, at
+  // both job counts.
+  OneShot Cold = oneShot({{"lib.vlt", Lib}, {"main.vlt", MainV2}});
+  EXPECT_EQ(Res->find("diagnostics")->Str, Cold.DiagJson);
+  OneShot Cold4 = oneShot({{"lib.vlt", Lib}, {"main.vlt", MainV2}}, 4);
+  EXPECT_EQ(Cold4.DiagJson, Cold.DiagJson);
+  Res = checkResult(Ws, 4, Resp);
+  ASSERT_TRUE(Res);
+  EXPECT_EQ(Res->find("diagnostics")->Str, Cold.DiagJson);
+  EXPECT_EQ(Res->find("flowChecksRun")->Num, 0); // Fully warm now.
+}
+
+TEST(ServerGoldenEdit, EditThatIntroducesAnErrorReportsItIdentically) {
+  // The edited function's fresh diagnostics and the cached functions'
+  // replayed ones interleave into the same document a cold run prints.
+  const std::string Lib = "key L;\n"
+                          "void acquire() [ +L ];\n"
+                          "void release() [ -L ];\n"
+                          "void helper_one() { acquire(); release(); }\n";
+  const std::string MainOk = "void main() { int x = 1; }\n";
+  const std::string MainBad = "void acquire() [ +L ];\n"
+                              "void main() { acquire(); }\n"; // Leaks L.
+
+  Config Cfg;
+  Admission Gate(8, 30000);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  send(Ws, openRequest("lib.vlt", Lib));
+  send(Ws, openRequest("main.vlt", MainOk));
+  json::Value Resp;
+  const json::Value *Res = checkResult(Ws, 1, Resp);
+  ASSERT_TRUE(Res);
+  EXPECT_TRUE(Res->find("ok")->B) << Res->find("diagnostics")->Str;
+
+  send(Ws, openRequest("main.vlt", MainBad, /*Change=*/true));
+  Res = checkResult(Ws, 1, Resp);
+  ASSERT_TRUE(Res);
+  EXPECT_FALSE(Res->find("ok")->B);
+  OneShot Cold = oneShot({{"lib.vlt", Lib}, {"main.vlt", MainBad}});
+  EXPECT_FALSE(Cold.Ok);
+  EXPECT_EQ(Res->find("diagnostics")->Str, Cold.DiagJson);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, ServerGolden, ::testing::ValuesIn(corpus::index()),
+    [](const ::testing::TestParamInfo<corpus::ProgramInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,411 @@
+//===- ServerTest.cpp - vaultd dispatch, admission, soft-fail -------------===//
+//
+// In-process tests of the check server's session layer: request
+// dispatch and its error paths, the buffer overlay, the warm memory
+// cache shared across sessions, the admission gate's three outcomes,
+// and the soft-fail guarantee that no request — however malformed —
+// kills the session.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+using namespace vault;
+using namespace vault::server;
+
+namespace {
+
+const char *Prelude = R"(interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+)";
+
+std::string libText() {
+  return std::string(Prelude) +
+         "void lib_ok(int n) {\n"
+         "  tracked region rgn = Region.create();\n"
+         "  Region.delete(rgn);\n"
+         "}\n";
+}
+
+std::string mainText(int Arg) {
+  return "void lib_ok(int n);\n"
+         "void main() {\n"
+         "  lib_ok(" + std::to_string(Arg) + ");\n"
+         "}\n";
+}
+
+/// Sends one request line and parses the response, asserting the
+/// envelope invariants every response must satisfy: a single line of
+/// valid JSON with the JSON-RPC marker.
+json::Value send(Workspace &Ws, const std::string &Line) {
+  std::string R = Ws.handleLine(Line);
+  EXPECT_EQ(R.find('\n'), std::string::npos) << R;
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(R, &Err);
+  EXPECT_TRUE(V.has_value()) << R << "\n" << Err;
+  if (!V)
+    return {};
+  const json::Value *Rpc = V->find("jsonrpc");
+  EXPECT_TRUE(Rpc && Rpc->Str == "2.0") << R;
+  EXPECT_TRUE(V->find("result") || V->find("error")) << R;
+  return *V;
+}
+
+int errorCode(const json::Value &Resp) {
+  const json::Value *E = Resp.find("error");
+  if (!E)
+    return 0;
+  const json::Value *C = E->find("code");
+  return C ? static_cast<int>(C->Num) : 0;
+}
+
+std::string openRequest(int Id, const std::string &Name,
+                        const std::string &Text, bool Change = false) {
+  return "{\"jsonrpc\": \"2.0\", \"id\": " + std::to_string(Id) +
+         ", \"method\": \"" + (Change ? "change" : "open") +
+         "\", \"params\": {\"name\": " + json::str(Name) +
+         ", \"text\": " + json::str(Text) + "}}";
+}
+
+struct Fixture {
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  Workspace Ws{Cfg, Gate, Store};
+};
+
+TEST(ServerDispatch, OpenCheckStatsShutdown) {
+  Fixture F;
+  json::Value R = send(F.Ws, openRequest(1, "lib.vlt", libText()));
+  ASSERT_TRUE(R.find("result"));
+  EXPECT_EQ(R.find("result")->find("buffers")->Num, 1);
+
+  send(F.Ws, openRequest(2, "main.vlt", mainText(1)));
+  ASSERT_EQ(F.Ws.buffers().size(), 2u);
+
+  R = send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 3, \"method\": \"check\"}");
+  const json::Value *Res = R.find("result");
+  ASSERT_TRUE(Res);
+  EXPECT_TRUE(Res->find("ok")->B);
+  EXPECT_EQ(Res->find("errors")->Num, 0);
+  EXPECT_GE(Res->find("flowChecksRun")->Num, 1);
+  // The embedded renderer documents are themselves valid JSON.
+  std::string Err;
+  EXPECT_TRUE(json::parseJson(Res->find("diagnostics")->Str, &Err)) << Err;
+  EXPECT_TRUE(json::parseJson(Res->find("stats")->Str, &Err)) << Err;
+
+  R = send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 4, \"method\": \"stats\"}");
+  Res = R.find("result");
+  ASSERT_TRUE(Res);
+  EXPECT_EQ(Res->find("checks")->Num, 1);
+  EXPECT_EQ(Res->find("buffersOpen")->Num, 2);
+  EXPECT_GE(Res->find("cacheEntries")->Num, 1);
+  ASSERT_TRUE(Res->find("lastCheck")->isObject());
+  EXPECT_GE(Res->find("lastCheck")->find("flowChecksRun")->Num, 1);
+
+  EXPECT_FALSE(F.Ws.shutdownRequested());
+  R = send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 5, \"method\": \"shutdown\"}");
+  EXPECT_TRUE(R.find("result")->find("shuttingDown")->B);
+  EXPECT_TRUE(F.Ws.shutdownRequested());
+}
+
+TEST(ServerDispatch, WarmStoreSkipsUntouchedFunctions) {
+  // The daemon's core property at unit scale: a second check against
+  // the warm store replays every flow check.
+  Fixture F;
+  send(F.Ws, openRequest(1, "lib.vlt", libText()));
+  send(F.Ws, openRequest(2, "main.vlt", mainText(1)));
+  json::Value Cold =
+      send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 3, \"method\": \"check\"}");
+  EXPECT_GE(Cold.find("result")->find("flowChecksRun")->Num, 2);
+  EXPECT_EQ(Cold.find("result")->find("cacheHits")->Num, 0);
+
+  json::Value Warm =
+      send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 4, \"method\": \"check\"}");
+  EXPECT_EQ(Warm.find("result")->find("flowChecksRun")->Num, 0);
+  EXPECT_GE(Warm.find("result")->find("cacheHits")->Num, 2);
+  // Diagnostics replay byte-identically.
+  EXPECT_EQ(Cold.find("result")->find("diagnostics")->Str,
+            Warm.find("result")->find("diagnostics")->Str);
+}
+
+TEST(ServerDispatch, WarmStoreIsSharedAcrossSessions) {
+  // A new connection (fresh Workspace, same store) starts warm — the
+  // daemon's whole reason to exist.
+  Config Cfg;
+  Admission Gate(8, 30000);
+  CheckMemoryStore Store;
+  {
+    Workspace First(Cfg, Gate, Store);
+    send(First, openRequest(1, "lib.vlt", libText()));
+    send(First, openRequest(2, "main.vlt", mainText(1)));
+    send(First, "{\"jsonrpc\": \"2.0\", \"id\": 3, \"method\": \"check\"}");
+  }
+  EXPECT_GE(Store.entryCount(), 2u);
+  Workspace Second(Cfg, Gate, Store);
+  send(Second, openRequest(1, "lib.vlt", libText()));
+  send(Second, openRequest(2, "main.vlt", mainText(1)));
+  json::Value R =
+      send(Second, "{\"jsonrpc\": \"2.0\", \"id\": 4, \"method\": \"check\"}");
+  EXPECT_EQ(R.find("result")->find("flowChecksRun")->Num, 0);
+}
+
+TEST(ServerDispatch, ChangeDirtiesOnlyTheEditedFunction) {
+  Fixture F;
+  send(F.Ws, openRequest(1, "lib.vlt", libText()));
+  send(F.Ws, openRequest(2, "main.vlt", mainText(1)));
+  send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 3, \"method\": \"check\"}");
+
+  send(F.Ws, openRequest(4, "main.vlt", mainText(2), /*Change=*/true));
+  json::Value R =
+      send(F.Ws, "{\"jsonrpc\": \"2.0\", \"id\": 5, \"method\": \"check\"}");
+  const json::Value *Res = R.find("result");
+  ASSERT_TRUE(Res);
+  // Only main() was dirtied; lib_ok replays from the warm store.
+  EXPECT_EQ(Res->find("flowChecksRun")->Num, 1);
+  EXPECT_GE(Res->find("cacheHits")->Num, 1);
+  EXPECT_EQ(Res->find("cacheInvalidated")->Num, 1);
+}
+
+TEST(ServerDispatch, BufferLifecycleErrors) {
+  Fixture F;
+  send(F.Ws, openRequest(1, "a.vlt", "void main() {\n}\n"));
+  EXPECT_EQ(errorCode(send(F.Ws, openRequest(2, "a.vlt", "x"))),
+            InvalidParams); // Duplicate open.
+  EXPECT_EQ(errorCode(send(F.Ws, openRequest(3, "b.vlt", "x", true))),
+            InvalidParams); // Change of an unknown buffer.
+  EXPECT_EQ(errorCode(send(F.Ws,
+                           "{\"jsonrpc\": \"2.0\", \"id\": 4, \"method\": "
+                           "\"close\", \"params\": {\"name\": \"b.vlt\"}}")),
+            InvalidParams); // Close of an unknown buffer.
+  json::Value R = send(F.Ws,
+                       "{\"jsonrpc\": \"2.0\", \"id\": 5, \"method\": "
+                       "\"close\", \"params\": {\"name\": \"a.vlt\"}}");
+  EXPECT_EQ(R.find("result")->find("buffers")->Num, 0);
+  EXPECT_TRUE(F.Ws.buffers().empty());
+}
+
+TEST(ServerDispatch, MalformedRequestsGetStructuredErrors) {
+  Fixture F;
+  EXPECT_EQ(errorCode(send(F.Ws, "this is not json")), ParseError);
+  EXPECT_EQ(errorCode(send(F.Ws, "{\"truncated")), ParseError);
+  EXPECT_EQ(errorCode(send(F.Ws, "\"\xC3\x28\"")), ParseError); // Bad UTF-8.
+  EXPECT_EQ(errorCode(send(F.Ws, "[1, 2, 3]")), InvalidRequest);
+  EXPECT_EQ(errorCode(send(F.Ws, "{\"id\": 9}")), InvalidRequest);
+  EXPECT_EQ(errorCode(send(F.Ws, "{\"method\": 42}")), InvalidRequest);
+  EXPECT_EQ(errorCode(send(F.Ws,
+                           "{\"id\": 1, \"method\": \"open\", "
+                           "\"params\": [1]}")),
+            InvalidParams);
+  EXPECT_EQ(errorCode(send(F.Ws, "{\"id\": 1, \"method\": \"frobnicate\"}")),
+            MethodNotFound);
+  // Parse errors cannot recover the id; it comes back null.
+  json::Value R = send(F.Ws, "nope");
+  EXPECT_TRUE(R.find("id")->isNull());
+  // The session is still alive and serving.
+  send(F.Ws, openRequest(10, "a.vlt", "void main() {\n}\n"));
+  EXPECT_EQ(F.Ws.buffers().size(), 1u);
+}
+
+TEST(ServerDispatch, RequestIdsAreEchoedByType) {
+  Fixture F;
+  json::Value R = send(F.Ws, "{\"id\": 7, \"method\": \"stats\"}");
+  EXPECT_EQ(R.find("id")->Num, 7);
+  R = send(F.Ws, "{\"id\": \"req-a\", \"method\": \"stats\"}");
+  EXPECT_EQ(R.find("id")->Str, "req-a");
+  R = send(F.Ws, "{\"method\": \"stats\"}");
+  EXPECT_TRUE(R.find("id")->isNull());
+  R = send(F.Ws, "{\"id\": [1], \"method\": \"stats\"}");
+  EXPECT_TRUE(R.find("id")->isNull()); // Unsupported id types map to null.
+}
+
+TEST(ServerDispatch, CheckJobsParamValidated) {
+  Fixture F;
+  send(F.Ws, openRequest(1, "a.vlt", "void main() {\n}\n"));
+  auto Check = [](const char *Jobs) {
+    return std::string("{\"id\": 2, \"method\": \"check\", \"params\": "
+                       "{\"jobs\": ") +
+           Jobs + "}}";
+  };
+  EXPECT_EQ(errorCode(send(F.Ws, Check("-1"))), InvalidParams);
+  EXPECT_EQ(errorCode(send(F.Ws, Check("2.5"))), InvalidParams);
+  EXPECT_EQ(errorCode(send(F.Ws, Check("\"4\""))), InvalidParams);
+  EXPECT_EQ(errorCode(send(F.Ws, Check("70000"))), InvalidParams);
+  json::Value R = send(F.Ws, Check("4"));
+  ASSERT_TRUE(R.find("result"));
+  EXPECT_TRUE(R.find("result")->find("ok")->B);
+}
+
+TEST(ServerDispatch, OverflowFrameIsAStructuredError) {
+  Config Cfg;
+  Cfg.MaxFrameBytes = 64;
+  Admission Gate(8, 30000);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  FrameReader::Frame F;
+  F.K = FrameReader::Kind::Overflow;
+  F.Line = "{\"method\": \"open\", ...";
+  std::string R = Ws.handleFrame(F);
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(R, &Err);
+  ASSERT_TRUE(V.has_value()) << R;
+  EXPECT_EQ(errorCode(*V), FrameTooLarge);
+  EXPECT_TRUE(V->find("id")->isNull());
+}
+
+TEST(ServerDispatch, OversizedLineViaHandleLine) {
+  Config Cfg;
+  Cfg.MaxFrameBytes = 32;
+  Admission Gate(8, 30000);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  // handleLine applies the same byte ceiling through the JSON parser.
+  std::string Long = "{\"method\": \"" + std::string(100, 'x') + "\"}";
+  std::string R = Ws.handleLine(Long);
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(R, &Err);
+  ASSERT_TRUE(V.has_value()) << R;
+  EXPECT_EQ(errorCode(*V), ParseError);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+/// Occupies the gate from a helper thread until released.
+struct GateHolder {
+  explicit GateHolder(Admission &Gate) {
+    T = std::thread([this, &Gate] {
+      Outcome = Gate.run([this] {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Held = true;
+        Cv.notify_all();
+        Cv.wait(Lock, [this] { return Release; });
+      });
+    });
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [this] { return Held; });
+  }
+  ~GateHolder() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Release = true;
+    }
+    Cv.notify_all();
+    T.join();
+  }
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Held = false, Release = false;
+  Admission::Outcome Outcome = Admission::Outcome::Ran;
+  std::thread T;
+};
+
+TEST(Admission, RunsImmediatelyWhenIdle) {
+  Admission Gate(0, 10);
+  bool Ran = false;
+  EXPECT_EQ(Gate.run([&] { Ran = true; }), Admission::Outcome::Ran);
+  EXPECT_TRUE(Ran);
+}
+
+TEST(Admission, SaturatesWhenQueueIsFull) {
+  Admission Gate(0, 10000); // Zero waiters allowed.
+  GateHolder Holder(Gate);
+  bool Ran = false;
+  EXPECT_EQ(Gate.run([&] { Ran = true; }), Admission::Outcome::Saturated);
+  EXPECT_FALSE(Ran);
+}
+
+TEST(Admission, TimesOutWaitingForTheSlot) {
+  Admission Gate(4, 30); // Waiting allowed, but not for long.
+  GateHolder Holder(Gate);
+  bool Ran = false;
+  EXPECT_EQ(Gate.run([&] { Ran = true; }), Admission::Outcome::TimedOut);
+  EXPECT_FALSE(Ran);
+}
+
+TEST(Admission, WaiterRunsOnceTheSlotFrees) {
+  Admission Gate(4, 30000);
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Held = false, Release = false;
+  std::thread Holder([&] {
+    Gate.run([&] {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Held = true;
+      Cv.notify_all();
+      Cv.wait(Lock, [&] { return Release; });
+    });
+  });
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Held; });
+  }
+  Admission::Outcome Waited = Admission::Outcome::Saturated;
+  bool Ran = false;
+  std::thread Waiter([&] { Waited = Gate.run([&] { Ran = true; }); });
+  // Let the waiter queue up, then release the slot under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Release = true;
+  }
+  Cv.notify_all();
+  Holder.join();
+  Waiter.join();
+  EXPECT_EQ(Waited, Admission::Outcome::Ran);
+  EXPECT_TRUE(Ran);
+}
+
+TEST(Admission, SlotSurvivesAThrowingBody) {
+  Admission Gate(0, 10);
+  EXPECT_THROW(Gate.run([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  bool Ran = false;
+  EXPECT_EQ(Gate.run([&] { Ran = true; }), Admission::Outcome::Ran);
+  EXPECT_TRUE(Ran);
+}
+
+TEST(Admission, SaturatedCheckRequestGetsTheRetryError) {
+  Config Cfg;
+  Cfg.MaxQueue = 0;
+  Admission Gate(0, 10000);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  send(Ws, openRequest(1, "a.vlt", "void main() {\n}\n"));
+  GateHolder Holder(Gate);
+  json::Value R = send(Ws, "{\"id\": 2, \"method\": \"check\"}");
+  EXPECT_EQ(errorCode(R), Saturated);
+  json::Value Stats = send(Ws, "{\"id\": 3, \"method\": \"stats\"}");
+  EXPECT_EQ(Stats.find("result")->find("rejected")->Num, 1);
+}
+
+TEST(Admission, TimedOutCheckRequestGetsTheTimeoutError) {
+  Config Cfg;
+  Cfg.RequestTimeoutMs = 30;
+  Admission Gate(4, 30);
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  send(Ws, openRequest(1, "a.vlt", "void main() {\n}\n"));
+  GateHolder Holder(Gate);
+  json::Value R = send(Ws, "{\"id\": 2, \"method\": \"check\"}");
+  EXPECT_EQ(errorCode(R), TimedOut);
+  json::Value Stats = send(Ws, "{\"id\": 3, \"method\": \"stats\"}");
+  EXPECT_EQ(Stats.find("result")->find("timedOut")->Num, 1);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- JsonParseTest.cpp - Hardened JSON request parsing ------------------===//
+//
+// The frame parser is the trust boundary of the check server: every
+// malformed byte sequence a client can send — truncated UTF-8,
+// unterminated strings, lone surrogates, over-deep nesting, oversized
+// documents — must come back as a structured error, never a crash or a
+// silently-wrong value. These tests pin both halves: what parses (and
+// to what), and what is rejected (and where).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(Text, &Err);
+  EXPECT_TRUE(V.has_value()) << Text << "\n" << Err;
+  return V ? *V : json::Value{};
+}
+
+std::string parseErr(const std::string &Text,
+                     const json::ParseLimits &Limits = {}) {
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(Text, &Err, Limits);
+  EXPECT_FALSE(V.has_value()) << Text;
+  EXPECT_EQ(Err.rfind("offset ", 0), 0u) << Err;
+  return Err;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").B);
+  EXPECT_FALSE(parseOk("false").B);
+  EXPECT_EQ(parseOk("0").Num, 0);
+  EXPECT_EQ(parseOk("-1.5").Num, -1.5);
+  EXPECT_EQ(parseOk("2e3").Num, 2000);
+  EXPECT_EQ(parseOk(" \t\r\n 42 \n").Num, 42);
+  EXPECT_EQ(parseOk("\"\"").Str, "");
+  EXPECT_EQ(parseOk("\"hi\"").Str, "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parseOk(R"("a\"b\\c\/d\b\f\n\r\t")").Str, "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parseOk(R"("\u0041\u00e9")").Str, "A\xC3\xA9");
+  // Astral plane via a surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk(R"("\uD83D\uDE00")").Str, "\xF0\x9F\x98\x80");
+  // Raw, well-formed UTF-8 passes through byte-for-byte.
+  EXPECT_EQ(parseOk("\"caf\xC3\xA9\"").Str, "caf\xC3\xA9");
+}
+
+TEST(JsonParse, Containers) {
+  json::Value V = parseOk(R"({"a": [1, 2, {"b": "c"}], "d": null, "a": 9})");
+  ASSERT_TRUE(V.isObject());
+  // Source order preserved; find() returns the first duplicate.
+  ASSERT_EQ(V.Members.size(), 3u);
+  EXPECT_EQ(V.Members[0].first, "a");
+  EXPECT_EQ(V.Members[1].first, "d");
+  EXPECT_EQ(V.Members[2].first, "a");
+  const json::Value *A = V.find("a");
+  ASSERT_TRUE(A && A->isArray());
+  ASSERT_EQ(A->Elems.size(), 3u);
+  EXPECT_EQ(A->Elems[1].Num, 2);
+  const json::Value *B = A->Elems[2].find("b");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->Str, "c");
+  EXPECT_EQ(V.find("nope"), nullptr);
+}
+
+TEST(JsonParse, EmptyAndTruncatedInput) {
+  parseErr("");
+  parseErr("   ");
+  parseErr("{");
+  parseErr("[1, 2");
+  parseErr("{\"a\":");
+  parseErr("tru");
+  parseErr("nul");
+}
+
+TEST(JsonParse, TrailingGarbageRejected) {
+  EXPECT_NE(parseErr("1 2").find("trailing"), std::string::npos);
+  parseErr("{} x");
+  parseErr("\"a\"\"b\"");
+}
+
+TEST(JsonParse, MalformedStringsRejected) {
+  parseErr("\"unterminated");
+  parseErr("\"bad escape \\q\"");
+  parseErr("\"half escape \\");
+  parseErr("\"ctrl \x01 char\"");
+  parseErr("\"\\u12\"");      // Truncated \u escape.
+  parseErr("\"\\uD800\"");    // Lone high surrogate.
+  parseErr("\"\\uDC00\"");    // Lone low surrogate.
+  parseErr("\"\\uD800\\u0041\""); // High surrogate paired with non-low.
+}
+
+TEST(JsonParse, TruncatedUtf8Rejected) {
+  parseErr("\"\xC3\"");         // Lead byte, missing continuation.
+  parseErr("\"\xE2\x82\"");     // Three-byte sequence cut at two.
+  parseErr("\"\xF0\x9F\x98\""); // Four-byte sequence cut at three.
+  parseErr("\"\x80\"");         // Bare continuation byte.
+  parseErr("\"\xFF\"");         // Not a UTF-8 byte at all.
+  parseErr("\"\xC0\xAF\"");     // Overlong encoding.
+}
+
+TEST(JsonParse, MalformedNumbersRejected) {
+  parseErr("01");
+  parseErr("-");
+  parseErr("1.");
+  parseErr("1e");
+  parseErr("1e+");
+  parseErr(".5");
+  parseErr("+1");
+  // Overflows to infinity: the protocol refuses non-finite values.
+  EXPECT_NE(parseErr("1e999").find("out of range"), std::string::npos);
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string Deep;
+  for (int I = 0; I < 80; ++I)
+    Deep += '[';
+  for (int I = 0; I < 80; ++I)
+    Deep += ']';
+  EXPECT_NE(parseErr(Deep).find("nesting"), std::string::npos);
+
+  std::string Shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(parseOk(Shallow).isArray());
+
+  json::ParseLimits Tight;
+  Tight.MaxDepth = 2;
+  std::string Err;
+  EXPECT_TRUE(json::parseJson("[[1]]", &Err, Tight).has_value());
+  EXPECT_FALSE(json::parseJson("[[[1]]]", &Err, Tight).has_value());
+}
+
+TEST(JsonParse, ByteLimitCheckedBeforeScanning) {
+  json::ParseLimits Tight;
+  Tight.MaxBytes = 8;
+  std::string Err;
+  EXPECT_TRUE(json::parseJson("[1, 2]", &Err, Tight).has_value());
+  EXPECT_FALSE(json::parseJson("[1, 2, 3]", &Err, Tight).has_value());
+  EXPECT_NE(Err.find("byte limit"), std::string::npos);
+}
+
+TEST(JsonParse, ErrorsCarryTheFailureOffset) {
+  std::string Err;
+  EXPECT_FALSE(json::parseJson("{\"a\": \x01}", &Err).has_value());
+  // The offset points into the document, not at 0.
+  EXPECT_EQ(Err.rfind("offset ", 0), 0u);
+  EXPECT_NE(Err, "offset 0: unexpected end of input");
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+//===- ShellQuoteTest.cpp - POSIX shell quoting ---------------------------===//
+//
+// Pins shellQuote(): plain words pass through untouched, anything else
+// becomes a single shell word that survives a real /bin/sh round trip.
+// This backs the round-trip oracle's command lines, where an unquoted
+// scratch path with a space used to split into two arguments.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ShellQuote.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vault;
+
+namespace {
+
+TEST(ShellQuote, PlainWordsPassThrough) {
+  EXPECT_EQ(shellQuote("cc"), "cc");
+  EXPECT_EQ(shellQuote("a.out"), "a.out");
+  EXPECT_EQ(shellQuote("/tmp/vault-123/prog_rt.c"), "/tmp/vault-123/prog_rt.c");
+  EXPECT_EQ(shellQuote("-std=c11"), "-std=c11");
+  EXPECT_EQ(shellQuote("x:y,z+w"), "x:y,z+w");
+}
+
+TEST(ShellQuote, EmptyBecomesEmptyWord) {
+  // An empty argument must stay an argument, not vanish.
+  EXPECT_EQ(shellQuote(""), "''");
+}
+
+TEST(ShellQuote, MetacharactersAreWrapped) {
+  EXPECT_EQ(shellQuote("fuzz tmp"), "'fuzz tmp'");
+  EXPECT_EQ(shellQuote("$HOME"), "'$HOME'");
+  EXPECT_EQ(shellQuote("a;rm -rf b"), "'a;rm -rf b'");
+  EXPECT_EQ(shellQuote("back\\slash"), "'back\\slash'");
+  EXPECT_EQ(shellQuote("new\nline"), "'new\nline'");
+  EXPECT_EQ(shellQuote("tick`tock"), "'tick`tock'");
+}
+
+TEST(ShellQuote, SingleQuotesAreEscaped) {
+  EXPECT_EQ(shellQuote("it's"), "'it'\\''s'");
+  EXPECT_EQ(shellQuote("'"), "''\\'''");
+}
+
+TEST(ShellQuote, RealShellRoundTrip) {
+  if (!std::system(nullptr))
+    GTEST_SKIP() << "no command processor";
+  const char *Nasty = "a b'c$d\"e`f;g&h|i(j)k*l?m\\n";
+  auto Out = std::filesystem::temp_directory_path() / "vault-shellquote-rt";
+  std::string Cmd = "printf %s " + shellQuote(Nasty) + " >" +
+                    shellQuote(Out.string());
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  std::ifstream In(Out, std::ios::binary);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Nasty);
+  std::error_code EC;
+  std::filesystem::remove(Out, EC);
+}
+
+} // namespace

@@ -20,14 +20,27 @@
 #include "interp/Interp.h"
 #include "lower/CEmitter.h"
 #include "sema/Cfg.h"
+#include "server/Frame.h"
 #include "support/DiagnosticsFormat.h"
+#include "support/Json.h"
 
 #include <cerrno>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 using namespace vault;
 
@@ -43,6 +56,21 @@ static void usage() {
       "                    oracle; runs even when checking fails)\n"
       "  --dump-ast        pretty-print the parsed program\n"
       "  --dump-cfg        print each function's control-flow graph as dot\n"
+      "  --daemon-client   drive a vaultd check server end to end: spawn\n"
+      "                    the daemon binary named by the one input, play\n"
+      "                    a request script against it, print each\n"
+      "                    response line. Everything after a literal --\n"
+      "                    is passed to the daemon as options.\n"
+      "\n"
+      "daemon-client options:\n"
+      "  --script FILE     request script (default: stdin). JSON lines\n"
+      "                    are sent verbatim; '#open NAME PATH' and\n"
+      "                    '#change NAME PATH' directives send the named\n"
+      "                    file's contents (PATH relative to the script);\n"
+      "                    other '#' lines are comments\n"
+      "  --via-socket      connect over a Unix socket (the daemon is\n"
+      "                    told to listen on a temporary socket path)\n"
+      "                    instead of stdio pipes\n"
       "\n"
       "options:\n"
       "  --jobs N          flow-check bodies on N worker threads; 0 or\n"
@@ -68,9 +96,233 @@ static void usage() {
       "  --help, -h        show this help\n");
 }
 
+namespace {
+
+/// The --daemon-client shim: everything ctest needs to drive a vaultd
+/// process end to end — spawn, play a request script, print the
+/// responses, report the daemon's exit status.
+struct DaemonClient {
+  std::string DaemonPath;
+  std::string ScriptPath; ///< Empty = stdin.
+  bool ViaSocket = false;
+  std::vector<std::string> DaemonArgs;
+
+  int run();
+
+private:
+  /// Expands one script line into the request frame to send, or
+  /// returns false for comments/blank lines. Directives:
+  ///   #open NAME PATH    -> open with PATH's contents as text
+  ///   #change NAME PATH  -> change with PATH's contents as text
+  /// PATH resolves relative to the script's directory.
+  bool expandLine(const std::string &Line, std::string &Frame);
+
+  int playScript(int InFd, int OutFd);
+
+  unsigned NextAutoId = 1001;
+};
+
+bool DaemonClient::expandLine(const std::string &Line, std::string &Frame) {
+  std::string Trimmed = Line;
+  while (!Trimmed.empty() && (Trimmed.back() == '\r' || Trimmed.back() == ' '))
+    Trimmed.pop_back();
+  if (Trimmed.empty())
+    return false;
+  if (Trimmed[0] != '#') {
+    Frame = Trimmed;
+    return true;
+  }
+  std::istringstream Words(Trimmed);
+  std::string Directive, Name, Path;
+  Words >> Directive >> Name >> Path;
+  if (Directive != "#open" && Directive != "#change")
+    return false; // Comment.
+  if (Name.empty() || Path.empty()) {
+    std::fprintf(stderr, "vaultc: malformed script directive '%s'\n",
+                 Trimmed.c_str());
+    std::exit(2);
+  }
+  namespace fs = std::filesystem;
+  fs::path Resolved(Path);
+  if (Resolved.is_relative() && !ScriptPath.empty())
+    Resolved = fs::path(ScriptPath).parent_path() / Resolved;
+  std::ifstream In(Resolved, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "vaultc: cannot read script file '%s'\n",
+                 Resolved.string().c_str());
+    std::exit(2);
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Frame = "{\"jsonrpc\": \"2.0\", \"id\": " + std::to_string(NextAutoId++) +
+          ", \"method\": \"" + Directive.substr(1) +
+          "\", \"params\": {\"name\": " + vault::json::str(Name) +
+          ", \"text\": " + vault::json::str(Buf.str()) + "}}";
+  return true;
+}
+
+#ifndef _WIN32
+
+int DaemonClient::playScript(int InFd, int OutFd) {
+  std::ifstream ScriptFile;
+  std::istream *Script = &std::cin;
+  if (!ScriptPath.empty()) {
+    ScriptFile.open(ScriptPath, std::ios::binary);
+    if (!ScriptFile) {
+      std::fprintf(stderr, "vaultc: cannot read script '%s'\n",
+                   ScriptPath.c_str());
+      return 2;
+    }
+    Script = &ScriptFile;
+  }
+
+  vault::server::FrameReader Responses(64u << 20);
+  char Buf[64 * 1024];
+  std::string Line;
+  while (std::getline(*Script, Line)) {
+    std::string Frame;
+    if (!expandLine(Line, Frame))
+      continue;
+    Frame += '\n';
+    size_t Off = 0;
+    while (Off < Frame.size()) {
+      ssize_t W = write(OutFd, Frame.data() + Off, Frame.size() - Off);
+      if (W < 0 && errno == EINTR)
+        continue;
+      if (W < 0) {
+        std::fprintf(stderr, "vaultc: daemon closed the request pipe\n");
+        return 1;
+      }
+      Off += static_cast<size_t>(W);
+    }
+    // One response per request, in order — read it before sending the
+    // next frame so the pipes can never fill up against each other.
+    for (;;) {
+      vault::server::FrameReader::Frame R = Responses.next();
+      if (R.K == vault::server::FrameReader::Kind::Ok) {
+        std::printf("%s\n", R.Line.c_str());
+        std::fflush(stdout);
+        break;
+      }
+      ssize_t N = read(InFd, Buf, sizeof(Buf));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        std::fprintf(stderr,
+                     "vaultc: daemon exited before answering: %s\n",
+                     Frame.c_str());
+        return 1;
+      }
+      Responses.feed(std::string_view(Buf, static_cast<size_t>(N)));
+    }
+  }
+  return 0;
+}
+
+int DaemonClient::run() {
+  std::string SocketPath;
+  std::vector<std::string> Args;
+  Args.push_back(DaemonPath);
+  if (ViaSocket) {
+    SocketPath = "/tmp/vaultd-client-" + std::to_string(getpid()) + ".sock";
+    Args.push_back("--socket");
+    Args.push_back(SocketPath);
+  }
+  Args.insert(Args.end(), DaemonArgs.begin(), DaemonArgs.end());
+
+  int ToChild[2], FromChild[2];
+  if (pipe(ToChild) != 0 || pipe(FromChild) != 0) {
+    std::fprintf(stderr, "vaultc: pipe: %s\n", std::strerror(errno));
+    return 2;
+  }
+  pid_t Child = fork();
+  if (Child < 0) {
+    std::fprintf(stderr, "vaultc: fork: %s\n", std::strerror(errno));
+    return 2;
+  }
+  if (Child == 0) {
+    dup2(ToChild[0], STDIN_FILENO);
+    if (!ViaSocket)
+      dup2(FromChild[1], STDOUT_FILENO);
+    close(ToChild[0]);
+    close(ToChild[1]);
+    close(FromChild[0]);
+    close(FromChild[1]);
+    std::vector<char *> Argv2;
+    for (std::string &A : Args)
+      Argv2.push_back(A.data());
+    Argv2.push_back(nullptr);
+    execv(Args[0].c_str(), Argv2.data());
+    std::fprintf(stderr, "vaultc: cannot exec '%s': %s\n", Args[0].c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  close(ToChild[0]);
+  close(FromChild[1]);
+
+  int Status = 0, Rc = 0;
+  if (!ViaSocket) {
+    Rc = playScript(FromChild[0], ToChild[1]);
+    close(ToChild[1]);
+    close(FromChild[0]);
+  } else {
+    close(FromChild[0]);
+    // Wait for the daemon to bind, then connect.
+    int Sock = -1;
+    for (int Attempt = 0; Attempt < 200; ++Attempt) {
+      Sock = socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un Addr{};
+      Addr.sun_family = AF_UNIX;
+      std::strncpy(Addr.sun_path, SocketPath.c_str(),
+                   sizeof(Addr.sun_path) - 1);
+      if (connect(Sock, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+          0)
+        break;
+      close(Sock);
+      Sock = -1;
+      usleep(25000);
+    }
+    if (Sock < 0) {
+      std::fprintf(stderr, "vaultc: cannot connect to daemon socket '%s'\n",
+                   SocketPath.c_str());
+      kill(Child, SIGKILL);
+      waitpid(Child, &Status, 0);
+      return 1;
+    }
+    Rc = playScript(Sock, Sock);
+    close(Sock);
+    close(ToChild[1]);
+  }
+  waitpid(Child, &Status, 0);
+  if (Rc != 0)
+    return Rc;
+  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+    std::fprintf(stderr, "vaultc: daemon exited abnormally (status %d)\n",
+                 Status);
+    return 1;
+  }
+  std::fprintf(stderr, "vaultc: daemon session complete, clean shutdown\n");
+  return 0;
+}
+
+#else // _WIN32
+
+int DaemonClient::run() {
+  std::fprintf(stderr,
+               "vaultc: --daemon-client is not supported on this platform\n");
+  return 2;
+}
+
+#endif
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
        Stats = false, TraceKeys = false, Explain = false;
+  bool DaemonClientMode = false, ViaSocket = false;
+  std::string ScriptPath;
+  std::vector<std::string> DaemonArgs;
   unsigned Jobs = 0; // 0 = hardware concurrency.
   std::string CacheDir;
   std::string TraceJsonPath, StatsJsonPath;
@@ -94,6 +346,31 @@ int main(int Argc, char **Argv) {
     if (A == "--check") {
       if (!SetMode("--check"))
         return 2;
+    } else if (A == "--daemon-client") {
+      if (!SetMode("--daemon-client"))
+        return 2;
+      DaemonClientMode = true;
+    } else if (A == "--script" || A.rfind("--script=", 0) == 0) {
+      if (A == "--script") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --script requires an argument\n");
+          return 2;
+        }
+        ScriptPath = Argv[++I];
+      } else {
+        ScriptPath = A.substr(9);
+      }
+      if (ScriptPath.empty()) {
+        std::fprintf(stderr, "vaultc: --script requires an argument\n");
+        return 2;
+      }
+    } else if (A == "--via-socket") {
+      ViaSocket = true;
+    } else if (A == "--") {
+      // Everything after the separator goes to the spawned daemon.
+      for (++I; I < Argc; ++I)
+        DaemonArgs.push_back(Argv[I]);
+      break;
     } else if (A == "--jobs" || A.rfind("--jobs=", 0) == 0) {
       std::string Val;
       if (A == "--jobs") {
@@ -218,6 +495,25 @@ int main(int Argc, char **Argv) {
     } else {
       Inputs.push_back(A);
     }
+  }
+  if (DaemonClientMode) {
+    if (Inputs.size() != 1) {
+      std::fprintf(stderr, "vaultc: --daemon-client needs exactly one input "
+                           "(the vaultd binary)\n");
+      return 2;
+    }
+    DaemonClient DC;
+    DC.DaemonPath = Inputs[0];
+    DC.ScriptPath = ScriptPath;
+    DC.ViaSocket = ViaSocket;
+    DC.DaemonArgs = DaemonArgs;
+    return DC.run();
+  }
+  if (!ScriptPath.empty() || ViaSocket || !DaemonArgs.empty()) {
+    std::fprintf(stderr,
+                 "vaultc: --script, --via-socket and '--' require "
+                 "--daemon-client\n");
+    return 2;
   }
   if (Inputs.empty()) {
     usage();

@@ -1,0 +1,293 @@
+//===- vaultd.cpp - The persistent Vault check server ---------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// A long-lived check server: clients open/change/close an in-memory
+// overlay of buffers and issue check requests; the fingerprint-keyed
+// result cache stays warm across requests, so an edit re-checks only
+// the functions it dirtied. Speaks newline-delimited JSON-RPC on
+// stdio (the default — one session) or a Unix socket (--socket PATH —
+// one session per connection, sharing the warm cache and the
+// admission gate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <climits>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace vault;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vaultd [options]\n"
+      "\n"
+      "Long-lived check server speaking newline-delimited JSON-RPC.\n"
+      "Methods: open {name,text}, change {name,text}, close {name},\n"
+      "check [{jobs}], stats, shutdown. Check responses embed the\n"
+      "--diagnostics-format=json and --stats-json documents verbatim.\n"
+      "\n"
+      "options:\n"
+      "  --socket PATH     listen on a Unix socket instead of stdio;\n"
+      "                    one session per connection, warm cache and\n"
+      "                    admission gate shared\n"
+      "  --jobs N          worker threads per check (0 = hardware\n"
+      "                    concurrency; default 1)\n"
+      "  --cache-dir DIR   back the result cache with this shared\n"
+      "                    directory instead of process memory\n"
+      "  --max-queue N     check requests allowed to wait before new\n"
+      "                    ones are rejected (default 8)\n"
+      "  --timeout-ms N    longest a check waits for the slot before\n"
+      "                    failing (default 30000)\n"
+      "  --max-frame-bytes N\n"
+      "                    longest accepted request line (default 8M)\n"
+      "  --help, -h        show this help\n");
+}
+
+/// Strict unsigned parse mirroring vaultc's --jobs contract: rejects
+/// rather than truncates.
+static bool parseU64(const std::string &Val, uint64_t Max, uint64_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
+  if (Val.empty() || Val[0] == '-' || !End || *End || errno == ERANGE ||
+      N > Max)
+    return false;
+  Out = N;
+  return true;
+}
+
+/// Serves one session over a pair of file descriptors. Returns when
+/// the client disconnects or requests shutdown.
+static void serveFd(int InFd, int OutFd, const server::Config &Cfg,
+                    server::Admission &Gate, CheckMemoryStore &Store) {
+  server::Workspace Ws(Cfg, Gate, Store);
+  server::FrameReader Frames(Cfg.MaxFrameBytes);
+  char Buf[64 * 1024];
+  for (;;) {
+    for (;;) {
+      server::FrameReader::Frame F = Frames.next();
+      if (F.K == server::FrameReader::Kind::None)
+        break;
+      std::string Resp = Ws.handleFrame(F);
+      Resp += '\n';
+      size_t Off = 0;
+      while (Off < Resp.size()) {
+        ssize_t W = write(OutFd, Resp.data() + Off, Resp.size() - Off);
+        if (W < 0) {
+          if (errno == EINTR)
+            continue;
+          return; // Client gone; drop the session.
+        }
+        Off += static_cast<size_t>(W);
+      }
+      if (Ws.shutdownRequested())
+        return;
+    }
+    ssize_t N = read(InFd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (N == 0)
+      return; // EOF.
+    Frames.feed(std::string_view(Buf, static_cast<size_t>(N)));
+  }
+}
+
+int main(int Argc, char **Argv) {
+  server::Config Cfg;
+  std::string SocketPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Flag, size_t PrefixLen,
+                     std::string &Out) -> bool {
+      if (A == Flag) {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultd: %s requires an argument\n", Flag);
+          return false;
+        }
+        Out = Argv[++I];
+        return true;
+      }
+      Out = A.substr(PrefixLen);
+      if (Out.empty()) {
+        std::fprintf(stderr, "vaultd: %s requires an argument\n", Flag);
+        return false;
+      }
+      return true;
+    };
+    std::string Val;
+    uint64_t N = 0;
+    if (A == "--socket" || A.rfind("--socket=", 0) == 0) {
+      if (!Value("--socket", 9, SocketPath))
+        return 2;
+    } else if (A == "--jobs" || A.rfind("--jobs=", 0) == 0) {
+      if (!Value("--jobs", 7, Val))
+        return 2;
+      if (!parseU64(Val, UINT_MAX, N)) {
+        std::fprintf(stderr, "vaultd: invalid --jobs value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      Cfg.Jobs = static_cast<unsigned>(N);
+    } else if (A == "--cache-dir" || A.rfind("--cache-dir=", 0) == 0) {
+      if (!Value("--cache-dir", 12, Cfg.CacheDir))
+        return 2;
+    } else if (A == "--max-queue" || A.rfind("--max-queue=", 0) == 0) {
+      if (!Value("--max-queue", 12, Val))
+        return 2;
+      if (!parseU64(Val, 1u << 20, N)) {
+        std::fprintf(stderr, "vaultd: invalid --max-queue value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      Cfg.MaxQueue = static_cast<size_t>(N);
+    } else if (A == "--timeout-ms" || A.rfind("--timeout-ms=", 0) == 0) {
+      if (!Value("--timeout-ms", 13, Val))
+        return 2;
+      if (!parseU64(Val, 86400000, N)) {
+        std::fprintf(stderr, "vaultd: invalid --timeout-ms value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      Cfg.RequestTimeoutMs = N;
+    } else if (A == "--max-frame-bytes" ||
+               A.rfind("--max-frame-bytes=", 0) == 0) {
+      if (!Value("--max-frame-bytes", 18, Val))
+        return 2;
+      if (!parseU64(Val, 1u << 30, N) || N < 16) {
+        std::fprintf(stderr, "vaultd: invalid --max-frame-bytes value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      Cfg.MaxFrameBytes = static_cast<size_t>(N);
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vaultd: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+#ifndef _WIN32
+  // A client that disconnects mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  server::Admission Gate(Cfg.MaxQueue, Cfg.RequestTimeoutMs);
+  CheckMemoryStore Store;
+
+  if (SocketPath.empty()) {
+    // Stdio mode: one session, then exit. Exit status reflects a clean
+    // shutdown (explicit request or EOF between frames).
+    serveFd(STDIN_FILENO, STDOUT_FILENO, Cfg, Gate, Store);
+    return 0;
+  }
+
+#ifdef _WIN32
+  std::fprintf(stderr, "vaultd: --socket is not supported on this platform\n");
+  return 2;
+#else
+  if (SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "vaultd: socket path too long: '%s'\n",
+                 SocketPath.c_str());
+    return 2;
+  }
+  int Listen = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::fprintf(stderr, "vaultd: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  unlink(SocketPath.c_str()); // Stale socket from a previous run.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      listen(Listen, 16) < 0) {
+    std::fprintf(stderr, "vaultd: cannot listen on '%s': %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    close(Listen);
+    return 2;
+  }
+  std::fprintf(stderr, "vaultd: listening on %s\n", SocketPath.c_str());
+
+  // One thread per connection; a session's shutdown request stops the
+  // whole daemon (close the listener, let live sessions finish).
+  std::vector<std::thread> Sessions;
+  std::atomic<bool> Stop{false};
+  while (!Stop.load(std::memory_order_relaxed)) {
+    int Conn = accept(Listen, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    Sessions.emplace_back([Conn, &Cfg, &Gate, &Store, &Stop, Listen] {
+      server::Workspace Ws(Cfg, Gate, Store);
+      server::FrameReader Frames(Cfg.MaxFrameBytes);
+      char Buf[64 * 1024];
+      bool Alive = true;
+      while (Alive) {
+        for (;;) {
+          server::FrameReader::Frame F = Frames.next();
+          if (F.K == server::FrameReader::Kind::None)
+            break;
+          std::string Resp = Ws.handleFrame(F) + "\n";
+          size_t Off = 0;
+          while (Off < Resp.size()) {
+            ssize_t W = write(Conn, Resp.data() + Off, Resp.size() - Off);
+            if (W < 0 && errno == EINTR)
+              continue;
+            if (W < 0) {
+              Alive = false;
+              break;
+            }
+            Off += static_cast<size_t>(W);
+          }
+          if (Ws.shutdownRequested()) {
+            Stop.store(true, std::memory_order_relaxed);
+            // Unblock accept() so the daemon can exit.
+            shutdown(Listen, SHUT_RDWR);
+            Alive = false;
+            break;
+          }
+        }
+        if (!Alive)
+          break;
+        ssize_t N = read(Conn, Buf, sizeof(Buf));
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          break;
+        Frames.feed(std::string_view(Buf, static_cast<size_t>(N)));
+      }
+      close(Conn);
+    });
+  }
+  for (std::thread &T : Sessions)
+    T.join();
+  close(Listen);
+  unlink(SocketPath.c_str());
+  return 0;
+#endif
+}
