@@ -1,0 +1,132 @@
+//===- bench_server.cpp - Server observability overhead -------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Pins the cost of the daemon's telemetry layer, in the bench_trace
+// tradition. The contract is that a Workspace with no telemetry
+// attached pays a single branch per frame; compare BM_RequestBare
+// against BM_RequestTelemetry to see what metrics + log + tracer cost
+// per request, and the sink microbenchmarks for each piece alone. The
+// request used is `stats` — all dispatch, no compilation — so the
+// numbers isolate the server layer rather than the checker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace vault;
+using namespace vault::server;
+
+namespace {
+
+FrameReader::Frame statsFrame() {
+  FrameReader::Frame F;
+  F.K = FrameReader::Kind::Ok;
+  F.Line = "{\"jsonrpc\": \"2.0\", \"id\": 1, \"method\": \"stats\"}";
+  return F;
+}
+
+/// Baseline: the instrumented dispatch path with no sinks attached —
+/// the configuration a plain `vaultd` session would run if telemetry
+/// were opt-out rather than always-aggregating.
+void BM_RequestBare(benchmark::State &State) {
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  FrameReader::Frame F = statsFrame();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ws.handleFrame(F));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_RequestBare);
+
+/// Aggregation only: what every real vaultd session pays (the
+/// ServerMetrics registry is always live so `metrics`/`health` can
+/// answer).
+void BM_RequestMetricsOnly(benchmark::State &State) {
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  ServerMetrics SM;
+  Workspace Ws(Cfg, Gate, Store);
+  Telemetry Tel;
+  Tel.Metrics = &SM;
+  Ws.setTelemetry(Tel);
+  FrameReader::Frame F = statsFrame();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ws.handleFrame(F));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_RequestMetricsOnly);
+
+/// The full stack: aggregation, one JSONL event written and flushed to
+/// a tmpfile, and a request span recorded.
+void BM_RequestTelemetry(benchmark::State &State) {
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  ServerMetrics SM;
+  std::FILE *Tmp = std::tmpfile();
+  ServerLog Log(Tmp, /*Owned=*/false);
+  Tracer Trc;
+  Workspace Ws(Cfg, Gate, Store);
+  Telemetry Tel;
+  Tel.Log = &Log;
+  Tel.Metrics = &SM;
+  Tel.Trc = &Trc;
+  Ws.setTelemetry(Tel);
+  FrameReader::Frame F = statsFrame();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ws.handleFrame(F));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+  std::fclose(Tmp);
+}
+BENCHMARK(BM_RequestTelemetry);
+
+/// The aggregator alone: one countRequest per iteration.
+void BM_MetricsCountRequest(benchmark::State &State) {
+  ServerMetrics SM;
+  for (auto _ : State)
+    SM.countRequest("check", 0, 120, 0, 64, 256);
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_MetricsCountRequest);
+
+/// The log sink alone: build, write, and flush one request-shaped
+/// event per iteration.
+void BM_LogWriteEvent(benchmark::State &State) {
+  std::FILE *Tmp = std::tmpfile();
+  ServerLog Log(Tmp, /*Owned=*/false);
+  for (auto _ : State)
+    Log.write(ServerLog::Event("request")
+                  .field("ts_us", uint64_t(12345))
+                  .field("sid", uint64_t(1))
+                  .field("rid", uint64_t(2))
+                  .field("method", "check")
+                  .field("outcome", "ok")
+                  .field("queue_wait_us", uint64_t(0))
+                  .field("handle_us", uint64_t(120))
+                  .field("bytes_in", uint64_t(64))
+                  .field("bytes_out", uint64_t(256)));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+  std::fclose(Tmp);
+}
+BENCHMARK(BM_LogWriteEvent);
+
+/// Rendering the full pre-seeded registry (the `metrics` method's
+/// dominant cost).
+void BM_MetricsRender(benchmark::State &State) {
+  ServerMetrics SM;
+  for (int I = 0; I < 1000; ++I)
+    SM.countRequest("check", 0, 120, 0, 64, 256);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(SM.renderJson());
+}
+BENCHMARK(BM_MetricsRender);
+
+} // namespace

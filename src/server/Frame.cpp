@@ -16,8 +16,11 @@ void FrameReader::feed(std::string_view Bytes) {
     // they stream in; only its eventual '\n' (and whatever follows it)
     // is kept for next() to close the Overflow frame against.
     size_t Nl = Bytes.find('\n');
-    if (Nl == std::string_view::npos)
+    if (Nl == std::string_view::npos) {
+      DiscardedRun += Bytes.size();
       return;
+    }
+    DiscardedRun += Nl;
     Buf.append(Bytes.substr(Nl));
     return;
   }
@@ -31,16 +34,22 @@ FrameReader::Frame FrameReader::next() {
       if (Nl == std::string::npos) {
         // Still inside the oversized line; everything buffered is part
         // of it, so drop it all.
+        DiscardedRun += Buf.size();
         Buf.clear();
         Scanned = 0;
         return Frame{};
       }
+      DiscardedRun += Nl; // Tail of the line that reached Buf unseen.
       Buf.erase(0, Nl + 1);
       Scanned = 0;
       Discarding = false;
       Frame F;
       F.K = Kind::Overflow;
       F.Line = std::move(OverflowPrefix);
+      F.Discarded = DiscardedRun;
+      ++OverflowFrames;
+      DiscardedTotal += DiscardedRun;
+      DiscardedRun = 0;
       OverflowPrefix.clear();
       return F;
     }
@@ -53,6 +62,7 @@ FrameReader::Frame FrameReader::next() {
         // in sight. Remember a prefix for the error, drop the rest,
         // and stay in discard mode until its '\n' shows up.
         OverflowPrefix = Buf.substr(0, PrefixBytes);
+        DiscardedRun = Buf.size() - OverflowPrefix.size();
         Buf.clear();
         Scanned = 0;
         Discarding = true;
@@ -68,6 +78,9 @@ FrameReader::Frame FrameReader::next() {
       Frame F;
       F.K = Kind::Overflow;
       F.Line = Buf.substr(0, std::min(PrefixBytes, Nl));
+      F.Discarded = Nl - F.Line.size();
+      ++OverflowFrames;
+      DiscardedTotal += F.Discarded;
       Buf.erase(0, Nl + 1);
       Scanned = 0;
       return F;

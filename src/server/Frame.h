@@ -45,6 +45,11 @@ public:
   struct Frame {
     Kind K = Kind::None;
     std::string Line;
+    /// For Overflow frames: how many bytes of the rejected line were
+    /// discarded (everything past the kept prefix), so the server can
+    /// account transport-layer data loss per event, not just per
+    /// counter.
+    uint64_t Discarded = 0;
   };
 
   explicit FrameReader(size_t MaxFrameBytes) : MaxBytes(MaxFrameBytes) {}
@@ -61,6 +66,13 @@ public:
 
   size_t maxFrameBytes() const { return MaxBytes; }
 
+  /// Lifetime totals of the transport-layer reject path. The old
+  /// behavior was to discard oversized/garbage bytes silently; these
+  /// feed ServerMetrics (server.frames.*) and the session `stats`
+  /// response so a client flooding the daemon with junk is visible.
+  uint64_t overflowFrames() const { return OverflowFrames; }
+  uint64_t discardedBytes() const { return DiscardedTotal; }
+
 private:
   size_t MaxBytes;
   std::string Buf;
@@ -71,6 +83,11 @@ private:
   /// emit one Overflow frame.
   bool Discarding = false;
   std::string OverflowPrefix;
+  /// Bytes dropped so far for the oversized line currently being
+  /// discarded; stamped into its eventual Overflow frame.
+  uint64_t DiscardedRun = 0;
+  uint64_t OverflowFrames = 0;
+  uint64_t DiscardedTotal = 0;
 };
 
 } // namespace vault::server

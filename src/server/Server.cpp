@@ -16,7 +16,10 @@ using namespace vault::server;
 // Admission
 //===----------------------------------------------------------------------===//
 
-Admission::Outcome Admission::run(const std::function<void()> &Fn) {
+Admission::Outcome Admission::run(const std::function<void()> &Fn,
+                                  uint64_t *QueueWaitUs) {
+  if (QueueWaitUs)
+    *QueueWaitUs = 0;
   {
     std::unique_lock<std::mutex> Lock(Mu);
     if (Busy || Waiting > 0) {
@@ -25,8 +28,15 @@ Admission::Outcome Admission::run(const std::function<void()> &Fn) {
       if (Waiting >= MaxQueue)
         return Outcome::Saturated;
       ++Waiting;
+      PeakWaiting = std::max(PeakWaiting, Waiting);
+      auto WaitBegin = std::chrono::steady_clock::now();
       bool Got = Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
                              [&] { return !Busy; });
+      if (QueueWaitUs)
+        *QueueWaitUs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - WaitBegin)
+                .count());
       --Waiting;
       if (!Got)
         return Outcome::TimedOut;
@@ -49,6 +59,21 @@ Admission::Outcome Admission::run(const std::function<void()> &Fn) {
   }
   Cv.notify_one();
   return Outcome::Ran;
+}
+
+size_t Admission::currentWaiters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Waiting;
+}
+
+size_t Admission::peakWaiters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return PeakWaiting;
+}
+
+bool Admission::busy() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Busy;
 }
 
 //===----------------------------------------------------------------------===//
@@ -80,9 +105,43 @@ std::string Workspace::okResponse(const std::string &Id,
 std::string Workspace::errResponse(const std::string &Id, int Code,
                                    const std::string &Message) {
   ++Errors;
+  Req.ErrCode = Code;
   return "{\"jsonrpc\": \"2.0\", \"id\": " + Id +
          ", \"error\": {\"code\": " + std::to_string(Code) +
          ", \"message\": " + json::str(Message) + "}}";
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void Workspace::setTelemetry(const Telemetry &T) {
+  Tel = T;
+  TelemetryAttached = Tel.Log || Tel.Metrics || Tel.Trc;
+  if (Tel.Metrics) {
+    Sid = Tel.Metrics->nextSessionId();
+    Tel.Metrics->sessionOpened();
+  }
+  if (Tel.Log)
+    Tel.Log->write(ServerLog::Event("session")
+                       .field("ts_us", eventTimeUs())
+                       .field("sid", Sid)
+                       .field("phase", "open"));
+}
+
+Workspace::~Workspace() {
+  if (!TelemetryAttached)
+    return;
+  if (Tel.Log)
+    Tel.Log->write(ServerLog::Event("session")
+                       .field("ts_us", eventTimeUs())
+                       .field("sid", Sid)
+                       .field("phase", "close")
+                       .field("requests", Requests)
+                       .field("errors", Errors)
+                       .field("checks", Checks));
+  if (Tel.Metrics)
+    Tel.Metrics->sessionClosed();
 }
 
 //===----------------------------------------------------------------------===//
@@ -90,13 +149,94 @@ std::string Workspace::errResponse(const std::string &Id, int Code,
 //===----------------------------------------------------------------------===//
 
 std::string Workspace::handleFrame(const FrameReader::Frame &F) {
-  if (F.K == FrameReader::Kind::Overflow) {
-    ++Requests;
-    return errResponse("null", FrameTooLarge,
-                       "frame exceeds " + std::to_string(Cfg.MaxFrameBytes) +
-                           " bytes (starts \"" + F.Line + "\")");
+  // Fast path: no telemetry, no clocks, no per-request bookkeeping
+  // beyond the session counters — exactly the pre-observability
+  // behavior.
+  if (!TelemetryAttached) {
+    if (F.K == FrameReader::Kind::Overflow) {
+      ++Requests;
+      ++FramesRejected;
+      BytesDiscarded += F.Discarded;
+      return errResponse("null", FrameTooLarge,
+                         "frame exceeds " + std::to_string(Cfg.MaxFrameBytes) +
+                             " bytes (starts \"" + F.Line + "\")");
+    }
+    return handleLine(F.Line);
   }
-  return handleLine(F.Line);
+
+  Req = RequestScratch{};
+  CurRid = Tel.Metrics ? Tel.Metrics->nextRequestId() : ++LocalRid;
+  auto Begin = std::chrono::steady_clock::now();
+
+  std::string Resp;
+  {
+    // The request span wraps everything this frame costs the server —
+    // dispatch, admission wait, and the check itself (whose compiler
+    // pass spans nest inside, on this tracer).
+    TraceSpan Span(Tel.Trc, "request");
+    if (F.K == FrameReader::Kind::Overflow) {
+      ++Requests;
+      ++FramesRejected;
+      BytesDiscarded += F.Discarded;
+      if (Tel.Metrics)
+        Tel.Metrics->countFrameOverflow(F.Discarded);
+      Resp = errResponse("null", FrameTooLarge,
+                         "frame exceeds " + std::to_string(Cfg.MaxFrameBytes) +
+                             " bytes (starts \"" + F.Line + "\")");
+    } else {
+      Resp = handleLine(F.Line);
+    }
+    Span.arg("sid", Sid);
+    Span.arg("rid", CurRid);
+    Span.arg("method", Req.Method);
+    Span.arg("outcome", Req.ErrCode ? "error" : "ok");
+  }
+
+  uint64_t HandleUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Begin)
+          .count());
+  uint64_t BytesIn = F.Line.size() + F.Discarded;
+  uint64_t BytesOut = Resp.size();
+
+  if (Tel.Metrics)
+    Tel.Metrics->countRequest(Req.Method, Req.ErrCode, HandleUs,
+                              Req.QueueWaitUs, BytesIn, BytesOut);
+
+  if (Tel.Log) {
+    ServerLog::Event E("request");
+    E.field("ts_us", eventTimeUs())
+        .field("sid", Sid)
+        .field("rid", CurRid)
+        .raw("id", Req.IdJson)
+        .field("method", Req.Method)
+        .field("outcome", Req.ErrCode ? "error" : "ok");
+    if (Req.ErrCode)
+      E.field("code", static_cast<int64_t>(Req.ErrCode));
+    E.field("queue_wait_us", Req.QueueWaitUs)
+        .field("handle_us", HandleUs)
+        .field("bytes_in", BytesIn)
+        .field("bytes_out", BytesOut);
+    if (F.K == FrameReader::Kind::Overflow)
+      E.field("discarded_bytes", F.Discarded);
+    if (Req.HaveCheckDeltas)
+      E.field("flow_checks_run", Req.FlowChecksRun)
+          .field("cache_hits", Req.CacheHits)
+          .field("cache_misses", Req.CacheMisses)
+          .field("cache_invalidated", Req.CacheInvalidated)
+          .field("functions_checked", Req.FunctionsChecked);
+    Tel.Log->write(std::move(E));
+
+    if (HandleUs / 1000 >= Tel.SlowMs)
+      Tel.Log->write(ServerLog::Event("slow_request")
+                         .field("ts_us", eventTimeUs())
+                         .field("sid", Sid)
+                         .field("rid", CurRid)
+                         .field("method", Req.Method)
+                         .field("handle_us", HandleUs)
+                         .field("threshold_ms", Tel.SlowMs));
+  }
+  return Resp;
 }
 
 std::string Workspace::handleLine(const std::string &Line) {
@@ -121,18 +261,20 @@ std::string Workspace::handleLine(const std::string &Line) {
   }
 }
 
-std::string Workspace::dispatch(const json::Value &Req) {
-  if (!Req.isObject())
+std::string Workspace::dispatch(const json::Value &Request) {
+  if (!Request.isObject())
     return errResponse("null", InvalidRequest, "request must be an object");
-  std::string Id = renderId(Req.find("id"));
-  const json::Value *Method = Req.find("method");
+  std::string Id = renderId(Request.find("id"));
+  Req.IdJson = Id;
+  const json::Value *Method = Request.find("method");
   if (!Method || !Method->isString())
     return errResponse(Id, InvalidRequest, "missing string \"method\"");
-  const json::Value *Params = Req.find("params");
+  const json::Value *Params = Request.find("params");
   if (Params && !Params->isObject())
     return errResponse(Id, InvalidParams, "\"params\" must be an object");
 
   const std::string &M = Method->Str;
+  Req.Method = M;
   if (M == "open")
     return handleOpenChange(Params, Id, /*IsChange=*/false);
   if (M == "change")
@@ -143,6 +285,10 @@ std::string Workspace::dispatch(const json::Value &Req) {
     return handleCheck(Params, Id);
   if (M == "stats")
     return handleStats(Id);
+  if (M == "metrics")
+    return handleMetrics(Id);
+  if (M == "health")
+    return handleHealth(Id);
   if (M == "shutdown") {
     ShutdownFlag = true;
     return okResponse(Id, "{\"shuttingDown\": true}");
@@ -227,12 +373,20 @@ std::string Workspace::handleCheck(const json::Value *Params,
   } Out;
 
   auto Work = [&] {
+    // The check span carries the request tag so the compiler's pass
+    // spans (parse, elab, per-function checks) that nest inside it are
+    // attributable to this request in the merged trace.
+    TraceSpan CheckSpan(Tel.Trc, "check");
+    CheckSpan.arg("sid", Sid);
+    CheckSpan.arg("rid", CurRid);
     // One warm compilation per request: parse and elaboration re-run
     // (they are cheap and must, for fingerprinting), while flow checks
     // — the dominant cost — replay from the warm store for every
     // function the edit did not dirty.
     VaultCompiler C;
     C.setJobs(Jobs);
+    if (Tel.Trc)
+      C.setTracer(Tel.Trc);
     if (!Cfg.CacheDir.empty())
       C.setCacheDir(Cfg.CacheDir);
     else
@@ -248,14 +402,41 @@ std::string Workspace::handleCheck(const json::Value *Params,
     Out.StatsJson = C.renderStatsJson();
   };
 
-  switch (Gate.run(Work)) {
+  uint64_t WaitBegin = Tel.Trc ? Tel.Trc->nowUs() : 0;
+  uint64_t WaitUs = 0;
+  Admission::Outcome Gated = Gate.run(Work, &WaitUs);
+  Req.QueueWaitUs = WaitUs;
+  if (Tel.Trc && WaitUs > 0)
+    Tel.Trc->complete("admission.wait", WaitBegin, WaitBegin + WaitUs,
+                      {{"sid", std::to_string(Sid)},
+                       {"rid", std::to_string(CurRid)}});
+  if (Tel.Metrics)
+    Tel.Metrics->recordQueueDepth(Gate.peakWaiters());
+
+  switch (Gated) {
   case Admission::Outcome::Saturated:
     ++Rejected;
+    if (Tel.Log)
+      Tel.Log->write(ServerLog::Event("admission")
+                         .field("ts_us", eventTimeUs())
+                         .field("sid", Sid)
+                         .field("rid", CurRid)
+                         .field("outcome", "saturated")
+                         .field("waiters", Gate.currentWaiters())
+                         .field("max_queue", Cfg.MaxQueue));
     return errResponse(Id, Saturated,
                        "server saturated: " + std::to_string(Cfg.MaxQueue) +
                            " check(s) already queued; retry later");
   case Admission::Outcome::TimedOut:
     ++TimedOutCount;
+    if (Tel.Log)
+      Tel.Log->write(ServerLog::Event("admission")
+                         .field("ts_us", eventTimeUs())
+                         .field("sid", Sid)
+                         .field("rid", CurRid)
+                         .field("outcome", "timed_out")
+                         .field("queue_wait_us", WaitUs)
+                         .field("timeout_ms", Cfg.RequestTimeoutMs));
     return errResponse(Id, TimedOut,
                        "timed out after " +
                            std::to_string(Cfg.RequestTimeoutMs) +
@@ -269,6 +450,17 @@ std::string Workspace::handleCheck(const json::Value *Params,
   LastFlowChecksRun = Out.St.FlowChecksRun;
   LastCacheHits = Out.St.CacheHits;
   LastFunctionsChecked = Out.St.FunctionsChecked;
+  TotalFlowChecksRun += Out.St.FlowChecksRun;
+  TotalCacheHits += Out.St.CacheHits;
+  TotalCacheMisses += Out.St.CacheMisses;
+  TotalCacheInvalidated += Out.St.CacheInvalidations;
+  TotalFunctionsChecked += Out.St.FunctionsChecked;
+  Req.HaveCheckDeltas = true;
+  Req.FlowChecksRun = Out.St.FlowChecksRun;
+  Req.CacheHits = Out.St.CacheHits;
+  Req.CacheMisses = Out.St.CacheMisses;
+  Req.CacheInvalidated = Out.St.CacheInvalidations;
+  Req.FunctionsChecked = Out.St.FunctionsChecked;
 
   std::string R = "{\"ok\": ";
   R += Out.Ok ? "true" : "false";
@@ -291,9 +483,18 @@ std::string Workspace::handleStats(const std::string &Id) {
   R += ", \"checks\": " + std::to_string(Checks);
   R += ", \"rejected\": " + std::to_string(Rejected);
   R += ", \"timedOut\": " + std::to_string(TimedOutCount);
+  R += ", \"framesRejected\": " + std::to_string(FramesRejected);
+  R += ", \"bytesDiscarded\": " + std::to_string(BytesDiscarded);
   R += ", \"buffersOpen\": " + std::to_string(Buffers.size());
   R += ", \"cacheEntries\": " +
        std::to_string(Cfg.CacheDir.empty() ? Store.entryCount() : 0);
+  R += ", \"totals\": {\"flowChecksRun\": " +
+       std::to_string(TotalFlowChecksRun) +
+       ", \"cacheHits\": " + std::to_string(TotalCacheHits) +
+       ", \"cacheMisses\": " + std::to_string(TotalCacheMisses) +
+       ", \"cacheInvalidated\": " + std::to_string(TotalCacheInvalidated) +
+       ", \"functionsChecked\": " + std::to_string(TotalFunctionsChecked) +
+       "}";
   if (HaveLastCheck) {
     R += ", \"lastCheck\": {\"functionsChecked\": " +
          std::to_string(LastFunctionsChecked) +
@@ -302,6 +503,42 @@ std::string Workspace::handleStats(const std::string &Id) {
   } else {
     R += ", \"lastCheck\": null";
   }
+  R += "}";
+  return okResponse(Id, R);
+}
+
+std::string Workspace::handleMetrics(const std::string &Id) {
+  if (!Tel.Metrics)
+    return errResponse(Id, InternalError,
+                       "server metrics are not enabled for this session");
+  // Embedded as a string for the same reason check embeds its stats
+  // document: the registry renderer's bytes contain newlines, and
+  // responses must stay one line.
+  return okResponse(Id, "{\"uptimeMs\": " +
+                            std::to_string(Tel.Metrics->uptimeMs()) +
+                            ", \"metrics\": " +
+                            json::str(Tel.Metrics->renderJson()) + "}");
+}
+
+std::string Workspace::handleHealth(const std::string &Id) {
+  // Health never goes through the admission gate, so it answers even
+  // while the check slot is saturated — that is the point.
+  size_t Depth = Gate.currentWaiters();
+  bool Busy = Gate.busy();
+  bool SaturatedNow = Busy && Depth >= Cfg.MaxQueue;
+  std::string R = "{\"status\": ";
+  R += json::str(SaturatedNow ? "saturated" : "ok");
+  R += ", \"uptimeMs\": " +
+       std::to_string(Tel.Metrics ? Tel.Metrics->uptimeMs() : 0);
+  R += ", \"busy\": ";
+  R += Busy ? "true" : "false";
+  R += ", \"queueDepth\": " + std::to_string(Depth);
+  R += ", \"peakQueueDepth\": " + std::to_string(Gate.peakWaiters());
+  R += ", \"maxQueue\": " + std::to_string(Cfg.MaxQueue);
+  R += ", \"requestTimeoutMs\": " + std::to_string(Cfg.RequestTimeoutMs);
+  R += ", \"sessionsOpen\": " +
+       std::to_string(Tel.Metrics ? Tel.Metrics->sessionsOpen() : 0);
+  R += ", \"buffersOpen\": " + std::to_string(Buffers.size());
   R += "}";
   return okResponse(Id, R);
 }

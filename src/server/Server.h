@@ -23,15 +23,25 @@
 ///   one check runs at a time (the compiler parallelizes internally
 ///   via jobs), a bounded number may wait, and beyond that requests
 ///   are rejected immediately with a "saturated" error. Waiting is
-///   also bounded by a per-request timeout.
+///   also bounded by a per-request timeout. The gate exposes its
+///   current and peak waiter counts so a saturating daemon is
+///   diagnosable (through the `health` method) before clients see
+///   -32000.
+/// - Telemetry (ServerLog + ServerMetrics + Tracer) is strictly
+///   additive: with all three sinks null the per-request cost is a
+///   handful of branches, and with them live the response bytes are
+///   identical — events go to the log file or stderr, aggregates to
+///   the `metrics`/`health` methods, spans to the trace file.
 ///
 /// The protocol is newline-delimited JSON-RPC 2.0 (a strict subset):
 /// requests `{"jsonrpc": "2.0", "id": N, "method": M, "params": {...}}`
-/// with methods open/change/close/check/stats/shutdown; responses
-/// carry either "result" or "error" {code, message}. A check result
-/// embeds the `--diagnostics-format=json` and `--stats-json` renderers'
-/// output byte-for-byte (as JSON strings), so a client sees exactly
-/// what a one-shot `vaultc` run would have printed.
+/// with methods open/change/close/check/stats/metrics/health/shutdown;
+/// responses carry either "result" or "error" {code, message}. A check
+/// result embeds the `--diagnostics-format=json` and `--stats-json`
+/// renderers' output byte-for-byte (as JSON strings), so a client sees
+/// exactly what a one-shot `vaultc` run would have printed. The
+/// `metrics` result embeds the server-wide ServerMetrics registry in
+/// the same document shape.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,7 +50,10 @@
 
 #include "sema/CheckCache.h"
 #include "server/Frame.h"
+#include "server/ServerLog.h"
+#include "server/ServerMetrics.h"
 #include "support/JsonParse.h"
+#include "support/Trace.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -85,6 +98,19 @@ struct Config {
   uint64_t RequestTimeoutMs = 30000;
 };
 
+/// The observability sinks a session reports into; every member is
+/// optional and null members cost one branch per instrumentation
+/// site. All three sinks are shared daemon-wide (they are internally
+/// synchronized); the Workspace only borrows them.
+struct Telemetry {
+  ServerLog *Log = nullptr;         ///< --log-json: JSONL event stream.
+  ServerMetrics *Metrics = nullptr; ///< metrics/health aggregation.
+  vault::Tracer *Trc = nullptr;     ///< --trace-json: request spans.
+  /// Requests handled in >= this many milliseconds also emit a
+  /// slow_request event; UINT64_MAX disables the threshold.
+  uint64_t SlowMs = UINT64_MAX;
+};
+
 /// Bounded single-slot execution gate: at most one body runs at a
 /// time, at most MaxQueue callers wait, each for at most Timeout.
 class Admission {
@@ -95,21 +121,36 @@ public:
   enum class Outcome { Ran, Saturated, TimedOut };
 
   /// Runs \p Fn under the gate. Exceptions from Fn propagate after the
-  /// slot is released.
-  Outcome run(const std::function<void()> &Fn);
+  /// slot is released. When \p QueueWaitUs is non-null it receives the
+  /// microseconds spent waiting for the slot — 0 when the gate was
+  /// free (or the request bounced without queueing), the full wait on
+  /// Ran-after-queueing and TimedOut.
+  Outcome run(const std::function<void()> &Fn,
+              uint64_t *QueueWaitUs = nullptr);
+
+  /// Requests currently queued for the slot (excludes the one
+  /// running).
+  size_t currentWaiters() const;
+  /// Largest simultaneous waiter count ever observed (monotonic).
+  size_t peakWaiters() const;
+  /// True while a body holds the slot.
+  bool busy() const;
+  size_t maxQueue() const { return MaxQueue; }
 
 private:
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable Cv;
   size_t MaxQueue;
   uint64_t TimeoutMs;
   bool Busy = false;
   size_t Waiting = 0;
+  size_t PeakWaiting = 0;
 };
 
 /// One client session: the buffer overlay plus dispatch. Not
 /// thread-safe — each connection drives its own Workspace; only the
-/// Admission gate and the CheckMemoryStore are shared.
+/// Admission gate, the CheckMemoryStore and the Telemetry sinks are
+/// shared.
 class Workspace {
 public:
   /// \p Store is the warm result cache, typically shared by every
@@ -118,9 +159,19 @@ public:
   /// on-disk cache.
   Workspace(const Config &Cfg, Admission &Gate, CheckMemoryStore &Store)
       : Cfg(Cfg), Gate(Gate), Store(Store) {}
+  ~Workspace();
+
+  /// Attaches the daemon's telemetry sinks. Assigns this session its
+  /// id and emits the session-open event; the destructor emits the
+  /// matching close event with the session's request totals. Call at
+  /// most once, before the first frame.
+  void setTelemetry(const Telemetry &T);
 
   /// Turns one frame into one response line (no trailing newline;
-  /// responses never contain raw newlines). Never throws.
+  /// responses never contain raw newlines). Never throws. With
+  /// telemetry attached this is also the observation point: one
+  /// structured log event, one latency sample, and one request span
+  /// per call.
   std::string handleFrame(const FrameReader::Frame &F);
 
   /// Convenience for tests and the stdio loop: a complete, in-limit
@@ -137,6 +188,10 @@ public:
     return Buffers;
   }
 
+  /// This session's id (0 until telemetry with a ServerMetrics is
+  /// attached).
+  uint64_t sessionId() const { return Sid; }
+
 private:
   std::string dispatch(const json::Value &Req);
   std::string handleOpenChange(const json::Value *Params, const std::string &Id,
@@ -144,6 +199,8 @@ private:
   std::string handleClose(const json::Value *Params, const std::string &Id);
   std::string handleCheck(const json::Value *Params, const std::string &Id);
   std::string handleStats(const std::string &Id);
+  std::string handleMetrics(const std::string &Id);
+  std::string handleHealth(const std::string &Id);
 
   std::string okResponse(const std::string &Id, const std::string &ResultBody);
   std::string errResponse(const std::string &Id, int Code,
@@ -152,11 +209,39 @@ private:
   /// Index of the named buffer in Buffers, or npos.
   size_t findBuffer(const std::string &Name) const;
 
+  /// ts_us for log events: the daemon clock when aggregation is on,
+  /// else 0 (events are still well-formed, just untimed).
+  uint64_t eventTimeUs() const {
+    return Tel.Metrics ? Tel.Metrics->nowUs() : 0;
+  }
+
   Config Cfg;
   Admission &Gate;
   CheckMemoryStore &Store;
+  Telemetry Tel;
+  uint64_t Sid = 0;
+  bool TelemetryAttached = false;
   std::vector<std::pair<std::string, std::string>> Buffers;
   bool ShutdownFlag = false;
+
+  /// What the current request turned out to be, captured during
+  /// dispatch for the post-response log event / metrics sample.
+  /// Valid only within one handleFrame call.
+  struct RequestScratch {
+    std::string Method = "other";
+    std::string IdJson = "null";
+    int ErrCode = 0; ///< 0 = success response.
+    uint64_t QueueWaitUs = 0;
+    bool HaveCheckDeltas = false;
+    uint64_t FlowChecksRun = 0;
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+    uint64_t CacheInvalidated = 0;
+    uint64_t FunctionsChecked = 0;
+  };
+  RequestScratch Req;
+  uint64_t CurRid = 0;   ///< Request id of the frame being handled.
+  uint64_t LocalRid = 0; ///< Fallback id source without ServerMetrics.
 
   // Session counters, surfaced by the stats method.
   uint64_t Requests = 0;
@@ -164,6 +249,17 @@ private:
   uint64_t Checks = 0;
   uint64_t Rejected = 0;
   uint64_t TimedOutCount = 0;
+  /// Transport-layer rejections this session (oversized frames and
+  /// the bytes they cost).
+  uint64_t FramesRejected = 0;
+  uint64_t BytesDiscarded = 0;
+  /// Session-lifetime sums of the per-check counters; the structured
+  /// log's per-request deltas sum to exactly these.
+  uint64_t TotalFlowChecksRun = 0;
+  uint64_t TotalCacheHits = 0;
+  uint64_t TotalCacheMisses = 0;
+  uint64_t TotalCacheInvalidated = 0;
+  uint64_t TotalFunctionsChecked = 0;
   /// Snapshot of the last completed check, for stats.
   bool HaveLastCheck = false;
   unsigned LastFlowChecksRun = 0;

@@ -1,0 +1,40 @@
+//===- ServerLog.cpp ------------------------------------------------------===//
+
+#include "server/ServerLog.h"
+
+using namespace vault;
+using namespace vault::server;
+
+std::unique_ptr<ServerLog> ServerLog::open(const std::string &PathOrDash,
+                                           std::string *Err) {
+  if (PathOrDash == "-")
+    return std::make_unique<ServerLog>(stderr, /*Owned=*/false);
+  std::FILE *F = std::fopen(PathOrDash.c_str(), "ab");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open log file '" + PathOrDash + "'";
+    return nullptr;
+  }
+  return std::make_unique<ServerLog>(F, /*Owned=*/true);
+}
+
+ServerLog::~ServerLog() {
+  if (Owned && Stream)
+    std::fclose(Stream);
+}
+
+void ServerLog::write(Event E) {
+  std::string Line = std::move(E).finish();
+  Line += '\n';
+  std::lock_guard<std::mutex> Lock(Mu);
+  // One fwrite per line so concurrent sessions' events interleave at
+  // line granularity even through a shared stderr.
+  std::fwrite(Line.data(), 1, Line.size(), Stream);
+  std::fflush(Stream);
+  ++Events;
+}
+
+uint64_t ServerLog::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}

@@ -1,0 +1,114 @@
+//===- ServerLog.h - Structured JSONL request logging -----------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vaultd's structured event log (`--log-json <path|->`): one JSON
+/// object per line, schema-versioned, flushed after every event so a
+/// crashed daemon never leaves a torn line behind the one being
+/// written. "-" routes the stream to stderr — safe by construction,
+/// because the wire protocol owns stdout and everything on stderr is
+/// advisory.
+///
+/// Event kinds (the "event" field):
+///   request      one per answered frame: method, outcome, latency,
+///                queue wait, frame bytes in/out, and — for checks —
+///                the per-check counter deltas (flow checks run, cache
+///                hits/misses/invalidated)
+///   session      a connection's workspace opened or closed
+///   admission    a check bounced off the gate (saturated/timed_out)
+///   slow_request a request crossed the --slow-ms threshold
+///
+/// Every event carries "v" (schema version), "ts_us" (microseconds on
+/// the emitting clock) and "sid" (session id). The strict
+/// support/JsonParse parser accepts every emitted line; the
+/// observability test enforces that plus the per-kind required keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SERVER_SERVERLOG_H
+#define VAULT_SERVER_SERVERLOG_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace vault::server {
+
+class ServerLog {
+public:
+  /// The "v" field of every event this build emits. Bump when a field
+  /// is renamed or its meaning changes; adding fields is backward
+  /// compatible and does not.
+  static constexpr unsigned SchemaVersion = 1;
+
+  /// Opens \p PathOrDash for appending ("-" = stderr). Returns null
+  /// and sets \p Err on failure.
+  static std::unique_ptr<ServerLog> open(const std::string &PathOrDash,
+                                         std::string *Err);
+
+  /// Wraps an already-open stream; closes it at destruction iff
+  /// \p Owned (tests hand in tmpfile() handles they keep reading).
+  ServerLog(std::FILE *Stream, bool Owned) : Stream(Stream), Owned(Owned) {}
+  ServerLog(const ServerLog &) = delete;
+  ServerLog &operator=(const ServerLog &) = delete;
+  ~ServerLog();
+
+  /// One event under construction. Fields render in insertion order;
+  /// the constructor pins "v" and "event" first so every line leads
+  /// with its schema tag.
+  class Event {
+  public:
+    explicit Event(const char *Kind) {
+      Body = "{\"v\": " + std::to_string(SchemaVersion) +
+             ", \"event\": " + json::str(Kind);
+    }
+    Event &field(const char *Key, uint64_t V) {
+      Body += ", \"" + std::string(Key) + "\": " + std::to_string(V);
+      return *this;
+    }
+    Event &field(const char *Key, int64_t V) {
+      Body += ", \"" + std::string(Key) + "\": " + std::to_string(V);
+      return *this;
+    }
+    Event &field(const char *Key, std::string_view V) {
+      Body += ", \"" + std::string(Key) + "\": " + json::str(V);
+      return *this;
+    }
+    /// \p RawJson must already be a valid JSON value (e.g. a re-rendered
+    /// request id, which may be a number, string, or null).
+    Event &raw(const char *Key, std::string_view RawJson) {
+      Body += ", \"" + std::string(Key) + "\": " + std::string(RawJson);
+      return *this;
+    }
+    std::string finish() && { return std::move(Body) + "}"; }
+
+  private:
+    std::string Body;
+  };
+
+  /// Appends one complete event line, atomically with respect to other
+  /// sessions' events, and flushes. By value so a builder chain (which
+  /// yields an lvalue reference) can be passed directly.
+  void write(Event E);
+
+  /// Number of events written so far.
+  uint64_t eventCount() const;
+
+private:
+  std::FILE *Stream;
+  bool Owned;
+  mutable std::mutex Mu;
+  uint64_t Events = 0;
+};
+
+} // namespace vault::server
+
+#endif // VAULT_SERVER_SERVERLOG_H

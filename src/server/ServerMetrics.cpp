@@ -1,0 +1,141 @@
+//===- ServerMetrics.cpp --------------------------------------------------===//
+
+#include "server/ServerMetrics.h"
+
+#include <array>
+
+using namespace vault;
+using namespace vault::server;
+
+/// Every method the dispatcher knows, plus the "other" fold-in for
+/// unknown or unparsable ones. Kept in sync with Workspace::dispatch —
+/// the observability test cross-checks that a request for each method
+/// bumps its own counter, never "other".
+static constexpr std::array<const char *, 9> MethodNames = {
+    "open",  "change",  "close",  "check", "stats",
+    "metrics", "health", "shutdown", "other"};
+
+/// Error kinds the server can answer with, named for the counter keys.
+/// The codes are the wire protocol (JSON-RPC 2.0 plus vaultd's -320xx
+/// range), duplicated here so the aggregator does not pull in the
+/// whole dispatch header.
+static constexpr std::array<std::pair<int, const char *>, 8> ErrorKinds = {{
+    {-32700, "parse_error"},
+    {-32600, "invalid_request"},
+    {-32601, "method_not_found"},
+    {-32602, "invalid_params"},
+    {-32603, "internal"},
+    {-32000, "saturated"},
+    {-32001, "timed_out"},
+    {-32002, "frame_too_large"},
+}};
+
+/// Fixed bucket edges for the latency and queue-wait histograms, in
+/// microseconds: 100us / 1ms / 10ms / 100ms / 1s.
+static std::vector<double> latencyEdgesUs() {
+  return {100, 1000, 10000, 100000, 1000000};
+}
+
+const char *ServerMetrics::errorKindName(int Code) {
+  for (const auto &[C, Name] : ErrorKinds)
+    if (C == Code)
+      return Name;
+  return "unknown";
+}
+
+ServerMetrics::ServerMetrics() : Epoch(std::chrono::steady_clock::now()) {
+  // Pre-seed the whole key space so the rendered document's key set is
+  // independent of traffic.
+  std::lock_guard<std::mutex> Lock(Mu);
+  Reg.set("server.requests.total", 0);
+  for (const char *M : MethodNames)
+    Reg.set(std::string("server.requests.") + M, 0);
+  Reg.set("server.errors.total", 0);
+  for (const auto &[C, Name] : ErrorKinds) {
+    (void)C;
+    Reg.set(std::string("server.errors.") + Name, 0);
+  }
+  Reg.set("server.errors.unknown", 0);
+  Reg.set("server.frames.overflow", 0);
+  Reg.set("server.frames.discarded_bytes", 0);
+  Reg.set("server.sessions.opened", 0);
+  Reg.set("server.sessions.closed", 0);
+  Reg.set("server.queue.peak_depth", 0);
+  Reg.set("server.bytes.in", 0);
+  Reg.set("server.bytes.out", 0);
+  Reg.set("server.uptime_ms", 0);
+  Reg.histogram("server.request_us", latencyEdgesUs());
+  Reg.histogram("server.queue_wait_us", latencyEdgesUs());
+}
+
+uint64_t ServerMetrics::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void ServerMetrics::sessionOpened() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Reg.add("server.sessions.opened");
+}
+
+void ServerMetrics::sessionClosed() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Reg.add("server.sessions.closed");
+}
+
+void ServerMetrics::countRequest(const std::string &Method, int ErrorCode,
+                                 uint64_t HandleUs, uint64_t QueueWaitUs,
+                                 uint64_t BytesIn, uint64_t BytesOut) {
+  std::string MethodKey = "server.requests.other";
+  for (const char *M : MethodNames)
+    if (Method == M) {
+      MethodKey = std::string("server.requests.") + M;
+      break;
+    }
+  std::lock_guard<std::mutex> Lock(Mu);
+  Reg.add("server.requests.total");
+  Reg.add(MethodKey);
+  if (ErrorCode != 0) {
+    Reg.add("server.errors.total");
+    Reg.add(std::string("server.errors.") + errorKindName(ErrorCode));
+  }
+  Reg.add("server.bytes.in", BytesIn);
+  Reg.add("server.bytes.out", BytesOut);
+  Reg.histogram("server.request_us", latencyEdgesUs())
+      .record(static_cast<double>(HandleUs));
+  Reg.histogram("server.queue_wait_us", latencyEdgesUs())
+      .record(static_cast<double>(QueueWaitUs));
+}
+
+void ServerMetrics::countFrameOverflow(uint64_t DiscardedBytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Reg.add("server.frames.overflow");
+  Reg.add("server.frames.discarded_bytes", DiscardedBytes);
+}
+
+void ServerMetrics::recordQueueDepth(uint64_t Depth) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Depth > Reg.value("server.queue.peak_depth"))
+    Reg.set("server.queue.peak_depth", Depth);
+}
+
+uint64_t ServerMetrics::sessionsOpen() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Reg.value("server.sessions.opened") -
+         Reg.value("server.sessions.closed");
+}
+
+uint64_t ServerMetrics::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Reg.value(Name);
+}
+
+std::string ServerMetrics::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Stamped here rather than on a timer: the value is only observable
+  // through a render, so rendering is the one place it can go stale.
+  Reg.set("server.uptime_ms", uptimeMs());
+  return Reg.renderJson();
+}

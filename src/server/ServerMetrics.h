@@ -1,0 +1,106 @@
+//===- ServerMetrics.h - Server-wide telemetry aggregation ------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon-lifetime half of the metrics story. The per-check
+/// `Metrics` registry (support/Metrics.h) is reset at the start of
+/// every check() and describes exactly one compilation; ServerMetrics
+/// is the opposite: one instance per daemon process, shared by every
+/// session and connection, never reset, accumulating the server-level
+/// signals a single check() cannot see — requests and errors by method
+/// and code, request latency and admission queue-wait histograms,
+/// transport-layer frame rejections, session churn, peak queue depth,
+/// and uptime.
+///
+/// Rendering reuses the Metrics registry, so the `metrics` JSON-RPC
+/// method answers with the exact sorted {"counters", "histograms"}
+/// document shape `vaultc --stats-json` writes. Every counter and
+/// histogram is pre-seeded at construction: the key set of the
+/// rendered document is a compile-time constant, never a function of
+/// which requests happened to arrive first — tests pin it across job
+/// counts and cache temperature.
+///
+/// Thread safety: every member is safe to call from any session
+/// thread; a single mutex guards the registry (server request rates
+/// are far below the point where this lock matters, and the render
+/// path needs a consistent snapshot anyway).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_SERVER_SERVERMETRICS_H
+#define VAULT_SERVER_SERVERMETRICS_H
+
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace vault::server {
+
+class ServerMetrics {
+public:
+  ServerMetrics();
+
+  /// Microseconds since the daemon (this aggregator) started; the
+  /// timebase of every structured log event's "ts_us" field.
+  uint64_t nowUs() const;
+  uint64_t uptimeMs() const { return nowUs() / 1000; }
+
+  /// Process-unique ids, 1-based. Session ids tag every event a
+  /// session emits; request ids are server-wide so a merged trace or
+  /// log from many concurrent connections still orders uniquely.
+  uint64_t nextSessionId() { return ++SessionSeq; }
+  uint64_t nextRequestId() { return ++RequestSeq; }
+
+  void sessionOpened();
+  void sessionClosed();
+
+  /// One completed request. \p Method must be one of the known method
+  /// names (anything else is folded into "other"); \p ErrorCode is 0
+  /// for a success response, else the JSON-RPC error code sent.
+  void countRequest(const std::string &Method, int ErrorCode,
+                    uint64_t HandleUs, uint64_t QueueWaitUs, uint64_t BytesIn,
+                    uint64_t BytesOut);
+
+  /// One transport-layer frame rejection (FrameReader overflow):
+  /// \p DiscardedBytes of the line were dropped unparsed.
+  void countFrameOverflow(uint64_t DiscardedBytes);
+
+  /// Largest admission-queue depth observed so far (monotonic).
+  void recordQueueDepth(uint64_t Depth);
+
+  /// How many sessions are currently open (opened - closed).
+  uint64_t sessionsOpen() const;
+
+  /// Current value of one counter (0 when absent) — test/diagnostic
+  /// accessor mirroring Metrics::value.
+  uint64_t counter(const std::string &Name) const;
+
+  /// The aggregate registry as the sorted {"counters", "histograms"}
+  /// JSON document --stats-json uses. `server.uptime_ms` is stamped at
+  /// render time; every other key is pre-seeded, so the key set is
+  /// deterministic from the first request to the last.
+  std::string renderJson() const;
+
+private:
+  /// The pre-seeded counter name for a JSON-RPC error \p Code.
+  static const char *errorKindName(int Code);
+
+  const std::chrono::steady_clock::time_point Epoch;
+  std::atomic<uint64_t> SessionSeq{0};
+  std::atomic<uint64_t> RequestSeq{0};
+  mutable std::mutex Mu;
+  /// Mutable so renderJson (logically const) can stamp the uptime
+  /// counter at render time.
+  mutable Metrics Reg;
+};
+
+} // namespace vault::server
+
+#endif // VAULT_SERVER_SERVERMETRICS_H

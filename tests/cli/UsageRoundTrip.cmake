@@ -3,6 +3,8 @@
 # in the help text, and (2) every flag the help text advertises must be
 # accepted by the binary (no "unknown option"). Run with:
 #   cmake -DVAULTC=<path> -DVAULTC_SOURCE=<tools/vaultc.cpp> -P UsageRoundTrip.cmake
+# Optionally pass -DVAULTD=<path> -DVAULTD_SOURCE=<tools/vaultd.cpp> to
+# run the same round trip over the daemon's options.
 
 if(NOT VAULTC OR NOT VAULTC_SOURCE)
   message(FATAL_ERROR "pass -DVAULTC=<binary> -DVAULTC_SOURCE=<vaultc.cpp>")
@@ -71,3 +73,90 @@ foreach(F ${HELP_FLAGS})
 endforeach()
 
 message(STATUS "usage round trip OK: ${PARSED_FLAGS}")
+
+# --- vaultd -----------------------------------------------------------
+# The daemon gets the identical two-way check. Probes run it as a
+# stdio session reading /dev/null, so each one EOFs and exits at once;
+# --socket is the one exception (it would sit in accept(), not exit)
+# and is covered by the server.smoke_socket end-to-end test instead.
+if(VAULTD AND VAULTD_SOURCE)
+  execute_process(COMMAND ${VAULTD} --help
+    RESULT_VARIABLE DHELP_RC OUTPUT_VARIABLE DHELP_OUT ERROR_VARIABLE DHELP_ERR)
+  if(NOT DHELP_RC EQUAL 0)
+    message(FATAL_ERROR "vaultd --help exited with ${DHELP_RC}")
+  endif()
+  set(DHELP_TEXT "${DHELP_OUT}${DHELP_ERR}")
+  string(REGEX MATCHALL "--[a-z][a-z-]*" DHELP_FLAGS "${DHELP_TEXT}")
+  list(REMOVE_DUPLICATES DHELP_FLAGS)
+  # The usage text mentions client-side vaultc flags in its prose
+  # (e.g. which documents a check response embeds); only lines that
+  # start an option entry count as advertised daemon flags.
+  string(REGEX MATCHALL "\n  (--[a-z][a-z-]*)" DOPTION_LINES "${DHELP_TEXT}")
+  set(DHELP_FLAGS "")
+  foreach(M ${DOPTION_LINES})
+    string(REGEX MATCH "--[a-z][a-z-]*" F "${M}")
+    list(APPEND DHELP_FLAGS ${F})
+  endforeach()
+  list(REMOVE_DUPLICATES DHELP_FLAGS)
+
+  file(READ ${VAULTD_SOURCE} DSRC)
+  string(REGEX MATCHALL "A == \"(--[a-z][a-z-]*)\"" DEQ_MATCHES "${DSRC}")
+  string(REGEX MATCHALL "A\\.rfind\\(\"(--[a-z][a-z-]*)=" DPREFIX_MATCHES
+    "${DSRC}")
+  set(DPARSED_FLAGS "")
+  foreach(M ${DEQ_MATCHES} ${DPREFIX_MATCHES})
+    string(REGEX MATCH "--[a-z][a-z-]*" F "${M}")
+    list(APPEND DPARSED_FLAGS ${F})
+  endforeach()
+  list(REMOVE_DUPLICATES DPARSED_FLAGS)
+  list(LENGTH DPARSED_FLAGS N_DPARSED)
+  if(N_DPARSED LESS 5)
+    message(FATAL_ERROR "flag extraction from ${VAULTD_SOURCE} looks broken: "
+      "only found '${DPARSED_FLAGS}'")
+  endif()
+
+  foreach(F ${DPARSED_FLAGS})
+    list(FIND DHELP_FLAGS ${F} IDX)
+    if(IDX EQUAL -1)
+      message(FATAL_ERROR "flag '${F}' is parsed by vaultd but missing from "
+        "--help output:\n${DHELP_TEXT}")
+    endif()
+  endforeach()
+
+  foreach(F ${DHELP_FLAGS})
+    if(F STREQUAL "--help" OR F STREQUAL "--socket")
+      continue()
+    elseif(F STREQUAL "--jobs")
+      set(PROBE ${F} 1)
+    elseif(F STREQUAL "--cache-dir")
+      set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-vaultd-cache)
+    elseif(F STREQUAL "--max-queue")
+      set(PROBE ${F} 2)
+    elseif(F STREQUAL "--timeout-ms")
+      set(PROBE ${F} 1000)
+    elseif(F STREQUAL "--max-frame-bytes")
+      set(PROBE ${F} 1024)
+    elseif(F STREQUAL "--log-json")
+      set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-vaultd.log)
+    elseif(F STREQUAL "--slow-ms")
+      set(PROBE ${F} 5)
+    elseif(F STREQUAL "--trace-json")
+      set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-vaultd-trace.json)
+    else()
+      set(PROBE ${F})
+    endif()
+    execute_process(COMMAND ${VAULTD} ${PROBE}
+      INPUT_FILE /dev/null TIMEOUT 30
+      RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+    if("${ERR}" MATCHES "unknown option")
+      message(FATAL_ERROR "flag '${F}' is in vaultd --help but rejected: "
+        "${ERR}")
+    endif()
+    if(NOT RC EQUAL 0)
+      message(FATAL_ERROR "vaultd ${PROBE} against an empty session "
+        "exited with ${RC}: ${ERR}")
+    endif()
+  endforeach()
+
+  message(STATUS "vaultd usage round trip OK: ${DPARSED_FLAGS}")
+endif()

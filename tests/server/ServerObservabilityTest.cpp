@@ -1,0 +1,449 @@
+//===- ServerObservabilityTest.cpp - logs, metrics, traces ----------------===//
+//
+// The observability contract of the check server: every structured log
+// line is strict-parser-valid JSON matching the v1 schema, per-request
+// counter deltas sum to the session's final stats, the metrics/health
+// documents expose a deterministic key set regardless of job count or
+// cache temperature, request spans land in the tracer tagged with
+// session/request ids, and — the load-bearing guarantee — attaching
+// telemetry never changes a single response byte outside the
+// timing-valued stats histograms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace vault;
+using namespace vault::server;
+
+namespace {
+
+const char *Prelude = R"(interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+extern module Region : REGION;
+)";
+
+std::string libText() {
+  return std::string(Prelude) +
+         "void lib_ok(int n) {\n"
+         "  tracked region rgn = Region.create();\n"
+         "  Region.delete(rgn);\n"
+         "}\n";
+}
+
+std::string mainText(int Arg) {
+  return "void lib_ok(int n);\n"
+         "void main() {\n"
+         "  lib_ok(" + std::to_string(Arg) + ");\n"
+         "}\n";
+}
+
+std::string openRequest(int Id, const std::string &Name,
+                        const std::string &Text, bool Change = false) {
+  return "{\"jsonrpc\": \"2.0\", \"id\": " + std::to_string(Id) +
+         ", \"method\": \"" + (Change ? "change" : "open") +
+         "\", \"params\": {\"name\": " + json::str(Name) +
+         ", \"text\": " + json::str(Text) + "}}";
+}
+
+std::string rpc(int Id, const char *Method) {
+  return "{\"jsonrpc\": \"2.0\", \"id\": " + std::to_string(Id) +
+         ", \"method\": \"" + Method + "\"}";
+}
+
+/// Feeds a complete line through the frame-observation path (the one
+/// vaultd uses), so requests hit the log/metrics/trace sinks.
+std::string sendFramed(Workspace &Ws, const std::string &Line) {
+  FrameReader::Frame F;
+  F.K = FrameReader::Kind::Ok;
+  F.Line = Line;
+  return Ws.handleFrame(F);
+}
+
+json::Value parsed(const std::string &Doc) {
+  std::string Err;
+  std::optional<json::Value> V = json::parseJson(Doc, &Err);
+  EXPECT_TRUE(V.has_value()) << Doc << "\n" << Err;
+  return V ? *V : json::Value{};
+}
+
+/// A telemetry-enabled session whose log lands in a tmpfile the test
+/// reads back after the workspace closes.
+struct ObsFixture {
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  ServerMetrics SM;
+  std::FILE *LogFile = nullptr;
+  std::unique_ptr<ServerLog> Log;
+  Tracer Trc;
+  std::unique_ptr<Workspace> Ws;
+
+  explicit ObsFixture(unsigned Jobs = 1, uint64_t SlowMs = UINT64_MAX) {
+    Cfg.Jobs = Jobs;
+    LogFile = std::tmpfile();
+    EXPECT_NE(LogFile, nullptr);
+    Log = std::make_unique<ServerLog>(LogFile, /*Owned=*/false);
+    Ws = std::make_unique<Workspace>(Cfg, Gate, Store);
+    Telemetry Tel;
+    Tel.Log = Log.get();
+    Tel.Metrics = &SM;
+    Tel.Trc = &Trc;
+    Tel.SlowMs = SlowMs;
+    Ws->setTelemetry(Tel);
+  }
+
+  ~ObsFixture() {
+    // The workspace's destructor writes the session-close event, so it
+    // must die before the log's backing file is closed.
+    Ws.reset();
+    if (LogFile)
+      std::fclose(LogFile);
+  }
+
+  /// Destroys the workspace (emitting the session-close event) and
+  /// returns every log line written so far.
+  std::vector<std::string> closeAndReadLog() {
+    Ws.reset();
+    std::fflush(LogFile);
+    std::rewind(LogFile);
+    std::vector<std::string> Lines;
+    std::string Cur;
+    int C;
+    while ((C = std::fgetc(LogFile)) != EOF) {
+      if (C == '\n') {
+        Lines.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur.push_back(static_cast<char>(C));
+      }
+    }
+    EXPECT_TRUE(Cur.empty()) << "torn trailing log line: " << Cur;
+    return Lines;
+  }
+};
+
+/// Runs the reference session: open two buffers, cold check, warm
+/// check, edit, incremental check, one parse error, one oversized
+/// frame, stats. Returns the stats response.
+json::Value driveSession(ObsFixture &F) {
+  sendFramed(*F.Ws, openRequest(1, "lib.vlt", libText()));
+  sendFramed(*F.Ws, openRequest(2, "main.vlt", mainText(1)));
+  sendFramed(*F.Ws, rpc(3, "check"));
+  sendFramed(*F.Ws, rpc(4, "check"));
+  sendFramed(*F.Ws, openRequest(5, "main.vlt", mainText(2), /*Change=*/true));
+  sendFramed(*F.Ws, rpc(6, "check"));
+  sendFramed(*F.Ws, "this is not json");
+  FrameReader::Frame Big;
+  Big.K = FrameReader::Kind::Overflow;
+  Big.Line = "{\"jsonrpc\": \"2.0\", ";
+  Big.Discarded = 9000;
+  F.Ws->handleFrame(Big);
+  return parsed(sendFramed(*F.Ws, rpc(7, "stats")));
+}
+
+//===----------------------------------------------------------------------===//
+// Structured log schema
+//===----------------------------------------------------------------------===//
+
+TEST(ServerObservability, LogLinesParseStrictAndMatchSchema) {
+  ObsFixture F;
+  json::Value Stats = driveSession(F);
+  std::vector<std::string> Lines = F.closeAndReadLog();
+  ASSERT_GE(Lines.size(), 10u); // open + 8 requests + close.
+
+  uint64_t RequestEvents = 0, SessionEvents = 0;
+  uint64_t DeltaFlowChecks = 0, DeltaHits = 0, DeltaMisses = 0,
+           DeltaInvalidated = 0, DeltaFunctions = 0;
+  uint64_t LastRid = 0;
+  for (const std::string &Line : Lines) {
+    // Strict parse: the hardened request parser must accept every line
+    // the server's own log emits.
+    json::Value E = parsed(Line);
+    ASSERT_TRUE(E.isObject()) << Line;
+    ASSERT_TRUE(E.find("v")) << Line;
+    EXPECT_EQ(E.find("v")->Num, ServerLog::SchemaVersion) << Line;
+    ASSERT_TRUE(E.find("event") && E.find("event")->isString()) << Line;
+    ASSERT_TRUE(E.find("ts_us") && E.find("ts_us")->isNumber()) << Line;
+    ASSERT_TRUE(E.find("sid") && E.find("sid")->isNumber()) << Line;
+    EXPECT_EQ(E.find("sid")->Num, 1);
+
+    const std::string &Kind = E.find("event")->Str;
+    if (Kind == "session") {
+      ++SessionEvents;
+      ASSERT_TRUE(E.find("phase")) << Line;
+    } else if (Kind == "request") {
+      ++RequestEvents;
+      for (const char *Key : {"rid", "method", "outcome", "queue_wait_us",
+                              "handle_us", "bytes_in", "bytes_out"})
+        ASSERT_TRUE(E.find(Key)) << Key << " missing: " << Line;
+      // Request ids are strictly increasing within the session.
+      EXPECT_GT(E.find("rid")->Num, LastRid) << Line;
+      LastRid = static_cast<uint64_t>(E.find("rid")->Num);
+      const std::string &Outcome = E.find("outcome")->Str;
+      EXPECT_TRUE(Outcome == "ok" || Outcome == "error") << Line;
+      if (Outcome == "error")
+        ASSERT_TRUE(E.find("code")) << Line;
+      if (E.find("flow_checks_run")) {
+        DeltaFlowChecks += E.find("flow_checks_run")->Num;
+        DeltaHits += E.find("cache_hits")->Num;
+        DeltaMisses += E.find("cache_misses")->Num;
+        DeltaInvalidated += E.find("cache_invalidated")->Num;
+        DeltaFunctions += E.find("functions_checked")->Num;
+      }
+    } else {
+      EXPECT_TRUE(Kind == "admission" || Kind == "slow_request") << Line;
+    }
+  }
+  EXPECT_EQ(SessionEvents, 2u); // open + close.
+  EXPECT_EQ(RequestEvents, 9u);
+
+  // The per-request deltas sum to exactly the session's final totals.
+  const json::Value *Totals = Stats.find("result")->find("totals");
+  ASSERT_TRUE(Totals);
+  EXPECT_EQ(Totals->find("flowChecksRun")->Num, DeltaFlowChecks);
+  EXPECT_EQ(Totals->find("cacheHits")->Num, DeltaHits);
+  EXPECT_EQ(Totals->find("cacheMisses")->Num, DeltaMisses);
+  EXPECT_EQ(Totals->find("cacheInvalidated")->Num, DeltaInvalidated);
+  EXPECT_EQ(Totals->find("functionsChecked")->Num, DeltaFunctions);
+  // Three checks ran; the warm one must have hit the cache.
+  EXPECT_GE(DeltaFlowChecks, 2u);
+  EXPECT_GE(DeltaHits, 2u);
+}
+
+TEST(ServerObservability, SlowThresholdEmitsSlowRequestEvents) {
+  ObsFixture F(/*Jobs=*/1, /*SlowMs=*/0); // Everything is "slow" at 0ms.
+  sendFramed(*F.Ws, rpc(1, "stats"));
+  std::vector<std::string> Lines = F.closeAndReadLog();
+  bool SawSlow = false;
+  for (const std::string &Line : Lines) {
+    json::Value E = parsed(Line);
+    if (E.find("event")->Str == "slow_request") {
+      SawSlow = true;
+      ASSERT_TRUE(E.find("handle_us"));
+      ASSERT_TRUE(E.find("threshold_ms"));
+      EXPECT_EQ(E.find("threshold_ms")->Num, 0);
+    }
+  }
+  EXPECT_TRUE(SawSlow);
+}
+
+TEST(ServerObservability, FrameRejectsReachStatsAndMetrics) {
+  ObsFixture F;
+  json::Value Stats = driveSession(F);
+  const json::Value *Res = Stats.find("result");
+  ASSERT_TRUE(Res);
+  EXPECT_EQ(Res->find("framesRejected")->Num, 1);
+  EXPECT_EQ(Res->find("bytesDiscarded")->Num, 9000);
+  EXPECT_EQ(F.SM.counter("server.frames.overflow"), 1u);
+  EXPECT_EQ(F.SM.counter("server.frames.discarded_bytes"), 9000u);
+  // And the reader itself counts what it rejected.
+  FrameReader R(32);
+  R.feed(std::string(100, 'x') + "\n{\"a\": 1}\n");
+  FrameReader::Frame First = R.next();
+  EXPECT_EQ(First.K, FrameReader::Kind::Overflow);
+  EXPECT_EQ(First.Line.size() + First.Discarded, 100u);
+  EXPECT_EQ(R.overflowFrames(), 1u);
+  EXPECT_EQ(R.discardedBytes(), First.Discarded);
+  EXPECT_EQ(R.next().K, FrameReader::Kind::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics and health key-set determinism
+//===----------------------------------------------------------------------===//
+
+std::set<std::string> counterKeys(const std::string &MetricsDoc) {
+  json::Value Doc = parsed(MetricsDoc);
+  std::set<std::string> Keys;
+  const json::Value *Counters = Doc.find("counters");
+  if (Counters)
+    for (const auto &[K, V] : Counters->Members)
+      Keys.insert(K);
+  const json::Value *Hists = Doc.find("histograms");
+  if (Hists)
+    for (const auto &[K, V] : Hists->Members)
+      Keys.insert("hist:" + K);
+  return Keys;
+}
+
+std::set<std::string> topLevelKeys(const json::Value &Obj) {
+  std::set<std::string> Keys;
+  for (const auto &[K, V] : Obj.Members)
+    Keys.insert(K);
+  return Keys;
+}
+
+TEST(ServerObservability, MetricsKeySetIsTrafficJobAndCacheInvariant) {
+  // A freshly constructed aggregator already exposes the full key set…
+  std::set<std::string> ColdKeys = counterKeys(ServerMetrics().renderJson());
+  EXPECT_TRUE(ColdKeys.count("server.requests.check"));
+  EXPECT_TRUE(ColdKeys.count("server.errors.parse_error"));
+  EXPECT_TRUE(ColdKeys.count("hist:server.request_us"));
+
+  // …and traffic at any job count or cache temperature never adds or
+  // removes a key.
+  for (unsigned Jobs : {1u, 4u}) {
+    ObsFixture F(Jobs);
+    driveSession(F);
+    json::Value Cold =
+        parsed(sendFramed(*F.Ws, rpc(100, "metrics")));
+    driveSession(F); // Second pass: everything warm.
+    json::Value Warm =
+        parsed(sendFramed(*F.Ws, rpc(101, "metrics")));
+    for (const json::Value *Resp : {&Cold, &Warm}) {
+      const json::Value *Res = Resp->find("result");
+      ASSERT_TRUE(Res);
+      EXPECT_EQ(counterKeys(Res->find("metrics")->Str), ColdKeys);
+    }
+  }
+}
+
+TEST(ServerObservability, HealthKeySetAndGateCounters) {
+  ObsFixture F;
+  json::Value H = parsed(sendFramed(*F.Ws, rpc(1, "health")));
+  const json::Value *Res = H.find("result");
+  ASSERT_TRUE(Res);
+  std::set<std::string> Expect = {
+      "status",        "uptimeMs", "busy",           "queueDepth",
+      "peakQueueDepth", "maxQueue", "requestTimeoutMs", "sessionsOpen",
+      "buffersOpen"};
+  EXPECT_EQ(topLevelKeys(*Res), Expect);
+  EXPECT_EQ(Res->find("status")->Str, "ok");
+  EXPECT_EQ(Res->find("sessionsOpen")->Num, 1);
+  EXPECT_EQ(Res->find("maxQueue")->Num, 8);
+
+  driveSession(F);
+  json::Value H2 = parsed(sendFramed(*F.Ws, rpc(2, "health")));
+  EXPECT_EQ(topLevelKeys(*H2.find("result")), Expect);
+}
+
+TEST(ServerObservability, MetricsMethodWithoutAggregatorIsStructuredError) {
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  Workspace Ws(Cfg, Gate, Store);
+  json::Value R = parsed(Ws.handleLine(rpc(1, "metrics")));
+  ASSERT_TRUE(R.find("error"));
+  EXPECT_EQ(R.find("error")->find("code")->Num, InternalError);
+  // health still answers: it reads the gate, not the aggregator.
+  json::Value H = parsed(Ws.handleLine(rpc(2, "health")));
+  ASSERT_TRUE(H.find("result"));
+  EXPECT_EQ(H.find("result")->find("uptimeMs")->Num, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte identity with telemetry on
+//===----------------------------------------------------------------------===//
+
+/// The deterministic prefix of a check response: everything before the
+/// embedded stats document, whose wall-clock histograms are the one
+/// legitimately timing-dependent portion of the bytes.
+std::string deterministicPrefix(const std::string &Resp) {
+  size_t At = Resp.find(", \"stats\": ");
+  EXPECT_NE(At, std::string::npos) << Resp;
+  return Resp.substr(0, At);
+}
+
+TEST(ServerObservability, TelemetryNeverChangesResponseBytes) {
+  // Two sessions play the identical script; one is fully instrumented,
+  // one is bare. Every response outside the stats histograms must be
+  // byte-identical, cold and warm.
+  ObsFixture Instrumented;
+  Config Cfg;
+  Admission Gate{8, 30000};
+  CheckMemoryStore Store;
+  Workspace Bare(Cfg, Gate, Store);
+
+  std::vector<std::string> Script = {
+      openRequest(1, "lib.vlt", libText()),
+      openRequest(2, "main.vlt", mainText(1)),
+      rpc(3, "check"), // Cold.
+      rpc(4, "check"), // Warm.
+      openRequest(5, "main.vlt", mainText(2), /*Change=*/true),
+      rpc(6, "check"), // Incremental.
+      "not json at all",
+      rpc(7, "close"), // InvalidParams error path.
+  };
+  for (const std::string &Line : Script) {
+    std::string WithTel = sendFramed(*Instrumented.Ws, Line);
+    std::string Without = Bare.handleLine(Line);
+    if (WithTel.find("\"stats\": ") != std::string::npos) {
+      EXPECT_EQ(deterministicPrefix(WithTel), deterministicPrefix(Without))
+          << Line;
+    } else {
+      EXPECT_EQ(WithTel, Without) << Line;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Request-scoped tracing
+//===----------------------------------------------------------------------===//
+
+TEST(ServerObservability, RequestSpansCarrySessionAndRequestIds) {
+  ObsFixture F;
+  driveSession(F);
+  std::string TraceDoc = F.Trc.json();
+  json::Value Doc = parsed(TraceDoc);
+  const json::Value *Events = Doc.find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  uint64_t RequestSpans = 0, CheckSpans = 0, PassSpans = 0;
+  for (const json::Value &E : Events->Elems) {
+    const json::Value *Name = E.find("name");
+    ASSERT_TRUE(Name);
+    const json::Value *Args = E.find("args");
+    if (Name->Str == "request") {
+      ++RequestSpans;
+      ASSERT_TRUE(Args);
+      ASSERT_TRUE(Args->find("sid"));
+      ASSERT_TRUE(Args->find("rid"));
+      ASSERT_TRUE(Args->find("method"));
+      ASSERT_TRUE(Args->find("outcome"));
+      EXPECT_EQ(Args->find("sid")->Str, "1");
+    } else if (Name->Str == "check") {
+      ++CheckSpans;
+      ASSERT_TRUE(Args && Args->find("rid"));
+    } else if (Name->Str == "flow-check" || Name->Str == "parse-sources") {
+      ++PassSpans;
+    }
+  }
+  // One request span per frame, one check span per admitted check, and
+  // the compiler's own pass spans nested in the same tracer.
+  EXPECT_EQ(RequestSpans, 9u);
+  EXPECT_EQ(CheckSpans, 3u);
+  EXPECT_GE(PassSpans, 3u);
+}
+
+TEST(ServerObservability, SpanInventoryIsJobAndWarmthInvariant) {
+  auto NameSet = [](ObsFixture &F) {
+    std::set<std::string> Names;
+    json::Value Doc = parsed(F.Trc.json());
+    for (const json::Value &E : Doc.find("traceEvents")->Elems)
+      Names.insert(E.find("name")->Str);
+    return Names;
+  };
+  ObsFixture A(/*Jobs=*/1), B(/*Jobs=*/4);
+  driveSession(A);
+  driveSession(B);
+  driveSession(B); // Warm second pass must add no new span kinds.
+  std::set<std::string> NamesA = NameSet(A), NamesB = NameSet(B);
+  EXPECT_EQ(NamesA, NamesB);
+  EXPECT_TRUE(NamesA.count("request"));
+  EXPECT_TRUE(NamesA.count("check"));
+}
+
+} // namespace

@@ -25,6 +25,7 @@
 #include "support/Json.h"
 
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <csignal>
 #include <cstdio>
@@ -71,6 +72,10 @@ static void usage() {
       "  --via-socket      connect over a Unix socket (the daemon is\n"
       "                    told to listen on a temporary socket path)\n"
       "                    instead of stdio pipes\n"
+      "  --timings         print each request's round-trip latency on\n"
+      "                    stderr (client-side clock; complements the\n"
+      "                    handle_us field of the daemon's structured\n"
+      "                    log)\n"
       "\n"
       "options:\n"
       "  --jobs N          flow-check bodies on N worker threads; 0 or\n"
@@ -105,6 +110,7 @@ struct DaemonClient {
   std::string DaemonPath;
   std::string ScriptPath; ///< Empty = stdin.
   bool ViaSocket = false;
+  bool Timings = false; ///< --timings: per-request latency on stderr.
   std::vector<std::string> DaemonArgs;
 
   int run();
@@ -179,10 +185,13 @@ int DaemonClient::playScript(int InFd, int OutFd) {
   vault::server::FrameReader Responses(64u << 20);
   char Buf[64 * 1024];
   std::string Line;
+  unsigned RequestNo = 0;
   while (std::getline(*Script, Line)) {
     std::string Frame;
     if (!expandLine(Line, Frame))
       continue;
+    ++RequestNo;
+    auto SendAt = std::chrono::steady_clock::now();
     Frame += '\n';
     size_t Off = 0;
     while (Off < Frame.size()) {
@@ -200,6 +209,15 @@ int DaemonClient::playScript(int InFd, int OutFd) {
     for (;;) {
       vault::server::FrameReader::Frame R = Responses.next();
       if (R.K == vault::server::FrameReader::Kind::Ok) {
+        if (Timings) {
+          // Client-side clock: includes the wire, the daemon's queue
+          // wait and handling — what an editor integration would feel.
+          auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - SendAt)
+                        .count();
+          std::fprintf(stderr, "vaultc: request %u round-trip %lld us\n",
+                       RequestNo, static_cast<long long>(Us));
+        }
         std::printf("%s\n", R.Line.c_str());
         std::fflush(stdout);
         break;
@@ -320,7 +338,7 @@ int DaemonClient::run() {
 int main(int Argc, char **Argv) {
   bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
        Stats = false, TraceKeys = false, Explain = false;
-  bool DaemonClientMode = false, ViaSocket = false;
+  bool DaemonClientMode = false, ViaSocket = false, Timings = false;
   std::string ScriptPath;
   std::vector<std::string> DaemonArgs;
   unsigned Jobs = 0; // 0 = hardware concurrency.
@@ -366,6 +384,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (A == "--via-socket") {
       ViaSocket = true;
+    } else if (A == "--timings") {
+      Timings = true;
     } else if (A == "--") {
       // Everything after the separator goes to the spawned daemon.
       for (++I; I < Argc; ++I)
@@ -506,12 +526,13 @@ int main(int Argc, char **Argv) {
     DC.DaemonPath = Inputs[0];
     DC.ScriptPath = ScriptPath;
     DC.ViaSocket = ViaSocket;
+    DC.Timings = Timings;
     DC.DaemonArgs = DaemonArgs;
     return DC.run();
   }
-  if (!ScriptPath.empty() || ViaSocket || !DaemonArgs.empty()) {
+  if (!ScriptPath.empty() || ViaSocket || Timings || !DaemonArgs.empty()) {
     std::fprintf(stderr,
-                 "vaultc: --script, --via-socket and '--' require "
+                 "vaultc: --script, --via-socket, --timings and '--' require "
                  "--daemon-client\n");
     return 2;
   }

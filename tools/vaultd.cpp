@@ -40,8 +40,10 @@ static void usage() {
       "\n"
       "Long-lived check server speaking newline-delimited JSON-RPC.\n"
       "Methods: open {name,text}, change {name,text}, close {name},\n"
-      "check [{jobs}], stats, shutdown. Check responses embed the\n"
-      "--diagnostics-format=json and --stats-json documents verbatim.\n"
+      "check [{jobs}], stats, metrics, health, shutdown. Check\n"
+      "responses embed the --diagnostics-format=json and --stats-json\n"
+      "documents verbatim; metrics embeds the server-wide registry in\n"
+      "the same document shape.\n"
       "\n"
       "options:\n"
       "  --socket PATH     listen on a Unix socket instead of stdio;\n"
@@ -57,6 +59,13 @@ static void usage() {
       "                    failing (default 30000)\n"
       "  --max-frame-bytes N\n"
       "                    longest accepted request line (default 8M)\n"
+      "  --log-json PATH   append one JSON event line per request,\n"
+      "                    session, and admission reject ('-' = stderr;\n"
+      "                    stdout stays the wire protocol's)\n"
+      "  --slow-ms N       also log a slow_request event for requests\n"
+      "                    handled in >= N ms (requires --log-json)\n"
+      "  --trace-json PATH write one merged Chrome/Perfetto trace of\n"
+      "                    every session's request spans at exit\n"
       "  --help, -h        show this help\n");
 }
 
@@ -76,8 +85,10 @@ static bool parseU64(const std::string &Val, uint64_t Max, uint64_t &Out) {
 /// Serves one session over a pair of file descriptors. Returns when
 /// the client disconnects or requests shutdown.
 static void serveFd(int InFd, int OutFd, const server::Config &Cfg,
-                    server::Admission &Gate, CheckMemoryStore &Store) {
+                    server::Admission &Gate, CheckMemoryStore &Store,
+                    const server::Telemetry &Tel) {
   server::Workspace Ws(Cfg, Gate, Store);
+  Ws.setTelemetry(Tel);
   server::FrameReader Frames(Cfg.MaxFrameBytes);
   char Buf[64 * 1024];
   for (;;) {
@@ -115,6 +126,9 @@ static void serveFd(int InFd, int OutFd, const server::Config &Cfg,
 int main(int Argc, char **Argv) {
   server::Config Cfg;
   std::string SocketPath;
+  std::string LogPath;
+  std::string TracePath;
+  uint64_t SlowMs = UINT64_MAX;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     auto Value = [&](const char *Flag, size_t PrefixLen,
@@ -179,6 +193,21 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Cfg.MaxFrameBytes = static_cast<size_t>(N);
+    } else if (A == "--log-json" || A.rfind("--log-json=", 0) == 0) {
+      if (!Value("--log-json", 11, LogPath))
+        return 2;
+    } else if (A == "--slow-ms" || A.rfind("--slow-ms=", 0) == 0) {
+      if (!Value("--slow-ms", 10, Val))
+        return 2;
+      if (!parseU64(Val, 86400000, N)) {
+        std::fprintf(stderr, "vaultd: invalid --slow-ms value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      SlowMs = N;
+    } else if (A == "--trace-json" || A.rfind("--trace-json=", 0) == 0) {
+      if (!Value("--trace-json", 13, TracePath))
+        return 2;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -197,11 +226,48 @@ int main(int Argc, char **Argv) {
   server::Admission Gate(Cfg.MaxQueue, Cfg.RequestTimeoutMs);
   CheckMemoryStore Store;
 
+  // Daemon-wide telemetry. The aggregator is always live — the
+  // `metrics` and `health` methods must answer on an otherwise plain
+  // daemon — while the event log and tracer exist only when asked for.
+  server::ServerMetrics Metrics;
+  std::unique_ptr<server::ServerLog> Log;
+  if (!LogPath.empty()) {
+    std::string Err;
+    Log = server::ServerLog::open(LogPath, &Err);
+    if (!Log) {
+      std::fprintf(stderr, "vaultd: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  std::unique_ptr<Tracer> Trc;
+  if (!TracePath.empty())
+    Trc = std::make_unique<Tracer>();
+
+  server::Telemetry Tel;
+  Tel.Log = Log.get();
+  Tel.Metrics = &Metrics;
+  Tel.Trc = Trc.get();
+  Tel.SlowMs = SlowMs;
+
+  // Every session's spans land in the one tracer; the merged file is
+  // written when the daemon exits (shutdown request or EOF/last
+  // connection), so it covers the whole process lifetime.
+  auto WriteTrace = [&]() -> int {
+    if (!Trc)
+      return 0;
+    if (!Trc->writeJson(TracePath)) {
+      std::fprintf(stderr, "vaultd: cannot write trace file '%s'\n",
+                   TracePath.c_str());
+      return 2;
+    }
+    return 0;
+  };
+
   if (SocketPath.empty()) {
     // Stdio mode: one session, then exit. Exit status reflects a clean
     // shutdown (explicit request or EOF between frames).
-    serveFd(STDIN_FILENO, STDOUT_FILENO, Cfg, Gate, Store);
-    return 0;
+    serveFd(STDIN_FILENO, STDOUT_FILENO, Cfg, Gate, Store, Tel);
+    return WriteTrace();
   }
 
 #ifdef _WIN32
@@ -242,8 +308,9 @@ int main(int Argc, char **Argv) {
         continue;
       break;
     }
-    Sessions.emplace_back([Conn, &Cfg, &Gate, &Store, &Stop, Listen] {
+    Sessions.emplace_back([Conn, &Cfg, &Gate, &Store, &Tel, &Stop, Listen] {
       server::Workspace Ws(Cfg, Gate, Store);
+      Ws.setTelemetry(Tel);
       server::FrameReader Frames(Cfg.MaxFrameBytes);
       char Buf[64 * 1024];
       bool Alive = true;
@@ -288,6 +355,6 @@ int main(int Argc, char **Argv) {
     T.join();
   close(Listen);
   unlink(SocketPath.c_str());
-  return 0;
+  return WriteTrace();
 #endif
 }
