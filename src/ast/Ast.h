@@ -544,6 +544,8 @@ enum class StmtKind : uint8_t {
   Return,
   Switch,
   Free,
+  Borrow,
+  EndBorrow,
 };
 
 class Stmt {
@@ -663,6 +665,39 @@ public:
   FreeStmt(Expr *Operand, SourceLoc L) : Stmt(StmtKind::Free, L), Operand(Operand) {}
   Expr *operand() const { return Operand; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Free; }
+
+private:
+  Expr *Operand;
+};
+
+/// `borrow y = x;` — splits the tracked key of `x` into a fresh
+/// revocable alias key bound to `y`, valid until a matching
+/// `endborrow y;` revokes it (Typestate via Revocable Capabilities).
+class BorrowStmt : public Stmt {
+public:
+  BorrowStmt(std::string BinderName, Expr *Source, SourceLoc L)
+      : Stmt(StmtKind::Borrow, L), BinderName(std::move(BinderName)),
+        Source(Source) {}
+  const std::string &binderName() const { return BinderName; }
+  Expr *source() const { return Source; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Borrow; }
+
+private:
+  std::string BinderName;
+  Expr *Source;
+};
+
+/// `endborrow y;` — revokes the borrow key of `y`, restoring the
+/// borrowed-from key. The flow checker proves the borrow key dead on
+/// every path reaching this point.
+class EndBorrowStmt : public Stmt {
+public:
+  EndBorrowStmt(Expr *Operand, SourceLoc L)
+      : Stmt(StmtKind::EndBorrow, L), Operand(Operand) {}
+  Expr *operand() const { return Operand; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::EndBorrow;
+  }
 
 private:
   Expr *Operand;

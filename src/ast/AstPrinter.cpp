@@ -491,6 +491,23 @@ void AstPrinter::printStmt(std::string &Out, const Stmt *S, unsigned Indent) {
     Out += ");\n";
     return;
   }
+  case StmtKind::Borrow: {
+    const auto *B = cast<BorrowStmt>(S);
+    indent(Out, Indent);
+    Out += "borrow ";
+    Out += B->binderName();
+    Out += " = ";
+    printExpr(Out, B->source());
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::EndBorrow: {
+    indent(Out, Indent);
+    Out += "endborrow ";
+    printExpr(Out, cast<EndBorrowStmt>(S)->operand());
+    Out += ";\n";
+    return;
+  }
   }
 }
 

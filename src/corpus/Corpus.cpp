@@ -336,6 +336,41 @@ const std::vector<ProgramInfo> &vault::corpus::index() {
        "§6 GDI Fig.5-style join"},
       {"gdi/conditional_restore_fixed", true, {}, true, false,
        "§6 GDI join fixed"},
+      // --- The concurrency protocol domain (guarded-by + borrows) ---
+      {"locks/guarded_ok", true, {}, true, false, "§4.2 guarded cell"},
+      {"locks/borrow_loop_ok", true, {}, true, false,
+       "§4.2 borrow in a loop"},
+      {"locks/two_locks_ok", true, {}, true, false, "§4.2 two lock domains"},
+      {"locks/unguarded_access",
+       false,
+       {DiagId::FlowGuardWrongState},
+       true,
+       true,
+       "§4.2 unguarded cell write"},
+      {"locks/unlock_borrow_live",
+       false,
+       {DiagId::FlowGuardedBorrowLive},
+       true,
+       true,
+       "§4.2 unlock under live borrow"},
+      {"locks/use_after_revoke",
+       false,
+       {DiagId::FlowKeyNotHeld},
+       true,
+       true,
+       "§4.2 use after revoke"},
+      {"locks/conditional_endborrow",
+       false,
+       {DiagId::FlowJoinMismatch},
+       true,
+       false, // The default input revokes: a cold-path defect.
+       "§4.2 borrow join mismatch"},
+      {"locks/borrow_live_at_exit",
+       false,
+       {DiagId::FlowBorrowLiveAtExit},
+       true,
+       true, // The mutex leaks: visible to the leak tracker.
+       "§4.2 borrow live at exit"},
   };
   return Index;
 }

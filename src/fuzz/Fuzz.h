@@ -63,6 +63,9 @@ enum class MutationKind {
   WrongStateUse, ///< A resource is used after release / in a wrong state.
   OnePathLeak,   ///< A release is made conditional; one path leaks.
   DoubleAcquire, ///< A fresh-key introduction reuses a live key name.
+  UnguardedAccess,  ///< A guarded cell is created/used without the lock.
+  UnlockBorrowLive, ///< The guard mutex is released while a borrow lives.
+  UseAfterRevoke,   ///< A borrow alias is used after its endborrow.
 };
 
 const char *mutationName(MutationKind K);
@@ -80,7 +83,8 @@ struct GeneratedProgram {
   /// time (true = the release still executes, so the defect is cold).
   bool MutationIsCold = false;
   /// False for programs using features the C backend's runtime stub
-  /// does not model (sockets); the round-trip oracle skips those.
+  /// does not model (sockets, mutexes); the round-trip oracle skips
+  /// those.
   bool RoundtripEligible = true;
   /// Human-oriented note about the mutation site ("rgn3", "s1", ...).
   std::string MutationNote;

@@ -34,6 +34,12 @@ const char *vault::fuzz::mutationName(MutationKind K) {
     return "one-path-leak";
   case MutationKind::DoubleAcquire:
     return "double-acquire";
+  case MutationKind::UnguardedAccess:
+    return "unguarded-access";
+  case MutationKind::UnlockBorrowLive:
+    return "unlock-while-borrow-live";
+  case MutationKind::UseAfterRevoke:
+    return "use-after-revoke";
   }
   return "none";
 }
@@ -63,7 +69,7 @@ struct Script {
   std::vector<ScriptLine> Main;
   std::vector<MutPoint> Points;
   bool UsesRegion = false, UsesPoint = false, UsesHolds = false,
-       UsesSocket = false;
+       UsesSocket = false, UsesMutex = false;
 
   size_t line(std::string Text, int Indent = 1) {
     Main.push_back({std::move(Text), Indent});
@@ -367,6 +373,48 @@ void emitSocket(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
                 /*LeakIsHot=*/true);
 }
 
+void emitMutex(Script &S, Rng &R, int Id, std::vector<KeyIntro> &Keys) {
+  S.UsesMutex = true;
+  std::string N = std::to_string(Id);
+  std::string Mx = "mx" + N, Cell = "c" + N, Bor = "b" + N, MKey = "M" + N,
+              DKey = "D" + N;
+  Keys.push_back({S.line("tracked(" + MKey + ") mutex " + Mx +
+                         " = mutex_create();"),
+                  MKey});
+  size_t Acq = S.line("mutex_acquire(" + Mx + ");");
+  S.line("guarded<" + MKey + "> tracked(" + DKey + ") cell " + Cell +
+         " = cell_new(" + Mx + ", " + std::to_string(R.range(1, 9)) + ");");
+  int Ops = R.range(0, 2);
+  for (int I = 0; I < Ops; ++I)
+    S.line(Cell + ".val = " + Cell + ".val + " +
+           std::to_string(R.range(1, 5)) + ";");
+  size_t Borrow = S.line("borrow " + Bor + " = " + Cell + ";");
+  S.line(Bor + ".val = " + Bor + ".val * " + std::to_string(R.range(2, 3)) +
+         ";");
+  size_t End = S.line("endborrow " + Bor + ";");
+  S.line("print_int(" + Cell + ".val);");
+  S.line("free(" + Cell + ");");
+  size_t Rel = S.line("mutex_release(" + Mx + ");");
+  S.line("mutex_destroy(" + Mx + ");");
+  // The three concurrency-domain defect kinds, all hot: the generated
+  // run reaches every struck line.
+  // 1. Drop the acquire: the cell is created and used with the mutex
+  //    unlocked — every access is unguarded.
+  S.point(MutationKind::UnguardedAccess, MutOp::Erase, Acq, Mx, "", "",
+          /*Cold=*/false);
+  // 2. Release the guard while the borrow alias is still live: the
+  //    lock is yanked out from under the guarded borrow.
+  S.point(MutationKind::UnlockBorrowLive, MutOp::InsertAfter, Borrow, Bor,
+          "mutex_release(" + Mx + ");", "", /*Cold=*/false);
+  // 3. Use the alias after endborrow revoked it.
+  S.point(MutationKind::UseAfterRevoke, MutOp::InsertAfter, End, Bor,
+          Bor + ".val = " + Bor + ".val + 1;", "", /*Cold=*/false);
+  // The shared release-site strikes also apply to the mutex lifecycle:
+  // dropping the release leaves the mutex locked at destroy, and a
+  // doubled release trips the automaton — both visible to the run.
+  releasePoints(S, R, Rel, Mx, "", /*LeakIsHot=*/true, /*WrapLeak=*/false);
+}
+
 //===----------------------------------------------------------------------===//
 // Whole-program assembly
 //===----------------------------------------------------------------------===//
@@ -380,6 +428,7 @@ enum class FragKind {
   VariantLoop,
   HelperCalls,
   Socket,
+  Mutex,
   NumKinds
 };
 
@@ -418,6 +467,9 @@ Script buildScript(uint64_t Seed, unsigned Index) {
     case FragKind::Socket:
       emitSocket(S, R, Id, Keys);
       break;
+    case FragKind::Mutex:
+      emitMutex(S, R, Id, Keys);
+      break;
     case FragKind::NumKinds:
       break;
     }
@@ -453,6 +505,17 @@ std::string renderProgram(const Script &S, uint64_t Seed, unsigned Index,
     Out << "struct point { int x; int y; }\n";
   if (S.UsesHolds)
     Out << "variant holds<key K> [ 'Deleted | 'Alive {K} ];\n";
+  if (S.UsesMutex)
+    Out << "interface MUTEX {\n"
+           "  type mutex;\n"
+           "  struct cell { int val; }\n"
+           "  tracked(@unlocked) mutex mutex_create();\n"
+           "  void mutex_acquire(tracked(M) mutex) [M@unlocked->locked];\n"
+           "  void mutex_release(tracked(M) mutex) [M@locked->unlocked];\n"
+           "  void mutex_destroy(tracked(M) mutex) [-M@unlocked];\n"
+           "  guarded<M> tracked cell cell_new(tracked(M) mutex, int val) "
+           "[M@locked];\n"
+           "}\n";
   if (S.UsesSocket)
     Out << "type sock;\n"
            "variant domain [ 'UNIX | 'INET ];\n"
@@ -481,7 +544,7 @@ GeneratedProgram Generator::generate(unsigned Index) const {
   GeneratedProgram P;
   P.Name = "fuzz-s" + std::to_string(Seed) + "-p" + std::to_string(Index);
   P.Text = renderProgram(S, Seed, Index, MutationKind::None, "");
-  P.RoundtripEligible = !S.UsesSocket;
+  P.RoundtripEligible = !S.UsesSocket && !S.UsesMutex;
   return P;
 }
 
@@ -532,7 +595,7 @@ std::optional<GeneratedProgram> Generator::mutate(unsigned Index) const {
   G.Mutation = P.Label;
   G.ExpectClean = false;
   G.MutationIsCold = P.Cold;
-  G.RoundtripEligible = !S.UsesSocket;
+  G.RoundtripEligible = !S.UsesSocket && !S.UsesMutex;
   G.MutationNote = P.Note;
   return G;
 }

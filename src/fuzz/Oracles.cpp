@@ -49,7 +49,8 @@ DynamicRun vault::fuzz::runDynamic(VaultCompiler &C) {
       I.totalViolations() +
       static_cast<unsigned>(I.regions().leakedRegions().size()) +
       static_cast<unsigned>(I.sockets().leakedSockets().size()) +
-      static_cast<unsigned>(I.gdi().leakedDcs().size());
+      static_cast<unsigned>(I.gdi().leakedDcs().size()) +
+      static_cast<unsigned>(I.locks().leakedMutexes().size());
   std::string Out;
   for (const std::string &L : I.output())
     Out += L + "\n";

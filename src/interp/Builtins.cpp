@@ -160,6 +160,41 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
     return Value::arrayV(std::move(A));
   });
 
+  // -- Mutexes and guarded cells (the concurrency protocol domain) ------
+  I.registerBuiltin("mutex_create", [](Interp &It, std::vector<Value> &) {
+    return Value::handleV("mutex", It.locks().mutexCreate());
+  });
+  I.registerBuiltin("mutex_acquire", [](Interp &It, std::vector<Value> &Args) {
+    if (!Args.empty())
+      It.locks().acquire(Args[0].handle());
+    return Value::unit();
+  });
+  I.registerBuiltin("mutex_release", [](Interp &It, std::vector<Value> &Args) {
+    if (!Args.empty())
+      It.locks().release(Args[0].handle());
+    return Value::unit();
+  });
+  I.registerBuiltin("mutex_destroy", [](Interp &It, std::vector<Value> &Args) {
+    if (!Args.empty())
+      It.locks().destroy(Args[0].handle());
+    return Value::unit();
+  });
+  // cell_new(mutex, val): a tracked cell whose accesses require the
+  // mutex locked. Creating it is itself a guarded access.
+  I.registerBuiltin("cell_new", [](Interp &It, std::vector<Value> &Args) {
+    auto SD = std::make_shared<StructData>();
+    SD->Fields["val"] =
+        Value::intV(Args.size() >= 2 ? Args[1].asInt() : 0);
+    auto Cell = std::make_shared<CellData>();
+    Cell->Inner = std::make_shared<Value>(Value::structV(std::move(SD)));
+    if (!Args.empty() && Args[0].kind() == Value::Kind::Handle) {
+      Cell->GuardMutex = Args[0].handle();
+      if (!It.locks().isLocked(Cell->GuardMutex))
+        It.locks().unguardedAccess(Cell->GuardMutex, "cell_new");
+    }
+    return Value::trackedV(std::move(Cell));
+  });
+
   // -- Graphics device contexts (the §6 "graphic interfaces" domain) ----
   I.registerBuiltin("sim_window", [](Interp &It, std::vector<Value> &Args) {
     std::string Title =

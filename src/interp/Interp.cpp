@@ -19,6 +19,7 @@ unsigned Interp::totalViolations() const {
   N += Regions.violationCount();
   N += Sockets.violationCount();
   N += Gdi.violationCount();
+  N += Locks.violationCount();
   return N;
 }
 
@@ -169,6 +170,31 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
     violation("free of a non-tracked value");
     return Flow::Normal;
   }
+  case StmtKind::Borrow: {
+    // The alias gets its own cell sharing the source's storage, so
+    // revoking the borrow later does not kill the original.
+    const auto *B = cast<BorrowStmt>(S);
+    Value Src = evalExpr(B->source(), E);
+    if (Src.kind() == Value::Kind::Tracked && Src.cell()) {
+      auto Alias = std::make_shared<CellData>(*Src.cell());
+      Alias->Revoked = false;
+      E->Vars[B->binderName()] = Value::trackedV(std::move(Alias));
+    } else {
+      E->Vars[B->binderName()] = std::move(Src);
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::EndBorrow: {
+    Value V = evalExpr(cast<EndBorrowStmt>(S)->operand(), E);
+    if (V.kind() == Value::Kind::Tracked && V.cell()) {
+      if (V.cell()->Revoked)
+        violation("endborrow of an already-revoked borrow");
+      V.cell()->Revoked = true;
+    } else {
+      violation("endborrow of a non-borrowed value");
+    }
+    return Flow::Normal;
+  }
   }
   return Flow::Normal;
 }
@@ -182,6 +208,10 @@ Value Interp::derefForAccess(const Value &V, SourceLoc Loc, const char *What) {
   if (V.kind() != Value::Kind::Tracked || !V.cell())
     return V;
   const auto &C = V.cell();
+  if (C->Revoked) {
+    violation(std::string("use of revoked borrow: ") + What);
+    return Value::unit();
+  }
   if (!C->Alive) {
     violation(std::string("use after free: ") + What);
     return Value::unit();
@@ -190,6 +220,9 @@ Value Interp::derefForAccess(const Value &V, SourceLoc Loc, const char *What) {
     violation(std::string("dangling region access: ") + What);
     return Value::unit();
   }
+  // Guarded cell: the guarding mutex must be locked at every access.
+  if (C->GuardMutex != 0 && !Locks.isLocked(C->GuardMutex))
+    Locks.unguardedAccess(C->GuardMutex, What);
   return C->Inner ? *C->Inner : Value::unit();
 }
 
@@ -207,11 +240,18 @@ Value *Interp::evalLValue(const Expr *E, std::shared_ptr<Env> &Ev) {
     }
     Value Record = *Target;
     if (Record.kind() == Value::Kind::Tracked) {
+      if (Record.cell()->Revoked) {
+        violation("field access through revoked borrow");
+        return nullptr;
+      }
       if (!Record.cell()->Alive ||
           (Record.cell()->Region && !Regions.isLive(Record.cell()->Region))) {
         violation("field access through dead tracked object");
         return nullptr;
       }
+      if (Record.cell()->GuardMutex != 0 &&
+          !Locks.isLocked(Record.cell()->GuardMutex))
+        Locks.unguardedAccess(Record.cell()->GuardMutex, "field access");
       Record = Record.cell()->Inner ? *Record.cell()->Inner : Value::unit();
       if (Record.kind() == Value::Kind::Struct) {
         auto It = Record.structData()->Fields.find(F->field());

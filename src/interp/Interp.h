@@ -21,6 +21,7 @@
 
 #include "interp/Value.h"
 #include "gdi/Gdi.h"
+#include "locks/Mutex.h"
 #include "runtime/Region.h"
 #include "sema/Checker.h"
 #include "sockets/Socket.h"
@@ -51,6 +52,7 @@ public:
   rt::RegionManager &regions() { return Regions; }
   net::SocketWorld &sockets() { return Sockets; }
   gdi::GdiWorld &gdi() { return Gdi; }
+  lock::MutexWorld &locks() { return Locks; }
 
   void violation(const std::string &Msg) { Violations.push_back(Msg); }
   const std::vector<std::string> &violations() const { return Violations; }
@@ -103,6 +105,7 @@ private:
   rt::RegionManager Regions;
   net::SocketWorld Sockets;
   gdi::GdiWorld Gdi;
+  lock::MutexWorld Locks;
   std::vector<std::string> Violations;
   std::vector<std::string> Output;
   Value Result;

@@ -43,6 +43,12 @@ struct CellData {
   std::shared_ptr<Value> Inner;
   bool Alive = true;
   uint64_t Region = 0; ///< Owning region handle, 0 for `new tracked`.
+  /// Guarding mutex handle, 0 when unguarded. Accesses while the mutex
+  /// is not locked are recorded as unguarded-access violations.
+  uint64_t GuardMutex = 0;
+  /// Set when this cell is a borrow alias that has been revoked by
+  /// `endborrow`; any later access through it is a violation.
+  bool Revoked = false;
 };
 
 struct ArrayData {

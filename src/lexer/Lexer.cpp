@@ -39,6 +39,9 @@ static const std::unordered_map<std::string_view, TokKind> &keywordMap() {
       {"string", TokKind::KwString},
       {"true", TokKind::KwTrue},
       {"false", TokKind::KwFalse},
+      {"guarded", TokKind::KwGuarded},
+      {"borrow", TokKind::KwBorrow},
+      {"endborrow", TokKind::KwEndborrow},
   };
   return Map;
 }

@@ -68,6 +68,12 @@ const char *vault::tokKindName(TokKind K) {
     return "'true'";
   case TokKind::KwFalse:
     return "'false'";
+  case TokKind::KwGuarded:
+    return "'guarded'";
+  case TokKind::KwBorrow:
+    return "'borrow'";
+  case TokKind::KwEndborrow:
+    return "'endborrow'";
   case TokKind::LParen:
     return "'('";
   case TokKind::RParen:

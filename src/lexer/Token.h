@@ -59,6 +59,9 @@ enum class TokKind : uint8_t {
   KwString,
   KwTrue,
   KwFalse,
+  KwGuarded,   ///< guarded<K> T — lock-guarded type sugar.
+  KwBorrow,    ///< borrow y = x; — split a revocable alias key.
+  KwEndborrow, ///< endborrow y; — revoke the alias key.
 
   // Punctuation and operators.
   LParen,

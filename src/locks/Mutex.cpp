@@ -1,0 +1,131 @@
+//===- Mutex.cpp ----------------------------------------------------------===//
+
+#include "locks/Mutex.h"
+
+using namespace vault::lock;
+
+const char *vault::lock::mutexStateName(MutexState S) {
+  switch (S) {
+  case MutexState::Unlocked:
+    return "unlocked";
+  case MutexState::Locked:
+    return "locked";
+  case MutexState::Destroyed:
+    return "destroyed";
+  }
+  return "?";
+}
+
+const char *vault::lock::mutexErrorName(MutexError E) {
+  switch (E) {
+  case MutexError::Ok:
+    return "ok";
+  case MutexError::WrongState:
+    return "wrong-state";
+  case MutexError::BadHandle:
+    return "bad-handle";
+  }
+  return "?";
+}
+
+MutexWorld::Mtx *MutexWorld::get(Handle H) {
+  if (H < 1 || H > Mutexes.size() || !Mutexes[H - 1])
+    return nullptr;
+  return &*Mutexes[H - 1];
+}
+
+const MutexWorld::Mtx *MutexWorld::get(Handle H) const {
+  if (H < 1 || H > Mutexes.size() || !Mutexes[H - 1])
+    return nullptr;
+  return &*Mutexes[H - 1];
+}
+
+void MutexWorld::violation(const std::string &What, Handle H) {
+  ++Violations;
+  const Mtx *M = get(H);
+  Log.push_back(What + " on mutex #" + std::to_string(H) + " in state " +
+                (M ? mutexStateName(M->State) : "<dead>"));
+}
+
+MutexWorld::Handle MutexWorld::mutexCreate() {
+  Mutexes.emplace_back(Mtx{});
+  return Mutexes.size();
+}
+
+MutexError MutexWorld::acquire(Handle H) {
+  Mtx *M = get(H);
+  if (!M) {
+    violation("acquire", H);
+    return MutexError::BadHandle;
+  }
+  if (M->State != MutexState::Unlocked) {
+    violation("acquire", H);
+    return MutexError::WrongState;
+  }
+  M->State = MutexState::Locked;
+  ++M->AcquireCount;
+  return MutexError::Ok;
+}
+
+MutexError MutexWorld::release(Handle H) {
+  Mtx *M = get(H);
+  if (!M) {
+    violation("release", H);
+    return MutexError::BadHandle;
+  }
+  if (M->State != MutexState::Locked) {
+    violation("release", H);
+    return MutexError::WrongState;
+  }
+  M->State = MutexState::Unlocked;
+  return MutexError::Ok;
+}
+
+MutexError MutexWorld::destroy(Handle H) {
+  Mtx *M = get(H);
+  if (!M) {
+    violation("destroy", H);
+    return MutexError::BadHandle;
+  }
+  if (M->State != MutexState::Unlocked) {
+    violation("destroy", H);
+    return MutexError::WrongState;
+  }
+  M->State = MutexState::Destroyed;
+  return MutexError::Ok;
+}
+
+void MutexWorld::unguardedAccess(Handle H, const std::string &What) {
+  violation(What, H);
+}
+
+MutexState MutexWorld::stateOf(Handle H) const {
+  const Mtx *M = get(H);
+  return M ? M->State : MutexState::Destroyed;
+}
+
+bool MutexWorld::isLocked(Handle H) const {
+  const Mtx *M = get(H);
+  return M && M->State == MutexState::Locked;
+}
+
+bool MutexWorld::isLive(Handle H) const {
+  const Mtx *M = get(H);
+  return M && M->State != MutexState::Destroyed;
+}
+
+size_t MutexWorld::liveCount() const {
+  size_t N = 0;
+  for (const auto &M : Mutexes)
+    if (M && M->State != MutexState::Destroyed)
+      ++N;
+  return N;
+}
+
+std::vector<MutexWorld::Handle> MutexWorld::leakedMutexes() const {
+  std::vector<Handle> Out;
+  for (size_t I = 0; I != Mutexes.size(); ++I)
+    if (Mutexes[I] && Mutexes[I]->State != MutexState::Destroyed)
+      Out.push_back(I + 1);
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- Mutex.h - Guarded-by mutex substrate ---------------------*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic in-memory mutex substrate for the concurrency protocol
+/// domain. The object under study is the lock-discipline automaton
+///
+///     unlocked --acquire--> locked --release--> unlocked --destroy--> (gone)
+///
+/// plus the guarded-by relation: cells created against a mutex may only
+/// be accessed while that mutex is held in the `locked` state. Every
+/// operation checks the mutex's dynamic state and records a protocol
+/// violation when misused, providing the run-time oracle that the
+/// static lock-discipline flow analysis is evaluated against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_LOCKS_MUTEX_H
+#define VAULT_LOCKS_MUTEX_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vault::lock {
+
+enum class MutexState : uint8_t {
+  Unlocked,
+  Locked,
+  Destroyed,
+};
+
+const char *mutexStateName(MutexState S);
+
+enum class MutexError : uint8_t {
+  Ok,
+  WrongState, ///< Operation applied in the wrong protocol state.
+  BadHandle,  ///< Unknown or destroyed mutex handle.
+};
+
+const char *mutexErrorName(MutexError E);
+
+/// An in-process world of mutexes. All operations are non-blocking and
+/// deterministic: "acquire" on a locked mutex is a protocol violation
+/// (a self-deadlock in the single-threaded dynamic oracle), not a wait.
+class MutexWorld {
+public:
+  using Handle = uint64_t;
+
+  /// Creates a mutex in the "unlocked" state.
+  Handle mutexCreate();
+
+  /// unlocked -> locked.
+  MutexError acquire(Handle H);
+
+  /// locked -> unlocked.
+  MutexError release(Handle H);
+
+  /// unlocked -> destroyed. Destroying a locked mutex is a violation.
+  MutexError destroy(Handle H);
+
+  /// Records an unguarded access: a guarded cell was touched while its
+  /// mutex was not held in the locked state.
+  void unguardedAccess(Handle H, const std::string &What);
+
+  MutexState stateOf(Handle H) const;
+  bool isLocked(Handle H) const;
+  bool isLive(Handle H) const;
+  size_t liveCount() const;
+
+  /// Mutexes never destroyed (the dynamic analogue of a leaked key).
+  std::vector<Handle> leakedMutexes() const;
+
+  /// Count of operations applied in a protocol-violating state,
+  /// including unguarded cell accesses.
+  unsigned violationCount() const { return Violations; }
+
+  /// Log of violations (operation name + state), for the test oracle.
+  const std::vector<std::string> &violationLog() const { return Log; }
+
+private:
+  struct Mtx {
+    MutexState State = MutexState::Unlocked;
+    unsigned AcquireCount = 0;
+  };
+
+  Mtx *get(Handle H);
+  const Mtx *get(Handle H) const;
+  void violation(const std::string &What, Handle H);
+
+  std::vector<std::optional<Mtx>> Mutexes;
+  unsigned Violations = 0;
+  std::vector<std::string> Log;
+};
+
+} // namespace vault::lock
+
+#endif // VAULT_LOCKS_MUTEX_H

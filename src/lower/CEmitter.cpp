@@ -124,9 +124,11 @@ std::string CEmitter::cType(const TypeExprAst *T) {
     return Inner;
   }
   case TypeExprKind::Guarded: {
-    // Guard erased; region-allocated records are pointers.
+    // Guard erased; region-allocated records are pointers. A
+    // guarded<M> tracked T inner has already become a pointer — do
+    // not add a second level of indirection.
     std::string Inner = cType(cast<GuardedTypeExpr>(T)->inner());
-    if (Inner.rfind("struct ", 0) == 0)
+    if (Inner.rfind("struct ", 0) == 0 && Inner.back() != '*')
       return Inner + " *";
     return Inner;
   }
@@ -545,6 +547,20 @@ void CEmitter::emitStmt(const Stmt *S) {
     stmt("free((void *)(uintptr_t)" + emitExpr(cast<FreeStmt>(S)->operand()) +
          ")");
     return;
+  case StmtKind::Borrow: {
+    // A borrow is an alias of the same underlying storage; the borrow
+    // discipline itself is compile-time only.
+    const auto *B = cast<BorrowStmt>(S);
+    CExpr Src = emitExprT(B->source());
+    std::string Ty = !Src.Ty.empty() ? Src.Ty : std::string("void *");
+    LocalCTypes[B->binderName()] = Ty;
+    stmt(Ty + " " + B->binderName() + " = " + Src.Text);
+    return;
+  }
+  case StmtKind::EndBorrow:
+    // Revocation is erased at the C level.
+    stmt("(void)" + emitExpr(cast<EndBorrowStmt>(S)->operand()));
+    return;
   }
 }
 
@@ -847,6 +863,13 @@ void CEmitter::collectCaptures(const Stmt *S, std::set<std::string> &Bound,
       }
       case StmtKind::Free:
         expr(cast<FreeStmt>(St)->operand());
+        return;
+      case StmtKind::Borrow:
+        expr(cast<BorrowStmt>(St)->source());
+        Bound.insert(cast<BorrowStmt>(St)->binderName());
+        return;
+      case StmtKind::EndBorrow:
+        expr(cast<EndBorrowStmt>(St)->operand());
         return;
       }
     }

@@ -212,6 +212,35 @@ TypeExprAst *Parser::parseTypeNoGuard() {
                                        Inner, L);
     break;
   }
+  case TokKind::KwGuarded: {
+    // `guarded<K> T` / `guarded<K@state> T`: keyword sugar for the
+    // guard-prefix form `K@locked : T`, defaulting the guard state to
+    // the mutex substrate's `locked`.
+    consume();
+    if (!expect(TokKind::Less, "after 'guarded'"))
+      return nullptr;
+    std::vector<KeyStateRef> Guards;
+    do {
+      KeyStateRef Ref;
+      if (!parseKeyStateRef(Ref))
+        return nullptr;
+      if (!Ref.State) {
+        StateExprAst Locked;
+        Locked.K = StateExprAst::Kind::Name;
+        Locked.Name = "locked";
+        Locked.Loc = Ref.Loc;
+        Ref.State = std::move(Locked);
+      }
+      Guards.push_back(std::move(Ref));
+    } while (accept(TokKind::Comma));
+    if (!expect(TokKind::Greater, "after guarded key"))
+      return nullptr;
+    TypeExprAst *Inner = parseTypeNoGuard();
+    if (!Inner)
+      return nullptr;
+    Base = Ctx.create<GuardedTypeExpr>(std::move(Guards), Inner, L);
+    break;
+  }
   case TokKind::LParen: {
     consume();
     std::vector<TypeExprAst *> Elems;
@@ -753,6 +782,33 @@ Stmt *Parser::parseFree() {
   return Ctx.create<FreeStmt>(Operand, L);
 }
 
+Stmt *Parser::parseBorrow() {
+  SourceLoc L = consume().Loc; // 'borrow'
+  if (!at(TokKind::Identifier)) {
+    error(DiagId::ParseExpected, "expected borrow binder name");
+    return nullptr;
+  }
+  std::string Binder = consume().Text;
+  if (!expect(TokKind::Equal, "after borrow binder"))
+    return nullptr;
+  Expr *Source = parseExpr();
+  if (!Source)
+    return nullptr;
+  if (!expect(TokKind::Semi, "after borrow statement"))
+    return nullptr;
+  return Ctx.create<BorrowStmt>(std::move(Binder), Source, L);
+}
+
+Stmt *Parser::parseEndBorrow() {
+  SourceLoc L = consume().Loc; // 'endborrow'
+  Expr *Operand = parseExpr();
+  if (!Operand)
+    return nullptr;
+  if (!expect(TokKind::Semi, "after endborrow statement"))
+    return nullptr;
+  return Ctx.create<EndBorrowStmt>(Operand, L);
+}
+
 Stmt *Parser::parseSwitch() {
   SourceLoc L = consume().Loc; // 'switch'
   if (!expect(TokKind::LParen, "after 'switch'"))
@@ -824,7 +880,7 @@ Stmt *Parser::tryParseLocalDecl() {
   // Fast negative checks: a declaration must start with a type.
   if (!atOneOf({TokKind::KwInt, TokKind::KwBool, TokKind::KwByte,
                 TokKind::KwVoid, TokKind::KwString, TokKind::KwTracked,
-                TokKind::Identifier, TokKind::LParen}))
+                TokKind::KwGuarded, TokKind::Identifier, TokKind::LParen}))
     return nullptr;
 
   Snapshot Snap = save();
@@ -900,6 +956,10 @@ Stmt *Parser::parseStmtImpl() {
     return parseSwitch();
   case TokKind::KwFree:
     return parseFree();
+  case TokKind::KwBorrow:
+    return parseBorrow();
+  case TokKind::KwEndborrow:
+    return parseEndBorrow();
   case TokKind::Semi:
     consume();
     return Ctx.create<BlockStmt>(std::vector<Stmt *>{}, tok().Loc);

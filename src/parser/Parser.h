@@ -103,6 +103,8 @@ private:
   Stmt *parseReturn();
   Stmt *parseSwitch();
   Stmt *parseFree();
+  Stmt *parseBorrow();
+  Stmt *parseEndBorrow();
   /// Tries to parse a local declaration (variable or nested function);
   /// returns nullptr without diagnostics if the lookahead is not a
   /// declaration.

@@ -36,6 +36,8 @@ unsigned Cfg::lowerStmt(const Stmt *S, unsigned Cur) {
   case StmtKind::Decl:
   case StmtKind::Expr:
   case StmtKind::Free:
+  case StmtKind::Borrow:
+  case StmtKind::EndBorrow:
     Nodes[Cur].Stmts.push_back(S);
     return Cur;
   case StmtKind::Return:

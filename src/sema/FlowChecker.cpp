@@ -57,28 +57,62 @@ void FlowChecker::bindLocal(const std::string &Name,
 // Access checking (type guards)
 //===----------------------------------------------------------------------===//
 
+const Type *FlowChecker::peelGuards(const Type *T, SourceLoc Loc,
+                                    FlowState &St,
+                                    std::vector<GuardedType::Guard> *Collect) {
+  while (const auto *G = dyn_cast<GuardedType>(T)) {
+    for (const GuardedType::Guard &Gu : G->guards()) {
+      if (Collect)
+        Collect->push_back(Gu);
+      if (!St.Held.contains(Gu.Key)) {
+        report(DiagId::FlowGuardNotHeld, Loc,
+               "cannot access data guarded by key " + keyDesc(Gu.Key) +
+                   ": the key is not in the held-key set");
+        explainKey(St, Gu.Key);
+        continue;
+      }
+      const StateRef &Held = St.Held.stateOf(Gu.Key);
+      if (!stateSatisfies(Held, Gu.Required, TC.keys().order(Gu.Key))) {
+        report(DiagId::FlowGuardWrongState, Loc,
+               "key " + keyDesc(Gu.Key) + " is held in state '" + Held.str() +
+                   "' but the guard requires '" + Gu.Required.str() + "'");
+        explainKey(St, Gu.Key);
+      }
+    }
+    T = G->inner();
+  }
+  return T;
+}
+
+void FlowChecker::checkBorrowGuards(KeySym K, const StateRef *NewState,
+                                    SourceLoc Loc, FlowState &St) {
+  for (const auto &[B, Info] : St.Borrows) {
+    if (!St.Held.contains(B))
+      continue;
+    for (const GuardedType::Guard &Gu : Info.Guards) {
+      if (Gu.Key != K)
+        continue;
+      if (NewState && stateSatisfies(*NewState, Gu.Required,
+                                     TC.keys().order(K)))
+        continue; // Transition keeps the guard satisfied.
+      report(DiagId::FlowGuardedBorrowLive, Loc,
+             NewState ? "cannot move guard key " + keyDesc(K) +
+                            " out of state '" + Gu.Required.str() +
+                            "' while borrow " + keyDesc(B) +
+                            " guarded by it is still live"
+                      : "cannot give up guard key " + keyDesc(K) +
+                            " while borrow " + keyDesc(B) +
+                            " guarded by it is still live");
+      explainKey(St, B);
+    }
+  }
+}
+
 const Type *FlowChecker::requireAccess(const Type *T, SourceLoc Loc,
                                        FlowState &St) {
   for (;;) {
-    if (const auto *G = dyn_cast<GuardedType>(T)) {
-      for (const GuardedType::Guard &Gu : G->guards()) {
-        if (!St.Held.contains(Gu.Key)) {
-          report(DiagId::FlowGuardNotHeld, Loc,
-                 "cannot access data guarded by key " + keyDesc(Gu.Key) +
-                     ": the key is not in the held-key set");
-          explainKey(St, Gu.Key);
-          continue;
-        }
-        const StateRef &Held = St.Held.stateOf(Gu.Key);
-        if (!stateSatisfies(Held, Gu.Required, TC.keys().order(Gu.Key))) {
-          report(DiagId::FlowGuardWrongState, Loc,
-                 "key " + keyDesc(Gu.Key) + " is held in state '" +
-                     Held.str() + "' but the guard requires '" +
-                     Gu.Required.str() + "'");
-          explainKey(St, Gu.Key);
-        }
-      }
-      T = G->inner();
+    if (isa<GuardedType>(T)) {
+      T = peelGuards(T, Loc, St);
       continue;
     }
     if (const auto *Tr = dyn_cast<TrackedType>(T)) {
@@ -121,6 +155,7 @@ void FlowChecker::packValue(const Type *ParamT, const Type *ArgT,
                    Req.str() + "' to be packed here");
         explainKey(St, K);
       }
+      checkBorrowGuards(K, nullptr, Loc, St);
       St.Held.remove(K);
       ++KeysetOps;
       provStep(St, K, Loc, "was given up (packed into an existential) here");
@@ -145,6 +180,7 @@ void FlowChecker::packValue(const Type *ParamT, const Type *ArgT,
                      ": it is not in the held-key set");
           explainKey(St, K);
         } else {
+          checkBorrowGuards(K, nullptr, Loc, St);
           St.Held.remove(K);
           ++KeysetOps;
           provStep(St, K, Loc,
@@ -244,6 +280,33 @@ const Type *FlowChecker::coerceInit(const Type *DeclType, ExprResult From,
            "tracked variable requires a tracked initializer, got '" +
                typeStr(FromT, TC.keys()) + "'");
     return ErrTy();
+  }
+
+  // Guarded-to-guarded with matching guard sets recurses on the inner
+  // types, so a packed guarded rvalue (e.g. a `guarded<M> tracked T`
+  // return value) unpacks into a guarded location — generating the
+  // fresh key and binding the declared binder — while keeping the
+  // guards on the location's flow type.
+  if (const auto *GD = dyn_cast<GuardedType>(DeclType)) {
+    if (const auto *GF = dyn_cast<GuardedType>(FromT);
+        GF && GD->guards().size() == GF->guards().size()) {
+      bool SameGuards = true;
+      for (size_t I = 0; I != GD->guards().size(); ++I)
+        if (GD->guards()[I].Key != GF->guards()[I].Key ||
+            !(GD->guards()[I].Required == GF->guards()[I].Required))
+          SameGuards = false;
+      if (SameGuards) {
+        ExprResult InnerFrom = From;
+        InnerFrom.Ty = GF->inner();
+        const Type *InnerT =
+            coerceInit(GD->inner(), InnerFrom, Loc, St, BinderName);
+        if (!InnerT || InnerT->kind() == TyKind::Error)
+          return ErrTy();
+        std::vector<GuardedType::Guard> Gs(GD->guards().begin(),
+                                           GD->guards().end());
+        return TC.make<GuardedType>(std::move(Gs), InnerT);
+      }
+    }
   }
 
   if (typeEquals(DeclType, FromT))
@@ -415,6 +478,7 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
         break;
       }
       if (EI.M == EffectItem::Mode::Consume) {
+        checkBorrowGuards(K, nullptr, Loc, St);
         St.Held.remove(K);
         ++KeysetOps;
         provStep(St, K, Loc,
@@ -422,6 +486,7 @@ FlowChecker::checkCall(const FuncSig *CalleeSig,
                      "' (effect [-" + TC.keys().name(EI.Key) + "])");
       } else if (EI.Post) {
         StateRef Post = substState(*EI.Post, S);
+        checkBorrowGuards(K, &Post, Loc, St);
         St.Held.transition(K, Post);
         ++KeysetOps;
         provStep(St, K, Loc,
@@ -638,6 +703,7 @@ FlowChecker::ExprResult FlowChecker::checkCtor(const CtorExpr *E,
                  "', but it is held in state '" + Held.str() + "'");
       explainKey(St, Att.Key);
     }
+    checkBorrowGuards(Att.Key, nullptr, E->loc(), St);
     St.Held.remove(Att.Key);
     ++KeysetOps;
     provStep(St, Att.Key, E->loc(),
@@ -1115,7 +1181,13 @@ void FlowChecker::checkFree(const FreeStmt *S, FlowState &St) {
   ExprResult R = checkExpr(S->operand(), St);
   if (!R.Ty || R.Ty->kind() == TyKind::Error)
     return;
-  if (const auto *Tr = dyn_cast<TrackedType>(R.Ty)) {
+  // Freeing a guarded value is a guarded access: the guard keys must be
+  // held in their required states at the free site.
+  const Type *T = R.Ty;
+  if (isa<GuardedType>(T))
+    T = peelGuards(T, S->loc(), St);
+  if (const auto *Tr = dyn_cast<TrackedType>(T)) {
+    checkBorrowGuards(Tr->key(), nullptr, S->loc(), St);
     if (St.Held.remove(Tr->key())) {
       ++KeysetOps;
       provStep(St, Tr->key(), S->loc(), "was released by this free");
@@ -1127,11 +1199,109 @@ void FlowChecker::checkFree(const FreeStmt *S, FlowState &St) {
     }
     return;
   }
-  if (isa<AnonTrackedType>(R.Ty))
+  if (isa<AnonTrackedType>(T))
     return; // A packed rvalue owns its key; freeing it is balanced.
   report(DiagId::SemaNotTracked, S->loc(),
          "free() requires a tracked value, got '" +
              typeStr(R.Ty, TC.keys()) + "'");
+}
+
+void FlowChecker::checkBorrow(const BorrowStmt *S, FlowState &St) {
+  if (scope().definesValueLocally(S->binderName()))
+    report(DiagId::SemaRedefinition, S->loc(),
+           "redefinition of '" + S->binderName() + "'");
+
+  ExprResult R = checkExpr(S->source(), St);
+  const Type *BT = ErrTy();
+  std::vector<GuardedType::Guard> Guards;
+  if (R.Ty && R.Ty->kind() != TyKind::Error) {
+    // Borrowing a guarded value is itself a guarded access, and the
+    // peeled guards become the borrow's revocation dependencies.
+    const Type *T = peelGuards(R.Ty, S->loc(), St, &Guards);
+    if (const auto *Tr = dyn_cast<TrackedType>(T)) {
+      KeySym K = Tr->key();
+      if (!St.Held.contains(K)) {
+        report(DiagId::FlowKeyNotHeld, S->loc(),
+               "cannot borrow: key " + keyDesc(K) +
+                   " is not in the held-key set");
+        explainKey(St, K);
+      } else {
+        // Split: the parent key leaves the held set (its owner is
+        // frozen) and a fresh alias key takes over its state.
+        StateRef Cur = St.Held.stateOf(K);
+        St.Held.remove(K);
+        KeySym B = TC.keys().create(S->binderName(), KeyTable::Origin::Local,
+                                    S->loc());
+        St.Held.add(B, Cur);
+        KeysetOps += 2;
+        provStep(St, B, S->loc(),
+                 "was split from key " + keyDesc(K) + " by this borrow");
+        BorrowInfo Info;
+        Info.Parent = K;
+        Info.Guards = Guards;
+        St.Borrows[B] = std::move(Info);
+        const Type *Inner = TC.make<TrackedType>(Tr->inner(), B);
+        BT = Guards.empty()
+                 ? Inner
+                 : TC.make<GuardedType>(
+                       std::vector<GuardedType::Guard>(Guards), Inner);
+      }
+    } else if (T->kind() != TyKind::Error) {
+      report(DiagId::SemaNotTracked, S->loc(),
+             "borrow requires a tracked value, got '" +
+                 typeStr(R.Ty, TC.keys()) + "'");
+    }
+  }
+
+  ElabScope::ValueInfo Info;
+  Info.Id = S;
+  Info.DeclaredType = BT;
+  Info.Loc = S->loc();
+  bindLocal(S->binderName(), Info);
+  St.Vars[S] = BT;
+}
+
+void FlowChecker::checkEndBorrow(const EndBorrowStmt *S, FlowState &St) {
+  ExprResult R = checkExpr(S->operand(), St);
+  if (!R.Ty || R.Ty->kind() == TyKind::Error)
+    return;
+  const Type *T = R.Ty;
+  while (const auto *G = dyn_cast<GuardedType>(T))
+    T = G->inner(); // Revocation is not an access: peel silently.
+  const auto *Tr = dyn_cast<TrackedType>(T);
+  if (!Tr) {
+    report(DiagId::FlowBorrowNotLive, S->loc(),
+           "endborrow requires a borrowed tracked value, got '" +
+               typeStr(R.Ty, TC.keys()) + "'");
+    return;
+  }
+  KeySym B = Tr->key();
+  auto It = St.Borrows.find(B);
+  if (It == St.Borrows.end()) {
+    report(DiagId::FlowBorrowNotLive, S->loc(),
+           "key " + keyDesc(B) + " is not a live borrow at this endborrow");
+    explainKey(St, B);
+    return;
+  }
+  KeySym Parent = It->second.Parent;
+  if (!St.Held.contains(B)) {
+    report(DiagId::FlowBorrowNotLive, S->loc(),
+           "borrow " + keyDesc(B) +
+               " was already given up before this endborrow");
+    explainKey(St, B);
+    St.Held.add(Parent, StateRef::top());
+    St.Borrows.erase(It);
+    return;
+  }
+  // Revoke: the alias key dies; its current state flows back to the
+  // parent, so transitions made through the borrow survive.
+  StateRef Cur = St.Held.stateOf(B);
+  St.Held.remove(B);
+  St.Held.add(Parent, Cur);
+  KeysetOps += 2;
+  provStep(St, Parent, S->loc(),
+           "was restored by revoking borrow " + keyDesc(B) + " here");
+  St.Borrows.erase(It);
 }
 
 void FlowChecker::checkSwitch(const SwitchStmt *S, FlowState &St) {
@@ -1145,6 +1315,7 @@ void FlowChecker::checkSwitch(const SwitchStmt *S, FlowState &St) {
     // (the paper's `flag` idiom, §2.1).
     VT = dyn_cast<VariantType>(Tr->inner());
     if (VT) {
+      checkBorrowGuards(Tr->key(), nullptr, S->loc(), St);
       if (St.Held.remove(Tr->key())) {
         ++KeysetOps;
         provStep(St, Tr->key(), S->loc(),
@@ -1364,6 +1535,12 @@ void FlowChecker::checkStmtInner(const Stmt *S, FlowState &St) {
   case StmtKind::Free:
     checkFree(cast<FreeStmt>(S), St);
     return;
+  case StmtKind::Borrow:
+    checkBorrow(cast<BorrowStmt>(S), St);
+    return;
+  case StmtKind::EndBorrow:
+    checkEndBorrow(cast<EndBorrowStmt>(S), St);
+    return;
   }
 }
 
@@ -1372,6 +1549,27 @@ void FlowChecker::checkStmtInner(const Stmt *S, FlowState &St) {
 //===----------------------------------------------------------------------===//
 
 void FlowChecker::checkExit(FlowState &St, Subst &RetSubst, SourceLoc Loc) {
+  // Live borrows must be revoked before exit. Report each one, then
+  // collapse it (alias dies, parent restored) so the leak/post-set
+  // checks below reason about the parent key instead of cascading on
+  // the alias.
+  while (!St.Borrows.empty()) {
+    auto It = St.Borrows.begin();
+    KeySym B = It->first;
+    KeySym Parent = It->second.Parent;
+    report(DiagId::FlowBorrowLiveAtExit, Loc,
+           "borrow " + keyDesc(B) +
+               " is still live at function exit; revoke it with 'endborrow'");
+    explainKey(St, B);
+    if (St.Held.contains(B)) {
+      StateRef Cur = St.Held.stateOf(B);
+      St.Held.remove(B);
+      St.Held.add(Parent, Cur);
+      ++KeysetOps;
+    }
+    St.Borrows.erase(It);
+  }
+
   // Expected post key set.
   std::map<KeySym, StateRef> Expected;
   std::vector<const EffectItem *> UnboundFresh;

@@ -85,6 +85,8 @@ private:
   void checkReturn(const ReturnStmt *S, FlowState &St);
   void checkSwitch(const SwitchStmt *S, FlowState &St);
   void checkFree(const FreeStmt *S, FlowState &St);
+  void checkBorrow(const BorrowStmt *S, FlowState &St);
+  void checkEndBorrow(const EndBorrowStmt *S, FlowState &St);
 
   // Expressions.
   ExprResult checkExpr(const Expr *E, FlowState &St,
@@ -102,6 +104,20 @@ private:
   /// Peels guards (checking the guard keys) and tracked wrappers
   /// (checking the key is held) to reach the accessible value type.
   const Type *requireAccess(const Type *T, SourceLoc Loc, FlowState &St);
+
+  /// Peels only the leading guard layers of \p T, checking each guard
+  /// key is held in a satisfying state. When \p Collect is non-null the
+  /// peeled guards are appended to it (borrow bookkeeping).
+  const Type *peelGuards(const Type *T, SourceLoc Loc, FlowState &St,
+                         std::vector<GuardedType::Guard> *Collect = nullptr);
+
+  /// Reports FlowGuardedBorrowLive for every live borrow whose guard
+  /// set contains \p K. \p NewState null means the key is about to be
+  /// consumed; non-null means it is about to transition there (no
+  /// report if the new state still satisfies the guard). Call before
+  /// any held-set removal or transition of a potentially-guarding key.
+  void checkBorrowGuards(KeySym K, const StateRef *NewState, SourceLoc Loc,
+                         FlowState &St);
 
   /// Checks that \p From can initialize / be assigned into a location
   /// declared as \p DeclType; performs packing/unpacking. Returns the

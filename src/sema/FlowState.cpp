@@ -26,6 +26,16 @@ FlowState vault::renameState(TypeContext &TC, const FlowState &S,
   // chains land on the same key.
   for (const auto &[K, Steps] : S.Prov)
     Out.Prov.emplace(Rename.map(K), Steps);
+  // Borrows follow their alias key, parent, and guard keys through the
+  // same simultaneous renaming.
+  for (const auto &[B, Info] : S.Borrows) {
+    BorrowInfo NI;
+    NI.Parent = Rename.map(Info.Parent);
+    NI.Guards = Info.Guards;
+    for (GuardedType::Guard &Gu : NI.Guards)
+      Gu.Key = Rename.map(Gu.Key);
+    Out.Borrows.emplace(Rename.map(B), std::move(NI));
+  }
   return Out;
 }
 
@@ -177,10 +187,37 @@ JoinResult vault::joinStates(TypeContext &TC, const FlowState &A,
     }
   }
 
+  // Borrow liveness must agree as well: an alias key that is a borrow
+  // on one incoming path only could not be revoked consistently after
+  // the join. (Held-set agreement usually catches this first; this
+  // check closes the cases where the canonicalizing rename makes the
+  // held sets coincide.)
+  for (const auto &[B, Info] : A.Borrows) {
+    auto It = BR.Borrows.find(B);
+    if (It == BR.Borrows.end() || It->second.Parent != Info.Parent) {
+      R.Ok = false;
+      R.Mismatch = "borrow '" + Keys.name(B) +
+                   "' is live on one incoming path but not the other";
+      R.State = pickRicher();
+      return R;
+    }
+  }
+  for (const auto &[B, Info] : BR.Borrows) {
+    (void)Info;
+    if (!A.Borrows.count(B)) {
+      R.Ok = false;
+      R.Mismatch = "borrow '" + Keys.name(B) +
+                   "' is live on one incoming path but not the other";
+      R.State = pickRicher();
+      return R;
+    }
+  }
+
   // Merge variable types; where they still disagree (e.g. a variable
   // initialized on only one path), the variable becomes uninitialized.
   R.State.Reachable = true;
   R.State.Held = A.Held;
+  R.State.Borrows = A.Borrows;
   // Keep A's provenance for keys both sides hold (the sets agree here,
   // so picking one side keeps chains deterministic at any --jobs).
   R.State.Prov = A.Prov;

@@ -110,9 +110,28 @@ private:
   SmallVector<Entry, 8> Entries;
 };
 
+/// A live revocable borrow: the parent key the alias was split from,
+/// plus the guard keys the borrowed value's accesses depend on.
+/// The parent's state is not stored — `endborrow` propagates the
+/// borrow key's *current* state back to the parent, so transitions
+/// made through the alias survive revocation.
+struct BorrowInfo {
+  KeySym Parent = InvalidKey;
+  /// Guards peeled from the borrowed value's type. Consuming one of
+  /// these keys (or transitioning it out of the required state) while
+  /// the borrow is live would revoke access out from under the alias;
+  /// the checker reports FlowGuardedBorrowLive.
+  std::vector<GuardedType::Guard> Guards;
+};
+
 class FlowState {
 public:
   HeldKeySet Held;
+  /// Live borrows, keyed by the borrow (alias) key. Threaded through
+  /// joins and renames exactly like Held: a borrow live on one
+  /// incoming path but not the other is a join mismatch (the Fig. 5
+  /// conservatism extended to the revocation lattice).
+  std::map<KeySym, BorrowInfo> Borrows;
   /// Provenance chains for held keys, populated only when the checker
   /// runs with --explain. Deliberately excluded from operator==: chains
   /// grow monotonically while a loop body is re-analyzed, so comparing
@@ -132,6 +151,21 @@ public:
       return true;
     if (!(Held == O.Held))
       return false;
+    if (Borrows.size() != O.Borrows.size())
+      return false;
+    {
+      auto BIt = O.Borrows.begin();
+      for (const auto &[B, Info] : Borrows) {
+        if (BIt->first != B || BIt->second.Parent != Info.Parent ||
+            BIt->second.Guards.size() != Info.Guards.size())
+          return false;
+        for (size_t I = 0; I != Info.Guards.size(); ++I)
+          if (Info.Guards[I].Key != BIt->second.Guards[I].Key ||
+              !(Info.Guards[I].Required == BIt->second.Guards[I].Required))
+            return false;
+        ++BIt;
+      }
+    }
     if (Vars.size() != O.Vars.size())
       return false;
     auto It = O.Vars.begin();

@@ -463,6 +463,7 @@ std::string Workspace::handleCheck(const json::Value *Params,
   Req.FunctionsChecked = Out.St.FunctionsChecked;
 
   std::string R = "{\"ok\": ";
+  R.reserve(256 + Out.DiagJson.size() + Out.StatsJson.size());
   R += Out.Ok ? "true" : "false";
   R += ", \"errors\": " + std::to_string(Out.Errors);
   R += ", \"functionsChecked\": " + std::to_string(Out.St.FunctionsChecked);

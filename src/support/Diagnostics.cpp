@@ -94,6 +94,12 @@ const char *vault::diagName(DiagId Id) {
     return "flow-return-value";
   case DiagId::FlowCaptureTracked:
     return "flow-capture-tracked";
+  case DiagId::FlowGuardedBorrowLive:
+    return "flow-guarded-borrow-live";
+  case DiagId::FlowBorrowNotLive:
+    return "flow-borrow-not-live";
+  case DiagId::FlowBorrowLiveAtExit:
+    return "flow-borrow-live-at-exit";
   case DiagId::RunProtocolViolation:
     return "run-protocol-violation";
   case DiagId::RunError:

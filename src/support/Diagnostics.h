@@ -77,6 +77,9 @@ enum class DiagId {
   FlowStateBound,        ///< Bounded state variable constraint violated.
   FlowReturnValue,       ///< Return type/effect mismatch.
   FlowCaptureTracked,    ///< Nested function captures a key-carrying local.
+  FlowGuardedBorrowLive, ///< Guard key changed while a borrow depends on it.
+  FlowBorrowNotLive,     ///< endborrow on something that is not a live borrow.
+  FlowBorrowLiveAtExit,  ///< Borrow key still live at function exit.
   // Interpreter / dynamic oracle.
   RunProtocolViolation,
   RunError,

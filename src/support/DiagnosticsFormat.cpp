@@ -44,6 +44,9 @@ static Position position(const SourceManager &SM, SourceLoc Loc) {
 std::string vault::renderDiagnosticsJson(const DiagnosticEngine &Diags) {
   const SourceManager &SM = Diags.sourceManager();
   std::string Out = "{\n  \"diagnostics\": [";
+  // Each diagnostic renders to ~200 bytes plus its message; one
+  // up-front reservation keeps the += chain from reallocating.
+  Out.reserve(64 + Diags.diagnostics().size() * 256);
   bool First = true;
   for (const Diagnostic &D : Diags.diagnostics()) {
     Out += First ? "\n" : ",\n";
@@ -102,6 +105,7 @@ std::string vault::renderDiagnosticsSarif(const DiagnosticEngine &Diags) {
       "  \"runs\": [\n"
       "    {\n"
       "      \"tool\": {\"driver\": {\"name\": \"vaultc\", \"rules\": [";
+  Out.reserve(512 + Diags.diagnostics().size() * 384);
   bool First = true;
   for (const std::string &Rule : RuleIds) {
     if (!First)

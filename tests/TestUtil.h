@@ -89,6 +89,26 @@ int KeReleaseSemaphore(int count) [IRQL @ (level <= DISPATCH_LEVEL)];
 )";
 }
 
+/// Mutex + guarded-cell prelude (the concurrency protocol domain):
+/// the lock-discipline automaton unlocked->locked->unlocked->gone and
+/// a cell whose key is guarded by the mutex key in state 'locked'.
+inline const char *mutexPrelude() {
+  return R"(
+interface MUTEX {
+  type mutex;
+  struct cell { int val; }
+  tracked(@unlocked) mutex mutex_create();
+  void mutex_acquire(tracked(M) mutex) [M@unlocked->locked];
+  void mutex_release(tracked(M) mutex) [M@locked->unlocked];
+  void mutex_destroy(tracked(M) mutex) [-M@unlocked];
+  guarded<M> tracked cell cell_new(tracked(M) mutex, int val) [M@locked];
+}
+void print(string s);
+void print_int(int n);
+void expect(bool b);
+)";
+}
+
 /// Parses and checks \p Source (prefixed by \p Prelude).
 inline std::unique_ptr<VaultCompiler> check(const std::string &Source,
                                             const std::string &Prelude = "") {

@@ -151,6 +151,59 @@ TEST(CacheInvalidation, StatesetEditRechecksDependents) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(CacheInvalidation, GuardedAnnotationEditRechecksExactlyTheDirtied) {
+  // Dropping the guarded<M> annotation from cell_new's return type is
+  // a signature edit of the MUTEX interface member: the function that
+  // calls it must re-check (its callee fingerprint changed), while the
+  // bystander stays cached.
+  const char *Before =
+      "interface MUTEX {\n"
+      "  type mutex;\n"
+      "  struct cell { int val; }\n"
+      "  tracked(@unlocked) mutex mutex_create();\n"
+      "  void mutex_acquire(tracked(M) mutex) [M@unlocked->locked];\n"
+      "  void mutex_release(tracked(M) mutex) [M@locked->unlocked];\n"
+      "  void mutex_destroy(tracked(M) mutex) [-M@unlocked];\n"
+      "  guarded<M> tracked cell cell_new(tracked(M) mutex, int val) "
+      "[M@locked];\n"
+      "}\n"
+      "void touch() {\n"
+      "  tracked(M) mutex m = mutex_create();\n"
+      "  mutex_acquire(m);\n"
+      "  guarded<M> tracked(D) cell d = cell_new(m, 1);\n"
+      "  d.val = 2;\n"
+      "  free(d);\n"
+      "  mutex_release(m);\n"
+      "  mutex_destroy(m);\n"
+      "}\n"
+      "void bystander() { int x = 1; }\n";
+  std::string After(Before);
+  // The edit: cell_new now returns an unguarded tracked cell, and
+  // touch's binding drops the guard to match. Both edits dirty touch
+  // (its body and its callee's signature) and nothing else.
+  for (size_t At = After.find("guarded<M> "); At != std::string::npos;
+       At = After.find("guarded<M> "))
+    After.replace(At, std::string("guarded<M> ").size(), "");
+  std::string Dir = freshCacheDir("guarded-edit");
+
+  auto Cold = checkCached("g.vlt", Before, Dir);
+  ASSERT_TRUE(Cold->stats().CacheEnabled);
+  EXPECT_FALSE(Cold->diags().hasErrors()) << Cold->diags().render();
+  EXPECT_EQ(Cold->stats().FlowChecksRun, 2u);
+
+  auto Edited = checkCached("g.vlt", After, Dir);
+  ASSERT_TRUE(Edited->stats().CacheEnabled);
+  EXPECT_EQ(Edited->stats().CacheHits, 1u) << "bystander stays cached";
+  EXPECT_EQ(Edited->stats().CacheMisses, 1u) << "touch re-checks";
+  EXPECT_EQ(Edited->stats().FlowChecksRun, 1u);
+
+  // And a warm replay of the edited program re-checks nothing.
+  auto Warm = checkCached("g.vlt", After, Dir);
+  EXPECT_EQ(Warm->stats().FlowChecksRun, 0u);
+  EXPECT_EQ(Warm->diags().render(), Edited->diags().render());
+  std::filesystem::remove_all(Dir);
+}
+
 TEST(CacheBehavior, KeyTracingBypassesTheCache) {
   std::string Text = corpus::load("figures/fig2_okay");
   ASSERT_FALSE(Text.empty());

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 using namespace vault;
@@ -117,6 +118,49 @@ TEST(FuzzGenerator, MutationKindsAreDiverse) {
     if (auto M = G.mutate(I))
       Seen.insert(M->Mutation);
   EXPECT_GE(Seen.size(), 4u);
+}
+
+TEST(FuzzGenerator, ConcurrencyDefectKindsAreAlwaysDetected) {
+  // The three concurrency-domain defect kinds over a fixed-seed window
+  // of 300 programs: every mutant of these kinds must appear and every
+  // one must be detected (statically rejected or dynamically caught —
+  // the parity oracle classifies anything else as "missed").
+  Generator G(9);
+  std::map<MutationKind, unsigned> Seen;
+  for (unsigned I = 0; I != 300; ++I) {
+    auto M = G.mutate(I);
+    if (!M)
+      continue;
+    if (M->Mutation != MutationKind::UnguardedAccess &&
+        M->Mutation != MutationKind::UnlockBorrowLive &&
+        M->Mutation != MutationKind::UseAfterRevoke)
+      continue;
+    ++Seen[M->Mutation];
+    OracleOutcome O = runParityOracle(*M);
+    EXPECT_NE(O.Class, "missed")
+        << M->Name << " (" << mutationName(M->Mutation) << "): " << O.Detail;
+    EXPECT_FALSE(O.violation()) << M->Name << ": " << O.Detail;
+  }
+  EXPECT_GT(Seen[MutationKind::UnguardedAccess], 0u);
+  EXPECT_GT(Seen[MutationKind::UnlockBorrowLive], 0u);
+  EXPECT_GT(Seen[MutationKind::UseAfterRevoke], 0u);
+}
+
+TEST(FuzzGenerator, MutexProgramsAreSelfContained) {
+  // Generated programs must not rely on corpus includes: any program
+  // using the mutex fragment carries its own MUTEX interface.
+  Generator G(9);
+  unsigned WithMutex = 0;
+  for (unsigned I = 0; I != 60; ++I) {
+    GeneratedProgram P = G.generate(I);
+    if (P.Text.find("mutex_create") == std::string::npos)
+      continue;
+    ++WithMutex;
+    EXPECT_NE(P.Text.find("interface MUTEX"), std::string::npos) << P.Name;
+    EXPECT_EQ(P.Text.find("//!include"), std::string::npos) << P.Name;
+    EXPECT_FALSE(P.RoundtripEligible) << P.Name;
+  }
+  EXPECT_GT(WithMutex, 0u);
 }
 
 TEST(FuzzGenerator, HeaderCommentNamesProvenance) {

@@ -23,7 +23,8 @@ unsigned dynamicDetections(interp::Interp &I) {
   return I.totalViolations() +
          static_cast<unsigned>(I.regions().leakedRegions().size()) +
          static_cast<unsigned>(I.sockets().leakedSockets().size()) +
-         static_cast<unsigned>(I.gdi().leakedDcs().size());
+         static_cast<unsigned>(I.gdi().leakedDcs().size()) +
+         static_cast<unsigned>(I.locks().leakedMutexes().size());
 }
 
 class OracleSoundness : public ::testing::TestWithParam<corpus::ProgramInfo> {

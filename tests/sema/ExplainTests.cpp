@@ -101,6 +101,58 @@ void leaky() {
   EXPECT_TRUE(SawAcquire) << C->diags().render();
 }
 
+TEST(Explain, GuardedBorrowViolationChainsTheHeldKeys) {
+  // The guard/borrow domain: the chain must say where the borrow's
+  // alias key came from (the split) so the user can see which borrow
+  // pins the guard.
+  auto C = checkExplained(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 3);
+  borrow b = d;
+  mutex_release(m);
+  endborrow b;
+  free(d);
+  mutex_destroy(m);
+}
+)",
+                          mutexPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardedBorrowLive);
+  std::vector<std::string> Notes = notesOf(*C, DiagId::FlowGuardedBorrowLive);
+  ASSERT_FALSE(Notes.empty()) << C->diags().render();
+  bool SawSplit = false;
+  for (const std::string &N : Notes)
+    if (N.find("was split from key") != std::string::npos)
+      SawSplit = true;
+  EXPECT_TRUE(SawSplit) << C->diags().render();
+}
+
+TEST(Explain, RevokedBorrowChainNamesTheEndborrow) {
+  auto C = checkExplained(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 3);
+  borrow b = d;
+  endborrow b;
+  b.val = 4;
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)",
+                          mutexPrelude());
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+  std::vector<std::string> Notes = notesOf(*C, DiagId::FlowKeyNotHeld);
+  bool SawRevoke = false;
+  for (const std::string &N : Notes)
+    if (N.find("revoking borrow") != std::string::npos ||
+        N.find("was split from key") != std::string::npos)
+      SawRevoke = true;
+  EXPECT_TRUE(SawRevoke) << C->diags().render();
+}
+
 TEST(Explain, OutputIsIdenticalAtAnyJobCount) {
   auto C1 = std::make_unique<VaultCompiler>();
   C1->enableExplain();

@@ -1,0 +1,384 @@
+//===- GuardedBorrowTests.cpp - The concurrency protocol domain -----------===//
+//
+// The guard/borrow lattice: `guarded<K> T` ties a tracked value's key
+// to a lock key held in state 'locked', and `borrow`/`endborrow`
+// splits a tracked key into a revocable alias valid for a lexical
+// region. These tests pin the flow analysis: the happy path, the
+// three defect kinds (unguarded access, unlock under a live borrow,
+// use after revoke), the Fig. 5 join conservatism applied to borrow
+// keys, loop convergence, and determinism of the diagnostics across
+// job counts and output formats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/DiagnosticsFormat.h"
+
+#include <gtest/gtest.h>
+
+using namespace vault;
+using namespace vault::test;
+
+namespace {
+
+std::unique_ptr<VaultCompiler> checkMutex(const std::string &Source) {
+  return check(Source, mutexPrelude());
+}
+
+TEST(GuardedBorrow, HappyPathAccepted) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M1) mutex m1 = mutex_create();
+  mutex_acquire(m1);
+  guarded<M1> tracked(D1) cell d1 = cell_new(m1, 7);
+  d1.val = 8;
+  borrow b = d1;
+  b.val = 9;
+  endborrow b;
+  expect(d1.val == 9);
+  free(d1);
+  mutex_release(m1);
+  mutex_destroy(m1);
+}
+)");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(GuardedBorrow, AccessAfterReleaseIsWrongGuardState) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 1);
+  mutex_release(m);
+  d.val = 2;
+  mutex_acquire(m);
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardWrongState);
+}
+
+TEST(GuardedBorrow, AccessAfterDestroyIsGuardNotHeld) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 1);
+  mutex_release(m);
+  mutex_destroy(m);
+  d.val = 2;
+  free(d);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardNotHeld);
+}
+
+TEST(GuardedBorrow, ReleaseWhileBorrowLiveRejected) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 3);
+  borrow b = d;
+  mutex_release(m);
+  endborrow b;
+  free(d);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardedBorrowLive);
+}
+
+TEST(GuardedBorrow, DestroyWhileBorrowLiveRejected) {
+  // Consuming the guard key outright is as bad as transitioning it.
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  tracked(M2) mutex m2 = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 3);
+  borrow b = d;
+  mutex_release(m);
+  mutex_destroy(m);
+  endborrow b;
+  free(d);
+  mutex_destroy(m2);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardedBorrowLive);
+}
+
+TEST(GuardedBorrow, UseAfterRevokeRejected) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 5);
+  borrow b = d;
+  b.val = 6;
+  endborrow b;
+  b.val = 7;
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowKeyNotHeld);
+}
+
+TEST(GuardedBorrow, DoubleEndborrowRejected) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 5);
+  borrow b = d;
+  endborrow b;
+  endborrow b;
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowBorrowNotLive);
+}
+
+TEST(GuardedBorrow, EndborrowOfNonBorrowRejected) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 5);
+  endborrow d;
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowBorrowNotLive);
+}
+
+TEST(GuardedBorrow, BorrowOfNonTrackedRejected) {
+  auto C = checkMutex(R"(
+void main() {
+  int x = 1;
+  borrow b = x;
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::SemaNotTracked);
+}
+
+TEST(GuardedBorrow, BorrowLiveAtExitRejected) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 4);
+  borrow b = d;
+  b.val = b.val + 1;
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowBorrowLiveAtExit);
+}
+
+TEST(GuardedBorrow, OneArmRevokeIsAJoinMismatch) {
+  // The Fig. 5 conservatism applied to borrow keys: revoking on only
+  // one arm leaves the held-key sets disagreeing at the join.
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 1);
+  borrow b = d;
+  if (1 < 2) {
+    endborrow b;
+  } else {
+    b.val = 0;
+  }
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowJoinMismatch);
+}
+
+TEST(GuardedBorrow, BothArmsRevokeJoinsCleanly) {
+  // renameKeys collapse at the join: each arm revokes the same borrow,
+  // the merged state holds the parent key again on both paths.
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 1);
+  borrow b = d;
+  if (1 < 2) {
+    b.val = 2;
+    endborrow b;
+  } else {
+    b.val = 3;
+    endborrow b;
+  }
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(GuardedBorrow, LoopBorrowConverges) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 0);
+  int i = 0;
+  while (i < 4) {
+    borrow b = d;
+    b.val = b.val + i;
+    endborrow b;
+    i = i + 1;
+  }
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(GuardedBorrow, BorrowCarriedAcrossLoopBackEdgeRejected) {
+  // A borrow made inside the loop but revoked before it started can
+  // never converge: the back edge carries a live borrow into a head
+  // state that has none.
+  auto C = checkMutex(R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 0);
+  int i = 0;
+  while (i < 4) {
+    borrow b = d;
+    b.val = b.val + i;
+    i = i + 1;
+  }
+  free(d);
+  mutex_release(m);
+  mutex_destroy(m);
+}
+)");
+  EXPECT_TRUE(C->diags().hasErrors());
+}
+
+TEST(GuardedBorrow, TwoIndependentLockDomainsAccepted) {
+  auto C = checkMutex(R"(
+void main() {
+  tracked(MA) mutex ma = mutex_create();
+  tracked(MB) mutex mb = mutex_create();
+  mutex_acquire(ma);
+  mutex_acquire(mb);
+  guarded<MA> tracked(DA) cell da = cell_new(ma, 1);
+  guarded<MB> tracked(DB) cell db = cell_new(mb, 2);
+  borrow p = da;
+  borrow q = db;
+  p.val = p.val + q.val;
+  endborrow q;
+  endborrow p;
+  free(db);
+  mutex_release(mb);
+  mutex_destroy(mb);
+  free(da);
+  mutex_release(ma);
+  mutex_destroy(ma);
+}
+)");
+  EXPECT_ACCEPTED(C);
+}
+
+TEST(GuardedBorrow, ReleasingTheWrongLockStrikesOnlyItsBorrow) {
+  // Releasing mb must not be blamed on the borrow guarded by ma.
+  auto C = checkMutex(R"(
+void main() {
+  tracked(MA) mutex ma = mutex_create();
+  tracked(MB) mutex mb = mutex_create();
+  mutex_acquire(ma);
+  mutex_acquire(mb);
+  guarded<MA> tracked(DA) cell da = cell_new(ma, 1);
+  guarded<MB> tracked(DB) cell db = cell_new(mb, 2);
+  borrow p = da;
+  borrow q = db;
+  mutex_release(mb);
+  endborrow q;
+  endborrow p;
+  free(da);
+  free(db);
+  mutex_release(ma);
+  mutex_destroy(ma);
+  mutex_acquire(mb);
+  mutex_release(mb);
+  mutex_destroy(mb);
+}
+)");
+  EXPECT_REJECTED_WITH(C, DiagId::FlowGuardedBorrowLive);
+  // Exactly one borrow is struck: the one guarded by mb.
+  unsigned Struck = 0;
+  for (const Diagnostic &D : C->diags().diagnostics())
+    if (D.Id == DiagId::FlowGuardedBorrowLive)
+      ++Struck;
+  EXPECT_EQ(Struck, 1u) << C->diags().render();
+}
+
+//===--------------------------------------------------------------------===//
+// Determinism and renderer coverage for the new diagnostic codes.
+//===--------------------------------------------------------------------===//
+
+const char *DefectProgram = R"(
+void main() {
+  tracked(M) mutex m = mutex_create();
+  mutex_acquire(m);
+  guarded<M> tracked(D) cell d = cell_new(m, 3);
+  borrow b = d;
+  mutex_release(m);
+  b.val = 4;
+  endborrow b;
+  b.val = 5;
+  free(d);
+  mutex_destroy(m);
+}
+)";
+
+std::unique_ptr<VaultCompiler> checkAtJobs(unsigned Jobs) {
+  auto C = std::make_unique<VaultCompiler>();
+  C->setJobs(Jobs);
+  C->addSource("t.vlt", std::string(mutexPrelude()) + DefectProgram);
+  C->check();
+  return C;
+}
+
+TEST(GuardedBorrow, DiagnosticsAreJobCountInvariant) {
+  auto C1 = checkAtJobs(1);
+  auto C4 = checkAtJobs(4);
+  EXPECT_TRUE(C1->diags().hasErrors());
+  EXPECT_EQ(C1->diags().render(), C4->diags().render());
+}
+
+TEST(GuardedBorrow, NewCodesRenderInJsonAndSarif) {
+  auto C = checkAtJobs(1);
+  ASSERT_TRUE(C->diags().has(DiagId::FlowGuardedBorrowLive))
+      << C->diags().render();
+  std::string J = renderDiagnosticsJson(C->diags());
+  EXPECT_NE(J.find("\"id\": \"flow-guarded-borrow-live\""), std::string::npos);
+  std::string S = renderDiagnosticsSarif(C->diags());
+  EXPECT_NE(S.find("\"ruleId\": \"flow-guarded-borrow-live\""),
+            std::string::npos);
+  // Text rendering names the code too.
+  EXPECT_NE(C->diags().render().find("[flow-guarded-borrow-live]"),
+            std::string::npos);
+}
+
+} // namespace

@@ -68,6 +68,36 @@ TEST(DiagnosticsFormat, SarifHasTheFieldsToolingKeysOn) {
             std::string::npos);
 }
 
+TEST(DiagnosticsFormat, GuardBorrowCodesRoundTripThroughBothRenderers) {
+  // The concurrency-domain codes are newer than the renderers; pin
+  // that both formats carry them by name.
+  Fixture F;
+  F.Diags.report(DiagId::FlowGuardedBorrowLive, F.at(7),
+                 "cannot give up guard key 'M' while borrow 'b' guarded by "
+                 "it is still live");
+  F.Diags.note(F.at(0), "key 'b' was split from key 'D' by this borrow");
+  F.Diags.report(DiagId::FlowBorrowNotLive, F.at(7),
+                 "key 'b' is not a live borrow at this endborrow");
+  F.Diags.report(DiagId::FlowBorrowLiveAtExit, F.at(7),
+                 "borrow 'b' is still live at function exit");
+
+  std::string J = renderDiagnosticsJson(F.Diags);
+  EXPECT_NE(J.find("\"id\": \"flow-guarded-borrow-live\""), std::string::npos);
+  EXPECT_NE(J.find("\"id\": \"flow-borrow-not-live\""), std::string::npos);
+  EXPECT_NE(J.find("\"id\": \"flow-borrow-live-at-exit\""), std::string::npos);
+  EXPECT_NE(J.find("was split from key 'D'"), std::string::npos);
+
+  std::string S = renderDiagnosticsSarif(F.Diags);
+  EXPECT_NE(S.find("\"ruleId\": \"flow-guarded-borrow-live\""),
+            std::string::npos);
+  EXPECT_NE(S.find("\"ruleId\": \"flow-borrow-not-live\""), std::string::npos);
+  EXPECT_NE(S.find("\"ruleId\": \"flow-borrow-live-at-exit\""),
+            std::string::npos);
+  // Each distinct rule appears once in the rules table.
+  EXPECT_NE(S.find("{\"id\": \"flow-guarded-borrow-live\"}"),
+            std::string::npos);
+}
+
 TEST(DiagnosticsFormat, EmptyEngineStillRendersValidDocuments) {
   Fixture F;
   std::string J = renderDiagnosticsJson(F.Diags);
