@@ -83,6 +83,10 @@ makePredicate(const Finding &F, const GeneratedProgram &Origin,
     return [Wrap, &Opts](const std::string &Text) {
       return runRoundtripOracle(Wrap(Text), Opts.TmpDir).violation();
     };
+  if (F.Oracle == "vm")
+    return [Wrap](const std::string &Text) {
+      return runVmOracle(Wrap(Text)).violation();
+    };
   // Parity findings: a "missed" defect must keep looking like a miss
   // (accepted statically, silent dynamically) *and* keep the mutated
   // resource in play — anchoring on the mutation site's identifier
@@ -184,6 +188,14 @@ CampaignResult vault::fuzz::runCampaign(const CampaignOptions &Opts,
       if (O.violation())
         R.Findings.push_back({"roundtrip", P.Name, O.Class, O.Detail, "", 0});
     }
+    if (Opts.RunVm) {
+      TraceSpan Span(T, "fuzz.oracle.vm");
+      OracleOutcome O = runVmOracle(P);
+      tally(R.Vm, O);
+      countOutcome(M, "vm", O);
+      if (O.violation())
+        R.Findings.push_back({"vm", P.Name, O.Class, O.Detail, "", 0});
+    }
   };
 
   std::vector<GeneratedProgram> Origins;
@@ -278,6 +290,7 @@ CampaignResult vault::fuzz::runCampaign(const CampaignOptions &Opts,
   RenderMap("parity", R.Parity);
   RenderMap("determinism", R.Determinism);
   RenderMap("roundtrip", R.Roundtrip);
+  RenderMap("vm", R.Vm);
   if (R.Mutants) {
     std::ostringstream Pct;
     Pct.precision(1);

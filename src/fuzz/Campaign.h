@@ -41,6 +41,7 @@ struct CampaignOptions {
   bool RunParity = true;
   bool RunDeterminism = true;
   bool RunRoundtrip = true;
+  bool RunVm = true; ///< VM-vs-walker engine-equivalence oracle.
   unsigned DetJobs = 4;        ///< The N of the --jobs 1 vs N comparison.
   unsigned MinDetectPct = 95;  ///< Seeded-defect detection floor for Pass.
   unsigned MaxReduceEvals = 300;
@@ -51,7 +52,7 @@ struct CampaignOptions {
 
 /// One oracle violation or missed defect, with its reduction result.
 struct Finding {
-  std::string Oracle;  ///< "parity" | "determinism" | "roundtrip".
+  std::string Oracle;  ///< "parity" | "determinism" | "roundtrip" | "vm".
   std::string Program; ///< GeneratedProgram::Name.
   std::string Class;   ///< e.g. "dynamic-gap", "missed".
   std::string Detail;
@@ -64,7 +65,7 @@ struct CampaignResult {
   unsigned Mutants = 0;
   /// Per-oracle tallies keyed by outcome bucket, e.g.
   /// Parity["classified:join-conservative"].
-  std::map<std::string, unsigned> Parity, Determinism, Roundtrip;
+  std::map<std::string, unsigned> Parity, Determinism, Roundtrip, Vm;
   unsigned MutantsDetected = 0; ///< static-only + detected-both + dynamic-gap.
   unsigned MutantsMissed = 0;
   std::vector<Finding> Findings;

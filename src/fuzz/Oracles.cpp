@@ -4,6 +4,7 @@
 
 #include "interp/Interp.h"
 #include "lower/CEmitter.h"
+#include "vm/VM.h"
 #include "support/ShellQuote.h"
 
 #include <algorithm>
@@ -39,23 +40,35 @@ StaticRun vault::fuzz::checkText(const std::string &Name,
   return R;
 }
 
-DynamicRun vault::fuzz::runDynamic(VaultCompiler &C) {
-  interp::Interp I(C);
+/// Shared capture: both engines are Machines, so one extractor fills
+/// the DynamicRun the oracles (and the vm differential) compare.
+static DynamicRun captureRun(interp::Machine &M) {
   DynamicRun D;
-  D.Ran = I.run("main");
-  D.Trapped = I.trapped();
-  D.TrapMessage = I.trapMessage();
+  D.Ran = M.run("main");
+  D.Trapped = M.trapped();
+  D.TrapMessage = M.trapMessage();
   D.Detections =
-      I.totalViolations() +
-      static_cast<unsigned>(I.regions().leakedRegions().size()) +
-      static_cast<unsigned>(I.sockets().leakedSockets().size()) +
-      static_cast<unsigned>(I.gdi().leakedDcs().size()) +
-      static_cast<unsigned>(I.locks().leakedMutexes().size());
+      M.totalViolations() +
+      static_cast<unsigned>(M.regions().leakedRegions().size()) +
+      static_cast<unsigned>(M.sockets().leakedSockets().size()) +
+      static_cast<unsigned>(M.gdi().leakedDcs().size()) +
+      static_cast<unsigned>(M.locks().leakedMutexes().size());
+  D.Violations = M.violations();
   std::string Out;
-  for (const std::string &L : I.output())
+  for (const std::string &L : M.output())
     Out += L + "\n";
   D.Output = std::move(Out);
   return D;
+}
+
+DynamicRun vault::fuzz::runDynamic(VaultCompiler &C) {
+  interp::Interp I(C);
+  return captureRun(I);
+}
+
+DynamicRun vault::fuzz::runVm(VaultCompiler &C) {
+  vm::Vm V(C);
+  return captureRun(V);
 }
 
 static bool onlyJoinConservatism(const std::vector<DiagId> &Ids) {
@@ -162,6 +175,41 @@ OracleOutcome vault::fuzz::runDeterminismOracle(const GeneratedProgram &P,
                " function(s) instead of replaying";
     return O;
   }
+  return O;
+}
+
+OracleOutcome vault::fuzz::runVmOracle(const GeneratedProgram &P) {
+  OracleOutcome O;
+  StaticRun S = checkText(P.Name, P.Text);
+  DynamicRun W = runDynamic(*S.C);
+  DynamicRun V = runVm(*S.C);
+
+  std::string Diff;
+  if (W.Ran != V.Ran || W.Trapped != V.Trapped)
+    Diff += "  completion: walker " +
+            std::string(W.Trapped ? "trapped" : "ran") + ", vm " +
+            (V.Trapped ? "trapped" : "ran") + "\n";
+  if (W.TrapMessage != V.TrapMessage)
+    Diff += "  trap message: walker '" + W.TrapMessage + "', vm '" +
+            V.TrapMessage + "'\n";
+  if (W.Detections != V.Detections)
+    Diff += "  detections: walker " + std::to_string(W.Detections) + ", vm " +
+            std::to_string(V.Detections) + "\n";
+  if (W.Violations != V.Violations) {
+    Diff += "  violations differ:\n";
+    for (const std::string &Msg : W.Violations)
+      Diff += "    walker: " + Msg + "\n";
+    for (const std::string &Msg : V.Violations)
+      Diff += "    vm:     " + Msg + "\n";
+  }
+  if (W.Output != V.Output)
+    Diff += "  output differs:\n  --- walker\n" + W.Output + "  --- vm\n" +
+            V.Output;
+  if (Diff.empty())
+    return O; // Ok: the engines agree on every observable.
+  O.S = OracleOutcome::Status::Violation;
+  O.Class = "engine-divergence";
+  O.Detail = "tree-walker and bytecode VM diverge:\n" + Diff;
   return O;
 }
 

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The three differential oracles of the fuzzing subsystem:
+/// The four differential oracles of the fuzzing subsystem:
 ///
 ///  * parity — the static checker's verdict against the interpreter's
 ///    dynamic protocol oracle, with the documented Fig. 5 class
@@ -13,7 +13,10 @@
 ///  * determinism — byte-identical diagnostics across --jobs 1/N and
 ///    across cold/warm --cache-dir runs, for every generated program;
 ///  * erasure round-trip — the --emit-c lowering of an accepted
-///    program compiles, runs, and matches the interpreter's output.
+///    program compiles, runs, and matches the interpreter's output;
+///  * vm — the register-bytecode VM and the tree-walking interpreter
+///    observe identical behavior (output, traps, violations, leaks)
+///    on every generated program and mutant.
 ///
 /// Each oracle returns a four-way outcome: Ok, Classified (an expected
 /// and explainable divergence), Violation (a finding worth reducing),
@@ -46,7 +49,7 @@ struct StaticRun {
 StaticRun checkText(const std::string &Name, const std::string &Text,
                     unsigned Jobs = 1, const std::string &CacheDir = "");
 
-/// One interpreter run with the dynamic protocol oracle.
+/// One dynamic-oracle engine run (tree-walker or bytecode VM).
 struct DynamicRun {
   bool Ran = false;
   bool Trapped = false;
@@ -54,9 +57,16 @@ struct DynamicRun {
   /// Protocol violations + end-of-run leaks (regions, sockets, DCs).
   unsigned Detections = 0;
   std::string Output; ///< print()/print_int() lines, '\n'-joined.
+  /// The individual violation messages, in detection order.
+  std::vector<std::string> Violations;
 };
 
+/// Tree-walking interpreter run over an already-checked program.
 DynamicRun runDynamic(VaultCompiler &C);
+
+/// Register-bytecode VM run over an already-checked program; fills the
+/// same DynamicRun fields so the two engines compare field-by-field.
+DynamicRun runVm(VaultCompiler &C);
 
 struct OracleOutcome {
   enum class Status { Ok, Classified, Violation, Skipped };
@@ -86,6 +96,13 @@ OracleOutcome runDeterminismOracle(const GeneratedProgram &P, unsigned JobsB,
 /// \p ScratchDir receives the temporary .c/.bin files.
 OracleOutcome runRoundtripOracle(const GeneratedProgram &P,
                                  const std::string &ScratchDir);
+
+/// Engine equivalence: run the tree-walker and the bytecode VM over
+/// the same checked program and compare every observable — completion,
+/// trap message, output, violation list, detection count. Any
+/// difference is a Violation (there is no benign classification; the
+/// engines are contractually identical).
+OracleOutcome runVmOracle(const GeneratedProgram &P);
 
 /// Whether a C compiler ("cc") is reachable; cached after first call.
 bool haveCCompiler();

@@ -10,12 +10,12 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "interp/Interp.h"
+#include "interp/Machine.h"
 
 using namespace vault;
 using namespace vault::interp;
 
-static uint16_t portOf(Interp &I, const Value &Addr) {
+static uint16_t portOf(Machine &I, const Value &Addr) {
   if (Addr.kind() == Value::Kind::Struct && Addr.structData()) {
     auto It = Addr.structData()->Fields.find("port");
     if (It != Addr.structData()->Fields.end())
@@ -36,29 +36,29 @@ static Value sockStatus(net::SockError E) {
   return Value::variantV(std::move(D));
 }
 
-void vault::interp::registerDefaultBuiltins(Interp &I) {
+void vault::interp::registerDefaultBuiltins(Machine &I) {
   // -- I/O and testing helpers -----------------------------------------
-  I.registerBuiltin("print", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("print", [](Machine &It, std::vector<Value> &Args) {
     It.print(Args.empty() ? "" : (Args[0].kind() == Value::Kind::Str
                                       ? Args[0].asStr()
                                       : Args[0].str()));
     return Value::unit();
   });
-  I.registerBuiltin("print_int", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("print_int", [](Machine &It, std::vector<Value> &Args) {
     It.print(Args.empty() ? "0" : std::to_string(Args[0].asInt()));
     return Value::unit();
   });
-  I.registerBuiltin("expect", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("expect", [](Machine &It, std::vector<Value> &Args) {
     if (!Args.empty() && !Args[0].asBool())
       It.trap("expect() failed");
     return Value::unit();
   });
 
   // -- The REGION interface (paper Fig. 1) ------------------------------
-  I.registerBuiltin("create", [](Interp &It, std::vector<Value> &) {
+  I.registerBuiltin("create", [](Machine &It, std::vector<Value> &) {
     return Value::regionV(It.regions().create());
   });
-  I.registerBuiltin("delete", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("delete", [](Machine &It, std::vector<Value> &Args) {
     if (Args.empty() || Args[0].kind() != Value::Kind::Region) {
       It.violation("Region.delete of a non-region value");
       return Value::unit();
@@ -69,14 +69,14 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
   });
 
   // -- FILEs (paper §2.1) ------------------------------------------------
-  I.registerBuiltin("fopen", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("fopen", [](Machine &It, std::vector<Value> &Args) {
     auto Cell = std::make_shared<CellData>();
     Cell->Inner = std::make_shared<Value>(
         Value::strV(Args.empty() ? "" : Args[0].asStr()));
     (void)It;
     return Value::trackedV(std::move(Cell));
   });
-  I.registerBuiltin("fclose", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("fclose", [](Machine &It, std::vector<Value> &Args) {
     if (Args.empty() || Args[0].kind() != Value::Kind::Tracked ||
         !Args[0].cell()) {
       It.violation("fclose of a non-file value");
@@ -89,36 +89,36 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
   });
 
   // -- Sockets (paper Fig. 3 / §2.3) -------------------------------------
-  I.registerBuiltin("socket", [](Interp &It, std::vector<Value> &) {
+  I.registerBuiltin("socket", [](Machine &It, std::vector<Value> &) {
     return Value::handleV("sock", It.sockets().socketCreate());
   });
-  I.registerBuiltin("bind", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("bind", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() < 2)
       return Value::unit();
     It.sockets().bind(Args[0].handle(), portOf(It, Args[1]));
     return Value::unit();
   });
   // Fallible variant returning a status value (§2.3's improved bind).
-  I.registerBuiltin("bind2", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("bind2", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() < 2)
       return sockStatus(net::SockError::BadHandle);
     return sockStatus(It.sockets().bind(Args[0].handle(), portOf(It, Args[1])));
   });
-  I.registerBuiltin("listen", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("listen", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() < 2)
       return Value::unit();
     It.sockets().listen(Args[0].handle(),
                         static_cast<unsigned>(Args[1].asInt()));
     return Value::unit();
   });
-  I.registerBuiltin("accept", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("accept", [](Machine &It, std::vector<Value> &Args) {
     if (Args.empty())
       return Value::handleV("sock", 0);
     net::SocketWorld::Handle Conn = 0;
     It.sockets().accept(Args[0].handle(), Conn);
     return Value::handleV("sock", Conn);
   });
-  I.registerBuiltin("receive", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("receive", [](Machine &It, std::vector<Value> &Args) {
     if (Args.empty())
       return Value::unit();
     std::vector<uint8_t> Data;
@@ -131,20 +131,20 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
     }
     return Value::unit();
   });
-  I.registerBuiltin("close", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("close", [](Machine &It, std::vector<Value> &Args) {
     if (!Args.empty())
       It.sockets().close(Args[0].handle());
     return Value::unit();
   });
   // Test helpers: connect a client to a listening port and send from
   // it, so accept and receive succeed deterministically.
-  I.registerBuiltin("sim_client", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("sim_client", [](Machine &It, std::vector<Value> &Args) {
     uint16_t Port = Args.empty() ? 0 : static_cast<uint16_t>(Args[0].asInt());
     auto H = It.sockets().socketCreate();
     It.sockets().connect(H, Port);
     return Value::handleV("sock", H);
   });
-  I.registerBuiltin("sim_send", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("sim_send", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() < 2)
       return Value::unit();
     std::string Msg =
@@ -153,7 +153,7 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
                       std::vector<uint8_t>(Msg.begin(), Msg.end()));
     return Value::unit();
   });
-  I.registerBuiltin("make_buffer", [](Interp &, std::vector<Value> &Args) {
+  I.registerBuiltin("make_buffer", [](Machine &, std::vector<Value> &Args) {
     auto A = std::make_shared<ArrayData>();
     size_t N = Args.empty() ? 0 : static_cast<size_t>(Args[0].asInt());
     A->Elems.assign(N, Value::byteV(0));
@@ -161,27 +161,27 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
   });
 
   // -- Mutexes and guarded cells (the concurrency protocol domain) ------
-  I.registerBuiltin("mutex_create", [](Interp &It, std::vector<Value> &) {
+  I.registerBuiltin("mutex_create", [](Machine &It, std::vector<Value> &) {
     return Value::handleV("mutex", It.locks().mutexCreate());
   });
-  I.registerBuiltin("mutex_acquire", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("mutex_acquire", [](Machine &It, std::vector<Value> &Args) {
     if (!Args.empty())
       It.locks().acquire(Args[0].handle());
     return Value::unit();
   });
-  I.registerBuiltin("mutex_release", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("mutex_release", [](Machine &It, std::vector<Value> &Args) {
     if (!Args.empty())
       It.locks().release(Args[0].handle());
     return Value::unit();
   });
-  I.registerBuiltin("mutex_destroy", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("mutex_destroy", [](Machine &It, std::vector<Value> &Args) {
     if (!Args.empty())
       It.locks().destroy(Args[0].handle());
     return Value::unit();
   });
   // cell_new(mutex, val): a tracked cell whose accesses require the
   // mutex locked. Creating it is itself a guarded access.
-  I.registerBuiltin("cell_new", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("cell_new", [](Machine &It, std::vector<Value> &Args) {
     auto SD = std::make_shared<StructData>();
     SD->Fields["val"] =
         Value::intV(Args.size() >= 2 ? Args[1].asInt() : 0);
@@ -196,51 +196,51 @@ void vault::interp::registerDefaultBuiltins(Interp &I) {
   });
 
   // -- Graphics device contexts (the §6 "graphic interfaces" domain) ----
-  I.registerBuiltin("sim_window", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("sim_window", [](Machine &It, std::vector<Value> &Args) {
     std::string Title =
         !Args.empty() && Args[0].kind() == Value::Kind::Str ? Args[0].asStr()
                                                             : "window";
     return Value::handleV("hwnd", It.gdi().createWindow(Title));
   });
-  I.registerBuiltin("BeginPaint", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("BeginPaint", [](Machine &It, std::vector<Value> &Args) {
     gdi::GdiWorld::Handle Dc = 0;
     if (!Args.empty())
       It.gdi().beginPaint(Args[0].handle(), Dc);
     return Value::handleV("hdc", Dc);
   });
-  I.registerBuiltin("EndPaint", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("EndPaint", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() >= 2)
       It.gdi().endPaint(Args[0].handle(), Args[1].handle());
     return Value::unit();
   });
-  I.registerBuiltin("CreatePen", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("CreatePen", [](Machine &It, std::vector<Value> &Args) {
     int W = Args.empty() ? 1 : static_cast<int>(Args[0].asInt());
     uint32_t C = Args.size() >= 2 ? static_cast<uint32_t>(Args[1].asInt()) : 0;
     return Value::handleV("hpen", It.gdi().createPen(W, C));
   });
-  I.registerBuiltin("DeletePen", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("DeletePen", [](Machine &It, std::vector<Value> &Args) {
     if (!Args.empty())
       It.gdi().deletePen(Args[0].handle());
     return Value::unit();
   });
-  I.registerBuiltin("SelectPen", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("SelectPen", [](Machine &It, std::vector<Value> &Args) {
     gdi::GdiWorld::Handle Old = 0;
     if (Args.size() >= 2)
       It.gdi().selectPen(Args[0].handle(), Args[1].handle(), Old);
     return Value::handleV("oldpen", Old);
   });
-  I.registerBuiltin("RestorePen", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("RestorePen", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() >= 2)
       It.gdi().restorePen(Args[0].handle(), Args[1].handle());
     return Value::unit();
   });
-  I.registerBuiltin("MoveTo", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("MoveTo", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() >= 3)
       It.gdi().moveTo(Args[0].handle(), static_cast<int>(Args[1].asInt()),
                       static_cast<int>(Args[2].asInt()));
     return Value::unit();
   });
-  I.registerBuiltin("LineTo", [](Interp &It, std::vector<Value> &Args) {
+  I.registerBuiltin("LineTo", [](Machine &It, std::vector<Value> &Args) {
     if (Args.size() >= 3)
       It.gdi().lineTo(Args[0].handle(), static_cast<int>(Args[1].asInt()),
                       static_cast<int>(Args[2].asInt()));

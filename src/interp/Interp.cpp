@@ -5,24 +5,6 @@
 using namespace vault;
 using namespace vault::interp;
 
-Interp::Interp(VaultCompiler &C) : Compiler(C) {
-  registerDefaultBuiltins(*this);
-}
-
-const FuncDecl *Interp::findFunction(const std::string &Name) const {
-  FuncSig *Sig = Compiler.globals().findFunction(Name);
-  return Sig ? Sig->Decl : nullptr;
-}
-
-unsigned Interp::totalViolations() const {
-  unsigned N = static_cast<unsigned>(Violations.size());
-  N += Regions.violationCount();
-  N += Sockets.violationCount();
-  N += Gdi.violationCount();
-  N += Locks.violationCount();
-  return N;
-}
-
 bool Interp::run(const std::string &Name, std::vector<Value> Args) {
   const FuncDecl *F = findFunction(Name);
   if (!F || !F->body()) {
@@ -35,6 +17,14 @@ bool Interp::run(const std::string &Name, std::vector<Value> Args) {
 
 Value Interp::callFunction(const FuncDecl *F, std::vector<Value> Args,
                            std::shared_ptr<Env> Captured) {
+  if (!F->body()) {
+    trap("call to function '" + F->name() + "' with no body");
+    return Value::unit();
+  }
+  // One step per call entry: the same charge point as the VM, so both
+  // engines exhaust a step budget at the identical call.
+  if (!chargeStep())
+    return Value::unit();
   auto E = std::make_shared<Env>();
   E->Parent = std::move(Captured);
   for (size_t I = 0; I != F->params().size() && I < Args.size(); ++I) {
@@ -55,7 +45,7 @@ Interp::Flow Interp::execBlock(const BlockStmt *B, std::shared_ptr<Env> &E) {
   auto Inner = std::make_shared<Env>();
   Inner->Parent = E;
   for (const Stmt *S : B->stmts()) {
-    if (!step())
+    if (Trapped)
       return Flow::Return;
     if (execStmt(S, Inner) == Flow::Return)
       return Flow::Return;
@@ -64,7 +54,7 @@ Interp::Flow Interp::execBlock(const BlockStmt *B, std::shared_ptr<Env> &E) {
 }
 
 Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
-  if (!step())
+  if (Trapped)
     return Flow::Return;
   switch (S->kind()) {
   case StmtKind::Block:
@@ -91,6 +81,8 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
   case StmtKind::If: {
     const auto *I = cast<IfStmt>(S);
     Value C = evalExpr(I->cond(), E);
+    if (Trapped)
+      return Flow::Return;
     if (C.asBool())
       return execStmt(I->thenStmt(), E);
     if (I->elseStmt())
@@ -100,7 +92,8 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
   case StmtKind::While: {
     const auto *W = cast<WhileStmt>(S);
     while (!Trapped && evalExpr(W->cond(), E).asBool()) {
-      if (!step())
+      // One step per iteration: the shared engine charge point.
+      if (!chargeStep())
         return Flow::Return;
       if (execStmt(W->body(), E) == Flow::Return)
         return Flow::Return;
@@ -115,9 +108,11 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
   case StmtKind::Switch: {
     const auto *Sw = cast<SwitchStmt>(S);
     Value Subj = evalExpr(Sw->subject(), E);
+    if (Trapped)
+      return Flow::Return;
     // A tracked variant is tested through its cell.
     if (Subj.kind() == Value::Kind::Tracked)
-      Subj = derefForAccess(Subj, Sw->loc(), "switch subject");
+      Subj = derefForAccess(Subj, "switch subject");
     if (Subj.kind() != Value::Kind::Variant) {
       trap("switch on a non-variant value");
       return Flow::Normal;
@@ -154,6 +149,8 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
   }
   case StmtKind::Free: {
     Value V = evalExpr(cast<FreeStmt>(S)->operand(), E);
+    if (Trapped)
+      return Flow::Return;
     if (V.kind() == Value::Kind::Tracked && V.cell()) {
       if (!V.cell()->Alive)
         violation("double free of tracked object");
@@ -175,6 +172,8 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
     // revoking the borrow later does not kill the original.
     const auto *B = cast<BorrowStmt>(S);
     Value Src = evalExpr(B->source(), E);
+    if (Trapped)
+      return Flow::Return;
     if (Src.kind() == Value::Kind::Tracked && Src.cell()) {
       auto Alias = std::make_shared<CellData>(*Src.cell());
       Alias->Revoked = false;
@@ -186,6 +185,8 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
   }
   case StmtKind::EndBorrow: {
     Value V = evalExpr(cast<EndBorrowStmt>(S)->operand(), E);
+    if (Trapped)
+      return Flow::Return;
     if (V.kind() == Value::Kind::Tracked && V.cell()) {
       if (V.cell()->Revoked)
         violation("endborrow of an already-revoked borrow");
@@ -202,29 +203,6 @@ Interp::Flow Interp::execStmt(const Stmt *S, std::shared_ptr<Env> &E) {
 //===----------------------------------------------------------------------===//
 // Expressions
 //===----------------------------------------------------------------------===//
-
-Value Interp::derefForAccess(const Value &V, SourceLoc Loc, const char *What) {
-  (void)Loc;
-  if (V.kind() != Value::Kind::Tracked || !V.cell())
-    return V;
-  const auto &C = V.cell();
-  if (C->Revoked) {
-    violation(std::string("use of revoked borrow: ") + What);
-    return Value::unit();
-  }
-  if (!C->Alive) {
-    violation(std::string("use after free: ") + What);
-    return Value::unit();
-  }
-  if (C->Region != 0 && !Regions.isLive(C->Region)) {
-    violation(std::string("dangling region access: ") + What);
-    return Value::unit();
-  }
-  // Guarded cell: the guarding mutex must be locked at every access.
-  if (C->GuardMutex != 0 && !Locks.isLocked(C->GuardMutex))
-    Locks.unguardedAccess(C->GuardMutex, What);
-  return C->Inner ? *C->Inner : Value::unit();
-}
 
 Value *Interp::evalLValue(const Expr *E, std::shared_ptr<Env> &Ev) {
   if (const auto *N = dyn_cast<NameExpr>(E))
@@ -272,7 +250,7 @@ Value *Interp::evalLValue(const Expr *E, std::shared_ptr<Env> &Ev) {
     if (!Base)
       return nullptr;
     Value Idx = evalExpr(Ix->index(), Ev);
-    Value Arr = derefForAccess(*Base, E->loc(), "index");
+    Value Arr = derefForAccess(*Base, "index");
     if (Arr.kind() == Value::Kind::Array && Arr.array()) {
       auto &Elems = Arr.array()->Elems;
       if (Idx.asInt() >= 0 &&
@@ -301,6 +279,15 @@ Value Interp::evalCall(const CallExpr *E, std::shared_ptr<Env> &Ev) {
       std::vector<Value> Args;
       for (const Expr *A : E->args())
         Args.push_back(evalExpr(A, Ev));
+      if (Trapped)
+        return Value::unit();
+      // Re-check through the slot: argument evaluation may have
+      // rebound the callee (e.g. `f(f = g)`); trap instead of calling
+      // through a stale or non-function value.
+      if (V->kind() != Value::Kind::Func || !V->func() || !V->func()->Decl) {
+        trap("call target is no longer a function");
+        return Value::unit();
+      }
       return callFunction(V->func()->Decl, std::move(Args),
                           V->func()->Captured);
     }
@@ -318,6 +305,8 @@ Value Interp::evalCall(const CallExpr *E, std::shared_ptr<Env> &Ev) {
   std::vector<Value> Args;
   for (const Expr *A : E->args())
     Args.push_back(evalExpr(A, Ev));
+  if (Trapped)
+    return Value::unit();
 
   // User-defined function with a body?
   if (const FuncDecl *F = findFunction(Name); F && F->body())
@@ -336,7 +325,7 @@ Value Interp::evalCall(const CallExpr *E, std::shared_ptr<Env> &Ev) {
 }
 
 Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
-  if (!step())
+  if (Trapped)
     return Value::unit();
   switch (E->kind()) {
   case ExprKind::IntLiteral:
@@ -406,7 +395,7 @@ Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
   case ExprKind::Field: {
     const auto *F = cast<FieldExpr>(E);
     Value Base = evalExpr(F->base(), Ev);
-    Value Record = derefForAccess(Base, E->loc(), "field access");
+    Value Record = derefForAccess(Base, "field access");
     if (Record.kind() == Value::Kind::Struct) {
       auto It = Record.structData()->Fields.find(F->field());
       if (It != Record.structData()->Fields.end())
@@ -418,7 +407,7 @@ Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
     const auto *Ix = cast<IndexExpr>(E);
     Value Base = evalExpr(Ix->base(), Ev);
     Value Idx = evalExpr(Ix->index(), Ev);
-    Value Arr = derefForAccess(Base, E->loc(), "index");
+    Value Arr = derefForAccess(Base, "index");
     if (Arr.kind() == Value::Kind::Array && Arr.array()) {
       auto &Elems = Arr.array()->Elems;
       if (Idx.asInt() >= 0 &&
@@ -437,7 +426,7 @@ Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
   }
   case ExprKind::Unary: {
     const auto *U = cast<UnaryExpr>(E);
-    Value V = derefForAccess(evalExpr(U->operand(), Ev), E->loc(), "operand");
+    Value V = derefForAccess(evalExpr(U->operand(), Ev), "operand");
     if (U->op() == UnaryOp::Not)
       return Value::boolV(!V.asBool());
     return Value::intV(-V.asInt());
@@ -457,8 +446,8 @@ Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
         return Value::boolV(true);
       return Value::boolV(evalExpr(B->rhs(), Ev).asBool());
     }
-    Value L = derefForAccess(evalExpr(B->lhs(), Ev), E->loc(), "operand");
-    Value R = derefForAccess(evalExpr(B->rhs(), Ev), E->loc(), "operand");
+    Value L = derefForAccess(evalExpr(B->lhs(), Ev), "operand");
+    Value R = derefForAccess(evalExpr(B->rhs(), Ev), "operand");
     switch (B->op()) {
     case BinaryOp::Add:
       return Value::intV(L.asInt() + R.asInt());
@@ -499,7 +488,12 @@ Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
   case ExprKind::Assign: {
     const auto *A = cast<AssignExpr>(E);
     Value RHS = evalExpr(A->rhs(), Ev);
-    if (Value *Slot = evalLValue(A->lhs(), Ev)) {
+    if (Trapped)
+      return Value::unit();
+    Value *Slot = evalLValue(A->lhs(), Ev);
+    if (Trapped)
+      return Value::unit();
+    if (Slot) {
       *Slot = RHS;
       return Value::unit();
     }
@@ -514,7 +508,10 @@ Value Interp::evalExpr(const Expr *E, std::shared_ptr<Env> &Ev) {
   }
   case ExprKind::IncDec: {
     const auto *I = cast<IncDecExpr>(E);
-    if (Value *Slot = evalLValue(I->base(), Ev)) {
+    Value *Slot = evalLValue(I->base(), Ev);
+    if (Trapped)
+      return Value::unit();
+    if (Slot) {
       int64_t Old = Slot->asInt();
       *Slot = Value::intV(I->isIncrement() ? Old + 1 : Old - 1);
       return Value::intV(Old);

@@ -14,68 +14,27 @@
 /// tested by the suite is: a program the checker accepts produces no
 /// oracle violations on any run.
 ///
+/// The tree-walker is also the differential reference for the
+/// register-bytecode VM (src/vm/): both derive from interp::Machine
+/// and must agree byte for byte on output, violations, and traps.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VAULT_INTERP_INTERP_H
 #define VAULT_INTERP_INTERP_H
 
-#include "interp/Value.h"
-#include "gdi/Gdi.h"
-#include "locks/Mutex.h"
-#include "runtime/Region.h"
-#include "sema/Checker.h"
-#include "sockets/Socket.h"
-
-#include <functional>
+#include "interp/Machine.h"
 
 namespace vault::interp {
 
-class Interp {
+class Interp : public Machine {
 public:
-  using Builtin = std::function<Value(Interp &, std::vector<Value> &)>;
+  using Builtin = Machine::Builtin;
 
-  explicit Interp(VaultCompiler &C);
+  explicit Interp(VaultCompiler &C) : Machine(C) {}
 
-  /// Runs function \p Name with \p Args. Returns false if the function
-  /// is missing or the program trapped (see trapMessage()).
-  bool run(const std::string &Name = "main", std::vector<Value> Args = {});
-
-  Value result() const { return Result; }
-
-  /// Registers (or overrides) a builtin; also reachable as
-  /// "Module.name" through any module qualifier.
-  void registerBuiltin(const std::string &Name, Builtin Fn) {
-    Builtins[Name] = std::move(Fn);
-  }
-
-  // -- Oracle state -----------------------------------------------------
-  rt::RegionManager &regions() { return Regions; }
-  net::SocketWorld &sockets() { return Sockets; }
-  gdi::GdiWorld &gdi() { return Gdi; }
-  lock::MutexWorld &locks() { return Locks; }
-
-  void violation(const std::string &Msg) { Violations.push_back(Msg); }
-  const std::vector<std::string> &violations() const { return Violations; }
-  /// Total dynamic protocol violations including substrate-detected
-  /// ones and end-of-run leaks.
-  unsigned totalViolations() const;
-
-  const std::vector<std::string> &output() const { return Output; }
-  void print(std::string Line) { Output.push_back(std::move(Line)); }
-
-  bool trapped() const { return Trapped; }
-  const std::string &trapMessage() const { return TrapMsg; }
-  void trap(const std::string &Msg) {
-    if (!Trapped) {
-      Trapped = true;
-      TrapMsg = Msg;
-    }
-  }
-
-  /// Budget guard: aborts runaway programs deterministically.
-  size_t MaxSteps = 10'000'000;
-
-  VaultCompiler &compiler() { return Compiler; }
+  bool run(const std::string &Name = "main",
+           std::vector<Value> Args = {}) override;
 
 private:
   enum class Flow { Normal, Return };
@@ -88,36 +47,8 @@ private:
                      std::shared_ptr<Env> Captured);
   Value *evalLValue(const Expr *E, std::shared_ptr<Env> &Ev);
 
-  /// Reads through tracked cells, recording a violation on dead ones.
-  Value derefForAccess(const Value &V, SourceLoc Loc, const char *What);
-
-  const FuncDecl *findFunction(const std::string &Name) const;
-  bool step() {
-    if (++Steps > MaxSteps) {
-      trap("step budget exhausted (infinite loop?)");
-      return false;
-    }
-    return !Trapped;
-  }
-
-  VaultCompiler &Compiler;
-  std::map<std::string, Builtin> Builtins;
-  rt::RegionManager Regions;
-  net::SocketWorld Sockets;
-  gdi::GdiWorld Gdi;
-  lock::MutexWorld Locks;
-  std::vector<std::string> Violations;
-  std::vector<std::string> Output;
-  Value Result;
   Value ReturnSlot;
-  bool Trapped = false;
-  std::string TrapMsg;
-  size_t Steps = 0;
 };
-
-/// Installs the standard builtins: print/assert, the REGION interface,
-/// the socket library, and FILE open/close.
-void registerDefaultBuiltins(Interp &I);
 
 } // namespace vault::interp
 

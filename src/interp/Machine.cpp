@@ -1,0 +1,46 @@
+//===- Machine.cpp --------------------------------------------------------===//
+
+#include "interp/Machine.h"
+
+using namespace vault;
+using namespace vault::interp;
+
+Machine::Machine(VaultCompiler &C) : Compiler(C) {
+  registerDefaultBuiltins(*this);
+}
+
+const FuncDecl *Machine::findFunction(const std::string &Name) const {
+  FuncSig *Sig = Compiler.globals().findFunction(Name);
+  return Sig ? Sig->Decl : nullptr;
+}
+
+unsigned Machine::totalViolations() const {
+  unsigned N = static_cast<unsigned>(Violations.size());
+  N += Regions.violationCount();
+  N += Sockets.violationCount();
+  N += Gdi.violationCount();
+  N += Locks.violationCount();
+  return N;
+}
+
+Value Machine::derefForAccess(const Value &V, const char *What) {
+  if (V.kind() != Value::Kind::Tracked || !V.cell())
+    return V;
+  const auto &C = V.cell();
+  if (C->Revoked) {
+    violation(std::string("use of revoked borrow: ") + What);
+    return Value::unit();
+  }
+  if (!C->Alive) {
+    violation(std::string("use after free: ") + What);
+    return Value::unit();
+  }
+  if (C->Region != 0 && !Regions.isLive(C->Region)) {
+    violation(std::string("dangling region access: ") + What);
+    return Value::unit();
+  }
+  // Guarded cell: the guarding mutex must be locked at every access.
+  if (C->GuardMutex != 0 && !Locks.isLocked(C->GuardMutex))
+    Locks.unguardedAccess(C->GuardMutex, What);
+  return C->Inner ? *C->Inner : Value::unit();
+}

@@ -1,0 +1,122 @@
+//===- Machine.h - Shared substrate for the dynamic-oracle engines -*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate shared by both dynamic-oracle engines: the
+/// tree-walking interpreter (interp::Interp) and the register-bytecode
+/// VM (vm::Vm). A Machine owns the oracle worlds (regions, sockets,
+/// GDI, mutexes), the violation/output/trap state, the builtin table,
+/// and the step budget. Engines differ only in *how* they execute the
+/// checked AST; everything observable — output lines, violations,
+/// traps, leak counts — lives here so the differential harness can
+/// compare engines field by field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_INTERP_MACHINE_H
+#define VAULT_INTERP_MACHINE_H
+
+#include "interp/Value.h"
+#include "gdi/Gdi.h"
+#include "locks/Mutex.h"
+#include "runtime/Region.h"
+#include "sema/Checker.h"
+#include "sockets/Socket.h"
+
+#include <functional>
+
+namespace vault::interp {
+
+class Machine {
+public:
+  using Builtin = std::function<Value(Machine &, std::vector<Value> &)>;
+
+  explicit Machine(VaultCompiler &C);
+  virtual ~Machine() = default;
+
+  /// Runs function \p Name with \p Args. Returns false if the function
+  /// is missing or the program trapped (see trapMessage()).
+  virtual bool run(const std::string &Name = "main",
+                   std::vector<Value> Args = {}) = 0;
+
+  Value result() const { return Result; }
+
+  /// Registers (or overrides) a builtin; also reachable as
+  /// "Module.name" through any module qualifier.
+  void registerBuiltin(const std::string &Name, Builtin Fn) {
+    Builtins[Name] = std::move(Fn);
+  }
+
+  // -- Oracle state -----------------------------------------------------
+  rt::RegionManager &regions() { return Regions; }
+  net::SocketWorld &sockets() { return Sockets; }
+  gdi::GdiWorld &gdi() { return Gdi; }
+  lock::MutexWorld &locks() { return Locks; }
+
+  void violation(const std::string &Msg) { Violations.push_back(Msg); }
+  const std::vector<std::string> &violations() const { return Violations; }
+  /// Total dynamic protocol violations including substrate-detected
+  /// ones and end-of-run leaks.
+  unsigned totalViolations() const;
+
+  const std::vector<std::string> &output() const { return Output; }
+  void print(std::string Line) { Output.push_back(std::move(Line)); }
+
+  bool trapped() const { return Trapped; }
+  const std::string &trapMessage() const { return TrapMsg; }
+  void trap(const std::string &Msg) {
+    if (!Trapped) {
+      Trapped = true;
+      TrapMsg = Msg;
+    }
+  }
+
+  /// Budget guard: aborts runaway programs deterministically. Both
+  /// engines charge one step per loop iteration and per function-call
+  /// entry — the same abstract points — so a given program exhausts
+  /// the budget at the identical place under either engine.
+  size_t MaxSteps = 10'000'000;
+
+  VaultCompiler &compiler() { return Compiler; }
+
+protected:
+  /// Charges one execution step; on exhaustion traps with the
+  /// structured "interp-step-limit" message shared by both engines.
+  bool chargeStep() {
+    if (++Steps > MaxSteps) {
+      trap("interp-step-limit: exceeded " + std::to_string(MaxSteps) +
+           " steps");
+      return false;
+    }
+    return !Trapped;
+  }
+
+  /// Reads through tracked cells, recording a violation on dead ones.
+  Value derefForAccess(const Value &V, const char *What);
+
+  const FuncDecl *findFunction(const std::string &Name) const;
+
+  VaultCompiler &Compiler;
+  std::map<std::string, Builtin> Builtins;
+  rt::RegionManager Regions;
+  net::SocketWorld Sockets;
+  gdi::GdiWorld Gdi;
+  lock::MutexWorld Locks;
+  std::vector<std::string> Violations;
+  std::vector<std::string> Output;
+  Value Result;
+  bool Trapped = false;
+  std::string TrapMsg;
+  size_t Steps = 0;
+};
+
+/// Installs the standard builtins: print/assert, the REGION interface,
+/// the socket library, and FILE open/close.
+void registerDefaultBuiltins(Machine &M);
+
+} // namespace vault::interp
+
+#endif // VAULT_INTERP_MACHINE_H

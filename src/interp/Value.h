@@ -55,11 +55,16 @@ struct ArrayData {
   std::vector<Value> Elems;
 };
 
+struct VmBox;
+
 /// A function value: a top-level or nested function plus its captured
-/// environment.
+/// environment. The tree-walker fills `Captured`; the VM fills
+/// `VmProto` (an opaque vm::Chunk pointer) plus `VmUpvals`.
 struct FuncData {
   const FuncDecl *Decl = nullptr;
   std::shared_ptr<Env> Captured;
+  const void *VmProto = nullptr;
+  std::vector<std::shared_ptr<VmBox>> VmUpvals;
 };
 
 class Value {
@@ -130,6 +135,14 @@ private:
   std::shared_ptr<ArrayData> Arr;
   std::shared_ptr<FuncData> Fn;
   std::vector<Value> Tup;
+};
+
+/// A heap box for a local captured by a nested function in the
+/// bytecode VM. `Bound` mirrors the tree-walker's "has this name been
+/// declared yet on this execution of its block" semantics.
+struct VmBox {
+  Value V;
+  bool Bound = false;
 };
 
 /// A lexical environment frame; frames are shared so closures can

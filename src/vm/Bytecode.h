@@ -1,0 +1,235 @@
+//===- Bytecode.h - Register bytecode for the dynamic oracle ----*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact register bytecode for executing checked Vault programs
+/// with the dynamic protocol oracle inlined as cheap checks. One
+/// function compiles to one Chunk: a flat instruction array plus
+/// constant pools and aux tables (name-resolution chains, call/new/
+/// switch sites, scope reset lists, closure descriptors) and the
+/// Chunks of its nested functions.
+///
+/// Semantics contract: executing a Chunk through vm::Vm must be
+/// observably identical — output lines, violations, traps, leak
+/// counts, step-budget trap points — to walking the same AST with
+/// interp::Interp. The differential suite (tests/vm/) and the fourth
+/// fuzz oracle enforce this.
+///
+/// Names resolve through compile-time *chains*: the ordered candidate
+/// bindings a dynamic Env-chain lookup could hit (innermost scope
+/// outward, then enclosing functions as upvalues), each carrying a
+/// runtime "bound" bit so conditional / not-yet-executed declarations
+/// fall through exactly like absent Env entries. Locals captured by a
+/// nested function live in heap boxes (interp::VmBox) materialized at
+/// scope entry, so closures created before a later sibling
+/// declaration still observe it — the same sharing a captured Env
+/// frame gives the tree-walker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_VM_BYTECODE_H
+#define VAULT_VM_BYTECODE_H
+
+#include "ast/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vault {
+class VaultCompiler;
+}
+
+namespace vault::vm {
+
+enum class Op : uint8_t {
+  Nop,
+  LoadUnit,    ///< R[A] = unit
+  LoadInt,     ///< R[A] = Ints[X]
+  LoadStr,     ///< R[A] = Strs[X]
+  LoadBool,    ///< R[A] = bool(B)
+  Move,        ///< R[A] = R[B]
+  LoadName,    ///< R[A] = resolve Chains[X] (global-function fallback; traps on unknown)
+  BindReg,     ///< R[A] = R[B]; mark local slot A bound (declaration)
+  SetBox,      ///< Boxes[A]->V = R[B]; mark box bound (captured declaration)
+  BoxParam,    ///< Boxes[A] = fresh box from param register B (value + bound bit)
+  Closure,     ///< R[A] = function value from Closures[X]
+  ScopeReset,  ///< unbind Resets[X].Regs; fresh unbound boxes for Resets[X].Boxes
+  Jump,        ///< PC = X
+  JumpIfFalse, ///< if (!R[A].asBool()) PC = X
+  JumpIfTrue,  ///< if (R[A].asBool()) PC = X
+  ToBool,      ///< R[A] = bool(R[B].asBool())
+  Not,         ///< R[A] = !R[B].asBool()       (operand pre-dereferenced)
+  Neg,         ///< R[A] = -R[B].asInt()        (operand pre-dereferenced)
+  Deref,       ///< R[A] = derefForAccess(R[B], Strs[X])
+  Add,         ///< R[A] = R[B] + R[C]  (integer ops; operands pre-dereferenced)
+  Sub,
+  Mul,
+  Div,         ///< traps "division by zero"
+  Rem,         ///< traps "remainder by zero"
+  Eq,          ///< structural equality (Value::equals)
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Field,       ///< R[A] = deref(R[B], "field access").Fields[Strs[X]] or unit
+  Index,       ///< R[A] = deref(R[B], "index")[R[C]]; array OOB traps; tuple uses raw base
+  MakeTuple,   ///< R[A] = tuple(R[B..B+C))
+  CtorV,       ///< R[A] = variant Strs[X] with payload R[B..B+C)
+  NewObj,      ///< R[A] = record/tracked cell per News[X], field args at R[B..]
+  Callee,      ///< Refs[site.CalleeRef] = local chain hit iff it is a function value
+  Call,        ///< R[A] = call per Calls[X] with args R[B..B+C)
+  Ret,         ///< RetVal = R[A]; leave frame
+  TrapMsg,     ///< trap(Strs[X])
+  Step,        ///< charge one step of the execution budget (loop iteration)
+  FreeV,       ///< free statement on R[A]
+  BorrowReg,   ///< local slot A = borrow-alias of R[B]; mark bound
+  BorrowBox,   ///< Boxes[A]->V = borrow-alias of R[B]; mark bound
+  EndBorrowV,  ///< endborrow statement on R[A]
+  SwitchV,     ///< dispatch on R[A] per Switches[X]: bind case binders, jump
+  RefName,     ///< Refs[A] = resolve Chains[X] as a slot (no global fallback)
+  RefField,    ///< Refs[A] = &deref-checked (*Refs[B]).Fields[Strs[X]] or null
+  RefIndex,    ///< Refs[A] = element slot of (*Refs[B])[R[C]] or null; array OOB traps
+  RefTmp,      ///< Refs[A] = &R[B] (rvalue base materialized into a register)
+  RefNull,     ///< Refs[A] = null
+  JumpIfRefOk, ///< if (Refs[A]) PC = X
+  JumpIfRefNull, ///< if (!Refs[A]) PC = X
+  StoreRef,    ///< *Refs[A] = R[B]; null target records "assignment through dead object"
+  AssignUnknown, ///< trap("assignment to unknown variable 'Strs[X]'")
+  IncDec,      ///< R[A] = old int of *Refs[B], slot ±1 per C; null target records violation
+};
+
+/// One instruction: a one-byte opcode, three short register/slot
+/// operands, and a wide operand for jump targets and pool/table
+/// indices. 12 bytes, trivially copyable.
+struct Insn {
+  Op O = Op::Nop;
+  uint16_t A = 0, B = 0, C = 0;
+  uint32_t X = 0;
+};
+
+constexpr uint32_t NoIndex = 0xFFFFFFFFu;
+
+/// One candidate binding of a name, in lookup order.
+struct Binding {
+  enum class Kind : uint8_t { Reg, Box, Upval };
+  Kind K = Kind::Reg;
+  uint16_t Index = 0;
+};
+
+/// The ordered candidate bindings a dynamic lookup of one name could
+/// hit, innermost first. The first *bound* candidate wins; if none is
+/// bound the name falls through to the global function table.
+struct NameChain {
+  std::vector<Binding> Bindings;
+  uint32_t NameIdx = 0; ///< Strs index of the name (fallback + messages).
+};
+
+/// A call expression site. Replicates the tree-walker's resolution
+/// order: local function value (via Callee), then a global function
+/// with a body, then a qualified builtin, then a plain builtin.
+struct CallSite {
+  uint32_t ChainIdx = NoIndex; ///< local-shadow chain; NoIndex for M.f() calls
+  uint16_t CalleeRef = 0;      ///< ref slot Callee resolves into
+  uint32_t NameIdx = 0;        ///< plain function name
+  uint32_t QualIdx = NoIndex;  ///< "Module.name" for qualified calls
+  /// Execution cache: the callee's chunk once the site has resolved
+  /// through the global function table (never set for local-shadow or
+  /// builtin resolutions, which stay dynamic). Chunks are owned per-Vm,
+  /// so the cached pointer never crosses engines.
+  mutable const void *CachedCallee = nullptr;
+};
+
+/// A `new` expression site: the declared fields to zero-fill, the
+/// initialized field names (in source order, matching the argument
+/// registers), and the allocation flavor.
+struct NewSite {
+  std::vector<uint32_t> ZeroFields; ///< Strs indices, declaration order
+  std::vector<uint32_t> InitFields; ///< Strs indices, one per argument
+  bool Tracked = false;
+  bool HasRegion = false; ///< region value register = argbase + InitFields.size()
+};
+
+/// A switch binder: where the payload element binds (register or box)
+/// — unnamed binder positions still consume a payload slot.
+struct SwitchBinder {
+  Binding::Kind K = Binding::Kind::Reg;
+  uint16_t Index = 0;
+  bool Named = false;
+};
+
+struct SwitchCase {
+  uint32_t TagIdx = 0; ///< Strs index of the constructor name
+  std::vector<SwitchBinder> Binders;
+  uint32_t Target = 0;
+};
+
+struct SwitchSite {
+  std::vector<SwitchCase> Cases; ///< non-default cases, source order
+  uint32_t DefaultTarget = NoIndex;
+  uint32_t EndTarget = 0;
+};
+
+/// Scope-entry bookkeeping: unbind the scope's declared registers and
+/// materialize fresh unbound boxes for its captured declarations, so
+/// each execution of the block starts like a fresh Env frame.
+struct ResetList {
+  std::vector<uint16_t> Regs;
+  std::vector<uint16_t> Boxes;
+};
+
+/// How a nested function captures one upvalue, in enclosing-frame
+/// terms: a box of the enclosing frame or one of its own upvalues.
+struct UpvalSrc {
+  enum class Kind : uint8_t { FromBox, FromUpval };
+  Kind K = Kind::FromBox;
+  uint16_t Index = 0;
+};
+
+struct ClosureSite {
+  uint32_t ProtoIdx = 0; ///< index into Chunk::Protos
+  std::vector<UpvalSrc> Upvals;
+};
+
+/// One compiled function.
+struct Chunk {
+  std::string Name;
+  const FuncDecl *Decl = nullptr;
+  std::vector<Insn> Code;
+
+  std::vector<int64_t> Ints;
+  std::vector<std::string> Strs;
+  std::vector<NameChain> Chains;
+  std::vector<CallSite> Calls;
+  std::vector<NewSite> News;
+  std::vector<SwitchSite> Switches;
+  std::vector<ResetList> Resets;
+  std::vector<ClosureSite> Closures;
+  std::vector<std::unique_ptr<Chunk>> Protos; ///< nested functions
+
+  uint16_t NumRegs = 0;
+  uint16_t NumBoxes = 0;
+  uint16_t NumRefs = 0;
+  /// Parameter registers are 0..NumParams-1 in declaration order;
+  /// ParamNamed[i] tells whether slot i binds (anonymous params
+  /// reserve the position but stay unbound, like the tree-walker).
+  uint16_t NumParams = 0;
+  std::vector<bool> ParamNamed;
+};
+
+/// Compiles one top-level function (no enclosing scope) to a Chunk.
+std::unique_ptr<Chunk> compileFunction(VaultCompiler &C, const FuncDecl *F);
+
+/// Renders a chunk (and, recursively, its nested-function protos) as
+/// stable human-readable text for `vaultc --dump-bytecode` and tests.
+std::string disassemble(const Chunk &Ch);
+
+} // namespace vault::vm
+
+#endif // VAULT_VM_BYTECODE_H

@@ -1,0 +1,835 @@
+//===- Compile.cpp - Checked AST → register bytecode ----------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Compiles one function to a vm::Chunk. The pass is a single
+// syntax-directed walk that mirrors the tree-walker's evaluation
+// order exactly (operand order, deref points, trap points), so the
+// two engines stay observably identical.
+//
+// Scoping: the tree-walker resolves names dynamically through an Env
+// chain built at run time. The compiler replicates that with *chains*
+// of candidate bindings plus per-slot bound bits: a declaration marks
+// its slot bound when (and only when) the declaration statement
+// executes, and a scope-entry reset unbinds the block's slots so each
+// execution behaves like a fresh Env frame. Locals referenced from
+// nested functions are promoted to heap boxes materialized at scope
+// entry — the same object identity a captured Env frame gives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+#include "sema/Checker.h"
+
+#include <set>
+
+using namespace vault;
+using namespace vault::vm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Capture pre-pass
+//===----------------------------------------------------------------------===//
+
+void collectNames(const Expr *E, std::set<std::string> &Out);
+
+void collectNames(const Stmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      collectNames(Sub, Out);
+    return;
+  case StmtKind::Decl: {
+    const Decl *D = cast<DeclStmt>(S)->decl();
+    if (const auto *V = dyn_cast<VarDecl>(D))
+      collectNames(V->init(), Out);
+    else if (const auto *F = dyn_cast<FuncDecl>(D))
+      collectNames(F->body(), Out);
+    return;
+  }
+  case StmtKind::Expr:
+    collectNames(cast<ExprStmt>(S)->expr(), Out);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectNames(I->cond(), Out);
+    collectNames(I->thenStmt(), Out);
+    collectNames(I->elseStmt(), Out);
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    collectNames(W->cond(), Out);
+    collectNames(W->body(), Out);
+    return;
+  }
+  case StmtKind::Return:
+    collectNames(cast<ReturnStmt>(S)->value(), Out);
+    return;
+  case StmtKind::Switch: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    collectNames(Sw->subject(), Out);
+    for (const SwitchStmt::Case &C : Sw->cases())
+      for (const Stmt *Sub : C.Body)
+        collectNames(Sub, Out);
+    return;
+  }
+  case StmtKind::Free:
+    collectNames(cast<FreeStmt>(S)->operand(), Out);
+    return;
+  case StmtKind::Borrow:
+    collectNames(cast<BorrowStmt>(S)->source(), Out);
+    return;
+  case StmtKind::EndBorrow:
+    collectNames(cast<EndBorrowStmt>(S)->operand(), Out);
+    return;
+  }
+}
+
+void collectNames(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+  case ExprKind::BoolLiteral:
+  case ExprKind::StringLiteral:
+    return;
+  case ExprKind::Name:
+    Out.insert(cast<NameExpr>(E)->name());
+    return;
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    collectNames(C->callee(), Out);
+    for (const Expr *A : C->args())
+      collectNames(A, Out);
+    return;
+  }
+  case ExprKind::Ctor:
+    for (const Expr *A : cast<CtorExpr>(E)->args())
+      collectNames(A, Out);
+    return;
+  case ExprKind::New: {
+    const auto *N = cast<NewExpr>(E);
+    for (const NewExpr::FieldInit &FI : N->inits())
+      collectNames(FI.Init, Out);
+    collectNames(N->region(), Out);
+    return;
+  }
+  case ExprKind::Field:
+    collectNames(cast<FieldExpr>(E)->base(), Out);
+    return;
+  case ExprKind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    collectNames(Ix->base(), Out);
+    collectNames(Ix->index(), Out);
+    return;
+  }
+  case ExprKind::Unary:
+    collectNames(cast<UnaryExpr>(E)->operand(), Out);
+    return;
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    collectNames(B->lhs(), Out);
+    collectNames(B->rhs(), Out);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    collectNames(A->lhs(), Out);
+    collectNames(A->rhs(), Out);
+    return;
+  }
+  case ExprKind::IncDec:
+    collectNames(cast<IncDecExpr>(E)->base(), Out);
+    return;
+  case ExprKind::Tuple:
+    for (const Expr *El : cast<TupleExpr>(E)->elems())
+      collectNames(El, Out);
+    return;
+  }
+}
+
+/// Every name referenced inside any nested function declared under
+/// \p S (transitively). An over-approximation: a name in this set that
+/// gets declared in the enclosing function is promoted to a box.
+void scanForCaptures(const Stmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      scanForCaptures(Sub, Out);
+    return;
+  case StmtKind::Decl:
+    if (const auto *F = dyn_cast<FuncDecl>(cast<DeclStmt>(S)->decl()))
+      collectNames(F->body(), Out);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    scanForCaptures(I->thenStmt(), Out);
+    scanForCaptures(I->elseStmt(), Out);
+    return;
+  }
+  case StmtKind::While:
+    scanForCaptures(cast<WhileStmt>(S)->body(), Out);
+    return;
+  case StmtKind::Switch:
+    for (const SwitchStmt::Case &C : cast<SwitchStmt>(S)->cases())
+      for (const Stmt *Sub : C.Body)
+        scanForCaptures(Sub, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function compiler
+//===----------------------------------------------------------------------===//
+
+class FuncCompiler {
+public:
+  FuncCompiler(VaultCompiler &C, const FuncDecl *F, FuncCompiler *Parent)
+      : Compiler(C), Fn(F), Parent(Parent) {}
+
+  std::unique_ptr<Chunk> compile();
+
+  /// Upvalue descriptors of this (nested) function, in enclosing-frame
+  /// terms — the parent copies them into the ClosureSite.
+  std::vector<UpvalSrc> takeUpvals() { return std::move(Upvals); }
+
+  /// Called by a nested function's compiler: every candidate binding
+  /// of \p Name visible at the current compile position, expressed as
+  /// upvalue sources in *this* function's frame terms.
+  std::vector<UpvalSrc> upvalSourcesFor(const std::string &Name);
+
+private:
+  // -- Emission ---------------------------------------------------------
+  size_t emit(Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+              uint32_t X = 0) {
+    Ch->Code.push_back({O, A, B, C, X});
+    return Ch->Code.size() - 1;
+  }
+  uint32_t here() const { return static_cast<uint32_t>(Ch->Code.size()); }
+  void patchX(size_t At, uint32_t X) { Ch->Code[At].X = X; }
+
+  uint32_t intIdx(int64_t V) {
+    auto [It, New] = IntPool.try_emplace(V, Ch->Ints.size());
+    if (New)
+      Ch->Ints.push_back(V);
+    return static_cast<uint32_t>(It->second);
+  }
+  uint32_t strIdx(const std::string &S) {
+    auto [It, New] = StrPool.try_emplace(S, Ch->Strs.size());
+    if (New)
+      Ch->Strs.push_back(S);
+    return static_cast<uint32_t>(It->second);
+  }
+
+  // -- Registers, boxes, refs -------------------------------------------
+  void growRegs(uint16_t N) {
+    if (N > Ch->NumRegs)
+      Ch->NumRegs = N;
+  }
+  uint16_t allocTmp() {
+    uint16_t R = NextTmp++;
+    growRegs(NextTmp);
+    return R;
+  }
+  uint16_t tmpMark() const { return NextTmp; }
+  void freeTmp(uint16_t Mark) { NextTmp = Mark > LocalTop ? Mark : LocalTop; }
+  uint16_t allocLocal() {
+    uint16_t R = LocalTop++;
+    if (NextTmp < LocalTop)
+      NextTmp = LocalTop;
+    growRegs(NextTmp);
+    return R;
+  }
+  uint16_t allocBox() { return Ch->NumBoxes++; }
+  uint16_t allocRef() {
+    uint16_t R = NextRef++;
+    if (NextRef > Ch->NumRefs)
+      Ch->NumRefs = NextRef;
+    return R;
+  }
+
+  // -- Scopes -----------------------------------------------------------
+  struct ScopeInfo {
+    std::map<std::string, Binding> Names;
+    uint16_t SavedLocalTop = 0;
+    size_t ResetInsn = SIZE_MAX; ///< ScopeReset placeholder, SIZE_MAX if none
+    ResetList Resets;
+  };
+
+  /// Opens a scope; \p WithReset emits a ScopeReset placeholder so the
+  /// scope's declarations start unbound on every execution.
+  void openScope(bool WithReset) {
+    ScopeInfo S;
+    S.SavedLocalTop = LocalTop;
+    if (WithReset)
+      S.ResetInsn = emit(Op::ScopeReset);
+    Scopes.push_back(std::move(S));
+  }
+  void closeScope() {
+    ScopeInfo &S = Scopes.back();
+    if (S.ResetInsn != SIZE_MAX) {
+      if (S.Resets.Regs.empty() && S.Resets.Boxes.empty()) {
+        Ch->Code[S.ResetInsn].O = Op::Nop;
+      } else {
+        Ch->Resets.push_back(std::move(S.Resets));
+        patchX(S.ResetInsn, static_cast<uint32_t>(Ch->Resets.size() - 1));
+      }
+    }
+    LocalTop = S.SavedLocalTop;
+    if (NextTmp < LocalTop)
+      NextTmp = LocalTop;
+    Scopes.pop_back();
+  }
+
+  /// Registers a declaration in the current scope, adding its slot to
+  /// the scope's reset list. Switch binders and params use
+  /// declareNoReset: their own construct (re)binds them.
+  void declare(const std::string &Name, Binding B) {
+    Scopes.back().Names[Name] = B;
+    if (Scopes.back().ResetInsn != SIZE_MAX) {
+      if (B.K == Binding::Kind::Reg)
+        Scopes.back().Resets.Regs.push_back(B.Index);
+      else
+        Scopes.back().Resets.Boxes.push_back(B.Index);
+    }
+  }
+  void declareNoReset(const std::string &Name, Binding B) {
+    Scopes.back().Names[Name] = B;
+  }
+
+  uint16_t addUpval(UpvalSrc S) {
+    for (size_t I = 0; I != Upvals.size(); ++I)
+      if (Upvals[I].K == S.K && Upvals[I].Index == S.Index)
+        return static_cast<uint16_t>(I);
+    Upvals.push_back(S);
+    return static_cast<uint16_t>(Upvals.size() - 1);
+  }
+
+  /// The ordered candidate bindings of \p Name at the current compile
+  /// position: this function's scopes innermost-first, then enclosing
+  /// functions' (boxed) bindings as upvalues.
+  NameChain buildChain(const std::string &Name) {
+    NameChain C;
+    C.NameIdx = strIdx(Name);
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->Names.find(Name);
+      if (F != It->Names.end())
+        C.Bindings.push_back(F->second);
+    }
+    if (Parent)
+      for (UpvalSrc S : Parent->upvalSourcesFor(Name))
+        C.Bindings.push_back({Binding::Kind::Upval, addUpval(S)});
+    return C;
+  }
+  uint32_t pushChain(NameChain C) {
+    Ch->Chains.push_back(std::move(C));
+    return static_cast<uint32_t>(Ch->Chains.size() - 1);
+  }
+
+  // -- Compilation ------------------------------------------------------
+  void compileStmt(const Stmt *S);
+  void compileBlock(const BlockStmt *B);
+  uint16_t compileExpr(const Expr *E);
+  uint16_t compileCall(const CallExpr *E);
+  uint16_t compileRef(const Expr *E);
+  uint32_t compileClosure(const FuncDecl *F);
+
+  VaultCompiler &Compiler;
+  const FuncDecl *Fn;
+  FuncCompiler *Parent;
+  std::unique_ptr<Chunk> Ch;
+  std::set<std::string> Captured;
+  std::vector<ScopeInfo> Scopes;
+  std::vector<UpvalSrc> Upvals;
+  std::map<int64_t, size_t> IntPool;
+  std::map<std::string, size_t> StrPool;
+  uint16_t LocalTop = 0;
+  uint16_t NextTmp = 0;
+  uint16_t NextRef = 0;
+};
+
+std::vector<UpvalSrc> FuncCompiler::upvalSourcesFor(const std::string &Name) {
+  std::vector<UpvalSrc> Out;
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto F = It->Names.find(Name);
+    // The capture pre-pass boxes every binding a nested function can
+    // see, so only Box bindings are exportable.
+    if (F != It->Names.end() && F->second.K == Binding::Kind::Box)
+      Out.push_back({UpvalSrc::Kind::FromBox, F->second.Index});
+  }
+  if (Parent)
+    for (UpvalSrc S : Parent->upvalSourcesFor(Name))
+      Out.push_back({UpvalSrc::Kind::FromUpval, addUpval(S)});
+  return Out;
+}
+
+std::unique_ptr<Chunk> FuncCompiler::compile() {
+  Ch = std::make_unique<Chunk>();
+  Ch->Name = Fn->name();
+  Ch->Decl = Fn;
+  scanForCaptures(Fn->body(), Captured);
+
+  // Parameter scope: registers 0..N-1 in declaration order, promoted
+  // to boxes when a nested function references the name.
+  openScope(/*WithReset=*/false);
+  Ch->NumParams = static_cast<uint16_t>(Fn->params().size());
+  for (const FuncDecl::Param &P : Fn->params()) {
+    uint16_t R = allocLocal();
+    Ch->ParamNamed.push_back(!P.Name.empty());
+    if (P.Name.empty())
+      continue;
+    if (Captured.count(P.Name)) {
+      uint16_t B = allocBox();
+      declareNoReset(P.Name, {Binding::Kind::Box, B});
+      emit(Op::BoxParam, B, R);
+    } else {
+      declareNoReset(P.Name, {Binding::Kind::Reg, R});
+    }
+  }
+  compileBlock(Fn->body());
+  closeScope();
+  return std::move(Ch);
+}
+
+void FuncCompiler::compileBlock(const BlockStmt *B) {
+  openScope(/*WithReset=*/true);
+  for (const Stmt *S : B->stmts())
+    compileStmt(S);
+  closeScope();
+}
+
+uint32_t FuncCompiler::compileClosure(const FuncDecl *F) {
+  FuncCompiler Child(Compiler, F, this);
+  std::unique_ptr<Chunk> Proto = Child.compile();
+  ClosureSite Site;
+  Site.Upvals = Child.takeUpvals();
+  Ch->Protos.push_back(std::move(Proto));
+  Site.ProtoIdx = static_cast<uint32_t>(Ch->Protos.size() - 1);
+  Ch->Closures.push_back(std::move(Site));
+  return static_cast<uint32_t>(Ch->Closures.size() - 1);
+}
+
+void FuncCompiler::compileStmt(const Stmt *S) {
+  uint16_t Mark = tmpMark();
+  uint16_t RefMark = NextRef;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    compileBlock(cast<BlockStmt>(S));
+    break;
+  case StmtKind::Decl: {
+    const Decl *D = cast<DeclStmt>(S)->decl();
+    if (const auto *V = dyn_cast<VarDecl>(D)) {
+      bool Cap = Captured.count(V->name()) != 0;
+      Binding Bd = Cap ? Binding{Binding::Kind::Box, allocBox()}
+                       : Binding{Binding::Kind::Reg, allocLocal()};
+      // Registered before the initializer compiles: a self-reference
+      // in the initializer sees the (still unbound) new slot and falls
+      // through to outer bindings, like the tree-walker's
+      // evaluate-then-insert order.
+      declare(V->name(), Bd);
+      uint16_t T;
+      if (V->init()) {
+        T = compileExpr(V->init());
+      } else {
+        T = allocTmp();
+        emit(Op::LoadUnit, T);
+      }
+      emit(Cap ? Op::SetBox : Op::BindReg, Bd.Index, T);
+      break;
+    }
+    if (const auto *F = dyn_cast<FuncDecl>(D)) {
+      bool Cap = Captured.count(F->name()) != 0;
+      Binding Bd = Cap ? Binding{Binding::Kind::Box, allocBox()}
+                       : Binding{Binding::Kind::Reg, allocLocal()};
+      declare(F->name(), Bd);
+      uint32_t SiteIdx = compileClosure(F);
+      uint16_t T = allocTmp();
+      emit(Op::Closure, T, 0, 0, SiteIdx);
+      emit(Cap ? Op::SetBox : Op::BindReg, Bd.Index, T);
+      break;
+    }
+    break;
+  }
+  case StmtKind::Expr:
+    compileExpr(cast<ExprStmt>(S)->expr());
+    break;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    uint16_t C = compileExpr(I->cond());
+    size_t JF = emit(Op::JumpIfFalse, C);
+    compileStmt(I->thenStmt());
+    if (I->elseStmt()) {
+      size_t J = emit(Op::Jump);
+      patchX(JF, here());
+      compileStmt(I->elseStmt());
+      patchX(J, here());
+    } else {
+      patchX(JF, here());
+    }
+    break;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    uint32_t LCond = here();
+    uint16_t C = compileExpr(W->cond());
+    size_t JF = emit(Op::JumpIfFalse, C);
+    emit(Op::Step); // one step per iteration, like the tree-walker
+    compileStmt(W->body());
+    emit(Op::Jump, 0, 0, 0, LCond);
+    patchX(JF, here());
+    break;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    uint16_t T;
+    if (R->value()) {
+      T = compileExpr(R->value());
+    } else {
+      T = allocTmp();
+      emit(Op::LoadUnit, T);
+    }
+    emit(Op::Ret, T);
+    break;
+  }
+  case StmtKind::Switch: {
+    const auto *Sw = cast<SwitchStmt>(S);
+    uint16_t Subj = compileExpr(Sw->subject());
+    Ch->Switches.emplace_back();
+    uint32_t SiteIdx = static_cast<uint32_t>(Ch->Switches.size() - 1);
+    emit(Op::SwitchV, Subj, 0, 0, SiteIdx);
+    SwitchSite Site;
+    std::vector<size_t> EndJumps;
+    for (const SwitchStmt::Case &C : Sw->cases()) {
+      uint32_t Target = here();
+      openScope(/*WithReset=*/true);
+      if (C.Pattern.IsDefault) {
+        // Like the tree-walker's scan, the *last* default wins.
+        Site.DefaultTarget = Target;
+      } else {
+        SwitchCase SC;
+        SC.TagIdx = strIdx(C.Pattern.CtorName);
+        SC.Target = Target;
+        for (const std::string &BinderName : C.Pattern.Binders) {
+          SwitchBinder SB;
+          SB.Named = !BinderName.empty();
+          if (SB.Named) {
+            if (Captured.count(BinderName)) {
+              SB.K = Binding::Kind::Box;
+              SB.Index = allocBox();
+            } else {
+              SB.K = Binding::Kind::Reg;
+              SB.Index = allocLocal();
+            }
+            declareNoReset(BinderName, {SB.K, SB.Index});
+          }
+          SC.Binders.push_back(SB);
+        }
+        Site.Cases.push_back(std::move(SC));
+      }
+      for (const Stmt *Sub : C.Body)
+        compileStmt(Sub);
+      closeScope();
+      EndJumps.push_back(emit(Op::Jump));
+    }
+    uint32_t End = here();
+    for (size_t J : EndJumps)
+      patchX(J, End);
+    Site.EndTarget = End;
+    Ch->Switches[SiteIdx] = std::move(Site);
+    break;
+  }
+  case StmtKind::Free: {
+    uint16_t T = compileExpr(cast<FreeStmt>(S)->operand());
+    emit(Op::FreeV, T);
+    break;
+  }
+  case StmtKind::Borrow: {
+    const auto *B = cast<BorrowStmt>(S);
+    bool Cap = Captured.count(B->binderName()) != 0;
+    Binding Bd = Cap ? Binding{Binding::Kind::Box, allocBox()}
+                     : Binding{Binding::Kind::Reg, allocLocal()};
+    declare(B->binderName(), Bd);
+    uint16_t T = compileExpr(B->source());
+    emit(Cap ? Op::BorrowBox : Op::BorrowReg, Bd.Index, T);
+    break;
+  }
+  case StmtKind::EndBorrow: {
+    uint16_t T = compileExpr(cast<EndBorrowStmt>(S)->operand());
+    emit(Op::EndBorrowV, T);
+    break;
+  }
+  }
+  freeTmp(Mark);
+  NextRef = RefMark;
+}
+
+uint16_t FuncCompiler::compileCall(const CallExpr *E) {
+  uint16_t Dst = allocTmp();
+  CallSite Site;
+  const Expr *CalleeE = E->callee();
+  if (const auto *N = dyn_cast<NameExpr>(CalleeE)) {
+    Site.NameIdx = strIdx(N->name());
+    NameChain Chain = buildChain(N->name());
+    if (!Chain.Bindings.empty()) {
+      Site.ChainIdx = pushChain(std::move(Chain));
+      Site.CalleeRef = allocRef();
+    }
+  } else {
+    const auto *F = dyn_cast<FieldExpr>(CalleeE);
+    const NameExpr *Base = F ? dyn_cast<NameExpr>(F->base()) : nullptr;
+    if (!Base) {
+      // The tree-walker traps before evaluating any argument.
+      emit(Op::LoadUnit, Dst);
+      emit(Op::TrapMsg, 0, 0, 0, strIdx("unsupported call target"));
+      return Dst;
+    }
+    Site.NameIdx = strIdx(F->field());
+    Site.QualIdx = strIdx(Base->name() + "." + F->field());
+  }
+  Ch->Calls.push_back(Site);
+  uint32_t SiteIdx = static_cast<uint32_t>(Ch->Calls.size() - 1);
+  // Resolve the local-shadow callee before the arguments, like the
+  // tree-walker's lookup (argument effects can rebind the name; the
+  // call still goes through the originally resolved slot).
+  if (Site.ChainIdx != NoIndex)
+    emit(Op::Callee, 0, 0, 0, SiteIdx);
+  uint16_t NArgs = static_cast<uint16_t>(E->args().size());
+  uint16_t ArgBase = NextTmp;
+  for (uint16_t I = 0; I != NArgs; ++I)
+    allocTmp();
+  for (uint16_t I = 0; I != NArgs; ++I) {
+    uint16_t R = compileExpr(E->args()[I]);
+    emit(Op::Move, static_cast<uint16_t>(ArgBase + I), R);
+    freeTmp(static_cast<uint16_t>(ArgBase + NArgs));
+  }
+  emit(Op::Call, Dst, ArgBase, NArgs, SiteIdx);
+  freeTmp(ArgBase);
+  return Dst;
+}
+
+uint16_t FuncCompiler::compileRef(const Expr *E) {
+  if (const auto *N = dyn_cast<NameExpr>(E)) {
+    uint16_t Ref = allocRef();
+    emit(Op::RefName, Ref, 0, 0, pushChain(buildChain(N->name())));
+    return Ref;
+  }
+  if (const auto *F = dyn_cast<FieldExpr>(E)) {
+    uint16_t Ref = compileRef(F->base());
+    size_t JOk = emit(Op::JumpIfRefOk, Ref);
+    // Base may be an rvalue (e.g. a call); materialize it. The
+    // register stays live until the enclosing statement completes.
+    uint16_t T = compileExpr(F->base());
+    emit(Op::RefTmp, Ref, T);
+    patchX(JOk, here());
+    emit(Op::RefField, Ref, Ref, 0, strIdx(F->field()));
+    return Ref;
+  }
+  if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+    uint16_t Ref = compileRef(Ix->base());
+    // A null base short-circuits without evaluating the index.
+    size_t JNull = emit(Op::JumpIfRefNull, Ref);
+    uint16_t T = compileExpr(Ix->index());
+    emit(Op::RefIndex, Ref, Ref, T);
+    patchX(JNull, here());
+    return Ref;
+  }
+  uint16_t Ref = allocRef();
+  emit(Op::RefNull, Ref);
+  return Ref;
+}
+
+uint16_t FuncCompiler::compileExpr(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral: {
+    uint16_t T = allocTmp();
+    emit(Op::LoadInt, T, 0, 0, intIdx(cast<IntLiteralExpr>(E)->value()));
+    return T;
+  }
+  case ExprKind::BoolLiteral: {
+    uint16_t T = allocTmp();
+    emit(Op::LoadBool, T, cast<BoolLiteralExpr>(E)->value() ? 1 : 0);
+    return T;
+  }
+  case ExprKind::StringLiteral: {
+    uint16_t T = allocTmp();
+    emit(Op::LoadStr, T, 0, 0, strIdx(cast<StringLiteralExpr>(E)->value()));
+    return T;
+  }
+  case ExprKind::Name: {
+    uint16_t T = allocTmp();
+    emit(Op::LoadName, T, 0, 0,
+         pushChain(buildChain(cast<NameExpr>(E)->name())));
+    return T;
+  }
+  case ExprKind::Call:
+    return compileCall(cast<CallExpr>(E));
+  case ExprKind::Ctor: {
+    const auto *C = cast<CtorExpr>(E);
+    uint16_t Dst = allocTmp();
+    uint16_t N = static_cast<uint16_t>(C->args().size());
+    uint16_t Base = NextTmp;
+    for (uint16_t I = 0; I != N; ++I)
+      allocTmp();
+    for (uint16_t I = 0; I != N; ++I) {
+      uint16_t R = compileExpr(C->args()[I]);
+      emit(Op::Move, static_cast<uint16_t>(Base + I), R);
+      freeTmp(static_cast<uint16_t>(Base + N));
+    }
+    emit(Op::CtorV, Dst, Base, N, strIdx(C->name()));
+    freeTmp(Base);
+    return Dst;
+  }
+  case ExprKind::New: {
+    const auto *N = cast<NewExpr>(E);
+    uint16_t Dst = allocTmp();
+    NewSite Site;
+    if (const auto *Named = dyn_cast<NamedTypeExpr>(N->typeExpr()))
+      if (const auto *StD = dyn_cast<StructDecl>(
+              Compiler.globals().findType(Named->name())))
+        for (const StructDecl::Field &F : StD->fields())
+          Site.ZeroFields.push_back(strIdx(F.Name));
+    for (const NewExpr::FieldInit &FI : N->inits())
+      Site.InitFields.push_back(strIdx(FI.Field));
+    Site.Tracked = N->isTracked();
+    Site.HasRegion = N->region() != nullptr;
+    uint16_t NArgs =
+        static_cast<uint16_t>(N->inits().size() + (Site.HasRegion ? 1 : 0));
+    uint16_t Base = NextTmp;
+    for (uint16_t I = 0; I != NArgs; ++I)
+      allocTmp();
+    for (size_t I = 0; I != N->inits().size(); ++I) {
+      uint16_t R = compileExpr(N->inits()[I].Init);
+      emit(Op::Move, static_cast<uint16_t>(Base + I), R);
+      freeTmp(static_cast<uint16_t>(Base + NArgs));
+    }
+    if (Site.HasRegion) {
+      uint16_t R = compileExpr(N->region());
+      emit(Op::Move, static_cast<uint16_t>(Base + NArgs - 1), R);
+      freeTmp(static_cast<uint16_t>(Base + NArgs));
+    }
+    Ch->News.push_back(std::move(Site));
+    emit(Op::NewObj, Dst, Base, 0, static_cast<uint32_t>(Ch->News.size() - 1));
+    freeTmp(Base);
+    return Dst;
+  }
+  case ExprKind::Field: {
+    const auto *F = cast<FieldExpr>(E);
+    uint16_t B = compileExpr(F->base());
+    emit(Op::Field, B, B, 0, strIdx(F->field()));
+    return B;
+  }
+  case ExprKind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    uint16_t B = compileExpr(Ix->base());
+    uint16_t I = compileExpr(Ix->index());
+    emit(Op::Index, B, B, I);
+    freeTmp(I);
+    return B;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    uint16_t V = compileExpr(U->operand());
+    emit(Op::Deref, V, V, 0, strIdx("operand"));
+    emit(U->op() == UnaryOp::Not ? Op::Not : Op::Neg, V, V);
+    return V;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::And || B->op() == BinaryOp::Or) {
+      bool IsAnd = B->op() == BinaryOp::And;
+      uint16_t Dst = allocTmp();
+      uint16_t L = compileExpr(B->lhs());
+      size_t JShort = emit(IsAnd ? Op::JumpIfFalse : Op::JumpIfTrue, L);
+      uint16_t R = compileExpr(B->rhs());
+      emit(Op::ToBool, Dst, R);
+      size_t JEnd = emit(Op::Jump);
+      patchX(JShort, here());
+      emit(Op::LoadBool, Dst, IsAnd ? 0 : 1);
+      patchX(JEnd, here());
+      freeTmp(static_cast<uint16_t>(Dst + 1));
+      return Dst;
+    }
+    uint16_t L = compileExpr(B->lhs());
+    emit(Op::Deref, L, L, 0, strIdx("operand"));
+    uint16_t R = compileExpr(B->rhs());
+    emit(Op::Deref, R, R, 0, strIdx("operand"));
+    Op O;
+    switch (B->op()) {
+    case BinaryOp::Add: O = Op::Add; break;
+    case BinaryOp::Sub: O = Op::Sub; break;
+    case BinaryOp::Mul: O = Op::Mul; break;
+    case BinaryOp::Div: O = Op::Div; break;
+    case BinaryOp::Rem: O = Op::Rem; break;
+    case BinaryOp::Eq:  O = Op::Eq;  break;
+    case BinaryOp::Ne:  O = Op::Ne;  break;
+    case BinaryOp::Lt:  O = Op::Lt;  break;
+    case BinaryOp::Le:  O = Op::Le;  break;
+    case BinaryOp::Gt:  O = Op::Gt;  break;
+    case BinaryOp::Ge:  O = Op::Ge;  break;
+    default:            O = Op::Nop; break;
+    }
+    emit(O, L, L, R);
+    freeTmp(R);
+    return L;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    uint16_t RHS = compileExpr(A->rhs());
+    if (const auto *N = dyn_cast<NameExpr>(A->lhs())) {
+      uint16_t Ref = allocRef();
+      emit(Op::RefName, Ref, 0, 0, pushChain(buildChain(N->name())));
+      size_t JOk = emit(Op::JumpIfRefOk, Ref);
+      emit(Op::AssignUnknown, 0, 0, 0, strIdx(N->name()));
+      patchX(JOk, here());
+      emit(Op::StoreRef, Ref, RHS);
+    } else {
+      uint16_t Ref = compileRef(A->lhs());
+      emit(Op::StoreRef, Ref, RHS);
+    }
+    emit(Op::LoadUnit, RHS);
+    return RHS;
+  }
+  case ExprKind::IncDec: {
+    const auto *I = cast<IncDecExpr>(E);
+    uint16_t Dst = allocTmp();
+    uint16_t Ref = compileRef(I->base());
+    emit(Op::IncDec, Dst, Ref, I->isIncrement() ? 1 : 0);
+    return Dst;
+  }
+  case ExprKind::Tuple: {
+    const auto *T = cast<TupleExpr>(E);
+    uint16_t Dst = allocTmp();
+    uint16_t N = static_cast<uint16_t>(T->elems().size());
+    uint16_t Base = NextTmp;
+    for (uint16_t I = 0; I != N; ++I)
+      allocTmp();
+    for (uint16_t I = 0; I != N; ++I) {
+      uint16_t R = compileExpr(T->elems()[I]);
+      emit(Op::Move, static_cast<uint16_t>(Base + I), R);
+      freeTmp(static_cast<uint16_t>(Base + N));
+    }
+    emit(Op::MakeTuple, Dst, Base, N);
+    freeTmp(Base);
+    return Dst;
+  }
+  }
+  uint16_t T = allocTmp();
+  emit(Op::LoadUnit, T);
+  return T;
+}
+
+} // namespace
+
+std::unique_ptr<Chunk> vault::vm::compileFunction(VaultCompiler &C,
+                                                  const FuncDecl *F) {
+  FuncCompiler FC(C, F, nullptr);
+  return FC.compile();
+}

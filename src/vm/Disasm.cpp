@@ -1,0 +1,285 @@
+//===- Disasm.cpp - Human-readable chunk rendering ------------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Stable text form of a compiled chunk for `vaultc --dump-bytecode`
+// and tests. Pool-referencing instructions are annotated with the
+// referenced constant so dumps are readable without the tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include <sstream>
+
+using namespace vault;
+using namespace vault::vm;
+
+namespace {
+
+const char *opName(Op O) {
+  switch (O) {
+  case Op::Nop:           return "nop";
+  case Op::LoadUnit:      return "load.unit";
+  case Op::LoadInt:       return "load.int";
+  case Op::LoadStr:       return "load.str";
+  case Op::LoadBool:      return "load.bool";
+  case Op::Move:          return "move";
+  case Op::LoadName:      return "load.name";
+  case Op::BindReg:       return "bind.reg";
+  case Op::SetBox:        return "set.box";
+  case Op::BoxParam:      return "box.param";
+  case Op::Closure:       return "closure";
+  case Op::ScopeReset:    return "scope.reset";
+  case Op::Jump:          return "jump";
+  case Op::JumpIfFalse:   return "jump.if.false";
+  case Op::JumpIfTrue:    return "jump.if.true";
+  case Op::ToBool:        return "to.bool";
+  case Op::Not:           return "not";
+  case Op::Neg:           return "neg";
+  case Op::Deref:         return "deref";
+  case Op::Add:           return "add";
+  case Op::Sub:           return "sub";
+  case Op::Mul:           return "mul";
+  case Op::Div:           return "div";
+  case Op::Rem:           return "rem";
+  case Op::Eq:            return "eq";
+  case Op::Ne:            return "ne";
+  case Op::Lt:            return "lt";
+  case Op::Le:            return "le";
+  case Op::Gt:            return "gt";
+  case Op::Ge:            return "ge";
+  case Op::Field:         return "field";
+  case Op::Index:         return "index";
+  case Op::MakeTuple:     return "make.tuple";
+  case Op::CtorV:         return "ctor";
+  case Op::NewObj:        return "new.obj";
+  case Op::Callee:        return "callee";
+  case Op::Call:          return "call";
+  case Op::Ret:           return "ret";
+  case Op::TrapMsg:       return "trap";
+  case Op::Step:          return "step";
+  case Op::FreeV:         return "free";
+  case Op::BorrowReg:     return "borrow.reg";
+  case Op::BorrowBox:     return "borrow.box";
+  case Op::EndBorrowV:    return "endborrow";
+  case Op::SwitchV:       return "switch";
+  case Op::RefName:       return "ref.name";
+  case Op::RefField:      return "ref.field";
+  case Op::RefIndex:      return "ref.index";
+  case Op::RefTmp:        return "ref.tmp";
+  case Op::RefNull:       return "ref.null";
+  case Op::JumpIfRefOk:   return "jump.if.ref";
+  case Op::JumpIfRefNull: return "jump.if.noref";
+  case Op::StoreRef:      return "store.ref";
+  case Op::AssignUnknown: return "assign.unknown";
+  case Op::IncDec:        return "incdec";
+  }
+  return "?";
+}
+
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '\n')
+      Out += "\\n";
+    else if (C == '"')
+      Out += "\\\"";
+    else
+      Out += C;
+  }
+  Out += "\"";
+  return Out;
+}
+
+std::string chainStr(const Chunk &Ch, uint32_t Idx) {
+  const NameChain &C = Ch.Chains[Idx];
+  std::string Out = Ch.Strs[C.NameIdx] + " [";
+  for (size_t I = 0; I != C.Bindings.size(); ++I) {
+    if (I)
+      Out += " ";
+    const Binding &B = C.Bindings[I];
+    switch (B.K) {
+    case Binding::Kind::Reg:
+      Out += "r" + std::to_string(B.Index);
+      break;
+    case Binding::Kind::Box:
+      Out += "b" + std::to_string(B.Index);
+      break;
+    case Binding::Kind::Upval:
+      Out += "u" + std::to_string(B.Index);
+      break;
+    }
+  }
+  return Out + "]";
+}
+
+void disasmChunk(const Chunk &Ch, const std::string &Prefix,
+                 std::ostringstream &Out) {
+  Out << "func " << (Prefix.empty() ? Ch.Name : Prefix + "." + Ch.Name) << "/"
+      << Ch.NumParams << " (regs=" << Ch.NumRegs << " boxes=" << Ch.NumBoxes
+      << " refs=" << Ch.NumRefs << ")\n";
+  char Buf[32];
+  for (size_t PC = 0; PC != Ch.Code.size(); ++PC) {
+    const Insn &I = Ch.Code[PC];
+    std::snprintf(Buf, sizeof(Buf), "  %04zu  %-15s", PC, opName(I.O));
+    Out << Buf;
+    switch (I.O) {
+    case Op::Nop:
+    case Op::Step:
+      break;
+    case Op::LoadUnit:
+    case Op::RefNull:
+      Out << "r" << I.A;
+      break;
+    case Op::LoadInt:
+      Out << "r" << I.A << ", " << Ch.Ints[I.X];
+      break;
+    case Op::LoadStr:
+      Out << "r" << I.A << ", " << quoted(Ch.Strs[I.X]);
+      break;
+    case Op::LoadBool:
+      Out << "r" << I.A << ", " << (I.B ? "true" : "false");
+      break;
+    case Op::Move:
+    case Op::ToBool:
+    case Op::Not:
+    case Op::Neg:
+    case Op::BindReg:
+    case Op::BorrowReg:
+      Out << "r" << I.A << ", r" << I.B;
+      break;
+    case Op::SetBox:
+    case Op::BoxParam:
+    case Op::BorrowBox:
+      Out << "b" << I.A << ", r" << I.B;
+      break;
+    case Op::LoadName:
+    case Op::RefName:
+      Out << (I.O == Op::RefName ? "f" : "r") << I.A << ", "
+          << chainStr(Ch, I.X);
+      break;
+    case Op::Closure:
+      Out << "r" << I.A << ", proto#" << Ch.Closures[I.X].ProtoIdx << " ("
+          << Ch.Protos[Ch.Closures[I.X].ProtoIdx]->Name << ", "
+          << Ch.Closures[I.X].Upvals.size() << " upvals)";
+      break;
+    case Op::ScopeReset: {
+      const ResetList &RL = Ch.Resets[I.X];
+      Out << "regs=" << RL.Regs.size() << " boxes=" << RL.Boxes.size();
+      break;
+    }
+    case Op::Jump:
+      Out << "-> " << I.X;
+      break;
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      Out << "r" << I.A << " -> " << I.X;
+      break;
+    case Op::JumpIfRefOk:
+    case Op::JumpIfRefNull:
+      Out << "f" << I.A << " -> " << I.X;
+      break;
+    case Op::Deref:
+      Out << "r" << I.A << ", r" << I.B << ", " << quoted(Ch.Strs[I.X]);
+      break;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Rem:
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+      Out << "r" << I.A << ", r" << I.B << ", r" << I.C;
+      break;
+    case Op::Field:
+      Out << "r" << I.A << ", r" << I.B << ", " << quoted(Ch.Strs[I.X]);
+      break;
+    case Op::Index:
+      Out << "r" << I.A << ", r" << I.B << "[r" << I.C << "]";
+      break;
+    case Op::MakeTuple:
+      Out << "r" << I.A << ", r" << I.B << "..+" << I.C;
+      break;
+    case Op::CtorV:
+      Out << "r" << I.A << ", '" << Ch.Strs[I.X] << ", r" << I.B << "..+"
+          << I.C;
+      break;
+    case Op::NewObj: {
+      const NewSite &NS = Ch.News[I.X];
+      Out << "r" << I.A << ", args r" << I.B << "..+"
+          << (NS.InitFields.size() + (NS.HasRegion ? 1 : 0))
+          << (NS.Tracked ? " tracked" : "") << (NS.HasRegion ? " region" : "");
+      break;
+    }
+    case Op::Callee: {
+      const CallSite &CS = Ch.Calls[I.X];
+      Out << "f" << CS.CalleeRef << ", " << chainStr(Ch, CS.ChainIdx);
+      break;
+    }
+    case Op::Call: {
+      const CallSite &CS = Ch.Calls[I.X];
+      Out << "r" << I.A << ", "
+          << Ch.Strs[CS.QualIdx != NoIndex ? CS.QualIdx : CS.NameIdx] << "(r"
+          << I.B << "..+" << I.C << ")";
+      break;
+    }
+    case Op::Ret:
+    case Op::FreeV:
+    case Op::EndBorrowV:
+      Out << "r" << I.A;
+      break;
+    case Op::TrapMsg:
+    case Op::AssignUnknown:
+      Out << quoted(Ch.Strs[I.X]);
+      break;
+    case Op::SwitchV: {
+      const SwitchSite &SS = Ch.Switches[I.X];
+      Out << "r" << I.A << ", {";
+      for (size_t C = 0; C != SS.Cases.size(); ++C) {
+        if (C)
+          Out << " ";
+        Out << "'" << Ch.Strs[SS.Cases[C].TagIdx] << "->"
+            << SS.Cases[C].Target;
+      }
+      if (SS.DefaultTarget != NoIndex)
+        Out << (SS.Cases.empty() ? "" : " ") << "_->" << SS.DefaultTarget;
+      Out << "} end=" << SS.EndTarget;
+      break;
+    }
+    case Op::RefField:
+      Out << "f" << I.A << ", f" << I.B << ", " << quoted(Ch.Strs[I.X]);
+      break;
+    case Op::RefIndex:
+      Out << "f" << I.A << ", f" << I.B << "[r" << I.C << "]";
+      break;
+    case Op::RefTmp:
+      Out << "f" << I.A << ", r" << I.B;
+      break;
+    case Op::StoreRef:
+      Out << "f" << I.A << ", r" << I.B;
+      break;
+    case Op::IncDec:
+      Out << "r" << I.A << ", f" << I.B << (I.C ? " ++" : " --");
+      break;
+    }
+    Out << "\n";
+  }
+  std::string NextPrefix = Prefix.empty() ? Ch.Name : Prefix + "." + Ch.Name;
+  for (const std::unique_ptr<Chunk> &P : Ch.Protos) {
+    Out << "\n";
+    disasmChunk(*P, NextPrefix, Out);
+  }
+}
+
+} // namespace
+
+std::string vault::vm::disassemble(const Chunk &Ch) {
+  std::ostringstream Out;
+  disasmChunk(Ch, "", Out);
+  return Out.str();
+}

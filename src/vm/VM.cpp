@@ -1,0 +1,625 @@
+//===- VM.cpp - Bytecode dispatch loop ------------------------------------===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+// Every opcode replicates the tree-walker's semantics byte for byte:
+// the same trap/violation messages, the same evaluation-order effects
+// (encoded by the compiler), the same step-budget charge points (call
+// entry + loop iteration). Where the walker has a quirk — the shared
+// ReturnSlot, the call-site re-check through a rebindable slot, raw
+// (underef'd) truth tests — the VM reproduces the quirk rather than
+// "fixing" it, because the differential harness compares observables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+using namespace vault;
+using namespace vault::vm;
+using vault::interp::CellData;
+using vault::interp::FuncData;
+using vault::interp::StructData;
+using vault::interp::Value;
+using vault::interp::VariantData;
+using vault::interp::VmBox;
+
+/// Per-invocation state: value registers with their bound bits, the
+/// frame's heap boxes, and lvalue reference slots.
+struct Vm::Frame {
+  std::vector<Value> R;
+  std::vector<uint8_t> Bound;
+  std::vector<std::shared_ptr<VmBox>> Boxes;
+  std::vector<Value *> Refs;
+};
+
+Vm::Vm(VaultCompiler &C) : Machine(C) {}
+Vm::~Vm() = default;
+
+const Chunk *Vm::chunkFor(const FuncDecl *F) {
+  auto It = Cache.find(F);
+  if (It == Cache.end())
+    It = Cache.emplace(F, compileFunction(Compiler, F)).first;
+  return It->second.get();
+}
+
+bool Vm::run(const std::string &Name, std::vector<Value> Args) {
+  const FuncDecl *F = findFunction(Name);
+  if (!F || !F->body()) {
+    trap("no function '" + Name + "' with a body");
+    return false;
+  }
+  Result = invoke(*chunkFor(F), Args.data(), Args.size(), nullptr);
+  return !Trapped;
+}
+
+Value Vm::invoke(const Chunk &Ch, Value *Args, size_t NArgs,
+                 const std::vector<std::shared_ptr<VmBox>> *Upvals) {
+  // One step per call entry: the same charge point as the walker.
+  if (!chargeStep())
+    return Value::unit();
+
+  std::unique_ptr<Frame> Owner;
+  if (FramePool.empty()) {
+    Owner = std::make_unique<Frame>();
+  } else {
+    Owner = std::move(FramePool.back());
+    FramePool.pop_back();
+  }
+  Frame &F = *Owner;
+  // Stale register values from the previous occupant are unreachable:
+  // temps are always written before read, and locals read only through
+  // their (cleared) Bound bits.
+  F.R.resize(Ch.NumRegs);
+  F.Bound.assign(Ch.NumRegs, 0);
+  F.Boxes.clear();
+  F.Boxes.resize(Ch.NumBoxes);
+  F.Refs.assign(Ch.NumRefs, nullptr);
+  for (size_t I = 0; I != Ch.NumParams && I < NArgs; ++I)
+    if (Ch.ParamNamed[I]) {
+      F.R[I] = std::move(Args[I]);
+      F.Bound[I] = 1;
+    }
+  RetVal = Value::unit();
+
+  // A chain candidate resolves when its slot is bound; the first bound
+  // candidate wins, like the innermost Env hit.
+  auto slotFor = [&](const Binding &B) -> Value * {
+    switch (B.K) {
+    case Binding::Kind::Reg:
+      return F.Bound[B.Index] ? &F.R[B.Index] : nullptr;
+    case Binding::Kind::Box: {
+      auto &Bx = F.Boxes[B.Index];
+      return Bx && Bx->Bound ? &Bx->V : nullptr;
+    }
+    case Binding::Kind::Upval: {
+      if (!Upvals)
+        return nullptr;
+      auto &Bx = (*Upvals)[B.Index];
+      return Bx && Bx->Bound ? &Bx->V : nullptr;
+    }
+    }
+    return nullptr;
+  };
+  auto resolveChain = [&](const NameChain &C) -> Value * {
+    for (const Binding &B : C.Bindings)
+      if (Value *V = slotFor(B))
+        return V;
+    return nullptr;
+  };
+
+  const std::vector<Insn> &Code = Ch.Code;
+  size_t PC = 0;
+  while (PC < Code.size()) {
+    if (Trapped)
+      break;
+    const Insn &I = Code[PC++];
+    switch (I.O) {
+    case Op::Nop:
+      break;
+    case Op::LoadUnit:
+      F.R[I.A] = Value::unit();
+      break;
+    case Op::LoadInt:
+      F.R[I.A] = Value::intV(Ch.Ints[I.X]);
+      break;
+    case Op::LoadStr:
+      F.R[I.A] = Value::strV(Ch.Strs[I.X]);
+      break;
+    case Op::LoadBool:
+      F.R[I.A] = Value::boolV(I.B != 0);
+      break;
+    case Op::Move:
+      F.R[I.A] = F.R[I.B];
+      break;
+    case Op::LoadName: {
+      const NameChain &C = Ch.Chains[I.X];
+      if (Value *V = resolveChain(C)) {
+        F.R[I.A] = *V;
+        break;
+      }
+      // A top-level function used as a value; a fresh FuncData per
+      // evaluation, like the walker (so f == f is false).
+      if (const FuncDecl *Fn = findFunction(Ch.Strs[C.NameIdx])) {
+        auto FD = std::make_shared<FuncData>();
+        FD->Decl = Fn;
+        F.R[I.A] = Value::funcV(std::move(FD));
+        break;
+      }
+      trap("unknown name '" + Ch.Strs[C.NameIdx] + "'");
+      F.R[I.A] = Value::unit();
+      break;
+    }
+    case Op::BindReg:
+      F.R[I.A] = F.R[I.B];
+      F.Bound[I.A] = 1;
+      break;
+    case Op::SetBox: {
+      auto &Bx = F.Boxes[I.A];
+      if (!Bx)
+        Bx = std::make_shared<VmBox>();
+      Bx->V = F.R[I.B];
+      Bx->Bound = true;
+      break;
+    }
+    case Op::BoxParam: {
+      auto Bx = std::make_shared<VmBox>();
+      Bx->V = F.R[I.B];
+      Bx->Bound = F.Bound[I.B] != 0;
+      F.Boxes[I.A] = std::move(Bx);
+      break;
+    }
+    case Op::Closure: {
+      const ClosureSite &CS = Ch.Closures[I.X];
+      const Chunk *Proto = Ch.Protos[CS.ProtoIdx].get();
+      auto FD = std::make_shared<FuncData>();
+      FD->Decl = Proto->Decl;
+      FD->VmProto = Proto;
+      for (const UpvalSrc &U : CS.Upvals) {
+        std::shared_ptr<VmBox> Bx =
+            U.K == UpvalSrc::Kind::FromBox
+                ? F.Boxes[U.Index]
+                : (Upvals ? (*Upvals)[U.Index] : nullptr);
+        if (!Bx)
+          Bx = std::make_shared<VmBox>();
+        FD->VmUpvals.push_back(std::move(Bx));
+      }
+      F.R[I.A] = Value::funcV(std::move(FD));
+      break;
+    }
+    case Op::ScopeReset: {
+      const ResetList &RL = Ch.Resets[I.X];
+      for (uint16_t R : RL.Regs)
+        F.Bound[R] = 0;
+      // Fresh boxes per execution: closures made this round capture
+      // this round's slots, and the scope starts undeclared.
+      for (uint16_t B : RL.Boxes)
+        F.Boxes[B] = std::make_shared<VmBox>();
+      break;
+    }
+    case Op::Jump:
+      PC = I.X;
+      break;
+    case Op::JumpIfFalse:
+      if (!F.R[I.A].asBool())
+        PC = I.X;
+      break;
+    case Op::JumpIfTrue:
+      if (F.R[I.A].asBool())
+        PC = I.X;
+      break;
+    case Op::ToBool:
+      F.R[I.A] = Value::boolV(F.R[I.B].asBool());
+      break;
+    case Op::Not:
+      F.R[I.A] = Value::boolV(!F.R[I.B].asBool());
+      break;
+    case Op::Neg:
+      F.R[I.A] = Value::intV(-F.R[I.B].asInt());
+      break;
+    case Op::Deref:
+      F.R[I.A] = derefForAccess(F.R[I.B], Ch.Strs[I.X].c_str());
+      break;
+    case Op::Add:
+      F.R[I.A] = Value::intV(F.R[I.B].asInt() + F.R[I.C].asInt());
+      break;
+    case Op::Sub:
+      F.R[I.A] = Value::intV(F.R[I.B].asInt() - F.R[I.C].asInt());
+      break;
+    case Op::Mul:
+      F.R[I.A] = Value::intV(F.R[I.B].asInt() * F.R[I.C].asInt());
+      break;
+    case Op::Div:
+      if (F.R[I.C].asInt() == 0) {
+        trap("division by zero");
+        F.R[I.A] = Value::intV(0);
+      } else {
+        F.R[I.A] = Value::intV(F.R[I.B].asInt() / F.R[I.C].asInt());
+      }
+      break;
+    case Op::Rem:
+      if (F.R[I.C].asInt() == 0) {
+        trap("remainder by zero");
+        F.R[I.A] = Value::intV(0);
+      } else {
+        F.R[I.A] = Value::intV(F.R[I.B].asInt() % F.R[I.C].asInt());
+      }
+      break;
+    case Op::Eq:
+      F.R[I.A] = Value::boolV(F.R[I.B].equals(F.R[I.C]));
+      break;
+    case Op::Ne:
+      F.R[I.A] = Value::boolV(!F.R[I.B].equals(F.R[I.C]));
+      break;
+    case Op::Lt:
+      F.R[I.A] = Value::boolV(F.R[I.B].asInt() < F.R[I.C].asInt());
+      break;
+    case Op::Le:
+      F.R[I.A] = Value::boolV(F.R[I.B].asInt() <= F.R[I.C].asInt());
+      break;
+    case Op::Gt:
+      F.R[I.A] = Value::boolV(F.R[I.B].asInt() > F.R[I.C].asInt());
+      break;
+    case Op::Ge:
+      F.R[I.A] = Value::boolV(F.R[I.B].asInt() >= F.R[I.C].asInt());
+      break;
+    case Op::Field: {
+      Value Record = derefForAccess(F.R[I.B], "field access");
+      Value Out = Value::unit();
+      if (Record.kind() == Value::Kind::Struct) {
+        auto It = Record.structData()->Fields.find(Ch.Strs[I.X]);
+        if (It != Record.structData()->Fields.end())
+          Out = It->second;
+      }
+      F.R[I.A] = std::move(Out);
+      break;
+    }
+    case Op::Index: {
+      Value Base = F.R[I.B];
+      Value Idx = F.R[I.C];
+      Value Arr = derefForAccess(Base, "index");
+      if (Arr.kind() == Value::Kind::Array && Arr.array()) {
+        auto &Elems = Arr.array()->Elems;
+        if (Idx.asInt() >= 0 &&
+            static_cast<size_t>(Idx.asInt()) < Elems.size()) {
+          F.R[I.A] = Elems[Idx.asInt()];
+        } else {
+          trap("array index out of bounds");
+          F.R[I.A] = Value::unit();
+        }
+        break;
+      }
+      if (Base.kind() == Value::Kind::Tuple) {
+        auto &Elems = Base.tupleElems();
+        if (Idx.asInt() >= 0 &&
+            static_cast<size_t>(Idx.asInt()) < Elems.size()) {
+          F.R[I.A] = Elems[Idx.asInt()];
+          break;
+        }
+      }
+      F.R[I.A] = Value::unit();
+      break;
+    }
+    case Op::MakeTuple: {
+      std::vector<Value> Elems(F.R.begin() + I.B, F.R.begin() + I.B + I.C);
+      F.R[I.A] = Value::tupleV(std::move(Elems));
+      break;
+    }
+    case Op::CtorV: {
+      auto D = std::make_shared<VariantData>();
+      D->Tag = Ch.Strs[I.X];
+      D->Payload.assign(F.R.begin() + I.B, F.R.begin() + I.B + I.C);
+      F.R[I.A] = Value::variantV(std::move(D));
+      break;
+    }
+    case Op::NewObj: {
+      const NewSite &NS = Ch.News[I.X];
+      auto SD = std::make_shared<StructData>();
+      for (uint32_t FIdx : NS.ZeroFields)
+        SD->Fields[Ch.Strs[FIdx]] = Value::intV(0);
+      for (size_t K = 0; K != NS.InitFields.size(); ++K)
+        SD->Fields[Ch.Strs[NS.InitFields[K]]] = F.R[I.B + K];
+      auto Cell = std::make_shared<CellData>();
+      Cell->Inner = std::make_shared<Value>(Value::structV(std::move(SD)));
+      Cell->Alive = true;
+      if (NS.HasRegion) {
+        const Value &Rg = F.R[I.B + NS.InitFields.size()];
+        if (Rg.kind() != Value::Kind::Region) {
+          trap("new(rgn) with a non-region value");
+          F.R[I.A] = Value::unit();
+          break;
+        }
+        if (!Regions.isLive(Rg.handle()))
+          violation("allocation from deleted region");
+        else
+          Regions.allocate(Rg.handle(), 64); // Account the allocation.
+        Cell->Region = Rg.handle();
+        F.R[I.A] = Value::trackedV(std::move(Cell));
+        break;
+      }
+      if (NS.Tracked) {
+        F.R[I.A] = Value::trackedV(std::move(Cell));
+        break;
+      }
+      F.R[I.A] = *Cell->Inner; // Plain record value.
+      break;
+    }
+    case Op::Callee: {
+      const CallSite &CS = Ch.Calls[I.X];
+      Value *V = resolveChain(Ch.Chains[CS.ChainIdx]);
+      // Only a function value shadows globals; any other local
+      // binding falls through to the global/builtin path.
+      F.Refs[CS.CalleeRef] =
+          V && V->kind() == Value::Kind::Func ? V : nullptr;
+      break;
+    }
+    case Op::Call: {
+      const CallSite &CS = Ch.Calls[I.X];
+      // Callee invocations consume the argument temps in place (the
+      // compiler never reads an argument register after its Call);
+      // only builtins — which take a mutable vector — get a copy.
+      Value *ArgBase = F.R.data() + I.B;
+      if (CS.ChainIdx != NoIndex && F.Refs[CS.CalleeRef]) {
+        Value *V = F.Refs[CS.CalleeRef];
+        // Re-check through the slot: argument evaluation may have
+        // rebound the callee; trap instead of calling through a stale
+        // or non-function value.
+        if (V->kind() != Value::Kind::Func || !V->func() ||
+            !V->func()->Decl) {
+          trap("call target is no longer a function");
+          F.R[I.A] = Value::unit();
+          break;
+        }
+        // Keep the FuncData alive across the call even if the callee
+        // rebinds the slot it was resolved from.
+        std::shared_ptr<FuncData> FD = V->func();
+        if (!FD->Decl->body()) {
+          trap("call to function '" + FD->Decl->name() + "' with no body");
+          F.R[I.A] = Value::unit();
+          break;
+        }
+        const Chunk *Proto = FD->VmProto
+                                 ? static_cast<const Chunk *>(FD->VmProto)
+                                 : chunkFor(FD->Decl);
+        F.R[I.A] = invoke(*Proto, ArgBase, I.C, &FD->VmUpvals);
+        break;
+      }
+      if (CS.CachedCallee) {
+        F.R[I.A] = invoke(*static_cast<const Chunk *>(CS.CachedCallee),
+                          ArgBase, I.C, nullptr);
+        break;
+      }
+      const std::string &Name = Ch.Strs[CS.NameIdx];
+      if (const FuncDecl *Fn = findFunction(Name); Fn && Fn->body()) {
+        const Chunk *Callee = chunkFor(Fn);
+        CS.CachedCallee = Callee; // Global resolution is stable post-check.
+        F.R[I.A] = invoke(*Callee, ArgBase, I.C, nullptr);
+        break;
+      }
+      std::vector<Value> CallArgs(ArgBase, ArgBase + I.C);
+      if (CS.QualIdx != NoIndex) {
+        auto It = Builtins.find(Ch.Strs[CS.QualIdx]);
+        if (It != Builtins.end()) {
+          F.R[I.A] = It->second(*this, CallArgs);
+          break;
+        }
+      }
+      if (auto It = Builtins.find(Name); It != Builtins.end()) {
+        F.R[I.A] = It->second(*this, CallArgs);
+        break;
+      }
+      trap("call to undefined function '" +
+           (CS.QualIdx != NoIndex ? Ch.Strs[CS.QualIdx] : Name) +
+           "' (no body, no builtin)");
+      F.R[I.A] = Value::unit();
+      break;
+    }
+    case Op::Ret:
+      RetVal = F.R[I.A];
+      PC = Code.size();
+      break;
+    case Op::TrapMsg:
+      trap(Ch.Strs[I.X]);
+      break;
+    case Op::Step:
+      (void)chargeStep();
+      break;
+    case Op::FreeV: {
+      const Value &V = F.R[I.A];
+      if (V.kind() == Value::Kind::Tracked && V.cell()) {
+        if (!V.cell()->Alive)
+          violation("double free of tracked object");
+        V.cell()->Alive = false;
+        break;
+      }
+      if (V.kind() == Value::Kind::Region) {
+        if (!Regions.destroy(V.handle()))
+          violation("free of dead region");
+        break;
+      }
+      if (V.kind() == Value::Kind::Tuple || V.kind() == Value::Kind::Variant)
+        break; // Freeing an unpacked box: no-op.
+      violation("free of a non-tracked value");
+      break;
+    }
+    case Op::BorrowReg:
+    case Op::BorrowBox: {
+      // The alias gets its own cell sharing the source's storage, so
+      // revoking the borrow later does not kill the original.
+      Value Src = F.R[I.B];
+      Value Bound;
+      if (Src.kind() == Value::Kind::Tracked && Src.cell()) {
+        auto Alias = std::make_shared<CellData>(*Src.cell());
+        Alias->Revoked = false;
+        Bound = Value::trackedV(std::move(Alias));
+      } else {
+        Bound = std::move(Src);
+      }
+      if (I.O == Op::BorrowReg) {
+        F.R[I.A] = std::move(Bound);
+        F.Bound[I.A] = 1;
+      } else {
+        auto &Bx = F.Boxes[I.A];
+        if (!Bx)
+          Bx = std::make_shared<VmBox>();
+        Bx->V = std::move(Bound);
+        Bx->Bound = true;
+      }
+      break;
+    }
+    case Op::EndBorrowV: {
+      const Value &V = F.R[I.A];
+      if (V.kind() == Value::Kind::Tracked && V.cell()) {
+        if (V.cell()->Revoked)
+          violation("endborrow of an already-revoked borrow");
+        V.cell()->Revoked = true;
+      } else {
+        violation("endborrow of a non-borrowed value");
+      }
+      break;
+    }
+    case Op::SwitchV: {
+      const SwitchSite &SS = Ch.Switches[I.X];
+      Value Subj = F.R[I.A];
+      // A tracked variant is tested through its cell.
+      if (Subj.kind() == Value::Kind::Tracked)
+        Subj = derefForAccess(Subj, "switch subject");
+      if (Subj.kind() != Value::Kind::Variant) {
+        trap("switch on a non-variant value");
+        PC = SS.EndTarget;
+        break;
+      }
+      bool Matched = false;
+      for (const SwitchCase &SC : SS.Cases) {
+        if (Ch.Strs[SC.TagIdx] != Subj.variantData()->Tag)
+          continue;
+        // Binders start undeclared each execution, then bind the
+        // available payload (fresh boxes for captured binders).
+        for (const SwitchBinder &SB : SC.Binders) {
+          if (!SB.Named)
+            continue;
+          if (SB.K == Binding::Kind::Reg)
+            F.Bound[SB.Index] = 0;
+          else
+            F.Boxes[SB.Index] = std::make_shared<VmBox>();
+        }
+        const auto &Payload = Subj.variantData()->Payload;
+        for (size_t K = 0; K < SC.Binders.size() && K < Payload.size();
+             ++K) {
+          const SwitchBinder &SB = SC.Binders[K];
+          if (!SB.Named)
+            continue;
+          if (SB.K == Binding::Kind::Reg) {
+            F.R[SB.Index] = Payload[K];
+            F.Bound[SB.Index] = 1;
+          } else {
+            F.Boxes[SB.Index]->V = Payload[K];
+            F.Boxes[SB.Index]->Bound = true;
+          }
+        }
+        PC = SC.Target;
+        Matched = true;
+        break;
+      }
+      if (!Matched)
+        PC = SS.DefaultTarget != NoIndex ? SS.DefaultTarget : SS.EndTarget;
+      break;
+    }
+    case Op::RefName:
+      F.Refs[I.A] = resolveChain(Ch.Chains[I.X]);
+      break;
+    case Op::RefField: {
+      // The lvalue lattice of the walker's evalLValue: violations (not
+      // traps) on dead/revoked bases, guarded-access recording, then a
+      // slot into the shared StructData.
+      Value Record = *F.Refs[I.B];
+      Value *Out = nullptr;
+      if (Record.kind() == Value::Kind::Tracked) {
+        if (Record.cell()->Revoked) {
+          violation("field access through revoked borrow");
+          F.Refs[I.A] = nullptr;
+          break;
+        }
+        if (!Record.cell()->Alive ||
+            (Record.cell()->Region &&
+             !Regions.isLive(Record.cell()->Region))) {
+          violation("field access through dead tracked object");
+          F.Refs[I.A] = nullptr;
+          break;
+        }
+        if (Record.cell()->GuardMutex != 0 &&
+            !Locks.isLocked(Record.cell()->GuardMutex))
+          Locks.unguardedAccess(Record.cell()->GuardMutex, "field access");
+        Record = Record.cell()->Inner ? *Record.cell()->Inner : Value::unit();
+      }
+      if (Record.kind() == Value::Kind::Struct) {
+        auto It = Record.structData()->Fields.find(Ch.Strs[I.X]);
+        if (It != Record.structData()->Fields.end())
+          Out = &It->second;
+      }
+      F.Refs[I.A] = Out;
+      break;
+    }
+    case Op::RefIndex: {
+      Value *BaseRef = F.Refs[I.B];
+      const Value &Idx = F.R[I.C];
+      Value Arr = derefForAccess(*BaseRef, "index");
+      if (Arr.kind() == Value::Kind::Array && Arr.array()) {
+        auto &Elems = Arr.array()->Elems;
+        if (Idx.asInt() >= 0 &&
+            static_cast<size_t>(Idx.asInt()) < Elems.size()) {
+          F.Refs[I.A] = &Elems[Idx.asInt()];
+          break;
+        }
+        trap("array index out of bounds");
+      }
+      if (BaseRef->kind() == Value::Kind::Tuple) {
+        auto &Elems = BaseRef->tupleElems();
+        if (Idx.asInt() >= 0 &&
+            static_cast<size_t>(Idx.asInt()) < Elems.size()) {
+          F.Refs[I.A] = &Elems[Idx.asInt()];
+          break;
+        }
+      }
+      F.Refs[I.A] = nullptr;
+      break;
+    }
+    case Op::RefTmp:
+      F.Refs[I.A] = &F.R[I.B];
+      break;
+    case Op::RefNull:
+      F.Refs[I.A] = nullptr;
+      break;
+    case Op::JumpIfRefOk:
+      if (F.Refs[I.A])
+        PC = I.X;
+      break;
+    case Op::JumpIfRefNull:
+      if (!F.Refs[I.A])
+        PC = I.X;
+      break;
+    case Op::StoreRef:
+      if (F.Refs[I.A])
+        *F.Refs[I.A] = F.R[I.B];
+      else
+        violation("assignment through dead object");
+      break;
+    case Op::AssignUnknown:
+      trap("assignment to unknown variable '" + Ch.Strs[I.X] + "'");
+      break;
+    case Op::IncDec: {
+      Value *Slot = F.Refs[I.B];
+      if (Slot) {
+        int64_t Old = Slot->asInt();
+        *Slot = Value::intV(I.C ? Old + 1 : Old - 1);
+        F.R[I.A] = Value::intV(Old);
+      } else {
+        violation("increment through dead object");
+        F.R[I.A] = Value::unit();
+      }
+      break;
+    }
+    }
+  }
+  FramePool.push_back(std::move(Owner));
+  return RetVal;
+}

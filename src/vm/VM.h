@@ -1,0 +1,60 @@
+//===- VM.h - Register-bytecode engine for the dynamic oracle ---*- C++ -*-===//
+//
+// Part of the Vault reproduction of DeLine & Fähndrich, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode engine: compiles checked functions to vm::Chunk on
+/// first call (cached per Vm) and executes them in a dispatch loop
+/// over interp::Value, sharing the interp::Machine substrate — worlds,
+/// violations, output, traps, step budget — with the tree-walker.
+/// The contract is observational equivalence with interp::Interp; the
+/// differential suite and the fuzz "vm" oracle enforce it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAULT_VM_VM_H
+#define VAULT_VM_VM_H
+
+#include "interp/Machine.h"
+#include "vm/Bytecode.h"
+
+namespace vault::vm {
+
+class Vm : public interp::Machine {
+public:
+  explicit Vm(VaultCompiler &C);
+  ~Vm() override; // Out of line: FramePool's element type is incomplete here.
+
+  bool run(const std::string &Name = "main",
+           std::vector<interp::Value> Args = {}) override;
+
+  /// The compiled chunk for a top-level function (compiled lazily,
+  /// cached for the lifetime of this Vm).
+  const Chunk *chunkFor(const FuncDecl *F);
+
+private:
+  struct Frame;
+
+  /// Args is a span into the caller's registers (or run()'s argument
+  /// vector); invoke moves the values out to bind parameters.
+  interp::Value
+  invoke(const Chunk &Ch, interp::Value *Args, size_t NArgs,
+         const std::vector<std::shared_ptr<interp::VmBox>> *Upvals);
+
+  std::map<const FuncDecl *, std::unique_ptr<Chunk>> Cache;
+  /// Retired frames keep their vector capacity so a call after warmup
+  /// allocates nothing; reuse is safe because temps are written before
+  /// read, locals are gated by Bound bits, and boxes/refs are reset at
+  /// frame entry.
+  std::vector<std::unique_ptr<Frame>> FramePool;
+  /// Return-value register shared across frames — deliberately
+  /// mirroring the tree-walker's interpreter-global ReturnSlot,
+  /// including its fall-off-the-end behavior after a nested call.
+  interp::Value RetVal;
+};
+
+} // namespace vault::vm
+
+#endif // VAULT_VM_VM_H

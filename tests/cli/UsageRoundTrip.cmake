@@ -62,6 +62,11 @@ foreach(F ${HELP_FLAGS})
     set(PROBE ${F} ${CMAKE_CURRENT_BINARY_DIR}/usage-probe-stats.json)
   elseif(F STREQUAL "--diagnostics-format")
     set(PROBE ${F} text)
+  elseif(F STREQUAL "--engine")
+    # --engine/--max-steps only make sense under --run; probe them there.
+    set(PROBE --run ${F} both)
+  elseif(F STREQUAL "--max-steps")
+    set(PROBE --run ${F} 100000)
   else()
     set(PROBE ${F})
   endif()

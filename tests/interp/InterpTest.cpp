@@ -214,7 +214,7 @@ TEST(Interp, CustomBuiltin) {
   auto C = check("int magic(); void print_int(int n);"
                  "void main() { print_int(magic()); }");
   Interp I(*C);
-  I.registerBuiltin("magic", [](Interp &, std::vector<Value> &) {
+  I.registerBuiltin("magic", [](interp::Machine &, std::vector<Value> &) {
     return Value::intV(1234);
   });
   ASSERT_TRUE(I.run("main")) << I.trapMessage();

@@ -7,7 +7,7 @@
 // verdict — byte-identically at any job count.
 //
 // Header grammar (all lines optional except fuzz-expect):
-//   //!fuzz-oracle: parity|determinism|roundtrip
+//   //!fuzz-oracle: parity|determinism|roundtrip|vm
 //   //!fuzz-class:  <classification>
 //   //!fuzz-origin: seed=N program=NAME [mutation=K site=S]
 //   //!fuzz-expect: accept

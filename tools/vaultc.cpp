@@ -19,6 +19,7 @@
 #include "corpus/Corpus.h"
 #include "interp/Interp.h"
 #include "lower/CEmitter.h"
+#include "vm/VM.h"
 #include "sema/Cfg.h"
 #include "server/Frame.h"
 #include "support/DiagnosticsFormat.h"
@@ -57,6 +58,8 @@ static void usage() {
       "                    oracle; runs even when checking fails)\n"
       "  --dump-ast        pretty-print the parsed program\n"
       "  --dump-cfg        print each function's control-flow graph as dot\n"
+      "  --dump-bytecode   print each function's register bytecode (the\n"
+      "                    --engine=vm compilation of its body)\n"
       "  --daemon-client   drive a vaultd check server end to end: spawn\n"
       "                    the daemon binary named by the one input, play\n"
       "                    a request script against it, print each\n"
@@ -78,6 +81,14 @@ static void usage() {
       "                    log)\n"
       "\n"
       "options:\n"
+      "  --engine E        dynamic-oracle engine for --run: 'walker' (the\n"
+      "                    tree-walking interpreter, default), 'vm' (the\n"
+      "                    register-bytecode VM), or 'both' (run both and\n"
+      "                    hard-fail on any observable divergence)\n"
+      "  --max-steps N     execution budget for --run: abort with a\n"
+      "                    structured interp-step-limit trap after N\n"
+      "                    steps (loop iterations + calls); both engines\n"
+      "                    charge at the same points\n"
       "  --jobs N          flow-check bodies on N worker threads; 0 or\n"
       "                    omitted means hardware concurrency. Output is\n"
       "                    byte-identical at any job count.\n"
@@ -337,7 +348,10 @@ int DaemonClient::run() {
 
 int main(int Argc, char **Argv) {
   bool EmitC = false, Run = false, DumpAst = false, DumpCfg = false,
-       Stats = false, TraceKeys = false, Explain = false;
+       DumpBytecode = false, Stats = false, TraceKeys = false, Explain = false;
+  std::string Engine; // --engine: walker | vm | both (empty = walker).
+  bool HaveMaxSteps = false;
+  size_t MaxSteps = 0;
   bool DaemonClientMode = false, ViaSocket = false, Timings = false;
   std::string ScriptPath;
   std::vector<std::string> DaemonArgs;
@@ -445,6 +459,52 @@ int main(int Argc, char **Argv) {
       if (!SetMode("--dump-cfg"))
         return 2;
       DumpCfg = true;
+    } else if (A == "--dump-bytecode") {
+      if (!SetMode("--dump-bytecode"))
+        return 2;
+      DumpBytecode = true;
+    } else if (A == "--engine" || A.rfind("--engine=", 0) == 0) {
+      std::string Val;
+      if (A == "--engine") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --engine requires an argument\n");
+          return 2;
+        }
+        Val = Argv[++I];
+      } else {
+        Val = A.substr(9);
+      }
+      if (Val != "walker" && Val != "vm" && Val != "both") {
+        std::fprintf(stderr,
+                     "vaultc: invalid --engine value '%s' "
+                     "(expected walker, vm, or both)\n",
+                     Val.c_str());
+        return 2;
+      }
+      Engine = Val;
+    } else if (A == "--max-steps" || A.rfind("--max-steps=", 0) == 0) {
+      std::string Val;
+      if (A == "--max-steps") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "vaultc: --max-steps requires an argument\n");
+          return 2;
+        }
+        Val = Argv[++I];
+      } else {
+        Val = A.substr(12);
+      }
+      char *End = nullptr;
+      errno = 0;
+      // Same saturation-aware parse as --jobs; a budget of zero would
+      // trap before the first statement, so require at least one step.
+      long long N = std::strtoll(Val.c_str(), &End, 10);
+      if (Val.empty() || !End || *End || N < 1 || errno == ERANGE) {
+        std::fprintf(stderr, "vaultc: invalid --max-steps value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+      HaveMaxSteps = true;
+      MaxSteps = static_cast<size_t>(N);
     } else if (A == "--stats") {
       Stats = true;
     } else if (A == "--stats-json" || A.rfind("--stats-json=", 0) == 0) {
@@ -540,11 +600,17 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
-  // A trace timeline of the dump modes would be all dead air: neither
-  // runs the checker pipeline the spans cover.
-  if (!TraceJsonPath.empty() && (DumpAst || DumpCfg)) {
+  if ((!Engine.empty() || HaveMaxSteps) && !Run) {
+    std::fprintf(stderr, "vaultc: --engine and --max-steps require --run\n");
+    return 2;
+  }
+  // A trace timeline of the dump modes would be all dead air: none of
+  // them runs the checker pipeline the spans cover.
+  if (!TraceJsonPath.empty() && (DumpAst || DumpCfg || DumpBytecode)) {
     std::fprintf(stderr, "vaultc: --trace-json cannot be combined with %s\n",
-                 DumpAst ? "--dump-ast" : "--dump-cfg");
+                 DumpAst   ? "--dump-ast"
+                 : DumpCfg ? "--dump-cfg"
+                           : "--dump-bytecode");
     return 2;
   }
 
@@ -615,6 +681,19 @@ int main(int Argc, char **Argv) {
         std::fputs(Cfg::build(F).dot().c_str(), stdout);
       }
   }
+  if (DumpBytecode) {
+    // globals().Functions is a sorted map, so the dump order is
+    // deterministic regardless of declaration order across inputs.
+    bool First = true;
+    for (const auto &[Name, Sig] : C.globals().Functions)
+      if (Sig->Decl && Sig->Decl->body()) {
+        if (!First)
+          std::printf("\n");
+        First = false;
+        std::unique_ptr<vm::Chunk> Ch = vm::compileFunction(C, Sig->Decl);
+        std::fputs(vm::disassemble(*Ch).c_str(), stdout);
+      }
+  }
   // All telemetry goes to stderr so it can never interleave with
   // machine-readable stdout (--emit-c, --dump-ast, --dump-cfg).
   if (TraceKeys) {
@@ -645,20 +724,74 @@ int main(int Argc, char **Argv) {
     std::fputs(E.emitProgram().c_str(), stdout);
   }
   if (Run) {
-    interp::Interp I(C);
-    bool Ran = I.run("main");
-    for (const std::string &L : I.output())
+    // Dyn is the --run surface's historical arithmetic (mutex leaks
+    // are reported through totalViolations' lock world, not re-added).
+    auto DynOf = [](interp::Machine &M) {
+      return M.totalViolations() +
+             static_cast<unsigned>(M.regions().leakedRegions().size()) +
+             static_cast<unsigned>(M.sockets().leakedSockets().size()) +
+             static_cast<unsigned>(M.gdi().leakedDcs().size());
+    };
+    auto RunOne = [&](interp::Machine &M) {
+      if (HaveMaxSteps)
+        M.MaxSteps = MaxSteps;
+      return M.run("main");
+    };
+    // The engine whose observable behavior this invocation reports.
+    std::unique_ptr<interp::Machine> M;
+    if (Engine == "vm")
+      M = std::make_unique<vm::Vm>(C);
+    else
+      M = std::make_unique<interp::Interp>(C);
+    bool Ran = RunOne(*M);
+    for (const std::string &L : M->output())
       std::printf("%s\n", L.c_str());
     if (!Ran)
       std::fprintf(stderr, "vaultc: run trapped: %s\n",
-                   I.trapMessage().c_str());
-    unsigned Dyn = I.totalViolations() +
-                   static_cast<unsigned>(I.regions().leakedRegions().size()) +
-                   static_cast<unsigned>(I.sockets().leakedSockets().size()) +
-                   static_cast<unsigned>(I.gdi().leakedDcs().size());
-    for (const std::string &V : I.violations())
+                   M->trapMessage().c_str());
+    unsigned Dyn = DynOf(*M);
+    for (const std::string &V : M->violations())
       std::fprintf(stderr, "vaultc: dynamic violation: %s\n", V.c_str());
     std::fprintf(stderr, "vaultc: dynamic oracle: %u violation(s)\n", Dyn);
+    if (Engine == "both") {
+      // Differential mode: the walker above is the reference; run the
+      // VM on the same checked program and hard-fail on any observable
+      // divergence.
+      vm::Vm V(C);
+      bool VmRan = RunOne(V);
+      unsigned Divergences = 0;
+      auto Diverge = [&](const char *Field, const std::string &Walker,
+                         const std::string &Vm) {
+        ++Divergences;
+        std::fprintf(stderr,
+                     "vaultc: engine divergence in %s:\n"
+                     "  walker: %s\n"
+                     "  vm:     %s\n",
+                     Field, Walker.c_str(), Vm.c_str());
+      };
+      if (Ran != VmRan)
+        Diverge("completion", Ran ? "ran" : "trapped",
+                VmRan ? "ran" : "trapped");
+      if (M->trapMessage() != V.trapMessage())
+        Diverge("trap message", M->trapMessage(), V.trapMessage());
+      if (M->output() != V.output())
+        Diverge("output",
+                std::to_string(M->output().size()) + " line(s)",
+                std::to_string(V.output().size()) + " line(s)");
+      if (M->violations() != V.violations())
+        Diverge("violations",
+                std::to_string(M->violations().size()) + " recorded",
+                std::to_string(V.violations().size()) + " recorded");
+      if (Dyn != DynOf(V))
+        Diverge("dynamic-oracle count", std::to_string(Dyn),
+                std::to_string(DynOf(V)));
+      if (Divergences) {
+        std::fprintf(stderr, "vaultc: engines diverge (%u field(s))\n",
+                     Divergences);
+        return 1;
+      }
+      std::fprintf(stderr, "vaultc: engines agree\n");
+    }
     return Ok && Dyn == 0 && Ran ? 0 : 1;
   }
   return Ok ? 0 : 1;

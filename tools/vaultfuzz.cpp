@@ -7,9 +7,9 @@
 //
 // Generates seeded, deterministic Vault programs biased toward
 // protocol structure, optionally seeds one labeled defect into each,
-// runs the differential oracles (parity, determinism, round-trip)
-// over every program, and delta-debugs each finding into a minimal
-// .vlt reproducer. The whole run is a pure function of --seed: the
+// runs the differential oracles (parity, determinism, round-trip,
+// vm engine-equivalence) over every program, and delta-debugs each
+// finding into a minimal .vlt reproducer. The whole run is a pure function of --seed: the
 // same seed yields identical program bytes and an identical report.
 //
 //===----------------------------------------------------------------------===//
@@ -43,7 +43,7 @@ static void usage() {
       "                    (default on)\n"
       "  --no-mutate       generate clean programs only\n"
       "  --oracle LIST     comma-separated subset of parity,determinism,\n"
-      "                    roundtrip (default all)\n"
+      "                    roundtrip,vm (default all)\n"
       "  --reduce          delta-debug findings to minimal reproducers\n"
       "                    (default on)\n"
       "  --no-reduce       report findings without reducing them\n"
@@ -127,7 +127,8 @@ int main(int Argc, char **Argv) {
     } else if (A == "--no-reduce") {
       Opts.Reduce = false;
     } else if (valueFlag(Argc, Argv, I, "--oracle", Val)) {
-      Opts.RunParity = Opts.RunDeterminism = Opts.RunRoundtrip = false;
+      Opts.RunParity = Opts.RunDeterminism = Opts.RunRoundtrip = Opts.RunVm =
+          false;
       std::istringstream List(Val);
       std::string Name;
       while (std::getline(List, Name, ',')) {
@@ -137,17 +138,21 @@ int main(int Argc, char **Argv) {
           Opts.RunDeterminism = true;
         } else if (Name == "roundtrip") {
           Opts.RunRoundtrip = true;
+        } else if (Name == "vm") {
+          Opts.RunVm = true;
         } else if (Name == "all") {
-          Opts.RunParity = Opts.RunDeterminism = Opts.RunRoundtrip = true;
+          Opts.RunParity = Opts.RunDeterminism = Opts.RunRoundtrip =
+              Opts.RunVm = true;
         } else {
           std::fprintf(stderr,
                        "vaultfuzz: unknown oracle '%s' (expected parity, "
-                       "determinism, roundtrip, or all)\n",
+                       "determinism, roundtrip, vm, or all)\n",
                        Name.c_str());
           return 2;
         }
       }
-      if (!Opts.RunParity && !Opts.RunDeterminism && !Opts.RunRoundtrip) {
+      if (!Opts.RunParity && !Opts.RunDeterminism && !Opts.RunRoundtrip &&
+          !Opts.RunVm) {
         std::fprintf(stderr, "vaultfuzz: --oracle selected no oracles\n");
         return 2;
       }
